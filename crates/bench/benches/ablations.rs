@@ -1,0 +1,169 @@
+//! Ablation benches for the design choices DESIGN.md calls out:
+//!
+//! * fragment expansion style (Compact vs Sequential),
+//! * covering solver (exact branch-and-bound vs greedy),
+//! * local-transform subsets (each LT disabled in turn),
+//! * GT5 sub-transform subsets.
+//!
+//! Each bench prints the quality metric it trades against time, so a
+//! criterion run doubles as the ablation table.
+
+use adcs::extract::{extract, ExpansionStyle, ExtractOptions};
+use adcs::flow::{Flow, FlowOptions};
+use adcs::gt::Gt5Options;
+use adcs::lt::LtOptions;
+use adcs_bench::{diffeq_after_gt1_to_gt4, diffeq_design, paper_flow_options};
+use adcs_hfmin::{synthesize, MinimizeOptions, SynthOptions};
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use std::time::Duration;
+
+fn small<'c>(c: &'c mut Criterion, name: &str) -> criterion::BenchmarkGroup<'c, criterion::measurement::WallTime> {
+    let mut g = c.benchmark_group(name);
+    g.sample_size(10).measurement_time(Duration::from_secs(6));
+    g
+}
+
+fn ablate_expansion_style(c: &mut Criterion) {
+    let (g, channels, _) = diffeq_after_gt1_to_gt4().expect("gt");
+    for style in [ExpansionStyle::Compact, ExpansionStyle::Sequential] {
+        let ex = extract(&g, &channels, &ExtractOptions { style }).expect("extract");
+        let states: usize = ex.controllers.iter().map(|x| x.machine.stats().states).sum();
+        println!("ablation expansion {style:?}: total states {states}");
+        let mut grp = small(c, "ablate_expansion");
+        grp.bench_function(format!("{style:?}"), |b| {
+            b.iter(|| {
+                black_box(extract(&g, &channels, &ExtractOptions { style }).expect("extract"))
+            })
+        });
+        grp.finish();
+    }
+}
+
+fn ablate_covering_solver(c: &mut Criterion) {
+    let d = diffeq_design().expect("design");
+    let out = Flow::new(d.cdfg.clone(), d.initial.clone())
+        .run(&paper_flow_options())
+        .expect("flow");
+    let machine = &out
+        .controllers
+        .iter()
+        .find(|x| x.machine.name() == "ALU1")
+        .expect("ALU1")
+        .machine;
+    for (label, exact) in [("exact", true), ("greedy", false)] {
+        let opts = SynthOptions {
+            minimize: MinimizeOptions {
+                exact,
+                ..MinimizeOptions::default()
+            },
+            ..SynthOptions::default()
+        };
+        let logic = synthesize(machine, opts).expect("synth");
+        println!(
+            "ablation covering {label}: ALU1 {} products / {} literals",
+            logic.products_single_output(),
+            logic.literals_single_output()
+        );
+        let mut grp = small(c, "ablate_covering");
+        grp.bench_function(label, |b| {
+            b.iter(|| black_box(synthesize(machine, opts).expect("synth")))
+        });
+        grp.finish();
+    }
+}
+
+fn ablate_lt_subsets(c: &mut Criterion) {
+    let d = diffeq_design().expect("design");
+    let variants: [(&str, LtOptions); 5] = [
+        ("all", LtOptions::default()),
+        (
+            "no_move_up",
+            LtOptions { move_up_dones: false, ..LtOptions::default() },
+        ),
+        (
+            "no_preselect",
+            LtOptions { mux_preselect: false, ..LtOptions::default() },
+        ),
+        (
+            "no_ack_removal",
+            LtOptions { removable_acks: Vec::new(), ..LtOptions::default() },
+        ),
+        (
+            "no_sharing",
+            LtOptions { share_signals: false, ..LtOptions::default() },
+        ),
+    ];
+    for (label, lt) in variants {
+        let opts = FlowOptions { lt: lt.clone(), ..paper_flow_options() };
+        let out = Flow::new(d.cdfg.clone(), d.initial.clone())
+            .run(&opts)
+            .expect("flow");
+        println!(
+            "ablation lt {label}: total states {} transitions {}",
+            out.optimized_gt_lt.total_states(),
+            out.optimized_gt_lt.total_transitions()
+        );
+        let mut grp = small(c, "ablate_lt");
+        grp.bench_function(label, |b| {
+            b.iter(|| {
+                black_box(
+                    Flow::new(d.cdfg.clone(), d.initial.clone())
+                        .run(&opts)
+                        .expect("flow"),
+                )
+            })
+        });
+        grp.finish();
+    }
+}
+
+fn ablate_gt5_subsets(c: &mut Criterion) {
+    let d = diffeq_design().expect("design");
+    let variants: [(&str, Gt5Options); 3] = [
+        ("all", Gt5Options::default()),
+        (
+            "multiplex_only",
+            Gt5Options {
+                symmetrization: false,
+                concurrency_reduction: false,
+                ..Gt5Options::default()
+            },
+        ),
+        (
+            "no_symmetrization",
+            Gt5Options { symmetrization: false, ..Gt5Options::default() },
+        ),
+    ];
+    for (label, gt5) in variants {
+        let opts = FlowOptions { gt5, ..paper_flow_options() };
+        let out = Flow::new(d.cdfg.clone(), d.initial.clone())
+            .run(&opts)
+            .expect("flow");
+        println!(
+            "ablation gt5 {label}: {} channels ({} multi-way)",
+            out.channels.count(),
+            out.channels.multiway_count()
+        );
+        let mut grp = small(c, "ablate_gt5");
+        grp.bench_function(label, |b| {
+            b.iter(|| {
+                black_box(
+                    Flow::new(d.cdfg.clone(), d.initial.clone())
+                        .run(&opts)
+                        .expect("flow"),
+                )
+            })
+        });
+        grp.finish();
+    }
+}
+
+criterion_group!(
+    benches,
+    ablate_expansion_style,
+    ablate_covering_solver,
+    ablate_lt_subsets,
+    ablate_gt5_subsets
+);
+criterion_main!(benches);

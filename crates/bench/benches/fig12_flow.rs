@@ -1,0 +1,80 @@
+//! Criterion bench regenerating Figure 12 (the full synthesis flow on
+//! DIFFEQ) and timing its stages. The printed assertions double as a
+//! regression check on the figure's headline numbers.
+
+use adcs::channel::ChannelMap;
+use adcs::extract::{extract, ExpansionStyle, ExtractOptions, Extraction};
+use adcs::lt::{apply_all, LtOptions};
+use adcs_bench::{diffeq_after_gt1_to_gt4, diffeq_design, paper_flow_options, run_diffeq_flow};
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use std::time::Duration;
+
+fn quick(c: &mut Criterion) -> criterion::BenchmarkGroup<'_, criterion::measurement::WallTime> {
+    let mut g = c.benchmark_group("fig12");
+    g.sample_size(10).measurement_time(Duration::from_secs(8));
+    g
+}
+
+fn bench_full_flow(c: &mut Criterion) {
+    // Check the figure before timing anything.
+    let out = run_diffeq_flow().expect("flow");
+    assert_eq!(out.unoptimized.channels, 17);
+    assert_eq!(out.optimized_gt.channels, 5);
+
+    let d = diffeq_design().expect("design");
+    let opts = paper_flow_options();
+    let mut g = quick(c);
+    g.bench_function("full_flow", |b| {
+        b.iter(|| {
+            let flow = adcs::flow::Flow::new(d.cdfg.clone(), d.initial.clone());
+            black_box(flow.run(&opts).expect("flow"))
+        })
+    });
+    g.finish();
+}
+
+fn bench_stages(c: &mut Criterion) {
+    let d = diffeq_design().expect("design");
+    let mut grp = quick(c);
+    grp.bench_function("global_transforms", |b| {
+        b.iter(|| black_box(diffeq_after_gt1_to_gt4().expect("gt")))
+    });
+    grp.finish();
+
+    let (g, channels, _) = diffeq_after_gt1_to_gt4().expect("gt");
+    c.bench_function("fig12/extraction_compact", |b| {
+        b.iter(|| {
+            black_box(
+                extract(&g, &channels, &ExtractOptions { style: ExpansionStyle::Compact })
+                    .expect("extract"),
+            )
+        })
+    });
+    let channels0 = ChannelMap::per_arc(&d.cdfg).expect("channels");
+    c.bench_function("fig12/extraction_sequential_baseline", |b| {
+        b.iter(|| {
+            black_box(
+                extract(
+                    &d.cdfg,
+                    &channels0,
+                    &ExtractOptions { style: ExpansionStyle::Sequential },
+                )
+                .expect("extract"),
+            )
+        })
+    });
+
+    let ex = extract(&g, &channels, &ExtractOptions { style: ExpansionStyle::Compact })
+        .expect("extract");
+    c.bench_function("fig12/local_transforms", |b| {
+        b.iter(|| {
+            let mut ctrls = ex.controllers.clone();
+            apply_all(&mut ctrls, &LtOptions::default()).expect("lt");
+            black_box(Extraction { controllers: ctrls })
+        })
+    });
+}
+
+criterion_group!(benches, bench_full_flow, bench_stages);
+criterion_main!(benches);

@@ -1,0 +1,63 @@
+//! Criterion bench regenerating Figure 13: hazard-free two-level logic
+//! synthesis of the final DIFFEQ controllers (and the Yun-shaped
+//! reconstructions), timing the minimizer.
+
+use adcs::yun::yun_controllers;
+use adcs_bench::run_diffeq_flow;
+use adcs_hfmin::{synthesize, SynthOptions};
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+fn bench_controller_logic(c: &mut Criterion) {
+    let out = run_diffeq_flow().expect("flow");
+    let mut group = c.benchmark_group("fig13/minimize");
+    group.sample_size(10);
+    for ctrl in &out.controllers {
+        // Sanity: the figure is reproducible before we time it.
+        let logic = synthesize(&ctrl.machine, SynthOptions::default()).expect("synth");
+        assert!(logic.products_single_output() > 0);
+        group.bench_function(ctrl.machine.name(), |b| {
+            b.iter(|| black_box(synthesize(&ctrl.machine, SynthOptions::default()).expect("synth")))
+        });
+    }
+    group.finish();
+}
+
+fn bench_shared_plane(c: &mut Criterion) {
+    // Minimalist-style multi-output minimization (shared AND plane) on the
+    // smallest controller; prints the quality gain it trades time for.
+    let out = run_diffeq_flow().expect("flow");
+    let ctrl = out
+        .controllers
+        .iter()
+        .find(|x| x.machine.name() == "MUL2")
+        .expect("MUL2");
+    let opts = SynthOptions { share_products: true, ..SynthOptions::default() };
+    let logic = synthesize(&ctrl.machine, opts).expect("synth");
+    println!(
+        "fig13 shared-plane MUL2: {} products / {} literals",
+        logic.products_shared(),
+        logic.literals_shared()
+    );
+    let mut group = c.benchmark_group("fig13/shared_plane");
+    group.sample_size(10);
+    group.bench_function("MUL2", |b| {
+        b.iter(|| black_box(synthesize(&ctrl.machine, opts).expect("synth")))
+    });
+    group.finish();
+}
+
+fn bench_yun_logic(c: &mut Criterion) {
+    let machines = yun_controllers().expect("yun");
+    let mut group = c.benchmark_group("fig13/yun_reconstruction");
+    group.sample_size(10);
+    for m in &machines {
+        group.bench_function(m.name(), |b| {
+            b.iter(|| black_box(synthesize(m, SynthOptions::default()).expect("synth")))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_controller_logic, bench_shared_plane, bench_yun_logic);
+criterion_main!(benches);

@@ -1,0 +1,79 @@
+//! Micro-benchmarks of the individual transforms and the simulators —
+//! the building blocks behind Figures 3–6.
+
+use adcs::channel::ChannelMap;
+use adcs::gt::{
+    gt1_loop_parallelism, gt2_remove_dominated, gt4_merge_assignments, gt5_channel_elimination,
+    Gt5Options,
+};
+use adcs_bench::diffeq_design;
+use adcs_cdfg::benchmarks::{fir, gcd};
+use adcs_sim::exec::{execute, ExecOptions};
+use adcs_sim::DelayModel;
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+fn bench_gt(c: &mut Criterion) {
+    let d = diffeq_design().expect("design");
+    c.bench_function("gt/gt1_loop_parallelism", |b| {
+        b.iter(|| {
+            let mut g = d.cdfg.clone();
+            gt1_loop_parallelism(&mut g).expect("gt1");
+            black_box(g)
+        })
+    });
+    c.bench_function("gt/gt2_remove_dominated", |b| {
+        b.iter(|| {
+            let mut g = d.cdfg.clone();
+            gt1_loop_parallelism(&mut g).expect("gt1");
+            gt2_remove_dominated(&mut g).expect("gt2");
+            black_box(g)
+        })
+    });
+    c.bench_function("gt/gt4_merge_assignments", |b| {
+        let f = fir([1, 2, 3, 4], [4, 3, 2, 1], 7).expect("fir");
+        b.iter(|| {
+            let mut g = f.cdfg.clone();
+            gt4_merge_assignments(&mut g).expect("gt4");
+            black_box(g)
+        })
+    });
+    c.bench_function("gt/gt5_channel_elimination", |b| {
+        let mut base = d.cdfg.clone();
+        gt1_loop_parallelism(&mut base).expect("gt1");
+        gt2_remove_dominated(&mut base).expect("gt2");
+        gt4_merge_assignments(&mut base).expect("gt4");
+        b.iter(|| {
+            let mut g = base.clone();
+            let mut ch = ChannelMap::per_arc(&g).expect("channels");
+            gt5_channel_elimination(&mut g, &mut ch, Gt5Options::default()).expect("gt5");
+            black_box((g, ch))
+        })
+    });
+}
+
+fn bench_sim(c: &mut Criterion) {
+    let d = diffeq_design().expect("design");
+    c.bench_function("sim/diffeq_exec_5_iterations", |b| {
+        let delays = DelayModel::uniform(1).with_fu(d.mul1, 3).with_fu(d.mul2, 2);
+        b.iter(|| {
+            black_box(
+                execute(&d.cdfg, d.initial.clone(), &delays, &ExecOptions::default())
+                    .expect("exec"),
+            )
+        })
+    });
+    c.bench_function("sim/gcd_exec", |b| {
+        let g = gcd(1071, 462).expect("gcd");
+        let delays = DelayModel::uniform(1);
+        b.iter(|| {
+            black_box(
+                execute(&g.cdfg, g.initial.clone(), &delays, &ExecOptions::default())
+                    .expect("exec"),
+            )
+        })
+    });
+}
+
+criterion_group!(benches, bench_gt, bench_sim);
+criterion_main!(benches);

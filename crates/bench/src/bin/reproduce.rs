@@ -1,0 +1,201 @@
+//! `reproduce` — regenerates every table and figure of the paper's
+//! evaluation section as paper-vs-measured output.
+//!
+//! ```sh
+//! cargo run --release -p adcs-bench --bin reproduce            # everything
+//! cargo run --release -p adcs-bench --bin reproduce figure5
+//! cargo run --release -p adcs-bench --bin reproduce figure12
+//! cargo run --release -p adcs-bench --bin reproduce figure13
+//! cargo run --release -p adcs-bench --bin reproduce figure-cdfg
+//! cargo run --release -p adcs-bench --bin reproduce dot      # .dot artifacts
+//! ```
+
+use adcs::report::{figure12_table, figure13_table, figure5_summary};
+use adcs::yun::{yun_controllers, FIGURE_13};
+use adcs_bench::{apply_gt5, diffeq_after_gt1_to_gt4, diffeq_design, run_diffeq_flow};
+use adcs_hfmin::{synthesize, SynthOptions};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let what = std::env::args().nth(1).unwrap_or_else(|| "all".into());
+    match what.as_str() {
+        "figure5" => figure5()?,
+        "figure12" => figure12()?,
+        "figure13" => figure13()?,
+        "figure-cdfg" => figure_cdfg()?,
+        "dot" => dot_artifacts()?,
+        "perf" => perf()?,
+        "all" => {
+            figure_cdfg()?;
+            println!();
+            figure5()?;
+            println!();
+            figure12()?;
+            println!();
+            figure13()?;
+            println!();
+            perf()?;
+        }
+        other => {
+            eprintln!(
+                "unknown figure `{other}`; use figure5|figure12|figure13|figure-cdfg|dot|perf|all"
+            );
+            std::process::exit(2);
+        }
+    }
+    Ok(())
+}
+
+/// Figures 1/3/4/6: the CDFG's arc evolution through the global transforms.
+fn figure_cdfg() -> Result<(), Box<dyn std::error::Error>> {
+    println!("== CDFG evolution (paper Figures 1 -> 3/4 -> 6) ==");
+    let d = diffeq_design()?;
+    println!(
+        "Figure 1 (initial):          {:3} constraint arcs, {:2} inter-unit",
+        d.cdfg.arc_count(),
+        d.cdfg.inter_fu_arcs().len()
+    );
+    let (g, channels, _) = diffeq_after_gt1_to_gt4()?;
+    println!(
+        "Figure 4 (after GT1-GT4):    {:3} constraint arcs, {:2} inter-unit",
+        g.arc_count(),
+        g.inter_fu_arcs().len()
+    );
+    let mut g = g;
+    let mut channels = channels;
+    apply_gt5(&mut g, &mut channels)?;
+    println!(
+        "Figure 6 (after GT5):        {:3} constraint arcs, {:2} inter-unit, {} channels",
+        g.arc_count(),
+        g.inter_fu_arcs().len(),
+        channels.count()
+    );
+    println!("(paper: 17 inter-unit arcs initially; 10 channels pre-GT5; 5 after)");
+    Ok(())
+}
+
+/// Renders the paper's CDFG figures (1, 4, 6) and every final controller
+/// as Graphviz files under `artifacts/`.
+fn dot_artifacts() -> Result<(), Box<dyn std::error::Error>> {
+    use std::fs;
+    fs::create_dir_all("artifacts")?;
+    let d = diffeq_design()?;
+    fs::write("artifacts/figure1.dot", adcs_cdfg::dot::to_dot(&d.cdfg))?;
+    let (g, mut channels, _) = diffeq_after_gt1_to_gt4()?;
+    fs::write("artifacts/figure4.dot", adcs_cdfg::dot::to_dot(&g))?;
+    let mut g = g;
+    apply_gt5(&mut g, &mut channels)?;
+    fs::write("artifacts/figure6.dot", adcs_cdfg::dot::to_dot(&g))?;
+    let out = run_diffeq_flow()?;
+    for c in &out.controllers {
+        let path = format!("artifacts/{}.dot", c.machine.name());
+        fs::write(path, adcs_xbm::dot::to_dot(&c.machine))?;
+    }
+    println!(
+        "wrote artifacts/figure{{1,4,6}}.dot and {} controller .dot files",
+        out.controllers.len()
+    );
+    Ok(())
+}
+
+/// Simulated completion times: the performance effect of the loop
+/// parallelism the paper's §3.1 targets (no corresponding figure exists in
+/// the paper; this quantifies its claim).
+fn perf() -> Result<(), Box<dyn std::error::Error>> {
+    use adcs_sim::exec::{execute, ExecOptions};
+    use adcs_sim::DelayModel;
+    println!("== Simulated completion time (DIFFEQ, 5 iterations) ==");
+    let d = diffeq_design()?;
+    let out = run_diffeq_flow()?;
+    println!("{:>24} {:>12} {:>12} {:>9}", "delay model", "original", "transformed", "speedup");
+    for (label, alu, mul) in [
+        ("uniform 1", 1u64, 1u64),
+        ("mul 2x alu", 1, 2),
+        ("mul 4x alu", 1, 4),
+        ("mul 8x alu", 1, 8),
+    ] {
+        let delays = DelayModel::uniform(alu)
+            .with_fu(d.mul1, mul)
+            .with_fu(d.mul2, mul);
+        let before = execute(&d.cdfg, d.initial.clone(), &delays, &ExecOptions::default())?.time;
+        let after = execute(&out.cdfg, d.initial.clone(), &delays, &ExecOptions::default())?.time;
+        println!(
+            "{label:>24} {before:>12} {after:>12} {:>8.2}x",
+            before as f64 / after as f64
+        );
+    }
+    Ok(())
+}
+
+fn figure5() -> Result<(), Box<dyn std::error::Error>> {
+    println!("== Figure 5: communication channel elimination ==");
+    let (mut g, mut channels, _) = diffeq_after_gt1_to_gt4()?;
+    let before = channels.count();
+    apply_gt5(&mut g, &mut channels)?;
+    print!(
+        "{}",
+        figure5_summary(before, channels.count(), channels.multiway_count())
+    );
+    for (i, c) in channels.channels().iter().enumerate() {
+        let recv: Vec<String> = c.receivers.iter().map(|r| format!("{r}")).collect();
+        println!(
+            "  ch{i}: {} -> {{{}}} carrying {} arc(s)",
+            c.sender,
+            recv.join(","),
+            c.arcs.len()
+        );
+    }
+    Ok(())
+}
+
+fn figure12() -> Result<(), Box<dyn std::error::Error>> {
+    println!("== Figure 12: state machine comparison ==");
+    let out = run_diffeq_flow()?;
+    print!("{}", figure12_table(&out));
+    Ok(())
+}
+
+fn figure13() -> Result<(), Box<dyn std::error::Error>> {
+    println!("== Figure 13: gate-level comparison (hazard-free two-level) ==");
+    let out = run_diffeq_flow()?;
+    let mut measured = Vec::new();
+    for c in &out.controllers {
+        let logic = synthesize(&c.machine, SynthOptions::default())?;
+        measured.push((
+            c.machine.name().to_string(),
+            logic.products_single_output(),
+            logic.literals_single_output(),
+        ));
+    }
+    print!("{}", figure13_table(&measured));
+    println!();
+    println!("-- Minimalist-style multi-output synthesis (shared AND plane) --");
+    let mut total = (0usize, 0usize);
+    for c in &out.controllers {
+        let shared = synthesize(
+            &c.machine,
+            SynthOptions { share_products: true, ..SynthOptions::default() },
+        )?;
+        let (p, l) = (shared.products_shared(), shared.literals_shared());
+        total.0 += p;
+        total.1 += l;
+        println!("  {:9} {p:3} shared products / {l:4} literals", c.machine.name());
+    }
+    println!("  total     {}p/{}l (vs single-output above)", total.0, total.1);
+    println!();
+    println!("-- Yun-shaped reconstructions through the same back-end --");
+    let mut total = (0usize, 0usize);
+    for (m, row) in yun_controllers()?.iter().zip(FIGURE_13.iter()) {
+        let logic = synthesize(m, SynthOptions::default())?;
+        let (p, l) = (logic.products_single_output(), logic.literals_single_output());
+        total.0 += p;
+        total.1 += l;
+        println!(
+            "  {:9} measured {p:3}p/{l:4}l   (published {:2}p/{:3}l)",
+            m.name(),
+            row.yun.0,
+            row.yun.1
+        );
+    }
+    println!("  total     measured {}p/{}l   (published 93p/307l)", total.0, total.1);
+    Ok(())
+}

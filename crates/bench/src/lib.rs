@@ -1,0 +1,92 @@
+//! Shared harness code for the benchmark suite and the `reproduce` binary.
+//!
+//! Everything here regenerates data for a specific table or figure of
+//! Theobald & Nowick (DAC 2001); the mapping is indexed in `DESIGN.md` and
+//! the measured-vs-paper comparison lives in `EXPERIMENTS.md`.
+
+use adcs::channel::ChannelMap;
+use adcs::flow::{Flow, FlowOptions, FlowOutcome};
+use adcs::gt::{
+    gt1_loop_parallelism, gt2_remove_dominated, gt3_relative_timing, gt4_merge_assignments,
+    gt5_channel_elimination, Gt5Options,
+};
+use adcs::timing::TimingModel;
+use adcs::SynthError;
+use adcs_cdfg::benchmarks::{diffeq, DiffeqDesign, DiffeqParams};
+use adcs_cdfg::Cdfg;
+
+/// The paper's delay regime: fast ALUs, slow multipliers.
+pub fn paper_timing() -> TimingModel {
+    TimingModel::uniform(1, 2)
+        .with_class("MUL", 2, 4)
+        .with_samples(24)
+}
+
+/// Flow options used for all figure regeneration.
+pub fn paper_flow_options() -> FlowOptions {
+    FlowOptions {
+        timing: paper_timing(),
+        ..FlowOptions::default()
+    }
+}
+
+/// The paper's DIFFEQ case study with its default workload.
+///
+/// # Errors
+///
+/// Never fails for the fixed benchmark; the `Result` mirrors the builders.
+pub fn diffeq_design() -> Result<DiffeqDesign, SynthError> {
+    diffeq(DiffeqParams::default()).map_err(SynthError::from)
+}
+
+/// Runs the full flow on DIFFEQ.
+///
+/// # Errors
+///
+/// Propagates any flow failure.
+pub fn run_diffeq_flow() -> Result<FlowOutcome, SynthError> {
+    let d = diffeq_design()?;
+    Flow::new(d.cdfg.clone(), d.initial.clone()).run(&paper_flow_options())
+}
+
+/// DIFFEQ after GT1–GT4 with its per-arc channel map — the left side of
+/// the paper's Figure 5.
+///
+/// # Errors
+///
+/// Propagates transform failures.
+pub fn diffeq_after_gt1_to_gt4() -> Result<(Cdfg, ChannelMap, DiffeqDesign), SynthError> {
+    let d = diffeq_design()?;
+    let mut g = d.cdfg.clone();
+    gt1_loop_parallelism(&mut g)?;
+    gt2_remove_dominated(&mut g)?;
+    gt3_relative_timing(&mut g, &d.initial, &paper_timing())?;
+    gt4_merge_assignments(&mut g)?;
+    let channels = ChannelMap::per_arc(&g)?;
+    Ok((g, channels, d))
+}
+
+/// Applies GT5 to a Figure-5-left configuration, returning the channel map
+/// of the right side.
+///
+/// # Errors
+///
+/// Propagates transform failures.
+pub fn apply_gt5(g: &mut Cdfg, channels: &mut ChannelMap) -> Result<(), SynthError> {
+    gt5_channel_elimination(g, channels, Gt5Options::default()).map(|_| ())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn harness_reproduces_the_headline_numbers() {
+        let (mut g, mut ch, _) = diffeq_after_gt1_to_gt4().unwrap();
+        assert_eq!(ch.count(), 10);
+        apply_gt5(&mut g, &mut ch).unwrap();
+        assert_eq!(ch.count(), 5);
+        let out = run_diffeq_flow().unwrap();
+        assert_eq!(out.unoptimized.channels, 17);
+    }
+}

@@ -1,0 +1,226 @@
+//! Constraint-graph analyses: weighted reachability and dominated arcs.
+//!
+//! The paper's GT2 ("removal of dominated constraints") removes an arc that
+//! is *implied* by a path of other constraints. With loops in play the right
+//! notion is **weighted**: a forward arc constrains the same loop iteration
+//! (weight 0) while a backward arc — including the `ENDLOOP ~> LOOP`
+//! loop-back — constrains the *next* iteration (weight 1). An arc of weight
+//! `w` is dominated iff some other path from its source to its destination
+//! has total weight ≤ `w`: the path enforces the same ordering at least as
+//! early, because each node's firings are themselves sequentially ordered.
+
+use std::collections::VecDeque;
+
+use crate::graph::Cdfg;
+use crate::ids::{ArcId, NodeId};
+
+/// Iteration-shift weight of an arc: 0 for forward, 1 for backward.
+pub fn arc_weight(g: &Cdfg, id: ArcId) -> u32 {
+    u32::from(g.arc(id).expect("live arc").backward)
+}
+
+/// Whether `dst` is reachable from `src` through live arcs whose total
+/// weight is ≤ `max_weight`, optionally excluding one arc.
+///
+/// Runs a BFS over `(node, spent-weight)` states; with weights in `{0,1}`
+/// the state space is `O(nodes · (max_weight + 1))`.
+pub fn reaches_within(
+    g: &Cdfg,
+    src: NodeId,
+    dst: NodeId,
+    max_weight: u32,
+    exclude: Option<ArcId>,
+) -> bool {
+    let mut best: Vec<Vec<bool>> = Vec::new();
+    let width = (max_weight + 1) as usize;
+    let grow = |best: &mut Vec<Vec<bool>>, idx: usize| {
+        if best.len() <= idx {
+            best.resize_with(idx + 1, || vec![false; width]);
+        }
+    };
+    let mut q = VecDeque::new();
+    grow(&mut best, src.index());
+    best[src.index()][0] = true;
+    q.push_back((src, 0u32));
+    // The path must contain at least one arc, so the target test happens at
+    // edge-relaxation time (this also makes `src == dst` cycle queries work).
+    while let Some((n, w)) = q.pop_front() {
+        for (aid, arc) in g.out_arcs(n) {
+            if Some(aid) == exclude {
+                continue;
+            }
+            let nw = w + u32::from(arc.backward);
+            if nw > max_weight {
+                continue;
+            }
+            if arc.dst == dst {
+                return true;
+            }
+            grow(&mut best, arc.dst.index());
+            if !best[arc.dst.index()][nw as usize] {
+                best[arc.dst.index()][nw as usize] = true;
+                q.push_back((arc.dst, nw));
+            }
+        }
+    }
+    false
+}
+
+/// Whether an arc is dominated by a path of *other* live arcs of total
+/// weight ≤ its own weight (the GT2 test, extended to backward arcs).
+pub fn is_dominated(g: &Cdfg, id: ArcId) -> bool {
+    let arc = match g.arc(id) {
+        Ok(a) => a,
+        Err(_) => return false,
+    };
+    reaches_within(g, arc.src, arc.dst, u32::from(arc.backward), Some(id))
+}
+
+/// All currently-dominated live arcs (a snapshot; removing one may make
+/// another non-dominated, so iterate via [`is_dominated`] when pruning).
+pub fn dominated_arcs(g: &Cdfg) -> Vec<ArcId> {
+    g.arcs().map(|(id, _)| id).filter(|&id| is_dominated(g, id)).collect()
+}
+
+/// Plain reachability over forward arcs only (weight budget 0).
+pub fn reaches_forward(g: &Cdfg, src: NodeId, dst: NodeId) -> bool {
+    reaches_within(g, src, dst, 0, None)
+}
+
+/// Longest forward-path length (in arcs) from `src`, per node. Nodes not
+/// reachable from `src` are absent. Useful for schedule-depth metrics.
+pub fn forward_depths(g: &Cdfg, src: NodeId) -> std::collections::HashMap<NodeId, u32> {
+    use std::collections::HashMap;
+    let order = match crate::validate::forward_topological_order(g) {
+        Ok(o) => o,
+        Err(_) => return HashMap::new(),
+    };
+    let mut depth: HashMap<NodeId, u32> = HashMap::new();
+    depth.insert(src, 0);
+    for n in order {
+        let Some(&d) = depth.get(&n) else { continue };
+        for (_, a) in g.out_arcs(n) {
+            if a.backward {
+                continue;
+            }
+            let e = depth.entry(a.dst).or_insert(0);
+            if d + 1 > *e {
+                *e = d + 1;
+            }
+        }
+    }
+    depth
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::CdfgBuilder;
+    use crate::Role;
+
+    fn chain3() -> (Cdfg, NodeId, NodeId, NodeId) {
+        let mut b = CdfgBuilder::new();
+        let alu = b.add_fu("ALU");
+        let mul = b.add_fu("MUL");
+        let x = b.stmt(mul, "x := p * q").unwrap();
+        let y = b.stmt(alu, "y := x + r").unwrap();
+        let z = b.stmt(mul, "z := y * y").unwrap();
+        (b.finish().unwrap(), x, y, z)
+    }
+
+    #[test]
+    fn forward_reachability() {
+        let (g, x, _, z) = chain3();
+        assert!(reaches_forward(&g, x, z));
+        assert!(!reaches_forward(&g, z, x));
+    }
+
+    #[test]
+    fn direct_arc_shortcutting_a_path_is_dominated() {
+        let (mut g, x, _, z) = chain3();
+        let arc = g.add_arc(x, z, Role::DataDep, false);
+        assert!(is_dominated(&g, arc));
+        assert!(dominated_arcs(&g).contains(&arc));
+    }
+
+    #[test]
+    fn sole_arc_is_not_dominated() {
+        let (g, x, y, _) = chain3();
+        let arc = g
+            .arcs()
+            .find(|(_, a)| a.src == x && a.dst == y)
+            .map(|(id, _)| id)
+            .unwrap();
+        assert!(!is_dominated(&g, arc));
+    }
+
+    #[test]
+    fn backward_arc_dominated_by_forward_plus_loopback() {
+        // Build a loop; a redundant backward arc from a late body node to an
+        // early one is dominated by (late -> ENDLOOP ~> LOOP -> early).
+        let mut b = CdfgBuilder::new();
+        let alu = b.add_fu("ALU");
+        b.stmt(alu, "c := n != 0").unwrap();
+        b.begin_loop(alu, "c");
+        b.stmt(alu, "n := n - 1").unwrap();
+        b.stmt(alu, "c := n != 0").unwrap();
+        b.end_loop(alu).unwrap();
+        let mut g = b.finish().unwrap();
+        let early = g.node_by_label("n := n - 1").unwrap();
+        let late = g
+            .rtl_nodes()
+            .filter(|(_, n)| n.kind.to_string() == "c := n != 0")
+            .map(|(id, _)| id)
+            .max()
+            .unwrap();
+        let bw = g.add_arc(late, early, Role::RegAlloc, true);
+        assert!(is_dominated(&g, bw), "{g:?}");
+    }
+
+    #[test]
+    fn backward_arc_not_dominated_after_endloop_sync_removed() {
+        // Before GT1 every body node reaches ENDLOOP, so any backward arc is
+        // dominated via the loop-back. Once the ENDLOOP synchronization of
+        // the writer is gone (GT1 step A), the backward arc becomes
+        // essential — the DIFFEQ arcs 8/9 situation.
+        let mut b = CdfgBuilder::new();
+        let alu = b.add_fu("ALU");
+        let mul = b.add_fu("MUL");
+        b.stmt(alu, "c := n != 0").unwrap();
+        b.begin_loop(alu, "c");
+        b.stmt(mul, "m := u * u").unwrap();
+        b.stmt(mul, "u := u - m").unwrap();
+        b.stmt(alu, "n := n - 1").unwrap();
+        b.stmt(alu, "c := n != 0").unwrap();
+        b.end_loop(alu).unwrap();
+        let mut g = b.finish().unwrap();
+        let u = g.node_by_label("u := u - m").unwrap();
+        let m = g.node_by_label("m := u * u").unwrap();
+        let bw = g.add_arc(u, m, Role::RegAlloc, true);
+        assert!(is_dominated(&g, bw), "dominated while ENDLOOP sync exists");
+        // Remove every forward arc leaving the writer (its ENDLOOP sync).
+        let out: Vec<_> = g
+            .out_arcs(u)
+            .filter(|(_, a)| !a.backward)
+            .map(|(id, _)| id)
+            .collect();
+        for a in out {
+            g.remove_arc(a).unwrap();
+        }
+        assert!(!is_dominated(&g, bw));
+    }
+
+    #[test]
+    fn self_loop_never_dominates() {
+        let (g, x, _, _) = chain3();
+        // reaching x from x requires a real cycle, which forward arcs forbid
+        assert!(!reaches_within(&g, x, x, 0, None));
+    }
+
+    #[test]
+    fn forward_depths_increase_along_arcs() {
+        let (g, x, y, z) = chain3();
+        let d = forward_depths(&g, g.start());
+        assert!(d[&x] < d[&y] && d[&y] < d[&z]);
+    }
+}

@@ -1,0 +1,223 @@
+//! Constraint arcs: the edges of a CDFG.
+//!
+//! A constraint arc `(a, b)` tells node `b` that it may only fire after `a`
+//! has fired (paper §2.1). One arc may carry several *roles* at once — the
+//! paper's example `(M1 := U*X1, U := U-M1)` is simultaneously a
+//! register-allocation constraint (for `U`) and a data-dependency constraint
+//! (for `M1`) — so roles form a small set, [`ArcRoles`].
+//!
+//! Arcs added by the loop-parallelism transform GT1 are *backward* arcs:
+//! they are pre-enabled during the first execution of a loop body.
+
+use std::fmt;
+
+use crate::ids::NodeId;
+
+/// One reason a constraint arc exists.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Role {
+    /// Control flow (from/to `START`, `END`, `LOOP`, `ENDLOOP`, `IF`, `ENDIF`).
+    Control,
+    /// Scheduling order between operations bound to the same functional unit.
+    Scheduling,
+    /// Data dependency (producer of an operand → consumer).
+    DataDep,
+    /// Register allocation (read-before-overwrite / write ordering).
+    RegAlloc,
+}
+
+impl Role {
+    /// All roles, in a fixed order.
+    pub const ALL: [Role; 4] = [Role::Control, Role::Scheduling, Role::DataDep, Role::RegAlloc];
+
+    fn bit(self) -> u8 {
+        match self {
+            Role::Control => 1,
+            Role::Scheduling => 2,
+            Role::DataDep => 4,
+            Role::RegAlloc => 8,
+        }
+    }
+}
+
+impl fmt::Display for Role {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            Role::Control => "control",
+            Role::Scheduling => "scheduling",
+            Role::DataDep => "data",
+            Role::RegAlloc => "reg-alloc",
+        })
+    }
+}
+
+/// The set of roles carried by one constraint arc.
+#[derive(Clone, Copy, Default, PartialEq, Eq, Hash)]
+pub struct ArcRoles(u8);
+
+impl ArcRoles {
+    /// The empty role set.
+    pub fn empty() -> Self {
+        ArcRoles(0)
+    }
+
+    /// A set containing exactly `role`.
+    pub fn only(role: Role) -> Self {
+        ArcRoles(role.bit())
+    }
+
+    /// Adds a role to the set.
+    pub fn insert(&mut self, role: Role) {
+        self.0 |= role.bit();
+    }
+
+    /// Removes a role from the set.
+    pub fn remove(&mut self, role: Role) {
+        self.0 &= !role.bit();
+    }
+
+    /// Whether the set contains `role`.
+    pub fn contains(self, role: Role) -> bool {
+        self.0 & role.bit() != 0
+    }
+
+    /// Whether the set is empty.
+    pub fn is_empty(self) -> bool {
+        self.0 == 0
+    }
+
+    /// Union of two role sets.
+    pub fn union(self, other: ArcRoles) -> ArcRoles {
+        ArcRoles(self.0 | other.0)
+    }
+
+    /// Iterates the roles present, in [`Role::ALL`] order.
+    pub fn iter(self) -> impl Iterator<Item = Role> {
+        Role::ALL.into_iter().filter(move |r| self.contains(*r))
+    }
+}
+
+impl fmt::Debug for ArcRoles {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_set().entries(self.iter()).finish()
+    }
+}
+
+impl fmt::Display for ArcRoles {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let mut first = true;
+        for r in self.iter() {
+            if !first {
+                f.write_str("+")?;
+            }
+            write!(f, "{r}")?;
+            first = false;
+        }
+        if first {
+            f.write_str("(none)")?;
+        }
+        Ok(())
+    }
+}
+
+impl FromIterator<Role> for ArcRoles {
+    fn from_iter<I: IntoIterator<Item = Role>>(iter: I) -> Self {
+        let mut s = ArcRoles::empty();
+        for r in iter {
+            s.insert(r);
+        }
+        s
+    }
+}
+
+/// A constraint arc of the CDFG.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct CdfgArc {
+    /// Source node: must fire before `dst` may fire.
+    pub src: NodeId,
+    /// Destination node: waits for `src`.
+    pub dst: NodeId,
+    /// Why this arc exists (may be several reasons at once).
+    pub roles: ArcRoles,
+    /// Backward arcs (added by GT1) are pre-enabled for the first loop
+    /// iteration: they constrain iteration `i+1` on iteration `i`.
+    pub backward: bool,
+}
+
+impl CdfgArc {
+    /// Creates a forward arc with a single role.
+    pub fn new(src: NodeId, dst: NodeId, role: Role) -> Self {
+        CdfgArc {
+            src,
+            dst,
+            roles: ArcRoles::only(role),
+            backward: false,
+        }
+    }
+
+    /// Creates a backward (pre-enabled) arc with a single role.
+    pub fn backward(src: NodeId, dst: NodeId, role: Role) -> Self {
+        CdfgArc {
+            src,
+            dst,
+            roles: ArcRoles::only(role),
+            backward: true,
+        }
+    }
+}
+
+impl fmt::Display for CdfgArc {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let dir = if self.backward { "~>" } else { "->" };
+        write!(f, "{} {dir} {} [{}]", self.src, self.dst, self.roles)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roles_insert_remove_contains() {
+        let mut s = ArcRoles::empty();
+        assert!(s.is_empty());
+        s.insert(Role::DataDep);
+        s.insert(Role::RegAlloc);
+        assert!(s.contains(Role::DataDep));
+        assert!(s.contains(Role::RegAlloc));
+        assert!(!s.contains(Role::Control));
+        s.remove(Role::DataDep);
+        assert!(!s.contains(Role::DataDep));
+        assert!(!s.is_empty());
+    }
+
+    #[test]
+    fn roles_union_and_collect() {
+        let a = ArcRoles::only(Role::Control);
+        let b: ArcRoles = [Role::DataDep, Role::Scheduling].into_iter().collect();
+        let u = a.union(b);
+        assert_eq!(u.iter().count(), 3);
+    }
+
+    #[test]
+    fn dual_role_arc_like_the_papers_example() {
+        // (M1 := U*X1, U := U-M1): reg-alloc w.r.t. U *and* data w.r.t. M1.
+        let mut arc = CdfgArc::new(NodeId::from_raw(0), NodeId::from_raw(1), Role::RegAlloc);
+        arc.roles.insert(Role::DataDep);
+        assert!(arc.roles.contains(Role::RegAlloc));
+        assert!(arc.roles.contains(Role::DataDep));
+        assert_eq!(arc.to_string(), "n0 -> n1 [data+reg-alloc]");
+    }
+
+    #[test]
+    fn backward_arc_displays_differently() {
+        let arc = CdfgArc::backward(NodeId::from_raw(3), NodeId::from_raw(0), Role::RegAlloc);
+        assert!(arc.backward);
+        assert!(arc.to_string().contains("~>"));
+    }
+
+    #[test]
+    fn empty_roles_display() {
+        assert_eq!(ArcRoles::empty().to_string(), "(none)");
+    }
+}

@@ -1,0 +1,265 @@
+//! The differential-equation-solver benchmark (paper Figure 1).
+//!
+//! Solves `y'' + 3xy' + 3y = 0` by forward Euler with step `dx`:
+//!
+//! ```text
+//! while (x < a) {
+//!     x1 = x + dx;
+//!     u1 = u - 3*x*u*dx - 3*y*dx;   // = u - 3dx*(x*u + y)
+//!     y1 = y + u*dx;
+//!     x = x1; u = u1; y = y1;
+//! }
+//! ```
+//!
+//! scheduled and bound to four units exactly as in the paper: two ALUs and
+//! two multipliers, with `LOOP`/`ENDLOOP` bound to ALU2 and the
+//! loop-invariant `B := 2dx + dx` (`B = 3dx`) on ALU1 before the loop:
+//!
+//! | slot | ALU1          | MUL1            | MUL2           | ALU2           |
+//! |------|---------------|-----------------|----------------|----------------|
+//! | pre  | B := 2dx + dx |                 |                |                |
+//! | t1   |               | M1 := U * X1    | M2 := U * dx   | X := X + dx    |
+//! | t2   | A := Y + M1   |                 |                | Y := Y + M2    |
+//! | t3   |               | M1 := A * B     |                | X1 := X        |
+//! | t4   | U := U - M1   |                 |                | C := X < a     |
+//!
+//! With the arc-derivation rules of [`crate::builder`], this graph has
+//! exactly the 17 inter-unit constraint arcs of Figure 12, row 1.
+
+use crate::builder::CdfgBuilder;
+use crate::error::CdfgError;
+use crate::graph::Cdfg;
+use crate::ids::FuId;
+
+use super::{reg_file, RegFile};
+
+/// Numeric parameters of a DIFFEQ run (all fixed-point integers).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct DiffeqParams {
+    /// Initial `x`.
+    pub x0: i64,
+    /// Initial `y`.
+    pub y0: i64,
+    /// Initial `u` (= `y'`).
+    pub u0: i64,
+    /// Step size `dx`.
+    pub dx: i64,
+    /// Upper bound `a`: iterate while `x < a`.
+    pub a: i64,
+}
+
+impl Default for DiffeqParams {
+    fn default() -> Self {
+        // Small integer workload: 5 iterations.
+        DiffeqParams {
+            x0: 0,
+            y0: 1,
+            u0: 1,
+            dx: 1,
+            a: 5,
+        }
+    }
+}
+
+/// The DIFFEQ benchmark: graph plus unit handles and initial registers.
+#[derive(Clone, Debug)]
+pub struct DiffeqDesign {
+    /// The scheduled, resource-bound CDFG.
+    pub cdfg: Cdfg,
+    /// First ALU (executes `B := 2dx+dx`, `A := Y+M1`, `U := U-M1`).
+    pub alu1: FuId,
+    /// Second ALU (executes the ALU2 column and `LOOP`/`ENDLOOP`).
+    pub alu2: FuId,
+    /// First multiplier (`M1 := U*X1`, `M1 := A*B`).
+    pub mul1: FuId,
+    /// Second multiplier (`M2 := U*dx`).
+    pub mul2: FuId,
+    /// Numeric parameters the initial register file was built from.
+    pub params: DiffeqParams,
+    /// Initial register file for simulation.
+    pub initial: RegFile,
+}
+
+/// Builds the DIFFEQ benchmark with the given parameters.
+///
+/// # Errors
+///
+/// Never fails for the fixed benchmark program; the `Result` mirrors the
+/// builder API.
+pub fn diffeq(params: DiffeqParams) -> Result<DiffeqDesign, CdfgError> {
+    let mut b = CdfgBuilder::new();
+    let alu1 = b.add_fu("ALU1");
+    let mul1 = b.add_fu("MUL1");
+    let mul2 = b.add_fu("MUL2");
+    let alu2 = b.add_fu("ALU2");
+
+    b.stmt(alu1, "B := 2dx + dx")?;
+
+    b.begin_loop(alu2, "C");
+    // t1
+    b.stmt(mul1, "M1 := U * X1")?;
+    b.stmt(mul2, "M2 := U * dx")?;
+    b.stmt(alu2, "X := X + dx")?;
+    // t2
+    b.stmt(alu1, "A := Y + M1")?;
+    b.stmt(alu2, "Y := Y + M2")?;
+    // t3
+    b.stmt(mul1, "M1 := A * B")?;
+    b.stmt(alu2, "X1 := X")?;
+    // t4
+    b.stmt(alu1, "U := U - M1")?;
+    b.stmt(alu2, "C := X < a")?;
+    b.end_loop(alu2)?;
+
+    let cdfg = b.finish()?;
+    let initial = initial_registers(params);
+    Ok(DiffeqDesign {
+        cdfg,
+        alu1,
+        alu2,
+        mul1,
+        mul2,
+        params,
+        initial,
+    })
+}
+
+fn initial_registers(p: DiffeqParams) -> RegFile {
+    reg_file([
+        ("X", p.x0),
+        ("Y", p.y0),
+        ("U", p.u0),
+        ("X1", p.x0),
+        ("dx", p.dx),
+        ("2dx", 2 * p.dx),
+        ("a", p.a),
+        // The environment precomputes the entry condition.
+        ("C", i64::from(p.x0 < p.a)),
+        ("A", 0),
+        ("B", 0),
+        ("M1", 0),
+        ("M2", 0),
+    ])
+}
+
+/// Pure-software reference model: runs the Euler iteration directly and
+/// returns the final `(x, y, u)`.
+pub fn diffeq_reference(p: DiffeqParams) -> (i64, i64, i64) {
+    let (mut x, mut y, mut u) = (p.x0, p.y0, p.u0);
+    let b = 3 * p.dx; // B := 2dx + dx
+    while x < p.a {
+        let m1 = u.wrapping_mul(x); // M1 := U * X1 (old x)
+        let m2 = u.wrapping_mul(p.dx); // M2 := U * dx (old u)
+        let a_reg = y.wrapping_add(m1); // A := Y + M1 (old y)
+        let m1b = a_reg.wrapping_mul(b); // M1 := A * B
+        x = x.wrapping_add(p.dx); // X := X + dx
+        y = y.wrapping_add(m2); // Y := Y + M2
+        u = u.wrapping_sub(m1b); // U := U - M1
+    }
+    (x, y, u)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::node::NodeKind;
+
+    #[test]
+    fn builds_and_validates() {
+        let d = diffeq(DiffeqParams::default()).unwrap();
+        assert_eq!(d.cdfg.fus().count(), 4);
+        // 10 RTL statements + LOOP + ENDLOOP + START + END
+        assert_eq!(d.cdfg.node_count(), 14);
+    }
+
+    #[test]
+    fn has_exactly_17_inter_unit_arcs_like_figure_12() {
+        let d = diffeq(DiffeqParams::default()).unwrap();
+        assert_eq!(d.cdfg.inter_fu_arcs().len(), 17);
+    }
+
+    #[test]
+    fn papers_example_arcs_exist() {
+        let d = diffeq(DiffeqParams::default()).unwrap();
+        let g = &d.cdfg;
+        let node = |l: &str| g.node_by_label(l).unwrap();
+        let has_arc = |a, b| g.succs(a).any(|n| n == b);
+
+        // §2.1's worked examples:
+        let loop_node = g
+            .nodes()
+            .find(|(_, n)| matches!(n.kind, NodeKind::Loop { .. }))
+            .map(|(id, _)| id)
+            .unwrap();
+        assert!(has_arc(loop_node, node("A := Y + M1")), "control (LOOP, A:=Y+M1)");
+        assert!(
+            has_arc(node("A := Y + M1"), node("U := U - M1")),
+            "scheduling (A:=Y+M1, U:=U-M1)"
+        );
+        assert!(
+            has_arc(node("M1 := U * X1"), node("A := Y + M1")),
+            "data (M1:=U*X1, A:=Y+M1)"
+        );
+        assert!(
+            has_arc(node("A := Y + M1"), node("M1 := A * B")),
+            "data (A:=Y+M1, M1:=A*B)"
+        );
+        assert!(
+            has_arc(node("M1 := U * X1"), node("U := U - M1")),
+            "reg-alloc (M1:=U*X1, U:=U-M1)"
+        );
+        assert!(
+            has_arc(node("M2 := U * dx"), node("U := U - M1")),
+            "reg-alloc arc 10 (M2:=U*dx, U:=U-M1)"
+        );
+    }
+
+    #[test]
+    fn x1_is_an_assignment_node() {
+        let d = diffeq(DiffeqParams::default()).unwrap();
+        let x1 = d.cdfg.node_by_label("X1 := X").unwrap();
+        assert!(matches!(
+            d.cdfg.node(x1).unwrap().kind,
+            NodeKind::Assign { .. }
+        ));
+    }
+
+    #[test]
+    fn reference_model_matches_hand_computation() {
+        // One iteration by hand: x0=0,y0=1,u0=1,dx=1,a=1.
+        // m1 = 1*0 = 0; m2 = 1*1 = 1; A = 1+0 = 1; m1b = 1*3 = 3;
+        // x = 1; y = 2; u = 1-3 = -2.
+        assert_eq!(
+            diffeq_reference(DiffeqParams {
+                x0: 0,
+                y0: 1,
+                u0: 1,
+                dx: 1,
+                a: 1
+            }),
+            (1, 2, -2)
+        );
+    }
+
+    #[test]
+    fn reference_model_skips_loop_when_entry_condition_false() {
+        let p = DiffeqParams {
+            x0: 9,
+            y0: 1,
+            u0: 1,
+            dx: 1,
+            a: 5,
+        };
+        assert_eq!(diffeq_reference(p), (9, 1, 1));
+    }
+
+    #[test]
+    fn initial_registers_cover_every_read() {
+        let d = diffeq(DiffeqParams::default()).unwrap();
+        for (_, n) in d.cdfg.nodes() {
+            for r in n.kind.reads() {
+                assert!(d.initial.contains_key(r), "missing initial value for {r}");
+            }
+        }
+    }
+}

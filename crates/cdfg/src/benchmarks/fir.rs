@@ -1,0 +1,135 @@
+//! A 4-tap FIR filter stage — a straight-line design with several pure
+//! assignment nodes (the delay-line shift), giving the GT4
+//! assignment-merging and GT5 channel transforms plenty to do.
+//!
+//! ```text
+//! m0 := x0 * c0      (MUL1)      s1 := m0 + m1  (ALU1)
+//! m1 := x1 * c1      (MUL2)      s2 := m2 + m3  (ALU2)
+//! m2 := x2 * c2      (MUL1)      y  := s1 + s2  (ALU1)
+//! m3 := x3 * c3      (MUL2)
+//! x3 := x2; x2 := x1; x1 := x0; x0 := xin      (moves on ALU2)
+//! ```
+
+use crate::builder::CdfgBuilder;
+use crate::error::CdfgError;
+use crate::graph::Cdfg;
+use crate::ids::FuId;
+
+use super::{reg_file, RegFile};
+
+/// The FIR benchmark design.
+#[derive(Clone, Debug)]
+pub struct FirDesign {
+    /// The scheduled, resource-bound CDFG.
+    pub cdfg: Cdfg,
+    /// Adder units.
+    pub alu1: FuId,
+    /// Second adder.
+    pub alu2: FuId,
+    /// Multiplier units.
+    pub mul1: FuId,
+    /// Second multiplier.
+    pub mul2: FuId,
+    /// Initial register file.
+    pub initial: RegFile,
+}
+
+/// Builds the FIR stage with delay line `xs`, coefficients `cs`, and the
+/// incoming sample `xin`.
+///
+/// # Errors
+///
+/// Never fails for the fixed benchmark program; the `Result` mirrors the
+/// builder API.
+pub fn fir(xs: [i64; 4], cs: [i64; 4], xin: i64) -> Result<FirDesign, CdfgError> {
+    let mut b = CdfgBuilder::new();
+    let alu1 = b.add_fu("ALU1");
+    let alu2 = b.add_fu("ALU2");
+    let mul1 = b.add_fu("MUL1");
+    let mul2 = b.add_fu("MUL2");
+
+    b.stmt(mul1, "m0 := x0 * c0")?;
+    b.stmt(mul2, "m1 := x1 * c1")?;
+    b.stmt(mul1, "m2 := x2 * c2")?;
+    b.stmt(mul2, "m3 := x3 * c3")?;
+    b.stmt(alu1, "s1 := m0 + m1")?;
+    b.stmt(alu2, "s2 := m2 + m3")?;
+    // Delay-line shift: pure moves, GT4 candidates.
+    b.stmt(alu2, "x3 := x2")?;
+    b.stmt(alu2, "x2 := x1")?;
+    b.stmt(alu2, "x1 := x0")?;
+    b.stmt(alu2, "x0 := xin")?;
+    b.stmt(alu1, "y := s1 + s2")?;
+
+    let cdfg = b.finish()?;
+    let initial = reg_file([
+        ("x0", xs[0]),
+        ("x1", xs[1]),
+        ("x2", xs[2]),
+        ("x3", xs[3]),
+        ("c0", cs[0]),
+        ("c1", cs[1]),
+        ("c2", cs[2]),
+        ("c3", cs[3]),
+        ("xin", xin),
+        ("m0", 0),
+        ("m1", 0),
+        ("m2", 0),
+        ("m3", 0),
+        ("s1", 0),
+        ("s2", 0),
+        ("y", 0),
+    ]);
+    Ok(FirDesign {
+        cdfg,
+        alu1,
+        alu2,
+        mul1,
+        mul2,
+        initial,
+    })
+}
+
+/// Pure-software reference: `(y, shifted delay line)`.
+pub fn fir_reference(xs: [i64; 4], cs: [i64; 4], xin: i64) -> (i64, [i64; 4]) {
+    let y = xs
+        .iter()
+        .zip(cs.iter())
+        .map(|(x, c)| x.wrapping_mul(*c))
+        .fold(0i64, i64::wrapping_add);
+    (y, [xin, xs[0], xs[1], xs[2]])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::node::NodeKind;
+
+    #[test]
+    fn builds_and_validates() {
+        let d = fir([1, 2, 3, 4], [1, 1, 1, 1], 9).unwrap();
+        assert_eq!(d.cdfg.fus().count(), 4);
+        let moves = d
+            .cdfg
+            .nodes()
+            .filter(|(_, n)| matches!(n.kind, NodeKind::Assign { .. }))
+            .count();
+        assert_eq!(moves, 4);
+    }
+
+    #[test]
+    fn reference_results() {
+        let (y, line) = fir_reference([1, 2, 3, 4], [4, 3, 2, 1], 7);
+        assert_eq!(y, 4 + 6 + 6 + 4);
+        assert_eq!(line, [7, 1, 2, 3]);
+    }
+
+    #[test]
+    fn shift_ordering_constraints_exist() {
+        // `x3 := x2` must read x2 before `x2 := x1` overwrites it.
+        let d = fir([1, 2, 3, 4], [1, 1, 1, 1], 9).unwrap();
+        let r = d.cdfg.node_by_label("x3 := x2").unwrap();
+        let w = d.cdfg.node_by_label("x2 := x1").unwrap();
+        assert!(d.cdfg.succs(r).any(|n| n == w));
+    }
+}

@@ -1,0 +1,132 @@
+//! Euclid's subtractive GCD — a loop with an `IF`/`ELSE` inside, exercising
+//! the conditional-node support of the CDFG and the conditional bursts of
+//! the extracted controllers.
+//!
+//! ```text
+//! c := x != y
+//! while (c) {
+//!     d := x < y
+//!     if (d) { y := y - x } else { x := x - y }
+//!     c := x != y
+//! }
+//! ```
+//!
+//! Bound to two units: a comparator ALU (`CMP`) that also hosts the
+//! `LOOP`/`ENDLOOP`/`IF`/`ENDIF` nodes, and a subtractor ALU (`SUB`).
+
+use crate::builder::CdfgBuilder;
+use crate::error::CdfgError;
+use crate::graph::Cdfg;
+use crate::ids::FuId;
+
+use super::{reg_file, RegFile};
+
+/// The GCD benchmark design.
+#[derive(Clone, Debug)]
+pub struct GcdDesign {
+    /// The scheduled, resource-bound CDFG.
+    pub cdfg: Cdfg,
+    /// Comparison unit (hosts the structural nodes).
+    pub cmp: FuId,
+    /// Subtraction unit.
+    pub sub: FuId,
+    /// Initial register file.
+    pub initial: RegFile,
+}
+
+/// Builds the GCD benchmark computing `gcd(x0, y0)`.
+///
+/// # Errors
+///
+/// Never fails for the fixed benchmark program; the `Result` mirrors the
+/// builder API.
+pub fn gcd(x0: i64, y0: i64) -> Result<GcdDesign, CdfgError> {
+    let mut b = CdfgBuilder::new();
+    let cmp = b.add_fu("CMP");
+    let sub = b.add_fu("SUB");
+
+    b.stmt(cmp, "c := x != y")?;
+    b.begin_loop(cmp, "c");
+    b.stmt(cmp, "d := x < y")?;
+    b.begin_if(cmp, "d");
+    b.stmt(sub, "y := y - x")?;
+    b.begin_else()?;
+    b.stmt(sub, "x := x - y")?;
+    b.end_if(cmp)?;
+    b.stmt(cmp, "c := x != y")?;
+    b.end_loop(cmp)?;
+
+    let cdfg = b.finish()?;
+    let initial = reg_file([
+        ("x", x0),
+        ("y", y0),
+        ("c", i64::from(x0 != y0)),
+        ("d", 0),
+    ]);
+    Ok(GcdDesign {
+        cdfg,
+        cmp,
+        sub,
+        initial,
+    })
+}
+
+/// Pure-software reference: the subtractive GCD result.
+///
+/// # Panics
+///
+/// Panics if either input is non-positive (the subtractive algorithm does
+/// not terminate there).
+pub fn gcd_reference(x0: i64, y0: i64) -> i64 {
+    assert!(x0 > 0 && y0 > 0, "subtractive gcd needs positive inputs");
+    let (mut x, mut y) = (x0, y0);
+    while x != y {
+        if x < y {
+            y -= x;
+        } else {
+            x -= y;
+        }
+    }
+    x
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::node::NodeKind;
+
+    #[test]
+    fn builds_and_validates() {
+        let d = gcd(12, 18).unwrap();
+        assert_eq!(d.cdfg.fus().count(), 2);
+        assert!(d
+            .cdfg
+            .nodes()
+            .any(|(_, n)| matches!(n.kind, NodeKind::If { .. })));
+    }
+
+    #[test]
+    fn reference_results() {
+        assert_eq!(gcd_reference(12, 18), 6);
+        assert_eq!(gcd_reference(7, 13), 1);
+        assert_eq!(gcd_reference(9, 9), 9);
+        assert_eq!(gcd_reference(100, 75), 25);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn reference_rejects_nonpositive() {
+        gcd_reference(0, 4);
+    }
+
+    #[test]
+    fn branch_statements_are_in_distinct_blocks() {
+        let d = gcd(4, 6).unwrap();
+        let t = d.cdfg.node_by_label("y := y - x").unwrap();
+        let e = d.cdfg.node_by_label("x := x - y").unwrap();
+        assert_ne!(
+            d.cdfg.node(t).unwrap().block,
+            d.cdfg.node(e).unwrap().block
+        );
+    }
+}

@@ -1,0 +1,938 @@
+//! Builds a scheduled, resource-bound [`Cdfg`] from a bound RTL program and
+//! derives **all** constraint arcs automatically.
+//!
+//! The arc-generation rules follow the paper (§2.1) and are documented in
+//! `DESIGN.md` §4. In brief, for every block (outer scope, loop body, or
+//! conditional branch), walking the items in program order:
+//!
+//! * **Scheduling** arcs chain consecutive nodes bound to the same unit,
+//!   when the chain does not illegally cross a block boundary.
+//! * **Data-dependency** arcs run from the latest in-block writer of a
+//!   register to each reader. A read with *no* in-block writer is an
+//!   *entry* dependency and attaches at the block root (`LOOP`/`IF`) —
+//!   this is the paper's control arc `(LOOP, A := Y + M1)`.
+//! * **Register-allocation** arcs run from every reader of the old value
+//!   to the overwriting statement (and writer → writer when unread).
+//! * Every unit's **last** node in a loop body gets an arc to `ENDLOOP`
+//!   (the arcs removed by GT1 step A); the `ENDLOOP → LOOP` loop-back is a
+//!   weight-1 (backward) control arc.
+//! * Nested blocks act as composite items: seen from the parent they read
+//!   their *free* registers and write everything their body writes, with
+//!   all arcs attached at the block root node — the paper's rule that arcs
+//!   "can only enter or exit at the block root node".
+//!
+//! On the paper's DIFFEQ benchmark these rules produce exactly the
+//! 17 inter-unit constraint arcs reported in Figure 12 (first row).
+
+use std::collections::HashMap;
+
+use crate::error::CdfgError;
+use crate::graph::{BlockKind, Cdfg};
+use crate::ids::{BlockId, FuId, NodeId};
+use crate::node::{Node, NodeKind};
+use crate::rtl::{Reg, RtlStatement};
+use crate::validate;
+use crate::Role;
+
+/// One item of a block in program order: a plain node or a nested block.
+#[derive(Clone, Debug)]
+enum Item {
+    Node(NodeId),
+    Loop {
+        head: NodeId,
+        tail: NodeId,
+        body: BlockId,
+        cond: Reg,
+    },
+    If {
+        head: NodeId,
+        tail: NodeId,
+        then_block: BlockId,
+        else_block: BlockId,
+        cond: Reg,
+    },
+}
+
+impl Item {
+    /// Where incoming constraints attach: the node that must be allowed to
+    /// fire (block root for composites).
+    fn attach_node(&self) -> NodeId {
+        match self {
+            Item::Node(n) => *n,
+            Item::Loop { head, .. } | Item::If { head, .. } => *head,
+        }
+    }
+
+    /// Where outgoing ordering attaches: the node whose completion proves
+    /// the item's reads/writes happened. A conditional completes at its
+    /// `ENDIF` join; a loop's exit decision is taken at the `LOOP` head.
+    fn source_node(&self) -> NodeId {
+        match self {
+            Item::Node(n) => *n,
+            Item::Loop { head, .. } => *head,
+            Item::If { tail, .. } => *tail,
+        }
+    }
+}
+
+#[derive(Debug)]
+enum Frame {
+    Loop {
+        head: NodeId,
+        body: BlockId,
+        cond: Reg,
+        items: Vec<Item>,
+    },
+    IfThen {
+        head: NodeId,
+        then_block: BlockId,
+        else_block: BlockId,
+        cond: Reg,
+        items: Vec<Item>,
+    },
+    IfElse {
+        head: NodeId,
+        then_block: BlockId,
+        else_block: BlockId,
+        cond: Reg,
+        then_items: Vec<Item>,
+        items: Vec<Item>,
+    },
+}
+
+/// Builder for scheduled, resource-bound CDFGs.
+///
+/// Statements are added in schedule order; per-unit order of `stmt` calls
+/// *is* the unit's schedule. See the crate-level example.
+#[derive(Debug)]
+pub struct CdfgBuilder {
+    g: Cdfg,
+    outer: BlockId,
+    outer_items: Vec<Item>,
+    stack: Vec<Frame>,
+    seq: u32,
+    /// Finished loop bodies, by block id (kept out-of-line so nested blocks
+    /// can be re-walked after the frame is popped).
+    loop_bodies: Vec<(BlockId, Vec<Item>)>,
+    /// Finished conditional branches, by block id.
+    if_bodies: Vec<(BlockId, Vec<Item>)>,
+}
+
+impl Default for CdfgBuilder {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl CdfgBuilder {
+    /// Creates an empty builder (with an implicit `START` node).
+    pub fn new() -> Self {
+        let mut g = Cdfg::new();
+        let outer = g.add_block(None, BlockKind::Outer);
+        g.add_node(Node {
+            kind: NodeKind::Start,
+            fu: None,
+            block: outer,
+            seq: 0,
+        });
+        CdfgBuilder {
+            g,
+            outer,
+            outer_items: Vec::new(),
+            stack: Vec::new(),
+            seq: 1,
+            loop_bodies: Vec::new(),
+            if_bodies: Vec::new(),
+        }
+    }
+
+    /// Registers a functional unit.
+    pub fn add_fu(&mut self, name: impl Into<String>) -> FuId {
+        self.g.add_fu(name)
+    }
+
+    fn next_seq(&mut self) -> u32 {
+        let s = self.seq;
+        self.seq += 1;
+        s
+    }
+
+    fn current_block(&self) -> BlockId {
+        match self.stack.last() {
+            None => self.outer,
+            Some(Frame::Loop { body, .. }) => *body,
+            Some(Frame::IfThen { then_block, .. }) => *then_block,
+            Some(Frame::IfElse { else_block, .. }) => *else_block,
+        }
+    }
+
+    fn push_item(&mut self, item: Item) {
+        match self.stack.last_mut() {
+            None => self.outer_items.push(item),
+            Some(Frame::Loop { items, .. })
+            | Some(Frame::IfThen { items, .. })
+            | Some(Frame::IfElse { items, .. }) => items.push(item),
+        }
+    }
+
+    /// Adds an RTL statement (parsed from text) bound to `fu`.
+    ///
+    /// Pure moves (`X1 := X`) become assignment nodes — the GT4 merge
+    /// candidates; everything else becomes an operation node.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CdfgError::ParseRtl`] if `text` is not valid RTL syntax.
+    pub fn stmt(&mut self, fu: FuId, text: &str) -> Result<NodeId, CdfgError> {
+        let stmt: RtlStatement = text.parse()?;
+        Ok(self.stmt_rtl(fu, stmt))
+    }
+
+    /// Adds an already-parsed RTL statement bound to `fu`.
+    pub fn stmt_rtl(&mut self, fu: FuId, stmt: RtlStatement) -> NodeId {
+        let kind = if stmt.is_move() {
+            NodeKind::Assign { stmt }
+        } else {
+            NodeKind::Op {
+                stmt,
+                merged: Vec::new(),
+            }
+        };
+        let seq = self.next_seq();
+        let block = self.current_block();
+        let id = self.g.add_node(Node {
+            kind,
+            fu: Some(fu),
+            block,
+            seq,
+        });
+        self.push_item(Item::Node(id));
+        id
+    }
+
+    /// Opens a loop whose head examines condition register `cond` each
+    /// iteration. The `LOOP` node is bound to `fu` (the paper binds DIFFEQ's
+    /// `LOOP`/`ENDLOOP` to ALU2).
+    pub fn begin_loop(&mut self, fu: FuId, cond: impl Into<Reg>) -> NodeId {
+        let cond = cond.into();
+        let seq = self.next_seq();
+        let parent = self.current_block();
+        let head = self.g.add_node(Node {
+            kind: NodeKind::Loop { cond: cond.clone() },
+            fu: Some(fu),
+            block: parent,
+            seq,
+        });
+        let body = self.g.add_block(
+            Some(parent),
+            BlockKind::LoopBody { head, tail: head },
+        );
+        self.stack.push(Frame::Loop {
+            head,
+            body,
+            cond,
+            items: Vec::new(),
+        });
+        head
+    }
+
+    /// Closes the innermost loop with an `ENDLOOP` node bound to `fu`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CdfgError::UnbalancedBlocks`] if no loop is open.
+    pub fn end_loop(&mut self, fu: FuId) -> Result<NodeId, CdfgError> {
+        match self.stack.pop() {
+            Some(Frame::Loop {
+                head,
+                body,
+                cond,
+                items,
+            }) => {
+                let seq = self.next_seq();
+                let parent = self.current_block();
+                let tail = self.g.add_node(Node {
+                    kind: NodeKind::EndLoop,
+                    fu: Some(fu),
+                    block: parent,
+                    seq,
+                });
+                self.g.set_block_kind(body, BlockKind::LoopBody { head, tail });
+                self.push_item(Item::Loop {
+                    head,
+                    tail,
+                    body,
+                    cond,
+                });
+                // Stash the body items on the loop frame's replacement:
+                self.loop_bodies.push((body, items));
+                Ok(tail)
+            }
+            other => {
+                if let Some(f) = other {
+                    self.stack.push(f);
+                }
+                Err(CdfgError::UnbalancedBlocks("end_loop without begin_loop".into()))
+            }
+        }
+    }
+
+    /// Opens a conditional examining `cond`; statements until
+    /// [`Self::begin_else`]/[`Self::end_if`] form the *then* branch.
+    pub fn begin_if(&mut self, fu: FuId, cond: impl Into<Reg>) -> NodeId {
+        let cond = cond.into();
+        let seq = self.next_seq();
+        let parent = self.current_block();
+        let head = self.g.add_node(Node {
+            kind: NodeKind::If { cond: cond.clone() },
+            fu: Some(fu),
+            block: parent,
+            seq,
+        });
+        let then_block = self.g.add_block(
+            Some(parent),
+            BlockKind::ThenBranch { head, tail: head },
+        );
+        let else_block = self.g.add_block(
+            Some(parent),
+            BlockKind::ElseBranch { head, tail: head },
+        );
+        self.stack.push(Frame::IfThen {
+            head,
+            then_block,
+            else_block,
+            cond,
+            items: Vec::new(),
+        });
+        head
+    }
+
+    /// Switches from the *then* branch to the *else* branch.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CdfgError::UnbalancedBlocks`] if no conditional is open or
+    /// `begin_else` was already called.
+    pub fn begin_else(&mut self) -> Result<(), CdfgError> {
+        match self.stack.pop() {
+            Some(Frame::IfThen {
+                head,
+                then_block,
+                else_block,
+                cond,
+                items,
+            }) => {
+                self.stack.push(Frame::IfElse {
+                    head,
+                    then_block,
+                    else_block,
+                    cond,
+                    then_items: items,
+                    items: Vec::new(),
+                });
+                Ok(())
+            }
+            other => {
+                if let Some(f) = other {
+                    self.stack.push(f);
+                }
+                Err(CdfgError::UnbalancedBlocks("begin_else without begin_if".into()))
+            }
+        }
+    }
+
+    /// Closes the innermost conditional with an `ENDIF` node bound to `fu`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CdfgError::UnbalancedBlocks`] if no conditional is open.
+    pub fn end_if(&mut self, fu: FuId) -> Result<NodeId, CdfgError> {
+        let (head, then_block, else_block, cond, then_items, else_items) = match self.stack.pop() {
+            Some(Frame::IfThen {
+                head,
+                then_block,
+                else_block,
+                cond,
+                items,
+            }) => (head, then_block, else_block, cond, items, Vec::new()),
+            Some(Frame::IfElse {
+                head,
+                then_block,
+                else_block,
+                cond,
+                then_items,
+                items,
+            }) => (head, then_block, else_block, cond, then_items, items),
+            other => {
+                if let Some(f) = other {
+                    self.stack.push(f);
+                }
+                return Err(CdfgError::UnbalancedBlocks("end_if without begin_if".into()));
+            }
+        };
+        let seq = self.next_seq();
+        let parent = self.current_block();
+        let tail = self.g.add_node(Node {
+            kind: NodeKind::EndIf,
+            fu: Some(fu),
+            block: parent,
+            seq,
+        });
+        self.g
+            .set_block_kind(then_block, BlockKind::ThenBranch { head, tail });
+        self.g
+            .set_block_kind(else_block, BlockKind::ElseBranch { head, tail });
+        self.push_item(Item::If {
+            head,
+            tail,
+            then_block,
+            else_block,
+            cond,
+        });
+        self.if_bodies.push((then_block, then_items));
+        self.if_bodies.push((else_block, else_items));
+        Ok(tail)
+    }
+
+    /// Finishes the build: creates the `END` node, derives every constraint
+    /// arc, validates the graph, and returns it.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if blocks are unbalanced or the derived graph fails
+    /// [`crate::validate::validate`].
+    pub fn finish(mut self) -> Result<Cdfg, CdfgError> {
+        if !self.stack.is_empty() {
+            return Err(CdfgError::UnbalancedBlocks(format!(
+                "{} block(s) left open",
+                self.stack.len()
+            )));
+        }
+        let seq = self.next_seq();
+        let end = self.g.add_node(Node {
+            kind: NodeKind::End,
+            fu: None,
+            block: self.outer,
+            seq,
+        });
+
+        self.add_scheduling_arcs();
+
+        let outer_items = std::mem::take(&mut self.outer_items);
+        self.walk_block(&outer_items, None)?;
+        self.sequence_exits(&outer_items, Some(end));
+
+        // Entry/exit fallbacks for the outer block.
+        let start = self.g.start();
+        let no_in: Vec<NodeId> = outer_items
+            .iter()
+            .map(Item::attach_node)
+            .filter(|&n| self.g.in_arcs(n).count() == 0)
+            .collect();
+        for n in no_in {
+            self.g.add_arc(start, n, Role::Control, false);
+        }
+        if self.g.in_arcs(start).count() == 0 && outer_items.is_empty() {
+            self.g.add_arc(start, end, Role::Control, false);
+        }
+        let sinks: Vec<NodeId> = outer_items
+            .iter()
+            .filter_map(|it| match it {
+                Item::Node(n) => Some(*n),
+                _ => None,
+            })
+            .filter(|&n| self.g.out_arcs(n).count() == 0)
+            .collect();
+        for n in sinks {
+            self.g.add_arc(n, end, Role::Control, false);
+        }
+        if self.g.in_arcs(end).count() == 0 {
+            // Program consisting only of statements that all have successors
+            // (rare) or only a loop already handled by sequence_exits.
+            self.g.add_arc(start, end, Role::Control, false);
+        }
+
+        validate::validate(&self.g)?;
+        Ok(self.g)
+    }
+
+    // ------------------------------------------------------------------
+    // Arc derivation
+    // ------------------------------------------------------------------
+
+    /// Scheduling arcs: chain consecutive same-unit nodes where legal.
+    fn add_scheduling_arcs(&mut self) {
+        let fus: Vec<FuId> = self.g.fus().map(|(id, _)| id).collect();
+        for fu in fus {
+            let sched = self.g.fu_schedule(fu);
+            for pair in sched.windows(2) {
+                let (a, b) = (pair[0], pair[1]);
+                if self.sched_allowed(a, b) {
+                    self.g.add_arc(a, b, Role::Scheduling, false);
+                }
+            }
+        }
+    }
+
+    /// Whether a scheduling arc `a -> b` respects the block structure:
+    /// same block, or `a` roots the block chain of `b`, or `b` closes the
+    /// block chain of `a`.
+    fn sched_allowed(&self, a: NodeId, b: NodeId) -> bool {
+        let (ba, bb) = (
+            self.g.node(a).expect("live node").block,
+            self.g.node(b).expect("live node").block,
+        );
+        if ba == bb {
+            return true;
+        }
+        for (blk, info) in self.g.blocks() {
+            if info.kind.head() == Some(a) && self.g.block_contains(blk, bb) {
+                return true;
+            }
+            if info.kind.tail() == Some(b) && self.g.block_contains(blk, ba) {
+                return true;
+            }
+        }
+        false
+    }
+
+    /// Reads of an item as seen from its enclosing block (free reads for
+    /// composites), and its writes.
+    fn item_io(&self, item: &Item) -> (Vec<Reg>, Vec<Reg>) {
+        match item {
+            Item::Node(n) => {
+                let k = &self.g.node(*n).expect("live node").kind;
+                (
+                    k.reads().into_iter().cloned().collect(),
+                    k.writes().into_iter().cloned().collect(),
+                )
+            }
+            Item::Loop { body, cond, .. } => {
+                let (mut reads, writes) = self.block_io(*body);
+                if !reads.contains(cond) {
+                    reads.push(cond.clone());
+                }
+                (reads, writes)
+            }
+            Item::If {
+                then_block,
+                else_block,
+                cond,
+                ..
+            } => {
+                let (r1, mut w1) = self.block_io(*then_block);
+                let (r2, w2) = self.block_io(*else_block);
+                let mut reads = r1;
+                for r in r2 {
+                    if !reads.contains(&r) {
+                        reads.push(r);
+                    }
+                }
+                if !reads.contains(cond) {
+                    reads.push(cond.clone());
+                }
+                for w in w2 {
+                    if !w1.contains(&w) {
+                        w1.push(w);
+                    }
+                }
+                (reads, w1)
+            }
+        }
+    }
+
+    /// Free reads (reads with no earlier in-block writer) and total writes
+    /// of a block, in program order.
+    fn block_io(&self, block: BlockId) -> (Vec<Reg>, Vec<Reg>) {
+        let items = self.items_of(block);
+        let mut free = Vec::new();
+        let mut written: Vec<Reg> = Vec::new();
+        for item in items {
+            let (reads, writes) = self.item_io(&item);
+            for r in reads {
+                if !written.contains(&r) && !free.contains(&r) {
+                    free.push(r);
+                }
+            }
+            for w in writes {
+                if !written.contains(&w) {
+                    written.push(w);
+                }
+            }
+        }
+        (free, written)
+    }
+
+    fn items_of(&self, block: BlockId) -> Vec<Item> {
+        for (b, items) in self.loop_bodies.iter().chain(self.if_bodies.iter()) {
+            if *b == block {
+                return items.clone();
+            }
+        }
+        Vec::new()
+    }
+
+    /// Walks a block, generating data, register-allocation, and entry arcs;
+    /// recurses into nested blocks; closes loop blocks.
+    fn walk_block(&mut self, items: &[Item], head: Option<NodeId>) -> Result<(), CdfgError> {
+        let mut last_writer: HashMap<Reg, NodeId> = HashMap::new();
+        let mut readers: HashMap<Reg, Vec<NodeId>> = HashMap::new();
+
+        for item in items {
+            let attach = item.attach_node();
+            let source = item.source_node();
+            let (reads, writes) = self.item_io(item);
+
+            for r in &reads {
+                match last_writer.get(r) {
+                    Some(&w) => {
+                        if w != attach {
+                            self.g.add_arc(w, attach, Role::DataDep, false);
+                        }
+                    }
+                    None => {
+                        if let Some(h) = head {
+                            // Entry dependency attaches at the block root.
+                            self.g.add_arc(h, attach, Role::Control, false);
+                        }
+                    }
+                }
+                readers.entry(r.clone()).or_default().push(source);
+            }
+            if let Some(h) = head {
+                // An item with no reads and no schedule predecessor would
+                // otherwise dangle: gate it on the block root.
+                if self.g.in_arcs(attach).count() == 0 {
+                    self.g.add_arc(h, attach, Role::Control, false);
+                }
+            }
+            for w in &writes {
+                let prior_readers = readers.get(w).cloned().unwrap_or_default();
+                let mut constrained = false;
+                for reader in prior_readers {
+                    if reader != attach && reader != source {
+                        self.g.add_arc(reader, attach, Role::RegAlloc, false);
+                        constrained = true;
+                    }
+                }
+                if !constrained {
+                    if let Some(&prev) = last_writer.get(w) {
+                        if prev != attach && prev != source {
+                            self.g.add_arc(prev, attach, Role::RegAlloc, false);
+                        }
+                    }
+                }
+                last_writer.insert(w.clone(), source);
+                readers.insert(w.clone(), Vec::new());
+            }
+
+            // Recurse into nested blocks.
+            match item {
+                Item::Node(_) => {}
+                Item::Loop {
+                    head: lh,
+                    tail,
+                    body,
+                    cond,
+                } => {
+                    let body_items = self.items_of(*body);
+                    self.walk_block(&body_items, Some(*lh))?;
+                    self.close_loop(*lh, *tail, *body, &body_items, cond)?;
+                    self.sequence_exits(&body_items, Some(*tail));
+                }
+                Item::If {
+                    head: ih,
+                    tail,
+                    then_block,
+                    else_block,
+                    ..
+                } => {
+                    for blk in [*then_block, *else_block] {
+                        let branch_items = self.items_of(blk);
+                        self.walk_block(&branch_items, Some(*ih))?;
+                        self.close_branch(*ih, *tail, blk, &branch_items)?;
+                        self.sequence_exits(&branch_items, Some(*tail));
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Sequencing between a composite's exit and the next item of the block:
+    /// a loop exits at its head (`LOOP` routes out when the condition is
+    /// false) and a conditional exits at its `ENDIF`.
+    fn sequence_exits(&mut self, items: &[Item], block_tail: Option<NodeId>) {
+        for i in 0..items.len() {
+            let exit = match &items[i] {
+                Item::Node(_) => continue,
+                Item::Loop { head, .. } => *head,
+                Item::If { tail, .. } => *tail,
+            };
+            let next = items.get(i + 1).map(Item::attach_node).or(block_tail);
+            if let Some(n) = next {
+                if n != exit {
+                    self.g.add_arc(exit, n, Role::Control, false);
+                }
+            }
+        }
+    }
+
+    /// Closing arcs for a loop block: per-unit last body node → `ENDLOOP`,
+    /// condition-writer → `ENDLOOP`, and the weight-1 `ENDLOOP → LOOP`
+    /// loop-back.
+    fn close_loop(
+        &mut self,
+        head: NodeId,
+        tail: NodeId,
+        body: BlockId,
+        body_items: &[Item],
+        cond: &Reg,
+    ) -> Result<(), CdfgError> {
+        if body_items.is_empty() {
+            return Err(CdfgError::Structure("empty loop body".into()));
+        }
+        for last in self.per_fu_last(body) {
+            self.g.add_arc(last, tail, Role::Control, false);
+        }
+        // The loop variable must be fresh when LOOP re-examines it: arc from
+        // its last in-body writer to ENDLOOP (usually merges with the
+        // scheduling arc, e.g. DIFFEQ's `C := X < a -> ENDLOOP`).
+        if let Some(w) = self.last_writer_in(body_items, cond) {
+            if w != tail {
+                self.g.add_arc(w, tail, Role::DataDep, false);
+            }
+        }
+        self.g.add_arc(tail, head, Role::Control, true);
+        Ok(())
+    }
+
+    /// Closing arcs for a conditional branch: per-unit last branch node →
+    /// `ENDIF`; an empty branch connects `IF → ENDIF` directly.
+    fn close_branch(
+        &mut self,
+        head: NodeId,
+        tail: NodeId,
+        block: BlockId,
+        branch_items: &[Item],
+    ) -> Result<(), CdfgError> {
+        if branch_items.is_empty() {
+            self.g.add_arc(head, tail, Role::Control, false);
+            return Ok(());
+        }
+        for last in self.per_fu_last(block) {
+            self.g.add_arc(last, tail, Role::Control, false);
+        }
+        Ok(())
+    }
+
+    /// Last node of each functional unit among the direct nodes of `block`.
+    fn per_fu_last(&self, block: BlockId) -> Vec<NodeId> {
+        let mut best: HashMap<FuId, (u32, NodeId)> = HashMap::new();
+        for (id, n) in self.g.nodes() {
+            if n.block != block {
+                continue;
+            }
+            if let Some(fu) = n.fu {
+                let e = best.entry(fu).or_insert((n.seq, id));
+                if n.seq >= e.0 {
+                    *e = (n.seq, id);
+                }
+            }
+        }
+        let mut v: Vec<(u32, NodeId)> = best.into_values().collect();
+        v.sort_unstable();
+        v.into_iter().map(|(_, n)| n).collect()
+    }
+
+    /// Latest writer of `reg` among the items (composites yield their
+    /// completion/source node).
+    fn last_writer_in(&self, items: &[Item], reg: &Reg) -> Option<NodeId> {
+        let mut found = None;
+        for item in items {
+            let (_, writes) = self.item_io(item);
+            if writes.contains(reg) {
+                found = Some(item.source_node());
+            }
+        }
+        found
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Role;
+
+    fn straight_line() -> Cdfg {
+        let mut b = CdfgBuilder::new();
+        let alu = b.add_fu("ALU");
+        let mul = b.add_fu("MUL");
+        b.stmt(mul, "m := x * y").unwrap();
+        b.stmt(alu, "s := m + z").unwrap();
+        b.stmt(alu, "t := s + s").unwrap();
+        b.finish().unwrap()
+    }
+
+    #[test]
+    fn data_arcs_follow_producers() {
+        let g = straight_line();
+        let m = g.node_by_label("m := x * y").unwrap();
+        let s = g.node_by_label("s := m + z").unwrap();
+        let t = g.node_by_label("t := s + s").unwrap();
+        assert!(g.succs(m).any(|n| n == s));
+        assert!(g.succs(s).any(|n| n == t));
+    }
+
+    #[test]
+    fn scheduling_arcs_chain_same_unit() {
+        let g = straight_line();
+        let s = g.node_by_label("s := m + z").unwrap();
+        let t = g.node_by_label("t := s + s").unwrap();
+        let arc = g
+            .out_arcs(s)
+            .find(|(_, a)| a.dst == t)
+            .map(|(_, a)| a.roles)
+            .unwrap();
+        assert!(arc.contains(Role::Scheduling));
+        assert!(arc.contains(Role::DataDep));
+    }
+
+    #[test]
+    fn start_feeds_sourceless_nodes_and_sinks_feed_end() {
+        let g = straight_line();
+        let m = g.node_by_label("m := x * y").unwrap();
+        let t = g.node_by_label("t := s + s").unwrap();
+        assert!(g.preds(m).any(|n| n == g.start()));
+        assert!(g.succs(t).any(|n| n == g.end()));
+    }
+
+    #[test]
+    fn register_allocation_read_before_overwrite() {
+        let mut b = CdfgBuilder::new();
+        let alu = b.add_fu("ALU");
+        let mul = b.add_fu("MUL");
+        b.stmt(mul, "p := v * v").unwrap(); // reads v
+        b.stmt(alu, "v := v + w").unwrap(); // overwrites v
+        let g = b.finish().unwrap();
+        let p = g.node_by_label("p := v * v").unwrap();
+        let v = g.node_by_label("v := v + w").unwrap();
+        let arc = g
+            .out_arcs(p)
+            .find(|(_, a)| a.dst == v)
+            .map(|(_, a)| a.roles)
+            .unwrap();
+        assert!(arc.contains(Role::RegAlloc));
+    }
+
+    #[test]
+    fn write_after_write_is_ordered() {
+        let mut b = CdfgBuilder::new();
+        let alu = b.add_fu("ALU");
+        let mul = b.add_fu("MUL");
+        b.stmt(alu, "r := a + b").unwrap();
+        b.stmt(mul, "r := a * b").unwrap();
+        let g = b.finish().unwrap();
+        let w1 = g.node_by_label("r := a + b").unwrap();
+        let w2 = g.node_by_label("r := a * b").unwrap();
+        let arc = g.out_arcs(w1).find(|(_, a)| a.dst == w2).unwrap().1;
+        assert!(arc.roles.contains(Role::RegAlloc));
+    }
+
+    #[test]
+    fn loop_generates_entry_arcs_and_loopback() {
+        let mut b = CdfgBuilder::new();
+        let alu = b.add_fu("ALU");
+        b.stmt(alu, "c := n != 0").unwrap();
+        let head = b.begin_loop(alu, "c");
+        b.stmt(alu, "n := n - 1").unwrap();
+        b.stmt(alu, "c := n != 0").unwrap();
+        let tail = b.end_loop(alu).unwrap();
+        let g = b.finish().unwrap();
+
+        // entry arc LOOP -> first body read of n
+        let body_stmt = g.node_by_label("n := n - 1").unwrap();
+        assert!(g.preds(body_stmt).any(|n| n == head));
+        // loop-back ENDLOOP ~> LOOP
+        let lb = g.out_arcs(tail).find(|(_, a)| a.dst == head).unwrap().1;
+        assert!(lb.backward);
+        // exit sequencing LOOP -> END
+        assert!(g.succs(head).any(|n| n == g.end()));
+    }
+
+    #[test]
+    fn loop_condition_writer_feeds_endloop() {
+        let mut b = CdfgBuilder::new();
+        let alu = b.add_fu("ALU");
+        b.stmt(alu, "c := n != 0").unwrap();
+        b.begin_loop(alu, "c");
+        b.stmt(alu, "n := n - 1").unwrap();
+        b.stmt(alu, "c := n != 0").unwrap();
+        let tail = b.end_loop(alu).unwrap();
+        let g = b.finish().unwrap();
+        let cw = g
+            .rtl_nodes()
+            .filter(|(_, n)| n.kind.to_string() == "c := n != 0")
+            .map(|(id, _)| id)
+            .max()
+            .unwrap();
+        assert!(g.succs(cw).any(|n| n == tail));
+    }
+
+    #[test]
+    fn unbalanced_blocks_error() {
+        let mut b = CdfgBuilder::new();
+        let alu = b.add_fu("ALU");
+        b.begin_loop(alu, "c");
+        assert!(matches!(b.finish(), Err(CdfgError::UnbalancedBlocks(_))));
+
+        let mut b2 = CdfgBuilder::new();
+        let alu2 = b2.add_fu("ALU");
+        assert!(b2.end_loop(alu2).is_err());
+        assert!(b2.begin_else().is_err());
+        assert!(b2.end_if(alu2).is_err());
+    }
+
+    #[test]
+    fn if_branches_are_mutually_exclusive_in_schedule() {
+        let mut b = CdfgBuilder::new();
+        let alu = b.add_fu("ALU");
+        b.stmt(alu, "c := x < y").unwrap();
+        b.begin_if(alu, "c");
+        b.stmt(alu, "x := x - y").unwrap();
+        b.begin_else().unwrap();
+        b.stmt(alu, "y := y - x").unwrap();
+        let endif = b.end_if(alu).unwrap();
+        let g = b.finish().unwrap();
+
+        let t = g.node_by_label("x := x - y").unwrap();
+        let e = g.node_by_label("y := y - x").unwrap();
+        // no scheduling arc between alternative branches
+        assert!(!g.succs(t).any(|n| n == e));
+        // both branches close at ENDIF
+        assert!(g.succs(t).any(|n| n == endif));
+        assert!(g.succs(e).any(|n| n == endif));
+    }
+
+    #[test]
+    fn cross_block_scheduling_arcs_are_suppressed() {
+        // A unit with a node before the loop and one inside: no direct
+        // scheduling arc (the control structure orders them).
+        let mut b = CdfgBuilder::new();
+        let alu = b.add_fu("ALU");
+        let ctl = b.add_fu("CTL");
+        b.stmt(alu, "b := 2dx + dx").unwrap();
+        b.begin_loop(ctl, "c");
+        b.stmt(alu, "a := y + b").unwrap();
+        b.stmt(ctl, "c := a < k").unwrap();
+        b.end_loop(ctl).unwrap();
+        let g = b.finish().unwrap();
+        let pre = g.node_by_label("b := 2dx + dx").unwrap();
+        let inl = g.node_by_label("a := y + b").unwrap();
+        assert!(
+            !g.out_arcs(pre)
+                .any(|(_, a)| a.dst == inl && a.roles.contains(Role::Scheduling)),
+            "scheduling arc must not cross the loop boundary"
+        );
+    }
+}

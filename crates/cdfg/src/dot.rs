@@ -1,0 +1,94 @@
+//! Graphviz (DOT) export of CDFGs, styled like the paper's figures:
+//! solid arcs for control flow, dotted for scheduling, dashed for data and
+//! register-allocation constraints, and bold dashed for backward arcs.
+
+use std::fmt::Write as _;
+
+use crate::arc::Role;
+use crate::graph::Cdfg;
+
+/// Renders the graph in Graphviz DOT syntax.
+///
+/// Nodes are grouped into one column (`rank=same` cluster) per functional
+/// unit, mirroring Figure 1 of the paper.
+pub fn to_dot(g: &Cdfg) -> String {
+    let mut s = String::new();
+    let _ = writeln!(s, "digraph cdfg {{");
+    let _ = writeln!(s, "  rankdir=TB;");
+    let _ = writeln!(s, "  node [shape=box, fontname=\"Helvetica\"];");
+
+    for (fid, fu) in g.fus() {
+        let _ = writeln!(s, "  subgraph cluster_{fid} {{");
+        let _ = writeln!(s, "    label=\"{}\";", fu.name());
+        for (nid, n) in g.nodes() {
+            if n.fu == Some(fid) {
+                let _ = writeln!(s, "    {nid} [label=\"{}\"];", escape(&n.kind.to_string()));
+            }
+        }
+        let _ = writeln!(s, "  }}");
+    }
+    for (nid, n) in g.nodes() {
+        if n.fu.is_none() {
+            let _ = writeln!(
+                s,
+                "  {nid} [label=\"{}\", shape=ellipse];",
+                escape(&n.kind.to_string())
+            );
+        }
+    }
+    for (_, a) in g.arcs() {
+        let style = if a.backward {
+            "dashed, penwidth=2"
+        } else if a.roles.contains(Role::Control) {
+            "solid"
+        } else if a.roles.contains(Role::Scheduling) {
+            "dotted"
+        } else {
+            "dashed"
+        };
+        let _ = writeln!(
+            s,
+            "  {} -> {} [style=\"{}\", label=\"{}\"];",
+            a.src, a.dst, style, a.roles
+        );
+    }
+    let _ = writeln!(s, "}}");
+    s
+}
+
+fn escape(s: &str) -> String {
+    s.replace('"', "\\\"")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::CdfgBuilder;
+
+    #[test]
+    fn dot_output_contains_nodes_and_clusters() {
+        let mut b = CdfgBuilder::new();
+        let alu = b.add_fu("ALU1");
+        b.stmt(alu, "a := x + y").unwrap();
+        let g = b.finish().unwrap();
+        let dot = to_dot(&g);
+        assert!(dot.starts_with("digraph cdfg {"));
+        assert!(dot.contains("cluster_fu0"));
+        assert!(dot.contains("a := x + y"));
+        assert!(dot.contains("START"));
+        assert!(dot.trim_end().ends_with('}'));
+    }
+
+    #[test]
+    fn backward_arcs_are_bold() {
+        let mut b = CdfgBuilder::new();
+        let alu = b.add_fu("ALU");
+        b.stmt(alu, "c := n != 0").unwrap();
+        b.begin_loop(alu, "c");
+        b.stmt(alu, "n := n - 1").unwrap();
+        b.stmt(alu, "c := n != 0").unwrap();
+        b.end_loop(alu).unwrap();
+        let g = b.finish().unwrap();
+        assert!(to_dot(&g).contains("penwidth=2"));
+    }
+}

@@ -1,0 +1,78 @@
+//! Error type for CDFG construction and validation.
+
+use std::error::Error;
+use std::fmt;
+
+use crate::ids::{ArcId, FuId, NodeId};
+
+/// Errors produced while building, editing, or validating a [`crate::Cdfg`].
+#[derive(Clone, Debug, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum CdfgError {
+    /// A textual RTL statement could not be parsed.
+    ParseRtl(String),
+    /// A node id does not refer to a live node of this graph.
+    UnknownNode(NodeId),
+    /// An arc id does not refer to a live arc of this graph.
+    UnknownArc(ArcId),
+    /// A functional-unit id does not refer to a unit of this graph.
+    UnknownFu(FuId),
+    /// The builder saw an `end_loop`/`end_if` without a matching opener,
+    /// or `finish` with unclosed blocks.
+    UnbalancedBlocks(String),
+    /// A constraint arc crosses a block boundary somewhere other than the
+    /// block root node, violating the paper's block-structure restriction.
+    BlockCrossing { arc: ArcId, src: NodeId, dst: NodeId },
+    /// The forward-constraint subgraph contains a cycle, so no legal firing
+    /// order exists.
+    ForwardCycle(Vec<NodeId>),
+    /// A structural rule was violated (duplicate START, operation outside
+    /// any functional unit, empty loop body, …).
+    Structure(String),
+}
+
+impl fmt::Display for CdfgError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CdfgError::ParseRtl(s) => write!(f, "cannot parse RTL statement `{s}`"),
+            CdfgError::UnknownNode(n) => write!(f, "unknown node {n}"),
+            CdfgError::UnknownArc(a) => write!(f, "unknown arc {a}"),
+            CdfgError::UnknownFu(u) => write!(f, "unknown functional unit {u}"),
+            CdfgError::UnbalancedBlocks(s) => write!(f, "unbalanced block structure: {s}"),
+            CdfgError::BlockCrossing { arc, src, dst } => {
+                write!(f, "arc {arc} ({src} -> {dst}) crosses a block boundary away from the block root")
+            }
+            CdfgError::ForwardCycle(ns) => {
+                write!(f, "forward constraints form a cycle through {} nodes", ns.len())
+            }
+            CdfgError::Structure(s) => write!(f, "structural violation: {s}"),
+        }
+    }
+}
+
+impl Error for CdfgError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn errors_display_lowercase_without_trailing_punctuation() {
+        let msgs = [
+            CdfgError::ParseRtl("x".into()).to_string(),
+            CdfgError::UnknownNode(NodeId::from_raw(1)).to_string(),
+            CdfgError::UnbalancedBlocks("loop".into()).to_string(),
+            CdfgError::Structure("two START nodes".into()).to_string(),
+        ];
+        for m in msgs {
+            assert!(!m.ends_with('.'), "{m}");
+            assert!(m.chars().next().unwrap().is_lowercase(), "{m}");
+        }
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<CdfgError>();
+    }
+}

@@ -1,0 +1,719 @@
+//! The [`Cdfg`] graph: arena storage, adjacency, and edit primitives.
+//!
+//! The graph is deliberately *editable*: the paper's global transforms
+//! (GT1–GT5) are incremental arc additions/removals and node merges, so
+//! removal leaves tombstones and ids remain stable.
+
+use std::fmt;
+
+use crate::arc::{ArcRoles, CdfgArc, Role};
+use crate::error::CdfgError;
+use crate::ids::{ArcId, BlockId, FuId, NodeId};
+use crate::node::{Node, NodeKind};
+use crate::rtl::RtlStatement;
+
+/// A functional unit (datapath resource) with a dedicated controller.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct FunctionalUnit {
+    name: String,
+}
+
+impl FunctionalUnit {
+    /// The unit's name (e.g. `"ALU1"`).
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+}
+
+/// What kind of structural block a [`BlockId`] refers to.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum BlockKind {
+    /// The outermost block between `START` and `END`.
+    Outer,
+    /// A loop body, rooted at a `LOOP` node and closed by an `ENDLOOP`.
+    LoopBody {
+        /// The `LOOP` node (lives in the parent block).
+        head: NodeId,
+        /// The `ENDLOOP` node (lives in the parent block).
+        tail: NodeId,
+    },
+    /// The *then* branch of a conditional.
+    ThenBranch {
+        /// The `IF` node.
+        head: NodeId,
+        /// The `ENDIF` node.
+        tail: NodeId,
+    },
+    /// The *else* branch of a conditional.
+    ElseBranch {
+        /// The `IF` node.
+        head: NodeId,
+        /// The `ENDIF` node.
+        tail: NodeId,
+    },
+}
+
+impl BlockKind {
+    /// The block's root node (`LOOP`/`IF`), if it is not the outer block.
+    pub fn head(&self) -> Option<NodeId> {
+        match self {
+            BlockKind::Outer => None,
+            BlockKind::LoopBody { head, .. }
+            | BlockKind::ThenBranch { head, .. }
+            | BlockKind::ElseBranch { head, .. } => Some(*head),
+        }
+    }
+
+    /// The block's closing node (`ENDLOOP`/`ENDIF`), if any.
+    pub fn tail(&self) -> Option<NodeId> {
+        match self {
+            BlockKind::Outer => None,
+            BlockKind::LoopBody { tail, .. }
+            | BlockKind::ThenBranch { tail, .. }
+            | BlockKind::ElseBranch { tail, .. } => Some(*tail),
+        }
+    }
+}
+
+/// A structural block of the CDFG.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Block {
+    /// The enclosing block (`None` for the outer block).
+    pub parent: Option<BlockId>,
+    /// The block's kind and boundary nodes.
+    pub kind: BlockKind,
+}
+
+/// A scheduled, resource-bound Control-Data Flow Graph (paper §2.1).
+///
+/// Construct one with [`crate::builder::CdfgBuilder`], which derives all
+/// constraint arcs from a bound RTL program; or assemble one manually with
+/// the edit primitives here (transforms do the latter).
+#[derive(Clone, Default)]
+pub struct Cdfg {
+    nodes: Vec<Option<Node>>,
+    arcs: Vec<Option<CdfgArc>>,
+    fus: Vec<FunctionalUnit>,
+    blocks: Vec<Block>,
+    ins: Vec<Vec<ArcId>>,
+    outs: Vec<Vec<ArcId>>,
+    start: Option<NodeId>,
+    end: Option<NodeId>,
+}
+
+impl Cdfg {
+    /// Creates an empty graph (no nodes, no blocks, no units).
+    pub fn new() -> Self {
+        Cdfg::default()
+    }
+
+    // ------------------------------------------------------------------
+    // Construction primitives
+    // ------------------------------------------------------------------
+
+    /// Registers a functional unit and returns its id.
+    pub fn add_fu(&mut self, name: impl Into<String>) -> FuId {
+        self.fus.push(FunctionalUnit { name: name.into() });
+        FuId((self.fus.len() - 1) as u32)
+    }
+
+    /// Registers a block and returns its id.
+    pub fn add_block(&mut self, parent: Option<BlockId>, kind: BlockKind) -> BlockId {
+        self.blocks.push(Block { parent, kind });
+        BlockId((self.blocks.len() - 1) as u32)
+    }
+
+    /// Updates the boundary nodes of a block (used while building loops).
+    pub fn set_block_kind(&mut self, block: BlockId, kind: BlockKind) {
+        self.blocks[block.index()].kind = kind;
+    }
+
+    /// Adds a node and returns its id.
+    ///
+    /// `START`/`END` nodes are remembered as the graph entry/exit.
+    pub fn add_node(&mut self, node: Node) -> NodeId {
+        let id = NodeId(self.nodes.len() as u32);
+        match node.kind {
+            NodeKind::Start => self.start = Some(id),
+            NodeKind::End => self.end = Some(id),
+            _ => {}
+        }
+        self.nodes.push(Some(node));
+        self.ins.push(Vec::new());
+        self.outs.push(Vec::new());
+        id
+    }
+
+    /// Adds (or extends) a constraint arc and returns its id.
+    ///
+    /// If an arc with the same direction (`src`, `dst`, forward/backward)
+    /// already exists, the role is merged into it — the paper treats such
+    /// constraints as a single arc with several roles.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `src` or `dst` is not a live node.
+    pub fn add_arc(&mut self, src: NodeId, dst: NodeId, role: Role, backward: bool) -> ArcId {
+        assert!(self.nodes[src.index()].is_some(), "arc source {src} is dead");
+        assert!(self.nodes[dst.index()].is_some(), "arc target {dst} is dead");
+        for &aid in &self.outs[src.index()] {
+            let arc = self.arcs[aid.index()].as_mut().expect("adjacency points at live arcs");
+            if arc.dst == dst && arc.backward == backward {
+                arc.roles.insert(role);
+                return aid;
+            }
+        }
+        let id = ArcId(self.arcs.len() as u32);
+        self.arcs.push(Some(CdfgArc {
+            src,
+            dst,
+            roles: ArcRoles::only(role),
+            backward,
+        }));
+        self.outs[src.index()].push(id);
+        self.ins[dst.index()].push(id);
+        id
+    }
+
+    /// Removes an arc. Removing an already-removed arc is an error.
+    pub fn remove_arc(&mut self, id: ArcId) -> Result<CdfgArc, CdfgError> {
+        let arc = self.arcs[id.index()].take().ok_or(CdfgError::UnknownArc(id))?;
+        self.outs[arc.src.index()].retain(|&a| a != id);
+        self.ins[arc.dst.index()].retain(|&a| a != id);
+        Ok(arc)
+    }
+
+    /// Removes a node together with all incident arcs.
+    pub fn remove_node(&mut self, id: NodeId) -> Result<Node, CdfgError> {
+        let node = self.nodes[id.index()].take().ok_or(CdfgError::UnknownNode(id))?;
+        let incident: Vec<ArcId> = self.ins[id.index()]
+            .iter()
+            .chain(self.outs[id.index()].iter())
+            .copied()
+            .collect();
+        for a in incident {
+            let _ = self.remove_arc(a);
+        }
+        Ok(node)
+    }
+
+    /// Merges a pure-assignment node into an operation node on the same
+    /// controller (the GT4 primitive). The assignment's statement joins the
+    /// operation's `merged` list; the assignment node is removed and its
+    /// arcs are re-routed to the operation node.
+    ///
+    /// # Errors
+    ///
+    /// Fails if `op` is not an `Op` node, `assign` is not an `Assign` node,
+    /// or the two nodes are bound to different functional units.
+    pub fn absorb_assignment(&mut self, op: NodeId, assign: NodeId) -> Result<(), CdfgError> {
+        let (op_fu, assign_fu) = (self.node(op)?.fu, self.node(assign)?.fu);
+        if op_fu != assign_fu {
+            return Err(CdfgError::Structure(format!(
+                "cannot merge {assign} into {op}: different functional units"
+            )));
+        }
+        let stmt = match &self.node(assign)?.kind {
+            NodeKind::Assign { stmt } => stmt.clone(),
+            other => {
+                return Err(CdfgError::Structure(format!(
+                    "node {assign} is not an assignment (found {other})"
+                )))
+            }
+        };
+        match &self.node(op)?.kind {
+            NodeKind::Op { .. } => {}
+            other => {
+                return Err(CdfgError::Structure(format!(
+                    "node {op} is not an operation (found {other})"
+                )))
+            }
+        }
+        // Re-route incident arcs (dropping arcs that would become self-loops).
+        let moved: Vec<CdfgArc> = self.ins[assign.index()]
+            .iter()
+            .chain(self.outs[assign.index()].iter())
+            .map(|&a| self.arcs[a.index()].clone().expect("live arc"))
+            .collect();
+        self.remove_node(assign)?;
+        for arc in moved {
+            let (src, dst) = (
+                if arc.src == assign { op } else { arc.src },
+                if arc.dst == assign { op } else { arc.dst },
+            );
+            if src == dst {
+                continue;
+            }
+            for role in arc.roles.iter() {
+                self.add_arc(src, dst, role, arc.backward);
+            }
+        }
+        if let Some(Node {
+            kind: NodeKind::Op { merged, .. },
+            ..
+        }) = self.nodes[op.index()].as_mut()
+        {
+            merged.push(stmt);
+        }
+        Ok(())
+    }
+
+    /// Replaces the primary statement of an `Op` node (used by tests and
+    /// by rebinding transforms).
+    pub fn set_statement(&mut self, id: NodeId, stmt: RtlStatement) -> Result<(), CdfgError> {
+        match self.nodes[id.index()].as_mut() {
+            Some(Node {
+                kind: NodeKind::Op { stmt: s, .. },
+                ..
+            }) => {
+                *s = stmt;
+                Ok(())
+            }
+            Some(_) => Err(CdfgError::Structure(format!("node {id} is not an operation"))),
+            None => Err(CdfgError::UnknownNode(id)),
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Queries
+    // ------------------------------------------------------------------
+
+    /// The `START` node.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the graph has no `START` node (builder-made graphs always do).
+    pub fn start(&self) -> NodeId {
+        self.start.expect("graph has a START node")
+    }
+
+    /// The `END` node.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the graph has no `END` node.
+    pub fn end(&self) -> NodeId {
+        self.end.expect("graph has an END node")
+    }
+
+    /// Looks up a live node.
+    pub fn node(&self, id: NodeId) -> Result<&Node, CdfgError> {
+        self.nodes
+            .get(id.index())
+            .and_then(Option::as_ref)
+            .ok_or(CdfgError::UnknownNode(id))
+    }
+
+    /// Looks up a live arc.
+    pub fn arc(&self, id: ArcId) -> Result<&CdfgArc, CdfgError> {
+        self.arcs
+            .get(id.index())
+            .and_then(Option::as_ref)
+            .ok_or(CdfgError::UnknownArc(id))
+    }
+
+    /// Iterates live nodes as `(id, node)`.
+    pub fn nodes(&self) -> impl Iterator<Item = (NodeId, &Node)> {
+        self.nodes
+            .iter()
+            .enumerate()
+            .filter_map(|(i, n)| n.as_ref().map(|n| (NodeId(i as u32), n)))
+    }
+
+    /// Iterates live arcs as `(id, arc)`.
+    pub fn arcs(&self) -> impl Iterator<Item = (ArcId, &CdfgArc)> {
+        self.arcs
+            .iter()
+            .enumerate()
+            .filter_map(|(i, a)| a.as_ref().map(|a| (ArcId(i as u32), a)))
+    }
+
+    /// Number of live nodes.
+    pub fn node_count(&self) -> usize {
+        self.nodes.iter().flatten().count()
+    }
+
+    /// Number of live arcs.
+    pub fn arc_count(&self) -> usize {
+        self.arcs.iter().flatten().count()
+    }
+
+    /// Incoming arcs of a node.
+    pub fn in_arcs(&self, id: NodeId) -> impl Iterator<Item = (ArcId, &CdfgArc)> {
+        self.ins[id.index()]
+            .iter()
+            .map(move |&a| (a, self.arcs[a.index()].as_ref().expect("live arc")))
+    }
+
+    /// Outgoing arcs of a node.
+    pub fn out_arcs(&self, id: NodeId) -> impl Iterator<Item = (ArcId, &CdfgArc)> {
+        self.outs[id.index()]
+            .iter()
+            .map(move |&a| (a, self.arcs[a.index()].as_ref().expect("live arc")))
+    }
+
+    /// Predecessor nodes (sources of incoming arcs).
+    pub fn preds(&self, id: NodeId) -> impl Iterator<Item = NodeId> + '_ {
+        self.in_arcs(id).map(|(_, a)| a.src)
+    }
+
+    /// Successor nodes (targets of outgoing arcs).
+    pub fn succs(&self, id: NodeId) -> impl Iterator<Item = NodeId> + '_ {
+        self.out_arcs(id).map(|(_, a)| a.dst)
+    }
+
+    /// All functional units, as `(id, unit)`.
+    pub fn fus(&self) -> impl Iterator<Item = (FuId, &FunctionalUnit)> {
+        self.fus
+            .iter()
+            .enumerate()
+            .map(|(i, f)| (FuId(i as u32), f))
+    }
+
+    /// Looks up a functional unit.
+    pub fn fu(&self, id: FuId) -> Result<&FunctionalUnit, CdfgError> {
+        self.fus.get(id.index()).ok_or(CdfgError::UnknownFu(id))
+    }
+
+    /// Finds a functional unit by name.
+    pub fn fu_by_name(&self, name: &str) -> Option<FuId> {
+        self.fus().find(|(_, f)| f.name() == name).map(|(id, _)| id)
+    }
+
+    /// Nodes bound to a functional unit, in schedule (program) order.
+    pub fn fu_schedule(&self, fu: FuId) -> Vec<NodeId> {
+        let mut v: Vec<(u32, NodeId)> = self
+            .nodes()
+            .filter(|(_, n)| n.fu == Some(fu))
+            .map(|(id, n)| (n.seq, id))
+            .collect();
+        v.sort_unstable();
+        v.into_iter().map(|(_, id)| id).collect()
+    }
+
+    /// All RTL nodes (`Op` or `Assign`), in program order.
+    pub fn rtl_nodes(&self) -> impl Iterator<Item = (NodeId, &Node)> {
+        let mut v: Vec<(NodeId, &Node)> = self
+            .nodes()
+            .filter(|(_, n)| !n.kind.is_structural())
+            .collect();
+        v.sort_by_key(|(_, n)| n.seq);
+        v.into_iter()
+    }
+
+    /// All blocks, as `(id, block)`.
+    pub fn blocks(&self) -> impl Iterator<Item = (BlockId, &Block)> {
+        self.blocks
+            .iter()
+            .enumerate()
+            .map(|(i, b)| (BlockId(i as u32), b))
+    }
+
+    /// Looks up a block.
+    pub fn block(&self, id: BlockId) -> &Block {
+        &self.blocks[id.index()]
+    }
+
+    /// Live nodes belonging to a block, in program order.
+    pub fn block_nodes(&self, block: BlockId) -> Vec<NodeId> {
+        let mut v: Vec<(u32, NodeId)> = self
+            .nodes()
+            .filter(|(_, n)| n.block == block)
+            .map(|(id, n)| (n.seq, id))
+            .collect();
+        v.sort_unstable();
+        v.into_iter().map(|(_, id)| id).collect()
+    }
+
+    /// All loop-body blocks.
+    pub fn loop_blocks(&self) -> Vec<BlockId> {
+        self.blocks()
+            .filter(|(_, b)| matches!(b.kind, BlockKind::LoopBody { .. }))
+            .map(|(id, _)| id)
+            .collect()
+    }
+
+    /// Whether a block (transitively) contains another.
+    pub fn block_contains(&self, outer: BlockId, inner: BlockId) -> bool {
+        let mut cur = Some(inner);
+        while let Some(b) = cur {
+            if b == outer {
+                return true;
+            }
+            cur = self.block(b).parent;
+        }
+        false
+    }
+
+    /// Whether an arc connects nodes bound to *different* functional units
+    /// (such arcs become inter-controller communication channels).
+    ///
+    /// Arcs touching `START`/`END` (unbound nodes) do not count.
+    pub fn is_inter_fu(&self, arc: &CdfgArc) -> bool {
+        match (
+            self.node(arc.src).ok().and_then(|n| n.fu),
+            self.node(arc.dst).ok().and_then(|n| n.fu),
+        ) {
+            (Some(a), Some(b)) => a != b,
+            _ => false,
+        }
+    }
+
+    /// All inter-unit arcs (the future communication channels), as ids.
+    pub fn inter_fu_arcs(&self) -> Vec<ArcId> {
+        self.arcs()
+            .filter(|(_, a)| self.is_inter_fu(a))
+            .map(|(id, _)| id)
+            .collect()
+    }
+
+    /// Finds the unique live node whose display form equals `label`
+    /// (convenient in tests: `g.node_by_label("A := Y + M1")`).
+    pub fn node_by_label(&self, label: &str) -> Option<NodeId> {
+        let mut found = None;
+        for (id, n) in self.nodes() {
+            if n.kind.to_string() == label {
+                if found.is_some() {
+                    return None;
+                }
+                found = Some(id);
+            }
+        }
+        found
+    }
+}
+
+impl fmt::Debug for Cdfg {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "Cdfg {{")?;
+        for (id, n) in self.nodes() {
+            let fu = n
+                .fu
+                .map(|u| self.fu(u).map(|x| x.name().to_string()).unwrap_or_default())
+                .unwrap_or_else(|| "-".into());
+            writeln!(f, "  {id} [{fu}] {}", n.kind)?;
+        }
+        for (id, a) in self.arcs() {
+            writeln!(f, "  {id}: {a}")?;
+        }
+        write!(f, "}}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn two_node_graph() -> (Cdfg, NodeId, NodeId, FuId) {
+        let mut g = Cdfg::new();
+        let fu = g.add_fu("ALU");
+        let outer = g.add_block(None, BlockKind::Outer);
+        let a = g.add_node(Node {
+            kind: NodeKind::Op {
+                stmt: "a := x + y".parse().unwrap(),
+                merged: vec![],
+            },
+            fu: Some(fu),
+            block: outer,
+            seq: 0,
+        });
+        let b = g.add_node(Node {
+            kind: NodeKind::Op {
+                stmt: "b := a + y".parse().unwrap(),
+                merged: vec![],
+            },
+            fu: Some(fu),
+            block: outer,
+            seq: 1,
+        });
+        (g, a, b, fu)
+    }
+
+    #[test]
+    fn add_and_query_arcs() {
+        let (mut g, a, b, _) = two_node_graph();
+        let arc = g.add_arc(a, b, Role::DataDep, false);
+        assert_eq!(g.arc_count(), 1);
+        assert_eq!(g.succs(a).collect::<Vec<_>>(), vec![b]);
+        assert_eq!(g.preds(b).collect::<Vec<_>>(), vec![a]);
+        assert!(g.arc(arc).unwrap().roles.contains(Role::DataDep));
+    }
+
+    #[test]
+    fn duplicate_arc_merges_roles() {
+        let (mut g, a, b, _) = two_node_graph();
+        let first = g.add_arc(a, b, Role::DataDep, false);
+        let second = g.add_arc(a, b, Role::RegAlloc, false);
+        assert_eq!(first, second);
+        assert_eq!(g.arc_count(), 1);
+        let roles = g.arc(first).unwrap().roles;
+        assert!(roles.contains(Role::DataDep) && roles.contains(Role::RegAlloc));
+    }
+
+    #[test]
+    fn forward_and_backward_arcs_are_distinct() {
+        let (mut g, a, b, _) = two_node_graph();
+        let fwd = g.add_arc(a, b, Role::DataDep, false);
+        let bwd = g.add_arc(a, b, Role::RegAlloc, true);
+        assert_ne!(fwd, bwd);
+        assert_eq!(g.arc_count(), 2);
+    }
+
+    #[test]
+    fn remove_arc_updates_adjacency() {
+        let (mut g, a, b, _) = two_node_graph();
+        let arc = g.add_arc(a, b, Role::DataDep, false);
+        g.remove_arc(arc).unwrap();
+        assert_eq!(g.arc_count(), 0);
+        assert_eq!(g.succs(a).count(), 0);
+        assert!(g.remove_arc(arc).is_err());
+        assert!(g.arc(arc).is_err());
+    }
+
+    #[test]
+    fn remove_node_removes_incident_arcs() {
+        let (mut g, a, b, _) = two_node_graph();
+        g.add_arc(a, b, Role::DataDep, false);
+        g.remove_node(b).unwrap();
+        assert_eq!(g.arc_count(), 0);
+        assert_eq!(g.node_count(), 1);
+        assert_eq!(g.succs(a).count(), 0);
+    }
+
+    #[test]
+    fn fu_schedule_is_in_program_order() {
+        let (g, a, b, fu) = two_node_graph();
+        assert_eq!(g.fu_schedule(fu), vec![a, b]);
+    }
+
+    #[test]
+    fn absorb_assignment_moves_statement_and_arcs() {
+        let mut g = Cdfg::new();
+        let fu = g.add_fu("ALU2");
+        let outer = g.add_block(None, BlockKind::Outer);
+        let op = g.add_node(Node {
+            kind: NodeKind::Op {
+                stmt: "Y := Y + M2".parse().unwrap(),
+                merged: vec![],
+            },
+            fu: Some(fu),
+            block: outer,
+            seq: 0,
+        });
+        let asn = g.add_node(Node {
+            kind: NodeKind::Assign {
+                stmt: RtlStatement::mov("X1", "X"),
+            },
+            fu: Some(fu),
+            block: outer,
+            seq: 1,
+        });
+        let mul1 = g.add_fu("MUL1");
+        let other = g.add_node(Node {
+            kind: NodeKind::Op {
+                stmt: "M1 := U * X1".parse().unwrap(),
+                merged: vec![],
+            },
+            fu: Some(mul1),
+            block: outer,
+            seq: 2,
+        });
+        g.add_arc(op, asn, Role::Scheduling, false);
+        g.add_arc(other, asn, Role::RegAlloc, false);
+
+        g.absorb_assignment(op, asn).unwrap();
+
+        assert_eq!(g.node_count(), 2);
+        let merged_node = g.node(op).unwrap();
+        assert_eq!(merged_node.kind.statements().len(), 2);
+        // Scheduling arc op->asn became a self loop and was dropped; the
+        // reg-alloc arc other->asn re-routed to other->op.
+        assert_eq!(g.preds(op).collect::<Vec<_>>(), vec![other]);
+        assert_eq!(g.node_by_label("Y := Y + M2; X1 := X"), Some(op));
+    }
+
+    #[test]
+    fn absorb_assignment_rejects_cross_unit_merge() {
+        let mut g = Cdfg::new();
+        let alu = g.add_fu("ALU");
+        let mul = g.add_fu("MUL");
+        let outer = g.add_block(None, BlockKind::Outer);
+        let op = g.add_node(Node {
+            kind: NodeKind::Op {
+                stmt: "a := x + y".parse().unwrap(),
+                merged: vec![],
+            },
+            fu: Some(alu),
+            block: outer,
+            seq: 0,
+        });
+        let asn = g.add_node(Node {
+            kind: NodeKind::Assign {
+                stmt: RtlStatement::mov("b", "a"),
+            },
+            fu: Some(mul),
+            block: outer,
+            seq: 1,
+        });
+        assert!(g.absorb_assignment(op, asn).is_err());
+    }
+
+    #[test]
+    fn inter_fu_detection() {
+        let mut g = Cdfg::new();
+        let alu = g.add_fu("ALU");
+        let mul = g.add_fu("MUL");
+        let outer = g.add_block(None, BlockKind::Outer);
+        let a = g.add_node(Node {
+            kind: NodeKind::Op {
+                stmt: "a := x + y".parse().unwrap(),
+                merged: vec![],
+            },
+            fu: Some(alu),
+            block: outer,
+            seq: 0,
+        });
+        let b = g.add_node(Node {
+            kind: NodeKind::Op {
+                stmt: "m := a * a".parse().unwrap(),
+                merged: vec![],
+            },
+            fu: Some(mul),
+            block: outer,
+            seq: 1,
+        });
+        let s = g.add_node(Node {
+            kind: NodeKind::Start,
+            fu: None,
+            block: outer,
+            seq: 2,
+        });
+        g.add_arc(a, b, Role::DataDep, false);
+        g.add_arc(s, a, Role::Control, false);
+        assert_eq!(g.inter_fu_arcs().len(), 1);
+        assert_eq!(g.start(), s);
+    }
+
+    #[test]
+    fn block_containment() {
+        let mut g = Cdfg::new();
+        let outer = g.add_block(None, BlockKind::Outer);
+        let loop_head = g.add_node(Node {
+            kind: NodeKind::Loop { cond: "C".into() },
+            fu: None,
+            block: outer,
+            seq: 0,
+        });
+        let body = g.add_block(
+            Some(outer),
+            BlockKind::LoopBody {
+                head: loop_head,
+                tail: loop_head, // placeholder until ENDLOOP exists
+            },
+        );
+        assert!(g.block_contains(outer, body));
+        assert!(g.block_contains(outer, outer));
+        assert!(!g.block_contains(body, outer));
+        assert_eq!(g.loop_blocks(), vec![body]);
+    }
+}

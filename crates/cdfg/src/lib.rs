@@ -1,0 +1,60 @@
+//! # adcs-cdfg — Control-Data Flow Graphs for asynchronous distributed control
+//!
+//! This crate implements the *scheduled, resource-bound CDFG* input
+//! representation of Theobald & Nowick, *"Transformations for the Synthesis
+//! and Optimization of Asynchronous Distributed Control"* (DAC 2001), §2.1.
+//!
+//! A [`Cdfg`] is a block-structured graph whose nodes are RTL statements
+//! (plus `START`/`END`/`LOOP`/`ENDLOOP`/`IF`/`ENDIF` control nodes) and whose
+//! arcs are *constraints* that tell a node when it may fire:
+//!
+//! * **control-flow** arcs (from/to the structural nodes),
+//! * **scheduling** arcs (ordering operations bound to one functional unit),
+//! * **data-dependency** arcs (producer → consumer),
+//! * **register-allocation** arcs (reader-before-overwrite, WAR/WAW order),
+//! * **backward** arcs (added by the loop-parallelism transform; pre-enabled
+//!   on the first loop iteration).
+//!
+//! The [`builder::CdfgBuilder`] derives all constraint arcs automatically
+//! from a bound and scheduled RTL program, exactly following the generation
+//! rules of the paper (see `DESIGN.md` §4 in the repository root).
+//!
+//! # Example
+//!
+//! ```rust
+//! use adcs_cdfg::builder::CdfgBuilder;
+//!
+//! # fn main() -> Result<(), adcs_cdfg::CdfgError> {
+//! let mut b = CdfgBuilder::new();
+//! let alu = b.add_fu("ALU");
+//! b.stmt(alu, "sum := sum + x")?;
+//! b.stmt(alu, "n := n + one")?;
+//! let cdfg = b.finish()?;
+//! assert_eq!(cdfg.rtl_nodes().count(), 2);
+//! # Ok(())
+//! # }
+//! ```
+//!
+//! The well-known differential-equation-solver benchmark used throughout the
+//! paper is available as [`benchmarks::diffeq`].
+
+pub mod analysis;
+pub mod arc;
+pub mod benchmarks;
+pub mod builder;
+pub mod dot;
+pub mod graph;
+pub mod ids;
+pub mod node;
+pub mod parse;
+pub mod rtl;
+pub mod validate;
+
+mod error;
+
+pub use arc::{ArcRoles, CdfgArc, Role};
+pub use error::CdfgError;
+pub use graph::Cdfg;
+pub use ids::{ArcId, BlockId, FuId, NodeId};
+pub use node::{Node, NodeKind};
+pub use rtl::{Op, Operand, Reg, RtlStatement};

@@ -1,0 +1,193 @@
+//! CDFG nodes: RTL operations, assignments, and structural control nodes.
+
+use std::fmt;
+
+use crate::ids::{BlockId, FuId};
+use crate::rtl::{Reg, RtlStatement};
+
+/// What a CDFG node is.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum NodeKind {
+    /// Unique entry node; not bound to any functional unit.
+    Start,
+    /// Unique exit node; not bound to any functional unit.
+    End,
+    /// Loop head. Examines the condition register each iteration: non-zero
+    /// routes control into the loop body, zero exits the loop.
+    Loop {
+        /// Condition register examined by the loop head.
+        cond: Reg,
+    },
+    /// Loop tail; passes control back to the matching [`NodeKind::Loop`].
+    EndLoop,
+    /// Conditional head. Non-zero condition takes the *then* branch.
+    If {
+        /// Condition register examined by the branch head.
+        cond: Reg,
+    },
+    /// Conditional join.
+    EndIf,
+    /// An RTL operation executed on the node's functional unit.
+    ///
+    /// After the GT4 transform, `merged` holds pure register moves that
+    /// execute *in parallel* with the primary statement on the same
+    /// controller (they use only registers and muxes, not the unit itself).
+    Op {
+        /// The primary statement, executed on the functional unit.
+        stmt: RtlStatement,
+        /// Assignment statements merged into this node by GT4.
+        merged: Vec<RtlStatement>,
+    },
+    /// A pure register move `dest := src`. Bound to a controller but not
+    /// using its functional unit — the GT4 merge candidates.
+    Assign {
+        /// The move statement.
+        stmt: RtlStatement,
+    },
+}
+
+impl NodeKind {
+    /// True for `LOOP`, `ENDLOOP`, `IF`, `ENDIF`, `START`, `END`.
+    pub fn is_structural(&self) -> bool {
+        !matches!(self, NodeKind::Op { .. } | NodeKind::Assign { .. })
+    }
+
+    /// True for the loop/if head nodes that root a block.
+    pub fn is_block_root(&self) -> bool {
+        matches!(self, NodeKind::Loop { .. } | NodeKind::If { .. })
+    }
+
+    /// All RTL statements carried by this node (primary first, then merged).
+    pub fn statements(&self) -> Vec<&RtlStatement> {
+        match self {
+            NodeKind::Op { stmt, merged } => {
+                let mut v = vec![stmt];
+                v.extend(merged.iter());
+                v
+            }
+            NodeKind::Assign { stmt } => vec![stmt],
+            _ => Vec::new(),
+        }
+    }
+
+    /// Registers read when this node fires (includes condition registers).
+    pub fn reads(&self) -> Vec<&Reg> {
+        match self {
+            NodeKind::Loop { cond } | NodeKind::If { cond } => vec![cond],
+            _ => {
+                let mut out = Vec::new();
+                for s in self.statements() {
+                    for r in s.reads() {
+                        if !out.contains(&r) {
+                            out.push(r);
+                        }
+                    }
+                }
+                out
+            }
+        }
+    }
+
+    /// Registers written when this node fires.
+    pub fn writes(&self) -> Vec<&Reg> {
+        self.statements().into_iter().map(RtlStatement::writes).collect()
+    }
+}
+
+impl fmt::Display for NodeKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            NodeKind::Start => f.write_str("START"),
+            NodeKind::End => f.write_str("END"),
+            NodeKind::Loop { cond } => write!(f, "LOOP({cond})"),
+            NodeKind::EndLoop => f.write_str("ENDLOOP"),
+            NodeKind::If { cond } => write!(f, "IF({cond})"),
+            NodeKind::EndIf => f.write_str("ENDIF"),
+            NodeKind::Op { stmt, merged } => {
+                write!(f, "{stmt}")?;
+                for m in merged {
+                    write!(f, "; {m}")?;
+                }
+                Ok(())
+            }
+            NodeKind::Assign { stmt } => write!(f, "{stmt}"),
+        }
+    }
+}
+
+/// A node of the CDFG: its kind, functional-unit binding, enclosing block,
+/// and position in the overall program order.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Node {
+    /// What the node is.
+    pub kind: NodeKind,
+    /// The functional unit whose controller executes this node.
+    /// `None` only for `START` and `END`.
+    pub fu: Option<FuId>,
+    /// The block the node belongs to. Block roots (`LOOP`, `IF`) belong to
+    /// the *enclosing* block; their bodies form the nested block.
+    pub block: BlockId,
+    /// Position in the source program order (used to derive the per-unit
+    /// schedule: statements bound to one unit execute in this order).
+    pub seq: u32,
+}
+
+impl fmt::Display for Node {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.kind)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rtl::RtlStatement;
+
+    fn op(text: &str) -> NodeKind {
+        NodeKind::Op {
+            stmt: text.parse().unwrap(),
+            merged: Vec::new(),
+        }
+    }
+
+    #[test]
+    fn structural_classification() {
+        assert!(NodeKind::Start.is_structural());
+        assert!(NodeKind::Loop { cond: "C".into() }.is_structural());
+        assert!(NodeKind::Loop { cond: "C".into() }.is_block_root());
+        assert!(!NodeKind::EndLoop.is_block_root());
+        assert!(!op("A := Y + M1").is_structural());
+    }
+
+    #[test]
+    fn reads_and_writes_of_op_nodes() {
+        let k = op("U := U - M1");
+        assert_eq!(k.reads().len(), 2);
+        assert_eq!(k.writes(), vec![&Reg::new("U")]);
+    }
+
+    #[test]
+    fn loop_reads_condition() {
+        let k = NodeKind::Loop { cond: "C".into() };
+        assert_eq!(k.reads(), vec![&Reg::new("C")]);
+        assert!(k.writes().is_empty());
+    }
+
+    #[test]
+    fn merged_node_reports_all_statements() {
+        let k = NodeKind::Op {
+            stmt: "Y := Y + M2".parse().unwrap(),
+            merged: vec![RtlStatement::mov("X1", "X")],
+        };
+        assert_eq!(k.statements().len(), 2);
+        assert_eq!(k.writes().len(), 2);
+        assert!(k.reads().iter().any(|r| r.name() == "X"));
+        assert_eq!(k.to_string(), "Y := Y + M2; X1 := X");
+    }
+
+    #[test]
+    fn start_end_have_no_registers() {
+        assert!(NodeKind::Start.reads().is_empty());
+        assert!(NodeKind::End.writes().is_empty());
+    }
+}

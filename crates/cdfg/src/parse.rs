@@ -1,0 +1,213 @@
+//! A small textual format for scheduled, resource-bound CDFG programs, so
+//! designs can live in files and drive the command-line tools.
+//!
+//! ```text
+//! # the paper's DIFFEQ benchmark
+//! fu ALU1
+//! fu MUL1
+//! fu MUL2
+//! fu ALU2
+//!
+//! init X 0
+//! init dx 1
+//!
+//! stmt ALU1 B := 2dx + dx
+//! loop ALU2 C
+//!   stmt MUL1 M1 := U * X1
+//!   stmt ALU2 X := X + dx
+//!   stmt ALU2 C := X < a
+//! endloop ALU2
+//! ```
+//!
+//! Statements are in schedule order (per-unit order of appearance is the
+//! unit's schedule, as in [`crate::builder::CdfgBuilder`]); `loop`/`endloop`
+//! and `if`/`else`/`endif` nest; `init` seeds the register file.
+
+use std::collections::HashMap;
+
+use crate::benchmarks::RegFile;
+use crate::builder::CdfgBuilder;
+use crate::error::CdfgError;
+use crate::graph::Cdfg;
+use crate::ids::FuId;
+use crate::rtl::Reg;
+
+/// A parsed program: the graph and its initial register file.
+#[derive(Clone, Debug)]
+pub struct ParsedProgram {
+    /// The CDFG.
+    pub cdfg: Cdfg,
+    /// Initial register values from `init` lines.
+    pub initial: RegFile,
+}
+
+/// Parses the textual program format.
+///
+/// # Errors
+///
+/// [`CdfgError::ParseRtl`] / [`CdfgError::Structure`] with the offending
+/// line for syntax errors, unknown units, or unbalanced blocks; plus
+/// everything [`CdfgBuilder::finish`] can report.
+pub fn parse_program(text: &str) -> Result<ParsedProgram, CdfgError> {
+    let mut b = CdfgBuilder::new();
+    let mut fus: HashMap<String, FuId> = HashMap::new();
+    let mut initial = RegFile::new();
+
+    let bad = |line: &str, why: &str| CdfgError::Structure(format!("{why}: `{line}`"));
+    let lookup = |fus: &HashMap<String, FuId>, name: &str, line: &str| {
+        fus.get(name)
+            .copied()
+            .ok_or_else(|| bad(line, "unknown functional unit"))
+    };
+
+    for raw in text.lines() {
+        let line = raw.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let (keyword, rest) = line.split_once(char::is_whitespace).unwrap_or((line, ""));
+        let rest = rest.trim();
+        match keyword {
+            "fu" => {
+                if rest.is_empty() {
+                    return Err(bad(line, "missing unit name"));
+                }
+                if fus.contains_key(rest) {
+                    return Err(bad(line, "duplicate functional unit"));
+                }
+                let id = b.add_fu(rest);
+                fus.insert(rest.to_string(), id);
+            }
+            "init" => {
+                let mut toks = rest.split_whitespace();
+                let (Some(reg), Some(val)) = (toks.next(), toks.next()) else {
+                    return Err(bad(line, "expected `init <reg> <value>`"));
+                };
+                let v: i64 = val
+                    .parse()
+                    .map_err(|_| bad(line, "bad initial value"))?;
+                initial.insert(Reg::new(reg), v);
+            }
+            "stmt" => {
+                let (unit, stmt) = rest
+                    .split_once(char::is_whitespace)
+                    .ok_or_else(|| bad(line, "expected `stmt <unit> <rtl>`"))?;
+                let fu = lookup(&fus, unit, line)?;
+                b.stmt(fu, stmt.trim())?;
+            }
+            "loop" => {
+                let mut toks = rest.split_whitespace();
+                let (Some(unit), Some(cond)) = (toks.next(), toks.next()) else {
+                    return Err(bad(line, "expected `loop <unit> <cond-reg>`"));
+                };
+                let fu = lookup(&fus, unit, line)?;
+                b.begin_loop(fu, cond);
+            }
+            "endloop" => {
+                let fu = lookup(&fus, rest, line)?;
+                b.end_loop(fu)?;
+            }
+            "if" => {
+                let mut toks = rest.split_whitespace();
+                let (Some(unit), Some(cond)) = (toks.next(), toks.next()) else {
+                    return Err(bad(line, "expected `if <unit> <cond-reg>`"));
+                };
+                let fu = lookup(&fus, unit, line)?;
+                b.begin_if(fu, cond);
+            }
+            "else" => {
+                b.begin_else()?;
+            }
+            "endif" => {
+                let fu = lookup(&fus, rest, line)?;
+                b.end_if(fu)?;
+            }
+            _ => return Err(bad(line, "unknown keyword")),
+        }
+    }
+    let cdfg = b.finish()?;
+    Ok(ParsedProgram { cdfg, initial })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const DIFFEQ_TEXT: &str = r"
+# DIFFEQ, as in the paper
+fu ALU1
+fu MUL1
+fu MUL2
+fu ALU2
+
+init X 0
+init Y 1
+init U 1
+init X1 0
+init dx 1
+init 2dx 2
+init a 5
+init C 1
+init A 0
+init B 0
+init M1 0
+init M2 0
+
+stmt ALU1 B := 2dx + dx
+loop ALU2 C
+  stmt MUL1 M1 := U * X1
+  stmt MUL2 M2 := U * dx
+  stmt ALU2 X := X + dx
+  stmt ALU1 A := Y + M1
+  stmt ALU2 Y := Y + M2
+  stmt MUL1 M1 := A * B
+  stmt ALU2 X1 := X
+  stmt ALU1 U := U - M1
+  stmt ALU2 C := X < a
+endloop ALU2
+";
+
+    #[test]
+    fn parses_the_diffeq_text_to_the_same_graph_as_the_builder() {
+        let p = parse_program(DIFFEQ_TEXT).unwrap();
+        let d = crate::benchmarks::diffeq(crate::benchmarks::DiffeqParams::default()).unwrap();
+        assert_eq!(p.cdfg.node_count(), d.cdfg.node_count());
+        assert_eq!(p.cdfg.arc_count(), d.cdfg.arc_count());
+        assert_eq!(p.cdfg.inter_fu_arcs().len(), 17);
+        assert_eq!(p.initial, d.initial);
+    }
+
+    #[test]
+    fn parses_conditionals() {
+        let text = "
+fu CMP
+fu SUB
+init x 12
+init y 18
+init c 1
+init d 0
+stmt CMP c := x != y
+loop CMP c
+  stmt CMP d := x < y
+  if CMP d
+    stmt SUB y := y - x
+  else
+    stmt SUB x := x - y
+  endif CMP
+  stmt CMP c := x != y
+endloop CMP
+";
+        let p = parse_program(text).unwrap();
+        crate::validate::validate(&p.cdfg).unwrap();
+    }
+
+    #[test]
+    fn error_cases_name_the_line() {
+        assert!(parse_program("frob x").is_err());
+        assert!(parse_program("stmt NOPE a := b + c").is_err());
+        assert!(parse_program("fu A\nfu A").is_err());
+        assert!(parse_program("init x").is_err());
+        assert!(parse_program("fu A\nloop A c\n").is_err()); // unbalanced
+        assert!(parse_program("fu A\nstmt A a := b +").is_err());
+    }
+}

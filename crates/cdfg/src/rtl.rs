@@ -1,0 +1,398 @@
+//! RTL statements: `dest := lhs op rhs` register-transfer operations.
+//!
+//! The paper's CDFG nodes carry RTL statements such as `A := Y + M1` or the
+//! pure register move `X1 := X`. This module provides the statement type,
+//! a tiny text parser used by the builder and the benchmark library, and an
+//! evaluator used by the numeric simulator in `adcs-sim`.
+
+use std::fmt;
+use std::str::FromStr;
+
+use crate::error::CdfgError;
+
+/// A register (or named constant input) of the datapath.
+///
+/// Register names are free-form identifiers; the paper uses names such as
+/// `U`, `X1`, `dx` and even `2dx` (a pre-loaded constant register holding
+/// `2*dx`), so names may begin with a digit as long as they are not a pure
+/// integer literal.
+#[derive(Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Reg(String);
+
+impl Reg {
+    /// Creates a register with the given name.
+    pub fn new(name: impl Into<String>) -> Self {
+        Reg(name.into())
+    }
+
+    /// The register's name.
+    pub fn name(&self) -> &str {
+        &self.0
+    }
+}
+
+impl fmt::Debug for Reg {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "%{}", self.0)
+    }
+}
+
+impl fmt::Display for Reg {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+impl From<&str> for Reg {
+    fn from(s: &str) -> Self {
+        Reg::new(s)
+    }
+}
+
+impl From<String> for Reg {
+    fn from(s: String) -> Self {
+        Reg::new(s)
+    }
+}
+
+/// An operand of an RTL statement: a register read or an immediate constant.
+#[derive(Clone, Debug, PartialEq, Eq, Hash)]
+pub enum Operand {
+    /// Reads a register.
+    Reg(Reg),
+    /// An immediate integer constant (wired into the datapath).
+    Const(i64),
+}
+
+impl Operand {
+    /// Returns the register read by this operand, if any.
+    pub fn reg(&self) -> Option<&Reg> {
+        match self {
+            Operand::Reg(r) => Some(r),
+            Operand::Const(_) => None,
+        }
+    }
+}
+
+impl fmt::Display for Operand {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Operand::Reg(r) => write!(f, "{r}"),
+            Operand::Const(c) => write!(f, "{c}"),
+        }
+    }
+}
+
+/// The operation performed by an RTL statement.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum Op {
+    /// Addition (`+`), an ALU-class operation.
+    Add,
+    /// Subtraction (`-`), an ALU-class operation.
+    Sub,
+    /// Multiplication (`*`), a multiplier-class operation.
+    Mul,
+    /// Less-than comparison (`<`), producing 0/1; ALU-class.
+    Lt,
+    /// Greater-or-equal comparison (`>=`), producing 0/1; ALU-class.
+    Ge,
+    /// Equality comparison (`==`), producing 0/1; ALU-class.
+    Eq,
+    /// Not-equal comparison (`!=`), producing 0/1; ALU-class.
+    Ne,
+    /// Pure register move (`dest := src`); does **not** use the functional
+    /// unit, which is what makes the GT4 assignment-merging transform legal.
+    Mov,
+}
+
+impl Op {
+    /// True for the pure-move operation that bypasses the functional unit.
+    pub fn is_move(self) -> bool {
+        self == Op::Mov
+    }
+
+    /// True for comparison operations (producers of loop/if condition flags).
+    pub fn is_comparison(self) -> bool {
+        matches!(self, Op::Lt | Op::Ge | Op::Eq | Op::Ne)
+    }
+
+    /// The infix symbol used in the textual RTL syntax.
+    pub fn symbol(self) -> &'static str {
+        match self {
+            Op::Add => "+",
+            Op::Sub => "-",
+            Op::Mul => "*",
+            Op::Lt => "<",
+            Op::Ge => ">=",
+            Op::Eq => "==",
+            Op::Ne => "!=",
+            Op::Mov => "",
+        }
+    }
+
+    /// Applies the operation to concrete values (used by the simulator).
+    ///
+    /// For `Mov` the right operand is ignored.
+    pub fn apply(self, lhs: i64, rhs: i64) -> i64 {
+        match self {
+            Op::Add => lhs.wrapping_add(rhs),
+            Op::Sub => lhs.wrapping_sub(rhs),
+            Op::Mul => lhs.wrapping_mul(rhs),
+            Op::Lt => i64::from(lhs < rhs),
+            Op::Ge => i64::from(lhs >= rhs),
+            Op::Eq => i64::from(lhs == rhs),
+            Op::Ne => i64::from(lhs != rhs),
+            Op::Mov => lhs,
+        }
+    }
+}
+
+impl fmt::Display for Op {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.symbol())
+    }
+}
+
+/// A single register-transfer statement `dest := lhs op rhs`.
+///
+/// # Example
+///
+/// ```rust
+/// use adcs_cdfg::rtl::{Op, RtlStatement};
+///
+/// # fn main() -> Result<(), adcs_cdfg::CdfgError> {
+/// let s: RtlStatement = "A := Y + M1".parse()?;
+/// assert_eq!(s.dest.name(), "A");
+/// assert_eq!(s.op, Op::Add);
+/// assert_eq!(s.to_string(), "A := Y + M1");
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Clone, Debug, PartialEq, Eq, Hash)]
+pub struct RtlStatement {
+    /// Destination register written by the statement.
+    pub dest: Reg,
+    /// The operation performed.
+    pub op: Op,
+    /// Left operand.
+    pub lhs: Operand,
+    /// Right operand (`None` only for `Mov`).
+    pub rhs: Option<Operand>,
+}
+
+impl RtlStatement {
+    /// Builds a binary statement `dest := lhs op rhs`.
+    pub fn binary(dest: impl Into<Reg>, lhs: Operand, op: Op, rhs: Operand) -> Self {
+        RtlStatement {
+            dest: dest.into(),
+            op,
+            lhs,
+            rhs: Some(rhs),
+        }
+    }
+
+    /// Builds a pure move `dest := src` (the assignment-node form of GT4).
+    pub fn mov(dest: impl Into<Reg>, src: impl Into<Reg>) -> Self {
+        RtlStatement {
+            dest: dest.into(),
+            op: Op::Mov,
+            lhs: Operand::Reg(src.into()),
+            rhs: None,
+        }
+    }
+
+    /// True if this statement is a pure register move (assignment node).
+    pub fn is_move(&self) -> bool {
+        self.op.is_move()
+    }
+
+    /// Registers read by the statement, in operand order, without duplicates.
+    pub fn reads(&self) -> Vec<&Reg> {
+        let mut out = Vec::new();
+        if let Some(r) = self.lhs.reg() {
+            out.push(r);
+        }
+        if let Some(r) = self.rhs.as_ref().and_then(Operand::reg) {
+            if !out.contains(&r) {
+                out.push(r);
+            }
+        }
+        out
+    }
+
+    /// The register written by the statement.
+    pub fn writes(&self) -> &Reg {
+        &self.dest
+    }
+
+    /// Evaluates the statement against a register-read function.
+    ///
+    /// `read` supplies current register values; constants evaluate to
+    /// themselves. Returns the value to be written to [`Self::dest`].
+    pub fn eval(&self, mut read: impl FnMut(&Reg) -> i64) -> i64 {
+        let lhs = match &self.lhs {
+            Operand::Reg(r) => read(r),
+            Operand::Const(c) => *c,
+        };
+        let rhs = match &self.rhs {
+            Some(Operand::Reg(r)) => read(r),
+            Some(Operand::Const(c)) => *c,
+            None => 0,
+        };
+        self.op.apply(lhs, rhs)
+    }
+}
+
+impl fmt::Display for RtlStatement {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match (&self.op, &self.rhs) {
+            (Op::Mov, _) | (_, None) => write!(f, "{} := {}", self.dest, self.lhs),
+            (op, Some(rhs)) => write!(f, "{} := {} {} {}", self.dest, self.lhs, op, rhs),
+        }
+    }
+}
+
+fn parse_operand(tok: &str) -> Operand {
+    match tok.parse::<i64>() {
+        Ok(c) => Operand::Const(c),
+        Err(_) => Operand::Reg(Reg::new(tok)),
+    }
+}
+
+impl FromStr for RtlStatement {
+    type Err = CdfgError;
+
+    /// Parses the textual RTL syntax used throughout the paper:
+    /// `dest := a`, `dest := a + b`, `dest := a * b`, `dest := a < b`, …
+    ///
+    /// Tokens are whitespace-separated. Names that are not pure integer
+    /// literals are registers (so the paper's `2dx` register parses as a
+    /// register, not an expression).
+    fn from_str(s: &str) -> Result<Self, CdfgError> {
+        let err = || CdfgError::ParseRtl(s.to_string());
+        let (dest, expr) = s.split_once(":=").ok_or_else(err)?;
+        let dest = dest.trim();
+        if dest.is_empty() || dest.parse::<i64>().is_ok() {
+            return Err(err());
+        }
+        let toks: Vec<&str> = expr.split_whitespace().collect();
+        match toks.as_slice() {
+            [a] => Ok(RtlStatement {
+                dest: Reg::new(dest),
+                op: Op::Mov,
+                lhs: parse_operand(a),
+                rhs: None,
+            }),
+            [a, op, b] => {
+                let op = match *op {
+                    "+" => Op::Add,
+                    "-" => Op::Sub,
+                    "*" => Op::Mul,
+                    "<" => Op::Lt,
+                    ">=" => Op::Ge,
+                    "==" => Op::Eq,
+                    "!=" => Op::Ne,
+                    _ => return Err(err()),
+                };
+                Ok(RtlStatement::binary(dest, parse_operand(a), op, parse_operand(b)))
+            }
+            _ => Err(err()),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_binary_statement() {
+        let s: RtlStatement = "A := Y + M1".parse().unwrap();
+        assert_eq!(s.dest, Reg::new("A"));
+        assert_eq!(s.op, Op::Add);
+        assert_eq!(s.lhs, Operand::Reg(Reg::new("Y")));
+        assert_eq!(s.rhs, Some(Operand::Reg(Reg::new("M1"))));
+    }
+
+    #[test]
+    fn parses_move() {
+        let s: RtlStatement = "X1 := X".parse().unwrap();
+        assert!(s.is_move());
+        assert_eq!(s.reads(), vec![&Reg::new("X")]);
+        assert_eq!(s.writes(), &Reg::new("X1"));
+    }
+
+    #[test]
+    fn parses_digit_prefixed_register_names() {
+        // The paper's `B := 2dx + dx`: `2dx` is a register, not `2 * dx`.
+        let s: RtlStatement = "B := 2dx + dx".parse().unwrap();
+        assert_eq!(s.lhs, Operand::Reg(Reg::new("2dx")));
+    }
+
+    #[test]
+    fn parses_constants() {
+        let s: RtlStatement = "n := n - 1".parse().unwrap();
+        assert_eq!(s.rhs, Some(Operand::Const(1)));
+        assert_eq!(s.reads(), vec![&Reg::new("n")]);
+    }
+
+    #[test]
+    fn duplicate_reads_are_deduplicated() {
+        let s: RtlStatement = "y := x * x".parse().unwrap();
+        assert_eq!(s.reads().len(), 1);
+    }
+
+    #[test]
+    fn rejects_malformed_statements() {
+        assert!("A = B + C".parse::<RtlStatement>().is_err());
+        assert!("A := B + C + D".parse::<RtlStatement>().is_err());
+        assert!("A := B ^ C".parse::<RtlStatement>().is_err());
+        assert!(":= B".parse::<RtlStatement>().is_err());
+        assert!("3 := B".parse::<RtlStatement>().is_err());
+    }
+
+    #[test]
+    fn display_roundtrips_through_parser() {
+        for text in ["A := Y + M1", "U := U - M1", "M1 := A * B", "C := X < a", "X1 := X"] {
+            let s: RtlStatement = text.parse().unwrap();
+            assert_eq!(s.to_string(), text);
+            let again: RtlStatement = s.to_string().parse().unwrap();
+            assert_eq!(again, s);
+        }
+    }
+
+    #[test]
+    fn eval_applies_operation() {
+        let s: RtlStatement = "U := U - M1".parse().unwrap();
+        let v = s.eval(|r| match r.name() {
+            "U" => 10,
+            "M1" => 4,
+            _ => 0,
+        });
+        assert_eq!(v, 6);
+
+        let c: RtlStatement = "C := X < a".parse().unwrap();
+        assert_eq!(c.eval(|r| if r.name() == "X" { 3 } else { 5 }), 1);
+        assert_eq!(c.eval(|r| if r.name() == "X" { 9 } else { 5 }), 0);
+    }
+
+    #[test]
+    fn eval_of_move_passes_value_through() {
+        let s = RtlStatement::mov("X1", "X");
+        assert_eq!(s.eval(|_| 42), 42);
+    }
+
+    #[test]
+    fn comparison_classification() {
+        assert!(Op::Lt.is_comparison());
+        assert!(Op::Ge.is_comparison());
+        assert!(!Op::Add.is_comparison());
+        assert!(Op::Mov.is_move());
+    }
+
+    #[test]
+    fn op_apply_wraps_on_overflow() {
+        assert_eq!(Op::Add.apply(i64::MAX, 1), i64::MIN);
+        assert_eq!(Op::Mul.apply(i64::MAX, 2), -2);
+    }
+}

@@ -1,0 +1,300 @@
+//! Structural validation of CDFGs.
+//!
+//! A legal CDFG (paper §2.1) is *block-structured*: constraint arcs never
+//! cross block boundaries except at the block root; the forward-constraint
+//! subgraph is acyclic (so a legal firing order exists); and every RTL node
+//! is bound to a functional unit.
+
+use std::collections::HashMap;
+
+use crate::error::CdfgError;
+use crate::graph::Cdfg;
+use crate::ids::{ArcId, BlockId, NodeId};
+use crate::node::NodeKind;
+
+/// Validates a graph, returning the first violation found.
+///
+/// # Errors
+///
+/// * [`CdfgError::Structure`] — missing/duplicate `START`/`END`, unbound
+///   RTL node, or an `Op` node that is actually a move.
+/// * [`CdfgError::BlockCrossing`] — an arc enters or leaves a block away
+///   from its root/tail boundary nodes.
+/// * [`CdfgError::ForwardCycle`] — the forward arcs admit no firing order.
+pub fn validate(g: &Cdfg) -> Result<(), CdfgError> {
+    check_endpoints(g)?;
+    check_bindings(g)?;
+    check_block_structure(g)?;
+    forward_topological_order(g).map(|_| ())
+}
+
+fn check_endpoints(g: &Cdfg) -> Result<(), CdfgError> {
+    let starts = g.nodes().filter(|(_, n)| matches!(n.kind, NodeKind::Start)).count();
+    let ends = g.nodes().filter(|(_, n)| matches!(n.kind, NodeKind::End)).count();
+    if starts != 1 {
+        return Err(CdfgError::Structure(format!("expected 1 START node, found {starts}")));
+    }
+    if ends != 1 {
+        return Err(CdfgError::Structure(format!("expected 1 END node, found {ends}")));
+    }
+    Ok(())
+}
+
+fn check_bindings(g: &Cdfg) -> Result<(), CdfgError> {
+    for (id, n) in g.nodes() {
+        match &n.kind {
+            NodeKind::Start | NodeKind::End => {}
+            NodeKind::Op { stmt, .. } => {
+                if n.fu.is_none() {
+                    return Err(CdfgError::Structure(format!("operation {id} is not bound to a unit")));
+                }
+                if stmt.is_move() {
+                    return Err(CdfgError::Structure(format!(
+                        "node {id} holds a pure move as an operation; use an assignment node"
+                    )));
+                }
+            }
+            _ => {
+                if n.fu.is_none() {
+                    return Err(CdfgError::Structure(format!("node {id} ({}) is not bound to a unit", n.kind)));
+                }
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Block chain of a node: its block and all enclosing blocks.
+fn chain(g: &Cdfg, b: BlockId) -> Vec<BlockId> {
+    let mut v = vec![b];
+    let mut cur = b;
+    while let Some(p) = g.block(cur).parent {
+        v.push(p);
+        cur = p;
+    }
+    v
+}
+
+/// Whether `n` is the root or tail boundary node of some block that
+/// (transitively) contains `inner`.
+fn is_boundary_of_chain(g: &Cdfg, n: NodeId, inner: BlockId) -> bool {
+    g.blocks().any(|(b, info)| {
+        (info.kind.head() == Some(n) || info.kind.tail() == Some(n)) && g.block_contains(b, inner)
+    })
+}
+
+fn check_block_structure(g: &Cdfg) -> Result<(), CdfgError> {
+    for (id, arc) in g.arcs() {
+        let bs = g.node(arc.src)?.block;
+        let bd = g.node(arc.dst)?.block;
+        if bs == bd {
+            continue;
+        }
+        // Same chain with the boundary node doing the crossing is legal:
+        // entering at the root (LOOP -> body item), exiting at the root or
+        // tail (item -> ENDLOOP), or boundary-to-boundary (ENDLOOP ~> LOOP).
+        if is_boundary_of_chain(g, arc.src, bd) || is_boundary_of_chain(g, arc.dst, bs) {
+            continue;
+        }
+        // Arcs between a node and something in a *sibling* or unrelated
+        // block are crossings; so are direct arcs deep into a nested block.
+        if chain(g, bs).contains(&bd) || chain(g, bd).contains(&bs) {
+            // One block encloses the other but neither endpoint is a
+            // boundary node: illegal (e.g. pre-loop stmt -> body stmt).
+            return Err(CdfgError::BlockCrossing {
+                arc: id,
+                src: arc.src,
+                dst: arc.dst,
+            });
+        }
+        return Err(CdfgError::BlockCrossing {
+            arc: id,
+            src: arc.src,
+            dst: arc.dst,
+        });
+    }
+    Ok(())
+}
+
+/// Topological order of the forward-constraint subgraph.
+///
+/// Backward (pre-enabled) arcs are ignored; they never constrain the first
+/// firing, so the forward subgraph alone must admit an order.
+///
+/// # Errors
+///
+/// Returns [`CdfgError::ForwardCycle`] listing the nodes on a cycle.
+pub fn forward_topological_order(g: &Cdfg) -> Result<Vec<NodeId>, CdfgError> {
+    let mut indeg: HashMap<NodeId, usize> = g.nodes().map(|(id, _)| (id, 0)).collect();
+    for (_, a) in g.arcs() {
+        if !a.backward {
+            *indeg.get_mut(&a.dst).expect("arc targets live node") += 1;
+        }
+    }
+    let mut ready: Vec<NodeId> = indeg
+        .iter()
+        .filter(|(_, &d)| d == 0)
+        .map(|(&n, _)| n)
+        .collect();
+    ready.sort_unstable();
+    let mut order = Vec::with_capacity(indeg.len());
+    while let Some(n) = ready.pop() {
+        order.push(n);
+        for (_, a) in g.out_arcs(n) {
+            if a.backward {
+                continue;
+            }
+            let d = indeg.get_mut(&a.dst).expect("live");
+            *d -= 1;
+            if *d == 0 {
+                ready.push(a.dst);
+            }
+        }
+    }
+    if order.len() != indeg.len() {
+        let stuck: Vec<NodeId> = indeg
+            .into_iter()
+            .filter(|&(n, _)| !order.contains(&n))
+            .map(|(n, _)| n)
+            .collect();
+        return Err(CdfgError::ForwardCycle(stuck));
+    }
+    Ok(order)
+}
+
+/// Lists every live arc id whose removal [`validate`] would reject — i.e.
+/// arcs that cross block boundaries. Useful in property tests.
+pub fn crossing_arcs(g: &Cdfg) -> Vec<ArcId> {
+    g.arcs()
+        .filter(|(_, arc)| {
+            let bs = g.node(arc.src).map(|n| n.block);
+            let bd = g.node(arc.dst).map(|n| n.block);
+            match (bs, bd) {
+                (Ok(bs), Ok(bd)) => {
+                    bs != bd
+                        && !is_boundary_of_chain(g, arc.src, bd)
+                        && !is_boundary_of_chain(g, arc.dst, bs)
+                }
+                _ => true,
+            }
+        })
+        .map(|(id, _)| id)
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::CdfgBuilder;
+    use crate::graph::BlockKind;
+    use crate::node::Node;
+    use crate::Role;
+
+    fn looped() -> Cdfg {
+        let mut b = CdfgBuilder::new();
+        let alu = b.add_fu("ALU");
+        b.stmt(alu, "c := n != 0").unwrap();
+        b.begin_loop(alu, "c");
+        b.stmt(alu, "n := n - 1").unwrap();
+        b.stmt(alu, "c := n != 0").unwrap();
+        b.end_loop(alu).unwrap();
+        b.finish().unwrap()
+    }
+
+    #[test]
+    fn builder_output_validates() {
+        let g = looped();
+        assert!(validate(&g).is_ok());
+        assert!(crossing_arcs(&g).is_empty());
+    }
+
+    #[test]
+    fn detects_block_crossing() {
+        let mut g = looped();
+        let pre = g
+            .rtl_nodes()
+            .find(|(_, n)| n.kind.to_string() == "c := n != 0")
+            .map(|(id, _)| id)
+            .unwrap();
+        let body = g.node_by_label("n := n - 1").unwrap();
+        g.add_arc(pre, body, Role::DataDep, false);
+        assert!(matches!(validate(&g), Err(CdfgError::BlockCrossing { .. })));
+        assert_eq!(crossing_arcs(&g).len(), 1);
+    }
+
+    #[test]
+    fn detects_forward_cycle() {
+        let mut g = looped();
+        let a = g.node_by_label("n := n - 1").unwrap();
+        let later = g
+            .rtl_nodes()
+            .filter(|(_, n)| n.kind.to_string() == "c := n != 0")
+            .map(|(id, _)| id)
+            .max()
+            .unwrap();
+        g.add_arc(later, a, Role::DataDep, false);
+        assert!(matches!(validate(&g), Err(CdfgError::ForwardCycle(_))));
+    }
+
+    #[test]
+    fn backward_arcs_do_not_count_as_cycles() {
+        let g = looped();
+        // The ENDLOOP ~> LOOP loop-back is a backward arc; the graph is
+        // still forward-acyclic.
+        assert!(forward_topological_order(&g).is_ok());
+    }
+
+    #[test]
+    fn topo_order_respects_forward_arcs() {
+        let g = looped();
+        let order = forward_topological_order(&g).unwrap();
+        let pos: std::collections::HashMap<_, _> =
+            order.iter().enumerate().map(|(i, &n)| (n, i)).collect();
+        for (_, a) in g.arcs() {
+            if !a.backward {
+                assert!(pos[&a.src] < pos[&a.dst], "{a}");
+            }
+        }
+    }
+
+    #[test]
+    fn missing_start_is_rejected() {
+        let mut g = Cdfg::new();
+        let outer = g.add_block(None, BlockKind::Outer);
+        g.add_node(Node {
+            kind: NodeKind::End,
+            fu: None,
+            block: outer,
+            seq: 0,
+        });
+        assert!(matches!(validate(&g), Err(CdfgError::Structure(_))));
+    }
+
+    #[test]
+    fn unbound_operation_is_rejected() {
+        let mut g = Cdfg::new();
+        let outer = g.add_block(None, BlockKind::Outer);
+        g.add_node(Node {
+            kind: NodeKind::Start,
+            fu: None,
+            block: outer,
+            seq: 0,
+        });
+        g.add_node(Node {
+            kind: NodeKind::End,
+            fu: None,
+            block: outer,
+            seq: 1,
+        });
+        g.add_node(Node {
+            kind: NodeKind::Op {
+                stmt: "a := b + c".parse().unwrap(),
+                merged: vec![],
+            },
+            fu: None,
+            block: outer,
+            seq: 2,
+        });
+        assert!(matches!(validate(&g), Err(CdfgError::Structure(_))));
+    }
+}

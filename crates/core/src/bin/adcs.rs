@@ -1,0 +1,142 @@
+//! `adcs` — command-line front end to the synthesis flow.
+//!
+//! ```sh
+//! adcs synth  design.adcs            # full flow; prints the stage table
+//! adcs synth  design.adcs --bm out/  # also dump the controllers as .bm text
+//! adcs synth  design.adcs --vcd run.vcd   # plus an end-to-end waveform
+//! adcs run    design.adcs            # simulate the raw CDFG, print registers
+//! adcs script design.adcs "gt1; gt2; gt5"  # apply a transform script
+//! adcs dot    design.adcs            # print the CDFG in Graphviz syntax
+//! ```
+//!
+//! Design files use the textual format of `adcs_cdfg::parse` (see the
+//! rustdoc there); registers are seeded with `init` lines.
+
+use std::path::Path;
+use std::process::ExitCode;
+
+use adcs::extract::Extraction;
+use adcs::flow::{Flow, FlowOptions};
+use adcs::script::{run_script, Script};
+use adcs::system::{build_system, SystemDelays};
+use adcs_cdfg::parse::{parse_program, ParsedProgram};
+use adcs_sim::exec::{execute, ExecOptions};
+use adcs_sim::DelayModel;
+
+fn main() -> ExitCode {
+    match run() {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn run() -> Result<(), Box<dyn std::error::Error>> {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let (cmd, file) = match (args.first(), args.get(1)) {
+        (Some(c), Some(f)) => (c.as_str(), f.as_str()),
+        _ => {
+            eprintln!("usage: adcs <synth|run|script|dot> <design.adcs> [options]");
+            eprintln!("  synth  [--bm DIR] [--vcd FILE]   run the full flow");
+            eprintln!("  run                              simulate the raw CDFG");
+            eprintln!("  script \"gt1; gt2; ...\"           apply a transform script");
+            eprintln!("  dot                              print Graphviz for the CDFG");
+            return Err("missing arguments".into());
+        }
+    };
+    let text = std::fs::read_to_string(file)?;
+    let program = parse_program(&text)?;
+
+    match cmd {
+        "synth" => synth(&program, &args[2..]),
+        "run" => simulate(&program),
+        "script" => script(&program, args.get(2).map(String::as_str).unwrap_or("")),
+        "dot" => {
+            print!("{}", adcs_cdfg::dot::to_dot(&program.cdfg));
+            Ok(())
+        }
+        other => Err(format!("unknown command `{other}`").into()),
+    }
+}
+
+fn synth(program: &ParsedProgram, opts: &[String]) -> Result<(), Box<dyn std::error::Error>> {
+    let flow = Flow::new(program.cdfg.clone(), program.initial.clone());
+    let out = flow.run(&FlowOptions::default())?;
+
+    println!("channels: {} -> {}", out.unoptimized.channels, out.channels.count());
+    for st in [&out.unoptimized, &out.optimized_gt, &out.optimized_gt_lt] {
+        println!("{:22} {:3} channels", st.label, st.channels);
+        for (name, stats) in &st.machines {
+            println!("   {name:8} {stats}");
+        }
+    }
+
+    let mut i = 0;
+    while i < opts.len() {
+        match opts[i].as_str() {
+            "--bm" => {
+                let dir = opts.get(i + 1).ok_or("--bm needs a directory argument")?;
+                std::fs::create_dir_all(dir)?;
+                for c in &out.controllers {
+                    let path = Path::new(dir).join(format!("{}.bm", c.machine.name()));
+                    std::fs::write(&path, adcs_xbm::format::to_text(&c.machine))?;
+                    println!("wrote {}", path.display());
+                }
+            }
+            "--vcd" => {
+                let path = opts.get(i + 1).ok_or("--vcd needs a file argument")?;
+                let ex = Extraction {
+                    controllers: out.controllers.clone(),
+                };
+                let mut sys = build_system(
+                    &out.cdfg,
+                    &out.channels,
+                    &ex,
+                    program.initial.clone(),
+                    SystemDelays::default(),
+                )?;
+                sys.record_trace(true);
+                sys.run(2_000_000)?;
+                std::fs::write(path, sys.to_vcd(&ex))?;
+                println!("wrote {path} ({} register writes)", sys.datapath().writes);
+            }
+            other => return Err(format!("unknown option `{other}`").into()),
+        }
+        i += 2;
+    }
+    Ok(())
+}
+
+fn simulate(program: &ParsedProgram) -> Result<(), Box<dyn std::error::Error>> {
+    let r = execute(
+        &program.cdfg,
+        program.initial.clone(),
+        &DelayModel::uniform(1),
+        &ExecOptions::default(),
+    )?;
+    println!("finished at t={} after {} firings", r.time, r.firings.len());
+    let mut regs: Vec<_> = r.registers.iter().collect();
+    regs.sort_by(|a, b| a.0.name().cmp(b.0.name()));
+    for (reg, v) in regs {
+        println!("  {reg:8} = {v}");
+    }
+    Ok(())
+}
+
+fn script(program: &ParsedProgram, text: &str) -> Result<(), Box<dyn std::error::Error>> {
+    let script: Script = if text.trim().is_empty() {
+        Script::paper_default()
+    } else {
+        text.parse()?
+    };
+    let mut g = program.cdfg.clone();
+    let timing = adcs::TimingModel::uniform(1, 2)
+        .with_class("MUL", 2, 4)
+        .with_samples(16);
+    let (channels, log) = run_script(&mut g, &program.initial, &timing, &script)?;
+    print!("{log}");
+    println!("final: {} channels, {} inter-unit arcs", channels.count(), g.inter_fu_arcs().len());
+    Ok(())
+}

@@ -1,0 +1,261 @@
+//! Communication channels between functional-unit controllers.
+//!
+//! Each surviving inter-unit constraint arc is implemented by a *global
+//! communication channel* — a single wire carrying "ready" events as bare
+//! signal transitions, with no acknowledgment (paper §2.2–2.3). The GT5
+//! transforms reduce the channel count by **multiplexing** (two
+//! never-concurrent arcs share one wire as alternating phases) and by
+//! forming **multi-way** channels (one sender event observed by several
+//! receiving controllers).
+//!
+//! [`ChannelMap`] tracks which arcs ride on which channel; its channel
+//! count is the quantity reported in the paper's Figure 5 and the first
+//! column of Figure 12.
+
+use std::collections::BTreeSet;
+use std::fmt;
+
+use adcs_cdfg::{ArcId, Cdfg, FuId};
+
+use crate::error::SynthError;
+
+/// One communication channel: a wire from one sending controller to one or
+/// more receiving controllers, carrying the events of `arcs`.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Channel {
+    /// The sending functional unit.
+    pub sender: FuId,
+    /// The receiving functional units (more than one = multi-way).
+    pub receivers: BTreeSet<FuId>,
+    /// The constraint arcs whose events ride on this wire.
+    pub arcs: Vec<ArcId>,
+}
+
+impl Channel {
+    /// Whether this is a multi-way channel.
+    pub fn is_multiway(&self) -> bool {
+        self.receivers.len() > 1
+    }
+}
+
+/// The assignment of inter-unit arcs to channels.
+#[derive(Clone, Debug, Default)]
+pub struct ChannelMap {
+    channels: Vec<Channel>,
+}
+
+impl ChannelMap {
+    /// The basic assignment: one channel per inter-unit constraint arc
+    /// (paper §2.3, before GT5).
+    ///
+    /// # Errors
+    ///
+    /// Propagates graph lookup failures (stale arc ids).
+    pub fn per_arc(g: &Cdfg) -> Result<Self, SynthError> {
+        let mut channels = Vec::new();
+        for id in g.inter_fu_arcs() {
+            let arc = g.arc(id)?;
+            let sender = g.node(arc.src)?.fu.expect("inter-unit arc has bound source");
+            let receiver = g.node(arc.dst)?.fu.expect("inter-unit arc has bound target");
+            channels.push(Channel {
+                sender,
+                receivers: BTreeSet::from([receiver]),
+                arcs: vec![id],
+            });
+        }
+        Ok(ChannelMap { channels })
+    }
+
+    /// The channels.
+    pub fn channels(&self) -> &[Channel] {
+        &self.channels
+    }
+
+    /// Number of channels (Figure 12, column 1).
+    pub fn count(&self) -> usize {
+        self.channels.len()
+    }
+
+    /// Number of multi-way channels.
+    pub fn multiway_count(&self) -> usize {
+        self.channels.iter().filter(|c| c.is_multiway()).count()
+    }
+
+    /// The channel index carrying `arc`, if any.
+    pub fn channel_of(&self, arc: ArcId) -> Option<usize> {
+        self.channels.iter().position(|c| c.arcs.contains(&arc))
+    }
+
+    /// Merges channel `b` into channel `a` (multiplexing / multi-way
+    /// fusion).
+    ///
+    /// # Errors
+    ///
+    /// Fails if the indices are bad or the senders differ.
+    pub fn merge(&mut self, a: usize, b: usize) -> Result<(), SynthError> {
+        if a == b || a >= self.channels.len() || b >= self.channels.len() {
+            return Err(SynthError::Channel(format!(
+                "cannot merge channels #{a} and #{b}"
+            )));
+        }
+        if self.channels[a].sender != self.channels[b].sender {
+            return Err(SynthError::Channel(format!(
+                "channels #{a} and #{b} have different senders"
+            )));
+        }
+        let (lo, hi) = (a.min(b), a.max(b));
+        let removed = self.channels.remove(hi);
+        let keep = &mut self.channels[lo];
+        keep.receivers.extend(removed.receivers);
+        keep.arcs.extend(removed.arcs);
+        Ok(())
+    }
+
+    /// Adds an arc to an existing channel (after GT5.2/5.3 create arcs).
+    ///
+    /// # Errors
+    ///
+    /// Fails on a bad index.
+    pub fn add_arc_to(&mut self, channel: usize, arc: ArcId, receiver: FuId) -> Result<(), SynthError> {
+        let c = self
+            .channels
+            .get_mut(channel)
+            .ok_or_else(|| SynthError::Channel(format!("no channel #{channel}")))?;
+        c.arcs.push(arc);
+        c.receivers.insert(receiver);
+        Ok(())
+    }
+
+    /// Removes an arc from its channel; drops the channel if it becomes
+    /// empty. Returns `true` if an arc was removed.
+    pub fn remove_arc(&mut self, arc: ArcId) -> bool {
+        for (i, c) in self.channels.iter_mut().enumerate() {
+            if let Some(pos) = c.arcs.iter().position(|&a| a == arc) {
+                c.arcs.remove(pos);
+                if c.arcs.is_empty() {
+                    self.channels.remove(i);
+                }
+                return true;
+            }
+        }
+        false
+    }
+
+    /// Arc groups for the simulator's wire-safety monitor.
+    ///
+    /// The token-level invariant the paper's transition signalling needs is
+    /// per event class: one wire leg must never carry a *second* event of
+    /// the same class while the first is unconsumed (the GT1 step-D
+    /// condition). Distinct classes multiplexed onto one wire are absorbed
+    /// by the receiving controller's sequential waits — safe under the
+    /// relative-timing regime the paper assumes throughout; the
+    /// machine-level network simulator ([`crate::system`]) validates that
+    /// part faithfully, wait by wait.
+    pub fn safety_groups(&self, g: &Cdfg) -> Vec<Vec<ArcId>> {
+        let _ = g;
+        self.channels
+            .iter()
+            .flat_map(|c| c.arcs.iter().map(|&a| vec![a]))
+            .collect()
+    }
+}
+
+impl fmt::Display for ChannelMap {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for (i, c) in self.channels.iter().enumerate() {
+            write!(f, "ch{i}: {} -> {{", c.sender)?;
+            for (j, r) in c.receivers.iter().enumerate() {
+                if j > 0 {
+                    write!(f, ",")?;
+                }
+                write!(f, "{r}")?;
+            }
+            writeln!(f, "}} ({} arc(s))", c.arcs.len())?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use adcs_cdfg::builder::CdfgBuilder;
+
+    fn three_unit_graph() -> Cdfg {
+        let mut b = CdfgBuilder::new();
+        let a = b.add_fu("A");
+        let m = b.add_fu("M");
+        let c = b.add_fu("C");
+        b.stmt(a, "x := p + q").unwrap();
+        b.stmt(m, "y := x * x").unwrap();
+        b.stmt(c, "z := y + x").unwrap();
+        b.finish().unwrap()
+    }
+
+    #[test]
+    fn per_arc_assignment_matches_inter_unit_arcs() {
+        let g = three_unit_graph();
+        let ch = ChannelMap::per_arc(&g).unwrap();
+        assert_eq!(ch.count(), g.inter_fu_arcs().len());
+        assert_eq!(ch.multiway_count(), 0);
+        for arc in g.inter_fu_arcs() {
+            assert!(ch.channel_of(arc).is_some());
+        }
+    }
+
+    #[test]
+    fn merge_requires_same_sender() {
+        let g = three_unit_graph();
+        let mut ch = ChannelMap::per_arc(&g).unwrap();
+        // x -> y (A->M) and x -> z (A->C) share sender A; y -> z (M->C)
+        // does not share with them.
+        let senders: Vec<_> = ch.channels().iter().map(|c| c.sender).collect();
+        let same: Vec<usize> = (0..senders.len())
+            .filter(|&i| senders.iter().filter(|&&s| s == senders[i]).count() > 1)
+            .collect();
+        if same.len() >= 2 {
+            let (i, j) = (same[0], same[1]);
+            ch.merge(i, j).unwrap();
+            assert!(ch.channels()[i.min(j)].is_multiway());
+        }
+        // different senders refuse
+        let mut ch2 = ChannelMap::per_arc(&g).unwrap();
+        let distinct = (0..ch2.count())
+            .flat_map(|i| (0..ch2.count()).map(move |j| (i, j)))
+            .find(|&(i, j)| i != j && ch2.channels()[i].sender != ch2.channels()[j].sender);
+        if let Some((i, j)) = distinct {
+            assert!(ch2.merge(i, j).is_err());
+        }
+        assert!(ch2.merge(0, 0).is_err());
+        assert!(ch2.merge(0, 99).is_err());
+    }
+
+    #[test]
+    fn remove_arc_drops_empty_channels() {
+        let g = three_unit_graph();
+        let mut ch = ChannelMap::per_arc(&g).unwrap();
+        let n = ch.count();
+        let arc = ch.channels()[0].arcs[0];
+        assert!(ch.remove_arc(arc));
+        assert_eq!(ch.count(), n - 1);
+        assert!(!ch.remove_arc(arc));
+    }
+
+    #[test]
+    fn safety_groups_are_per_arc() {
+        let g = three_unit_graph();
+        let ch = ChannelMap::per_arc(&g).unwrap();
+        let groups = ch.safety_groups(&g);
+        assert_eq!(groups.len(), ch.count());
+        assert!(groups.iter().all(|g| g.len() == 1));
+    }
+
+    #[test]
+    fn display_lists_every_channel() {
+        let g = three_unit_graph();
+        let ch = ChannelMap::per_arc(&g).unwrap();
+        let text = ch.to_string();
+        assert_eq!(text.lines().count(), ch.count());
+        assert!(text.contains("ch0:"));
+    }
+}

@@ -1,0 +1,94 @@
+//! Error type for the synthesis flow.
+
+use std::error::Error;
+use std::fmt;
+
+use adcs_cdfg::CdfgError;
+use adcs_hfmin::HfminError;
+use adcs_sim::SimError;
+use adcs_xbm::XbmError;
+
+/// Errors produced by the transforms, extraction, or the flow driver.
+#[derive(Clone, Debug)]
+#[non_exhaustive]
+pub enum SynthError {
+    /// CDFG-level failure.
+    Cdfg(CdfgError),
+    /// Burst-mode machine failure.
+    Xbm(XbmError),
+    /// Logic-minimization failure.
+    Hfmin(HfminError),
+    /// Simulation failure during verification.
+    Sim(SimError),
+    /// Channel bookkeeping failure.
+    Channel(String),
+    /// A transform's precondition does not hold.
+    Precondition(String),
+    /// Controller extraction failed (phase inconsistency, unsupported
+    /// structure…).
+    Extract(String),
+}
+
+impl fmt::Display for SynthError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SynthError::Cdfg(e) => write!(f, "cdfg: {e}"),
+            SynthError::Xbm(e) => write!(f, "machine: {e}"),
+            SynthError::Hfmin(e) => write!(f, "logic: {e}"),
+            SynthError::Sim(e) => write!(f, "simulation: {e}"),
+            SynthError::Channel(s) => write!(f, "channel: {s}"),
+            SynthError::Precondition(s) => write!(f, "precondition failed: {s}"),
+            SynthError::Extract(s) => write!(f, "extraction: {s}"),
+        }
+    }
+}
+
+impl Error for SynthError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            SynthError::Cdfg(e) => Some(e),
+            SynthError::Xbm(e) => Some(e),
+            SynthError::Hfmin(e) => Some(e),
+            SynthError::Sim(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<CdfgError> for SynthError {
+    fn from(e: CdfgError) -> Self {
+        SynthError::Cdfg(e)
+    }
+}
+
+impl From<XbmError> for SynthError {
+    fn from(e: XbmError) -> Self {
+        SynthError::Xbm(e)
+    }
+}
+
+impl From<HfminError> for SynthError {
+    fn from(e: HfminError) -> Self {
+        SynthError::Hfmin(e)
+    }
+}
+
+impl From<SimError> for SynthError {
+    fn from(e: SimError) -> Self {
+        SynthError::Sim(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn conversions_and_sources() {
+        let e: SynthError = CdfgError::ParseRtl("q".into()).into();
+        assert!(Error::source(&e).is_some());
+        assert!(e.to_string().starts_with("cdfg:"));
+        let p = SynthError::Precondition("x".into());
+        assert!(Error::source(&p).is_none());
+    }
+}

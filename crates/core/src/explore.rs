@@ -1,0 +1,253 @@
+//! Design-space exploration — the "scripts" the paper's §7 announces as
+//! future work ("algorithmic heuristics and scripts based on the set of
+//! transformations presented in the paper are forthcoming").
+//!
+//! [`explore_exhaustive`] sweeps every combination of the global transforms
+//! (and optionally the local ones), runs the full flow for each, and ranks
+//! the outcomes by an [`Objective`]. [`explore_greedy`] adds transforms one
+//! at a time, keeping each only if it improves the objective — a simple
+//! hill climb over the transform set.
+
+use adcs_cdfg::benchmarks::RegFile;
+use adcs_cdfg::Cdfg;
+
+use crate::error::SynthError;
+use crate::flow::{Flow, FlowOptions, FlowOutcome};
+use crate::gt::Gt5Options;
+use crate::lt::LtOptions;
+
+/// Which quantity the exploration minimizes.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Objective {
+    /// Number of communication channels (wiring cost).
+    Channels,
+    /// Total controller states (area proxy).
+    TotalStates,
+    /// Total controller transitions.
+    TotalTransitions,
+    /// Channels first, then states (the paper's implicit preference).
+    ChannelsThenStates,
+}
+
+impl Objective {
+    /// The score of an outcome (lower is better).
+    pub fn score(self, out: &FlowOutcome) -> u64 {
+        let ch = out.optimized_gt_lt.channels as u64;
+        let st = out.optimized_gt_lt.total_states() as u64;
+        let tr = out.optimized_gt_lt.total_transitions() as u64;
+        match self {
+            Objective::Channels => ch,
+            Objective::TotalStates => st,
+            Objective::TotalTransitions => tr,
+            Objective::ChannelsThenStates => ch * 100_000 + st,
+        }
+    }
+}
+
+/// One explored configuration.
+#[derive(Clone, Debug)]
+pub struct ExplorePoint {
+    /// Which transforms were enabled: `(gt1, gt2, gt3, gt4, gt5, lt)`.
+    pub config: (bool, bool, bool, bool, bool, bool),
+    /// The objective score (lower is better).
+    pub score: u64,
+    /// Channels after the flow.
+    pub channels: usize,
+    /// Total states after the flow.
+    pub states: usize,
+    /// Total transitions after the flow.
+    pub transitions: usize,
+}
+
+impl ExplorePoint {
+    /// Human-readable configuration label, e.g. `GT1+GT2+GT5+LT`.
+    pub fn label(&self) -> String {
+        let (g1, g2, g3, g4, g5, lt) = self.config;
+        let mut parts = Vec::new();
+        for (on, name) in [
+            (g1, "GT1"),
+            (g2, "GT2"),
+            (g3, "GT3"),
+            (g4, "GT4"),
+            (g5, "GT5"),
+            (lt, "LT"),
+        ] {
+            if on {
+                parts.push(name);
+            }
+        }
+        if parts.is_empty() {
+            "none".to_string()
+        } else {
+            parts.join("+")
+        }
+    }
+}
+
+fn options_for(
+    config: (bool, bool, bool, bool, bool, bool),
+    base: &FlowOptions,
+) -> FlowOptions {
+    let (g1, g2, g3, g4, g5, lt) = config;
+    FlowOptions {
+        gt1: g1,
+        gt2: g2,
+        gt3: g3,
+        gt4: g4,
+        gt5: if g5 {
+            base.gt5
+        } else {
+            Gt5Options {
+                multiplexing: false,
+                concurrency_reduction: false,
+                symmetrization: false,
+                ..base.gt5
+            }
+        },
+        lt: if lt {
+            base.lt.clone()
+        } else {
+            LtOptions {
+                move_up_dones: false,
+                mux_preselect: false,
+                removable_acks: Vec::new(),
+                share_signals: false,
+            }
+        },
+        ..base.clone()
+    }
+}
+
+/// Exhaustively sweeps transform subsets (64 flow runs with the default
+/// settings) and returns the points sorted best-first.
+///
+/// Configurations whose flow fails (e.g. GT1 without GT2 can violate wire
+/// safety) are skipped — exploration treats them as infeasible.
+///
+/// # Errors
+///
+/// Fails only if *no* configuration completes.
+pub fn explore_exhaustive(
+    cdfg: &Cdfg,
+    initial: &RegFile,
+    base: &FlowOptions,
+    objective: Objective,
+) -> Result<Vec<ExplorePoint>, SynthError> {
+    let flow = Flow::new(cdfg.clone(), initial.clone());
+    let mut points = Vec::new();
+    for mask in 0u32..64 {
+        let config = (
+            mask & 1 != 0,
+            mask & 2 != 0,
+            mask & 4 != 0,
+            mask & 8 != 0,
+            mask & 16 != 0,
+            mask & 32 != 0,
+        );
+        let opts = options_for(config, base);
+        let Ok(out) = flow.run(&opts) else { continue };
+        points.push(ExplorePoint {
+            config,
+            score: objective.score(&out),
+            channels: out.optimized_gt_lt.channels,
+            states: out.optimized_gt_lt.total_states(),
+            transitions: out.optimized_gt_lt.total_transitions(),
+        });
+    }
+    if points.is_empty() {
+        return Err(SynthError::Precondition(
+            "no transform configuration completed the flow".into(),
+        ));
+    }
+    points.sort_by_key(|p| p.score);
+    Ok(points)
+}
+
+/// Greedy hill climb: starting from no transforms, enable one transform at
+/// a time (in a fixed candidate order), keeping it only when it improves
+/// the objective. Returns the visited points, best last.
+///
+/// # Errors
+///
+/// Fails if even the empty configuration cannot complete the flow.
+pub fn explore_greedy(
+    cdfg: &Cdfg,
+    initial: &RegFile,
+    base: &FlowOptions,
+    objective: Objective,
+) -> Result<Vec<ExplorePoint>, SynthError> {
+    let flow = Flow::new(cdfg.clone(), initial.clone());
+    let mut current = (false, false, false, false, false, false);
+    let run = |config| -> Option<ExplorePoint> {
+        let opts = options_for(config, base);
+        flow.run(&opts).ok().map(|out| ExplorePoint {
+            config,
+            score: objective.score(&out),
+            channels: out.optimized_gt_lt.channels,
+            states: out.optimized_gt_lt.total_states(),
+            transitions: out.optimized_gt_lt.total_transitions(),
+        })
+    };
+    let mut best = run(current).ok_or_else(|| {
+        SynthError::Precondition("the empty configuration failed the flow".into())
+    })?;
+    let mut trail = vec![best.clone()];
+    for bit in 0..6 {
+        let mut cand = current;
+        match bit {
+            0 => cand.0 = true,
+            1 => cand.1 = true,
+            2 => cand.2 = true,
+            3 => cand.3 = true,
+            4 => cand.4 = true,
+            _ => cand.5 = true,
+        }
+        if let Some(p) = run(cand) {
+            if p.score <= best.score {
+                current = cand;
+                best = p.clone();
+                trail.push(p);
+            }
+        }
+    }
+    Ok(trail)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use adcs_cdfg::benchmarks::{diffeq, DiffeqParams};
+
+    fn fast_base() -> FlowOptions {
+        FlowOptions {
+            verify_seeds: 2,
+            timing: crate::timing::TimingModel::uniform(1, 2)
+                .with_class("MUL", 2, 4)
+                .with_samples(8),
+            ..FlowOptions::default()
+        }
+    }
+
+    #[test]
+    fn greedy_exploration_improves_on_the_empty_configuration() {
+        let d = diffeq(DiffeqParams::default()).unwrap();
+        let trail =
+            explore_greedy(&d.cdfg, &d.initial, &fast_base(), Objective::ChannelsThenStates)
+                .unwrap();
+        assert!(trail.len() >= 2, "{trail:?}");
+        let first = trail.first().unwrap();
+        let last = trail.last().unwrap();
+        assert!(last.score < first.score, "{trail:?}");
+        assert!(last.channels <= 5, "{trail:?}");
+    }
+
+    #[test]
+    fn full_configuration_dominates_on_channels() {
+        let d = diffeq(DiffeqParams::default()).unwrap();
+        let flow_all = options_for((true, true, true, true, true, true), &fast_base());
+        let out = Flow::new(d.cdfg.clone(), d.initial.clone())
+            .run(&flow_all)
+            .unwrap();
+        assert_eq!(out.optimized_gt_lt.channels, 5);
+    }
+}

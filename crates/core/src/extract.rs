@@ -1,0 +1,1802 @@
+//! Individual controller extraction (paper §4): from the transformed CDFG
+//! to one extended burst-mode machine per functional unit.
+//!
+//! The extraction is a direct translation. Every CDFG node bound to the
+//! unit becomes a *burst-mode fragment* implementing the basic protocol of
+//! Figure 11: (i) wait for the incoming "ready" events and select the
+//! source muxes, (ii) select and start the operation, (iii) select the
+//! destination register mux, (iv) latch the result, (v) reset the local
+//! handshakes, (vi) send the outgoing "ready" events. Fragments are
+//! stitched in the unit's projected control flow; `LOOP`/`IF` nodes become
+//! branch points sampling their condition register as an XBM conditional.
+//!
+//! **Phase assignment.** Global channels carry bare transitions, so each
+//! wait's edge polarity depends on how many events preceded it. The
+//! emitter tracks every wire's value along the machine's paths and keys
+//! states by *(program position, wire values)*: if the loop body returns
+//! with flipped phases, a second copy of the body is emitted automatically
+//! (the classic burst-mode loop unrolling) and the machine closes after
+//! two laps.
+//!
+//! **Back-annotation.** After stitching, every global request edge is
+//! propagated backwards as a directed don't-care over the transitions that
+//! may already observe the early arrival (paper step 4), which keeps both
+//! validation and hazard-free logic synthesis sound under the network's
+//! real concurrency.
+
+use std::collections::HashMap;
+
+use adcs_cdfg::graph::BlockKind;
+use adcs_cdfg::{ArcId, BlockId, Cdfg, FuId, NodeId, NodeKind, Reg};
+use adcs_xbm::{SignalId, SignalKind, StateId, Term, XbmBuilder, XbmMachine};
+
+use crate::channel::ChannelMap;
+use crate::error::SynthError;
+
+/// How fragments are expanded.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum ExpansionStyle {
+    /// Figure 11's six-transition fragment: one burst per micro-operation,
+    /// one parallel reset, one done burst.
+    #[default]
+    Compact,
+    /// A naive controller that resets each local handshake in its own
+    /// transition — the "unoptimized" baseline of Figure 12.
+    Sequential,
+}
+
+/// Options for [`extract`].
+#[derive(Clone, Copy, Debug, Default)]
+pub struct ExtractOptions {
+    /// Fragment expansion style.
+    pub style: ExpansionStyle,
+}
+
+/// Which local handshake wire a signal is.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum LocalRole {
+    /// Source-operand mux select request.
+    MuxReq,
+    /// Source-operand mux select acknowledge.
+    MuxAck,
+    /// Functional-unit operation request.
+    GoReq,
+    /// Functional-unit operation acknowledge (completion).
+    GoAck,
+    /// Destination register mux select request.
+    WMuxReq,
+    /// Destination register mux select acknowledge.
+    WMuxAck,
+    /// Register write (latch) request.
+    WrReq,
+    /// Register write acknowledge.
+    WrAck,
+}
+
+impl LocalRole {
+    /// Whether this wire is a controller input (an acknowledge).
+    pub fn is_ack(self) -> bool {
+        matches!(
+            self,
+            LocalRole::MuxAck | LocalRole::GoAck | LocalRole::WMuxAck | LocalRole::WrAck
+        )
+    }
+
+    /// The matching request of an acknowledge (and vice versa).
+    pub fn partner(self) -> LocalRole {
+        match self {
+            LocalRole::MuxReq => LocalRole::MuxAck,
+            LocalRole::MuxAck => LocalRole::MuxReq,
+            LocalRole::GoReq => LocalRole::GoAck,
+            LocalRole::GoAck => LocalRole::GoReq,
+            LocalRole::WMuxReq => LocalRole::WMuxAck,
+            LocalRole::WMuxAck => LocalRole::WMuxReq,
+            LocalRole::WrReq => LocalRole::WrAck,
+            LocalRole::WrAck => LocalRole::WrReq,
+        }
+    }
+}
+
+/// What a controller signal means to the outside world.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum SignalRole {
+    /// Event wire from the environment (a `START` arc).
+    EnvIn {
+        /// The arc carried by this wire.
+        arc: ArcId,
+    },
+    /// Event wire to the environment (an `END` arc).
+    EnvOut {
+        /// The arc carried by this wire.
+        arc: ArcId,
+    },
+    /// A global channel wire (this controller receives on it).
+    ChannelIn {
+        /// Index into the [`ChannelMap`].
+        channel: usize,
+    },
+    /// A global channel wire (this controller drives it).
+    ChannelOut {
+        /// Index into the [`ChannelMap`].
+        channel: usize,
+    },
+    /// Sampled condition level from the datapath.
+    CondLevel {
+        /// The condition register.
+        reg: Reg,
+    },
+    /// Local controller-datapath handshake wire.
+    Local {
+        /// The CDFG node whose micro-operations it serves.
+        node: NodeId,
+        /// Statement index within the node (merged assignments > 0).
+        stmt: usize,
+        /// Which handshake wire.
+        role: LocalRole,
+    },
+}
+
+/// One extracted controller: the machine plus the meaning of its signals.
+#[derive(Clone, Debug)]
+pub struct ControllerSpec {
+    /// The functional unit this controller drives.
+    pub fu: FuId,
+    /// The extracted machine.
+    pub machine: XbmMachine,
+    /// Role of every signal, indexed by [`SignalId::index`].
+    pub roles: Vec<SignalRole>,
+    /// Wires fused by LT5 as `(kept, removed)`: the kept wire forks to
+    /// every datapath consumer of the removed one.
+    pub aliases: Vec<(SignalId, SignalId)>,
+}
+
+impl ControllerSpec {
+    /// The role of a signal.
+    pub fn role(&self, s: SignalId) -> &SignalRole {
+        &self.roles[s.index()]
+    }
+
+    /// Resolves a (possibly LT5-removed) signal to the wire that now
+    /// carries its waveform.
+    pub fn resolve_alias(&self, s: SignalId) -> SignalId {
+        let mut cur = s;
+        loop {
+            match self.aliases.iter().find(|(_, r)| *r == cur) {
+                Some(&(k, _)) => cur = k,
+                None => return cur,
+            }
+        }
+    }
+
+    /// Finds the signal for a channel (in or out).
+    pub fn channel_signal(&self, channel: usize) -> Option<SignalId> {
+        self.roles.iter().enumerate().find_map(|(i, r)| match r {
+            SignalRole::ChannelIn { channel: c } | SignalRole::ChannelOut { channel: c }
+                if *c == channel =>
+            {
+                Some(SignalId::from_raw(i as u32))
+            }
+            _ => None,
+        })
+    }
+}
+
+/// The full extraction result.
+#[derive(Clone, Debug)]
+pub struct Extraction {
+    /// One controller per functional unit, in unit order.
+    pub controllers: Vec<ControllerSpec>,
+}
+
+impl Extraction {
+    /// The controller of a unit.
+    pub fn controller(&self, fu: FuId) -> Option<&ControllerSpec> {
+        self.controllers.iter().find(|c| c.fu == fu)
+    }
+}
+
+/// Extracts one burst-mode controller per functional unit.
+///
+/// # Errors
+///
+/// [`SynthError::Extract`] when the unit's projected control flow is not
+/// expressible (see the module docs), or if the produced machine fails XBM
+/// validation.
+pub fn extract(
+    g: &Cdfg,
+    channels: &ChannelMap,
+    opts: &ExtractOptions,
+) -> Result<Extraction, SynthError> {
+    let mut controllers = Vec::new();
+    for (fu, _) in g.fus() {
+        controllers.push(extract_one(g, channels, fu, opts)?);
+    }
+    Ok(Extraction { controllers })
+}
+
+// ----------------------------------------------------------------------
+// Projected control flow
+// ----------------------------------------------------------------------
+
+/// The unit-projected program: what this controller executes, in order.
+#[derive(Clone, Debug)]
+enum Step {
+    /// Execute a CDFG node's fragment.
+    Exec(NodeId),
+    /// A loop: `decision` is `Some` when this unit owns the `LOOP` node
+    /// (it samples the condition); otherwise the body simply cycles.
+    Loop {
+        head: NodeId,
+        tail: NodeId,
+        owned: bool,
+        body: Vec<Step>,
+    },
+    /// A conditional: branch on sampled level (owner) or on which request
+    /// wire fires (non-owner).
+    If {
+        head: NodeId,
+        tail: NodeId,
+        owned: bool,
+        then_steps: Vec<Step>,
+        else_steps: Vec<Step>,
+    },
+}
+
+/// Projects `block` onto unit `fu`.
+fn project(g: &Cdfg, fu: FuId, block: BlockId) -> Vec<Step> {
+    let mut steps = Vec::new();
+    for n in g.block_nodes(block) {
+        let node = g.node(n).expect("live node");
+        match &node.kind {
+            NodeKind::Loop { .. } => {
+                let Some((body, tail)) = loop_parts(g, n) else { continue };
+                let body_steps = project(g, fu, body);
+                let owned = node.fu == Some(fu);
+                if owned || !body_steps.is_empty() {
+                    steps.push(Step::Loop {
+                        head: n,
+                        tail,
+                        owned,
+                        body: body_steps,
+                    });
+                }
+            }
+            NodeKind::If { .. } => {
+                let Some((tb, eb, tail)) = if_parts(g, n) else { continue };
+                let then_steps = project(g, fu, tb);
+                let else_steps = project(g, fu, eb);
+                let owned = node.fu == Some(fu);
+                if owned || !then_steps.is_empty() || !else_steps.is_empty() {
+                    steps.push(Step::If {
+                        head: n,
+                        tail,
+                        owned,
+                        then_steps,
+                        else_steps,
+                    });
+                }
+            }
+            NodeKind::EndLoop | NodeKind::EndIf | NodeKind::Start | NodeKind::End => {}
+            _ => {
+                if node.fu == Some(fu) {
+                    steps.push(Step::Exec(n));
+                }
+            }
+        }
+    }
+    steps
+}
+
+fn loop_parts(g: &Cdfg, head: NodeId) -> Option<(BlockId, NodeId)> {
+    g.blocks().find_map(|(id, b)| match b.kind {
+        BlockKind::LoopBody { head: h, tail } if h == head => Some((id, tail)),
+        _ => None,
+    })
+}
+
+fn if_parts(g: &Cdfg, head: NodeId) -> Option<(BlockId, BlockId, NodeId)> {
+    let mut tb = None;
+    let mut eb = None;
+    let mut tail = None;
+    for (id, b) in g.blocks() {
+        match b.kind {
+            BlockKind::ThenBranch { head: h, tail: t } if h == head => {
+                tb = Some(id);
+                tail = Some(t);
+            }
+            BlockKind::ElseBranch { head: h, tail: t } if h == head => {
+                eb = Some(id);
+                tail = Some(t);
+            }
+            _ => {}
+        }
+    }
+    Some((tb?, eb?, tail?))
+}
+
+// ----------------------------------------------------------------------
+// Emission
+// ----------------------------------------------------------------------
+
+struct Emitter<'a> {
+    g: &'a Cdfg,
+    channels: &'a ChannelMap,
+    fu: FuId,
+    style: ExpansionStyle,
+    b: XbmBuilder,
+    roles: Vec<SignalRole>,
+    /// wire values (all signals), tracked along the current path
+    /// signal lookup caches
+    sig_by_role: HashMap<String, SignalId>,
+    /// memo: (position key, wire values) -> convergence target
+    memo: HashMap<(String, Vec<bool>), MemoTarget>,
+    /// transitions to drop at finish (duplicates from folded convergence)
+    doomed: Vec<usize>,
+    state_count: usize,
+}
+
+type Vals = Vec<bool>;
+
+/// Where a converging lap should attach.
+#[derive(Clone, Copy, Debug)]
+enum MemoTarget {
+    /// A wait state: redirect the arriving transition here.
+    Wait(StateId),
+    /// A folded decision living on the out-transitions of this state: the
+    /// arriving lap's final transition duplicates the consumed one, so it
+    /// is deleted and its predecessor re-targeted here.
+    Folded(StateId),
+}
+
+/// A pending transition being assembled: input terms and output toggles.
+#[derive(Clone, Debug, Default)]
+struct Proto {
+    input: Vec<Term>,
+    output: Vec<SignalId>,
+}
+
+impl<'a> Emitter<'a> {
+    fn signal(&mut self, key: String, input: bool, kind: SignalKind, role: SignalRole) -> SignalId {
+        if let Some(&s) = self.sig_by_role.get(&key) {
+            return s;
+        }
+        let s = if input {
+            self.b.input_kind(key.clone(), kind, false)
+        } else {
+            self.b.output_kind(key.clone(), kind, false)
+        };
+        self.sig_by_role.insert(key, s);
+        self.roles.push(role);
+        s
+    }
+
+    /// The wire carrying `arc` into this controller (a channel, or an
+    /// environment wire when the source is `START`).
+    fn in_wire(&mut self, arc: ArcId) -> Result<SignalId, SynthError> {
+        if let Some(ch) = self.channels.channel_of(arc) {
+            return Ok(self.signal(
+                format!("ch{ch}"),
+                true,
+                SignalKind::GlobalReq,
+                SignalRole::ChannelIn { channel: ch },
+            ));
+        }
+        let a = self.g.arc(arc)?;
+        if matches!(self.g.node(a.src)?.kind, NodeKind::Start) {
+            return Ok(self.signal(
+                format!("go{}", arc.index()),
+                true,
+                SignalKind::GlobalReq,
+                SignalRole::EnvIn { arc },
+            ));
+        }
+        Err(SynthError::Extract(format!(
+            "arc {arc} into {} has no channel", a.dst
+        )))
+    }
+
+    /// The wire carrying `arc` out of this controller.
+    fn out_wire(&mut self, arc: ArcId) -> Result<SignalId, SynthError> {
+        if let Some(ch) = self.channels.channel_of(arc) {
+            return Ok(self.signal(
+                format!("ch{ch}"),
+                false,
+                SignalKind::GlobalDone,
+                SignalRole::ChannelOut { channel: ch },
+            ));
+        }
+        let a = self.g.arc(arc)?;
+        if matches!(self.g.node(a.dst)?.kind, NodeKind::End) {
+            return Ok(self.signal(
+                format!("fin{}", arc.index()),
+                false,
+                SignalKind::GlobalDone,
+                SignalRole::EnvOut { arc },
+            ));
+        }
+        Err(SynthError::Extract(format!(
+            "arc {arc} out of {} has no channel", a.src
+        )))
+    }
+
+    fn local(&mut self, node: NodeId, stmt: usize, role: LocalRole) -> SignalId {
+        let key = format!("{node}.{stmt}.{role:?}");
+        let kind = if role.is_ack() {
+            SignalKind::LocalAck
+        } else {
+            SignalKind::LocalReq
+        };
+        self.signal(
+            key,
+            role.is_ack(),
+            kind,
+            SignalRole::Local { node, stmt, role },
+        )
+    }
+
+    fn level(&mut self, reg: &Reg) -> SignalId {
+        self.signal(
+            format!("lvl_{reg}"),
+            true,
+            SignalKind::Level,
+            SignalRole::CondLevel { reg: reg.clone() },
+        )
+    }
+
+    /// Incoming global events a node waits for. Backward-arc events are
+    /// pre-enabled during the first loop iteration (paper §3.1), so they
+    /// are skipped when `first_lap` is set.
+    fn in_events(&mut self, n: NodeId) -> Result<Vec<SignalId>, SynthError> {
+        self.in_events_lap(n, false)
+    }
+
+    fn in_events_lap(&mut self, n: NodeId, first_lap: bool) -> Result<Vec<SignalId>, SynthError> {
+        Ok(self
+            .in_event_arcs(n, first_lap)?
+            .into_iter()
+            .map(|(w, _)| w)
+            .fold(Vec::new(), |mut acc, w| {
+                if !acc.contains(&w) {
+                    acc.push(w);
+                }
+                acc
+            }))
+    }
+
+    /// The `(wire, arc)` events a node consumes, with same-wire events
+    /// ordered by their emission order (earlier-lap events first, then by
+    /// constraint paths between the sources).
+    fn in_event_arcs(
+        &mut self,
+        n: NodeId,
+        first_lap: bool,
+    ) -> Result<Vec<(SignalId, ArcId)>, SynthError> {
+        let arcs: Vec<ArcId> = self
+            .g
+            .in_arcs(n)
+            .filter(|(_, a)| !(first_lap && a.backward))
+            .filter(|(id, a)| {
+                self.g.is_inter_fu(a)
+                    || self
+                        .g
+                        .node(a.src)
+                        .map(|s| matches!(s.kind, NodeKind::Start))
+                        .unwrap_or(false)
+                    || self.channels.channel_of(*id).is_some()
+            })
+            .map(|(id, _)| id)
+            .collect();
+        let mut events = Vec::new();
+        for a in arcs {
+            let w = self.in_wire(a)?;
+            events.push((w, a));
+        }
+        // Order same-wire events by emission time: an event consumed over
+        // a backward arc belongs to an earlier lap than one consumed over
+        // a heavier... equal-weight events order by a weight-0 path
+        // between their sources.
+        let g = self.g;
+        events.sort_by(|&(wa, a), &(wb, b)| {
+            use std::cmp::Ordering;
+            if wa != wb {
+                return wa.cmp(&wb);
+            }
+            let (aa, ab) = (g.arc(a).expect("live"), g.arc(b).expect("live"));
+            let (ka, kb) = (u32::from(aa.backward), u32::from(ab.backward));
+            // Higher weight = consumed from an earlier lap relative to
+            // this firing? No: weight w means the event was emitted w laps
+            // ago, so larger w = earlier event.
+            match kb.cmp(&ka) {
+                Ordering::Equal => {
+                    if adcs_cdfg::analysis::reaches_within(g, aa.src, ab.src, 0, None) {
+                        Ordering::Less
+                    } else if adcs_cdfg::analysis::reaches_within(g, ab.src, aa.src, 0, None) {
+                        Ordering::Greater
+                    } else {
+                        aa.src.cmp(&ab.src)
+                    }
+                }
+                other => other,
+            }
+        });
+        Ok(events)
+    }
+
+    /// Outgoing done events of a node (excluding arcs routed by decisions).
+    fn out_events(&mut self, n: NodeId) -> Result<Vec<SignalId>, SynthError> {
+        let arcs: Vec<ArcId> = self
+            .g
+            .out_arcs(n)
+            .filter(|(id, a)| {
+                self.g.is_inter_fu(a)
+                    || self
+                        .g
+                        .node(a.dst)
+                        .map(|d| matches!(d.kind, NodeKind::End))
+                        .unwrap_or(false)
+                    || self.channels.channel_of(*id).is_some()
+            })
+            .map(|(id, _)| id)
+            .collect();
+        let mut wires = Vec::new();
+        for a in arcs {
+            let w = self.out_wire(a)?;
+            if !wires.contains(&w) {
+                wires.push(w);
+            }
+        }
+        Ok(wires)
+    }
+
+    /// The proto-transition chain of one executable node's fragment.
+    fn fragment(&mut self, n: NodeId, first_lap: bool) -> Result<Vec<Proto>, SynthError> {
+        let node = self.g.node(n)?.clone();
+        let stmts = node.kind.statements().len();
+        let is_op = matches!(node.kind, NodeKind::Op { .. });
+        let events = self.in_event_arcs(n, first_lap)?;
+        let out_wires = self.out_events(n)?;
+
+        // Same-wire events must be waited sequentially (they are distinct
+        // edges of one wire); the final event of each wire joins the main
+        // burst, earlier ones become pre-waits.
+        let mut pre_waits: Vec<Proto> = Vec::new();
+        let mut in_wires: Vec<SignalId> = Vec::new();
+        for (i, &(w, _)) in events.iter().enumerate() {
+            let is_last_of_wire = events[i + 1..].iter().all(|&(w2, _)| w2 != w);
+            if is_last_of_wire {
+                in_wires.push(w);
+            } else {
+                let mut p = Proto::default();
+                p.input = vec![Term::rise(w)]; // polarity fixed later
+                pre_waits.push(p);
+            }
+        }
+
+        let mut protos: Vec<Proto> = pre_waits;
+        // (i) wait for requests, select source muxes
+        let mut t1 = Proto::default();
+        t1.input = in_wires.iter().map(|&w| Term::rise(w)).collect(); // polarity fixed later
+        for s in 0..stmts {
+            t1.output.push(self.local(n, s, LocalRole::MuxReq));
+        }
+        protos.push(t1);
+        // (ii) run the operation (primary statement only)
+        let mut t = Proto::default();
+        for s in 0..stmts {
+            t.input.push(Term::rise(self.local(n, s, LocalRole::MuxAck)));
+        }
+        if is_op {
+            t.output.push(self.local(n, 0, LocalRole::GoReq));
+            protos.push(t);
+            t = Proto::default();
+            t.input.push(Term::rise(self.local(n, 0, LocalRole::GoAck)));
+        }
+        // (iii) select destination register muxes
+        for s in 0..stmts {
+            t.output.push(self.local(n, s, LocalRole::WMuxReq));
+        }
+        protos.push(t);
+        // (iv) latch results
+        let mut t4 = Proto::default();
+        for s in 0..stmts {
+            t4.input.push(Term::rise(self.local(n, s, LocalRole::WMuxAck)));
+            t4.output.push(self.local(n, s, LocalRole::WrReq));
+        }
+        protos.push(t4);
+        // (v) reset local handshakes
+        let mut reqs: Vec<SignalId> = Vec::new();
+        let mut acks: Vec<SignalId> = Vec::new();
+        for s in 0..stmts {
+            reqs.push(self.local(n, s, LocalRole::MuxReq));
+            acks.push(self.local(n, s, LocalRole::MuxAck));
+            if is_op && s == 0 {
+                reqs.push(self.local(n, 0, LocalRole::GoReq));
+                acks.push(self.local(n, 0, LocalRole::GoAck));
+            }
+            reqs.push(self.local(n, s, LocalRole::WMuxReq));
+            acks.push(self.local(n, s, LocalRole::WMuxAck));
+            reqs.push(self.local(n, s, LocalRole::WrReq));
+            acks.push(self.local(n, s, LocalRole::WrAck));
+        }
+        match self.style {
+            ExpansionStyle::Compact => {
+                let mut t5 = Proto::default();
+                for s in 0..stmts {
+                    t5.input.push(Term::rise(self.local(n, s, LocalRole::WrAck)));
+                }
+                t5.output = reqs.clone();
+                protos.push(t5);
+                // (vi) wait for the acknowledges to reset, send dones
+                let mut t6 = Proto::default();
+                t6.input = acks.iter().map(|&a| Term::fall(a)).collect();
+                t6.output = out_wires.clone();
+                protos.push(t6);
+            }
+            ExpansionStyle::Sequential => {
+                // wr_ack+ arrives, then each handshake resets one by one.
+                let mut prev_ack: Vec<Term> = (0..stmts)
+                    .map(|s| Term::rise(self.local(n, s, LocalRole::WrAck)))
+                    .collect();
+                for (i, &rq) in reqs.iter().enumerate() {
+                    let mut tr = Proto::default();
+                    tr.input = std::mem::take(&mut prev_ack);
+                    tr.output = vec![rq];
+                    protos.push(tr);
+                    prev_ack = vec![Term::fall(acks[i])];
+                }
+                let mut t_last = Proto::default();
+                t_last.input = prev_ack;
+                t_last.output = out_wires.clone();
+                protos.push(t_last);
+            }
+        }
+        // Drop empty-input protos by merging their outputs forward into the
+        // predecessor (only T1 can be empty).
+        let mut merged: Vec<Proto> = Vec::new();
+        for p in protos {
+            if p.input.is_empty() {
+                if let Some(prev) = merged.last_mut() {
+                    prev.output.extend(p.output);
+                    continue;
+                }
+            }
+            merged.push(p);
+        }
+        Ok(merged)
+    }
+
+    /// Fixes request polarities on a proto chain: each global edge's
+    /// direction is "toward the opposite of its current tracked value";
+    /// local handshakes use the explicit rise/fall already set.
+    fn fix_polarity(&self, protos: &mut [Proto], vals: &mut Vals) {
+        for p in protos.iter_mut() {
+            for term in &mut p.input {
+                let idx = term.signal.index();
+                let info_is_global = matches!(
+                    self.roles[idx],
+                    SignalRole::ChannelIn { .. } | SignalRole::EnvIn { .. }
+                );
+                if info_is_global {
+                    *term = Term::edge(term.signal, !vals[idx]);
+                }
+                vals[idx] = term.kind.target();
+            }
+            for &o in &p.output {
+                vals[o.index()] = !vals[o.index()];
+            }
+        }
+    }
+}
+
+/// Extracts the controller of one unit.
+pub fn extract_one(
+    g: &Cdfg,
+    channels: &ChannelMap,
+    fu: FuId,
+    opts: &ExtractOptions,
+) -> Result<ControllerSpec, SynthError> {
+    let steps = project(g, fu, outer_block(g));
+    if steps.is_empty() {
+        // A unit with no work: a one-state machine with no signals.
+        let mut b = XbmBuilder::new(g.fu(fu)?.name());
+        let s0 = b.state("idle");
+        let machine = b.finish(s0)?;
+        return Ok(ControllerSpec {
+            fu,
+            machine,
+            roles: Vec::new(),
+            aliases: Vec::new(),
+        });
+    }
+    let mut em = Emitter {
+        g,
+        channels,
+        fu,
+        style: opts.style,
+        b: XbmBuilder::new(g.fu(fu)?.name()),
+        roles: Vec::new(),
+        sig_by_role: HashMap::new(),
+        memo: HashMap::new(),
+        doomed: Vec::new(),
+        state_count: 0,
+    };
+    // Pre-declare all signals by visiting fragments once (so the wire-value
+    // vector has a fixed width before emission).
+    declare_signals(&mut em, &steps)?;
+
+    let nsignals = em.b_signal_count();
+    let vals = vec![false; nsignals];
+    let s0 = em.new_state();
+    emit_steps(&mut em, &steps, s0, vals, Continuation::Halt, false)?;
+
+    let mut doomed = em.doomed.clone();
+    doomed.sort_unstable();
+    doomed.dedup();
+    for idx in doomed.into_iter().rev() {
+        em.b
+            .remove_transition(idx)
+            .map_err(|e| SynthError::Extract(e.to_string()))?;
+    }
+    em.b.remove_unreachable(s0);
+    let machine = em.b.finish(s0)?;
+    adcs_xbm::validate::validate(&machine)
+        .map_err(|e| SynthError::Extract(format!("{}: {e}", g.fu(fu).map(|f| f.name().to_string()).unwrap_or_default())))?;
+    let mut spec = ControllerSpec {
+        fu,
+        machine,
+        roles: em.roles,
+        aliases: Vec::new(),
+    };
+    back_annotate(&mut spec);
+    adcs_xbm::validate::validate(&spec.machine)
+        .map_err(|e| SynthError::Extract(format!("back-annotation broke machine: {e}")))?;
+    Ok(spec)
+}
+
+fn outer_block(g: &Cdfg) -> BlockId {
+    g.blocks()
+        .find(|(_, b)| matches!(b.kind, BlockKind::Outer))
+        .map(|(id, _)| id)
+        .expect("graph has an outer block")
+}
+
+fn declare_signals(em: &mut Emitter<'_>, steps: &[Step]) -> Result<(), SynthError> {
+    for s in steps {
+        match s {
+            Step::Exec(n) => {
+                let _ = em.fragment(*n, false)?;
+            }
+            Step::Loop { head, tail, owned, body } => {
+                if *owned {
+                    let _ = em.in_events(*head)?;
+                    let _ = em.out_events(*head)?;
+                    let _ = em.in_events(*tail)?;
+                    let _ = em.out_events(*tail)?;
+                    if let NodeKind::Loop { cond } = &em.g.node(*head)?.kind {
+                        let c = cond.clone();
+                        let _ = em.level(&c);
+                    }
+                }
+                declare_signals(em, body)?;
+            }
+            Step::If { head, tail, owned, then_steps, else_steps } => {
+                if *owned {
+                    let _ = em.in_events(*head)?;
+                    let _ = em.out_events(*head)?;
+                    let _ = em.in_events(*tail)?;
+                    let _ = em.out_events(*tail)?;
+                    if let NodeKind::If { cond } = &em.g.node(*head)?.kind {
+                        let c = cond.clone();
+                        let _ = em.level(&c);
+                    }
+                }
+                declare_signals(em, then_steps)?;
+                declare_signals(em, else_steps)?;
+            }
+        }
+    }
+    Ok(())
+}
+
+impl<'a> Emitter<'a> {
+    fn b_signal_count(&self) -> usize {
+        self.roles.len()
+    }
+
+    fn new_state(&mut self) -> StateId {
+        let s = self.b.state(format!("q{}", self.state_count));
+        self.state_count += 1;
+        s
+    }
+}
+
+/// What to do after the last step of a sequence.
+#[derive(Clone)]
+enum Continuation {
+    /// Stop: the machine idles in the final state.
+    Halt,
+    /// Jump back to a program position (loop body cycling for non-owners):
+    /// re-emit from these steps with the memo deciding convergence.
+    LoopBody {
+        key: String,
+        steps: std::rc::Rc<Vec<Step>>,
+    },
+}
+
+/// Emits `steps` starting at `state` with wire values `vals`; applies the
+/// continuation at the end. Returns nothing — transitions land in the
+/// builder.
+fn emit_steps(
+    em: &mut Emitter<'_>,
+    steps: &[Step],
+    state: StateId,
+    vals: Vals,
+    cont: Continuation,
+    first_lap: bool,
+) -> Result<(), SynthError> {
+    emit_from(em, steps, 0, state, vals, cont, None, first_lap)
+}
+
+/// Pending split information: the transition index that entered the
+/// current state, for decision folding.
+type PendingEntry = Option<usize>;
+
+#[allow(clippy::too_many_arguments)]
+fn emit_from(
+    em: &mut Emitter<'_>,
+    steps: &[Step],
+    idx: usize,
+    state: StateId,
+    vals: Vals,
+    cont: Continuation,
+    entered_by: PendingEntry,
+    first_lap: bool,
+) -> Result<(), SynthError> {
+    if idx >= steps.len() {
+        match cont {
+            Continuation::Halt => Ok(()),
+            Continuation::LoopBody { key, steps } => {
+                // Laps after the first always wait their backward events.
+                let memo_key = (format!("{key}#false"), vals.clone());
+                if let Some(&existing) = em.memo.get(&memo_key) {
+                    return converge(em, entered_by, state, existing);
+                }
+                em.memo.insert(memo_key, MemoTarget::Wait(state));
+                emit_from(
+                    em,
+                    &steps.clone(),
+                    0,
+                    state,
+                    vals,
+                    Continuation::LoopBody { key, steps },
+                    entered_by,
+                    false,
+                )
+            }
+        }
+    } else {
+        match &steps[idx] {
+            Step::Exec(n) => {
+                let n = *n;
+                let mut protos = em.fragment(n, first_lap)?;
+                let mut vals = vals;
+                em.fix_polarity(&mut protos, &mut vals);
+                let (cur, last_t) = em.emit_protos(protos, state, entered_by)?;
+                emit_from(em, steps, idx + 1, cur, vals, cont, last_t, first_lap)
+            }
+            Step::Loop { head, tail, owned, body } => {
+                if *owned {
+                    emit_owned_loop(
+                        em,
+                        steps,
+                        idx,
+                        *head,
+                        *tail,
+                        body.clone(),
+                        state,
+                        vals,
+                        cont,
+                        entered_by,
+                        true, // sequential arrival = loop entry
+                    )
+                } else {
+                    // Non-owner: the body cycles on requests. Post-loop
+                    // steps for non-owners are not expressible.
+                    if idx + 1 < steps.len() {
+                        return Err(SynthError::Extract(format!(
+                            "unit {} has work after a loop it does not own",
+                            em.g.fu(em.fu).map(|f| f.name().to_string()).unwrap_or_default()
+                        )));
+                    }
+                    let key = format!("loop{}@{}", head, em.fu);
+                    let memo_key = (format!("{key}#first"), vals.clone());
+                    if let Some(&existing) = em.memo.get(&memo_key) {
+                        return converge(em, entered_by, state, existing);
+                    }
+                    em.memo.insert(memo_key.clone(), MemoTarget::Wait(state));
+                    emit_steps(
+                        em,
+                        &body.clone(),
+                        state,
+                        vals,
+                        Continuation::LoopBody {
+                            key,
+                            steps: std::rc::Rc::new(body.clone()),
+                        },
+                        true,
+                    )
+                }
+            }
+            Step::If { head, tail, owned, then_steps, else_steps } => emit_if(
+                em,
+                steps,
+                idx,
+                *head,
+                *tail,
+                *owned,
+                then_steps.clone(),
+                else_steps.clone(),
+                state,
+                vals,
+                cont,
+                entered_by,
+                first_lap,
+            ),
+        }
+    }
+}
+
+
+
+/// Redirects the transition that entered `from` to point at `to` and
+/// retires the now-unreachable `from` state. Errors if there is no such
+/// transition (convergence at the initial state with no entry).
+fn redirect(
+    em: &mut Emitter<'_>,
+    entered_by: PendingEntry,
+    from: StateId,
+    to: StateId,
+) -> Result<(), SynthError> {
+    if from == to {
+        return Ok(());
+    }
+    let Some(t) = entered_by else {
+        return Err(SynthError::Extract(
+            "cannot close a cycle at the initial state".into(),
+        ));
+    };
+    em.b_redirect(t, to);
+    em.b_remove_state(from);
+    Ok(())
+}
+
+/// Converges an arriving lap onto a memoized target.
+fn converge(
+    em: &mut Emitter<'_>,
+    entered_by: PendingEntry,
+    from: StateId,
+    target: MemoTarget,
+) -> Result<(), SynthError> {
+    match target {
+        MemoTarget::Wait(s) => redirect(em, entered_by, from, s),
+        MemoTarget::Folded(f) => {
+            // The arriving transition duplicates the transition that was
+            // split into the folded decision: re-target its predecessor at
+            // the decision's source state. The duplicate and its states
+            // become unreachable and are swept by the final cleanup.
+            let Some(t) = entered_by else {
+                return Err(SynthError::Extract(
+                    "cannot converge a folded decision at the initial state".into(),
+                ));
+            };
+            let src = em.b.transition_parts(t).0;
+            if src == f {
+                em.doomed.push(t);
+                return Ok(());
+            }
+            let preds: Vec<usize> = em.b.transitions_into_idx(src);
+            let preds: Vec<usize> = preds.into_iter().filter(|&i| i != t).collect();
+            if preds.len() != 1 {
+                return Err(SynthError::Extract(format!(
+                    "folded convergence needs a linear predecessor (found {})",
+                    preds.len()
+                )));
+            }
+            em.b_redirect(preds[0], f);
+            em.doomed.push(t);
+            Ok(())
+        }
+    }
+}
+
+impl<'a> Emitter<'a> {
+    fn b_redirect(&mut self, t: usize, to: StateId) {
+        self.b.redirect_transition(t, to);
+    }
+
+    fn b_remove_state(&mut self, s: StateId) {
+        self.b.remove_state(s);
+    }
+
+
+    /// Turns a proto chain into machine transitions. A proto with no input
+    /// burst folds its outputs into the predecessor transition (a node
+    /// whose triggers are all intra-controller starts as soon as the
+    /// previous fragment finishes).
+    fn emit_protos(
+        &mut self,
+        protos: Vec<Proto>,
+        mut cur: StateId,
+        mut last_t: PendingEntry,
+    ) -> Result<(StateId, PendingEntry), SynthError> {
+        for p in protos {
+            if p.input.is_empty() {
+                match last_t {
+                    Some(t) => {
+                        self.b.extend_outputs(t, p.output);
+                        continue;
+                    }
+                    None => {
+                        return Err(SynthError::Extract(
+                            "fragment with no trigger at the machine start".into(),
+                        ))
+                    }
+                }
+            }
+            let next = self.new_state();
+            let t = self.b.transition(cur, next, p.input, p.output)?;
+            cur = next;
+            last_t = Some(t);
+        }
+        Ok((cur, last_t))
+    }
+}
+
+#[allow(clippy::too_many_arguments)]
+fn emit_owned_loop(
+    em: &mut Emitter<'_>,
+    steps: &[Step],
+    idx: usize,
+    head: NodeId,
+    tail: NodeId,
+    body: Vec<Step>,
+    state: StateId,
+    vals: Vals,
+    cont: Continuation,
+    entered_by: PendingEntry,
+    entry: bool,
+) -> Result<(), SynthError> {
+    let cond = match &em.g.node(head)?.kind {
+        NodeKind::Loop { cond } => cond.clone(),
+        _ => return Err(SynthError::Extract(format!("{head} is not a LOOP"))),
+    };
+    let lvl = em.level(&cond);
+    // On entry the head waits its (one-shot) incoming events; on the
+    // loop-back those were consumed long ago and the decision folds into
+    // the ENDLOOP transition.
+    let head_in = if entry { em.in_events(head)? } else { Vec::new() };
+    // Dones routed by the decision: into the body on true, to the exit on
+    // false.
+    let (body_dones, exit_dones) = route_decision_outputs(em, head)?;
+    let tail_in = em.in_events(tail)?;
+    let tail_out = em.out_events(tail)?;
+
+    // The decision point: either transitions from `state` (when there are
+    // head in-events, e.g. the first arrival), or a fold into the entering
+    // transition (loop-back with no events).
+    let memo_key = (format!("loophead{}@{}#{}", head, em.fu, entry), vals.clone());
+    if let Some(&existing) = em.memo.get(&memo_key) {
+        return converge(em, entered_by, state, existing);
+    }
+
+    let mut vals_true = vals.clone();
+    let mut vals_false = vals.clone();
+    let fold_with: Option<usize> = if head_in.is_empty() {
+        let Some(entry_t) = entered_by else {
+            return Err(SynthError::Extract(format!(
+                "loop head {head} needs an incoming event or a predecessor transition"
+            )));
+        };
+        Some(entry_t)
+    } else {
+        None
+    };
+    // The point a later lap must converge to: the wait state itself, or —
+    // when the decision folds into the entering transition — that
+    // transition's source.
+    let decision_target = match fold_with {
+        None => MemoTarget::Wait(state),
+        Some(entry_t) => MemoTarget::Folded(em.b.transition_parts(entry_t).0),
+    };
+    em.memo.insert(memo_key, decision_target);
+
+    // Build the two decision input bursts.
+    let mut in_true: Vec<Term> = Vec::new();
+    let mut in_false: Vec<Term> = Vec::new();
+    for &w in &head_in {
+        in_true.push(Term::edge(w, !vals_true[w.index()]));
+        in_false.push(Term::edge(w, !vals_false[w.index()]));
+        vals_true[w.index()] = !vals_true[w.index()];
+        vals_false[w.index()] = !vals_false[w.index()];
+    }
+    in_true.push(Term::level(lvl, true));
+    in_false.push(Term::level(lvl, false));
+    for &o in &body_dones {
+        vals_true[o.index()] = !vals_true[o.index()];
+    }
+    for &o in &exit_dones {
+        vals_false[o.index()] = !vals_false[o.index()];
+    }
+
+    // TRUE branch: body, then ENDLOOP wait, then back to the decision.
+    let body_entry = em.new_state();
+    // FALSE branch: continue after the loop.
+    let exit_entry = em.new_state();
+
+    let (t_true, t_false) = match fold_with {
+        None => {
+            let tt = em
+                .b
+                .transition(state, body_entry, in_true, body_dones.clone())?;
+            let tf = em
+                .b
+                .transition(state, exit_entry, in_false, exit_dones.clone())?;
+            (tt, tf)
+        }
+        Some(entry_t) => {
+            // Split the entering transition in two, adding the level and
+            // the decision outputs.
+            let (from0, input0, output0) = em.b.transition_parts(entry_t);
+            let mut i_t = input0.clone();
+            i_t.push(Term::level(lvl, true));
+            let mut o_t = output0.clone();
+            o_t.extend(body_dones.iter().copied());
+            let mut i_f = input0;
+            i_f.push(Term::level(lvl, false));
+            let mut o_f = output0;
+            o_f.extend(exit_dones.iter().copied());
+            em.b.replace_transition(entry_t, from0, body_entry, i_t, o_t)?;
+            let tf = em.b.transition(from0, exit_entry, i_f, o_f)?;
+            em.b_remove_state(state);
+            (entry_t, tf)
+        }
+    };
+    let _ = (t_true, t_false);
+
+    // Emit the body; at its end comes the ENDLOOP wait and the jump back
+    // to the decision (with the decision folded into ENDLOOP's transition
+    // when the loop-back carries no events).
+    let body_rc = std::rc::Rc::new(body);
+    let loop_steps: Vec<Step> = body_rc.as_ref().clone();
+    let mut tail_steps = loop_steps;
+    // Append a pseudo-step for the ENDLOOP wait by emitting it manually:
+    // we emit body then handle ENDLOOP here via a continuation hack — the
+    // simplest correct structure is to emit the body followed by an
+    // explicit tail fragment and then recurse on the loop step itself.
+    let tail_frag = TailFrag {
+        tail_in,
+        tail_out,
+    };
+    emit_body_then_tail(
+        em,
+        &mut tail_steps,
+        body_entry,
+        vals_true,
+        tail_frag,
+        steps,
+        idx,
+        Some(t_true),
+        entry,
+        cont.clone(),
+    )?;
+
+    // Exit path: the steps after the loop.
+    emit_from(
+        em,
+        steps,
+        idx + 1,
+        exit_entry,
+        vals_false,
+        cont,
+        Some(t_false),
+        false,
+    )
+}
+
+struct TailFrag {
+    tail_in: Vec<SignalId>,
+    tail_out: Vec<SignalId>,
+}
+
+/// Emits the loop body and the ENDLOOP wait, then loops back to the head
+/// decision by re-entering the `Loop` step at `steps[idx]`.
+#[allow(clippy::too_many_arguments)]
+fn emit_body_then_tail(
+    em: &mut Emitter<'_>,
+    body: &mut Vec<Step>,
+    entry: StateId,
+    vals: Vals,
+    tail: TailFrag,
+    outer_steps: &[Step],
+    loop_idx: usize,
+    entered_by: PendingEntry,
+    first_lap: bool,
+    loop_cont: Continuation,
+) -> Result<(), SynthError> {
+    // We emit the body steps inline, then the ENDLOOP fragment, then
+    // re-enter the loop head (whose memo closes the cycle).
+    let body_steps = std::mem::take(body);
+    emit_seq_then(
+        em,
+        &body_steps,
+        0,
+        entry,
+        vals,
+        entered_by,
+        first_lap,
+        &mut |em, state, vals, entered_by| {
+            // ENDLOOP fragment: wait tail_in (if any), toggle tail_out.
+            let mut vals = vals;
+            let mut cur = state;
+            let mut last_t = entered_by;
+            if !tail.tail_in.is_empty() || !tail.tail_out.is_empty() {
+                let mut input = Vec::new();
+                for &w in &tail.tail_in {
+                    input.push(Term::edge(w, !vals[w.index()]));
+                    vals[w.index()] = !vals[w.index()];
+                }
+                for &o in &tail.tail_out {
+                    vals[o.index()] = !vals[o.index()];
+                }
+                if input.is_empty() {
+                    // Pure output: fold into predecessor transition.
+                    if let Some(t) = last_t {
+                        em.b.extend_outputs(t, tail.tail_out.clone());
+                    } else {
+                        return Err(SynthError::Extract(
+                            "ENDLOOP outputs with no predecessor transition".into(),
+                        ));
+                    }
+                } else {
+                    let next = em.new_state();
+                    let t = em.b.transition(cur, next, input, tail.tail_out.clone())?;
+                    cur = next;
+                    last_t = Some(t);
+                }
+            }
+            // Jump back into the loop-head decision (a re-entry lap).
+            let Step::Loop { head, tail: lt, body: lb, .. } = &outer_steps[loop_idx] else {
+                return Err(SynthError::Extract("loop step vanished".into()));
+            };
+            emit_owned_loop(
+                em,
+                outer_steps,
+                loop_idx,
+                *head,
+                *lt,
+                lb.clone(),
+                cur,
+                vals,
+                loop_cont.clone(),
+                last_t,
+                false,
+            )
+        },
+    )
+}
+
+/// Emits a sequence of steps, then calls `finish` with the final state.
+#[allow(clippy::too_many_arguments)]
+fn emit_seq_then(
+    em: &mut Emitter<'_>,
+    steps: &[Step],
+    idx: usize,
+    state: StateId,
+    vals: Vals,
+    entered_by: PendingEntry,
+    first_lap: bool,
+    finish: &mut dyn FnMut(&mut Emitter<'_>, StateId, Vals, PendingEntry) -> Result<(), SynthError>,
+) -> Result<(), SynthError> {
+    if idx >= steps.len() {
+        return finish(em, state, vals, entered_by);
+    }
+    match &steps[idx] {
+        Step::Exec(n) => {
+            let n = *n;
+            let mut protos = em.fragment(n, first_lap)?;
+            let mut vals = vals;
+            em.fix_polarity(&mut protos, &mut vals);
+            let (cur, last_t) = em.emit_protos(protos, state, entered_by)?;
+            emit_seq_then(em, steps, idx + 1, cur, vals, last_t, first_lap, finish)
+        }
+        Step::If { head, tail, owned, then_steps, else_steps } => {
+            let head = *head;
+            let tail = *tail;
+            let owned = *owned;
+            let then_steps = then_steps.clone();
+            let else_steps = else_steps.clone();
+            // Emit the conditional, with each branch continuing into the
+            // remaining steps (burst-mode join duplicates the suffix per
+            // branch unless wire values re-converge via the memo).
+            emit_if_seq(
+                em, head, tail, owned, &then_steps, &else_steps, state, vals, entered_by,
+                first_lap,
+                &mut |em, s, v, e| emit_seq_then(em, steps, idx + 1, s, v, e, first_lap, finish),
+            )
+        }
+        Step::Loop { .. } => Err(SynthError::Extract(
+            "nested loops inside a loop body are not supported by extraction".into(),
+        )),
+    }
+}
+
+/// Decision output routing: arcs whose destination is inside the governed
+/// region go on the taken branch, the rest on the other.
+fn route_decision_outputs(
+    em: &mut Emitter<'_>,
+    head: NodeId,
+) -> Result<(Vec<SignalId>, Vec<SignalId>), SynthError> {
+    let g = em.g;
+    let node = g.node(head)?;
+    let mut taken = Vec::new();
+    let mut other = Vec::new();
+    let out: Vec<(ArcId, NodeId)> = g
+        .out_arcs(head)
+        .filter(|(id, a)| {
+            g.is_inter_fu(a)
+                || g.node(a.dst)
+                    .map(|d| matches!(d.kind, NodeKind::End))
+                    .unwrap_or(false)
+                || em.channels.channel_of(*id).is_some()
+        })
+        .map(|(id, a)| (id, a.dst))
+        .collect();
+    match &node.kind {
+        NodeKind::Loop { .. } => {
+            let Some((body, _)) = loop_parts(g, head) else {
+                return Err(SynthError::Extract(format!("{head} has no body block")));
+            };
+            for (id, dst) in out {
+                let w = em.out_wire(id)?;
+                let dblock = g.node(dst)?.block;
+                if g.block_contains(body, dblock) {
+                    if !taken.contains(&w) {
+                        taken.push(w);
+                    }
+                } else if !other.contains(&w) {
+                    other.push(w);
+                }
+            }
+        }
+        NodeKind::If { .. } => {
+            let Some((tb, _, _)) = if_parts(g, head) else {
+                return Err(SynthError::Extract(format!("{head} has no branch blocks")));
+            };
+            for (id, dst) in out {
+                let w = em.out_wire(id)?;
+                let dblock = g.node(dst)?.block;
+                if g.block_contains(tb, dblock) {
+                    if !taken.contains(&w) {
+                        taken.push(w);
+                    }
+                } else if !other.contains(&w) {
+                    other.push(w);
+                }
+            }
+        }
+        _ => return Err(SynthError::Extract(format!("{head} is not a decision node"))),
+    }
+    Ok((taken, other))
+}
+
+#[allow(clippy::too_many_arguments)]
+fn emit_if(
+    em: &mut Emitter<'_>,
+    steps: &[Step],
+    idx: usize,
+    head: NodeId,
+    tail: NodeId,
+    owned: bool,
+    then_steps: Vec<Step>,
+    else_steps: Vec<Step>,
+    state: StateId,
+    vals: Vals,
+    cont: Continuation,
+    entered_by: PendingEntry,
+    first_lap: bool,
+) -> Result<(), SynthError> {
+    emit_if_seq(
+        em,
+        head,
+        tail,
+        owned,
+        &then_steps,
+        &else_steps,
+        state,
+        vals,
+        entered_by,
+        first_lap,
+        &mut |em, s, v, e| emit_from(em, steps, idx + 1, s, v, cont.clone(), e, first_lap),
+    )
+}
+
+#[allow(clippy::too_many_arguments)]
+fn emit_if_seq(
+    em: &mut Emitter<'_>,
+    head: NodeId,
+    tail: NodeId,
+    owned: bool,
+    then_steps: &[Step],
+    else_steps: &[Step],
+    state: StateId,
+    vals: Vals,
+    entered_by: PendingEntry,
+    first_lap: bool,
+    after: &mut dyn FnMut(&mut Emitter<'_>, StateId, Vals, PendingEntry) -> Result<(), SynthError>,
+) -> Result<(), SynthError> {
+    if owned {
+        let cond = match &em.g.node(head)?.kind {
+            NodeKind::If { cond } => cond.clone(),
+            _ => return Err(SynthError::Extract(format!("{head} is not an IF"))),
+        };
+        let lvl = em.level(&cond);
+        let head_in = em.in_events_lap(head, first_lap)?;
+        let (then_dones, else_dones) = route_decision_outputs(em, head)?;
+        let tail_in_t = endif_in_events(em, tail, true)?;
+        let tail_in_e = endif_in_events(em, tail, false)?;
+        let tail_out = em.out_events(tail)?;
+
+        let mut vals_t = vals.clone();
+        let mut vals_e = vals.clone();
+        let mut in_t: Vec<Term> = Vec::new();
+        let mut in_e: Vec<Term> = Vec::new();
+        for &w in &head_in {
+            in_t.push(Term::edge(w, !vals_t[w.index()]));
+            in_e.push(Term::edge(w, !vals_e[w.index()]));
+            vals_t[w.index()] = !vals_t[w.index()];
+            vals_e[w.index()] = !vals_e[w.index()];
+        }
+        in_t.push(Term::level(lvl, true));
+        in_e.push(Term::level(lvl, false));
+        for &o in &then_dones {
+            vals_t[o.index()] = !vals_t[o.index()];
+        }
+        for &o in &else_dones {
+            vals_e[o.index()] = !vals_e[o.index()];
+        }
+
+        let then_entry = em.new_state();
+        let else_entry = em.new_state();
+        let (tt, te) = if head_in.is_empty() {
+            let Some(entry_t) = entered_by else {
+                return Err(SynthError::Extract(format!(
+                    "IF {head} needs an incoming event or a predecessor transition"
+                )));
+            };
+            let (from0, input0, output0) = em.b.transition_parts(entry_t);
+            let mut i_t = input0.clone();
+            i_t.push(Term::level(lvl, true));
+            let mut o_t = output0.clone();
+            o_t.extend(then_dones.iter().copied());
+            let mut i_e = input0;
+            i_e.push(Term::level(lvl, false));
+            let mut o_e = output0;
+            o_e.extend(else_dones.iter().copied());
+            em.b.replace_transition(entry_t, from0, then_entry, i_t, o_t)?;
+            let te = em.b.transition(from0, else_entry, i_e, o_e)?;
+            em.b_remove_state(state);
+            (entry_t, te)
+        } else {
+            let tt = em.b.transition(state, then_entry, in_t, then_dones.clone())?;
+            let te = em.b.transition(state, else_entry, in_e, else_dones.clone())?;
+            (tt, te)
+        };
+
+        // Each branch: steps, then the ENDIF wait for that side's events,
+        // then the suffix.
+        for (branch_steps, entry, branch_vals, tail_in, entry_t) in [
+            (then_steps, then_entry, vals_t, tail_in_t, tt),
+            (else_steps, else_entry, vals_e, tail_in_e, te),
+        ] {
+            let tail_in = tail_in.clone();
+            let tail_out = tail_out.clone();
+            emit_seq_then(
+                em,
+                branch_steps,
+                0,
+                entry,
+                branch_vals,
+                Some(entry_t),
+                first_lap,
+                &mut |em, s, v, e| {
+                    let mut v = v;
+                    let mut cur = s;
+                    let mut last = e;
+                    if !tail_in.is_empty() || !tail_out.is_empty() {
+                        let mut input = Vec::new();
+                        for &w in &tail_in {
+                            input.push(Term::edge(w, !v[w.index()]));
+                            v[w.index()] = !v[w.index()];
+                        }
+                        for &o in &tail_out {
+                            v[o.index()] = !v[o.index()];
+                        }
+                        if input.is_empty() {
+                            if let Some(t) = last {
+                                em.b.extend_outputs(t, tail_out.clone());
+                            }
+                        } else {
+                            let next = em.new_state();
+                            let t = em.b.transition(cur, next, input, tail_out.clone())?;
+                            cur = next;
+                            last = Some(t);
+                        }
+                    }
+                    after(em, cur, v, last)
+                },
+            )?;
+        }
+        Ok(())
+    } else {
+        // Non-owner: branch on which request wire fires first. Each branch
+        // must begin with an Exec step whose in-events distinguish it.
+        let mut emitted_any = false;
+        for branch_steps in [then_steps, else_steps] {
+            if branch_steps.is_empty() {
+                continue;
+            }
+            emitted_any = true;
+            emit_seq_then(
+                em,
+                branch_steps,
+                0,
+                state,
+                vals.clone(),
+                entered_by,
+                first_lap,
+                &mut |em, s, v, e| after(em, s, v, e),
+            )?;
+        }
+        if !emitted_any {
+            return after(em, state, vals, entered_by);
+        }
+        Ok(())
+    }
+}
+
+/// `ENDIF` in-events restricted to one branch's side.
+fn endif_in_events(
+    em: &mut Emitter<'_>,
+    tail: NodeId,
+    then_side: bool,
+) -> Result<Vec<SignalId>, SynthError> {
+    let g = em.g;
+    let arcs: Vec<ArcId> = g
+        .in_arcs(tail)
+        .filter(|(id, a)| {
+            g.is_inter_fu(a) || em.channels.channel_of(*id).is_some()
+        })
+        .filter(|(_, a)| {
+            let src_block = g.node(a.src).map(|n| n.block);
+            match src_block {
+                Ok(b) => {
+                    let then_branch = g
+                        .blocks()
+                        .any(|(bb, info)| {
+                            matches!(info.kind, BlockKind::ThenBranch { tail: t, .. } if t == tail)
+                                && g.block_contains(bb, b)
+                        });
+                    let else_branch = g
+                        .blocks()
+                        .any(|(bb, info)| {
+                            matches!(info.kind, BlockKind::ElseBranch { tail: t, .. } if t == tail)
+                                && g.block_contains(bb, b)
+                        });
+                    if then_side {
+                        then_branch || (!then_branch && !else_branch)
+                    } else {
+                        else_branch || (!then_branch && !else_branch)
+                    }
+                }
+                Err(_) => false,
+            }
+        })
+        .map(|(id, _)| id)
+        .collect();
+    let mut wires = Vec::new();
+    for a in arcs {
+        let w = em.in_wire(a)?;
+        if !wires.contains(&w) {
+            wires.push(w);
+        }
+    }
+    Ok(wires)
+}
+
+// ----------------------------------------------------------------------
+// Back-annotation (paper §4.2 step 4)
+// ----------------------------------------------------------------------
+
+/// Adds directed don't-cares for early request arrivals: each compulsory
+/// global edge is propagated backwards through the machine until the
+/// previous transition that mentions the same wire.
+fn back_annotate(spec: &mut ControllerSpec) {
+    let global: Vec<SignalId> = spec
+        .roles
+        .iter()
+        .enumerate()
+        .filter(|(_, r)| matches!(r, SignalRole::ChannelIn { .. } | SignalRole::EnvIn { .. }))
+        .map(|(i, _)| SignalId::from_raw(i as u32))
+        .collect();
+    for w in global {
+        // Collect the compulsory edges on w: (transition idx, target).
+        let consumers: Vec<(usize, bool)> = spec
+            .machine
+            .transitions()
+            .iter()
+            .enumerate()
+            .filter_map(|(i, t)| {
+                t.term(w)
+                    .filter(|term| term.kind.is_compulsory())
+                    .map(|term| (i, term.kind.target()))
+            })
+            .collect();
+        for (idx, target) in consumers {
+            // Walk backwards from the consuming transition's source state,
+            // annotating every transition that does not mention w.
+            let mut visited = std::collections::HashSet::new();
+            let mut stack = vec![spec.machine.transitions()[idx].from];
+            let mut to_annotate = Vec::new();
+            while let Some(s) = stack.pop() {
+                if !visited.insert(s) {
+                    continue;
+                }
+                let incoming: Vec<usize> = spec
+                    .machine
+                    .transitions_into(s)
+                    .map(|(i, _)| i)
+                    .collect();
+                for i in incoming {
+                    let t = &spec.machine.transitions()[i];
+                    if t.term(w).is_some() {
+                        continue; // previous mention: stop here
+                    }
+                    to_annotate.push(i);
+                    stack.push(t.from);
+                }
+            }
+            for i in to_annotate {
+                if let Ok(t) = spec.machine.transition_mut(i) {
+                    if t.term(w).is_none() {
+                        t.input.push(Term::ddc(w, target));
+                    }
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::channel::ChannelMap;
+    use adcs_cdfg::builder::CdfgBuilder;
+    use adcs_xbm::TermKind;
+
+    fn two_unit() -> (Cdfg, ChannelMap) {
+        let mut b = CdfgBuilder::new();
+        let alu = b.add_fu("ALU");
+        let mul = b.add_fu("MUL");
+        b.stmt(mul, "m := x * x").unwrap();
+        b.stmt(alu, "s := m + y").unwrap();
+        let g = b.finish().unwrap();
+        let ch = ChannelMap::per_arc(&g).unwrap();
+        (g, ch)
+    }
+
+    #[test]
+    fn extracts_one_controller_per_unit_with_roles() {
+        let (g, ch) = two_unit();
+        let ex = extract(&g, &ch, &ExtractOptions::default()).unwrap();
+        assert_eq!(ex.controllers.len(), 2);
+        for c in &ex.controllers {
+            assert_eq!(c.roles.len(), c.machine.signals().count());
+        }
+        let mul = ex.controller(g.fu_by_name("MUL").unwrap()).unwrap();
+        // MUL has: env go wire in, channel out, and the local handshakes of
+        // one operation.
+        assert!(mul
+            .roles
+            .iter()
+            .any(|r| matches!(r, SignalRole::EnvIn { .. })));
+        assert!(mul
+            .roles
+            .iter()
+            .any(|r| matches!(r, SignalRole::ChannelOut { .. })));
+        assert!(mul
+            .roles
+            .iter()
+            .any(|r| matches!(r, SignalRole::Local { role: LocalRole::GoReq, .. })));
+    }
+
+    #[test]
+    fn compact_fragment_has_the_figure_11_micro_op_order() {
+        let (g, ch) = two_unit();
+        let ex = extract(&g, &ch, &ExtractOptions::default()).unwrap();
+        let mul = ex.controller(g.fu_by_name("MUL").unwrap()).unwrap();
+        // Transition sequence from the initial state: (i) wait+mux,
+        // (ii) go, (iii) wmux, (iv) write, (v) reset, (vi) done.
+        let m = &mul.machine;
+        let mut state = m.initial();
+        let mut first_outputs = Vec::new();
+        for _ in 0..6 {
+            let Some((_, t)) = m.transitions_from(state).next() else { break };
+            first_outputs.push(t.output.clone());
+            state = t.to;
+        }
+        // First transition selects muxes.
+        let is_role = |s: &adcs_xbm::SignalId, want: LocalRole| {
+            matches!(mul.role(*s), SignalRole::Local { role, .. } if *role == want)
+        };
+        assert!(first_outputs[0].iter().any(|s| is_role(s, LocalRole::MuxReq)));
+        assert!(first_outputs[1].iter().any(|s| is_role(s, LocalRole::GoReq)));
+        assert!(first_outputs[2].iter().any(|s| is_role(s, LocalRole::WMuxReq)));
+        assert!(first_outputs[3].iter().any(|s| is_role(s, LocalRole::WrReq)));
+    }
+
+    #[test]
+    fn sequential_style_is_larger_than_compact() {
+        let (g, ch) = two_unit();
+        let compact = extract(&g, &ch, &ExtractOptions { style: ExpansionStyle::Compact }).unwrap();
+        let seq = extract(&g, &ch, &ExtractOptions { style: ExpansionStyle::Sequential }).unwrap();
+        let total = |e: &Extraction| -> usize {
+            e.controllers.iter().map(|c| c.machine.stats().states).sum()
+        };
+        assert!(total(&seq) > total(&compact));
+    }
+
+    #[test]
+    fn back_annotation_adds_directed_dont_cares() {
+        // The ALU controller waits for the MUL done; the pre-wait
+        // transitions must carry the early-arrival ddc.
+        let (g, ch) = two_unit();
+        let ex = extract(&g, &ch, &ExtractOptions::default()).unwrap();
+        let alu = ex.controller(g.fu_by_name("ALU").unwrap()).unwrap();
+        let has_ddc = alu
+            .machine
+            .transitions()
+            .iter()
+            .flat_map(|t| t.input.iter())
+            .any(|term| matches!(term.kind, TermKind::DdcRise | TermKind::DdcFall));
+        // The two-unit chain is too short for pre-waits on the ALU side
+        // only if the go wire gates the first fragment; accept either but
+        // require SOME machine in the design to carry ddc annotations once
+        // a loop benchmark is used.
+        let d = adcs_cdfg::benchmarks::diffeq(adcs_cdfg::benchmarks::DiffeqParams::default())
+            .unwrap();
+        let ch2 = ChannelMap::per_arc(&d.cdfg).unwrap();
+        let ex2 = extract(&d.cdfg, &ch2, &ExtractOptions::default()).unwrap();
+        let any_ddc = ex2.controllers.iter().any(|c| {
+            c.machine
+                .transitions()
+                .iter()
+                .flat_map(|t| t.input.iter())
+                .any(|term| matches!(term.kind, TermKind::DdcRise | TermKind::DdcFall))
+        });
+        assert!(any_ddc || has_ddc);
+    }
+
+    #[test]
+    fn unused_unit_gets_an_idle_machine() {
+        let mut b = CdfgBuilder::new();
+        let alu = b.add_fu("ALU");
+        let _idle = b.add_fu("IDLE");
+        b.stmt(alu, "x := a + b").unwrap();
+        let g = b.finish().unwrap();
+        let ch = ChannelMap::per_arc(&g).unwrap();
+        let ex = extract(&g, &ch, &ExtractOptions::default()).unwrap();
+        let idle = ex.controller(g.fu_by_name("IDLE").unwrap()).unwrap();
+        assert_eq!(idle.machine.stats().states, 1);
+        assert_eq!(idle.machine.stats().transitions, 0);
+    }
+}

@@ -1,0 +1,336 @@
+//! The synthesis flow (paper §2.3): global transforms → controller
+//! extraction → local transforms, with the statistics of Figures 5 and 12
+//! collected along the way and simulation-based verification at each
+//! stage.
+
+use adcs_cdfg::benchmarks::RegFile;
+use adcs_cdfg::Cdfg;
+use adcs_sim::exec::{execute, ExecOptions};
+use adcs_xbm::XbmStats;
+
+use crate::channel::ChannelMap;
+use crate::error::SynthError;
+use crate::extract::{extract, ControllerSpec, ExpansionStyle, ExtractOptions, Extraction};
+use crate::gt::{
+    gt1_loop_parallelism, gt2_remove_dominated, gt3_relative_timing, gt4_merge_assignments,
+    gt5_channel_elimination, Gt5Options,
+};
+use crate::lt::{apply_all, LtOptions, LtReport};
+use crate::timing::TimingModel;
+
+/// Options for the full flow.
+#[derive(Clone, Debug)]
+pub struct FlowOptions {
+    /// Apply GT1 (loop parallelism).
+    pub gt1: bool,
+    /// Apply GT2 (dominated-constraint removal).
+    pub gt2: bool,
+    /// Apply GT3 (relative-timing arc removal).
+    pub gt3: bool,
+    /// Apply GT4 (assignment merging).
+    pub gt4: bool,
+    /// GT5 sub-transform selection.
+    pub gt5: Gt5Options,
+    /// Delay ranges for GT3's relative-timing verifier.
+    pub timing: TimingModel,
+    /// Expansion style for the *unoptimized* baseline controllers.
+    pub baseline_style: ExpansionStyle,
+    /// Expansion style for the optimized controllers.
+    pub optimized_style: ExpansionStyle,
+    /// Local-transform selection.
+    pub lt: LtOptions,
+    /// Minimize controller states by bisimulation after extraction and
+    /// after the local transforms (the state-minimization duty the paper
+    /// delegates to Minimalist's front-end).
+    pub reduce_states: bool,
+    /// Verify values and wire safety by randomized CDFG simulation after
+    /// the global transforms (number of seeds; 0 disables).
+    pub verify_seeds: u64,
+}
+
+impl Default for FlowOptions {
+    fn default() -> Self {
+        FlowOptions {
+            gt1: true,
+            gt2: true,
+            gt3: true,
+            gt4: true,
+            gt5: Gt5Options::default(),
+            // ALUs fast, multipliers slow — the delay regime the paper's
+            // DIFFEQ analysis (GT3, Figure 4) assumes.
+            timing: TimingModel::uniform(1, 2)
+                .with_class("MUL", 2, 4)
+                .with_samples(24),
+            baseline_style: ExpansionStyle::Sequential,
+            optimized_style: ExpansionStyle::Compact,
+            lt: LtOptions::default(),
+            reduce_states: true,
+            verify_seeds: 8,
+        }
+    }
+}
+
+/// Per-stage statistics: the rows of Figure 12.
+#[derive(Clone, Debug)]
+pub struct StageStats {
+    /// Stage label (`unoptimized`, `optimized-GT`, `optimized-GT-and-LT`).
+    pub label: String,
+    /// Number of communication channels.
+    pub channels: usize,
+    /// Per-controller machine statistics, in unit order.
+    pub machines: Vec<(String, XbmStats)>,
+}
+
+impl StageStats {
+    /// Total states across all controllers.
+    pub fn total_states(&self) -> usize {
+        self.machines.iter().map(|(_, s)| s.states).sum()
+    }
+
+    /// Total transitions across all controllers.
+    pub fn total_transitions(&self) -> usize {
+        self.machines.iter().map(|(_, s)| s.transitions).sum()
+    }
+}
+
+/// Everything the flow produced.
+#[derive(Clone, Debug)]
+pub struct FlowOutcome {
+    /// Stats of the unoptimized extraction.
+    pub unoptimized: StageStats,
+    /// Stats after the global transforms.
+    pub optimized_gt: StageStats,
+    /// Stats after global and local transforms.
+    pub optimized_gt_lt: StageStats,
+    /// The transformed graph.
+    pub cdfg: Cdfg,
+    /// The final channel map.
+    pub channels: ChannelMap,
+    /// The final (GT+LT) controllers.
+    pub controllers: Vec<ControllerSpec>,
+    /// Local-transform reports per controller.
+    pub lt_reports: Vec<LtReport>,
+}
+
+/// The flow driver.
+#[derive(Clone, Debug)]
+pub struct Flow {
+    cdfg: Cdfg,
+    initial: RegFile,
+}
+
+impl Flow {
+    /// Creates a flow over a scheduled, resource-bound CDFG with the
+    /// initial register file used for verification and GT3.
+    pub fn new(cdfg: Cdfg, initial: RegFile) -> Self {
+        Flow { cdfg, initial }
+    }
+
+    /// Runs the full pipeline.
+    ///
+    /// # Errors
+    ///
+    /// Any transform, extraction, or verification failure.
+    pub fn run(&self, opts: &FlowOptions) -> Result<FlowOutcome, SynthError> {
+        // ---- Stage 0: unoptimized --------------------------------------
+        let channels0 = ChannelMap::per_arc(&self.cdfg)?;
+        let mut ex0 = extract(
+            &self.cdfg,
+            &channels0,
+            &ExtractOptions { style: opts.baseline_style },
+        )?;
+        if opts.reduce_states {
+            reduce_all(&mut ex0.controllers)?;
+        }
+        let unoptimized = stage_stats("unoptimized", &channels0, &ex0);
+
+        // ---- Stage 1: global transforms --------------------------------
+        let mut g = self.cdfg.clone();
+        if opts.gt1 {
+            gt1_loop_parallelism(&mut g)?;
+        }
+        if opts.gt2 {
+            gt2_remove_dominated(&mut g)?;
+        }
+        if opts.gt3 {
+            gt3_relative_timing(&mut g, &self.initial, &opts.timing)?;
+        }
+        if opts.gt4 {
+            gt4_merge_assignments(&mut g)?;
+        }
+        let mut channels = ChannelMap::per_arc(&g)?;
+        gt5_channel_elimination(&mut g, &mut channels, opts.gt5)?;
+
+        if opts.verify_seeds > 0 {
+            self.verify(&g, &channels, opts)?;
+        }
+
+        let mut ex_gt = extract(
+            &g,
+            &channels,
+            &ExtractOptions { style: opts.optimized_style },
+        )?;
+        if opts.reduce_states {
+            reduce_all(&mut ex_gt.controllers)?;
+        }
+        let optimized_gt = stage_stats("optimized-GT", &channels, &ex_gt);
+
+        // ---- Stage 2: local transforms ----------------------------------
+        let mut controllers = ex_gt.controllers.clone();
+        let lt_reports = apply_all(&mut controllers, &opts.lt)?;
+        if opts.reduce_states {
+            reduce_all(&mut controllers)?;
+        }
+        let ex_lt = Extraction { controllers };
+        let optimized_gt_lt = stage_stats("optimized-GT-and-LT", &channels, &ex_lt);
+
+        Ok(FlowOutcome {
+            unoptimized,
+            optimized_gt,
+            optimized_gt_lt,
+            cdfg: g,
+            channels,
+            controllers: ex_lt.controllers,
+            lt_reports,
+        })
+    }
+
+    /// Randomized verification of the transformed graph: same final
+    /// registers as the original, and no wire-safety violations under the
+    /// final channel grouping.
+    fn verify(&self, g: &Cdfg, channels: &ChannelMap, opts: &FlowOptions) -> Result<(), SynthError> {
+        let groups = channels.safety_groups(g);
+        for seed in 0..opts.verify_seeds {
+            let delays = opts.timing.delay_model(g, seed + 1);
+            let reference = execute(
+                &self.cdfg,
+                self.initial.clone(),
+                &delays,
+                &ExecOptions::default(),
+            )?;
+            let exec_opts = ExecOptions {
+                channel_groups: groups.clone(),
+                ..ExecOptions::default()
+            };
+            let r = execute(g, self.initial.clone(), &delays, &exec_opts)?;
+            if r.registers != reference.registers {
+                return Err(SynthError::Precondition(format!(
+                    "transformed graph diverges from the original under seed {seed}"
+                )));
+            }
+            if let Some(v) = r.violations.first() {
+                return Err(SynthError::Precondition(format!(
+                    "wire-safety violation under seed {seed}: {v:?}"
+                )));
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Bisimulation-minimizes every controller in place (signal ids and
+/// roles survive: the reduction re-declares signals verbatim).
+fn reduce_all(controllers: &mut [crate::extract::ControllerSpec]) -> Result<(), SynthError> {
+    for c in controllers {
+        let (reduced, _) = adcs_xbm::reduce::reduce(&c.machine)?;
+        if adcs_xbm::validate::validate(&reduced).is_ok() {
+            c.machine = reduced;
+        }
+    }
+    Ok(())
+}
+
+fn stage_stats(label: &str, channels: &ChannelMap, ex: &Extraction) -> StageStats {
+    StageStats {
+        label: label.to_string(),
+        channels: channels.count(),
+        machines: ex
+            .controllers
+            .iter()
+            .map(|c| (c.machine.name().to_string(), c.machine.stats()))
+            .collect(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use adcs_cdfg::benchmarks::{diffeq, fir, gcd, DiffeqParams};
+
+    #[test]
+    fn diffeq_full_flow_matches_figure_12_channel_column() {
+        let d = diffeq(DiffeqParams::default()).unwrap();
+        let flow = Flow::new(d.cdfg.clone(), d.initial.clone());
+        let out = flow.run(&FlowOptions::default()).unwrap();
+        assert_eq!(out.unoptimized.channels, 17, "Figure 12 row 1");
+        assert_eq!(out.optimized_gt.channels, 5, "Figure 12 rows 2-3");
+        assert_eq!(out.optimized_gt_lt.channels, 5);
+    }
+
+    #[test]
+    fn diffeq_lt_strictly_shrinks_every_controller() {
+        let d = diffeq(DiffeqParams::default()).unwrap();
+        let flow = Flow::new(d.cdfg.clone(), d.initial.clone());
+        let out = flow.run(&FlowOptions::default()).unwrap();
+        for ((name, gt), (_, lt)) in out
+            .optimized_gt
+            .machines
+            .iter()
+            .zip(out.optimized_gt_lt.machines.iter())
+        {
+            assert!(
+                lt.states < gt.states,
+                "{name}: LT did not reduce states ({} -> {})",
+                gt.states,
+                lt.states
+            );
+            assert!(lt.transitions <= gt.transitions, "{name}");
+        }
+    }
+
+    #[test]
+    fn diffeq_stage_ordering_of_totals() {
+        let d = diffeq(DiffeqParams::default()).unwrap();
+        let flow = Flow::new(d.cdfg.clone(), d.initial.clone());
+        let out = flow.run(&FlowOptions::default()).unwrap();
+        assert!(out.unoptimized.total_states() > out.optimized_gt.total_states());
+        assert!(out.optimized_gt.total_states() > out.optimized_gt_lt.total_states());
+    }
+
+    #[test]
+    fn gcd_flow_runs_and_verifies() {
+        let d = gcd(21, 6).unwrap();
+        let flow = Flow::new(d.cdfg.clone(), d.initial.clone());
+        let out = flow.run(&FlowOptions::default()).unwrap();
+        assert!(out.optimized_gt.channels <= out.unoptimized.channels);
+    }
+
+    #[test]
+    fn fir_flow_runs_and_verifies() {
+        let d = fir([1, 2, 3, 4], [4, 3, 2, 1], 7).unwrap();
+        let flow = Flow::new(d.cdfg.clone(), d.initial.clone());
+        let out = flow.run(&FlowOptions::default()).unwrap();
+        assert!(out.optimized_gt.channels < out.unoptimized.channels);
+    }
+
+    #[test]
+    fn flow_with_transforms_disabled_is_identity_shaped() {
+        let d = diffeq(DiffeqParams::default()).unwrap();
+        let flow = Flow::new(d.cdfg.clone(), d.initial.clone());
+        let opts = FlowOptions {
+            gt1: false,
+            gt2: false,
+            gt3: false,
+            gt4: false,
+            gt5: Gt5Options {
+                multiplexing: false,
+                concurrency_reduction: false,
+                symmetrization: false,
+                ..Gt5Options::default()
+            },
+            ..FlowOptions::default()
+        };
+        let out = flow.run(&opts).unwrap();
+        assert_eq!(out.optimized_gt.channels, 17);
+    }
+}

@@ -1,0 +1,399 @@
+//! GT1 — loop parallelism (paper §3.1).
+//!
+//! Restructures a loop so that successive iterations may overlap:
+//!
+//! * **Step A** removes the synchronization arcs pointing to `ENDLOOP`
+//!   (keeping only the functional-unit scheduling arc from its schedule
+//!   predecessor).
+//! * **Step B** adds *backward arcs* from the last instances of each loop
+//!   variable (its final write, or the parallel reads after it) to its
+//!   first instances, carrying the data/anti-dependences across the
+//!   iteration boundary. Backward arcs are pre-enabled for the first
+//!   iteration. Candidates already implied by remaining constraints are
+//!   not added (the paper's DIFFEQ keeps exactly arcs 8 and 9).
+//! * **Step C** re-establishes freshness of the loop condition register:
+//!   an arc from its last in-body write to `ENDLOOP`, unless dominated.
+//! * **Step D** limits parallelism to two consecutive iterations: an arc
+//!   from the first use of each functional unit to `ENDLOOP`, unless
+//!   dominated — otherwise two requests could queue on one ready wire.
+//!
+//! The transform is safe under the paper's stated timing assumption about
+//! the final loop exit; the test suite validates it by randomized
+//! simulation.
+
+use std::collections::HashMap;
+
+use adcs_cdfg::graph::BlockKind;
+use adcs_cdfg::{ArcId, BlockId, Cdfg, NodeId, Reg, Role};
+
+use crate::error::SynthError;
+use crate::gt::gt2::certain_dominated;
+
+/// What GT1 did to one loop.
+#[derive(Clone, Debug, Default)]
+pub struct Gt1Report {
+    /// Synchronization arcs removed at `ENDLOOP` (step A).
+    pub removed_sync: Vec<ArcId>,
+    /// Backward arcs added (step B).
+    pub backward_added: Vec<ArcId>,
+    /// Backward candidates considered but already implied.
+    pub backward_skipped: usize,
+    /// Loop-variable arc added (step C), if it was not implied.
+    pub loop_var_arc: Option<ArcId>,
+    /// Parallelism-limiting arcs added (step D).
+    pub limit_arcs: Vec<ArcId>,
+}
+
+/// Applies GT1 to every loop of the graph (innermost first), returning one
+/// report per loop.
+///
+/// # Errors
+///
+/// Propagates graph edit failures.
+pub fn gt1_loop_parallelism(g: &mut Cdfg) -> Result<Vec<Gt1Report>, SynthError> {
+    let mut loops = g.loop_blocks();
+    // Innermost first: a block contained in another is processed earlier.
+    loops.sort_by(|&a, &b| {
+        if g.block_contains(a, b) {
+            std::cmp::Ordering::Greater
+        } else if g.block_contains(b, a) {
+            std::cmp::Ordering::Less
+        } else {
+            std::cmp::Ordering::Equal
+        }
+    });
+    loops.reverse();
+    let mut reports = Vec::new();
+    for l in loops {
+        reports.push(gt1_on_loop(g, l)?);
+    }
+    Ok(reports)
+}
+
+/// Applies GT1 to one loop block.
+///
+/// # Errors
+///
+/// [`SynthError::Precondition`] if `block` is not a loop body.
+pub fn gt1_on_loop(g: &mut Cdfg, block: BlockId) -> Result<Gt1Report, SynthError> {
+    let BlockKind::LoopBody { head, tail } = g.block(block).kind else {
+        return Err(SynthError::Precondition(format!("{block} is not a loop body")));
+    };
+    let mut report = Gt1Report::default();
+
+    // ---- Step A: remove synchronization at ENDLOOP --------------------
+    let to_remove: Vec<ArcId> = g
+        .in_arcs(tail)
+        .filter(|(_, a)| !a.roles.contains(Role::Scheduling))
+        .map(|(id, _)| id)
+        .collect();
+    for id in to_remove {
+        g.remove_arc(id)?;
+        report.removed_sync.push(id);
+    }
+
+    // ---- Step B: backward arcs for loop-body variables ----------------
+    let body = body_nodes(g, block);
+    let mut candidates: Vec<(NodeId, NodeId)> = Vec::new();
+    for reg in registers_written_in(g, &body) {
+        let (firsts, lasts) = instances(g, &body, &reg);
+        for &l in &lasts {
+            for &f in &firsts {
+                if l != f && !candidates.contains(&(l, f)) {
+                    candidates.push((l, f));
+                }
+            }
+        }
+    }
+    // Add all candidates, then prune those implied by everything else.
+    let mut added: Vec<ArcId> = Vec::new();
+    for (l, f) in candidates {
+        added.push(g.add_arc(l, f, Role::RegAlloc, true));
+    }
+    while let Some(pos) = added.iter().position(|&id| certain_dominated(g, id)) {
+        let id = added.remove(pos);
+        g.remove_arc(id)?;
+        report.backward_skipped += 1;
+    }
+    report.backward_added = added;
+
+    // ---- Step C: loop-variable freshness -------------------------------
+    let cond = match &g.node(head)?.kind {
+        adcs_cdfg::NodeKind::Loop { cond } => cond.clone(),
+        _ => return Err(SynthError::Precondition(format!("{head} is not a LOOP node"))),
+    };
+    if let Some(w) = last_writer(g, &body, &cond) {
+        if w != tail {
+            let existed = g.out_arcs(w).any(|(_, a)| a.dst == tail && !a.backward);
+            let id = g.add_arc(w, tail, Role::DataDep, false);
+            if existed {
+                // Already enforced (typically by the scheduling arc, the
+                // paper's dominated-candidate case): nothing new added.
+            } else if certain_dominated(g, id) {
+                g.remove_arc(id)?;
+            } else {
+                report.loop_var_arc = Some(id);
+            }
+        }
+    }
+
+    // ---- Step D: limit parallelism to two iterations --------------------
+    for first in first_use_per_fu(g, &body) {
+        if first == tail {
+            continue;
+        }
+        // Hypothetically add; keep only if it adds a real constraint.
+        let existed = g
+            .out_arcs(first)
+            .any(|(_, a)| a.dst == tail && !a.backward);
+        let id = g.add_arc(first, tail, Role::Control, false);
+        if existed {
+            continue;
+        }
+        if certain_dominated(g, id) {
+            g.remove_arc(id)?;
+        } else {
+            report.limit_arcs.push(id);
+        }
+    }
+
+    Ok(report)
+}
+
+/// Direct body nodes of a loop block, in program order.
+fn body_nodes(g: &Cdfg, block: BlockId) -> Vec<NodeId> {
+    g.block_nodes(block)
+}
+
+fn registers_written_in(g: &Cdfg, body: &[NodeId]) -> Vec<Reg> {
+    let mut out: Vec<Reg> = Vec::new();
+    for &n in body {
+        for w in g.node(n).expect("live node").kind.writes() {
+            if !out.contains(w) {
+                out.push(w.clone());
+            }
+        }
+    }
+    out
+}
+
+/// First and last instances of a register among the body nodes (paper's
+/// step B wording: one write, or the parallel reads around it).
+fn instances(g: &Cdfg, body: &[NodeId], reg: &Reg) -> (Vec<NodeId>, Vec<NodeId>) {
+    let mut accesses: Vec<(usize, NodeId, bool, bool)> = Vec::new(); // (pos, node, reads, writes)
+    for (pos, &n) in body.iter().enumerate() {
+        let k = &g.node(n).expect("live node").kind;
+        let r = k.reads().iter().any(|x| *x == reg);
+        let w = k.writes().iter().any(|x| *x == reg);
+        if r || w {
+            accesses.push((pos, n, r, w));
+        }
+    }
+    let first_write = accesses.iter().find(|(_, _, _, w)| *w).map(|&(p, n, _, _)| (p, n));
+    let last_write = accesses.iter().rev().find(|(_, _, _, w)| *w).map(|&(p, n, _, _)| (p, n));
+
+    let firsts = match first_write {
+        Some((fp, fw)) => {
+            let reads_before: Vec<NodeId> = accesses
+                .iter()
+                .filter(|(p, _, r, _)| *r && *p <= fp)
+                .map(|&(_, n, _, _)| n)
+                .collect();
+            if reads_before.is_empty() {
+                vec![fw]
+            } else {
+                reads_before
+            }
+        }
+        None => Vec::new(),
+    };
+    let lasts = match last_write {
+        Some((lp, lw)) => {
+            let reads_after: Vec<NodeId> = accesses
+                .iter()
+                .filter(|(p, _, r, _)| *r && *p > lp)
+                .map(|&(_, n, _, _)| n)
+                .collect();
+            if reads_after.is_empty() {
+                vec![lw]
+            } else {
+                reads_after
+            }
+        }
+        None => Vec::new(),
+    };
+    (firsts, lasts)
+}
+
+fn last_writer(g: &Cdfg, body: &[NodeId], reg: &Reg) -> Option<NodeId> {
+    body.iter()
+        .rev()
+        .find(|&&n| {
+            g.node(n)
+                .map(|x| x.kind.writes().iter().any(|w| *w == reg))
+                .unwrap_or(false)
+        })
+        .copied()
+}
+
+/// First node of each functional unit among the body nodes.
+fn first_use_per_fu(g: &Cdfg, body: &[NodeId]) -> Vec<NodeId> {
+    let mut seen: HashMap<adcs_cdfg::FuId, NodeId> = HashMap::new();
+    for &n in body {
+        if let Some(fu) = g.node(n).expect("live node").fu {
+            seen.entry(fu).or_insert(n);
+        }
+    }
+    let mut v: Vec<NodeId> = seen.into_values().collect();
+    v.sort_unstable();
+    v
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use adcs_cdfg::benchmarks::{diffeq, diffeq_reference, gcd, gcd_reference, DiffeqParams};
+    use adcs_sim::exec::{execute, ExecOptions};
+    use adcs_sim::DelayModel;
+
+    #[test]
+    fn diffeq_gt1_matches_the_paper() {
+        let d = diffeq(DiffeqParams::default()).unwrap();
+        let mut g = d.cdfg.clone();
+        let reports = gt1_loop_parallelism(&mut g).unwrap();
+        assert_eq!(reports.len(), 1);
+        let r = &reports[0];
+        // Step A removes arcs 1, 2, 3 (U, M1:=A*B, M2 -> ENDLOOP).
+        assert_eq!(r.removed_sync.len(), 3, "{r:?}");
+        // Step B adds exactly the paper's arcs 8 and 9:
+        // U := U-M1 ~> M1 := U*X1 and U := U-M1 ~> M2 := U*dx.
+        assert_eq!(r.backward_added.len(), 2, "{r:?}");
+        let u = g.node_by_label("U := U - M1").unwrap();
+        for &id in &r.backward_added {
+            let a = g.arc(id).unwrap();
+            assert_eq!(a.src, u);
+            assert!(a.backward);
+            let dst_label = g.node(a.dst).unwrap().kind.to_string();
+            assert!(
+                dst_label == "M1 := U * X1" || dst_label == "M2 := U * dx",
+                "{dst_label}"
+            );
+        }
+        // Steps C and D add nothing (already implied).
+        assert!(r.loop_var_arc.is_none(), "{r:?}");
+        assert!(r.limit_arcs.is_empty(), "{r:?}");
+    }
+
+    #[test]
+    fn diffeq_still_computes_after_gt1() {
+        // GT1 alone preserves values; wire safety additionally needs GT2
+        // to clear the dominated entry arcs (the paper presents Figure 3
+        // as "after GT1 and GT2").
+        let p = DiffeqParams {
+            x0: 0,
+            y0: 2,
+            u0: 3,
+            dx: 1,
+            a: 6,
+        };
+        let d = diffeq(p).unwrap();
+        let mut g = d.cdfg.clone();
+        gt1_loop_parallelism(&mut g).unwrap();
+        let (x, y, u) = diffeq_reference(p);
+        for seed in 0..16 {
+            let delays = DelayModel::uniform(1)
+                .with_fu(d.mul1, 3)
+                .with_fu(d.mul2, 2)
+                .with_jitter(seed, 4);
+            let r = execute(&g, d.initial.clone(), &delays, &ExecOptions::default()).unwrap();
+            assert_eq!(
+                (r.register("X"), r.register("Y"), r.register("U")),
+                (Some(x), Some(y), Some(u)),
+                "seed {seed}"
+            );
+        }
+    }
+
+    #[test]
+    fn diffeq_wire_safe_after_gt1_and_gt2() {
+        let p = DiffeqParams {
+            x0: 0,
+            y0: 2,
+            u0: 3,
+            dx: 1,
+            a: 6,
+        };
+        let d = diffeq(p).unwrap();
+        let mut g = d.cdfg.clone();
+        gt1_loop_parallelism(&mut g).unwrap();
+        crate::gt::gt2_remove_dominated(&mut g).unwrap();
+        let (x, y, u) = diffeq_reference(p);
+        for seed in 0..16 {
+            let delays = DelayModel::uniform(1)
+                .with_fu(d.mul1, 3)
+                .with_fu(d.mul2, 2)
+                .with_jitter(seed, 4);
+            let r = execute(&g, d.initial.clone(), &delays, &ExecOptions::default()).unwrap();
+            assert_eq!(
+                (r.register("X"), r.register("Y"), r.register("U")),
+                (Some(x), Some(y), Some(u)),
+                "seed {seed}"
+            );
+            assert!(r.violations.is_empty(), "seed {seed}: {:?}", r.violations);
+        }
+    }
+
+    #[test]
+    fn gt1_increases_parallelism() {
+        // With slow multipliers, the GT1 graph should finish no later than
+        // the original, and strictly earlier for at least one delay model.
+        let p = DiffeqParams {
+            x0: 0,
+            y0: 1,
+            u0: 1,
+            dx: 1,
+            a: 8,
+        };
+        let d = diffeq(p).unwrap();
+        let mut g = d.cdfg.clone();
+        gt1_loop_parallelism(&mut g).unwrap();
+        let delays = DelayModel::uniform(1).with_fu(d.mul1, 4).with_fu(d.mul2, 4);
+        let before = execute(&d.cdfg, d.initial.clone(), &delays, &ExecOptions::default())
+            .unwrap()
+            .time;
+        let after = execute(&g, d.initial.clone(), &delays, &ExecOptions::default())
+            .unwrap()
+            .time;
+        assert!(after <= before, "GT1 made it slower: {after} > {before}");
+        assert!(after < before, "expected strict overlap win: {after} vs {before}");
+    }
+
+    #[test]
+    fn gcd_computes_after_gt1() {
+        for (x, y) in [(12, 18), (21, 6)] {
+            let d = gcd(x, y).unwrap();
+            let mut g = d.cdfg.clone();
+            gt1_loop_parallelism(&mut g).unwrap();
+            for seed in 0..8 {
+                let delays = DelayModel::uniform(1).with_jitter(seed, 3);
+                let r = execute(&g, d.initial.clone(), &delays, &ExecOptions::default()).unwrap();
+                assert_eq!(r.register("x"), Some(gcd_reference(x, y)), "seed {seed}");
+            }
+        }
+    }
+
+    #[test]
+    fn non_loop_block_is_rejected() {
+        let d = diffeq(DiffeqParams::default()).unwrap();
+        let mut g = d.cdfg.clone();
+        let outer = g
+            .blocks()
+            .find(|(_, b)| matches!(b.kind, BlockKind::Outer))
+            .map(|(id, _)| id)
+            .unwrap();
+        assert!(matches!(
+            gt1_on_loop(&mut g, outer),
+            Err(SynthError::Precondition(_))
+        ));
+    }
+}

@@ -1,0 +1,246 @@
+//! GT2 — removal of dominated constraints (paper §3.2).
+//!
+//! A constraint arc is removed when it is implied by a path of other
+//! constraints ("contained in the transitive closure of all other
+//! constraints"). With loops, domination is weighted: a backward arc
+//! (weight 1) may be implied by a path crossing at most one iteration
+//! boundary — see [`adcs_cdfg::analysis`].
+//!
+//! Conditionals need care: a path through the *inside* of an `IF` branch
+//! only exists when that branch is taken, so it may justify removing an
+//! arc only if the candidate arc lives in the same branch context. A path
+//! may always step across a whole conditional via the virtual
+//! `IF → ENDIF` summary edge (one of the two branches certainly runs and
+//! both end at the join).
+
+use std::collections::VecDeque;
+
+use adcs_cdfg::graph::BlockKind;
+use adcs_cdfg::{ArcId, BlockId, Cdfg, NodeId};
+
+use crate::error::SynthError;
+
+/// What GT2 did.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct Gt2Report {
+    /// Arcs removed, in removal order.
+    pub removed: Vec<ArcId>,
+}
+
+/// Branch blocks (then/else) containing a node.
+fn branch_context(g: &Cdfg, n: NodeId) -> Vec<BlockId> {
+    let mut out = Vec::new();
+    let mut cur = Some(g.node(n).expect("live node").block);
+    while let Some(b) = cur {
+        if matches!(
+            g.block(b).kind,
+            BlockKind::ThenBranch { .. } | BlockKind::ElseBranch { .. }
+        ) {
+            out.push(b);
+        }
+        cur = g.block(b).parent;
+    }
+    out
+}
+
+/// Weighted reachability that only uses *certain* paths relative to a
+/// candidate arc: path arcs whose endpoints lie in branch blocks must
+/// share those branch blocks with the candidate's endpoints, and whole
+/// conditionals may be crossed via virtual `IF → ENDIF` edges.
+fn certain_reaches(
+    g: &Cdfg,
+    src: NodeId,
+    dst: NodeId,
+    max_weight: u32,
+    exclude: ArcId,
+    allowed_branches: &[BlockId],
+) -> bool {
+    let in_context = |n: NodeId| -> bool {
+        branch_context(g, n)
+            .iter()
+            .all(|b| allowed_branches.contains(b))
+    };
+    // Virtual IF -> ENDIF summaries.
+    let summaries: Vec<(NodeId, NodeId)> = g
+        .blocks()
+        .filter_map(|(_, b)| match b.kind {
+            BlockKind::ThenBranch { head, tail } => Some((head, tail)),
+            _ => None,
+        })
+        .collect();
+
+    let mut seen = std::collections::HashSet::new();
+    let mut q = VecDeque::new();
+    q.push_back((src, 0u32));
+    seen.insert((src, 0u32));
+    while let Some((n, w)) = q.pop_front() {
+        let mut steps: Vec<(NodeId, u32)> = Vec::new();
+        for (aid, arc) in g.out_arcs(n) {
+            if aid == exclude {
+                continue;
+            }
+            if !in_context(arc.src) || !in_context(arc.dst) {
+                continue;
+            }
+            steps.push((arc.dst, w + u32::from(arc.backward)));
+        }
+        for &(h, t) in &summaries {
+            if h == n {
+                steps.push((t, w));
+            }
+        }
+        for (next, nw) in steps {
+            if nw > max_weight {
+                continue;
+            }
+            if next == dst {
+                return true;
+            }
+            if seen.insert((next, nw)) {
+                q.push_back((next, nw));
+            }
+        }
+    }
+    false
+}
+
+/// Whether one arc is dominated by a certain path of other arcs.
+pub fn certain_dominated(g: &Cdfg, arc: ArcId) -> bool {
+    let Ok(a) = g.arc(arc) else { return false };
+    let mut allowed = branch_context(g, a.src);
+    allowed.extend(branch_context(g, a.dst));
+    certain_reaches(g, a.src, a.dst, u32::from(a.backward), arc, &allowed)
+}
+
+/// Removes dominated arcs until none remain.
+///
+/// # Errors
+///
+/// Propagates graph edit failures (should not occur on live arcs).
+pub fn gt2_remove_dominated(g: &mut Cdfg) -> Result<Gt2Report, SynthError> {
+    let mut report = Gt2Report::default();
+    loop {
+        let candidate = g
+            .arcs()
+            .map(|(id, _)| id)
+            .find(|&id| certain_dominated(g, id));
+        match candidate {
+            Some(id) => {
+                g.remove_arc(id)?;
+                report.removed.push(id);
+            }
+            None => break,
+        }
+    }
+    Ok(report)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use adcs_cdfg::benchmarks::{diffeq, gcd, DiffeqParams};
+    use adcs_cdfg::builder::CdfgBuilder;
+    use adcs_cdfg::Role;
+
+    #[test]
+    fn removes_shortcut_arcs() {
+        let mut b = CdfgBuilder::new();
+        let alu = b.add_fu("ALU");
+        let mul = b.add_fu("MUL");
+        let x = b.stmt(mul, "x := p * q").unwrap();
+        b.stmt(alu, "y := x + r").unwrap();
+        let z = b.stmt(mul, "z := y * y").unwrap();
+        let mut g = b.finish().unwrap();
+        let shortcut = g.add_arc(x, z, Role::DataDep, false);
+        let before = g.arc_count();
+        let rep = gt2_remove_dominated(&mut g).unwrap();
+        assert!(rep.removed.contains(&shortcut));
+        assert!(g.arc_count() < before);
+        assert!(g.arc(shortcut).is_err());
+    }
+
+    #[test]
+    fn keeps_sole_constraints() {
+        let mut b = CdfgBuilder::new();
+        let alu = b.add_fu("ALU");
+        let mul = b.add_fu("MUL");
+        b.stmt(mul, "x := p * q").unwrap();
+        b.stmt(alu, "y := x + r").unwrap();
+        let mut g = b.finish().unwrap();
+        let rep = gt2_remove_dominated(&mut g).unwrap();
+        // The builder output for a 2-node chain has no redundancy.
+        assert!(rep.removed.is_empty(), "{rep:?}");
+    }
+
+    #[test]
+    fn branch_internal_paths_do_not_justify_outside_arcs() {
+        // An arc outside a conditional must not be removed because of a
+        // path that runs through one branch only.
+        let d = gcd(8, 12).unwrap();
+        let mut g = d.cdfg.clone();
+        let rep = gt2_remove_dominated(&mut g).unwrap();
+        // The data arc IF/ENDIF -> c := x != y (join -> reader) must stay;
+        // it is the only thing ordering the re-comparison.
+        let c2 = g
+            .rtl_nodes()
+            .filter(|(_, n)| n.kind.to_string() == "c := x != y")
+            .map(|(id, _)| id)
+            .max()
+            .unwrap();
+        assert!(g.in_arcs(c2).count() >= 1, "{rep:?}");
+        // And the graph still executes correctly.
+        let r = adcs_sim::exec::execute(
+            &g,
+            d.initial.clone(),
+            &adcs_sim::DelayModel::uniform(1),
+            &adcs_sim::exec::ExecOptions::default(),
+        )
+        .unwrap();
+        assert_eq!(r.register("x"), Some(4));
+    }
+
+    #[test]
+    fn diffeq_entry_arc_5_is_removed() {
+        // Paper §3.2: (LOOP, A := Y+M1) is implied by (LOOP, M1 := U*X1)
+        // and (M1 := U*X1, A := Y+M1).
+        let d = diffeq(DiffeqParams::default()).unwrap();
+        let mut g = d.cdfg.clone();
+        let loop_node = g
+            .nodes()
+            .find(|(_, n)| matches!(n.kind, adcs_cdfg::NodeKind::Loop { .. }))
+            .map(|(id, _)| id)
+            .unwrap();
+        let a_node = g.node_by_label("A := Y + M1").unwrap();
+        let arc5 = g
+            .arcs()
+            .find(|(_, a)| a.src == loop_node && a.dst == a_node)
+            .map(|(id, _)| id)
+            .unwrap();
+        assert!(certain_dominated(&g, arc5));
+        let rep = gt2_remove_dominated(&mut g).unwrap();
+        assert!(rep.removed.contains(&arc5));
+    }
+
+    #[test]
+    fn gcd_still_computes_after_gt2() {
+        for (x, y) in [(12, 18), (35, 14)] {
+            let d = gcd(x, y).unwrap();
+            let mut g = d.cdfg.clone();
+            gt2_remove_dominated(&mut g).unwrap();
+            for seed in 0..6 {
+                let delays = adcs_sim::DelayModel::uniform(1).with_jitter(seed, 3);
+                let r = adcs_sim::exec::execute(
+                    &g,
+                    d.initial.clone(),
+                    &delays,
+                    &adcs_sim::exec::ExecOptions::default(),
+                )
+                .unwrap();
+                assert_eq!(
+                    r.register("x"),
+                    Some(adcs_cdfg::benchmarks::gcd_reference(x, y))
+                );
+            }
+        }
+    }
+}

@@ -1,0 +1,156 @@
+//! GT3 — relative-timing optimization (paper §3.3).
+//!
+//! Exploits knowledge about the relative occurrence of events to delete
+//! constraint arcs that are never the last to arrive at their destination:
+//! the remaining, slower constraints subsume them. The DIFFEQ example
+//! deletes arc 10 `(M2 := U*dx, U := U-M1)` because arc 11
+//! `(M1 := A*B, U := U-M1)` is enabled only after a three-operation chain.
+//!
+//! Validity is established by the Monte-Carlo relative-timing verifier of
+//! [`crate::timing`] (the paper's unspecified "detailed timing analysis").
+
+use adcs_cdfg::benchmarks::RegFile;
+use adcs_cdfg::{ArcId, Cdfg};
+
+use crate::error::SynthError;
+use crate::timing::{timing_redundant, TimingModel};
+
+/// What GT3 did.
+#[derive(Clone, Debug, Default)]
+pub struct Gt3Report {
+    /// Arcs removed as timing-redundant.
+    pub removed: Vec<ArcId>,
+}
+
+/// Removes inter-unit arcs that are provably (by sampling) never the last
+/// arrival at their destination.
+///
+/// `initial` must let the graph execute (the verifier runs it many times).
+///
+/// # Errors
+///
+/// Propagates simulation failures.
+pub fn gt3_relative_timing(
+    g: &mut Cdfg,
+    initial: &RegFile,
+    model: &TimingModel,
+) -> Result<Gt3Report, SynthError> {
+    let mut report = Gt3Report::default();
+    loop {
+        let candidates = g.inter_fu_arcs();
+        let mut removed_one = false;
+        for id in candidates {
+            if g.arc(id).is_err() {
+                continue;
+            }
+            if timing_redundant(g, id, initial, model)? {
+                g.remove_arc(id)?;
+                report.removed.push(id);
+                removed_one = true;
+                break; // re-verify against the updated graph
+            }
+        }
+        if !removed_one {
+            break;
+        }
+    }
+    Ok(report)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use adcs_cdfg::benchmarks::{diffeq, diffeq_reference, DiffeqParams};
+    use adcs_sim::exec::{execute, ExecOptions};
+
+    use crate::gt::{gt1_loop_parallelism, gt2_remove_dominated};
+
+    fn diffeq_model(d: &adcs_cdfg::benchmarks::DiffeqDesign) -> TimingModel {
+        TimingModel::uniform(1, 2)
+            .with_fu(d.mul1, 2, 4)
+            .with_fu(d.mul2, 2, 4)
+            .with_samples(24)
+    }
+
+    #[test]
+    fn diffeq_gt3_removes_arc_10() {
+        let d = diffeq(DiffeqParams::default()).unwrap();
+        let mut g = d.cdfg.clone();
+        gt1_loop_parallelism(&mut g).unwrap();
+        gt2_remove_dominated(&mut g).unwrap();
+
+        let m2 = g.node_by_label("M2 := U * dx").unwrap();
+        let u = g.node_by_label("U := U - M1").unwrap();
+        assert!(
+            g.arcs().any(|(_, a)| a.src == m2 && a.dst == u),
+            "arc 10 should still exist before GT3"
+        );
+
+        let rep = gt3_relative_timing(&mut g, &d.initial, &diffeq_model(&d)).unwrap();
+        assert!(
+            !g.arcs().any(|(_, a)| a.src == m2 && a.dst == u),
+            "arc 10 should be deleted: {rep:?}"
+        );
+
+        // Still computes under the delay model it was verified for.
+        let (x, y, uu) = diffeq_reference(d.params);
+        for seed in 0..12 {
+            let delays = diffeq_model(&d).delay_model(&g, seed + 100);
+            let r = execute(&g, d.initial.clone(), &delays, &ExecOptions::default()).unwrap();
+            assert_eq!(
+                (r.register("X"), r.register("Y"), r.register("U")),
+                (Some(x), Some(y), Some(uu)),
+                "seed {seed}"
+            );
+        }
+    }
+
+    #[test]
+    fn gt3_keeps_essential_arcs() {
+        // With symmetric delays nothing should be provably redundant in a
+        // diamond join.
+        let mut b = adcs_cdfg::builder::CdfgBuilder::new();
+        let alu = b.add_fu("ALU");
+        let m1 = b.add_fu("M1");
+        let m2 = b.add_fu("M2");
+        b.stmt(m1, "p := x * x").unwrap();
+        b.stmt(m2, "q := y * y").unwrap();
+        b.stmt(alu, "s := p + q").unwrap();
+        let mut g = b.finish().unwrap();
+        let mut init = RegFile::new();
+        init.insert(adcs_cdfg::Reg::new("x"), 2);
+        init.insert(adcs_cdfg::Reg::new("y"), 3);
+        let rep =
+            gt3_relative_timing(&mut g, &init, &TimingModel::uniform(1, 3).with_samples(16))
+                .unwrap();
+        assert!(rep.removed.is_empty(), "{rep:?}");
+    }
+
+    #[test]
+    fn gt3_respects_fu_speed_differences() {
+        // Same diamond, but one input chain is much slower: the fast arc
+        // becomes removable.
+        let mut b = adcs_cdfg::builder::CdfgBuilder::new();
+        let alu = b.add_fu("ALU");
+        let fast = b.add_fu("FAST");
+        let slow = b.add_fu("SLOW");
+        b.stmt(fast, "p := x + x").unwrap();
+        b.stmt(slow, "q := y * y").unwrap();
+        b.stmt(alu, "s := p + q").unwrap();
+        let mut g = b.finish().unwrap();
+        let fast_id = g.fu_by_name("FAST").unwrap();
+        let slow_id = g.fu_by_name("SLOW").unwrap();
+        let mut init = RegFile::new();
+        init.insert(adcs_cdfg::Reg::new("x"), 2);
+        init.insert(adcs_cdfg::Reg::new("y"), 3);
+        let model = TimingModel::uniform(1, 2)
+            .with_fu(fast_id, 1, 2)
+            .with_fu(slow_id, 5, 9)
+            .with_samples(16);
+        let rep = gt3_relative_timing(&mut g, &init, &model).unwrap();
+        assert_eq!(rep.removed.len(), 1, "{rep:?}");
+        let p = g.node_by_label("p := x + x").unwrap();
+        let s = g.node_by_label("s := p + q").unwrap();
+        assert!(!g.arcs().any(|(_, a)| a.src == p && a.dst == s));
+    }
+}

@@ -1,0 +1,167 @@
+//! GT4 — merging of assignment nodes (paper §3.4).
+//!
+//! A pure register move `Rᵢ := Rⱼ` does not use its functional unit, so it
+//! can execute *in parallel* with the preceding or succeeding RTL
+//! operation bound to the same unit. The DIFFEQ example merges `X1 := X`
+//! into `Y := Y + M2`, making them one node `Y := Y + M2; X1 := X`.
+//!
+//! A merge is attempted with the schedule-adjacent predecessor first, then
+//! the successor; it is committed only if the merged graph stays
+//! forward-acyclic and block-legal (re-routing the move's constraint arcs
+//! onto the host operation could otherwise create a cycle).
+
+use adcs_cdfg::{Cdfg, NodeId, NodeKind};
+
+use crate::error::SynthError;
+
+/// What GT4 did.
+#[derive(Clone, Debug, Default)]
+pub struct Gt4Report {
+    /// Performed merges as `(host operation, absorbed assignment)`.
+    pub merged: Vec<(NodeId, NodeId)>,
+    /// Assignment nodes that could not be merged safely.
+    pub skipped: Vec<NodeId>,
+}
+
+/// Merges every safely-mergeable assignment node into a neighbouring
+/// operation on the same unit.
+///
+/// # Errors
+///
+/// Propagates graph edit failures.
+pub fn gt4_merge_assignments(g: &mut Cdfg) -> Result<Gt4Report, SynthError> {
+    let mut report = Gt4Report::default();
+    loop {
+        let assign = g
+            .nodes()
+            .find(|(id, n)| {
+                matches!(n.kind, NodeKind::Assign { .. })
+                    && !report.skipped.contains(id)
+            })
+            .map(|(id, _)| id);
+        let Some(asn) = assign else { break };
+        match merge_one(g, asn)? {
+            Some(host) => report.merged.push((host, asn)),
+            None => report.skipped.push(asn),
+        }
+    }
+    Ok(report)
+}
+
+/// Tries to merge one assignment; returns the host on success.
+fn merge_one(g: &mut Cdfg, asn: NodeId) -> Result<Option<NodeId>, SynthError> {
+    let node = g.node(asn)?;
+    let Some(fu) = node.fu else {
+        return Ok(None);
+    };
+    let block = node.block;
+    let sched = g.fu_schedule(fu);
+    let pos = sched
+        .iter()
+        .position(|&n| n == asn)
+        .ok_or_else(|| SynthError::Precondition(format!("{asn} missing from its schedule")))?;
+
+    // Candidate hosts: schedule predecessor, then successor — both must be
+    // operation nodes in the same block (parallel execution must not cross
+    // a block boundary).
+    let mut hosts: Vec<NodeId> = Vec::new();
+    if pos > 0 {
+        hosts.push(sched[pos - 1]);
+    }
+    if pos + 1 < sched.len() {
+        hosts.push(sched[pos + 1]);
+    }
+    for host in hosts {
+        let hn = g.node(host)?;
+        if hn.block != block || !matches!(hn.kind, NodeKind::Op { .. }) {
+            continue;
+        }
+        // A data dependency in either direction makes parallel execution
+        // read a stale value: the merged fragment reads all operands
+        // before writing any result.
+        let data_dependent = g
+            .out_arcs(host)
+            .chain(g.out_arcs(asn))
+            .any(|(_, a)| {
+                (a.dst == asn || a.dst == host)
+                    && a.roles.contains(adcs_cdfg::Role::DataDep)
+            });
+        if data_dependent {
+            continue;
+        }
+        // Trial merge on a clone; commit only if it stays legal.
+        let mut trial = g.clone();
+        if trial.absorb_assignment(host, asn).is_err() {
+            continue;
+        }
+        if adcs_cdfg::validate::validate(&trial).is_ok() {
+            *g = trial;
+            return Ok(Some(host));
+        }
+    }
+    Ok(None)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use adcs_cdfg::benchmarks::{diffeq, diffeq_reference, fir, fir_reference, DiffeqParams};
+    use adcs_sim::exec::{execute, ExecOptions};
+    use adcs_sim::DelayModel;
+
+    #[test]
+    fn diffeq_merges_x1_into_y() {
+        let d = diffeq(DiffeqParams::default()).unwrap();
+        let mut g = d.cdfg.clone();
+        let rep = gt4_merge_assignments(&mut g).unwrap();
+        assert_eq!(rep.merged.len(), 1, "{rep:?}");
+        assert!(g.node_by_label("Y := Y + M2; X1 := X").is_some());
+        assert!(g.node_by_label("X1 := X").is_none());
+    }
+
+    #[test]
+    fn diffeq_computes_after_gt4() {
+        let p = DiffeqParams::default();
+        let d = diffeq(p).unwrap();
+        let mut g = d.cdfg.clone();
+        gt4_merge_assignments(&mut g).unwrap();
+        let (x, y, u) = diffeq_reference(p);
+        for seed in 0..10 {
+            let delays = DelayModel::uniform(1).with_jitter(seed, 3);
+            let r = execute(&g, d.initial.clone(), &delays, &ExecOptions::default()).unwrap();
+            assert_eq!(
+                (r.register("X"), r.register("Y"), r.register("U")),
+                (Some(x), Some(y), Some(u)),
+                "seed {seed}"
+            );
+        }
+    }
+
+    #[test]
+    fn fir_shift_chain_merges() {
+        let xs = [1, 2, 3, 4];
+        let cs = [4, 3, 2, 1];
+        let d = fir(xs, cs, 9).unwrap();
+        let mut g = d.cdfg.clone();
+        let rep = gt4_merge_assignments(&mut g).unwrap();
+        assert!(!rep.merged.is_empty(), "{rep:?}");
+        // Data must be preserved no matter how many moves were absorbed.
+        let r = execute(&g, d.initial.clone(), &DelayModel::uniform(1), &ExecOptions::default())
+            .unwrap();
+        let (y, line) = fir_reference(xs, cs, 9);
+        assert_eq!(r.register("y"), Some(y));
+        assert_eq!(r.register("x0"), Some(line[0]));
+        assert_eq!(r.register("x1"), Some(line[1]));
+        assert_eq!(r.register("x2"), Some(line[2]));
+        assert_eq!(r.register("x3"), Some(line[3]));
+    }
+
+    #[test]
+    fn merge_reduces_node_count() {
+        let d = fir([1, 2, 3, 4], [1, 1, 1, 1], 9).unwrap();
+        let mut g = d.cdfg.clone();
+        let before = g.node_count();
+        let rep = gt4_merge_assignments(&mut g).unwrap();
+        assert_eq!(g.node_count(), before - rep.merged.len());
+    }
+}

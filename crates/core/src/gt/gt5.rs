@@ -1,0 +1,887 @@
+//! GT5 — communication-channel elimination (paper §3.5).
+//!
+//! After GT1–GT4, each remaining inter-unit arc would become its own
+//! single-wire channel. Three sub-transforms reduce the wire count:
+//!
+//! * **GT5.1 channel multiplexing** — two channels with the same endpoints
+//!   whose events are never concurrently in flight share one wire (the
+//!   events become alternating phases). Arcs with the *same source node*
+//!   are one broadcast event and fuse unconditionally (this also creates
+//!   multi-way channels such as DIFFEQ's `LOOP` broadcast).
+//! * **GT5.2 concurrency reduction** — a constraint `a → c` is replaced by
+//!   the chain of an existing arc `a → b` plus a new arc `b → c` that can
+//!   ride an existing channel, trading concurrency for one wire.
+//! * **GT5.3 channel symmetrization** — two same-sender channels with
+//!   *overlapping but not identical* receiver sets are made symmetric by
+//!   safe (already-implied) arc additions, turned into multi-way channels,
+//!   and multiplexed.
+//!
+//! Safety: the events on one wire must be strictly alternating — there is
+//! always "a chain of other events that provides an acknowledgment"
+//! (paper §3.1 step D). We verify this statically by finding a cyclic
+//! order of the source nodes whose ordering paths cross the iteration
+//! boundary exactly once, and the flow double-checks every run with the
+//! simulator's channel-group wire-safety monitor.
+
+use std::collections::BTreeSet;
+
+use adcs_cdfg::analysis::reaches_within;
+use adcs_cdfg::{ArcId, Cdfg, FuId, NodeId, Role};
+
+use crate::channel::ChannelMap;
+use crate::error::SynthError;
+
+/// Options selecting which GT5 sub-transforms run.
+#[derive(Clone, Copy, Debug)]
+pub struct Gt5Options {
+    /// Enable GT5.1 multiplexing (incl. broadcast fusion).
+    pub multiplexing: bool,
+    /// Enable GT5.2 concurrency reduction.
+    pub concurrency_reduction: bool,
+    /// Enable GT5.3 symmetrization.
+    pub symmetrization: bool,
+    /// Maximum number of safe coverage arcs one symmetrization merge may
+    /// add (the paper's Figure 9 example adds exactly one).
+    pub max_coverage_additions: usize,
+    /// Maximum number of distinct event classes (source nodes) per shared
+    /// wire. The paper's channels carry at most two (the two phases of the
+    /// transition-signalling scheme); more classes per wire outpace the
+    /// receiving controller's sequential waits.
+    pub max_classes_per_channel: usize,
+    /// Require *structural* consumption ordering for sharing: each event's
+    /// consumers must be constrained to fire before the next event is
+    /// emitted. Without it (the default, matching the paper), sharing
+    /// relies on the relative-timing regime and is validated by
+    /// simulation.
+    pub structural_consumption: bool,
+}
+
+impl Default for Gt5Options {
+    fn default() -> Self {
+        Gt5Options {
+            multiplexing: true,
+            concurrency_reduction: true,
+            symmetrization: true,
+            max_coverage_additions: 1,
+            max_classes_per_channel: 2,
+            structural_consumption: false,
+        }
+    }
+}
+
+/// What GT5 did.
+#[derive(Clone, Debug, Default)]
+pub struct Gt5Report {
+    /// Channel merges performed by multiplexing/broadcast fusion.
+    pub multiplexed: usize,
+    /// Channel merges performed by symmetrization (with the safe arcs
+    /// added for coverage).
+    pub symmetrized: usize,
+    /// Safe arcs added for symmetrization coverage.
+    pub coverage_arcs: Vec<ArcId>,
+    /// GT5.2 rewires as `(removed arc, added arc)`.
+    pub rerouted: Vec<(ArcId, ArcId)>,
+}
+
+/// Runs the enabled GT5 sub-transforms to a fixed point.
+///
+/// # Errors
+///
+/// Propagates channel-bookkeeping failures.
+pub fn gt5_channel_elimination(
+    g: &mut Cdfg,
+    channels: &mut ChannelMap,
+    opts: Gt5Options,
+) -> Result<Gt5Report, SynthError> {
+    let mut report = Gt5Report::default();
+    loop {
+        let mut changed = false;
+        // Plain same-endpoint multiplexing runs first (it never loses
+        // concurrency and never adds arcs); broadcast fusion then forms
+        // multi-way channels from shared source events, which
+        // symmetrization builds on. This ordering reproduces the paper's
+        // Figure 5 channel structure on DIFFEQ.
+        if opts.multiplexing
+            && multiplex_once(
+                g,
+                channels,
+                MergeMode::Multiplex,
+                opts.max_classes_per_channel,
+                opts.structural_consumption,
+                &mut report,
+            )?
+        {
+            changed = true;
+        }
+        if !changed
+            && opts.multiplexing
+            && multiplex_once(
+                g,
+                channels,
+                MergeMode::Broadcast,
+                opts.max_classes_per_channel,
+                opts.structural_consumption,
+                &mut report,
+            )?
+        {
+            changed = true;
+        }
+        if !changed
+            && opts.symmetrization
+            && multiplex_once(
+                g,
+                channels,
+                MergeMode::Symmetrize { max_additions: opts.max_coverage_additions },
+                opts.max_classes_per_channel,
+                opts.structural_consumption,
+                &mut report,
+            )?
+        {
+            changed = true;
+        }
+        if !changed && opts.concurrency_reduction && reroute_once(g, channels, &mut report)? {
+            changed = true;
+        }
+        if !changed {
+            break;
+        }
+    }
+    Ok(report)
+}
+
+/// Which pair-selection rule a merge pass uses.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum MergeMode {
+    /// Same single source node (one physical event, fanned out).
+    Broadcast,
+    /// GT5.1: identical sender and receiver sets.
+    Multiplex,
+    /// GT5.3: overlapping receiver sets (or a shared source event), with
+    /// at most `max_additions` safe arcs added for coverage.
+    Symmetrize {
+        /// Cap on coverage arcs added by one merge.
+        max_additions: usize,
+    },
+}
+
+/// The minimum iteration-boundary weight of a constraint path `a ⇒ b`,
+/// when one of weight ≤ 1 exists.
+fn path_weight(g: &Cdfg, a: NodeId, b: NodeId) -> Option<u32> {
+    if reaches_within(g, a, b, 0, None) {
+        Some(0)
+    } else if reaches_within(g, a, b, 1, None) {
+        Some(1)
+    } else {
+        None
+    }
+}
+
+/// Whether a node fires once per loop iteration (it lives inside a loop
+/// body) rather than once per program run.
+fn is_recurring(g: &Cdfg, n: NodeId) -> bool {
+    let mut cur = Some(g.node(n).expect("live node").block);
+    while let Some(b) = cur {
+        if matches!(g.block(b).kind, adcs_cdfg::graph::BlockKind::LoopBody { .. }) {
+            return true;
+        }
+        cur = g.block(b).parent;
+    }
+    false
+}
+
+/// Whether all arcs of both channels leave a (possible) decision node on
+/// the same side: a `LOOP`/`IF` source fires only one side's arcs per
+/// activation, so arcs on different sides are alternative events, not one
+/// broadcast.
+fn same_decision_side(g: &Cdfg, src: NodeId, a: &[ArcId], b: &[ArcId]) -> bool {
+    use adcs_cdfg::NodeKind;
+    let node = match g.node(src) {
+        Ok(n) => n,
+        Err(_) => return false,
+    };
+    let governed: Vec<adcs_cdfg::BlockId> = match node.kind {
+        NodeKind::Loop { .. } => g
+            .blocks()
+            .filter(|(_, blk)| {
+                matches!(blk.kind, adcs_cdfg::graph::BlockKind::LoopBody { head, .. } if head == src)
+            })
+            .map(|(id, _)| id)
+            .collect(),
+        NodeKind::If { .. } => g
+            .blocks()
+            .filter(|(_, blk)| match blk.kind {
+                adcs_cdfg::graph::BlockKind::ThenBranch { head, .. }
+                | adcs_cdfg::graph::BlockKind::ElseBranch { head, .. } => head == src,
+                _ => false,
+            })
+            .map(|(id, _)| id)
+            .collect(),
+        _ => return true, // plain nodes always fire all out-arcs
+    };
+    let side = |arc: ArcId| -> Option<usize> {
+        let dst = g.arc(arc).ok()?.dst;
+        let dblock = g.node(dst).ok()?.block;
+        for (i, &blk) in governed.iter().enumerate() {
+            if g.block_contains(blk, dblock) {
+                return Some(i);
+            }
+        }
+        Some(usize::MAX) // the exit side
+    };
+    let mut seen: Option<usize> = None;
+    for &arc in a.iter().chain(b.iter()) {
+        match side(arc) {
+            Some(sd) => match seen {
+                None => seen = Some(sd),
+                Some(prev) if prev == sd => {}
+                _ => return false,
+            },
+            None => return false,
+        }
+    }
+    true
+}
+
+/// Distinct source nodes of a set of arcs.
+fn sources(g: &Cdfg, arcs: &[ArcId]) -> Vec<NodeId> {
+    let mut out = Vec::new();
+    for &a in arcs {
+        if let Ok(arc) = g.arc(a) {
+            if !out.contains(&arc.src) {
+                out.push(arc.src);
+            }
+        }
+    }
+    out
+}
+
+/// Whether the events emitted by `srcs` are strictly alternating on one
+/// wire: the recurring sources admit a cyclic order whose ordering paths
+/// have total weight exactly 1, and each one-shot source is ordered before
+/// the recurring traffic (and the one-shots form a chain).
+fn events_ordered(g: &Cdfg, srcs: &[NodeId]) -> bool {
+    let (oneshot, recurring): (Vec<NodeId>, Vec<NodeId>) =
+        srcs.iter().partition(|&&n| !is_recurring(g, n));
+    // One-shots must be pairwise ordered.
+    for (i, &a) in oneshot.iter().enumerate() {
+        for &b in &oneshot[i + 1..] {
+            if path_weight(g, a, b).is_none() && path_weight(g, b, a).is_none() {
+                return false;
+            }
+        }
+    }
+    // Each one-shot must precede the recurring traffic.
+    for &os in &oneshot {
+        for &r in &recurring {
+            if path_weight(g, os, r).is_none() {
+                return false;
+            }
+        }
+    }
+    match recurring.len() {
+        0 | 1 => true,
+        _ => cyclic_order_exists(g, &recurring),
+    }
+}
+
+/// Structural consumption ordering: there is a cyclic order of the event
+/// classes where, between consecutive events, *every consumer* of the
+/// earlier event is constrained to fire before the later event is emitted.
+/// A channel passing this check is wire-safe with no timing assumptions.
+///
+/// Accounting: an event of class `c` emitted in lap `t` is consumed by a
+/// backward-arc consumer in lap `t+1`; the leg weight `W` (0 within one
+/// lap, summing to 1 around the cycle) must absorb that shift.
+fn consumption_ordered(g: &Cdfg, arcs: &[ArcId], srcs: &[NodeId]) -> bool {
+    let consumers = |class: NodeId| -> Vec<(NodeId, u32)> {
+        arcs.iter()
+            .filter_map(|&a| g.arc(a).ok())
+            .filter(|arc| arc.src == class)
+            .map(|arc| (arc.dst, u32::from(arc.backward)))
+            .collect()
+    };
+    let (oneshot, recurring): (Vec<NodeId>, Vec<NodeId>) =
+        srcs.iter().partition(|&&n| !is_recurring(g, n));
+    // One-shots: their consumers must fire before the recurring traffic.
+    for &os in &oneshot {
+        for (d, _) in consumers(os) {
+            for &r in &recurring {
+                if path_weight(g, d, r).is_none() {
+                    return false;
+                }
+            }
+        }
+    }
+    if recurring.len() <= 1 {
+        // A single recurring class: successive occurrences must still be
+        // separated by consumption (self-leg with W = 1).
+        if let Some(&c) = recurring.first() {
+            for (d, w) in consumers(c) {
+                if w > 1 {
+                    return false;
+                }
+                let budget = 1 - w;
+                if !adcs_cdfg::analysis::reaches_within(g, d, c, budget, None) {
+                    return false;
+                }
+            }
+        }
+        return true;
+    }
+    // Try every cyclic order and every placement of the lap boundary.
+    let mut rest: Vec<NodeId> = recurring[1..].to_vec();
+    let first = recurring[0];
+    permutations(&mut rest, 0, &mut |perm| {
+        let mut order = vec![first];
+        order.extend_from_slice(perm);
+        let k = order.len();
+        'boundary: for wrap_leg in 0..k {
+            for i in 0..k {
+                let this = order[i];
+                let next = order[(i + 1) % k];
+                let leg_w: i64 = if i == wrap_leg { 1 } else { 0 };
+                for (d, w) in consumers(this) {
+                    let budget = leg_w - i64::from(w);
+                    if budget < 0 {
+                        continue 'boundary;
+                    }
+                    if !adcs_cdfg::analysis::reaches_within(g, d, next, budget as u32, None) {
+                        continue 'boundary;
+                    }
+                }
+            }
+            return true;
+        }
+        false
+    })
+}
+
+/// Searches for a cyclic order of `nodes` whose legs have total weight 1.
+fn cyclic_order_exists(g: &Cdfg, nodes: &[NodeId]) -> bool {
+    // Fix the first element (cyclic symmetry) and permute the rest.
+    let mut rest: Vec<NodeId> = nodes[1..].to_vec();
+    let first = nodes[0];
+    permutations(&mut rest, 0, &mut |perm| {
+        let mut total = 0u32;
+        let mut prev = first;
+        for &n in perm.iter() {
+            match path_weight(g, prev, n) {
+                Some(w) => total += w,
+                None => return false,
+            }
+            prev = n;
+        }
+        match path_weight(g, prev, first) {
+            Some(w) => total += w,
+            None => return false,
+        }
+        total == 1
+    })
+}
+
+fn permutations(v: &mut Vec<NodeId>, k: usize, f: &mut impl FnMut(&[NodeId]) -> bool) -> bool {
+    if k == v.len() {
+        return f(v);
+    }
+    for i in k..v.len() {
+        v.swap(k, i);
+        if permutations(v, k + 1, f) {
+            v.swap(k, i);
+            return true;
+        }
+        v.swap(k, i);
+    }
+    false
+}
+
+/// One multiplexing (or symmetrization) step; returns `true` on a merge.
+#[allow(clippy::too_many_arguments)]
+fn multiplex_once(
+    g: &mut Cdfg,
+    channels: &mut ChannelMap,
+    mode: MergeMode,
+    max_classes: usize,
+    structural: bool,
+    report: &mut Gt5Report,
+) -> Result<bool, SynthError> {
+    let allow_additions = matches!(mode, MergeMode::Symmetrize { .. });
+    let n = channels.count();
+    for i in 0..n {
+        for j in (i + 1)..n {
+            let (ci, cj) = (&channels.channels()[i], &channels.channels()[j]);
+            if ci.sender != cj.sender {
+                continue;
+            }
+            let same_receivers = ci.receivers == cj.receivers;
+            let same_source = {
+                let si = sources(g, &ci.arcs);
+                let sj = sources(g, &cj.arcs);
+                si.len() == 1
+                    && sj.len() == 1
+                    && si[0] == sj[0]
+                    && same_decision_side(g, si[0], &ci.arcs, &cj.arcs)
+            };
+            let overlapping = ci.receivers.intersection(&cj.receivers).next().is_some();
+            let shared_source = {
+                let si = sources(g, &ci.arcs);
+                sources(g, &cj.arcs).iter().any(|s| si.contains(s))
+            };
+            let applicable = match mode {
+                MergeMode::Broadcast => same_source,
+                MergeMode::Multiplex => same_receivers,
+                MergeMode::Symmetrize { .. } => {
+                    !same_receivers && (overlapping || shared_source)
+                }
+            };
+            if !applicable {
+                continue;
+            }
+            // Alternative events of one decision node (different branch /
+            // exit sides) can never share a wire: the receiver could not
+            // tell them apart.
+            {
+                let union: Vec<ArcId> =
+                    ci.arcs.iter().chain(cj.arcs.iter()).copied().collect();
+                let mut srcs_all = sources(g, &union);
+                srcs_all.dedup();
+                let mut ok = true;
+                for &sn in &srcs_all {
+                    let mine: Vec<ArcId> = union
+                        .iter()
+                        .copied()
+                        .filter(|&a| g.arc(a).map(|x| x.src == sn).unwrap_or(false))
+                        .collect();
+                    if !same_decision_side(g, sn, &mine, &[]) {
+                        ok = false;
+                        break;
+                    }
+                }
+                if !ok {
+                    continue;
+                }
+            }
+            let union_arcs: Vec<ArcId> =
+                ci.arcs.iter().chain(cj.arcs.iter()).copied().collect();
+            let srcs = sources(g, &union_arcs);
+            if srcs.len() > max_classes {
+                continue;
+            }
+            if !events_ordered(g, &srcs) {
+                continue;
+            }
+            if structural && !consumption_ordered(g, &union_arcs, &srcs) {
+                continue;
+            }
+            let union_receivers: BTreeSet<FuId> =
+                ci.receivers.union(&cj.receivers).copied().collect();
+            // Coverage: every receiver must consume every event class.
+            let missing = missing_coverage(g, &union_arcs, &srcs, &union_receivers);
+            if !missing.is_empty() && !allow_additions {
+                continue;
+            }
+            let mut additions: Vec<(NodeId, NodeId, bool)> = Vec::new();
+            let mut feasible = true;
+            for (src, recv) in &missing {
+                match find_safe_addition(g, *src, *recv) {
+                    Some((dst, backward)) => additions.push((*src, dst, backward)),
+                    None => {
+                        feasible = false;
+                        break;
+                    }
+                }
+            }
+            if !feasible {
+                continue;
+            }
+            if let MergeMode::Symmetrize { max_additions } = mode {
+                if additions.len() > max_additions {
+                    continue;
+                }
+            }
+            // Commit: add the coverage arcs, merge the channels.
+            for (src, dst, backward) in additions {
+                let id = g.add_arc(src, dst, Role::Control, backward);
+                let recv = g.node(dst)?.fu.expect("bound receiver");
+                channels.add_arc_to(i, id, recv)?;
+                report.coverage_arcs.push(id);
+            }
+            channels.merge(i, j)?;
+            if allow_additions {
+                report.symmetrized += 1;
+            } else {
+                report.multiplexed += 1;
+            }
+            return Ok(true);
+        }
+    }
+    Ok(false)
+}
+
+/// `(source node, receiver)` pairs with no consuming arc.
+fn missing_coverage(
+    g: &Cdfg,
+    arcs: &[ArcId],
+    srcs: &[NodeId],
+    receivers: &BTreeSet<FuId>,
+) -> Vec<(NodeId, FuId)> {
+    let mut missing = Vec::new();
+    for &s in srcs {
+        for &r in receivers {
+            let covered = arcs.iter().any(|&a| {
+                g.arc(a)
+                    .ok()
+                    .map(|arc| {
+                        arc.src == s
+                            && g.node(arc.dst).ok().and_then(|n| n.fu) == Some(r)
+                    })
+                    .unwrap_or(false)
+            });
+            if !covered {
+                missing.push((s, r));
+            }
+        }
+    }
+    missing
+}
+
+/// A *safe* (already-implied) arc from `src` to some node of `recv`: the
+/// target is chosen so that a constraint path `src ⇒ target` of weight
+/// ≤ 1 already exists (adding the arc changes no ordering), **and** both
+/// endpoints fire at the same cadence (same innermost loop) — a
+/// once-firing source can never feed a per-iteration consumer with fresh
+/// events.
+fn find_safe_addition(g: &Cdfg, src: NodeId, recv: FuId) -> Option<(NodeId, bool)> {
+    let src_ctx = loop_context(g, src);
+    let mut best: Option<(u32, NodeId)> = None;
+    for n in g.fu_schedule(recv) {
+        if n == src || loop_context(g, n) != src_ctx {
+            continue;
+        }
+        if let Some(w) = path_weight(g, src, n) {
+            if best.map(|(bw, _)| w < bw).unwrap_or(true) {
+                best = Some((w, n));
+            }
+        }
+    }
+    best.map(|(w, n)| (n, w > 0))
+}
+
+/// The innermost loop body containing a node, if any.
+fn loop_context(g: &Cdfg, n: NodeId) -> Option<adcs_cdfg::BlockId> {
+    let mut cur = Some(g.node(n).ok()?.block);
+    while let Some(b) = cur {
+        if matches!(g.block(b).kind, adcs_cdfg::graph::BlockKind::LoopBody { .. }) {
+            return Some(b);
+        }
+        cur = g.block(b).parent;
+    }
+    None
+}
+
+/// One GT5.2 step: reroute a single-arc channel through a hub.
+fn reroute_once(
+    g: &mut Cdfg,
+    channels: &mut ChannelMap,
+    report: &mut Gt5Report,
+) -> Result<bool, SynthError> {
+    let candidates: Vec<(usize, ArcId)> = channels
+        .channels()
+        .iter()
+        .enumerate()
+        .filter(|(_, c)| c.arcs.len() == 1)
+        .map(|(i, c)| (i, c.arcs[0]))
+        .collect();
+    for (_, old_arc) in candidates {
+        let Ok(arc) = g.arc(old_arc).map(Clone::clone) else { continue };
+        if arc.backward {
+            continue;
+        }
+        let a = arc.src;
+        let c = arc.dst;
+        let fu_a = g.node(a)?.fu;
+        let fu_c = g.node(c)?.fu;
+        // Hub: an existing successor b of a on a third unit.
+        let hubs: Vec<NodeId> = g
+            .out_arcs(a)
+            .filter(|(id, x)| *id != old_arc && !x.backward)
+            .map(|(_, x)| x.dst)
+            .filter(|&b| {
+                let fb = g.node(b).ok().and_then(|n| n.fu);
+                fb.is_some() && fb != fu_a && fb != fu_c
+            })
+            .collect();
+        for b in hubs {
+            let fu_b = g.node(b)?.fu.expect("bound hub");
+            // An existing channel from the hub's unit to c's unit.
+            let target = channels.channels().iter().position(|ch| {
+                ch.sender == fu_b && ch.receivers.contains(&fu_c.expect("bound dst"))
+            });
+            let Some(target) = target else { continue };
+            // The new event class must alternate with the target channel's
+            // traffic, and all of that channel's receivers must consume it.
+            let mut trial_sources = sources(g, &channels.channels()[target].arcs);
+            if !trial_sources.contains(&b) {
+                trial_sources.push(b);
+            }
+            // Hypothetically add the arc to test ordering.
+            let new_arc = g.add_arc(b, c, Role::Control, false);
+            let ok = events_ordered(g, &trial_sources)
+                && adcs_cdfg::validate::validate(g).is_ok();
+            let receivers = channels.channels()[target].receivers.clone();
+            let cover_ok = ok
+                && receivers.iter().all(|&r| {
+                    r == fu_c.expect("bound dst") || find_safe_addition(g, b, r).is_some()
+                });
+            if !cover_ok {
+                // roll back if we created a fresh arc (merged roles stay)
+                if g.arc(new_arc)?.roles.iter().count() == 1 {
+                    let _ = g.remove_arc(new_arc);
+                }
+                continue;
+            }
+            // Commit: coverage for other receivers, move bookkeeping.
+            for r in receivers {
+                if r != fu_c.expect("bound dst") {
+                    let covered = channels.channels()[target].arcs.iter().any(|&x| {
+                        g.arc(x)
+                            .ok()
+                            .map(|xx| {
+                                xx.src == b
+                                    && g.node(xx.dst).ok().and_then(|n| n.fu) == Some(r)
+                            })
+                            .unwrap_or(false)
+                    });
+                    if !covered {
+                        if let Some((dst, backward)) = find_safe_addition(g, b, r) {
+                            let id = g.add_arc(b, dst, Role::Control, backward);
+                            channels.add_arc_to(target, id, r)?;
+                            report.coverage_arcs.push(id);
+                        }
+                    }
+                }
+            }
+            channels.add_arc_to(target, new_arc, fu_c.expect("bound dst"))?;
+            g.remove_arc(old_arc)?;
+            channels.remove_arc(old_arc);
+            report.rerouted.push((old_arc, new_arc));
+            return Ok(true);
+        }
+    }
+    Ok(false)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use adcs_cdfg::benchmarks::{diffeq, diffeq_reference, DiffeqParams};
+    use adcs_sim::exec::{execute, ExecOptions};
+    use adcs_sim::DelayModel;
+
+    use crate::gt::{
+        gt1_loop_parallelism, gt2_remove_dominated, gt3_relative_timing, gt4_merge_assignments,
+    };
+    use crate::timing::TimingModel;
+
+    /// DIFFEQ after GT1..GT4, as in the paper's Figure 4.
+    fn diffeq_after_gt14() -> (adcs_cdfg::Cdfg, adcs_cdfg::benchmarks::DiffeqDesign) {
+        let d = diffeq(DiffeqParams::default()).unwrap();
+        let mut g = d.cdfg.clone();
+        gt1_loop_parallelism(&mut g).unwrap();
+        gt2_remove_dominated(&mut g).unwrap();
+        let model = TimingModel::uniform(1, 2)
+            .with_fu(d.mul1, 2, 4)
+            .with_fu(d.mul2, 2, 4)
+            .with_samples(24);
+        gt3_relative_timing(&mut g, &d.initial, &model).unwrap();
+        gt4_merge_assignments(&mut g).unwrap();
+        (g, d)
+    }
+
+    #[test]
+    fn figure_5_left_ten_channels_before_gt5() {
+        let (g, _) = diffeq_after_gt14();
+        let channels = ChannelMap::per_arc(&g).unwrap();
+        assert_eq!(channels.count(), 10, "{channels}");
+    }
+
+    #[test]
+    fn figure_5_right_five_channels_after_gt5_with_two_multiway() {
+        let (mut g, _) = diffeq_after_gt14();
+        let mut channels = ChannelMap::per_arc(&g).unwrap();
+        let rep = gt5_channel_elimination(&mut g, &mut channels, Gt5Options::default()).unwrap();
+        assert_eq!(channels.count(), 5, "{channels}\n{rep:?}");
+        assert_eq!(channels.multiway_count(), 2, "{channels}");
+    }
+
+    #[test]
+    fn diffeq_computes_and_stays_wire_safe_after_gt5() {
+        let (mut g, d) = diffeq_after_gt14();
+        let mut channels = ChannelMap::per_arc(&g).unwrap();
+        gt5_channel_elimination(&mut g, &mut channels, Gt5Options::default()).unwrap();
+        let (x, y, u) = diffeq_reference(d.params);
+        let groups = channels.safety_groups(&g);
+        for seed in 0..16 {
+            let delays = DelayModel::uniform(1)
+                .with_fu(d.mul1, 3)
+                .with_fu(d.mul2, 2)
+                .with_jitter(seed, 1);
+            let opts = ExecOptions {
+                channel_groups: groups.clone(),
+                ..ExecOptions::default()
+            };
+            let r = execute(&g, d.initial.clone(), &delays, &opts).unwrap();
+            assert_eq!(
+                (r.register("X"), r.register("Y"), r.register("U")),
+                (Some(x), Some(y), Some(u)),
+                "seed {seed}"
+            );
+            assert!(r.violations.is_empty(), "seed {seed}: {:?}", r.violations);
+        }
+    }
+
+    #[test]
+    fn multiplexing_alone_merges_same_endpoint_channels() {
+        let (mut g, _) = diffeq_after_gt14();
+        let mut channels = ChannelMap::per_arc(&g).unwrap();
+        let opts = Gt5Options {
+            multiplexing: true,
+            concurrency_reduction: false,
+            symmetrization: false,
+            ..Gt5Options::default()
+        };
+        let rep = gt5_channel_elimination(&mut g, &mut channels, opts).unwrap();
+        assert!(rep.multiplexed >= 3, "{rep:?}");
+        assert_eq!(rep.symmetrized, 0);
+        assert!(channels.count() < 10);
+        assert!(channels.count() > 5, "symmetrization still needed: {channels}");
+    }
+}
+
+#[cfg(test)]
+mod consumption_tests {
+    use super::*;
+    use crate::channel::ChannelMap;
+    use crate::gt::{gt1_loop_parallelism, gt2_remove_dominated};
+    use adcs_cdfg::benchmarks::{diffeq, DiffeqParams};
+
+    /// DIFFEQ under structural consumption ordering: sharing that relies
+    /// on relative timing (the symmetrization coverage arc) is refused, so
+    /// more channels remain than the paper's 5 — but every one of them is
+    /// wire-safe with no timing assumptions.
+    #[test]
+    fn structural_mode_is_more_conservative_on_diffeq() {
+        let d = diffeq(DiffeqParams::default()).unwrap();
+        let mut g = d.cdfg.clone();
+        gt1_loop_parallelism(&mut g).unwrap();
+        gt2_remove_dominated(&mut g).unwrap();
+        let mut ch_relaxed = ChannelMap::per_arc(&g).unwrap();
+        let mut g2 = g.clone();
+        let mut ch_structural = ChannelMap::per_arc(&g2).unwrap();
+        gt5_channel_elimination(&mut g, &mut ch_relaxed, Gt5Options::default()).unwrap();
+        gt5_channel_elimination(
+            &mut g2,
+            &mut ch_structural,
+            Gt5Options {
+                structural_consumption: true,
+                ..Gt5Options::default()
+            },
+        )
+        .unwrap();
+        assert!(ch_structural.count() >= ch_relaxed.count());
+    }
+
+    #[test]
+    fn consumption_ordered_accepts_chained_pairs() {
+        // Two events whose consumers feed the next emission: the DIFFEQ
+        // MUL1 -> ALU1 channel shape.
+        let d = diffeq(DiffeqParams::default()).unwrap();
+        let mut g = d.cdfg.clone();
+        gt1_loop_parallelism(&mut g).unwrap();
+        gt2_remove_dominated(&mut g).unwrap();
+        let m1a = g.node_by_label("M1 := U * X1").unwrap();
+        let a = g.node_by_label("A := Y + M1").unwrap();
+        let m1b = g.node_by_label("M1 := A * B").unwrap();
+        let u = g.node_by_label("U := U - M1").unwrap();
+        let arc1 = g
+            .arcs()
+            .find(|(_, x)| x.src == m1a && x.dst == a)
+            .map(|(id, _)| id)
+            .unwrap();
+        let arc2 = g
+            .arcs()
+            .find(|(_, x)| x.src == m1b && x.dst == u)
+            .map(|(id, _)| id)
+            .unwrap();
+        assert!(consumption_ordered(&g, &[arc1, arc2], &[m1a, m1b]));
+    }
+}
+
+#[cfg(test)]
+mod reroute_tests {
+    use super::*;
+    use crate::channel::ChannelMap;
+    use adcs_cdfg::builder::CdfgBuilder;
+    use adcs_sim::exec::{execute, ExecOptions};
+    use adcs_sim::DelayModel;
+
+    /// The paper's Figure 8 shape: a direct ALU1 -> ALU2 constraint is
+    /// replaced by a chain through the MUL1 hub, eliminating the direct
+    /// channel.
+    fn figure8_like() -> (adcs_cdfg::Cdfg, adcs_cdfg::benchmarks::RegFile) {
+        let mut b = CdfgBuilder::new();
+        let alu1 = b.add_fu("ALU1");
+        let mul1 = b.add_fu("MUL1");
+        let alu2 = b.add_fu("ALU2");
+        b.stmt(alu1, "a := x + y").unwrap();
+        b.stmt(alu1, "w := x - y").unwrap();
+        b.stmt(mul1, "m := a * a").unwrap();
+        b.stmt(mul1, "m2 := w * w").unwrap();
+        b.stmt(alu2, "s := m + w").unwrap();
+        b.stmt(alu2, "t := m2 + s").unwrap();
+        let g = b.finish().unwrap();
+        let init = adcs_cdfg::benchmarks::reg_file([
+            ("x", 7),
+            ("y", 3),
+            ("a", 0),
+            ("w", 0),
+            ("m", 0),
+            ("m2", 0),
+            ("s", 0),
+            ("t", 0),
+        ]);
+        (g, init)
+    }
+
+    #[test]
+    fn gt52_reroutes_the_direct_channel_through_the_hub() {
+        let (mut g, init) = figure8_like();
+        crate::gt::gt2_remove_dominated(&mut g).unwrap();
+        let mut channels = ChannelMap::per_arc(&g).unwrap();
+        let before = channels.count();
+        // Disable 5.3 so the reduction must come from rerouting.
+        let opts = Gt5Options {
+            symmetrization: false,
+            ..Gt5Options::default()
+        };
+        let rep = gt5_channel_elimination(&mut g, &mut channels, opts).unwrap();
+        assert!(
+            !rep.rerouted.is_empty(),
+            "expected a GT5.2 reroute: {rep:?}\n{channels}"
+        );
+        assert!(channels.count() < before, "{channels}");
+        // The direct ALU1 -> ALU2 wire is gone.
+        let alu1 = g.fu_by_name("ALU1").unwrap();
+        let alu2 = g.fu_by_name("ALU2").unwrap();
+        assert!(
+            !channels
+                .channels()
+                .iter()
+                .any(|c| c.sender == alu1 && c.receivers.contains(&alu2)),
+            "{channels}"
+        );
+        // And the rerouted graph still computes the same values.
+        let r = execute(&g, init, &DelayModel::uniform(1), &ExecOptions::default()).unwrap();
+        // a=10, w=4, m=100, m2=16, s=104, t=120
+        assert_eq!(r.register("t"), Some(120));
+    }
+}

@@ -1,0 +1,26 @@
+//! The global transformations (paper §3): controller-controller
+//! optimizations applied to the whole CDFG.
+//!
+//! * [`gt1`] — loop parallelism (overlap successive loop iterations).
+//! * [`gt2`] — removal of dominated (transitively implied) constraints.
+//! * [`gt3`] — relative-timing arc removal.
+//! * [`gt4`] — merging of assignment nodes into operation nodes.
+//! * [`gt5`] — communication-channel elimination (multiplexing,
+//!   concurrency reduction, symmetrization).
+//!
+//! Each transform edits the graph in place and returns a report of what it
+//! did, so flows and the design-space explorer can account for every
+//! change. All transforms preserve the precedence order of the original
+//! CDFG (GT1/GT3 under their stated timing assumptions).
+
+pub mod gt1;
+pub mod gt2;
+pub mod gt3;
+pub mod gt4;
+pub mod gt5;
+
+pub use gt1::{gt1_loop_parallelism, Gt1Report};
+pub use gt2::{certain_dominated, gt2_remove_dominated, Gt2Report};
+pub use gt3::{gt3_relative_timing, Gt3Report};
+pub use gt4::{gt4_merge_assignments, Gt4Report};
+pub use gt5::{gt5_channel_elimination, Gt5Options, Gt5Report};

@@ -1,0 +1,56 @@
+//! # adcs — Transformations for the Synthesis and Optimization of
+//! Asynchronous Distributed Control
+//!
+//! A reproduction of Theobald & Nowick (DAC 2001). Starting from a
+//! scheduled, resource-bound CDFG (`adcs-cdfg`), the flow:
+//!
+//! 1. applies **global transformations** ([`gt`]) that optimize
+//!    controller-controller communication — loop parallelism (GT1),
+//!    dominated-constraint removal (GT2), relative-timing arc removal
+//!    (GT3), assignment merging (GT4), and channel elimination (GT5);
+//! 2. **extracts** one extended burst-mode controller per functional unit
+//!    ([`extract`]);
+//! 3. applies **local transformations** ([`lt`]) that optimize
+//!    controller-datapath interaction — move-up (LT1), move-down (LT2),
+//!    mux-preselection (LT3), acknowledgment removal (LT4), and signal
+//!    sharing (LT5);
+//!
+//! and hands the optimized controllers to `adcs-hfmin` for hazard-free
+//! two-level logic. [`flow`] drives the whole pipeline and produces the
+//! statistics of the paper's Figures 5, 12 and 13; [`explore`] implements
+//! the transform "scripts" the paper lists as future work.
+//!
+//! # Example
+//!
+//! ```rust
+//! use adcs::gt::{gt1_loop_parallelism, gt2_remove_dominated};
+//! use adcs_cdfg::benchmarks::{diffeq, DiffeqParams};
+//!
+//! # fn main() -> Result<(), adcs::SynthError> {
+//! let design = diffeq(DiffeqParams::default())?;
+//! let mut g = design.cdfg.clone();
+//! gt1_loop_parallelism(&mut g)?;
+//! gt2_remove_dominated(&mut g)?;
+//! assert!(g.inter_fu_arcs().len() < design.cdfg.inter_fu_arcs().len());
+//! # Ok(())
+//! # }
+//! ```
+
+pub mod channel;
+pub mod explore;
+pub mod extract;
+pub mod flow;
+pub mod gt;
+pub mod lt;
+pub mod mc;
+pub mod report;
+pub mod script;
+pub mod system;
+pub mod timing;
+pub mod yun;
+
+mod error;
+
+pub use channel::{Channel, ChannelMap};
+pub use error::SynthError;
+pub use timing::TimingModel;

@@ -1,0 +1,548 @@
+//! The local transformations (paper §5): per-controller optimization of
+//! the controller-datapath protocol, applied to the extracted burst-mode
+//! machines.
+//!
+//! * **LT1 move-up** — hoist an output (typically a global "done") to an
+//!   earlier burst, shortening the critical path; the paper's example
+//!   sends `A1M+` in parallel with latching the result.
+//! * **LT2 move-down** — sink a non-critical output to a later burst,
+//!   creating sharing opportunities for LT5.
+//! * **LT3 mux-preselection** — issue the *next* operation's source-mux
+//!   selects at the end of the current operation.
+//! * **LT4 remove acknowledgments** — delete local acknowledge wires that
+//!   user-supplied timing declares unnecessary; transitions whose wait
+//!   disappears are contracted away (the big state-count win of
+//!   Figure 12's optimized-GT-and-LT row).
+//! * **LT5 signal sharing** — merge output wires that carry the same
+//!   waveform into one forked wire.
+//!
+//! All transforms keep the machine XBM-valid; each returns a report.
+
+use adcs_xbm::{SignalId, XbmError, XbmMachine};
+
+use crate::error::SynthError;
+use crate::extract::{ControllerSpec, LocalRole, SignalRole};
+
+/// Which local acknowledge classes LT4 may delete. The functional unit's
+/// own completion (`GoAck`) is never assumed away by default — it carries
+/// real data-dependent latency.
+#[derive(Clone, Debug)]
+pub struct LtOptions {
+    /// Hoist global dones to the latch transition (LT1).
+    pub move_up_dones: bool,
+    /// Pre-select source muxes during the previous fragment (LT3).
+    pub mux_preselect: bool,
+    /// Ack classes removable under the user-supplied timing model (LT4).
+    pub removable_acks: Vec<LocalRole>,
+    /// Share identical output wires (LT5).
+    pub share_signals: bool,
+}
+
+impl Default for LtOptions {
+    fn default() -> Self {
+        LtOptions {
+            move_up_dones: true,
+            mux_preselect: true,
+            removable_acks: vec![LocalRole::MuxAck, LocalRole::WMuxAck, LocalRole::WrAck],
+            share_signals: true,
+        }
+    }
+}
+
+/// What the local transforms did to one controller.
+#[derive(Clone, Debug, Default)]
+pub struct LtReport {
+    /// Output moves performed by LT1.
+    pub moved_up: usize,
+    /// Mux pre-selections performed by LT3.
+    pub preselected: usize,
+    /// Ack wires removed by LT4.
+    pub acks_removed: usize,
+    /// Transitions contracted after LT4.
+    pub contracted: usize,
+    /// Output pairs fused by LT5.
+    pub shared: usize,
+    /// Wait-chain merges performed by the cleanup pass.
+    pub merged_waits: usize,
+}
+
+/// Applies the enabled local transforms to one controller, in the paper's
+/// order (LT3, LT1, LT4, LT5), with a wait-merging cleanup between steps.
+///
+/// # Errors
+///
+/// Propagates machine-edit failures; the returned machine is re-validated.
+pub fn apply_local_transforms(
+    spec: &mut ControllerSpec,
+    opts: &LtOptions,
+) -> Result<LtReport, SynthError> {
+    let mut report = LtReport::default();
+    if opts.mux_preselect {
+        report.preselected = lt3_mux_preselect(spec)?;
+    }
+    if opts.move_up_dones {
+        report.moved_up = lt1_move_up_dones(spec)?;
+    }
+    if !opts.removable_acks.is_empty() {
+        let (removed, contracted) = lt4_remove_acks(spec, &opts.removable_acks)?;
+        report.acks_removed = removed;
+        report.contracted = contracted;
+    }
+    report.merged_waits = merge_wait_chains(spec)?;
+    if opts.share_signals {
+        report.shared = lt5_share_signals(spec)?;
+    }
+    adcs_xbm::validate::validate(&spec.machine)
+        .map_err(|e| SynthError::Extract(format!("local transforms broke machine: {e}")))?;
+    Ok(report)
+}
+
+fn is_global_done(spec: &ControllerSpec, s: SignalId) -> bool {
+    matches!(
+        spec.roles.get(s.index()),
+        Some(SignalRole::ChannelOut { .. }) | Some(SignalRole::EnvOut { .. })
+    )
+}
+
+fn local_role(spec: &ControllerSpec, s: SignalId) -> Option<(adcs_cdfg::NodeId, usize, LocalRole)> {
+    match spec.roles.get(s.index()) {
+        Some(SignalRole::Local { node, stmt, role }) => Some((*node, *stmt, *role)),
+        _ => None,
+    }
+}
+
+/// LT1: hoist each global done from its send transition to the latch
+/// transition of the same fragment (the transition issuing a `WrReq`),
+/// walking back through single-predecessor states.
+///
+/// # Errors
+///
+/// Propagates machine-edit failures.
+pub fn lt1_move_up_dones(spec: &mut ControllerSpec) -> Result<usize, SynthError> {
+    let mut moves: Vec<(SignalId, usize, usize)> = Vec::new();
+    for (idx, t) in spec.machine.transitions().iter().enumerate() {
+        for &o in t.output.clone().iter() {
+            if !is_global_done(spec, o) {
+                continue;
+            }
+            // Walk back while states are linear.
+            let mut cur = t.from;
+            let mut steps = 0;
+            while steps < 8 {
+                let preds: Vec<usize> = spec.machine.transitions_into(cur).map(|(i, _)| i).collect();
+                if preds.len() != 1 {
+                    break;
+                }
+                let p = preds[0];
+                let pt = &spec.machine.transitions()[p];
+                let has_latch = pt
+                    .output
+                    .iter()
+                    .any(|&s| matches!(local_role(spec, s), Some((_, _, LocalRole::WrReq))));
+                // Do not hoist past another toggle of the same wire.
+                if pt.output.contains(&o) {
+                    break;
+                }
+                if has_latch {
+                    moves.push((o, idx, p));
+                    break;
+                }
+                // Only continue the walk when the machine is linear here.
+                if spec.machine.transitions_from(pt.from).count() != 1 {
+                    break;
+                }
+                cur = pt.from;
+                steps += 1;
+            }
+        }
+    }
+    let mut applied = 0;
+    for (o, from_t, to_t) in moves {
+        let backup = spec.machine.clone();
+        if spec.machine.move_output(o, from_t, to_t).is_ok() {
+            if adcs_xbm::validate::label_values(&spec.machine).is_ok() {
+                applied += 1;
+            } else {
+                spec.machine = backup;
+            }
+        }
+    }
+    Ok(applied)
+}
+
+/// LT2: sink one output toggle to a later transition (a primitive the
+/// exploration scripts use; the flow does not apply it blindly).
+///
+/// # Errors
+///
+/// Propagates machine-edit failures.
+pub fn lt2_move_down(
+    spec: &mut ControllerSpec,
+    signal: SignalId,
+    from_t: usize,
+    to_t: usize,
+) -> Result<(), SynthError> {
+    spec.machine.move_output(signal, from_t, to_t).map_err(to_synth)
+}
+
+/// LT3: move each fragment's `MuxReq` selects into the predecessor
+/// transition, so the next operation's muxes are pre-selected while the
+/// current one finishes.
+///
+/// # Errors
+///
+/// Propagates machine-edit failures.
+pub fn lt3_mux_preselect(spec: &mut ControllerSpec) -> Result<usize, SynthError> {
+    let mut moves: Vec<(SignalId, usize, usize)> = Vec::new();
+    for (idx, t) in spec.machine.transitions().iter().enumerate() {
+        let mux_outs: Vec<SignalId> = t
+            .output
+            .iter()
+            .copied()
+            .filter(|&s| matches!(local_role(spec, s), Some((_, _, LocalRole::MuxReq))))
+            .collect();
+        if mux_outs.is_empty() {
+            continue;
+        }
+        // The wait transition carrying the in-events (fragment T1) has the
+        // mux selects; its predecessor is the previous fragment's last
+        // transition. Only hoist when that predecessor is unique and does
+        // not itself toggle the same wire (reset). Never hoist out of the
+        // machine's first transition: at reset there is no "previous
+        // operation" to pre-select during.
+        if t.from == spec.machine.initial() {
+            continue;
+        }
+        let preds: Vec<usize> = spec
+            .machine
+            .transitions_into(t.from)
+            .map(|(i, _)| i)
+            .collect();
+        if preds.len() != 1 || preds[0] == idx {
+            continue;
+        }
+        let p = preds[0];
+        let pt = &spec.machine.transitions()[p];
+        for o in mux_outs {
+            if !pt.output.contains(&o) {
+                moves.push((o, idx, p));
+            }
+        }
+    }
+    let mut applied = 0;
+    for (o, from_t, to_t) in moves {
+        let backup = spec.machine.clone();
+        if spec.machine.move_output(o, from_t, to_t).is_ok() {
+            if adcs_xbm::validate::label_values(&spec.machine).is_ok() {
+                applied += 1;
+            } else {
+                spec.machine = backup;
+            }
+        }
+    }
+    Ok(applied)
+}
+
+/// LT4: delete the listed acknowledge classes and contract the waits that
+/// disappear. Returns `(signals removed, transitions contracted)`.
+///
+/// # Errors
+///
+/// Propagates machine-edit failures.
+pub fn lt4_remove_acks(
+    spec: &mut ControllerSpec,
+    removable: &[LocalRole],
+) -> Result<(usize, usize), SynthError> {
+    let victims: Vec<SignalId> = spec
+        .machine
+        .signals()
+        .map(|(id, _)| id)
+        .filter(|&id| {
+            matches!(local_role(spec, id), Some((_, _, r)) if removable.contains(&r))
+        })
+        .filter(|id| !spec.machine.removed_signals().contains(id))
+        .collect();
+    let mut removed = 0;
+    let mut contracted = 0;
+    for v in &victims {
+        let backup = spec.machine.clone();
+        if spec.machine.remove_input_signal(*v).is_err() {
+            spec.machine = backup;
+            continue;
+        }
+        let c = spec.machine.contract_empty_transitions();
+        if adcs_xbm::validate::label_values(&spec.machine).is_ok() {
+            removed += 1;
+            contracted += c;
+        } else {
+            spec.machine = backup;
+        }
+    }
+    Ok((removed, contracted))
+}
+
+/// LT5: fuse output wires that toggle in exactly the same transitions.
+/// Only local request wires are candidates (global dones are distinct
+/// channels by construction).
+///
+/// # Errors
+///
+/// Propagates machine-edit failures.
+pub fn lt5_share_signals(spec: &mut ControllerSpec) -> Result<usize, SynthError> {
+    let candidates: Vec<SignalId> = spec
+        .machine
+        .signals()
+        .filter(|(id, s)| {
+            !s.input
+                && !spec.machine.removed_signals().contains(id)
+                && local_role(spec, *id).is_some()
+        })
+        .map(|(id, _)| id)
+        .collect();
+    let mut shared = 0;
+    for i in 0..candidates.len() {
+        for j in (i + 1)..candidates.len() {
+            let (keep, remove) = (candidates[i], candidates[j]);
+            if spec.machine.removed_signals().contains(&keep)
+                || spec.machine.removed_signals().contains(&remove)
+            {
+                continue;
+            }
+            let backup = spec.machine.clone();
+            if spec.machine.share_outputs(keep, remove).is_ok() {
+                if adcs_xbm::validate::validate(&spec.machine).is_ok() {
+                    spec.aliases.push((keep, remove));
+                    shared += 1;
+                } else {
+                    spec.machine = backup;
+                }
+            }
+        }
+    }
+    Ok(shared)
+}
+
+/// Cleanup: merge a pure-wait transition into its successor when the
+/// intermediate state is linear and the successor's burst cannot causally
+/// depend on anything the first transition emits (it emits nothing).
+///
+/// # Errors
+///
+/// Propagates machine-edit failures.
+pub fn merge_wait_chains(spec: &mut ControllerSpec) -> Result<usize, SynthError> {
+    let mut merged = 0;
+    loop {
+        let m = &spec.machine;
+        let candidate = m.transitions().iter().enumerate().find_map(|(i, t)| {
+            if !t.output.is_empty() || t.from == t.to {
+                return None;
+            }
+            let mid = t.to;
+            if m.transitions_into(mid).count() != 1 {
+                return None;
+            }
+            let outs: Vec<usize> = m.transitions_from(mid).map(|(j, _)| j).collect();
+            if outs.len() != 1 {
+                return None;
+            }
+            let j = outs[0];
+            if j == i {
+                return None;
+            }
+            // The combined burst must stay well-formed: no signal may
+            // appear in both inputs (a double edge in one burst).
+            let tj = &m.transitions()[j];
+            let clash = t
+                .input
+                .iter()
+                .any(|a| tj.input.iter().any(|b| b.signal == a.signal));
+            if clash {
+                return None;
+            }
+            Some((i, j))
+        });
+        let Some((i, j)) = candidate else { break };
+        // Fold transition i into j: j.from becomes i.from, inputs union.
+        let backup = spec.machine.clone();
+        let (from_i, input_i, _) = transition_parts(&spec.machine, i);
+        let (_, mut input_j, output_j) = transition_parts(&spec.machine, j);
+        let to_j = spec.machine.transitions()[j].to;
+        input_j.extend(input_i);
+        replace_transition(&mut spec.machine, j, from_i, to_j, input_j, output_j)?;
+        remove_transition(&mut spec.machine, i)?;
+        if adcs_xbm::validate::validate(&spec.machine).is_err() {
+            spec.machine = backup;
+            break;
+        }
+        merged += 1;
+    }
+    Ok(merged)
+}
+
+fn transition_parts(m: &XbmMachine, idx: usize) -> (adcs_xbm::StateId, Vec<adcs_xbm::Term>, Vec<SignalId>) {
+    let t = &m.transitions()[idx];
+    (t.from, t.input.clone(), t.output.iter().copied().collect())
+}
+
+fn replace_transition(
+    m: &mut XbmMachine,
+    idx: usize,
+    from: adcs_xbm::StateId,
+    to: adcs_xbm::StateId,
+    input: Vec<adcs_xbm::Term>,
+    output: Vec<SignalId>,
+) -> Result<(), SynthError> {
+    let t = m.transition_mut(idx).map_err(to_synth)?;
+    t.from = from;
+    t.to = to;
+    t.input = input;
+    t.output = output.into_iter().collect();
+    Ok(())
+}
+
+fn remove_transition(m: &mut XbmMachine, idx: usize) -> Result<(), SynthError> {
+    m.remove_transition(idx).map(|_| ()).map_err(to_synth)
+}
+
+fn to_synth(e: XbmError) -> SynthError {
+    SynthError::Xbm(e)
+}
+
+/// Applies the default local transforms to every controller of an
+/// extraction, returning per-controller reports.
+///
+/// # Errors
+///
+/// Propagates per-controller failures.
+pub fn apply_all(
+    controllers: &mut [ControllerSpec],
+    opts: &LtOptions,
+) -> Result<Vec<LtReport>, SynthError> {
+    controllers
+        .iter_mut()
+        .map(|c| apply_local_transforms(c, opts))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::channel::ChannelMap;
+    use crate::extract::{extract, ExtractOptions};
+    use adcs_cdfg::builder::CdfgBuilder;
+
+    fn small_controller() -> ControllerSpec {
+        let mut b = CdfgBuilder::new();
+        let alu = b.add_fu("ALU");
+        let mul = b.add_fu("MUL");
+        b.stmt(mul, "m := x * x").unwrap();
+        b.stmt(alu, "s := m + y").unwrap();
+        let g = b.finish().unwrap();
+        let ch = ChannelMap::per_arc(&g).unwrap();
+        let ex = extract(&g, &ch, &ExtractOptions::default()).unwrap();
+        ex.controllers
+            .into_iter()
+            .find(|c| c.machine.name() == "MUL")
+            .unwrap()
+    }
+
+    #[test]
+    fn lt1_moves_the_done_onto_the_latch_transition() {
+        let mut spec = small_controller();
+        let before: Vec<usize> = spec
+            .machine
+            .transitions()
+            .iter()
+            .enumerate()
+            .filter(|(_, t)| t.output.iter().any(|&o| is_global_done(&spec, o)))
+            .map(|(i, _)| i)
+            .collect();
+        let moved = lt1_move_up_dones(&mut spec).unwrap();
+        assert_eq!(moved, 1, "one done wire on the MUL controller");
+        let after: Vec<usize> = spec
+            .machine
+            .transitions()
+            .iter()
+            .enumerate()
+            .filter(|(_, t)| t.output.iter().any(|&o| is_global_done(&spec, o)))
+            .map(|(i, _)| i)
+            .collect();
+        assert_ne!(before, after);
+        // The done now rides with a WrReq.
+        let done_t = &spec.machine.transitions()[after[0]];
+        assert!(done_t
+            .output
+            .iter()
+            .any(|&s| matches!(local_role(&spec, s), Some((_, _, LocalRole::WrReq)))));
+        adcs_xbm::validate::validate(&spec.machine).unwrap();
+    }
+
+    #[test]
+    fn lt4_contracts_the_removed_waits() {
+        let mut spec = small_controller();
+        let states_before = spec.machine.stats().states;
+        let (removed, contracted) =
+            lt4_remove_acks(&mut spec, &[LocalRole::MuxAck, LocalRole::WMuxAck, LocalRole::WrAck])
+                .unwrap();
+        assert_eq!(removed, 3);
+        assert!(contracted >= 2, "{contracted}");
+        assert!(spec.machine.stats().states < states_before);
+        adcs_xbm::validate::validate(&spec.machine).unwrap();
+    }
+
+    #[test]
+    fn lt2_move_down_is_the_inverse_of_a_move_up() {
+        let mut spec = small_controller();
+        lt1_move_up_dones(&mut spec).unwrap();
+        // Find the done and where it sits now, then push it back down.
+        let (sig, from_t) = spec
+            .machine
+            .transitions()
+            .iter()
+            .enumerate()
+            .find_map(|(i, t)| {
+                t.output
+                    .iter()
+                    .find(|&&o| is_global_done(&spec, o))
+                    .map(|&o| (o, i))
+            })
+            .unwrap();
+        // Move to the immediate successor transition.
+        let next_state = spec.machine.transitions()[from_t].to;
+        let to_t = spec
+            .machine
+            .transitions_from(next_state)
+            .map(|(i, _)| i)
+            .next()
+            .unwrap();
+        lt2_move_down(&mut spec, sig, from_t, to_t).unwrap();
+        assert!(spec.machine.transitions()[to_t].output.contains(&sig));
+        adcs_xbm::validate::validate(&spec.machine).unwrap();
+    }
+
+    #[test]
+    fn full_lt_pipeline_shrinks_and_stays_valid() {
+        let mut spec = small_controller();
+        let before = spec.machine.stats();
+        let rep = apply_local_transforms(&mut spec, &LtOptions::default()).unwrap();
+        let after = spec.machine.stats();
+        assert!(after.states < before.states, "{rep:?}");
+        assert!(rep.acks_removed > 0);
+    }
+
+    #[test]
+    fn disabled_options_do_nothing() {
+        let mut spec = small_controller();
+        let before = spec.machine.clone();
+        let opts = LtOptions {
+            move_up_dones: false,
+            mux_preselect: false,
+            removable_acks: Vec::new(),
+            share_signals: false,
+        };
+        let rep = apply_local_transforms(&mut spec, &opts).unwrap();
+        assert_eq!(rep.acks_removed, 0);
+        assert_eq!(rep.moved_up, 0);
+        assert_eq!(spec.machine.stats(), before.stats());
+    }
+}

@@ -1,0 +1,122 @@
+//! Table rendering for the paper's figures: paper-published values side by
+//! side with this reproduction's measured values.
+
+use std::fmt::Write as _;
+
+use crate::flow::FlowOutcome;
+use crate::yun::{FIGURE_12, FIGURE_13};
+
+/// Renders the Figure 12 comparison (state-machine statistics): measured
+/// rows for the three synthesis stages plus the published numbers in
+/// parentheses, and the published Yun row.
+pub fn figure12_table(out: &FlowOutcome) -> String {
+    let mut s = String::new();
+    let _ = writeln!(
+        s,
+        "{:<22} {:>9} {:>15} {:>15} {:>15} {:>15}",
+        "Figure 12", "#channels", "ALU1 st/tr", "ALU2 st/tr", "MUL1 st/tr", "MUL2 st/tr"
+    );
+    for (stage, paper) in [
+        (&out.unoptimized, &FIGURE_12[0]),
+        (&out.optimized_gt, &FIGURE_12[1]),
+        (&out.optimized_gt_lt, &FIGURE_12[2]),
+    ] {
+        let get = |name: &str| {
+            stage
+                .machines
+                .iter()
+                .find(|(n, _)| n == name)
+                .map(|(_, st)| (st.states, st.transitions))
+                .unwrap_or((0, 0))
+        };
+        let (a1, a2, m1, m2) = (get("ALU1"), get("ALU2"), get("MUL1"), get("MUL2"));
+        let _ = writeln!(
+            s,
+            "{:<22} {:>3} ({:>2}) {:>7}/{:<3}({}/{}) {:>6}/{:<3}({}/{}) {:>6}/{:<3}({}/{}) {:>6}/{:<3}({}/{})",
+            stage.label,
+            stage.channels,
+            paper.channels,
+            a1.0, a1.1, paper.alu1.0, paper.alu1.1,
+            a2.0, a2.1, paper.alu2.0, paper.alu2.1,
+            m1.0, m1.1, paper.mul1.0, paper.mul1.1,
+            m2.0, m2.1, paper.mul2.0, paper.mul2.1,
+        );
+    }
+    let y = &FIGURE_12[3];
+    let _ = writeln!(
+        s,
+        "{:<22} {:>3} {:>10}/{:<8} {:>6}/{:<8} {:>6}/{:<8} {:>6}/{:<3}",
+        "YUN (published)", y.channels, y.alu1.0, y.alu1.1, y.alu2.0, y.alu2.1, y.mul1.0, y.mul1.1, y.mul2.0, y.mul2.1
+    );
+    let _ = writeln!(s, "(measured first, paper's published value in parentheses)");
+    s
+}
+
+/// Renders the Figure 13 comparison (gate level): measured
+/// products/literals per controller against the published columns.
+pub fn figure13_table(measured: &[(String, usize, usize)]) -> String {
+    let mut s = String::new();
+    let _ = writeln!(
+        s,
+        "{:<8} {:>9} {:>18} {:>18}",
+        "Fig 13", "Yun", "ours (paper)", "ours (measured)"
+    );
+    let (mut tp, mut tl) = (0usize, 0usize);
+    for row in &FIGURE_13 {
+        let m = measured
+            .iter()
+            .find(|(n, _, _)| n.contains(row.controller))
+            .map(|&(_, p, l)| (p, l))
+            .unwrap_or((0, 0));
+        tp += m.0;
+        tl += m.1;
+        let _ = writeln!(
+            s,
+            "{:<8} {:>9} {:>18} {:>18}",
+            row.controller,
+            format!("{}p/{}l", row.yun.0, row.yun.1),
+            format!("{}p/{}l", row.ours_paper.0, row.ours_paper.1),
+            format!("{}p/{}l", m.0, m.1)
+        );
+    }
+    let _ = writeln!(
+        s,
+        "{:<8} {:>9} {:>18} {:>18}",
+        "total",
+        "93p/307l",
+        "73p/244l",
+        format!("{tp}p/{tl}l")
+    );
+    s
+}
+
+/// Renders the Figure 5 channel-elimination summary.
+pub fn figure5_summary(before: usize, after: usize, multiway: usize) -> String {
+    format!(
+        "Figure 5: {before} channels before GT5 -> {after} after (incl. {multiway} multi-way); paper: 10 -> 5 (2 multi-way)\n"
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::flow::{Flow, FlowOptions};
+    use adcs_cdfg::benchmarks::{diffeq, DiffeqParams};
+
+    #[test]
+    fn tables_render_without_panicking_and_contain_key_numbers() {
+        let d = diffeq(DiffeqParams::default()).unwrap();
+        let out = Flow::new(d.cdfg.clone(), d.initial.clone())
+            .run(&FlowOptions::default())
+            .unwrap();
+        let t12 = figure12_table(&out);
+        assert!(t12.contains("unoptimized"));
+        assert!(t12.contains("17"));
+        assert!(t12.contains("YUN"));
+        let t13 = figure13_table(&[("ALU1".into(), 14, 83)]);
+        assert!(t13.contains("total"));
+        assert!(t13.contains("307"));
+        let t5 = figure5_summary(10, 5, 2);
+        assert!(t5.contains("10 channels before"));
+    }
+}

@@ -1,0 +1,297 @@
+//! Transform scripts: ordered sequences of named transforms, applied like
+//! SIS scripts — the exact mechanism the paper's conclusion announces
+//! ("algorithmic heuristics and scripts based on the set of
+//! transformations presented in the paper are forthcoming").
+//!
+//! A script is parsed from text (`"gt1; gt2; gt3; gt4; gt5.1; gt5.3"`),
+//! applied step by step to a CDFG, and produces a log of what every step
+//! changed — so design-space exploration can be driven from the command
+//! line or from higher-level search (see [`crate::explore`]).
+
+use std::fmt;
+use std::str::FromStr;
+
+use adcs_cdfg::benchmarks::RegFile;
+use adcs_cdfg::Cdfg;
+
+use crate::channel::ChannelMap;
+use crate::error::SynthError;
+use crate::gt::{
+    gt1_loop_parallelism, gt2_remove_dominated, gt3_relative_timing, gt4_merge_assignments,
+    gt5_channel_elimination, Gt5Options,
+};
+use crate::timing::TimingModel;
+
+/// One named step of a script.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ScriptStep {
+    /// GT1 — loop parallelism.
+    Gt1,
+    /// GT2 — dominated-constraint removal.
+    Gt2,
+    /// GT3 — relative-timing arc removal.
+    Gt3,
+    /// GT4 — assignment merging.
+    Gt4,
+    /// GT5.1 — channel multiplexing (incl. broadcast fusion).
+    Gt5Multiplex,
+    /// GT5.2 — concurrency reduction.
+    Gt5Reduce,
+    /// GT5.3 — symmetrization.
+    Gt5Symmetrize,
+}
+
+impl fmt::Display for ScriptStep {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            ScriptStep::Gt1 => "gt1",
+            ScriptStep::Gt2 => "gt2",
+            ScriptStep::Gt3 => "gt3",
+            ScriptStep::Gt4 => "gt4",
+            ScriptStep::Gt5Multiplex => "gt5.1",
+            ScriptStep::Gt5Reduce => "gt5.2",
+            ScriptStep::Gt5Symmetrize => "gt5.3",
+        })
+    }
+}
+
+/// A parsed transform script.
+#[derive(Clone, Debug, PartialEq, Eq, Default)]
+pub struct Script {
+    steps: Vec<ScriptStep>,
+}
+
+impl Script {
+    /// The steps, in order.
+    pub fn steps(&self) -> &[ScriptStep] {
+        &self.steps
+    }
+
+    /// The paper's canonical sequence: every global transform in order.
+    pub fn paper_default() -> Self {
+        Script {
+            steps: vec![
+                ScriptStep::Gt1,
+                ScriptStep::Gt2,
+                ScriptStep::Gt3,
+                ScriptStep::Gt4,
+                ScriptStep::Gt5Multiplex,
+                ScriptStep::Gt5Symmetrize,
+                ScriptStep::Gt5Reduce,
+            ],
+        }
+    }
+}
+
+impl fmt::Display for Script {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for (i, s) in self.steps.iter().enumerate() {
+            if i > 0 {
+                f.write_str("; ")?;
+            }
+            write!(f, "{s}")?;
+        }
+        Ok(())
+    }
+}
+
+impl FromStr for Script {
+    type Err = SynthError;
+
+    /// Parses `;`- or whitespace-separated step names (`gt1`…`gt4`,
+    /// `gt5.1`, `gt5.2`, `gt5.3`, or `gt5` for all three).
+    fn from_str(s: &str) -> Result<Self, SynthError> {
+        let mut steps = Vec::new();
+        for tok in s.split([';', ',', ' ']).map(str::trim).filter(|t| !t.is_empty()) {
+            match tok.to_ascii_lowercase().as_str() {
+                "gt1" => steps.push(ScriptStep::Gt1),
+                "gt2" => steps.push(ScriptStep::Gt2),
+                "gt3" => steps.push(ScriptStep::Gt3),
+                "gt4" => steps.push(ScriptStep::Gt4),
+                "gt5.1" => steps.push(ScriptStep::Gt5Multiplex),
+                "gt5.2" => steps.push(ScriptStep::Gt5Reduce),
+                "gt5.3" => steps.push(ScriptStep::Gt5Symmetrize),
+                "gt5" => {
+                    steps.push(ScriptStep::Gt5Multiplex);
+                    steps.push(ScriptStep::Gt5Symmetrize);
+                    steps.push(ScriptStep::Gt5Reduce);
+                }
+                other => {
+                    return Err(SynthError::Precondition(format!(
+                        "unknown script step `{other}`"
+                    )))
+                }
+            }
+        }
+        Ok(Script { steps })
+    }
+}
+
+/// One log entry: the step and a human-readable summary of its effect.
+#[derive(Clone, Debug)]
+pub struct ScriptLogEntry {
+    /// The step that ran.
+    pub step: ScriptStep,
+    /// What it did.
+    pub summary: String,
+    /// Inter-unit arc count after the step.
+    pub inter_unit_arcs: usize,
+    /// Channel count after the step (once channels exist).
+    pub channels: Option<usize>,
+}
+
+/// The result of running a script.
+#[derive(Clone, Debug, Default)]
+pub struct ScriptLog {
+    /// Per-step entries, in execution order.
+    pub entries: Vec<ScriptLogEntry>,
+}
+
+impl fmt::Display for ScriptLog {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for e in &self.entries {
+            match e.channels {
+                Some(c) => writeln!(
+                    f,
+                    "{:<6} {:<40} arcs={} channels={}",
+                    e.step.to_string(),
+                    e.summary,
+                    e.inter_unit_arcs,
+                    c
+                )?,
+                None => writeln!(
+                    f,
+                    "{:<6} {:<40} arcs={}",
+                    e.step.to_string(),
+                    e.summary,
+                    e.inter_unit_arcs
+                )?,
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Runs a script on a graph. Channel-level steps (GT5.x) materialize the
+/// per-arc channel map on first use; the final map is returned.
+///
+/// # Errors
+///
+/// Propagates transform failures.
+pub fn run_script(
+    g: &mut Cdfg,
+    initial: &RegFile,
+    timing: &TimingModel,
+    script: &Script,
+) -> Result<(ChannelMap, ScriptLog), SynthError> {
+    let mut log = ScriptLog::default();
+    let mut channels: Option<ChannelMap> = None;
+    for &step in &script.steps {
+        let summary = match step {
+            ScriptStep::Gt1 => {
+                let reports = gt1_loop_parallelism(g)?;
+                let removed: usize = reports.iter().map(|r| r.removed_sync.len()).sum();
+                let added: usize = reports.iter().map(|r| r.backward_added.len()).sum();
+                format!("{} loop(s): -{removed} sync arcs, +{added} backward", reports.len())
+            }
+            ScriptStep::Gt2 => {
+                let r = gt2_remove_dominated(g)?;
+                format!("removed {} dominated arc(s)", r.removed.len())
+            }
+            ScriptStep::Gt3 => {
+                let r = gt3_relative_timing(g, initial, timing)?;
+                format!("removed {} timing-redundant arc(s)", r.removed.len())
+            }
+            ScriptStep::Gt4 => {
+                let r = gt4_merge_assignments(g)?;
+                format!("merged {} assignment node(s)", r.merged.len())
+            }
+            ScriptStep::Gt5Multiplex | ScriptStep::Gt5Reduce | ScriptStep::Gt5Symmetrize => {
+                let ch = match channels.as_mut() {
+                    Some(c) => c,
+                    None => {
+                        channels = Some(ChannelMap::per_arc(g)?);
+                        channels.as_mut().expect("just set")
+                    }
+                };
+                let opts = Gt5Options {
+                    multiplexing: step == ScriptStep::Gt5Multiplex,
+                    concurrency_reduction: step == ScriptStep::Gt5Reduce,
+                    symmetrization: step == ScriptStep::Gt5Symmetrize,
+                    ..Gt5Options::default()
+                };
+                let r = gt5_channel_elimination(g, ch, opts)?;
+                format!(
+                    "multiplexed {}, symmetrized {}, rerouted {}",
+                    r.multiplexed,
+                    r.symmetrized,
+                    r.rerouted.len()
+                )
+            }
+        };
+        log.entries.push(ScriptLogEntry {
+            step,
+            summary,
+            inter_unit_arcs: g.inter_fu_arcs().len(),
+            channels: channels.as_ref().map(ChannelMap::count),
+        });
+    }
+    let channels = match channels {
+        Some(c) => c,
+        None => ChannelMap::per_arc(g)?,
+    };
+    Ok((channels, log))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use adcs_cdfg::benchmarks::{diffeq, DiffeqParams};
+
+    #[test]
+    fn parses_and_displays() {
+        let s: Script = "gt1; gt2;gt5.1 gt5.3".parse().unwrap();
+        assert_eq!(
+            s.steps(),
+            &[
+                ScriptStep::Gt1,
+                ScriptStep::Gt2,
+                ScriptStep::Gt5Multiplex,
+                ScriptStep::Gt5Symmetrize
+            ]
+        );
+        assert_eq!(s.to_string(), "gt1; gt2; gt5.1; gt5.3");
+        assert!("gt9".parse::<Script>().is_err());
+        let all: Script = "gt5".parse().unwrap();
+        assert_eq!(all.steps().len(), 3);
+    }
+
+    #[test]
+    fn paper_default_script_reaches_five_channels_on_diffeq() {
+        let d = diffeq(DiffeqParams::default()).unwrap();
+        let mut g = d.cdfg.clone();
+        let timing = TimingModel::uniform(1, 2)
+            .with_class("MUL", 2, 4)
+            .with_samples(16);
+        let (channels, log) =
+            run_script(&mut g, &d.initial, &timing, &Script::paper_default()).unwrap();
+        assert_eq!(channels.count(), 5, "{log}");
+        // The log records the channel-count milestones.
+        assert!(log.entries.iter().any(|e| e.channels == Some(5)), "{log}");
+        assert_eq!(log.entries.len(), 7);
+    }
+
+    #[test]
+    fn partial_scripts_apply_partially() {
+        let d = diffeq(DiffeqParams::default()).unwrap();
+        let mut g = d.cdfg.clone();
+        let timing = TimingModel::uniform(1, 2).with_samples(8);
+        let script: Script = "gt2".parse().unwrap();
+        let (channels, log) = run_script(&mut g, &d.initial, &timing, &script).unwrap();
+        assert_eq!(log.entries.len(), 1);
+        // GT2 alone removes the redundant entry arcs but keeps per-arc
+        // channels above the optimized count.
+        assert!(channels.count() > 5);
+        assert!(channels.count() < 17);
+    }
+}

@@ -1,0 +1,242 @@
+//! Covers: sets of cubes, with the containment and cost queries used by the
+//! minimizer.
+
+use std::fmt;
+
+use crate::cube::Cube;
+
+/// A sum-of-products: a set of cubes over one variable space.
+#[derive(Clone, Default, PartialEq, Eq)]
+pub struct Cover {
+    cubes: Vec<Cube>,
+}
+
+impl Cover {
+    /// The empty cover (constant 0).
+    pub fn new() -> Self {
+        Cover { cubes: Vec::new() }
+    }
+
+    /// A cover from cubes.
+    pub fn from_cubes(cubes: Vec<Cube>) -> Self {
+        Cover { cubes }
+    }
+
+    /// Adds a cube.
+    pub fn push(&mut self, c: Cube) {
+        self.cubes.push(c);
+    }
+
+    /// The cubes.
+    pub fn cubes(&self) -> &[Cube] {
+        &self.cubes
+    }
+
+    /// Number of products.
+    pub fn products(&self) -> usize {
+        self.cubes.len()
+    }
+
+    /// Total literal count (sum of AND-term literals).
+    pub fn literals(&self) -> usize {
+        self.cubes.iter().map(Cube::literals).sum()
+    }
+
+    /// Whether the cover is empty.
+    pub fn is_empty(&self) -> bool {
+        self.cubes.is_empty()
+    }
+
+    /// Whether any cube intersects `c`.
+    pub fn intersects(&self, c: &Cube) -> bool {
+        self.cubes.iter().any(|k| k.intersects(c))
+    }
+
+    /// Whether some single cube contains `c` (the hazard-free covering
+    /// condition for required cubes).
+    pub fn single_cube_contains(&self, c: &Cube) -> bool {
+        self.cubes.iter().any(|k| k.contains(c))
+    }
+
+    /// Whether the union of cubes covers every point of `c`.
+    ///
+    /// Uses the recursive Shannon-expansion tautology check, so it is exact
+    /// without minterm enumeration.
+    pub fn covers(&self, c: &Cube) -> bool {
+        // Cofactor the cover against c and check tautology.
+        let parts: Vec<Cube> = self
+            .cubes
+            .iter()
+            .filter_map(|k| cofactor(k, c))
+            .collect();
+        tautology(&parts, c.width())
+    }
+
+    /// Removes duplicate and single-cube-contained cubes.
+    pub fn make_irredundant_syntactic(&mut self) {
+        let mut keep: Vec<Cube> = Vec::new();
+        // Prefer larger cubes first so contained ones are dropped.
+        let mut sorted = self.cubes.clone();
+        sorted.sort_by_key(|c| c.literals());
+        for c in sorted {
+            if !keep.iter().any(|k| k.contains(&c)) {
+                keep.push(c);
+            }
+        }
+        self.cubes = keep;
+    }
+
+    /// Iterates the cubes.
+    pub fn iter(&self) -> std::slice::Iter<'_, Cube> {
+        self.cubes.iter()
+    }
+}
+
+impl FromIterator<Cube> for Cover {
+    fn from_iter<I: IntoIterator<Item = Cube>>(iter: I) -> Self {
+        Cover {
+            cubes: iter.into_iter().collect(),
+        }
+    }
+}
+
+impl Extend<Cube> for Cover {
+    fn extend<I: IntoIterator<Item = Cube>>(&mut self, iter: I) {
+        self.cubes.extend(iter);
+    }
+}
+
+impl<'a> IntoIterator for &'a Cover {
+    type Item = &'a Cube;
+    type IntoIter = std::slice::Iter<'a, Cube>;
+    fn into_iter(self) -> Self::IntoIter {
+        self.cubes.iter()
+    }
+}
+
+impl fmt::Debug for Cover {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_list().entries(&self.cubes).finish()
+    }
+}
+
+/// The cofactor of cube `k` with respect to cube `c`, or `None` if they do
+/// not intersect: `k`'s demands on the subspace `c`, with `c`'s fixed
+/// variables erased.
+fn cofactor(k: &Cube, c: &Cube) -> Option<Cube> {
+    use crate::cube::CubeVal;
+    if !k.intersects(c) {
+        return None;
+    }
+    let mut vals = Vec::with_capacity(k.width());
+    for i in 0..k.width() {
+        if c.get(i) != CubeVal::Dash {
+            vals.push(CubeVal::Dash); // fixed by c: no constraint remains
+        } else {
+            vals.push(k.get(i));
+        }
+    }
+    Some(Cube::new(vals))
+}
+
+/// Recursive tautology check: does the union of `cubes` cover the whole
+/// `width`-variable space?
+fn tautology(cubes: &[Cube], width: usize) -> bool {
+    use crate::cube::CubeVal;
+    if cubes.iter().any(|c| c.literals() == 0) {
+        return true;
+    }
+    if cubes.is_empty() {
+        return false;
+    }
+    // Pick the most-bound variable to split on.
+    let mut counts = vec![0usize; width];
+    for c in cubes {
+        for i in c.fixed_vars() {
+            counts[i] += 1;
+        }
+    }
+    let (split, _) = counts
+        .iter()
+        .enumerate()
+        .max_by_key(|(_, c)| **c)
+        .expect("width > 0 because some cube has a literal");
+    for v in [CubeVal::Zero, CubeVal::One] {
+        let sub: Vec<Cube> = cubes
+            .iter()
+            .filter(|c| c.get(split) == CubeVal::Dash || c.get(split) == v)
+            .map(|c| c.with(split, CubeVal::Dash))
+            .collect();
+        if !tautology(&sub, width) {
+            return false;
+        }
+    }
+    true
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn products_and_literals() {
+        let cov = Cover::from_cubes(vec![Cube::parse("01-"), Cube::parse("1--")]);
+        assert_eq!(cov.products(), 2);
+        assert_eq!(cov.literals(), 3);
+    }
+
+    #[test]
+    fn single_cube_containment_vs_union_cover() {
+        let cov = Cover::from_cubes(vec![Cube::parse("0--"), Cube::parse("1--")]);
+        let whole = Cube::parse("---");
+        assert!(!cov.single_cube_contains(&whole));
+        assert!(cov.covers(&whole));
+    }
+
+    #[test]
+    fn covers_detects_gaps() {
+        let cov = Cover::from_cubes(vec![Cube::parse("00-"), Cube::parse("01-")]);
+        assert!(cov.covers(&Cube::parse("0--")));
+        assert!(!cov.covers(&Cube::parse("---")));
+        assert!(!cov.covers(&Cube::parse("1--")));
+    }
+
+    #[test]
+    fn empty_cover_covers_nothing() {
+        let cov = Cover::new();
+        assert!(!cov.covers(&Cube::parse("1")));
+        assert!(cov.is_empty());
+    }
+
+    #[test]
+    fn tautology_three_cube_classic() {
+        // x + x'y + x'y' is a tautology.
+        let cov = Cover::from_cubes(vec![
+            Cube::parse("1-"),
+            Cube::parse("01"),
+            Cube::parse("00"),
+        ]);
+        assert!(cov.covers(&Cube::parse("--")));
+    }
+
+    #[test]
+    fn irredundant_drops_contained() {
+        let mut cov = Cover::from_cubes(vec![
+            Cube::parse("01-"),
+            Cube::parse("0--"),
+            Cube::parse("01-"),
+            Cube::parse("011"),
+        ]);
+        cov.make_irredundant_syntactic();
+        assert_eq!(cov.products(), 1);
+        assert_eq!(cov.cubes()[0], Cube::parse("0--"));
+    }
+
+    #[test]
+    fn collect_and_extend() {
+        let mut cov: Cover = [Cube::parse("1-")].into_iter().collect();
+        cov.extend([Cube::parse("0-")]);
+        assert_eq!(cov.products(), 2);
+        assert_eq!(cov.iter().count(), 2);
+    }
+}

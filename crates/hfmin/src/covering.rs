@@ -1,0 +1,240 @@
+//! Unate covering: choose a minimum set of DHF primes (columns) so that
+//! every required cube (row) is contained in some chosen prime.
+//!
+//! Cost is lexicographic *(products, literals)*, encoded as one `u64`
+//! per column (`LIT_SCALE + literals`), so minimizing the cost sum
+//! minimizes the product count first and the literal count second.
+//!
+//! Two solvers:
+//!
+//! * [`Covering::solve_exact`] — branch-and-bound with essential-column selection,
+//!   row/column dominance, and a maximal-independent-set lower bound;
+//!   bounded by a node budget.
+//! * [`Covering::solve_greedy`] — the classical greedy set-cover heuristic.
+
+use crate::cube::Cube;
+use crate::error::HfminError;
+
+const LIT_SCALE: u64 = 1 << 24;
+
+/// A covering instance: `matrix[r]` lists the columns covering row `r`.
+#[derive(Clone, Debug)]
+pub struct Covering {
+    ncols: usize,
+    matrix: Vec<Vec<usize>>,
+    cost: Vec<u64>,
+}
+
+impl Covering {
+    /// Builds the instance from required cubes (rows) and primes (columns);
+    /// column `c` covers row `r` iff `primes[c]` contains `rows[r]`.
+    ///
+    /// # Errors
+    ///
+    /// [`HfminError::NoCover`] if some row is covered by no column.
+    pub fn build(rows: &[Cube], cols: &[Cube]) -> Result<Self, HfminError> {
+        let mut matrix = Vec::with_capacity(rows.len());
+        for r in rows {
+            let covering: Vec<usize> = cols
+                .iter()
+                .enumerate()
+                .filter(|(_, c)| c.contains(r))
+                .map(|(i, _)| i)
+                .collect();
+            if covering.is_empty() {
+                return Err(HfminError::NoCover(r.clone()));
+            }
+            matrix.push(covering);
+        }
+        let cost = cols
+            .iter()
+            .map(|c| LIT_SCALE + c.literals() as u64)
+            .collect();
+        Ok(Covering {
+            ncols: cols.len(),
+            matrix,
+            cost,
+        })
+    }
+
+    /// Greedy set cover: repeatedly pick the column covering the most
+    /// uncovered rows (ties: cheapest).
+    pub fn solve_greedy(&self) -> Vec<usize> {
+        let mut uncovered: Vec<usize> = (0..self.matrix.len()).collect();
+        let mut chosen = Vec::new();
+        while !uncovered.is_empty() {
+            let mut gain = vec![0usize; self.ncols];
+            for &r in &uncovered {
+                for &c in &self.matrix[r] {
+                    gain[c] += 1;
+                }
+            }
+            let best = (0..self.ncols)
+                .max_by(|&a, &b| {
+                    gain[a]
+                        .cmp(&gain[b])
+                        .then(self.cost[b].cmp(&self.cost[a]))
+                })
+                .expect("at least one column exists");
+            chosen.push(best);
+            uncovered.retain(|&r| !self.matrix[r].contains(&best));
+        }
+        chosen.sort_unstable();
+        chosen
+    }
+
+    /// Exact branch-and-bound minimum-cost cover.
+    ///
+    /// # Errors
+    ///
+    /// [`HfminError::SearchBudget`] if more than `node_budget` search nodes
+    /// are expanded (fall back to [`Self::solve_greedy`]).
+    pub fn solve_exact(&self, node_budget: usize) -> Result<Vec<usize>, HfminError> {
+        let greedy = self.solve_greedy();
+        let mut best_cost: u64 = greedy.iter().map(|&c| self.cost[c]).sum::<u64>() + 1;
+        let mut best: Vec<usize> = greedy;
+        let mut nodes = 0usize;
+        let rows: Vec<usize> = (0..self.matrix.len()).collect();
+        self.branch(&rows, &mut Vec::new(), 0, &mut best, &mut best_cost, &mut nodes, node_budget)?;
+        let mut b = best;
+        b.sort_unstable();
+        Ok(b)
+    }
+
+    fn branch(
+        &self,
+        rows: &[usize],
+        chosen: &mut Vec<usize>,
+        chosen_cost: u64,
+        best: &mut Vec<usize>,
+        best_cost: &mut u64,
+        nodes: &mut usize,
+        budget: usize,
+    ) -> Result<(), HfminError> {
+        *nodes += 1;
+        if *nodes > budget {
+            return Err(HfminError::SearchBudget(budget));
+        }
+        if rows.is_empty() {
+            if chosen_cost < *best_cost {
+                *best_cost = chosen_cost;
+                *best = chosen.clone();
+            }
+            return Ok(());
+        }
+        // Lower bound: greedy maximal independent set of rows (pairwise
+        // disjoint column sets); each needs a distinct column.
+        let mut indep_cost = 0u64;
+        let mut used: Vec<usize> = Vec::new();
+        for &r in rows {
+            if self.matrix[r].iter().all(|c| !used.contains(c)) {
+                indep_cost += self.matrix[r].iter().map(|&c| self.cost[c]).min().unwrap_or(0);
+                used.extend(self.matrix[r].iter().copied());
+            }
+        }
+        if chosen_cost + indep_cost >= *best_cost {
+            return Ok(());
+        }
+        // Branch on the hardest row (fewest covering columns).
+        let &row = rows
+            .iter()
+            .min_by_key(|&&r| self.matrix[r].len())
+            .expect("rows nonempty");
+        let mut options = self.matrix[row].clone();
+        options.sort_by_key(|&c| self.cost[c]);
+        for c in options {
+            chosen.push(c);
+            let remaining: Vec<usize> = rows
+                .iter()
+                .copied()
+                .filter(|&r| !self.matrix[r].contains(&c))
+                .collect();
+            self.branch(
+                &remaining,
+                chosen,
+                chosen_cost + self.cost[c],
+                best,
+                best_cost,
+                nodes,
+                budget,
+            )?;
+            chosen.pop();
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cubes(ss: &[&str]) -> Vec<Cube> {
+        ss.iter().map(|s| Cube::parse(s)).collect()
+    }
+
+    #[test]
+    fn trivial_single_column() {
+        let rows = cubes(&["01"]);
+        let cols = cubes(&["0-"]);
+        let c = Covering::build(&rows, &cols).unwrap();
+        assert_eq!(c.solve_greedy(), vec![0]);
+        assert_eq!(c.solve_exact(1000).unwrap(), vec![0]);
+    }
+
+    #[test]
+    fn missing_coverage_detected() {
+        let rows = cubes(&["11"]);
+        let cols = cubes(&["0-"]);
+        assert!(matches!(
+            Covering::build(&rows, &cols),
+            Err(HfminError::NoCover(_))
+        ));
+    }
+
+    #[test]
+    fn exact_beats_or_matches_greedy() {
+        // Classic instance where greedy can pick 3 but optimum is 2:
+        // rows r0..r3; col A covers r0,r1; col B covers r2,r3;
+        // col C covers r1,r2 (tempting middle).
+        let rows = cubes(&["000", "001", "010", "011"]);
+        let cols = cubes(&["00-", "0-0", "0--"]);
+        // cols: "00-" covers 000,001 ; "0-0" covers 000,010 ; "0--" covers all
+        let c = Covering::build(&rows, &cols).unwrap();
+        let exact = c.solve_exact(10_000).unwrap();
+        assert_eq!(exact, vec![2]); // "0--" covers everything with one product
+        let greedy = c.solve_greedy();
+        assert!(greedy.len() >= exact.len());
+    }
+
+    #[test]
+    fn literal_tiebreak_prefers_fewer_literals() {
+        // Both columns cover the single row; the cheaper (fewer literals)
+        // must win in the exact solver.
+        let rows = cubes(&["011"]);
+        let cols = cubes(&["011", "0--"]);
+        let c = Covering::build(&rows, &cols).unwrap();
+        assert_eq!(c.solve_exact(100).unwrap(), vec![1]);
+    }
+
+    #[test]
+    fn multi_row_exact_cover() {
+        // rows: four points; columns: three pair-cubes; optimum = 2.
+        let rows = cubes(&["00", "01", "10", "11"]);
+        let cols = cubes(&["0-", "1-", "-0", "-1"]);
+        let c = Covering::build(&rows, &cols).unwrap();
+        let exact = c.solve_exact(10_000).unwrap();
+        assert_eq!(exact.len(), 2);
+    }
+
+    #[test]
+    fn budget_exhaustion_reported() {
+        let rows = cubes(&["000", "001", "010", "011", "100", "101", "110", "111"]);
+        let cols = cubes(&[
+            "00-", "01-", "10-", "11-", "0-0", "0-1", "1-0", "1-1", "-00", "-01", "-10", "-11",
+        ]);
+        let c = Covering::build(&rows, &cols).unwrap();
+        assert!(matches!(c.solve_exact(1), Err(HfminError::SearchBudget(1))));
+        // And with a fat budget it succeeds with 4 products.
+        assert_eq!(c.solve_exact(1_000_000).unwrap().len(), 4);
+    }
+}

@@ -1,0 +1,259 @@
+//! Cubes (products) over a fixed set of binary variables.
+//!
+//! A cube assigns each variable `0`, `1`, or `-` (don't care / dash). Cubes
+//! are the currency of two-level minimization: implicants, required cubes,
+//! privileged cubes and covers are all built from them.
+
+use std::fmt;
+
+/// The value of one variable within a [`Cube`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum CubeVal {
+    /// Variable fixed at 0 (complemented literal).
+    Zero,
+    /// Variable fixed at 1 (positive literal).
+    One,
+    /// Variable free (no literal).
+    Dash,
+}
+
+impl CubeVal {
+    /// Converts a concrete boolean.
+    pub fn from_bool(b: bool) -> Self {
+        if b {
+            CubeVal::One
+        } else {
+            CubeVal::Zero
+        }
+    }
+
+    /// The concrete value, if fixed.
+    pub fn as_bool(self) -> Option<bool> {
+        match self {
+            CubeVal::Zero => Some(false),
+            CubeVal::One => Some(true),
+            CubeVal::Dash => None,
+        }
+    }
+}
+
+/// A product term over `n` variables.
+#[derive(Clone, PartialEq, Eq, Hash)]
+pub struct Cube {
+    vals: Vec<CubeVal>,
+}
+
+impl Cube {
+    /// The universal cube (all dashes) over `n` variables.
+    pub fn universe(n: usize) -> Self {
+        Cube {
+            vals: vec![CubeVal::Dash; n],
+        }
+    }
+
+    /// A cube from explicit values.
+    pub fn new(vals: Vec<CubeVal>) -> Self {
+        Cube { vals }
+    }
+
+    /// Parses a cube from a string of `0`, `1` and `-` characters.
+    ///
+    /// # Panics
+    ///
+    /// Panics on any other character (test/fixture convenience).
+    pub fn parse(s: &str) -> Self {
+        Cube {
+            vals: s
+                .chars()
+                .map(|c| match c {
+                    '0' => CubeVal::Zero,
+                    '1' => CubeVal::One,
+                    '-' => CubeVal::Dash,
+                    other => panic!("invalid cube character {other:?}"),
+                })
+                .collect(),
+        }
+    }
+
+    /// Number of variables.
+    pub fn width(&self) -> usize {
+        self.vals.len()
+    }
+
+    /// The value of variable `i`.
+    pub fn get(&self, i: usize) -> CubeVal {
+        self.vals[i]
+    }
+
+    /// Returns a copy with variable `i` set to `v`.
+    pub fn with(&self, i: usize, v: CubeVal) -> Cube {
+        let mut c = self.clone();
+        c.vals[i] = v;
+        c
+    }
+
+    /// Number of fixed positions (the AND-term literal count).
+    pub fn literals(&self) -> usize {
+        self.vals.iter().filter(|v| **v != CubeVal::Dash).count()
+    }
+
+    /// Whether two cubes intersect (agree on every mutually fixed variable).
+    pub fn intersects(&self, other: &Cube) -> bool {
+        debug_assert_eq!(self.width(), other.width());
+        self.vals.iter().zip(&other.vals).all(|(a, b)| {
+            !matches!(
+                (a, b),
+                (CubeVal::Zero, CubeVal::One) | (CubeVal::One, CubeVal::Zero)
+            )
+        })
+    }
+
+    /// The intersection cube, if non-empty.
+    pub fn intersection(&self, other: &Cube) -> Option<Cube> {
+        if !self.intersects(other) {
+            return None;
+        }
+        Some(Cube {
+            vals: self
+                .vals
+                .iter()
+                .zip(&other.vals)
+                .map(|(a, b)| match (a, b) {
+                    (CubeVal::Dash, x) => *x,
+                    (x, _) => *x,
+                })
+                .collect(),
+        })
+    }
+
+    /// Whether `self` contains `other` (every point of `other` is in `self`).
+    pub fn contains(&self, other: &Cube) -> bool {
+        debug_assert_eq!(self.width(), other.width());
+        self.vals
+            .iter()
+            .zip(&other.vals)
+            .all(|(a, b)| matches!(a, CubeVal::Dash) || a == b)
+    }
+
+    /// The smallest cube containing both (the supercube / transition cube).
+    pub fn supercube(&self, other: &Cube) -> Cube {
+        debug_assert_eq!(self.width(), other.width());
+        Cube {
+            vals: self
+                .vals
+                .iter()
+                .zip(&other.vals)
+                .map(|(a, b)| if a == b { *a } else { CubeVal::Dash })
+                .collect(),
+        }
+    }
+
+    /// Variables where both cubes are fixed and differ.
+    pub fn conflicting_vars(&self, other: &Cube) -> Vec<usize> {
+        self.vals
+            .iter()
+            .zip(&other.vals)
+            .enumerate()
+            .filter(|(_, (a, b))| {
+                matches!(
+                    (a, b),
+                    (CubeVal::Zero, CubeVal::One) | (CubeVal::One, CubeVal::Zero)
+                )
+            })
+            .map(|(i, _)| i)
+            .collect()
+    }
+
+    /// Indices where this cube is fixed.
+    pub fn fixed_vars(&self) -> impl Iterator<Item = usize> + '_ {
+        self.vals
+            .iter()
+            .enumerate()
+            .filter(|(_, v)| **v != CubeVal::Dash)
+            .map(|(i, _)| i)
+    }
+}
+
+impl fmt::Debug for Cube {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for v in &self.vals {
+            f.write_str(match v {
+                CubeVal::Zero => "0",
+                CubeVal::One => "1",
+                CubeVal::Dash => "-",
+            })?;
+        }
+        Ok(())
+    }
+}
+
+impl fmt::Display for Cube {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{self:?}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_and_display_roundtrip() {
+        let c = Cube::parse("01-1");
+        assert_eq!(c.to_string(), "01-1");
+        assert_eq!(c.width(), 4);
+        assert_eq!(c.literals(), 3);
+    }
+
+    #[test]
+    fn intersection_rules() {
+        let a = Cube::parse("0--");
+        let b = Cube::parse("-1-");
+        assert!(a.intersects(&b));
+        assert_eq!(a.intersection(&b).unwrap(), Cube::parse("01-"));
+        let c = Cube::parse("1--");
+        assert!(!a.intersects(&c));
+        assert!(a.intersection(&c).is_none());
+    }
+
+    #[test]
+    fn containment() {
+        let big = Cube::parse("0--");
+        let small = Cube::parse("01-");
+        assert!(big.contains(&small));
+        assert!(!small.contains(&big));
+        assert!(big.contains(&big));
+        assert!(Cube::universe(3).contains(&big));
+    }
+
+    #[test]
+    fn supercube_is_smallest_container() {
+        let a = Cube::parse("010");
+        let b = Cube::parse("011");
+        let t = a.supercube(&b);
+        assert_eq!(t, Cube::parse("01-"));
+        assert!(t.contains(&a) && t.contains(&b));
+    }
+
+    #[test]
+    fn conflicting_vars() {
+        let a = Cube::parse("01-0");
+        let b = Cube::parse("11-1");
+        assert_eq!(a.conflicting_vars(&b), vec![0, 3]);
+    }
+
+    #[test]
+    fn with_and_get() {
+        let a = Cube::universe(3).with(1, CubeVal::One);
+        assert_eq!(a.get(1), CubeVal::One);
+        assert_eq!(a.get(0), CubeVal::Dash);
+        assert_eq!(a.fixed_vars().collect::<Vec<_>>(), vec![1]);
+    }
+
+    #[test]
+    fn cubeval_conversions() {
+        assert_eq!(CubeVal::from_bool(true), CubeVal::One);
+        assert_eq!(CubeVal::Zero.as_bool(), Some(false));
+        assert_eq!(CubeVal::Dash.as_bool(), None);
+    }
+}

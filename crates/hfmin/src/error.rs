@@ -1,0 +1,71 @@
+//! Error type for hazard-free minimization.
+
+use std::error::Error;
+use std::fmt;
+
+use crate::cube::Cube;
+
+/// Errors produced by specification building, minimization, or synthesis.
+#[derive(Clone, Debug, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum HfminError {
+    /// Two specified transitions assign conflicting values to one point:
+    /// the cube shown is in both the ON-set and the OFF-set.
+    Conflict(Cube),
+    /// A required cube cannot be contained in any dynamic-hazard-free
+    /// implicant — no hazard-free two-level cover exists.
+    NoCover(Cube),
+    /// A required cube itself illegally intersects a privileged cube
+    /// (malformed specification).
+    IllegalRequiredCube(Cube),
+    /// Widths of cubes/specs disagree.
+    WidthMismatch { expected: usize, found: usize },
+    /// The underlying burst-mode machine is not synthesizable
+    /// (e.g. an output with unknown entry value).
+    Machine(String),
+    /// The exact covering search exceeded its node budget; retry with the
+    /// heuristic solver or a bigger budget.
+    SearchBudget(usize),
+}
+
+impl fmt::Display for HfminError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            HfminError::Conflict(c) => write!(f, "specification conflict at {c}"),
+            HfminError::NoCover(c) => {
+                write!(f, "no hazard-free cover exists: required cube {c} has no DHF implicant")
+            }
+            HfminError::IllegalRequiredCube(c) => {
+                write!(f, "required cube {c} illegally intersects a privileged cube")
+            }
+            HfminError::WidthMismatch { expected, found } => {
+                write!(f, "cube width mismatch: expected {expected}, found {found}")
+            }
+            HfminError::Machine(s) => write!(f, "machine not synthesizable: {s}"),
+            HfminError::SearchBudget(n) => {
+                write!(f, "exact covering search exceeded {n} nodes")
+            }
+        }
+    }
+}
+
+impl Error for HfminError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_forms() {
+        let e = HfminError::NoCover(Cube::parse("01-"));
+        assert!(e.to_string().contains("01-"));
+        let w = HfminError::WidthMismatch { expected: 3, found: 2 };
+        assert!(w.to_string().contains("expected 3"));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<HfminError>();
+    }
+}

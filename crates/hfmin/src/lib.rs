@@ -1,0 +1,51 @@
+//! # adcs-hfmin — Hazard-free two-level logic minimization
+//!
+//! The gate-level back-end of the reproduction of Theobald & Nowick
+//! (DAC 2001). The paper synthesizes its burst-mode controllers with the
+//! Minimalist \[10\] and 3D \[25\] tools; this crate re-implements that
+//! substrate: exact and heuristic **hazard-free two-level minimization**
+//! (Nowick–Dill required cubes, privileged cubes, dynamic-hazard-free prime
+//! implicants, unate covering) plus the XBM-to-logic synthesis path (state
+//! encoding, horizontal/vertical input transitions), producing the
+//! product/literal counts that the paper's Figure 13 compares.
+//!
+//! # Example
+//!
+//! ```rust
+//! use adcs_hfmin::cube::Cube;
+//! use adcs_hfmin::minimize::{minimize, MinimizeOptions};
+//! use adcs_hfmin::spec::{FunctionSpec, SpecTransition};
+//!
+//! # fn main() -> Result<(), adcs_hfmin::HfminError> {
+//! let mut spec = FunctionSpec::new(2);
+//! spec.push(SpecTransition {
+//!     start: Cube::parse("00"),
+//!     end: Cube::parse("01"),
+//!     from: true,
+//!     to: true,
+//! })?;
+//! let cover = minimize(&spec, MinimizeOptions::default())?;
+//! assert_eq!(cover.products(), 1);
+//! # Ok(())
+//! # }
+//! ```
+
+pub mod cover;
+pub mod gatesim;
+pub mod covering;
+pub mod cube;
+pub mod minimize;
+pub mod multi;
+pub mod primes;
+pub mod spec;
+pub mod synth;
+
+mod error;
+
+pub use cover::Cover;
+pub use cube::{Cube, CubeVal};
+pub use error::HfminError;
+pub use minimize::{minimize, MinimizeOptions};
+pub use multi::{minimize_multi, MultiOutputResult};
+pub use spec::{FunctionSpec, SpecTransition};
+pub use synth::{synthesize, ControllerLogic, StateEncoding, SynthFunction, SynthOptions};

@@ -1,0 +1,278 @@
+//! Multi-output hazard-free minimization: share products across the
+//! functions of one controller, as the paper's Minimalist back-end does
+//! (its advantage over 3D that §6 calls out).
+//!
+//! The single-output flow solves one covering problem per function; here
+//! one combined problem is solved instead. A *column* is a candidate cube
+//! together with the set of functions it may legally serve (it must be a
+//! dynamic-hazard-free implicant of each); a *row* is a `(function,
+//! required cube)` pair; choosing a column covers every row whose function
+//! is served and whose required cube it contains. Column cost counts the
+//! **cube once** — the AND-plane product is shared, only OR-plane
+//! connections differ — so the solver is rewarded for reuse.
+
+use std::collections::{BTreeSet, HashSet};
+
+use crate::cover::Cover;
+use crate::cube::Cube;
+use crate::error::HfminError;
+use crate::primes::{dhf_primes, is_dhf_implicant};
+use crate::spec::FunctionSpec;
+
+/// The result of a multi-output run: per-function covers drawing from a
+/// shared product pool.
+#[derive(Clone, Debug)]
+pub struct MultiOutputResult {
+    /// Per-function covers, in input order.
+    pub covers: Vec<Cover>,
+    /// The shared product pool (each cube counted once).
+    pub pool: Vec<Cube>,
+}
+
+impl MultiOutputResult {
+    /// Number of distinct products in the AND plane.
+    pub fn products(&self) -> usize {
+        self.pool.len()
+    }
+
+    /// Total AND-plane literals (each shared product counted once).
+    pub fn literals(&self) -> usize {
+        self.pool.iter().map(Cube::literals).sum()
+    }
+}
+
+/// Minimizes a set of functions over one variable space with product
+/// sharing.
+///
+/// # Errors
+///
+/// * [`HfminError::WidthMismatch`] — the specs disagree on width.
+/// * [`HfminError::Conflict`] — some spec is inconsistent.
+/// * [`HfminError::IllegalRequiredCube`] / [`HfminError::NoCover`] — some
+///   function admits no hazard-free cover.
+pub fn minimize_multi(specs: &[FunctionSpec]) -> Result<MultiOutputResult, HfminError> {
+    let Some(first) = specs.first() else {
+        return Ok(MultiOutputResult { covers: Vec::new(), pool: Vec::new() });
+    };
+    let width = first.width();
+    for s in specs {
+        if s.width() != width {
+            return Err(HfminError::WidthMismatch { expected: width, found: s.width() });
+        }
+        s.check_consistency()?;
+    }
+
+    // Per-function landscape.
+    let mut required: Vec<Vec<Cube>> = Vec::with_capacity(specs.len());
+    let mut off: Vec<Cover> = Vec::with_capacity(specs.len());
+    let mut privileged: Vec<Vec<(Cube, Cube)>> = Vec::with_capacity(specs.len());
+    for s in specs {
+        required.push(s.required_cubes());
+        off.push(s.off_cover());
+        privileged.push(s.privileged_cubes());
+    }
+
+    // Candidate pool: the union of every function's DHF primes, annotated
+    // with the set of functions each cube legally serves.
+    let mut pool: Vec<Cube> = Vec::new();
+    let mut seen: HashSet<Cube> = HashSet::new();
+    for (f, req) in required.iter().enumerate() {
+        if req.is_empty() {
+            continue;
+        }
+        for p in dhf_primes(req, &off[f], &privileged[f])? {
+            if seen.insert(p.clone()) {
+                pool.push(p);
+            }
+        }
+    }
+    let usable: Vec<BTreeSet<usize>> = pool
+        .iter()
+        .map(|cube| {
+            (0..specs.len())
+                .filter(|&f| is_dhf_implicant(cube, &off[f], &privileged[f]))
+                .collect()
+        })
+        .collect();
+
+    // Rows: (function, required-cube index). Columns cover rows of served
+    // functions whose cube they contain.
+    let mut rows: Vec<(usize, usize)> = Vec::new();
+    for (f, req) in required.iter().enumerate() {
+        for r in 0..req.len() {
+            rows.push((f, r));
+        }
+    }
+    let col_rows: Vec<Vec<usize>> = (0..pool.len())
+        .map(|c| {
+            rows.iter()
+                .enumerate()
+                .filter(|(_, &(f, r))| usable[c].contains(&f) && pool[c].contains(&required[f][r]))
+                .map(|(i, _)| i)
+                .collect()
+        })
+        .collect();
+    {
+        let mut coverable = vec![false; rows.len()];
+        for cr in &col_rows {
+            for &r in cr {
+                coverable[r] = true;
+            }
+        }
+        if let Some(r) = coverable.iter().position(|&c| !c) {
+            let (f, i) = rows[r];
+            return Err(HfminError::NoCover(required[f][i].clone()));
+        }
+    }
+
+    // Greedy shared set cover: pick the column covering the most uncovered
+    // rows; ties by fewer literals. (The sharing objective makes the exact
+    // problem a weighted set cover over exponentially reusable columns —
+    // greedy is the classical approach and matches Minimalist's heuristic
+    // mode.)
+    let mut covered = vec![false; rows.len()];
+    let mut remaining = rows.len();
+    let mut chosen: Vec<usize> = Vec::new();
+    while remaining > 0 {
+        let best = (0..pool.len())
+            .map(|c| {
+                let gain = col_rows[c].iter().filter(|&&r| !covered[r]).count();
+                (gain, std::cmp::Reverse(pool[c].literals()), c)
+            })
+            .max()
+            .expect("pool is nonempty when rows exist");
+        let (gain, _, col) = best;
+        debug_assert!(gain > 0, "all rows were pre-checked coverable");
+        chosen.push(col);
+        for &r in &col_rows[col] {
+            if !covered[r] {
+                covered[r] = true;
+                remaining -= 1;
+            }
+        }
+    }
+
+    // Assemble per-function covers: a chosen product joins function f's
+    // OR plane when it serves f and contains one of f's required cubes.
+    let mut covers: Vec<Cover> = vec![Cover::new(); specs.len()];
+    for &col in &chosen {
+        for f in usable[col].iter().copied() {
+            let needed = required[f].iter().any(|r| pool[col].contains(r));
+            if needed {
+                covers[f].push(pool[col].clone());
+            }
+        }
+    }
+    let pool_out: Vec<Cube> = chosen.into_iter().map(|c| pool[c].clone()).collect();
+
+    // Baseline: independent single-output covers with identical cubes
+    // deduplicated. Greedy joint covering is not *guaranteed* to beat it,
+    // so return whichever is smaller — the multi-output result is then
+    // never worse than the single-output mode, by construction.
+    let solo: Vec<Cover> = specs
+        .iter()
+        .map(|s| crate::minimize::minimize(s, crate::minimize::MinimizeOptions::default()))
+        .collect::<Result<_, _>>()?;
+    let mut solo_pool: Vec<Cube> = Vec::new();
+    for c in solo.iter().flat_map(|c| c.cubes()) {
+        if !solo_pool.contains(c) {
+            solo_pool.push(c.clone());
+        }
+    }
+    let cost = |p: &[Cube]| (p.len(), p.iter().map(Cube::literals).sum::<usize>());
+    let (covers, pool_out) = if cost(&solo_pool) < cost(&pool_out) {
+        (solo, solo_pool)
+    } else {
+        (covers, pool_out)
+    };
+
+    // Safety net: every function must still satisfy its hazard conditions.
+    for (f, cover) in covers.iter().enumerate() {
+        crate::minimize::verify(&specs[f], cover)?;
+    }
+    Ok(MultiOutputResult { covers, pool: pool_out })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::minimize::{minimize, MinimizeOptions};
+    use crate::spec::SpecTransition;
+
+    fn tr(start: &str, end: &str, from: bool, to: bool) -> SpecTransition {
+        SpecTransition {
+            start: Cube::parse(start),
+            end: Cube::parse(end),
+            from,
+            to,
+        }
+    }
+
+    #[test]
+    fn identical_functions_share_every_product() {
+        let mut a = FunctionSpec::new(2);
+        a.push(tr("00", "01", true, true)).unwrap();
+        let b = a.clone();
+        let r = minimize_multi(&[a.clone(), b]).unwrap();
+        assert_eq!(r.products(), 1);
+        assert_eq!(r.covers[0].products(), 1);
+        assert_eq!(r.covers[1].products(), 1);
+        // Never worse than single-output on either function.
+        let solo = minimize(&a, MinimizeOptions::default()).unwrap();
+        assert!(r.covers[0].products() <= solo.products());
+    }
+
+    #[test]
+    fn disjoint_functions_do_not_share() {
+        let mut a = FunctionSpec::new(2);
+        a.push(tr("00", "01", true, true)).unwrap(); // ON around x=0
+        a.push(tr("10", "11", false, false)).unwrap(); // OFF at x=1
+        let mut b = FunctionSpec::new(2);
+        b.push(tr("10", "11", true, true)).unwrap(); // ON around x=1
+        b.push(tr("00", "01", false, false)).unwrap(); // OFF at x=0
+        let r = minimize_multi(&[a, b]).unwrap();
+        assert_eq!(r.products(), 2);
+        assert_eq!(r.covers[0].products(), 1);
+        assert_eq!(r.covers[1].products(), 1);
+        assert_ne!(r.covers[0].cubes()[0], r.covers[1].cubes()[0]);
+    }
+
+    #[test]
+    fn sharing_beats_or_equals_post_hoc_merging() {
+        // Two overlapping functions over 3 vars.
+        let mut a = FunctionSpec::new(3);
+        a.push(tr("000", "001", true, true)).unwrap();
+        a.push(tr("001", "011", true, true)).unwrap();
+        let mut b = FunctionSpec::new(3);
+        b.push(tr("000", "001", true, true)).unwrap();
+        b.push(tr("001", "101", true, true)).unwrap();
+        let specs = vec![a, b];
+        let multi = minimize_multi(&specs).unwrap();
+        let solo_total: usize = specs
+            .iter()
+            .map(|s| minimize(s, MinimizeOptions::default()).unwrap().products())
+            .sum();
+        assert!(multi.products() <= solo_total);
+        for (s, c) in specs.iter().zip(&multi.covers) {
+            crate::minimize::verify(s, c).unwrap();
+        }
+    }
+
+    #[test]
+    fn empty_input_is_empty_output() {
+        let r = minimize_multi(&[]).unwrap();
+        assert_eq!(r.products(), 0);
+        let one_empty = minimize_multi(&[FunctionSpec::new(2)]).unwrap();
+        assert_eq!(one_empty.products(), 0);
+    }
+
+    #[test]
+    fn width_mismatch_rejected() {
+        let a = FunctionSpec::new(2);
+        let b = FunctionSpec::new(3);
+        assert!(matches!(
+            minimize_multi(&[a, b]),
+            Err(HfminError::WidthMismatch { .. })
+        ));
+    }
+}

@@ -1,0 +1,152 @@
+//! Dynamic-hazard-free (DHF) prime implicant generation.
+//!
+//! A cube `p` is a **DHF implicant** iff it avoids the OFF-set and, for
+//! every privileged cube `(T, A)`, `p ∩ T ≠ ∅ ⇒ A ⊆ p`. A **DHF prime**
+//! is a DHF implicant that cannot be enlarged (no literal can be raised)
+//! without violating one of the two conditions.
+//!
+//! For the hazard-free covering problem only DHF primes *containing a
+//! required cube* matter, so generation starts from the required cubes and
+//! exhaustively explores all literal-raising orders (memoized). This is
+//! complete: every DHF implicant containing a required cube extends to a
+//! DHF prime containing it, because both validity conditions are preserved
+//! under the raising steps that keep them true.
+
+use std::collections::HashSet;
+
+use crate::cover::Cover;
+use crate::cube::{Cube, CubeVal};
+use crate::error::HfminError;
+
+/// Whether `p` is a DHF implicant w.r.t. the OFF-set and privileged cubes.
+pub fn is_dhf_implicant(p: &Cube, off: &Cover, privileged: &[(Cube, Cube)]) -> bool {
+    if off.intersects(p) {
+        return false;
+    }
+    privileged
+        .iter()
+        .all(|(t, a)| !p.intersects(t) || p.contains(a))
+}
+
+/// Generates every DHF prime that contains at least one of the `seeds`
+/// (normally the required cubes).
+///
+/// # Errors
+///
+/// [`HfminError::IllegalRequiredCube`] if a seed is itself not a DHF
+/// implicant — the specification admits no hazard-free cover through it.
+pub fn dhf_primes(
+    seeds: &[Cube],
+    off: &Cover,
+    privileged: &[(Cube, Cube)],
+) -> Result<Vec<Cube>, HfminError> {
+    let mut primes: Vec<Cube> = Vec::new();
+    let mut seen: HashSet<Cube> = HashSet::new();
+    let mut prime_set: HashSet<Cube> = HashSet::new();
+
+    for seed in seeds {
+        if !is_dhf_implicant(seed, off, privileged) {
+            return Err(HfminError::IllegalRequiredCube(seed.clone()));
+        }
+        let mut stack = vec![seed.clone()];
+        while let Some(c) = stack.pop() {
+            if !seen.insert(c.clone()) {
+                continue;
+            }
+            let mut maximal = true;
+            for i in c.fixed_vars().collect::<Vec<_>>() {
+                let raised = c.with(i, CubeVal::Dash);
+                if is_dhf_implicant(&raised, off, privileged) {
+                    maximal = false;
+                    if !seen.contains(&raised) {
+                        stack.push(raised);
+                    }
+                }
+            }
+            if maximal && prime_set.insert(c.clone()) {
+                primes.push(c);
+            }
+        }
+    }
+    Ok(primes)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn off(cubes: &[&str]) -> Cover {
+        Cover::from_cubes(cubes.iter().map(|s| Cube::parse(s)).collect())
+    }
+
+    #[test]
+    fn primes_without_privileged_cubes_are_ordinary_primes() {
+        // f over 2 vars, OFF = {11}: primes containing 00 are 0- and -0.
+        let p = dhf_primes(&[Cube::parse("00")], &off(&["11"]), &[]).unwrap();
+        assert_eq!(p.len(), 2);
+        assert!(p.contains(&Cube::parse("0-")));
+        assert!(p.contains(&Cube::parse("-0")));
+    }
+
+    #[test]
+    fn privileged_cube_blocks_partial_intersection() {
+        // 3 vars. OFF = {110}. Privileged (T=--0, A=000): any product
+        // touching --0 must contain 000.
+        let priv_cubes = vec![(Cube::parse("--0"), Cube::parse("000"))];
+        // Seed 001 (outside T): expansion must avoid partially entering T.
+        let p = dhf_primes(&[Cube::parse("001")], &off(&["110"]), &priv_cubes).unwrap();
+        for c in &p {
+            assert!(is_dhf_implicant(c, &off(&["110"]), &priv_cubes), "{c}");
+        }
+        // The unrestricted prime 1-1..? e.g. "1-1" doesn't intersect T(--0)
+        // since var2: 1 vs 0 -> disjoint: fine. "--1" also disjoint from T.
+        assert!(p.contains(&Cube::parse("--1")));
+        // But nothing like "0--" (intersects T without containing A... it
+        // does contain 000 actually). Check "-0-" contains 000: yes, legal
+        // if off-free: -0- intersects OFF 110? no. So -0- may appear.
+        // The key illegal cube would be "1--": intersects T at 1-0 but
+        // does not contain A; it must not be produced.
+        assert!(!p.contains(&Cube::parse("1--")));
+    }
+
+    #[test]
+    fn illegal_seed_is_reported() {
+        // Seed intersects T without containing A.
+        let priv_cubes = vec![(Cube::parse("--0"), Cube::parse("000"))];
+        let err = dhf_primes(&[Cube::parse("1-0")], &Cover::new(), &priv_cubes);
+        assert!(matches!(err, Err(HfminError::IllegalRequiredCube(_))));
+    }
+
+    #[test]
+    fn seed_in_off_set_is_reported() {
+        let err = dhf_primes(&[Cube::parse("11")], &off(&["1-"]), &[]);
+        assert!(matches!(err, Err(HfminError::IllegalRequiredCube(_))));
+    }
+
+    #[test]
+    fn empty_off_gives_universe() {
+        let p = dhf_primes(&[Cube::parse("01")], &Cover::new(), &[]).unwrap();
+        assert_eq!(p, vec![Cube::universe(2)]);
+    }
+
+    #[test]
+    fn multiple_seeds_deduplicate() {
+        let p = dhf_primes(
+            &[Cube::parse("00"), Cube::parse("01")],
+            &off(&["1-"]),
+            &[],
+        )
+        .unwrap();
+        assert_eq!(p, vec![Cube::parse("0-")]);
+    }
+
+    #[test]
+    fn primes_all_contain_some_seed() {
+        let seeds = [Cube::parse("000"), Cube::parse("011")];
+        let p = dhf_primes(&seeds, &off(&["110", "101"]), &[]).unwrap();
+        for c in &p {
+            assert!(seeds.iter().any(|s| c.contains(s)), "{c}");
+        }
+        assert!(!p.is_empty());
+    }
+}

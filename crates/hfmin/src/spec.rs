@@ -1,0 +1,300 @@
+//! Function specifications as sets of *input transitions*, and the derived
+//! required / privileged / OFF cubes of hazard-free two-level minimization
+//! (Nowick–Dill), specialized to burst-mode semantics.
+//!
+//! In a burst-mode controller an output holds its old value `from`
+//! throughout the input burst and changes to `to` exactly when the burst
+//! completes. For a transition with start cube `A`, end cube `B` and
+//! transition cube `T = supercube(A, B)` this gives:
+//!
+//! | kind           | ON region       | OFF region      | required cubes            |
+//! |----------------|-----------------|-----------------|---------------------------|
+//! | static 1→1     | `T`             | —               | `T`                       |
+//! | static 0→0     | —               | `T`             | —                         |
+//! | dynamic 1→0    | `T ∖ B`         | `{B}`           | `T[i:=Aᵢ]` per changing i |
+//! | dynamic 0→1    | `{B}`           | `T ∖ B`         | `{B}`                     |
+//!
+//! Each dynamic 1→0 transition additionally contributes a **privileged
+//! cube** `(T, A)`: an implicant intersecting `T` must contain all of `A`,
+//! otherwise the product could glitch while the inputs move from `A` to
+//! `B` (a dynamic hazard).
+
+use crate::cover::Cover;
+use crate::cube::{Cube, CubeVal};
+use crate::error::HfminError;
+
+/// One specified input transition of a single-output function.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct SpecTransition {
+    /// Start cube `A` (dashes = unknown entry values).
+    pub start: Cube,
+    /// End cube `B`.
+    pub end: Cube,
+    /// Function value while the burst is in progress.
+    pub from: bool,
+    /// Function value once the burst completes.
+    pub to: bool,
+}
+
+impl SpecTransition {
+    /// The transition cube `T = supercube(A, B)`.
+    pub fn cube(&self) -> Cube {
+        self.start.supercube(&self.end)
+    }
+
+    /// Whether the function value changes.
+    pub fn is_dynamic(&self) -> bool {
+        self.from != self.to
+    }
+}
+
+/// A single-output function given by its specified transitions.
+#[derive(Clone, Debug, Default)]
+pub struct FunctionSpec {
+    width: usize,
+    transitions: Vec<SpecTransition>,
+}
+
+impl FunctionSpec {
+    /// An empty spec over `width` variables.
+    pub fn new(width: usize) -> Self {
+        FunctionSpec {
+            width,
+            transitions: Vec::new(),
+        }
+    }
+
+    /// Number of variables.
+    pub fn width(&self) -> usize {
+        self.width
+    }
+
+    /// The specified transitions.
+    pub fn transitions(&self) -> &[SpecTransition] {
+        &self.transitions
+    }
+
+    /// Adds a transition.
+    ///
+    /// # Errors
+    ///
+    /// [`HfminError::WidthMismatch`] if the cubes have the wrong width.
+    pub fn push(&mut self, t: SpecTransition) -> Result<(), HfminError> {
+        for c in [&t.start, &t.end] {
+            if c.width() != self.width {
+                return Err(HfminError::WidthMismatch {
+                    expected: self.width,
+                    found: c.width(),
+                });
+            }
+        }
+        self.transitions.push(t);
+        Ok(())
+    }
+
+    /// The OFF-set as a cover (regions where the function is specified 0).
+    pub fn off_cover(&self) -> Cover {
+        let mut off = Cover::new();
+        for t in &self.transitions {
+            let cube = t.cube();
+            match (t.from, t.to) {
+                (false, false) => off.push(cube),
+                (true, false) => off.push(t.end.clone()),
+                (false, true) => {
+                    for c in subtract_end(&cube, &t.end) {
+                        off.push(c);
+                    }
+                }
+                (true, true) => {}
+            }
+        }
+        off.make_irredundant_syntactic();
+        off
+    }
+
+    /// The ON-set as a cover (for validation and simulation comparison).
+    pub fn on_cover(&self) -> Cover {
+        let mut on = Cover::new();
+        for t in &self.transitions {
+            let cube = t.cube();
+            match (t.from, t.to) {
+                (true, true) => on.push(cube),
+                (false, true) => on.push(t.end.clone()),
+                (true, false) => {
+                    for c in subtract_end(&cube, &t.end) {
+                        on.push(c);
+                    }
+                }
+                (false, false) => {}
+            }
+        }
+        on.make_irredundant_syntactic();
+        on
+    }
+
+    /// The required cubes: each must be wholly contained in a single
+    /// product of any hazard-free cover.
+    pub fn required_cubes(&self) -> Vec<Cube> {
+        let mut req: Vec<Cube> = Vec::new();
+        for t in &self.transitions {
+            let cube = t.cube();
+            match (t.from, t.to) {
+                (true, true) => req.push(cube),
+                (false, true) => req.push(t.end.clone()),
+                (true, false) => {
+                    for i in t.start.conflicting_vars(&t.end) {
+                        req.push(cube.with(i, t.start.get(i)));
+                    }
+                }
+                (false, false) => {}
+            }
+        }
+        // Drop required cubes contained in other required cubes.
+        let mut keep: Vec<Cube> = Vec::new();
+        req.sort_by_key(Cube::literals);
+        for c in req {
+            if !keep.iter().any(|k| k.contains(&c)) {
+                keep.push(c);
+            }
+        }
+        keep
+    }
+
+    /// The privileged cubes `(T, A)` of the dynamic 1→0 transitions.
+    pub fn privileged_cubes(&self) -> Vec<(Cube, Cube)> {
+        self.transitions
+            .iter()
+            .filter(|t| t.from && !t.to)
+            .map(|t| (t.cube(), t.start.clone()))
+            .collect()
+    }
+
+    /// Checks that no point is specified both 0 and 1.
+    ///
+    /// # Errors
+    ///
+    /// [`HfminError::Conflict`] with the overlapping region.
+    pub fn check_consistency(&self) -> Result<(), HfminError> {
+        let on = self.on_cover();
+        let off = self.off_cover();
+        for a in &on {
+            for b in &off {
+                if let Some(x) = a.intersection(b) {
+                    return Err(HfminError::Conflict(x));
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+/// `T ∖ B` as a list of cubes: for each variable where `T` is free but `B`
+/// is fixed, the cube `T[i := ¬Bᵢ]`.
+fn subtract_end(t: &Cube, end: &Cube) -> Vec<Cube> {
+    let mut out = Vec::new();
+    for i in 0..t.width() {
+        if t.get(i) == CubeVal::Dash {
+            if let Some(b) = end.get(i).as_bool() {
+                out.push(t.with(i, CubeVal::from_bool(!b)));
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tr(start: &str, end: &str, from: bool, to: bool) -> SpecTransition {
+        SpecTransition {
+            start: Cube::parse(start),
+            end: Cube::parse(end),
+            from,
+            to,
+        }
+    }
+
+    #[test]
+    fn static_one_transition_is_required() {
+        let mut s = FunctionSpec::new(2);
+        s.push(tr("00", "11", true, true)).unwrap();
+        assert_eq!(s.required_cubes(), vec![Cube::parse("--")]);
+        assert!(s.off_cover().is_empty());
+        assert!(s.privileged_cubes().is_empty());
+    }
+
+    #[test]
+    fn dynamic_fall_required_and_privileged() {
+        // A=00 -> B=11, f: 1 -> 0. T = --.
+        let mut s = FunctionSpec::new(2);
+        s.push(tr("00", "11", true, false)).unwrap();
+        let req = s.required_cubes();
+        // maximal ON cubes containing A avoiding B: 0- and -0
+        assert_eq!(req.len(), 2);
+        assert!(req.contains(&Cube::parse("0-")));
+        assert!(req.contains(&Cube::parse("-0")));
+        // OFF is exactly B
+        assert_eq!(s.off_cover().cubes(), &[Cube::parse("11")]);
+        // privileged (T, A)
+        assert_eq!(s.privileged_cubes(), vec![(Cube::parse("--"), Cube::parse("00"))]);
+        s.check_consistency().unwrap();
+    }
+
+    #[test]
+    fn dynamic_rise_off_region_and_point_requirement() {
+        // A=00 -> B=11, f: 0 -> 1.
+        let mut s = FunctionSpec::new(2);
+        s.push(tr("00", "11", false, true)).unwrap();
+        assert_eq!(s.required_cubes(), vec![Cube::parse("11")]);
+        let off = s.off_cover();
+        // T \ B = 0- and -0
+        assert!(off.covers(&Cube::parse("0-")));
+        assert!(off.covers(&Cube::parse("-0")));
+        assert!(!off.intersects(&Cube::parse("11")));
+        s.check_consistency().unwrap();
+    }
+
+    #[test]
+    fn static_zero_is_off() {
+        let mut s = FunctionSpec::new(2);
+        s.push(tr("0-", "1-", false, false)).unwrap();
+        assert!(s.required_cubes().is_empty());
+        assert!(s.off_cover().covers(&Cube::parse("--")));
+    }
+
+    #[test]
+    fn conflicting_specs_detected() {
+        let mut s = FunctionSpec::new(2);
+        s.push(tr("00", "01", true, true)).unwrap();
+        s.push(tr("00", "01", false, false)).unwrap();
+        assert!(matches!(s.check_consistency(), Err(HfminError::Conflict(_))));
+    }
+
+    #[test]
+    fn dashed_start_vars_are_skipped_in_fall_requirements() {
+        // Entry value of variable 0 unknown (collected ddc): A=-0, B=11.
+        let mut s = FunctionSpec::new(2);
+        s.push(tr("-0", "11", true, false)).unwrap();
+        let req = s.required_cubes();
+        // Only variable 1 changes with a known start: required cube -0.
+        assert_eq!(req, vec![Cube::parse("-0")]);
+    }
+
+    #[test]
+    fn width_mismatch_rejected() {
+        let mut s = FunctionSpec::new(3);
+        assert!(matches!(
+            s.push(tr("00", "11", true, true)),
+            Err(HfminError::WidthMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn required_cube_deduplication() {
+        let mut s = FunctionSpec::new(2);
+        s.push(tr("00", "01", true, true)).unwrap(); // req 0-
+        s.push(tr("00", "00", true, true)).unwrap(); // req 00 ⊆ 0-
+        assert_eq!(s.required_cubes(), vec![Cube::parse("0-")]);
+    }
+}

@@ -1,0 +1,137 @@
+//! Delay models for functional units.
+//!
+//! Asynchronous operations take *non-fixed* time (paper §2.1); the delay
+//! model assigns each functional unit a base latency plus optional
+//! deterministic pseudo-random jitter, so tests can explore many
+//! interleavings reproducibly (a poor man's model checker).
+
+use std::collections::HashMap;
+
+use adcs_cdfg::FuId;
+
+/// Per-unit delays with optional reproducible jitter.
+#[derive(Clone, Debug)]
+pub struct DelayModel {
+    base: HashMap<FuId, u64>,
+    span: HashMap<FuId, u64>,
+    default: u64,
+    jitter_max: u64,
+    seed: u64,
+}
+
+impl DelayModel {
+    /// Every unit takes exactly `d` time units.
+    pub fn uniform(d: u64) -> Self {
+        DelayModel {
+            base: HashMap::new(),
+            span: HashMap::new(),
+            default: d,
+            jitter_max: 0,
+            seed: 0,
+        }
+    }
+
+    /// Sets the base delay of one unit (builder-style).
+    #[must_use]
+    pub fn with_fu(mut self, fu: FuId, d: u64) -> Self {
+        self.base.insert(fu, d);
+        self
+    }
+
+    /// Sets a `[min, max]` delay range for one unit; each firing samples
+    /// the range via the jitter seed (set one with [`Self::with_jitter`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `max < min`.
+    #[must_use]
+    pub fn with_fu_range(mut self, fu: FuId, min: u64, max: u64) -> Self {
+        assert!(max >= min, "delay range must have max >= min");
+        self.base.insert(fu, min);
+        self.span.insert(fu, max - min);
+        if self.seed == 0 {
+            self.seed = 1;
+        }
+        self
+    }
+
+    /// Adds deterministic jitter: each firing takes `base + (0..=max)`
+    /// extra time, derived from `seed` (xorshift on the firing count).
+    #[must_use]
+    pub fn with_jitter(mut self, seed: u64, max: u64) -> Self {
+        self.seed = seed.max(1);
+        self.jitter_max = max;
+        self
+    }
+
+    /// The base delay of a unit.
+    pub fn base_delay(&self, fu: FuId) -> u64 {
+        self.base.get(&fu).copied().unwrap_or(self.default)
+    }
+
+    /// The delay of the `nth` firing on `fu`.
+    pub fn delay(&self, fu: FuId, nth: u64) -> u64 {
+        let base = self.base_delay(fu);
+        let span = self.span.get(&fu).copied().unwrap_or(0) + self.jitter_max;
+        if span == 0 {
+            return base;
+        }
+        let mut x = self
+            .seed
+            .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+            .wrapping_add(nth)
+            .wrapping_add((fu.index() as u64) << 32);
+        x ^= x >> 12;
+        x ^= x << 25;
+        x ^= x >> 27;
+        let j = x.wrapping_mul(0x2545_F491_4F6C_DD1D) % (span + 1);
+        base + j
+    }
+
+    /// Re-seeds the jitter source (for Monte-Carlo sweeps over seeds).
+    #[must_use]
+    pub fn reseeded(mut self, seed: u64) -> Self {
+        self.seed = seed.max(1);
+        self
+    }
+}
+
+impl Default for DelayModel {
+    fn default() -> Self {
+        DelayModel::uniform(1)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn uniform_delays() {
+        let m = DelayModel::uniform(3);
+        assert_eq!(m.delay(FuId::from_raw(0), 0), 3);
+        assert_eq!(m.delay(FuId::from_raw(5), 99), 3);
+    }
+
+    #[test]
+    fn per_fu_overrides() {
+        let m = DelayModel::uniform(1).with_fu(FuId::from_raw(1), 7);
+        assert_eq!(m.base_delay(FuId::from_raw(1)), 7);
+        assert_eq!(m.base_delay(FuId::from_raw(0)), 1);
+    }
+
+    #[test]
+    fn jitter_is_deterministic_and_bounded() {
+        let m = DelayModel::uniform(2).with_jitter(42, 5);
+        let a = m.delay(FuId::from_raw(0), 3);
+        let b = m.delay(FuId::from_raw(0), 3);
+        assert_eq!(a, b);
+        for n in 0..100 {
+            let d = m.delay(FuId::from_raw(1), n);
+            assert!((2..=7).contains(&d), "{d}");
+        }
+        // different seeds give different schedules somewhere
+        let m2 = DelayModel::uniform(2).with_jitter(43, 5);
+        assert!((0..100).any(|n| m.delay(FuId::from_raw(0), n) != m2.delay(FuId::from_raw(0), n)));
+    }
+}

@@ -1,0 +1,78 @@
+//! Error type for simulation.
+
+use std::error::Error;
+use std::fmt;
+
+use adcs_cdfg::{CdfgError, NodeId};
+use adcs_xbm::XbmError;
+
+/// Errors produced by the CDFG executor or the controller-network
+/// simulator.
+#[derive(Clone, Debug, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum SimError {
+    /// A node read a register that has no value.
+    MissingRegister { node: NodeId, register: String },
+    /// The event budget was exhausted (livelock or runaway concurrency).
+    EventBudget(usize),
+    /// The simulation deadlocked: tokens remain but nothing can fire and
+    /// `END` never fired.
+    Deadlock { pending_nodes: Vec<NodeId> },
+    /// An underlying CDFG error.
+    Cdfg(CdfgError),
+    /// An underlying machine error (runtime burst ambiguity etc.).
+    Machine(String),
+    /// The network referenced an unknown machine index or signal.
+    BadWire(String),
+}
+
+impl fmt::Display for SimError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SimError::MissingRegister { node, register } => {
+                write!(f, "node {node} reads register `{register}` which has no value")
+            }
+            SimError::EventBudget(n) => write!(f, "simulation exceeded {n} events"),
+            SimError::Deadlock { pending_nodes } => {
+                write!(f, "deadlock: {} node(s) never became ready", pending_nodes.len())
+            }
+            SimError::Cdfg(e) => write!(f, "cdfg error: {e}"),
+            SimError::Machine(s) => write!(f, "machine error: {s}"),
+            SimError::BadWire(s) => write!(f, "bad wire: {s}"),
+        }
+    }
+}
+
+impl Error for SimError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            SimError::Cdfg(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<CdfgError> for SimError {
+    fn from(e: CdfgError) -> Self {
+        SimError::Cdfg(e)
+    }
+}
+
+impl From<XbmError> for SimError {
+    fn from(e: XbmError) -> Self {
+        SimError::Machine(e.to_string())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_and_source() {
+        let e = SimError::EventBudget(10);
+        assert!(e.to_string().contains("10"));
+        let c = SimError::from(CdfgError::ParseRtl("x".into()));
+        assert!(Error::source(&c).is_some());
+    }
+}

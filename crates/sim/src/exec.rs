@@ -1,0 +1,720 @@
+//! Timed token-flow execution of CDFGs.
+//!
+//! Semantics (paper §2.1): a node may fire when **all** its incoming
+//! constraint arcs carry a token. Backward arcs are pre-enabled for the
+//! first loop iteration. `LOOP` consumes its entry arcs once, is re-armed
+//! by the `ENDLOOP` loop-back each iteration, examines its condition
+//! register when it fires, and routes tokens into the loop body (non-zero)
+//! or to the exit arcs (zero). Functional units execute one node at a time
+//! with delays from a [`DelayModel`]; register reads happen at firing time
+//! and writes at completion time, like a latch at the end of the unit's
+//! handshake.
+//!
+//! The executor also checks **wire safety**: inter-unit arcs model the
+//! single-wire transition-signalling channels of the target architecture,
+//! so an arc (or a multiplexed channel group, see
+//! [`ExecOptions::channel_groups`]) receiving a second event while one is
+//! still pending is a violation — exactly the hazard GT1's step D and the
+//! GT5 transforms must avoid.
+
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, HashMap, HashSet, VecDeque};
+
+use adcs_cdfg::benchmarks::RegFile;
+use adcs_cdfg::graph::BlockKind;
+use adcs_cdfg::{ArcId, Cdfg, FuId, NodeId, NodeKind, Reg};
+
+use crate::delay::DelayModel;
+use crate::error::SimError;
+
+/// One wire-safety violation: a second event arrived on a channel while
+/// the first was still pending.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct WireViolation {
+    /// The arc whose emission caused the overflow.
+    pub arc: ArcId,
+    /// Simulation time of the offending emission.
+    pub time: u64,
+    /// Queued events on the channel group after the emission.
+    pub queued: u32,
+}
+
+/// Options for [`execute`].
+#[derive(Clone, Debug)]
+pub struct ExecOptions {
+    /// Maximum number of node firings before aborting.
+    pub max_firings: usize,
+    /// Fail with [`SimError::Deadlock`] if `END` never fires.
+    pub require_end: bool,
+    /// Channel grouping for wire-safety: arcs in one group share a physical
+    /// wire toward one receiver (set by the GT5 channel transforms). Arcs
+    /// not mentioned get a singleton group. Only inter-unit arcs are
+    /// checked either way.
+    pub channel_groups: Vec<Vec<ArcId>>,
+}
+
+impl Default for ExecOptions {
+    fn default() -> Self {
+        ExecOptions {
+            max_firings: 100_000,
+            require_end: true,
+            channel_groups: Vec::new(),
+        }
+    }
+}
+
+/// A record of one node execution.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Firing {
+    /// The node.
+    pub node: NodeId,
+    /// When it started (register reads).
+    pub fired_at: u64,
+    /// When it completed (register writes, token emission).
+    pub completed_at: u64,
+}
+
+/// The outcome of a simulation run.
+#[derive(Clone, Debug)]
+pub struct ExecResult {
+    /// Final register values.
+    pub registers: RegFile,
+    /// Whether `END` fired.
+    pub finished: bool,
+    /// Time of the last completion.
+    pub time: u64,
+    /// Every node execution, in completion order.
+    pub firings: Vec<Firing>,
+    /// Wire-safety violations observed (empty for safe designs).
+    pub violations: Vec<WireViolation>,
+}
+
+impl ExecResult {
+    /// Convenience lookup of a final register value by name.
+    pub fn register(&self, name: &str) -> Option<i64> {
+        self.registers.get(&Reg::new(name)).copied()
+    }
+
+    /// Number of times `node` fired.
+    pub fn fire_count(&self, node: NodeId) -> usize {
+        self.firings.iter().filter(|f| f.node == node).count()
+    }
+}
+
+struct Engine<'g> {
+    g: &'g Cdfg,
+    delays: &'g DelayModel,
+    opts: &'g ExecOptions,
+    tokens: HashMap<ArcId, u32>,
+    group_of: HashMap<ArcId, Vec<usize>>,
+    group_tokens: Vec<u32>,
+    fu_busy: HashMap<FuId, bool>,
+    fu_fired: HashMap<FuId, u64>,
+    node_fired: HashMap<NodeId, u64>,
+    loop_started: HashSet<NodeId>,
+    endif_required: HashMap<NodeId, VecDeque<Vec<ArcId>>>,
+    registers: RegFile,
+    violations: Vec<WireViolation>,
+    firings: Vec<Firing>,
+    end_fired: bool,
+    heap: BinaryHeap<Reverse<(u64, u64, NodeId)>>,
+    pending_writes: HashMap<(NodeId, u64), Vec<(Reg, i64)>>,
+    pending_cond: HashMap<(NodeId, u64), bool>,
+    seq: u64,
+}
+
+/// Runs a CDFG to quiescence.
+///
+/// # Errors
+///
+/// * [`SimError::MissingRegister`] — a node reads an uninitialized register.
+/// * [`SimError::EventBudget`] — the firing budget was exhausted.
+/// * [`SimError::Deadlock`] — `END` never fired and
+///   [`ExecOptions::require_end`] is set.
+pub fn execute(
+    g: &Cdfg,
+    initial: RegFile,
+    delays: &DelayModel,
+    opts: &ExecOptions,
+) -> Result<ExecResult, SimError> {
+    let mut group_of: HashMap<ArcId, Vec<usize>> = HashMap::new();
+    let mut ngroups = 0usize;
+    for group in &opts.channel_groups {
+        for &a in group {
+            group_of.entry(a).or_default().push(ngroups);
+        }
+        ngroups += 1;
+    }
+    for (id, arc) in g.arcs() {
+        if g.is_inter_fu(arc) && !group_of.contains_key(&id) {
+            group_of.entry(id).or_default().push(ngroups);
+            ngroups += 1;
+        }
+    }
+    let mut e = Engine {
+        g,
+        delays,
+        opts,
+        tokens: g.arcs().map(|(id, _)| (id, 0)).collect(),
+        group_of,
+        group_tokens: vec![0; ngroups],
+        fu_busy: g.fus().map(|(id, _)| (id, false)).collect(),
+        fu_fired: HashMap::new(),
+        node_fired: HashMap::new(),
+        loop_started: HashSet::new(),
+        endif_required: HashMap::new(),
+        registers: initial,
+        violations: Vec::new(),
+        firings: Vec::new(),
+        end_fired: false,
+        heap: BinaryHeap::new(),
+        pending_writes: HashMap::new(),
+        pending_cond: HashMap::new(),
+        seq: 0,
+    };
+    // Pre-enable backward arcs (GT1: "ignored during the first execution").
+    for (id, arc) in g.arcs() {
+        if arc.backward {
+            e.add_token(id, 0, true);
+        }
+    }
+    e.run()?;
+    let time = e.firings.iter().map(|f| f.completed_at).max().unwrap_or(0);
+    if opts.require_end && !e.end_fired {
+        let pending: Vec<NodeId> = g
+            .nodes()
+            .filter(|(id, _)| e.g.in_arcs(*id).any(|(a, _)| e.tokens[&a] > 0))
+            .map(|(id, _)| id)
+            .collect();
+        return Err(SimError::Deadlock { pending_nodes: pending });
+    }
+    Ok(ExecResult {
+        registers: e.registers,
+        finished: e.end_fired,
+        time,
+        firings: e.firings,
+        violations: e.violations,
+    })
+}
+
+impl<'g> Engine<'g> {
+    fn run(&mut self) -> Result<(), SimError> {
+        self.fire_ready(0)?;
+        while let Some(Reverse((t, seq, node))) = self.heap.pop() {
+            self.complete(node, seq, t)?;
+            self.fire_ready(t)?;
+            if self.firings.len() > self.opts.max_firings {
+                if std::env::var("ADCS_DEBUG_BUDGET").is_ok() {
+                    for f in self.firings.iter().rev().take(12).rev() {
+                        eprintln!("  t{} {}", f.fired_at, f.node);
+                    }
+                }
+                return Err(SimError::EventBudget(self.opts.max_firings));
+            }
+        }
+        Ok(())
+    }
+
+    fn add_token(&mut self, arc: ArcId, time: u64, initial: bool) {
+        let t = self.tokens.get_mut(&arc).expect("live arc");
+        *t += 1;
+        if let Some(groups) = self.group_of.get(&arc) {
+            for &gidx in groups {
+                self.group_tokens[gidx] += 1;
+            }
+            if !initial {
+                for &gidx in self.group_of.get(&arc).expect("present") {
+                    if self.group_tokens[gidx] > 1 {
+                        self.violations.push(WireViolation {
+                            arc,
+                            time,
+                            queued: self.group_tokens[gidx],
+                        });
+                    }
+                }
+            }
+        }
+    }
+
+    fn take_token(&mut self, arc: ArcId) {
+        let t = self.tokens.get_mut(&arc).expect("live arc");
+        debug_assert!(*t > 0);
+        *t -= 1;
+        if let Some(groups) = self.group_of.get(&arc) {
+            for &gidx in groups {
+                self.group_tokens[gidx] -= 1;
+            }
+        }
+    }
+
+    /// Arcs a node must consume to fire right now, or `None` if not ready.
+    fn ready_set(&self, node: NodeId) -> Option<Vec<ArcId>> {
+        let n = self.g.node(node).ok()?;
+        match &n.kind {
+            NodeKind::Loop { .. } => {
+                let mut need = Vec::new();
+                for (id, arc) in self.g.in_arcs(node) {
+                    let outer = !arc.backward;
+                    if outer && self.loop_started.contains(&node) {
+                        continue;
+                    }
+                    need.push(id);
+                }
+                if need.iter().all(|a| self.tokens[a] > 0) {
+                    Some(need)
+                } else {
+                    None
+                }
+            }
+            NodeKind::EndIf => {
+                let req = self.endif_required.get(&node)?.front()?.clone();
+                if req.iter().all(|a| self.tokens[a] > 0) {
+                    Some(req)
+                } else {
+                    None
+                }
+            }
+            _ => {
+                let need: Vec<ArcId> = self.g.in_arcs(node).map(|(id, _)| id).collect();
+                if !need.is_empty() && need.iter().all(|a| self.tokens[a] > 0) {
+                    Some(need)
+                } else if need.is_empty() && matches!(n.kind, NodeKind::Start) {
+                    self.node_fired
+                        .get(&node)
+                        .copied()
+                        .unwrap_or(0)
+                        .eq(&0)
+                        .then(Vec::new)
+                } else {
+                    None
+                }
+            }
+        }
+    }
+
+    fn fire_ready(&mut self, time: u64) -> Result<(), SimError> {
+        loop {
+            // Candidate = ready node whose unit is free; prefer the node
+            // that has fired least, then earliest program order.
+            let mut best: Option<(u64, u32, NodeId, Vec<ArcId>)> = None;
+            for (id, n) in self.g.nodes() {
+                if let Some(fu) = n.fu {
+                    if self.fu_busy[&fu] {
+                        continue;
+                    }
+                }
+                let Some(need) = self.ready_set(id) else { continue };
+                let count = self.node_fired.get(&id).copied().unwrap_or(0);
+                let key = (count, n.seq, id, need);
+                match &best {
+                    None => best = Some(key),
+                    Some((c, s, _, _)) if (count, n.seq) < (*c, *s) => best = Some(key),
+                    _ => {}
+                }
+            }
+            let Some((_, _, node, need)) = best else { return Ok(()) };
+            self.fire(node, need, time)?;
+        }
+    }
+
+    fn fire(&mut self, node: NodeId, need: Vec<ArcId>, time: u64) -> Result<(), SimError> {
+        let n = self.g.node(node)?.clone();
+        for a in need {
+            self.take_token(a);
+        }
+        *self.node_fired.entry(node).or_insert(0) += 1;
+        if let NodeKind::Loop { .. } = n.kind {
+            if !self.loop_started.contains(&node) {
+                // Fresh loop entry: backward arcs of this body are
+                // pre-enabled with exactly one token (re-entrant loops
+                // discard stragglers from a previous activation).
+                let body = self
+                    .g
+                    .blocks()
+                    .find(|(_, b)| matches!(b.kind, BlockKind::LoopBody { head, .. } if head == node))
+                    .map(|(id, _)| id);
+                if let Some(body) = body {
+                    let arcs: Vec<ArcId> = self
+                        .g
+                        .arcs()
+                        .filter(|(_, a)| {
+                            a.backward
+                                && self
+                                    .g
+                                    .node(a.dst)
+                                    .map(|d| self.g.block_contains(body, d.block))
+                                    .unwrap_or(false)
+                        })
+                        .map(|(id, _)| id)
+                        .collect();
+                    for id in arcs {
+                        while self.tokens[&id] > 1 {
+                            self.take_token(id);
+                        }
+                        if self.tokens[&id] == 0 {
+                            self.add_token(id, time, true);
+                        }
+                    }
+                }
+            }
+            self.loop_started.insert(node);
+        }
+
+        // Register reads at fire time.
+        let mut writes: Vec<(Reg, i64)> = Vec::new();
+        for stmt in n.kind.statements() {
+            let mut missing = None;
+            let v = stmt.eval(|r| match self.registers.get(r) {
+                Some(&v) => v,
+                None => {
+                    missing = Some(r.clone());
+                    0
+                }
+            });
+            if let Some(r) = missing {
+                return Err(SimError::MissingRegister {
+                    node,
+                    register: r.name().to_string(),
+                });
+            }
+            writes.push((stmt.dest.clone(), v));
+        }
+        let cond_val = match &n.kind {
+            NodeKind::Loop { cond } | NodeKind::If { cond } => {
+                let v = *self.registers.get(cond).ok_or_else(|| SimError::MissingRegister {
+                    node,
+                    register: cond.name().to_string(),
+                })?;
+                Some(v != 0)
+            }
+            _ => None,
+        };
+
+        let delay = match n.fu {
+            Some(fu) => {
+                self.fu_busy.insert(fu, true);
+                let nth = self.fu_fired.entry(fu).or_insert(0);
+                let d = self.delays.delay(fu, *nth);
+                *nth += 1;
+                // Structural nodes take a token of time; operations take
+                // their unit's latency.
+                if n.kind.is_structural() {
+                    d.min(1)
+                } else {
+                    d
+                }
+            }
+            None => 0,
+        };
+        let complete_at = time + delay;
+        self.pending_writes.insert((node, self.seq), writes);
+        if let Some(c) = cond_val {
+            self.pending_cond.insert((node, self.seq), c);
+        }
+        self.heap.push(Reverse((complete_at, self.seq, node)));
+        self.firings.push(Firing {
+            node,
+            fired_at: time,
+            completed_at: complete_at,
+        });
+        self.seq += 1;
+        Ok(())
+    }
+
+    fn complete(&mut self, node: NodeId, seq: u64, time: u64) -> Result<(), SimError> {
+        let n = self.g.node(node)?.clone();
+        let key = (node, seq);
+        let writes = self.pending_writes.remove(&key).unwrap_or_default();
+        let cond = self.pending_cond.remove(&key);
+        for (r, v) in writes {
+            self.registers.insert(r, v);
+        }
+        if let Some(fu) = n.fu {
+            self.fu_busy.insert(fu, false);
+        }
+        match &n.kind {
+            NodeKind::End => {
+                self.end_fired = true;
+            }
+            NodeKind::Loop { .. } => {
+                let taken = cond.unwrap_or(false);
+                let body = self
+                    .g
+                    .blocks()
+                    .find(|(_, b)| matches!(b.kind, BlockKind::LoopBody { head, .. } if head == node))
+                    .map(|(id, _)| id);
+                let arcs: Vec<(ArcId, NodeId)> =
+                    self.g.out_arcs(node).map(|(id, a)| (id, a.dst)).collect();
+                for (id, dst) in arcs {
+                    let dst_block = self.g.node(dst)?.block;
+                    let into_body =
+                        body.map(|b| self.g.block_contains(b, dst_block)).unwrap_or(false);
+                    if into_body == taken {
+                        self.add_token(id, time, false);
+                    }
+                }
+                if !taken {
+                    // Exiting: a later re-entry (nested loops) re-arms the
+                    // backward arcs in `fire`.
+                    self.loop_started.remove(&node);
+                }
+            }
+            NodeKind::If { .. } => {
+                let taken_then = cond.unwrap_or(false);
+                let (then_block, else_block, endif) = self.if_blocks(node)?;
+                let taken_block = if taken_then { then_block } else { else_block };
+                let arcs: Vec<(ArcId, NodeId)> =
+                    self.g.out_arcs(node).map(|(id, a)| (id, a.dst)).collect();
+                let taken_empty = self.g.block_nodes(taken_block).is_empty();
+                for (id, dst) in arcs {
+                    let dst_block = self.g.node(dst)?.block;
+                    if dst_block == taken_block || (dst == endif && taken_empty) {
+                        self.add_token(id, time, false);
+                    }
+                }
+                // Tell ENDIF which in-arcs this activation needs.
+                let required: Vec<ArcId> = self
+                    .g
+                    .in_arcs(endif)
+                    .filter(|(_, a)| {
+                        let src_block = self.g.node(a.src).map(|x| x.block).unwrap_or(taken_block);
+                        (a.src == node && taken_empty)
+                            || (a.src != node && self.g.block_contains(taken_block, src_block))
+                    })
+                    .map(|(id, _)| id)
+                    .collect();
+                self.endif_required
+                    .entry(endif)
+                    .or_default()
+                    .push_back(required);
+            }
+            NodeKind::EndIf => {
+                self.endif_required
+                    .get_mut(&node)
+                    .and_then(VecDeque::pop_front);
+                let arcs: Vec<ArcId> = self.g.out_arcs(node).map(|(id, _)| id).collect();
+                for id in arcs {
+                    self.add_token(id, time, false);
+                }
+            }
+            _ => {
+                let arcs: Vec<ArcId> = self.g.out_arcs(node).map(|(id, _)| id).collect();
+                for id in arcs {
+                    self.add_token(id, time, false);
+                }
+            }
+        }
+        Ok(())
+    }
+
+    fn if_blocks(
+        &self,
+        node: NodeId,
+    ) -> Result<(adcs_cdfg::BlockId, adcs_cdfg::BlockId, NodeId), SimError> {
+        let mut then_block = None;
+        let mut else_block = None;
+        let mut endif = None;
+        for (id, b) in self.g.blocks() {
+            match b.kind {
+                BlockKind::ThenBranch { head, tail } if head == node => {
+                    then_block = Some(id);
+                    endif = Some(tail);
+                }
+                BlockKind::ElseBranch { head, tail } if head == node => {
+                    else_block = Some(id);
+                    endif = Some(tail);
+                }
+                _ => {}
+            }
+        }
+        match (then_block, else_block, endif) {
+            (Some(t), Some(e), Some(x)) => Ok((t, e, x)),
+            _ => Err(SimError::Machine(format!("IF node {node} has no branch blocks"))),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use adcs_cdfg::benchmarks::{
+        diffeq, diffeq_reference, fir, fir_reference, gcd, gcd_reference, DiffeqParams,
+    };
+    use adcs_cdfg::builder::CdfgBuilder;
+
+    #[test]
+    fn straight_line_computes() {
+        let mut b = CdfgBuilder::new();
+        let alu = b.add_fu("ALU");
+        b.stmt(alu, "s := x + y").unwrap();
+        b.stmt(alu, "t := s + s").unwrap();
+        let g = b.finish().unwrap();
+        let mut init = RegFile::new();
+        init.insert(Reg::new("x"), 2);
+        init.insert(Reg::new("y"), 3);
+        let r = execute(&g, init, &DelayModel::uniform(1), &ExecOptions::default()).unwrap();
+        assert!(r.finished);
+        assert_eq!(r.register("t"), Some(10));
+        assert!(r.violations.is_empty());
+    }
+
+    #[test]
+    fn missing_register_is_reported() {
+        let mut b = CdfgBuilder::new();
+        let alu = b.add_fu("ALU");
+        b.stmt(alu, "s := x + y").unwrap();
+        let g = b.finish().unwrap();
+        let err = execute(&g, RegFile::new(), &DelayModel::uniform(1), &ExecOptions::default());
+        assert!(matches!(err, Err(SimError::MissingRegister { .. })));
+    }
+
+    #[test]
+    fn diffeq_matches_reference() {
+        let p = DiffeqParams::default();
+        let d = diffeq(p).unwrap();
+        let r = execute(&d.cdfg, d.initial.clone(), &DelayModel::uniform(1), &ExecOptions::default())
+            .unwrap();
+        let (x, y, u) = diffeq_reference(p);
+        assert!(r.finished);
+        assert_eq!(r.register("X"), Some(x));
+        assert_eq!(r.register("Y"), Some(y));
+        assert_eq!(r.register("U"), Some(u));
+        assert!(r.violations.is_empty(), "{:?}", r.violations);
+    }
+
+    #[test]
+    fn diffeq_matches_reference_under_many_delay_models() {
+        let p = DiffeqParams {
+            x0: 0,
+            y0: 2,
+            u0: 3,
+            dx: 1,
+            a: 7,
+        };
+        let d = diffeq(p).unwrap();
+        let (x, y, u) = diffeq_reference(p);
+        for seed in 0..12 {
+            let delays = DelayModel::uniform(2)
+                .with_fu(d.mul1, 5)
+                .with_fu(d.mul2, 4)
+                .with_jitter(seed, 3);
+            let r = execute(&d.cdfg, d.initial.clone(), &delays, &ExecOptions::default()).unwrap();
+            assert_eq!(
+                (r.register("X"), r.register("Y"), r.register("U")),
+                (Some(x), Some(y), Some(u)),
+                "seed {seed}"
+            );
+            assert!(r.violations.is_empty(), "seed {seed}: {:?}", r.violations);
+        }
+    }
+
+    #[test]
+    fn diffeq_zero_iterations() {
+        let p = DiffeqParams {
+            x0: 9,
+            y0: 1,
+            u0: 1,
+            dx: 1,
+            a: 5,
+        };
+        let d = diffeq(p).unwrap();
+        let r = execute(&d.cdfg, d.initial.clone(), &DelayModel::uniform(1), &ExecOptions::default())
+            .unwrap();
+        assert!(r.finished);
+        assert_eq!(r.register("X"), Some(9));
+        assert_eq!(r.register("Y"), Some(1));
+    }
+
+    #[test]
+    fn gcd_matches_reference() {
+        for (x, y) in [(12, 18), (7, 13), (9, 9), (100, 75), (1, 99)] {
+            let d = gcd(x, y).unwrap();
+            let r = execute(&d.cdfg, d.initial.clone(), &DelayModel::uniform(1), &ExecOptions::default())
+                .unwrap();
+            assert!(r.finished);
+            assert_eq!(r.register("x"), Some(gcd_reference(x, y)), "gcd({x},{y})");
+        }
+    }
+
+    #[test]
+    fn gcd_under_jitter() {
+        let d = gcd(36, 60).unwrap();
+        for seed in 0..8 {
+            let delays = DelayModel::uniform(1).with_jitter(seed, 4);
+            let r = execute(&d.cdfg, d.initial.clone(), &delays, &ExecOptions::default()).unwrap();
+            assert_eq!(r.register("x"), Some(12), "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn fir_matches_reference() {
+        let xs = [3, -1, 4, 1];
+        let cs = [2, 7, 1, 8];
+        let d = fir(xs, cs, 5).unwrap();
+        let r = execute(&d.cdfg, d.initial.clone(), &DelayModel::uniform(2), &ExecOptions::default())
+            .unwrap();
+        let (y, line) = fir_reference(xs, cs, 5);
+        assert_eq!(r.register("y"), Some(y));
+        assert_eq!(r.register("x0"), Some(line[0]));
+        assert_eq!(r.register("x1"), Some(line[1]));
+        assert_eq!(r.register("x2"), Some(line[2]));
+        assert_eq!(r.register("x3"), Some(line[3]));
+    }
+
+    #[test]
+    fn loop_iteration_count_is_visible_in_firings() {
+        let p = DiffeqParams::default(); // 5 iterations
+        let d = diffeq(p).unwrap();
+        let r = execute(&d.cdfg, d.initial.clone(), &DelayModel::uniform(1), &ExecOptions::default())
+            .unwrap();
+        let u_node = d.cdfg.node_by_label("U := U - M1").unwrap();
+        assert_eq!(r.fire_count(u_node), 5);
+        // LOOP fires once more than the body (the exit examination).
+        let loop_node = d
+            .cdfg
+            .nodes()
+            .find(|(_, n)| matches!(n.kind, NodeKind::Loop { .. }))
+            .map(|(id, _)| id)
+            .unwrap();
+        assert_eq!(r.fire_count(loop_node), 6);
+    }
+
+    #[test]
+    fn event_budget_guard() {
+        let d = diffeq(DiffeqParams {
+            x0: 0,
+            y0: 1,
+            u0: 1,
+            dx: 1,
+            a: 1_000,
+        })
+        .unwrap();
+        let opts = ExecOptions {
+            max_firings: 50,
+            ..ExecOptions::default()
+        };
+        assert!(matches!(
+            execute(&d.cdfg, d.initial.clone(), &DelayModel::uniform(1), &opts),
+            Err(SimError::EventBudget(50))
+        ));
+    }
+
+    #[test]
+    fn deadlock_detection() {
+        use adcs_cdfg::Role;
+        let mut b = CdfgBuilder::new();
+        let alu = b.add_fu("ALU");
+        b.stmt(alu, "s := x + y").unwrap();
+        let mut g = b.finish().unwrap();
+        // Add an arc from a node that never fires: misuse the graph by
+        // giving the statement an incoming arc from END.
+        let s = g.node_by_label("s := x + y").unwrap();
+        let end = g.end();
+        g.add_arc(end, s, Role::Control, false);
+        let mut init = RegFile::new();
+        init.insert(Reg::new("x"), 1);
+        init.insert(Reg::new("y"), 1);
+        let err = execute(&g, init, &DelayModel::uniform(1), &ExecOptions::default());
+        assert!(matches!(err, Err(SimError::Deadlock { .. })));
+    }
+}

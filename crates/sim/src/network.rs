@@ -1,0 +1,431 @@
+//! Channel-level simulation of a set of burst-mode controllers.
+//!
+//! The target architecture (paper §2.2) connects controllers with
+//! single-wire "ready" channels carrying **transition signalling** — one
+//! event is one toggle, with no acknowledgment wire — and connects each
+//! controller to its datapath with 4-phase handshakes. [`Network`] models
+//! exactly that: machine outputs routed through toggle [`Wire`]s to other
+//! machines' inputs, and a pluggable [`Datapath`] that reacts to local
+//! request outputs with acknowledgments, register updates and condition
+//! levels.
+
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+use adcs_xbm::interp::Interp;
+use adcs_xbm::{SignalId, XbmMachine};
+
+use crate::error::SimError;
+
+/// One end of a wire: a signal of a specific machine.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct WireEnd {
+    /// Index of the machine within the network.
+    pub machine: usize,
+    /// The signal on that machine.
+    pub signal: SignalId,
+}
+
+/// A (possibly multi-way) transition-signalling wire.
+#[derive(Clone, Debug)]
+pub struct Wire {
+    /// Driving output.
+    pub from: WireEnd,
+    /// Receiving inputs (multi-way channels have several).
+    pub to: Vec<WireEnd>,
+    /// Propagation delay.
+    pub delay: u64,
+}
+
+/// Reaction of the environment/datapath to a controller output.
+pub type DatapathResponse = Vec<(usize, SignalId, bool, u64)>;
+
+/// The datapath model: reacts to controller outputs (mux selects, function
+/// unit goes, register writes…) with input changes after some delay.
+pub trait Datapath {
+    /// Called for every output change `(machine, signal, value)` at `time`;
+    /// returns input changes to deliver as `(machine, signal, value,
+    /// extra delay)`.
+    fn on_output(&mut self, machine: usize, signal: SignalId, value: bool, time: u64)
+        -> DatapathResponse;
+}
+
+impl Datapath for () {
+    fn on_output(&mut self, _: usize, _: SignalId, _: bool, _: u64) -> DatapathResponse {
+        Vec::new()
+    }
+}
+
+/// A scheduled input event.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum NetworkEvent {
+    /// Set an input to an explicit value (datapath 4-phase responses).
+    Set {
+        /// Target machine.
+        machine: usize,
+        /// Target input.
+        signal: SignalId,
+        /// New value.
+        value: bool,
+    },
+    /// Toggle an input (global transition-signalling wires).
+    Toggle {
+        /// Target machine.
+        machine: usize,
+        /// Target input.
+        signal: SignalId,
+    },
+}
+
+/// An executing network of controllers.
+#[derive(Debug)]
+pub struct Network<'m, D> {
+    machines: Vec<Interp<'m>>,
+    wires: Vec<Wire>,
+    datapath: D,
+    heap: BinaryHeap<Reverse<(u64, u64, usize)>>,
+    queued: Vec<NetworkEvent>,
+    seq: u64,
+    events_processed: usize,
+    trace: Vec<TraceEvent>,
+    record_trace: bool,
+}
+
+/// One recorded signal change: `(time, machine, signal, new value)`.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct TraceEvent {
+    /// Simulation time of the change.
+    pub time: u64,
+    /// Machine index.
+    pub machine: usize,
+    /// The signal that changed.
+    pub signal: SignalId,
+    /// Its new value.
+    pub value: bool,
+}
+
+impl<'m, D: Datapath> Network<'m, D> {
+    /// Builds a network over the given machines, wires, and datapath.
+    ///
+    /// # Errors
+    ///
+    /// [`SimError::BadWire`] if a wire references a machine index or signal
+    /// that does not exist or has the wrong direction.
+    pub fn new(
+        machines: &'m [XbmMachine],
+        wires: Vec<Wire>,
+        datapath: D,
+    ) -> Result<Self, SimError> {
+        Self::new_from_refs(machines.iter().collect(), wires, datapath)
+    }
+
+    /// Like [`Self::new`], but over machines that are not contiguous in
+    /// memory (e.g. embedded in larger per-controller structures).
+    ///
+    /// # Errors
+    ///
+    /// Same as [`Self::new`].
+    pub fn new_from_refs(
+        machines: Vec<&'m XbmMachine>,
+        wires: Vec<Wire>,
+        datapath: D,
+    ) -> Result<Self, SimError> {
+        for w in &wires {
+            let from_m = machines
+                .get(w.from.machine)
+                .ok_or_else(|| SimError::BadWire(format!("no machine #{}", w.from.machine)))?;
+            let s = from_m.signal(w.from.signal)?;
+            if s.input {
+                return Err(SimError::BadWire(format!(
+                    "wire source {} of machine #{} is an input",
+                    s.name, w.from.machine
+                )));
+            }
+            for t in &w.to {
+                let to_m = machines
+                    .get(t.machine)
+                    .ok_or_else(|| SimError::BadWire(format!("no machine #{}", t.machine)))?;
+                let ts = to_m.signal(t.signal)?;
+                if !ts.input {
+                    return Err(SimError::BadWire(format!(
+                        "wire target {} of machine #{} is an output",
+                        ts.name, t.machine
+                    )));
+                }
+            }
+        }
+        Ok(Network {
+            machines: machines.iter().map(|m| Interp::new(m)).collect(),
+            wires,
+            datapath,
+            heap: BinaryHeap::new(),
+            queued: Vec::new(),
+            seq: 0,
+            events_processed: 0,
+            trace: Vec::new(),
+            record_trace: false,
+        })
+    }
+
+    /// Schedules an explicit input change (environment stimulus).
+    pub fn inject(&mut self, machine: usize, signal: SignalId, value: bool, at: u64) {
+        self.push(at, NetworkEvent::Set { machine, signal, value });
+    }
+
+    /// Schedules an input toggle (environment "ready" event).
+    pub fn inject_toggle(&mut self, machine: usize, signal: SignalId, at: u64) {
+        self.push(at, NetworkEvent::Toggle { machine, signal });
+    }
+
+    fn push(&mut self, at: u64, ev: NetworkEvent) {
+        let idx = self.queued.len();
+        self.queued.push(ev);
+        self.heap.push(Reverse((at, self.seq, idx)));
+        self.seq += 1;
+    }
+
+    /// The interpreter of machine `idx`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `idx` is out of range.
+    pub fn machine(&self, idx: usize) -> &Interp<'m> {
+        &self.machines[idx]
+    }
+
+    /// The datapath model.
+    pub fn datapath(&self) -> &D {
+        &self.datapath
+    }
+
+    /// Mutable datapath access (to seed registers, read results…).
+    pub fn datapath_mut(&mut self) -> &mut D {
+        &mut self.datapath
+    }
+
+    /// Number of events processed so far.
+    pub fn events_processed(&self) -> usize {
+        self.events_processed
+    }
+
+    /// Enables signal-change recording (see [`Self::trace`]).
+    pub fn record_trace(&mut self, on: bool) {
+        self.record_trace = on;
+    }
+
+    /// The recorded signal changes, in time order.
+    pub fn trace(&self) -> &[TraceEvent] {
+        &self.trace
+    }
+
+    /// Runs until quiescence. Returns the time of the last event.
+    ///
+    /// # Errors
+    ///
+    /// * [`SimError::EventBudget`] — more than `max_events` processed.
+    /// * [`SimError::Machine`] — a controller hit a runtime burst
+    ///   ambiguity or rejected an input.
+    pub fn run(&mut self, max_events: usize) -> Result<u64, SimError> {
+        let mut last = 0;
+        while let Some(Reverse((t, _, idx))) = self.heap.pop() {
+            self.events_processed += 1;
+            if self.events_processed > max_events {
+                return Err(SimError::EventBudget(max_events));
+            }
+            last = t;
+            let ev = self.queued[idx];
+            let (machine, signal, value) = match ev {
+                NetworkEvent::Set { machine, signal, value } => (machine, signal, value),
+                NetworkEvent::Toggle { machine, signal } => {
+                    let cur = self.machines[machine].value(signal);
+                    (machine, signal, !cur)
+                }
+            };
+            if self.record_trace {
+                self.trace.push(TraceEvent { time: t, machine, signal, value });
+            }
+            let changes = self.machines[machine].set_input(signal, value)?;
+            for (sig, val) in changes {
+                if self.record_trace {
+                    self.trace.push(TraceEvent {
+                        time: t,
+                        machine,
+                        signal: sig,
+                        value: val,
+                    });
+                }
+                self.route_output(machine, sig, val, t);
+            }
+        }
+        Ok(last)
+    }
+
+    fn route_output(&mut self, machine: usize, signal: SignalId, value: bool, time: u64) {
+        // Global wires: toggles to every receiver.
+        let deliveries: Vec<(u64, NetworkEvent)> = self
+            .wires
+            .iter()
+            .filter(|w| w.from.machine == machine && w.from.signal == signal)
+            .flat_map(|w| {
+                w.to.iter().map(move |t| {
+                    (
+                        time + w.delay,
+                        NetworkEvent::Toggle {
+                            machine: t.machine,
+                            signal: t.signal,
+                        },
+                    )
+                })
+            })
+            .collect();
+        for (at, ev) in deliveries {
+            self.push(at, ev);
+        }
+        // Datapath reactions.
+        for (m, s, v, d) in self.datapath.on_output(machine, signal, value, time) {
+            self.push(time + d, NetworkEvent::Set { machine: m, signal: s, value: v });
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use adcs_xbm::{Term, XbmBuilder};
+
+    /// A 2-state repeater: in+ / out+ ; in- / out-.
+    fn repeater(name: &str) -> XbmMachine {
+        let mut b = XbmBuilder::new(name);
+        let i = b.input("in", false);
+        let o = b.output("out", false);
+        let s0 = b.state("s0");
+        let s1 = b.state("s1");
+        b.transition(s0, s1, [Term::rise(i)], [o]).unwrap();
+        b.transition(s1, s0, [Term::fall(i)], [o]).unwrap();
+        b.finish(s0).unwrap()
+    }
+
+    #[test]
+    fn pulse_propagates_down_a_chain() {
+        let ms = vec![repeater("a"), repeater("b"), repeater("c")];
+        let i = ms[0].signal_by_name("in").unwrap();
+        let o = ms[0].signal_by_name("out").unwrap();
+        let wires = vec![
+            Wire {
+                from: WireEnd { machine: 0, signal: o },
+                to: vec![WireEnd { machine: 1, signal: i }],
+                delay: 2,
+            },
+            Wire {
+                from: WireEnd { machine: 1, signal: o },
+                to: vec![WireEnd { machine: 2, signal: i }],
+                delay: 2,
+            },
+        ];
+        let mut net = Network::new(&ms, wires, ()).unwrap();
+        net.inject(0, i, true, 0);
+        let end = net.run(100).unwrap();
+        assert_eq!(end, 4);
+        assert!(net.machine(2).value(o));
+        // Falling phase propagates too.
+        net.inject(0, i, false, 10);
+        net.run(100).unwrap();
+        assert!(!net.machine(2).value(o));
+    }
+
+    #[test]
+    fn multiway_wire_reaches_all_receivers() {
+        let ms = vec![repeater("a"), repeater("b"), repeater("c")];
+        let i = ms[0].signal_by_name("in").unwrap();
+        let o = ms[0].signal_by_name("out").unwrap();
+        let wires = vec![Wire {
+            from: WireEnd { machine: 0, signal: o },
+            to: vec![
+                WireEnd { machine: 1, signal: i },
+                WireEnd { machine: 2, signal: i },
+            ],
+            delay: 1,
+        }];
+        let mut net = Network::new(&ms, wires, ()).unwrap();
+        net.inject(0, i, true, 0);
+        net.run(100).unwrap();
+        assert!(net.machine(1).value(o));
+        assert!(net.machine(2).value(o));
+    }
+
+    #[test]
+    fn datapath_hook_receives_outputs() {
+        struct Echo {
+            seen: Vec<(usize, bool)>,
+        }
+        impl Datapath for Echo {
+            fn on_output(
+                &mut self,
+                machine: usize,
+                _signal: SignalId,
+                value: bool,
+                _time: u64,
+            ) -> DatapathResponse {
+                self.seen.push((machine, value));
+                Vec::new()
+            }
+        }
+        let ms = vec![repeater("a")];
+        let i = ms[0].signal_by_name("in").unwrap();
+        let mut net = Network::new(&ms, Vec::new(), Echo { seen: Vec::new() }).unwrap();
+        net.inject(0, i, true, 0);
+        net.inject(0, i, false, 5);
+        net.run(100).unwrap();
+        assert_eq!(net.datapath().seen, vec![(0, true), (0, false)]);
+    }
+
+    #[test]
+    fn ring_hits_event_budget() {
+        let ms = vec![repeater("a"), repeater("b")];
+        let i = ms[0].signal_by_name("in").unwrap();
+        let o = ms[0].signal_by_name("out").unwrap();
+        let wires = vec![
+            Wire {
+                from: WireEnd { machine: 0, signal: o },
+                to: vec![WireEnd { machine: 1, signal: i }],
+                delay: 1,
+            },
+            Wire {
+                from: WireEnd { machine: 1, signal: o },
+                to: vec![WireEnd { machine: 0, signal: i }],
+                delay: 1,
+            },
+        ];
+        let mut net = Network::new(&ms, wires, ()).unwrap();
+        net.inject_toggle(0, i, 0);
+        assert!(matches!(net.run(50), Err(SimError::EventBudget(50))));
+    }
+
+    #[test]
+    fn bad_wires_rejected() {
+        let ms = vec![repeater("a")];
+        let i = ms[0].signal_by_name("in").unwrap();
+        let o = ms[0].signal_by_name("out").unwrap();
+        // source is an input
+        let w = Wire {
+            from: WireEnd { machine: 0, signal: i },
+            to: vec![],
+            delay: 0,
+        };
+        assert!(Network::new(&ms, vec![w], ()).is_err());
+        // target is an output
+        let w = Wire {
+            from: WireEnd { machine: 0, signal: o },
+            to: vec![WireEnd { machine: 0, signal: o }],
+            delay: 0,
+        };
+        assert!(Network::new(&ms, vec![w], ()).is_err());
+        // unknown machine
+        let w = Wire {
+            from: WireEnd { machine: 7, signal: o },
+            to: vec![],
+            delay: 0,
+        };
+        assert!(Network::new(&ms, vec![w], ()).is_err());
+    }
+}

@@ -1,0 +1,153 @@
+//! Value-change-dump (VCD) export of network traces: open the output in
+//! GTKWave (or any VCD viewer) to inspect the distributed controllers'
+//! handshakes wire by wire.
+
+use std::fmt::Write as _;
+
+use adcs_xbm::XbmMachine;
+
+use crate::network::TraceEvent;
+
+/// Renders a recorded trace as a VCD document.
+///
+/// `machines` must be the same set (and order) the network simulated; one
+/// VCD scope is emitted per machine.
+pub fn to_vcd(machines: &[&XbmMachine], trace: &[TraceEvent]) -> String {
+    let mut s = String::new();
+    let _ = writeln!(s, "$version adcs-sim $end");
+    let _ = writeln!(s, "$timescale 1ns $end");
+
+    // Identifier codes: printable ASCII starting at '!'.
+    let mut code_of = std::collections::HashMap::new();
+    let mut next = 0u32;
+    let mut code = |m: usize, sig: u32, next: &mut u32| -> String {
+        let key = (m, sig);
+        let id = *code_of.entry(key).or_insert_with(|| {
+            let v = *next;
+            *next += 1;
+            v
+        });
+        ident(id)
+    };
+
+    for (mi, m) in machines.iter().enumerate() {
+        let _ = writeln!(s, "$scope module {} $end", sanitize(m.name()));
+        for (sig, info) in m.signals() {
+            let c = code(mi, sig.index() as u32, &mut next);
+            let _ = writeln!(s, "$var wire 1 {c} {} $end", sanitize(&info.name));
+        }
+        let _ = writeln!(s, "$upscope $end");
+    }
+    let _ = writeln!(s, "$enddefinitions $end");
+
+    // Initial values.
+    let _ = writeln!(s, "$dumpvars");
+    for (mi, m) in machines.iter().enumerate() {
+        for (sig, info) in m.signals() {
+            let c = code(mi, sig.index() as u32, &mut next);
+            let _ = writeln!(s, "{}{c}", u8::from(info.initial));
+        }
+    }
+    let _ = writeln!(s, "$end");
+
+    let mut last_time = None;
+    for ev in trace {
+        if last_time != Some(ev.time) {
+            let _ = writeln!(s, "#{}", ev.time);
+            last_time = Some(ev.time);
+        }
+        let c = code(ev.machine, ev.signal.index() as u32, &mut next);
+        let _ = writeln!(s, "{}{c}", u8::from(ev.value));
+    }
+    s
+}
+
+fn ident(mut n: u32) -> String {
+    // base-94 over '!'..'~'
+    let mut out = String::new();
+    loop {
+        out.push(char::from(b'!' + (n % 94) as u8));
+        n /= 94;
+        if n == 0 {
+            break;
+        }
+    }
+    out
+}
+
+fn sanitize(name: &str) -> String {
+    name.chars()
+        .map(|c| if c.is_ascii_alphanumeric() || c == '_' { c } else { '_' })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::network::{Network, Wire, WireEnd};
+    use adcs_xbm::{Term, XbmBuilder};
+
+    #[test]
+    fn vcd_contains_header_scopes_and_changes() {
+        let mut b = XbmBuilder::new("rep");
+        let i = b.input("in", false);
+        let o = b.output("out", false);
+        let s0 = b.state("s0");
+        let s1 = b.state("s1");
+        b.transition(s0, s1, [Term::rise(i)], [o]).unwrap();
+        b.transition(s1, s0, [Term::fall(i)], [o]).unwrap();
+        let m = b.finish(s0).unwrap();
+        let ms = vec![m];
+
+        let mut net = Network::new(&ms, Vec::<Wire>::new(), ()).unwrap();
+        net.record_trace(true);
+        net.inject(0, i, true, 0);
+        net.inject(0, i, false, 5);
+        net.run(100).unwrap();
+        assert!(!net.trace().is_empty());
+
+        let refs: Vec<&adcs_xbm::XbmMachine> = ms.iter().collect();
+        let vcd = to_vcd(&refs, net.trace());
+        assert!(vcd.contains("$scope module rep $end"));
+        assert!(vcd.contains("$enddefinitions"));
+        assert!(vcd.contains("#0"));
+        assert!(vcd.contains("#5"));
+        // two signals declared
+        assert_eq!(vcd.matches("$var wire 1").count(), 2);
+    }
+
+    #[test]
+    fn identifiers_are_unique_and_printable() {
+        let ids: Vec<String> = (0..200).map(ident).collect();
+        let set: std::collections::HashSet<&String> = ids.iter().collect();
+        assert_eq!(set.len(), ids.len());
+        for id in &ids {
+            assert!(id.chars().all(|c| ('!'..='~').contains(&c)));
+        }
+    }
+
+    #[test]
+    fn wires_still_work_with_tracing() {
+        let mut b = XbmBuilder::new("a");
+        let i = b.input("in", false);
+        let o = b.output("out", false);
+        let s0 = b.state("s0");
+        let s1 = b.state("s1");
+        b.transition(s0, s1, [Term::rise(i)], [o]).unwrap();
+        b.transition(s1, s0, [Term::fall(i)], [o]).unwrap();
+        let m1 = b.finish(s0).unwrap();
+        let m2 = m1.clone();
+        let ms = vec![m1, m2];
+        let wires = vec![Wire {
+            from: WireEnd { machine: 0, signal: o },
+            to: vec![WireEnd { machine: 1, signal: i }],
+            delay: 2,
+        }];
+        let mut net = Network::new(&ms, wires, ()).unwrap();
+        net.record_trace(true);
+        net.inject(0, i, true, 0);
+        net.run(100).unwrap();
+        // machine 1 received and answered: at least 4 recorded changes.
+        assert!(net.trace().len() >= 4, "{:?}", net.trace());
+    }
+}

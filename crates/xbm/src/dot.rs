@@ -1,0 +1,120 @@
+//! Graphviz export of XBM machines, with bursts rendered in the paper's
+//! `in1+ in2- / out+` notation (don't-cares as `s*`, levels as `<s+>`).
+
+use std::fmt::Write as _;
+
+use crate::machine::{TermKind, XbmMachine};
+use crate::validate::{label_values, output_edges};
+
+/// Renders the machine in Graphviz DOT syntax.
+///
+/// Output toggle directions are annotated from the value labelling when it
+/// is computable; otherwise a bare `~` (toggle) marker is used.
+pub fn to_dot(m: &XbmMachine) -> String {
+    let labels = label_values(m).ok();
+    let mut s = String::new();
+    let _ = writeln!(s, "digraph \"{}\" {{", m.name());
+    let _ = writeln!(s, "  node [shape=circle, fontname=\"Helvetica\"];");
+    for (id, name) in m.states() {
+        let marker = if id == m.initial() { ", peripheries=2" } else { "" };
+        let _ = writeln!(s, "  {id} [label=\"{name}\"{marker}];");
+    }
+    for (idx, t) in m.transitions().iter().enumerate() {
+        let mut inp = String::new();
+        for (i, term) in t.input.iter().enumerate() {
+            if i > 0 {
+                inp.push(' ');
+            }
+            let name = &m.signal(term.signal).expect("live signal").name;
+            match term.kind {
+                TermKind::Rise => {
+                    let _ = write!(inp, "{name}+");
+                }
+                TermKind::Fall => {
+                    let _ = write!(inp, "{name}-");
+                }
+                TermKind::DdcRise => {
+                    let _ = write!(inp, "{name}*+");
+                }
+                TermKind::DdcFall => {
+                    let _ = write!(inp, "{name}*-");
+                }
+                TermKind::LevelHigh => {
+                    let _ = write!(inp, "<{name}+>");
+                }
+                TermKind::LevelLow => {
+                    let _ = write!(inp, "<{name}->");
+                }
+            }
+        }
+        let mut outp = String::new();
+        let edges = labels
+            .as_ref()
+            .and_then(|l| output_edges(m, l, idx).ok());
+        for (i, o) in t.output.iter().enumerate() {
+            if i > 0 {
+                outp.push(' ');
+            }
+            let name = &m.signal(*o).expect("live signal").name;
+            match edges
+                .as_ref()
+                .and_then(|e| e.iter().find(|(sig, _)| sig == o))
+            {
+                Some((_, true)) => {
+                    let _ = write!(outp, "{name}+");
+                }
+                Some((_, false)) => {
+                    let _ = write!(outp, "{name}-");
+                }
+                None => {
+                    let _ = write!(outp, "{name}~");
+                }
+            }
+        }
+        let _ = writeln!(s, "  {} -> {} [label=\"{inp} / {outp}\"];", t.from, t.to);
+    }
+    let _ = writeln!(s, "}}");
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::machine::{Term, XbmBuilder};
+
+    #[test]
+    fn dot_contains_burst_notation() {
+        let mut b = XbmBuilder::new("hs");
+        let req = b.input("req", false);
+        let c = b.input("c", false);
+        let ack = b.output("ack", false);
+        let s0 = b.state("s0");
+        let s1 = b.state("s1");
+        b.transition(s0, s1, [Term::rise(req), Term::ddc(c, true)], [ack])
+            .unwrap();
+        b.transition(s1, s0, [Term::fall(req), Term::rise(c)], [ack])
+            .unwrap();
+        let m = b.finish(s0).unwrap();
+        let dot = to_dot(&m);
+        assert!(dot.contains("req+"));
+        assert!(dot.contains("c*+"));
+        assert!(dot.contains("ack+"));
+        assert!(dot.contains("ack-"));
+        assert!(dot.contains("peripheries=2"));
+    }
+
+    #[test]
+    fn levels_render_in_angle_brackets() {
+        let mut b = XbmBuilder::new("cond");
+        let go = b.input("go", false);
+        let c = b.input("c", false);
+        let o = b.output("o", false);
+        let s0 = b.state("s0");
+        let s1 = b.state("s1");
+        b.transition(s0, s1, [Term::rise(go), Term::level(c, true)], [o])
+            .unwrap();
+        b.transition(s1, s0, [Term::fall(go)], [o]).unwrap();
+        let m = b.finish(s0).unwrap();
+        assert!(to_dot(&m).contains("<c+>"));
+    }
+}

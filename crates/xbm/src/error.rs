@@ -1,0 +1,95 @@
+//! Error type for XBM construction and validation.
+
+use std::error::Error;
+use std::fmt;
+
+use crate::machine::StateId;
+use crate::signal::SignalId;
+
+/// Errors produced while building, editing, validating, or interpreting an
+/// extended burst-mode machine.
+#[derive(Clone, Debug, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum XbmError {
+    /// A state id does not belong to this machine.
+    UnknownState(StateId),
+    /// A signal id does not belong to this machine.
+    UnknownSignal(SignalId),
+    /// A transition used an output-side signal in its input burst or vice
+    /// versa.
+    Direction { signal: SignalId, expected_input: bool },
+    /// An input burst has no compulsory edge (only don't-cares/levels), so
+    /// the machine could never know when to fire it.
+    EmptyInputBurst { from: StateId, to: StateId },
+    /// Two transitions out of one state violate the maximal-set property:
+    /// one compulsory burst is a subset of the other, so the machine cannot
+    /// distinguish them.
+    MaximalSet { state: StateId, first: usize, second: usize },
+    /// Signal polarity is inconsistent: an edge or level disagrees with the
+    /// value the signal provably has when entering the state.
+    Polarity { state: StateId, signal: SignalId, expected: bool },
+    /// The machine's state values could not be labelled consistently (two
+    /// paths give one signal different values in the same state).
+    InconsistentState { state: StateId, signal: SignalId },
+    /// A state is unreachable from the initial state.
+    Unreachable(StateId),
+    /// The interpreter received an input edge no enabled burst expects.
+    UnexpectedInput { state: StateId, signal: SignalId },
+    /// Generic structural violation.
+    Structure(String),
+}
+
+impl fmt::Display for XbmError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            XbmError::UnknownState(s) => write!(f, "unknown state {s}"),
+            XbmError::UnknownSignal(s) => write!(f, "unknown signal {s}"),
+            XbmError::Direction { signal, expected_input } => write!(
+                f,
+                "signal {signal} used on the wrong side (expected {})",
+                if *expected_input { "input" } else { "output" }
+            ),
+            XbmError::EmptyInputBurst { from, to } => {
+                write!(f, "transition {from} -> {to} has no compulsory input edge")
+            }
+            XbmError::MaximalSet { state, first, second } => write!(
+                f,
+                "transitions #{first} and #{second} out of {state} violate the maximal-set property"
+            ),
+            XbmError::Polarity { state, signal, expected } => write!(
+                f,
+                "signal {signal} has value {} entering {state}, edge direction is impossible",
+                u8::from(*expected)
+            ),
+            XbmError::InconsistentState { state, signal } => {
+                write!(f, "signal {signal} enters state {state} with conflicting values")
+            }
+            XbmError::Unreachable(s) => write!(f, "state {s} is unreachable"),
+            XbmError::UnexpectedInput { state, signal } => {
+                write!(f, "input edge on {signal} is not expected in state {state}")
+            }
+            XbmError::Structure(s) => write!(f, "structural violation: {s}"),
+        }
+    }
+}
+
+impl Error for XbmError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_lowercase_no_period() {
+        let e = XbmError::Unreachable(StateId::from_raw(3));
+        let m = e.to_string();
+        assert!(m.chars().next().unwrap().is_lowercase());
+        assert!(!m.ends_with('.'));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<XbmError>();
+    }
+}

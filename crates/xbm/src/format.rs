@@ -1,0 +1,257 @@
+//! A textual interchange format for extended burst-mode machines, in the
+//! spirit of the `.bms` files consumed by the classic burst-mode tools
+//! (Minimalist, 3D).
+//!
+//! ```text
+//! name ALU1
+//! input  req 0
+//! input  c   0 level
+//! output ack 0
+//! state  s0 initial
+//! state  s1
+//! s0 -> s1 : req+ <c+> / ack~
+//! s1 -> s0 : req- / ack~
+//! ```
+//!
+//! Input terms use `+` (rise), `-` (fall), `*+`/`*-` (directed don't
+//! cares) and `<x+>`/`<x->` (sampled levels). Output toggles are written
+//! `name~` (polarity is derived from the machine's value labelling, as
+//! everywhere in this crate).
+
+use std::collections::HashMap;
+use std::fmt::Write as _;
+
+use crate::error::XbmError;
+use crate::machine::{Term, TermKind, XbmBuilder, XbmMachine};
+use crate::signal::SignalKind;
+
+/// Serializes a machine to the textual format.
+pub fn to_text(m: &XbmMachine) -> String {
+    let mut s = String::new();
+    let _ = writeln!(s, "name {}", m.name());
+    for (_, info) in m.live_signals() {
+        let dir = if info.input { "input " } else { "output" };
+        let lvl = if info.kind == SignalKind::Level { " level" } else { "" };
+        let _ = writeln!(s, "{dir} {} {}{}", info.name, u8::from(info.initial), lvl);
+    }
+    for (id, name) in m.states() {
+        let marker = if id == m.initial() { " initial" } else { "" };
+        let _ = writeln!(s, "state {name}{marker}");
+    }
+    let state_name: HashMap<_, _> = m.states().collect();
+    for t in m.transitions() {
+        let mut line = format!("{} -> {} :", state_name[&t.from], state_name[&t.to]);
+        for term in &t.input {
+            let n = &m.signal(term.signal).expect("live signal").name;
+            let suffix = match term.kind {
+                TermKind::Rise => format!(" {n}+"),
+                TermKind::Fall => format!(" {n}-"),
+                TermKind::DdcRise => format!(" {n}*+"),
+                TermKind::DdcFall => format!(" {n}*-"),
+                TermKind::LevelHigh => format!(" <{n}+>"),
+                TermKind::LevelLow => format!(" <{n}->"),
+            };
+            line.push_str(&suffix);
+        }
+        line.push_str(" /");
+        for o in &t.output {
+            let n = &m.signal(*o).expect("live signal").name;
+            line.push_str(&format!(" {n}~"));
+        }
+        let _ = writeln!(s, "{line}");
+    }
+    s
+}
+
+/// Parses a machine from the textual format.
+///
+/// # Errors
+///
+/// [`XbmError::Structure`] describing the offending line on any syntax or
+/// reference error.
+pub fn from_text(text: &str) -> Result<XbmMachine, XbmError> {
+    let mut name = String::from("machine");
+    let mut b: Option<XbmBuilder> = None;
+    let mut signals: HashMap<String, crate::signal::SignalId> = HashMap::new();
+    let mut states: HashMap<String, crate::machine::StateId> = HashMap::new();
+    let mut initial: Option<crate::machine::StateId> = None;
+    let mut pending: Vec<(String, String, String, String)> = Vec::new();
+
+    let bad = |line: &str, why: &str| XbmError::Structure(format!("{why}: `{line}`"));
+
+    for raw in text.lines() {
+        let line = raw.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let mut toks = line.split_whitespace();
+        match toks.next() {
+            Some("name") => {
+                name = toks.next().ok_or_else(|| bad(line, "missing name"))?.to_string();
+            }
+            Some(dir @ ("input" | "output")) => {
+                let builder = b.get_or_insert_with(|| XbmBuilder::new(name.clone()));
+                let sig = toks.next().ok_or_else(|| bad(line, "missing signal name"))?;
+                let init = toks
+                    .next()
+                    .ok_or_else(|| bad(line, "missing initial value"))?
+                    == "1";
+                let level = toks.next() == Some("level");
+                let id = if dir == "input" {
+                    let kind = if level { SignalKind::Level } else { SignalKind::GlobalReq };
+                    builder.input_kind(sig, kind, init)
+                } else {
+                    builder.output_kind(sig, SignalKind::GlobalDone, init)
+                };
+                signals.insert(sig.to_string(), id);
+            }
+            Some("state") => {
+                let builder = b.get_or_insert_with(|| XbmBuilder::new(name.clone()));
+                let st = toks.next().ok_or_else(|| bad(line, "missing state name"))?;
+                let id = builder.state(st);
+                if toks.next() == Some("initial") {
+                    initial = Some(id);
+                }
+                states.insert(st.to_string(), id);
+            }
+            Some(from) => {
+                // transition line: FROM -> TO : terms / outputs
+                let rest = line
+                    .strip_prefix(from)
+                    .and_then(|r| r.trim_start().strip_prefix("->"))
+                    .ok_or_else(|| bad(line, "expected `->`"))?;
+                let (to, rest) = rest
+                    .trim_start()
+                    .split_once(':')
+                    .ok_or_else(|| bad(line, "expected `:`"))?;
+                let (inputs, outputs) = rest
+                    .split_once('/')
+                    .ok_or_else(|| bad(line, "expected `/`"))?;
+                pending.push((
+                    from.to_string(),
+                    to.trim().to_string(),
+                    inputs.trim().to_string(),
+                    outputs.trim().to_string(),
+                ));
+            }
+            None => {}
+        }
+    }
+
+    let mut builder = b.ok_or_else(|| XbmError::Structure("empty machine text".into()))?;
+    for (from, to, inputs, outputs) in pending {
+        let fs = *states
+            .get(&from)
+            .ok_or_else(|| bad(&from, "unknown state"))?;
+        let ts = *states.get(&to).ok_or_else(|| bad(&to, "unknown state"))?;
+        let mut terms = Vec::new();
+        for tok in inputs.split_whitespace() {
+            let term = parse_term(tok, &signals).ok_or_else(|| bad(tok, "bad input term"))?;
+            terms.push(term);
+        }
+        let mut outs = Vec::new();
+        for tok in outputs.split_whitespace() {
+            let base = tok.strip_suffix('~').unwrap_or(tok);
+            let id = *signals.get(base).ok_or_else(|| bad(tok, "unknown output"))?;
+            outs.push(id);
+        }
+        builder.transition(fs, ts, terms, outs)?;
+    }
+    let initial = initial.ok_or_else(|| XbmError::Structure("no initial state".into()))?;
+    builder.finish(initial)
+}
+
+fn parse_term(tok: &str, signals: &HashMap<String, crate::signal::SignalId>) -> Option<Term> {
+    if let Some(inner) = tok.strip_prefix('<').and_then(|t| t.strip_suffix('>')) {
+        let (name, v) = inner.split_at(inner.len().checked_sub(1)?);
+        let value = match v {
+            "+" => true,
+            "-" => false,
+            _ => return None,
+        };
+        return Some(Term::level(*signals.get(name)?, value));
+    }
+    if let Some(name) = tok.strip_suffix("*+") {
+        return Some(Term::ddc(*signals.get(name)?, true));
+    }
+    if let Some(name) = tok.strip_suffix("*-") {
+        return Some(Term::ddc(*signals.get(name)?, false));
+    }
+    if let Some(name) = tok.strip_suffix('+') {
+        return Some(Term::rise(*signals.get(name)?));
+    }
+    if let Some(name) = tok.strip_suffix('-') {
+        return Some(Term::fall(*signals.get(name)?));
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::machine::Term as T;
+
+    fn sample() -> XbmMachine {
+        let mut b = XbmBuilder::new("demo");
+        let req = b.input("req", false);
+        let c = b.input_kind("c", SignalKind::Level, false);
+        let early = b.input("early", false);
+        let ack = b.output("ack", false);
+        let s0 = b.state("s0");
+        let s1 = b.state("s1");
+        let s2 = b.state("s2");
+        b.transition(s0, s1, [T::rise(req), T::level(c, true), T::ddc(early, true)], [ack])
+            .unwrap();
+        b.transition(s1, s2, [T::rise(early)], [ack]).unwrap();
+        b.transition(s2, s0, [T::fall(req), T::fall(early), T::level(c, false)], [])
+            .unwrap();
+        b.finish(s0).unwrap()
+    }
+
+    #[test]
+    fn roundtrip_preserves_structure_and_behaviour() {
+        let m = sample();
+        let text = to_text(&m);
+        let back = from_text(&text).unwrap();
+        assert_eq!(back.name(), m.name());
+        assert_eq!(back.stats(), m.stats());
+        // term-for-term equality
+        for (a, b) in m.transitions().iter().zip(back.transitions()) {
+            assert_eq!(a.input.len(), b.input.len());
+            assert_eq!(a.output.len(), b.output.len());
+        }
+        // and the labelling agrees
+        let la = crate::validate::label_values(&m).unwrap();
+        let lb = crate::validate::label_values(&back).unwrap();
+        assert_eq!(la.len(), lb.len());
+    }
+
+    #[test]
+    fn text_contains_the_notation() {
+        let text = to_text(&sample());
+        assert!(text.contains("req+"), "{text}");
+        assert!(text.contains("early*+"), "{text}");
+        assert!(text.contains("<c+>"), "{text}");
+        assert!(text.contains("ack~"), "{text}");
+        assert!(text.contains("state s0 initial"), "{text}");
+    }
+
+    #[test]
+    fn parse_errors_are_descriptive() {
+        assert!(from_text("").is_err());
+        assert!(from_text("name x\nstate s0 initial\ns0 -> s1 : a+ / b~").is_err());
+        let no_initial = "name x\ninput a 0\nstate s0\n";
+        assert!(matches!(
+            from_text(no_initial),
+            Err(XbmError::Structure(_))
+        ));
+    }
+
+    #[test]
+    fn comments_and_blank_lines_are_ignored() {
+        let text = "# a comment\nname t\n\ninput a 0\noutput o 0\nstate s0 initial\nstate s1\ns0 -> s1 : a+ / o~\ns1 -> s0 : a- / o~\n";
+        let m = from_text(text).unwrap();
+        assert_eq!(m.stats().states, 2);
+        crate::validate::validate(&m).unwrap();
+    }
+}

@@ -1,0 +1,55 @@
+//! # adcs-xbm — Extended burst-mode asynchronous finite state machines
+//!
+//! Burst-mode (BM) machines are the Mealy-style specification used for the
+//! individual controllers of Theobald & Nowick's asynchronous distributed
+//! control flow (DAC 2001, §4): a state transition fires when the specified
+//! **input burst** (a set of signal edges) has completely arrived, and
+//! generates the corresponding **output burst** on the way to the next
+//! state.
+//!
+//! *Extended* burst-mode (XBM) adds two features the paper relies on:
+//!
+//! * **directed don't-cares** — an input edge that may arrive during
+//!   earlier transitions (written `s*` here), used to back-annotate early
+//!   request arrivals after controller extraction; and
+//! * **conditionals** — sampled level signals (written `<s+>` / `<s->`),
+//!   used by `LOOP`/`IF` controllers to test the condition register.
+//!
+//! The crate provides the machine representation ([`XbmMachine`]), a
+//! builder, well-formedness validation (unique entry values, the
+//! maximal-set property, burst monotonicity), a reference interpreter, DOT
+//! export, and the state/transition statistics that the paper's Figure 12
+//! reports.
+//!
+//! # Example
+//!
+//! ```rust
+//! use adcs_xbm::{Term, XbmBuilder};
+//!
+//! # fn main() -> Result<(), adcs_xbm::XbmError> {
+//! let mut b = XbmBuilder::new("toggle");
+//! let req = b.input("req", false);
+//! let ack = b.output("ack", false);
+//! let s0 = b.state("idle");
+//! let s1 = b.state("busy");
+//! b.transition(s0, s1, [Term::rise(req)], [ack])?;
+//! b.transition(s1, s0, [Term::fall(req)], [ack])?;
+//! let m = b.finish(s0)?;
+//! assert_eq!(m.stats().states, 2);
+//! # Ok(())
+//! # }
+//! ```
+
+pub mod dot;
+pub mod format;
+pub mod interp;
+pub mod machine;
+pub mod reduce;
+pub mod validate;
+
+mod error;
+mod signal;
+
+pub use error::XbmError;
+pub use machine::{StateId, Term, TermKind, Transition, XbmBuilder, XbmMachine, XbmStats};
+pub use signal::{SignalId, SignalInfo, SignalKind};

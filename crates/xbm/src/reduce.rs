@@ -1,0 +1,235 @@
+//! State reduction by bisimulation: merge states whose entire future
+//! behaviour (input bursts, output toggles, successor classes) coincides.
+//!
+//! Controller extraction keys its states by *(program position, wire
+//! phases)*, which can duplicate behaviourally identical laps of a loop.
+//! Classical partition refinement finds and merges those duplicates — the
+//! state-minimization duty that the paper delegates to Minimalist's
+//! front-end.
+//!
+//! The reduction is *behaviour-exact* (no don't-care exploitation): the
+//! reduced machine is bisimilar to the input, so every trace, simulation,
+//! and logic-synthesis result is preserved.
+
+use std::collections::{BTreeSet, HashMap};
+
+use crate::error::XbmError;
+use crate::machine::{StateId, Term, XbmMachine};
+
+/// Report of one reduction run.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct ReduceReport {
+    /// States before.
+    pub states_before: usize,
+    /// States after.
+    pub states_after: usize,
+    /// Transitions before.
+    pub transitions_before: usize,
+    /// Transitions after.
+    pub transitions_after: usize,
+}
+
+/// Minimizes a machine by bisimulation partition refinement. Returns the
+/// reduced machine and a report; a machine with no mergeable states comes
+/// back unchanged (same counts).
+///
+/// # Errors
+///
+/// Propagates machine reconstruction failures; the result is re-validated
+/// only structurally (the caller's validation contract is unchanged
+/// because the reduction is bisimilar).
+pub fn reduce(m: &XbmMachine) -> Result<(XbmMachine, ReduceReport), XbmError> {
+    let states: Vec<StateId> = m.states().map(|(id, _)| id).collect();
+    let before = m.stats();
+
+    // Start with one class and refine by transition signatures.
+    let mut class: HashMap<StateId, usize> = states.iter().map(|&s| (s, 0)).collect();
+    loop {
+        let mut signatures: HashMap<StateId, Vec<(Vec<Term>, Vec<u32>, usize)>> = HashMap::new();
+        for &s in &states {
+            let mut sig: Vec<(Vec<Term>, Vec<u32>, usize)> = m
+                .transitions_from(s)
+                .map(|(_, t)| {
+                    let mut input = t.input.clone();
+                    input.sort_by_key(|term| (term.signal, term.kind as u8));
+                    let output: Vec<u32> =
+                        t.output.iter().map(|o| o.index() as u32).collect();
+                    (input, output, class[&t.to])
+                })
+                .collect();
+            sig.sort();
+            signatures.insert(s, sig);
+        }
+        // Assign new classes by (old class, signature).
+        let prev_classes = class.values().collect::<BTreeSet<_>>().len();
+        let mut next_of: HashMap<(usize, Vec<(Vec<Term>, Vec<u32>, usize)>), usize> =
+            HashMap::new();
+        let mut new_class: HashMap<StateId, usize> = HashMap::new();
+        for &s in &states {
+            let key = (class[&s], signatures[&s].clone());
+            let n = next_of.len();
+            let id = *next_of.entry(key).or_insert(n);
+            new_class.insert(s, id);
+        }
+        let stable = next_of.len() == prev_classes;
+        class = new_class;
+        if stable {
+            break;
+        }
+    }
+
+    let nclasses = class.values().collect::<BTreeSet<_>>().len();
+    if nclasses == states.len() {
+        return Ok((
+            m.clone(),
+            ReduceReport {
+                states_before: before.states,
+                states_after: before.states,
+                transitions_before: before.transitions,
+                transitions_after: before.transitions,
+            },
+        ));
+    }
+
+    // Rebuild with one representative state per class.
+    let mut rep: HashMap<usize, StateId> = HashMap::new();
+    for &s in &states {
+        rep.entry(class[&s]).or_insert(s);
+    }
+    // Keep the initial state as its class representative.
+    rep.insert(class[&m.initial()], m.initial());
+
+    let mut b = crate::machine::XbmBuilder::new(m.name());
+    // Re-declare signals verbatim (ids preserved).
+    let mut sig_map = Vec::new();
+    for (_, info) in m.signals() {
+        let id = if info.input {
+            b.input_kind(info.name.clone(), info.kind, info.initial)
+        } else {
+            b.output_kind(info.name.clone(), info.kind, info.initial)
+        };
+        sig_map.push(id);
+    }
+    let mut state_map: HashMap<StateId, StateId> = HashMap::new();
+    for (&cls, &old) in &rep {
+        let new = b.state(format!("c{cls}"));
+        state_map.insert(old, new);
+    }
+    let to_new = |s: StateId, class: &HashMap<StateId, usize>, rep: &HashMap<usize, StateId>, map: &HashMap<StateId, StateId>| {
+        map[&rep[&class[&s]]]
+    };
+    let mut seen: BTreeSet<(StateId, Vec<(u32, u8)>, Vec<u32>, StateId)> = BTreeSet::new();
+    for t in m.transitions() {
+        // Only transitions out of representatives matter (others are
+        // duplicates by construction).
+        if rep[&class[&t.from]] != t.from {
+            continue;
+        }
+        let from = to_new(t.from, &class, &rep, &state_map);
+        let to = to_new(t.to, &class, &rep, &state_map);
+        let input: Vec<Term> = t
+            .input
+            .iter()
+            .map(|term| Term { signal: sig_map[term.signal.index()], kind: term.kind })
+            .collect();
+        let output: Vec<_> = t.output.iter().map(|o| sig_map[o.index()]).collect();
+        let key = (
+            from,
+            {
+                let mut k: Vec<(u32, u8)> = input
+                    .iter()
+                    .map(|x| (x.signal.index() as u32, x.kind as u8))
+                    .collect();
+                k.sort_unstable();
+                k
+            },
+            output.iter().map(|o| o.index() as u32).collect(),
+            to,
+        );
+        if !seen.insert(key) {
+            continue;
+        }
+        b.transition(from, to, input, output)?;
+    }
+    let initial = state_map[&m.initial()];
+    let reduced = b.finish(initial)?;
+    let after = reduced.stats();
+    Ok((
+        reduced,
+        ReduceReport {
+            states_before: before.states,
+            states_after: after.states,
+            transitions_before: before.transitions,
+            transitions_after: after.transitions,
+        },
+    ))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::machine::XbmBuilder;
+
+    #[test]
+    fn identical_laps_merge() {
+        // Two unrolled laps of the same handshake: 4 states -> 2.
+        let mut b = XbmBuilder::new("laps");
+        let req = b.input("req", false);
+        let ack = b.output("ack", false);
+        let s: Vec<_> = (0..4).map(|i| b.state(format!("s{i}"))).collect();
+        b.transition(s[0], s[1], [Term::rise(req)], [ack]).unwrap();
+        b.transition(s[1], s[2], [Term::fall(req)], [ack]).unwrap();
+        b.transition(s[2], s[3], [Term::rise(req)], [ack]).unwrap();
+        b.transition(s[3], s[0], [Term::fall(req)], [ack]).unwrap();
+        let m = b.finish(s[0]).unwrap();
+        let (r, rep) = reduce(&m).unwrap();
+        assert_eq!(rep.states_before, 4);
+        assert_eq!(rep.states_after, 2);
+        assert_eq!(r.stats().transitions, 2);
+        crate::validate::validate(&r).unwrap();
+    }
+
+    #[test]
+    fn distinguishable_states_stay_apart() {
+        let mut b = XbmBuilder::new("distinct");
+        let req = b.input("req", false);
+        let other = b.input("oth", false);
+        let ack = b.output("ack", false);
+        let s: Vec<_> = (0..4).map(|i| b.state(format!("s{i}"))).collect();
+        b.transition(s[0], s[1], [Term::rise(req)], [ack]).unwrap();
+        b.transition(s[1], s[2], [Term::rise(other)], []).unwrap();
+        b.transition(s[2], s[3], [Term::fall(req)], [ack]).unwrap();
+        b.transition(s[3], s[0], [Term::fall(other)], []).unwrap();
+        let m = b.finish(s[0]).unwrap();
+        let (_, rep) = reduce(&m).unwrap();
+        assert_eq!(rep.states_after, rep.states_before);
+    }
+
+    #[test]
+    fn reduction_preserves_interpreter_behaviour() {
+        // Build the 2-lap machine, reduce, and co-simulate both.
+        let mut b = XbmBuilder::new("laps");
+        let req = b.input("req", false);
+        let ack = b.output("ack", false);
+        let s: Vec<_> = (0..4).map(|i| b.state(format!("s{i}"))).collect();
+        b.transition(s[0], s[1], [Term::rise(req)], [ack]).unwrap();
+        b.transition(s[1], s[2], [Term::fall(req)], [ack]).unwrap();
+        b.transition(s[2], s[3], [Term::rise(req)], [ack]).unwrap();
+        b.transition(s[3], s[0], [Term::fall(req)], [ack]).unwrap();
+        let m = b.finish(s[0]).unwrap();
+        let (r, _) = reduce(&m).unwrap();
+        let req_r = r.signal_by_name("req").unwrap();
+        let mut a = crate::interp::Interp::new(&m);
+        let mut bb = crate::interp::Interp::new(&r);
+        for step in 0..10 {
+            let v = step % 2 == 0;
+            let oa = a.set_input(req, v).unwrap();
+            let ob = bb.set_input(req_r, v).unwrap();
+            assert_eq!(
+                oa.iter().map(|(s, v)| (s.index(), *v)).collect::<Vec<_>>(),
+                ob.iter().map(|(s, v)| (s.index(), *v)).collect::<Vec<_>>(),
+                "step {step}"
+            );
+        }
+    }
+}

@@ -1,0 +1,102 @@
+//! Signals of a burst-mode machine.
+
+use std::fmt;
+
+/// Identifies a signal within one [`crate::XbmMachine`].
+///
+/// Input and output signals share one id space; whether an id is an input
+/// or an output is recorded in its [`SignalInfo`].
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct SignalId(pub(crate) u32);
+
+impl SignalId {
+    /// Creates an id from a raw index (test fixtures / deserialization).
+    pub fn from_raw(raw: u32) -> Self {
+        SignalId(raw)
+    }
+
+    /// The raw index behind this id.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Debug for SignalId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "s{}", self.0)
+    }
+}
+
+impl fmt::Display for SignalId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "s{}", self.0)
+    }
+}
+
+/// Functional classification of a controller signal.
+///
+/// The distinction matters to the local transforms: LT4 may only delete
+/// *local acknowledge* wires, LT1 typically hoists *global done* wires, and
+/// the logic synthesizer needs to know which inputs are sampled levels.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum SignalKind {
+    /// Incoming global "ready" wire from another controller (a request).
+    GlobalReq,
+    /// Outgoing global "ready" wire to other controllers (a done).
+    GlobalDone,
+    /// Outgoing request of a local 4-phase handshake (to muxes, the unit,
+    /// registers…).
+    LocalReq,
+    /// Incoming acknowledge of a local 4-phase handshake.
+    LocalAck,
+    /// Sampled level input (condition flag from the datapath).
+    Level,
+    /// Anything else (plain input/output in hand-written machines).
+    Plain,
+}
+
+impl SignalKind {
+    /// Whether signals of this kind are machine inputs.
+    pub fn is_input(self) -> bool {
+        matches!(self, SignalKind::GlobalReq | SignalKind::LocalAck | SignalKind::Level)
+    }
+}
+
+/// Metadata of one signal.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct SignalInfo {
+    /// Wire name (e.g. `M1A`, `reg_U_req`).
+    pub name: String,
+    /// Functional classification.
+    pub kind: SignalKind,
+    /// Whether this is a machine input (`true`) or output (`false`).
+    pub input: bool,
+    /// Value at reset.
+    pub initial: bool,
+}
+
+impl fmt::Display for SignalInfo {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.name)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn kind_input_classification() {
+        assert!(SignalKind::GlobalReq.is_input());
+        assert!(SignalKind::LocalAck.is_input());
+        assert!(SignalKind::Level.is_input());
+        assert!(!SignalKind::GlobalDone.is_input());
+        assert!(!SignalKind::LocalReq.is_input());
+    }
+
+    #[test]
+    fn id_roundtrip() {
+        assert_eq!(SignalId::from_raw(4).index(), 4);
+        assert_eq!(SignalId::from_raw(4).to_string(), "s4");
+    }
+}

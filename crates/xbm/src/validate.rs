@@ -1,0 +1,447 @@
+//! Well-formedness checks and value labelling for XBM machines.
+//!
+//! Burst-mode machines must satisfy (Nowick '93, Yun & Dill '92):
+//!
+//! * every transition's input burst contains at least one compulsory edge;
+//! * the **maximal-set property**: of the transitions leaving a state, no
+//!   compulsory burst may be a subset of another, unless a sampled level
+//!   distinguishes them;
+//! * signal polarities must be consistent: a rising edge can only be
+//!   specified where the signal provably is 0 (or in-flight `X` from a
+//!   directed don't-care), and outputs must have a definite value anywhere
+//!   they toggle;
+//! * all states are reachable from the initial state.
+//!
+//! [`label_values`] computes, per state, the value of every signal on entry
+//! (`0`, `1`, or `X`), which the checks — and the logic synthesizer in
+//! `adcs-hfmin` — build on.
+
+use std::collections::{HashMap, VecDeque};
+
+use crate::error::XbmError;
+use crate::machine::{StateId, TermKind, XbmMachine};
+use crate::signal::SignalId;
+
+/// A ternary signal value.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum Value {
+    /// Stable 0.
+    Zero,
+    /// Stable 1.
+    One,
+    /// Unknown / possibly in transition (directed don't-care in flight, or
+    /// a sampled level).
+    X,
+}
+
+impl Value {
+    /// Converts a concrete boolean.
+    pub fn from_bool(b: bool) -> Self {
+        if b {
+            Value::One
+        } else {
+            Value::Zero
+        }
+    }
+
+    /// The concrete value, if stable.
+    pub fn as_bool(self) -> Option<bool> {
+        match self {
+            Value::Zero => Some(false),
+            Value::One => Some(true),
+            Value::X => None,
+        }
+    }
+
+    fn merge(self, other: Value) -> Value {
+        if self == other {
+            self
+        } else {
+            Value::X
+        }
+    }
+}
+
+/// Per-state entry values: `labels[state][signal.index()]`.
+pub type StateLabels = HashMap<StateId, Vec<Value>>;
+
+/// Computes the entry value of every signal in every reachable state.
+///
+/// # Errors
+///
+/// * [`XbmError::Polarity`] — an edge direction contradicts the provable
+///   entering value.
+/// * [`XbmError::InconsistentState`] — an *output* enters a state with
+///   conflicting values along different paths (outputs must be
+///   deterministic per state).
+pub fn label_values(m: &XbmMachine) -> Result<StateLabels, XbmError> {
+    // Phase 1: propagate to fixpoint without judging — eager checks would
+    // fire on stale labels before merges settle to X.
+    let mut labels: StateLabels = HashMap::new();
+    let init: Vec<Value> = m
+        .signals()
+        .map(|(_, s)| Value::from_bool(s.initial))
+        .collect();
+    labels.insert(m.initial(), init);
+    let mut work = VecDeque::new();
+    work.push_back(m.initial());
+
+    while let Some(state) = work.pop_front() {
+        let entry = labels[&state].clone();
+        for (_, t) in m.transitions_from(state) {
+            let next = post_transition_values(&entry, t);
+            match labels.get_mut(&t.to) {
+                None => {
+                    labels.insert(t.to, next);
+                    work.push_back(t.to);
+                }
+                Some(existing) => {
+                    let mut changed = false;
+                    for (e, n) in existing.iter_mut().zip(next.iter()) {
+                        let merged = e.merge(*n);
+                        if merged != *e {
+                            *e = merged;
+                            changed = true;
+                        }
+                    }
+                    if changed {
+                        work.push_back(t.to);
+                    }
+                }
+            }
+        }
+    }
+
+    // Phase 2: judge against the stable labelling.
+    for (&state, entry) in &labels {
+        for (_, t) in m.transitions_from(state) {
+            let mut cur = entry.clone();
+            for term in &t.input {
+                let idx = term.signal.index();
+                let v = cur[idx];
+                match term.kind {
+                    TermKind::Rise | TermKind::DdcRise => {
+                        if v == Value::One {
+                            return Err(XbmError::Polarity {
+                                state,
+                                signal: term.signal,
+                                expected: true,
+                            });
+                        }
+                    }
+                    TermKind::Fall | TermKind::DdcFall => {
+                        if v == Value::Zero {
+                            return Err(XbmError::Polarity {
+                                state,
+                                signal: term.signal,
+                                expected: false,
+                            });
+                        }
+                    }
+                    TermKind::LevelHigh | TermKind::LevelLow => {}
+                }
+                cur[idx] = transition_term_value(term.kind, v);
+            }
+            for &o in &t.output {
+                if entry[o.index()] == Value::X {
+                    return Err(XbmError::InconsistentState { state, signal: o });
+                }
+            }
+        }
+        // Outputs must be deterministic in every reachable state.
+        for (sig, info) in m.signals() {
+            if !info.input && entry[sig.index()] == Value::X {
+                return Err(XbmError::InconsistentState { state, signal: sig });
+            }
+        }
+    }
+    Ok(labels)
+}
+
+fn transition_term_value(kind: TermKind, _entry: Value) -> Value {
+    match kind {
+        TermKind::Rise => Value::One,
+        TermKind::Fall => Value::Zero,
+        TermKind::DdcRise | TermKind::DdcFall => Value::X,
+        // A sampled level pins the branch's world: the signal is assumed
+        // stable at its sampled value until the next sampling point (paths
+        // re-merge to X at join states).
+        TermKind::LevelHigh => Value::One,
+        TermKind::LevelLow => Value::Zero,
+    }
+}
+
+/// Signal values after `t` fires from entry values `entry`.
+fn post_transition_values(entry: &[Value], t: &crate::machine::Transition) -> Vec<Value> {
+    let mut next = entry.to_vec();
+    for term in &t.input {
+        next[term.signal.index()] = transition_term_value(term.kind, entry[term.signal.index()]);
+    }
+    for &o in &t.output {
+        next[o.index()] = match next[o.index()] {
+            Value::Zero => Value::One,
+            Value::One => Value::Zero,
+            Value::X => Value::X,
+        };
+    }
+    next
+}
+
+/// Rise/fall direction of every output toggle of transition `idx`, given
+/// the labelling.
+///
+/// # Errors
+///
+/// Fails if the transition index is out of range or its source state is
+/// unreachable.
+pub fn output_edges(
+    m: &XbmMachine,
+    labels: &StateLabels,
+    idx: usize,
+) -> Result<Vec<(SignalId, bool)>, XbmError> {
+    let t = m
+        .transitions()
+        .get(idx)
+        .ok_or_else(|| XbmError::Structure(format!("transition index {idx} out of range")))?;
+    let entry = labels
+        .get(&t.from)
+        .ok_or(XbmError::Unreachable(t.from))?;
+    let mut out = Vec::new();
+    for &o in &t.output {
+        match entry[o.index()] {
+            Value::Zero => out.push((o, true)),
+            Value::One => out.push((o, false)),
+            Value::X => return Err(XbmError::InconsistentState { state: t.from, signal: o }),
+        }
+    }
+    Ok(out)
+}
+
+/// Runs every well-formedness check.
+///
+/// # Errors
+///
+/// The first violated rule, see the module docs.
+pub fn validate(m: &XbmMachine) -> Result<(), XbmError> {
+    // 1. every transition has a compulsory edge
+    for t in m.transitions() {
+        if t.input.iter().all(|term| !term.kind.is_compulsory()) {
+            return Err(XbmError::EmptyInputBurst { from: t.from, to: t.to });
+        }
+    }
+    // 2. maximal-set property per state
+    for (state, _) in m.states() {
+        let outs: Vec<(usize, _)> = m.transitions_from(state).collect();
+        for i in 0..outs.len() {
+            for j in (i + 1)..outs.len() {
+                let (fi, ti) = outs[i];
+                let (fj, tj) = outs[j];
+                if !distinguishable(ti, tj) {
+                    return Err(XbmError::MaximalSet { state, first: fi, second: fj });
+                }
+            }
+        }
+    }
+    // 3. polarity / output consistency
+    let labels = label_values(m)?;
+    // 4. reachability
+    for (s, _) in m.states() {
+        if !labels.contains_key(&s) {
+            return Err(XbmError::Unreachable(s));
+        }
+    }
+    Ok(())
+}
+
+/// XBM distinguishability of two transitions out of one state: either a
+/// sampled level separates them, or neither compulsory edge set is a
+/// subset of the other.
+fn distinguishable(a: &crate::machine::Transition, b: &crate::machine::Transition) -> bool {
+    // Opposite levels on a common signal distinguish.
+    for ta in &a.input {
+        if !ta.kind.is_level() {
+            continue;
+        }
+        for tb in &b.input {
+            if tb.kind.is_level() && tb.signal == ta.signal && tb.kind != ta.kind {
+                return true;
+            }
+        }
+    }
+    let ca: Vec<_> = a.compulsory().collect();
+    let cb: Vec<_> = b.compulsory().collect();
+    let a_sub_b = ca.iter().all(|t| cb.contains(t));
+    let b_sub_a = cb.iter().all(|t| ca.contains(t));
+    !(a_sub_b || b_sub_a)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::machine::{Term, XbmBuilder};
+
+    fn handshake() -> XbmMachine {
+        let mut b = XbmBuilder::new("hs");
+        let req = b.input("req", false);
+        let ack = b.output("ack", false);
+        let s0 = b.state("s0");
+        let s1 = b.state("s1");
+        b.transition(s0, s1, [Term::rise(req)], [ack]).unwrap();
+        b.transition(s1, s0, [Term::fall(req)], [ack]).unwrap();
+        b.finish(s0).unwrap()
+    }
+
+    #[test]
+    fn labels_alternate_through_the_handshake() {
+        let m = handshake();
+        let labels = label_values(&m).unwrap();
+        let s0 = m.initial();
+        let s1 = m.transitions()[0].to;
+        assert_eq!(labels[&s0], vec![Value::Zero, Value::Zero]);
+        assert_eq!(labels[&s1], vec![Value::One, Value::One]);
+        assert_eq!(output_edges(&m, &labels, 0).unwrap(), vec![(SignalId::from_raw(1), true)]);
+        assert_eq!(output_edges(&m, &labels, 1).unwrap(), vec![(SignalId::from_raw(1), false)]);
+    }
+
+    #[test]
+    fn validate_accepts_handshake() {
+        assert!(validate(&handshake()).is_ok());
+    }
+
+    #[test]
+    fn polarity_violation_detected() {
+        let mut b = XbmBuilder::new("bad");
+        let req = b.input("req", false);
+        let ack = b.output("ack", false);
+        let s0 = b.state("s0");
+        let s1 = b.state("s1");
+        // req rises twice in a row without falling: impossible.
+        b.transition(s0, s1, [Term::rise(req)], [ack]).unwrap();
+        b.transition(s1, s0, [Term::rise(req)], [ack]).unwrap();
+        let m = b.finish(s0).unwrap();
+        assert!(matches!(validate(&m), Err(XbmError::Polarity { .. })));
+    }
+
+    #[test]
+    fn empty_input_burst_detected() {
+        let mut b = XbmBuilder::new("bad");
+        let c = b.input("c", false);
+        let ack = b.output("ack", false);
+        let s0 = b.state("s0");
+        let s1 = b.state("s1");
+        b.transition(s0, s1, [Term::level(c, true)], [ack]).unwrap();
+        b.transition(s1, s0, [Term::fall(c)], [ack]).unwrap();
+        let m = b.finish(s0).unwrap();
+        assert!(matches!(
+            validate(&m),
+            Err(XbmError::EmptyInputBurst { .. })
+        ));
+    }
+
+    #[test]
+    fn maximal_set_violation_detected() {
+        let mut b = XbmBuilder::new("bad");
+        let x = b.input("x", false);
+        let y = b.input("y", false);
+        let o = b.output("o", false);
+        let s0 = b.state("s0");
+        let s1 = b.state("s1");
+        let s2 = b.state("s2");
+        b.transition(s0, s1, [Term::rise(x)], [o]).unwrap();
+        b.transition(s0, s2, [Term::rise(x), Term::rise(y)], [])
+            .unwrap();
+        let m = b.finish(s0).unwrap();
+        assert!(matches!(validate(&m), Err(XbmError::MaximalSet { .. })));
+    }
+
+    #[test]
+    fn levels_make_subset_bursts_legal() {
+        // The LOOP-controller pattern: same edge, opposite sampled levels.
+        let mut b = XbmBuilder::new("loop");
+        let go = b.input("go", false);
+        let c = b.input_kind("c", crate::signal::SignalKind::Level, false);
+        let enter = b.output("enter", false);
+        let exit = b.output("exit", false);
+        let s0 = b.state("s0");
+        let s1 = b.state("s1");
+        let s2 = b.state("s2");
+        b.transition(s0, s1, [Term::rise(go), Term::level(c, true)], [enter])
+            .unwrap();
+        b.transition(s0, s2, [Term::rise(go), Term::level(c, false)], [exit])
+            .unwrap();
+        b.transition(s1, s0, [Term::fall(go)], [enter]).unwrap();
+        b.transition(s2, s0, [Term::fall(go)], [exit]).unwrap();
+        let m = b.finish(s0).unwrap();
+        validate(&m).unwrap();
+    }
+
+    #[test]
+    fn unreachable_state_detected() {
+        // `finish` prunes *unreferenced* states, so build an island: two
+        // states referencing each other but disconnected from the initial
+        // state.
+        let mut b = XbmBuilder::new("bad");
+        let x = b.input("x", false);
+        let o = b.output("o", false);
+        let s0 = b.state("s0");
+        let s1 = b.state("s1");
+        let i0 = b.state("island0");
+        let i1 = b.state("island1");
+        b.transition(s0, s1, [Term::rise(x)], [o]).unwrap();
+        b.transition(s1, s0, [Term::fall(x)], [o]).unwrap();
+        b.transition(i0, i1, [Term::rise(x)], []).unwrap();
+        b.transition(i1, i0, [Term::fall(x)], []).unwrap();
+        let m = b.finish(s0).unwrap();
+        assert!(matches!(validate(&m), Err(XbmError::Unreachable(_))));
+    }
+
+    #[test]
+    fn ddc_then_compulsory_edge_is_legal() {
+        // s0 --a+, b*+ / x+--> s1 --b+ / x- --> s0' pattern
+        let mut b = XbmBuilder::new("ddc");
+        let a = b.input("a", false);
+        let bb = b.input("b", false);
+        let x = b.output("x", false);
+        let s0 = b.state("s0");
+        let s1 = b.state("s1");
+        let s2 = b.state("s2");
+        b.transition(s0, s1, [Term::rise(a), Term::ddc(bb, true)], [x])
+            .unwrap();
+        b.transition(s1, s2, [Term::rise(bb)], [x]).unwrap();
+        b.transition(s2, s0, [Term::fall(a), Term::fall(bb)], [])
+            .unwrap();
+        let m = b.finish(s0).unwrap();
+        validate(&m).unwrap();
+        let labels = label_values(&m).unwrap();
+        assert_eq!(labels[&s1][bb.index()], Value::X);
+        assert_eq!(labels[&s2][bb.index()], Value::One);
+    }
+
+    #[test]
+    fn inconsistent_output_at_join_detected() {
+        let mut b = XbmBuilder::new("bad");
+        let x = b.input("x", false);
+        let y = b.input("y", false);
+        let o = b.output("o", false);
+        let s0 = b.state("s0");
+        let s1 = b.state("s1");
+        // Two paths into s1 leave `o` at different values.
+        b.transition(s0, s1, [Term::rise(x)], [o]).unwrap();
+        b.transition(s0, s1, [Term::rise(y)], []).unwrap();
+        let m = b.finish(s0).unwrap();
+        assert!(matches!(
+            label_values(&m),
+            Err(XbmError::InconsistentState { .. })
+        ));
+    }
+
+    #[test]
+    fn value_merge_table() {
+        assert_eq!(Value::Zero.merge(Value::Zero), Value::Zero);
+        assert_eq!(Value::Zero.merge(Value::One), Value::X);
+        assert_eq!(Value::X.merge(Value::One), Value::X);
+        assert_eq!(Value::from_bool(true), Value::One);
+        assert_eq!(Value::One.as_bool(), Some(true));
+        assert_eq!(Value::X.as_bool(), None);
+    }
+}

@@ -1,0 +1,60 @@
+//! Design-space exploration — the transform "scripts" the paper announces
+//! as future work, running today: sweep every subset of {GT1..GT5, LT} on
+//! DIFFEQ and rank the results.
+//!
+//! ```sh
+//! cargo run --release -p adcs --example explore
+//! ```
+
+use adcs::explore::{explore_exhaustive, explore_greedy, Objective};
+use adcs::flow::FlowOptions;
+use adcs::timing::TimingModel;
+use adcs_cdfg::benchmarks::{diffeq, DiffeqParams};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let design = diffeq(DiffeqParams::default())?;
+    let base = FlowOptions {
+        verify_seeds: 2,
+        timing: TimingModel::uniform(1, 2)
+            .with_class("MUL", 2, 4)
+            .with_samples(8),
+        ..FlowOptions::default()
+    };
+
+    println!("greedy hill climb (channels, then states):");
+    let trail = explore_greedy(
+        &design.cdfg,
+        &design.initial,
+        &base,
+        Objective::ChannelsThenStates,
+    )?;
+    for p in &trail {
+        println!(
+            "  {:28} channels={} states={} transitions={}",
+            p.label(),
+            p.channels,
+            p.states,
+            p.transitions
+        );
+    }
+    println!();
+
+    println!("exhaustive sweep over 64 configurations, ten best:");
+    let points = explore_exhaustive(
+        &design.cdfg,
+        &design.initial,
+        &base,
+        Objective::ChannelsThenStates,
+    )?;
+    for p in points.iter().take(10) {
+        println!(
+            "  {:28} channels={} states={} transitions={}",
+            p.label(),
+            p.channels,
+            p.states,
+            p.transitions
+        );
+    }
+    println!("  ... {} configurations completed in total", points.len());
+    Ok(())
+}

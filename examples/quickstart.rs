@@ -1,0 +1,73 @@
+//! Quickstart: build a tiny CDFG, run the full synthesis flow, and print
+//! what came out.
+//!
+//! ```sh
+//! cargo run -p adcs --example quickstart
+//! ```
+
+use adcs::flow::{Flow, FlowOptions};
+use adcs_cdfg::benchmarks::{reg_file, RegFile};
+use adcs_cdfg::builder::CdfgBuilder;
+
+fn initial_registers() -> RegFile {
+    reg_file([
+        ("x", 4),
+        ("acc", 0),
+        ("one", 1),
+        ("zero", 0),
+        ("c", 1),
+        ("p", 0),
+    ])
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // A two-unit design: a multiplier feeding an accumulator loop.
+    //   while (c) { p := x * x; acc := acc + p; x := x - one; c := x != zero }
+    let mut b = CdfgBuilder::new();
+    let mul = b.add_fu("MUL");
+    let alu = b.add_fu("ALU");
+    b.stmt(alu, "c := x != zero")?;
+    b.begin_loop(alu, "c");
+    b.stmt(mul, "p := x * x")?;
+    b.stmt(alu, "acc := acc + p")?;
+    b.stmt(alu, "x := x - one")?;
+    b.stmt(alu, "c := x != zero")?;
+    b.end_loop(alu)?;
+    let cdfg = b.finish()?;
+
+    // Run: global transforms -> controller extraction -> local transforms.
+    let flow = Flow::new(cdfg, initial_registers());
+    let out = flow.run(&FlowOptions::default())?;
+
+    println!(
+        "synthesized {} controllers over {} channels:",
+        out.controllers.len(),
+        out.channels.count()
+    );
+    for c in &out.controllers {
+        println!("  {:4} {}", c.machine.name(), c.machine.stats());
+    }
+    println!();
+    println!("stage progression:");
+    for st in [&out.unoptimized, &out.optimized_gt, &out.optimized_gt_lt] {
+        println!(
+            "  {:22} {} channels, {} states, {} transitions",
+            st.label,
+            st.channels,
+            st.total_states(),
+            st.total_transitions()
+        );
+    }
+
+    // The flow verified the transforms by randomized simulation already;
+    // run once more to show the value: acc = 4^2 + 3^2 + 2^2 + 1^2 = 30.
+    let r = adcs_sim::exec::execute(
+        &out.cdfg,
+        initial_registers(),
+        &adcs_sim::DelayModel::uniform(1),
+        &adcs_sim::exec::ExecOptions::default(),
+    )?;
+    println!();
+    println!("transformed graph computes acc = {:?}", r.register("acc"));
+    Ok(())
+}

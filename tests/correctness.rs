@@ -1,0 +1,221 @@
+//! Cross-crate correctness: every benchmark, at every synthesis stage,
+//! must compute the same values as its pure-software reference model.
+
+use adcs::extract::Extraction;
+use adcs::flow::{Flow, FlowOptions};
+use adcs::system::{build_system, SystemDelays};
+use adcs_cdfg::benchmarks::{
+    diffeq, diffeq_reference, fir, fir_reference, gcd, gcd_reference, DiffeqParams,
+};
+use adcs_sim::exec::{execute, ExecOptions};
+use adcs_sim::DelayModel;
+
+#[test]
+fn diffeq_transformed_graph_is_value_equivalent_under_many_delays() {
+    for params in [
+        DiffeqParams::default(),
+        DiffeqParams { x0: 0, y0: 3, u0: -1, dx: 1, a: 9 },
+        DiffeqParams { x0: -3, y0: 1, u0: 2, dx: 2, a: 7 },
+        DiffeqParams { x0: 5, y0: 1, u0: 1, dx: 1, a: 5 }, // zero iterations
+    ] {
+        let d = diffeq(params).unwrap();
+        let out = Flow::new(d.cdfg.clone(), d.initial.clone())
+            .run(&FlowOptions::default())
+            .unwrap();
+        let (x, y, u) = diffeq_reference(params);
+        for seed in 0..10 {
+            let delays = DelayModel::uniform(1)
+                .with_fu(d.mul1, 3)
+                .with_fu(d.mul2, 2)
+                .with_jitter(seed, 3);
+            let r = execute(&out.cdfg, d.initial.clone(), &delays, &ExecOptions::default())
+                .unwrap();
+            assert_eq!(
+                (r.register("X"), r.register("Y"), r.register("U")),
+                (Some(x), Some(y), Some(u)),
+                "{params:?} seed {seed}"
+            );
+        }
+    }
+}
+
+#[test]
+fn gcd_transformed_graph_is_value_equivalent() {
+    for (x, y) in [(48, 36), (17, 5), (9, 9), (1, 100)] {
+        let d = gcd(x, y).unwrap();
+        let out = Flow::new(d.cdfg.clone(), d.initial.clone())
+            .run(&FlowOptions::default())
+            .unwrap();
+        let expect = gcd_reference(x, y);
+        for seed in 0..6 {
+            let delays = DelayModel::uniform(1).with_jitter(seed, 4);
+            let r = execute(&out.cdfg, d.initial.clone(), &delays, &ExecOptions::default())
+                .unwrap();
+            assert_eq!(r.register("x"), Some(expect), "gcd({x},{y}) seed {seed}");
+        }
+    }
+}
+
+#[test]
+fn fir_transformed_graph_is_value_equivalent() {
+    let xs = [5, -3, 2, 8];
+    let cs = [1, 4, -2, 3];
+    let d = fir(xs, cs, 11).unwrap();
+    let out = Flow::new(d.cdfg.clone(), d.initial.clone())
+        .run(&FlowOptions::default())
+        .unwrap();
+    let (y, line) = fir_reference(xs, cs, 11);
+    for seed in 0..6 {
+        let delays = DelayModel::uniform(2).with_jitter(seed, 3);
+        let r = execute(&out.cdfg, d.initial.clone(), &delays, &ExecOptions::default()).unwrap();
+        assert_eq!(r.register("y"), Some(y), "seed {seed}");
+        assert_eq!(r.register("x0"), Some(line[0]), "seed {seed}");
+        assert_eq!(r.register("x3"), Some(line[3]), "seed {seed}");
+    }
+}
+
+#[test]
+fn diffeq_controllers_drive_the_datapath_to_reference_values() {
+    let params = DiffeqParams {
+        x0: 0,
+        y0: 2,
+        u0: 1,
+        dx: 1,
+        a: 6,
+    };
+    let d = diffeq(params).unwrap();
+    let out = Flow::new(d.cdfg.clone(), d.initial.clone())
+        .run(&FlowOptions::default())
+        .unwrap();
+    let ex = Extraction {
+        controllers: out.controllers.clone(),
+    };
+    let mut sys = build_system(
+        &out.cdfg,
+        &out.channels,
+        &ex,
+        d.initial.clone(),
+        SystemDelays::default(),
+    )
+    .unwrap();
+    sys.run(500_000).unwrap();
+    let (x, y, u) = diffeq_reference(params);
+    assert_eq!(sys.datapath().register("X"), Some(x));
+    assert_eq!(sys.datapath().register("Y"), Some(y));
+    assert_eq!(sys.datapath().register("U"), Some(u));
+}
+
+#[test]
+fn wire_safety_holds_for_the_final_channel_structure() {
+    let d = diffeq(DiffeqParams::default()).unwrap();
+    let out = Flow::new(d.cdfg.clone(), d.initial.clone())
+        .run(&FlowOptions::default())
+        .unwrap();
+    let groups = out.channels.safety_groups(&out.cdfg);
+    for seed in 0..20 {
+        let delays = DelayModel::uniform(1)
+            .with_fu(d.mul1, 4)
+            .with_fu(d.mul2, 3)
+            .with_jitter(seed, 2);
+        let opts = ExecOptions {
+            channel_groups: groups.clone(),
+            ..ExecOptions::default()
+        };
+        let r = execute(&out.cdfg, d.initial.clone(), &delays, &opts).unwrap();
+        assert!(r.violations.is_empty(), "seed {seed}: {:?}", r.violations);
+    }
+}
+
+#[test]
+fn biquad_cascade_is_value_equivalent_through_the_flow() {
+    use adcs_cdfg::benchmarks::{biquad_cascade, biquad_reference};
+    for (sections, muls, alus) in [(1, 1, 1), (2, 2, 2)] {
+        let d = biquad_cascade(sections, 4, muls, alus).unwrap();
+        // Raw graph first.
+        let r = execute(
+            &d.cdfg,
+            d.initial.clone(),
+            &DelayModel::uniform(1),
+            &ExecOptions::default(),
+        )
+        .unwrap();
+        let expect = biquad_reference(sections, 4);
+        assert_eq!(r.register("acc"), Some(expect), "raw {sections} sections");
+        // Then the transformed graph under jitter.
+        let out = Flow::new(d.cdfg.clone(), d.initial.clone())
+            .run(&FlowOptions::default())
+            .unwrap();
+        for seed in 0..4 {
+            let delays = DelayModel::uniform(1).with_jitter(seed, 3);
+            let r = execute(&out.cdfg, d.initial.clone(), &delays, &ExecOptions::default())
+                .unwrap();
+            assert_eq!(
+                r.register("acc"),
+                Some(expect),
+                "{sections} sections seed {seed}"
+            );
+        }
+        assert!(out.optimized_gt.channels < out.unoptimized.channels);
+    }
+}
+
+#[test]
+fn random_straight_line_designs_flow_end_to_end() {
+    use adcs_cdfg::benchmarks::random_straight_line;
+    for seed in 0..6 {
+        let d = random_straight_line(seed, 10 + seed as usize, 2 + (seed % 2) as usize).unwrap();
+        let out = Flow::new(d.cdfg.clone(), d.initial.clone())
+            .run(&FlowOptions::default())
+            .unwrap();
+        let r = execute(
+            &out.cdfg,
+            d.initial.clone(),
+            &DelayModel::uniform(1).with_jitter(seed, 2),
+            &ExecOptions::default(),
+        )
+        .unwrap();
+        for (reg, v) in &d.expected {
+            assert_eq!(r.registers.get(reg), Some(v), "seed {seed} {reg}");
+        }
+    }
+}
+
+#[test]
+fn biquad_controllers_drive_the_datapath_under_structural_gt5() {
+    use adcs::gt::Gt5Options;
+    use adcs_cdfg::benchmarks::{biquad_cascade, biquad_reference};
+    let opts = FlowOptions {
+        gt5: Gt5Options {
+            structural_consumption: true,
+            ..Gt5Options::default()
+        },
+        ..FlowOptions::default()
+    };
+    for (sections, muls, alus) in [(1usize, 1, 1), (2, 2, 2), (3, 2, 2)] {
+        let d = biquad_cascade(sections, 4, muls, alus).unwrap();
+        let out = Flow::new(d.cdfg.clone(), d.initial.clone()).run(&opts).unwrap();
+        assert!(
+            out.channels.count() * 2 < out.unoptimized.channels,
+            "{sections} sections: {} -> {}",
+            out.unoptimized.channels,
+            out.channels.count()
+        );
+        let ex = Extraction {
+            controllers: out.controllers.clone(),
+        };
+        let mut sys = build_system(
+            &out.cdfg,
+            &out.channels,
+            &ex,
+            d.initial.clone(),
+            SystemDelays::default(),
+        )
+        .unwrap();
+        sys.run(2_000_000).unwrap();
+        assert_eq!(
+            sys.datapath().register("acc"),
+            Some(biquad_reference(sections, 4)),
+            "{sections} sections"
+        );
+    }
+}

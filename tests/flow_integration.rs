@@ -1,0 +1,208 @@
+//! Cross-crate pipeline integration: transforms compose, extraction
+//! produces valid machines at every stage, and the logic back-end accepts
+//! every final controller.
+
+use adcs::channel::ChannelMap;
+use adcs::extract::{extract, ExpansionStyle, ExtractOptions};
+use adcs::flow::{Flow, FlowOptions};
+use adcs::gt::{
+    gt1_loop_parallelism, gt2_remove_dominated, gt3_relative_timing, gt4_merge_assignments,
+    gt5_channel_elimination, Gt5Options,
+};
+use adcs::timing::TimingModel;
+use adcs_cdfg::benchmarks::{diffeq, fir, gcd, DiffeqParams};
+use adcs_hfmin::{synthesize, SynthOptions};
+
+#[test]
+fn every_stage_produces_valid_xbm_machines() {
+    let d = diffeq(DiffeqParams::default()).unwrap();
+
+    // Stage 0: raw graph, per-arc channels, sequential style.
+    let ch0 = ChannelMap::per_arc(&d.cdfg).unwrap();
+    let ex0 = extract(
+        &d.cdfg,
+        &ch0,
+        &ExtractOptions { style: ExpansionStyle::Sequential },
+    )
+    .unwrap();
+    assert_eq!(ex0.controllers.len(), 4);
+    for c in &ex0.controllers {
+        adcs_xbm::validate::validate(&c.machine).unwrap();
+    }
+
+    // Stage 1: transformed graph, compact style.
+    let mut g = d.cdfg.clone();
+    gt1_loop_parallelism(&mut g).unwrap();
+    gt2_remove_dominated(&mut g).unwrap();
+    let model = TimingModel::uniform(1, 2)
+        .with_class("MUL", 2, 4)
+        .with_samples(16);
+    gt3_relative_timing(&mut g, &d.initial, &model).unwrap();
+    gt4_merge_assignments(&mut g).unwrap();
+    let mut ch = ChannelMap::per_arc(&g).unwrap();
+    gt5_channel_elimination(&mut g, &mut ch, Gt5Options::default()).unwrap();
+    let ex1 = extract(&g, &ch, &ExtractOptions { style: ExpansionStyle::Compact }).unwrap();
+    for c in &ex1.controllers {
+        adcs_xbm::validate::validate(&c.machine).unwrap();
+    }
+}
+
+#[test]
+fn final_controllers_synthesize_to_hazard_free_logic() {
+    let d = diffeq(DiffeqParams::default()).unwrap();
+    let out = Flow::new(d.cdfg.clone(), d.initial.clone())
+        .run(&FlowOptions::default())
+        .unwrap();
+    let mut total_products = 0;
+    for c in &out.controllers {
+        let logic = synthesize(&c.machine, SynthOptions::default())
+            .unwrap_or_else(|e| panic!("{}: {e}", c.machine.name()));
+        assert!(logic.products_single_output() > 0, "{}", c.machine.name());
+        assert!(logic.literals_shared() <= logic.literals_single_output());
+        total_products += logic.products_single_output();
+    }
+    assert!(total_products > 0);
+}
+
+#[test]
+fn gcd_and_fir_survive_the_whole_flow() {
+    let g = gcd(30, 12).unwrap();
+    let out = Flow::new(g.cdfg.clone(), g.initial.clone())
+        .run(&FlowOptions::default())
+        .unwrap();
+    assert!(out.optimized_gt.channels <= out.unoptimized.channels);
+    for c in &out.controllers {
+        adcs_xbm::validate::validate(&c.machine).unwrap();
+    }
+
+    let f = fir([1, 2, 3, 4], [4, 3, 2, 1], 9).unwrap();
+    let out = Flow::new(f.cdfg.clone(), f.initial.clone())
+        .run(&FlowOptions::default())
+        .unwrap();
+    assert!(out.optimized_gt.channels < out.unoptimized.channels);
+}
+
+#[test]
+fn disabled_transforms_leave_the_channel_count_at_the_baseline() {
+    let d = diffeq(DiffeqParams::default()).unwrap();
+    let opts = FlowOptions {
+        gt1: false,
+        gt2: false,
+        gt3: false,
+        gt4: false,
+        gt5: Gt5Options {
+            multiplexing: false,
+            concurrency_reduction: false,
+            symmetrization: false,
+            ..Gt5Options::default()
+        },
+        ..FlowOptions::default()
+    };
+    let out = Flow::new(d.cdfg.clone(), d.initial.clone()).run(&opts).unwrap();
+    assert_eq!(out.unoptimized.channels, out.optimized_gt.channels);
+}
+
+#[test]
+fn lt_reports_account_for_the_state_reduction() {
+    let d = diffeq(DiffeqParams::default()).unwrap();
+    let out = Flow::new(d.cdfg.clone(), d.initial.clone())
+        .run(&FlowOptions::default())
+        .unwrap();
+    // LT4 contraction is the dominant state reducer; every controller
+    // should have contracted at least one wait.
+    for (rep, (name, _)) in out.lt_reports.iter().zip(&out.optimized_gt.machines) {
+        assert!(rep.acks_removed > 0, "{name}: {rep:?}");
+        assert!(rep.contracted > 0, "{name}: {rep:?}");
+    }
+}
+
+#[test]
+fn synthesized_logic_cosimulates_against_the_controllers() {
+    // Evaluate the hazard-free covers as combinational logic with state
+    // feedback, lock-step against the burst-mode interpreter, for every
+    // final DIFFEQ controller.
+    let d = diffeq(DiffeqParams::default()).unwrap();
+    let out = Flow::new(d.cdfg.clone(), d.initial.clone())
+        .run(&FlowOptions::default())
+        .unwrap();
+    for c in &out.controllers {
+        let logic = synthesize(&c.machine, SynthOptions::default()).unwrap();
+        let edges = adcs_hfmin::gatesim::cosimulate(&c.machine, &logic, 40)
+            .unwrap_or_else(|e| panic!("{}: {e}", c.machine.name()));
+        assert!(edges >= 20, "{}: only {edges} edges driven", c.machine.name());
+    }
+}
+
+#[test]
+fn yun_reconstruction_logic_cosimulates() {
+    for m in adcs::yun::yun_controllers().unwrap() {
+        let logic = synthesize(&m, SynthOptions::default()).unwrap();
+        let edges = adcs_hfmin::gatesim::cosimulate(&m, &logic, 30)
+            .unwrap_or_else(|e| panic!("{}: {e}", m.name()));
+        assert!(edges >= 10, "{}", m.name());
+    }
+}
+
+#[test]
+fn exhaustive_exploration_finds_the_full_configuration_channel_optimal() {
+    use adcs::explore::{explore_exhaustive, Objective};
+    use adcs::timing::TimingModel;
+    let d = diffeq(DiffeqParams::default()).unwrap();
+    let base = FlowOptions {
+        verify_seeds: 1,
+        timing: TimingModel::uniform(1, 2)
+            .with_class("MUL", 2, 4)
+            .with_samples(4),
+        ..FlowOptions::default()
+    };
+    let points = explore_exhaustive(&d.cdfg, &d.initial, &base, Objective::Channels).unwrap();
+    assert!(points.len() > 32, "most configurations should complete");
+    let best = &points[0];
+    assert_eq!(best.channels, 5, "{best:?}");
+    // The best configuration includes GT5 (bit 4) — channels cannot reach
+    // 5 without channel elimination.
+    assert!(best.config.4, "{best:?}");
+    // And the worst completed configuration keeps the full 17.
+    assert_eq!(points.last().unwrap().channels, 17);
+}
+
+#[test]
+fn shipped_design_files_parse_and_flow() {
+    // Every .adcs file in designs/ must parse and survive the full default
+    // flow; the transformed graph must compute the same registers as the
+    // original under a unit delay model.
+    use adcs_sim::exec::{execute, ExecOptions};
+    use adcs_sim::DelayModel;
+    let dir = std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("../../designs");
+    let mut count = 0;
+    for entry in std::fs::read_dir(dir).unwrap() {
+        let path = entry.unwrap().path();
+        if path.extension().and_then(|e| e.to_str()) != Some("adcs") {
+            continue;
+        }
+        count += 1;
+        let text = std::fs::read_to_string(&path).unwrap();
+        let prog = adcs_cdfg::parse::parse_program(&text)
+            .unwrap_or_else(|e| panic!("{}: {e}", path.display()));
+        let before = execute(
+            &prog.cdfg,
+            prog.initial.clone(),
+            &DelayModel::uniform(1),
+            &ExecOptions::default(),
+        )
+        .unwrap_or_else(|e| panic!("{}: {e}", path.display()));
+        let out = Flow::new(prog.cdfg.clone(), prog.initial.clone())
+            .run(&FlowOptions::default())
+            .unwrap_or_else(|e| panic!("{}: {e}", path.display()));
+        assert!(!out.controllers.is_empty(), "{}", path.display());
+        let after = execute(
+            &out.cdfg,
+            prog.initial.clone(),
+            &DelayModel::uniform(1),
+            &ExecOptions::default(),
+        )
+        .unwrap_or_else(|e| panic!("{}: {e}", path.display()));
+        assert_eq!(before.registers, after.registers, "{}", path.display());
+    }
+    assert!(count >= 4, "expected the shipped designs, found {count}");
+}

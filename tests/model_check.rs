@@ -1,0 +1,187 @@
+//! Exhaustive-interleaving verification of the DIFFEQ controller
+//! networks (`adcs::mc`): where the randomized timed simulations sample
+//! delay assignments, these tests cover *all* of them — and pin down
+//! exactly which timing assumptions the paper's architecture (§2.2) and
+//! optimizations (§5) rely on.
+
+use adcs::channel::ChannelMap;
+use adcs::extract::{extract, ExpansionStyle, ExtractOptions, Extraction};
+use adcs::flow::{Flow, FlowOptions};
+use adcs::mc::{model_check_system, McOptions, McVerdict, McViolationKind};
+use adcs::system::{system_parts, SystemDelays, SystemParts};
+use adcs_cdfg::benchmarks::{diffeq, diffeq_reference, DiffeqDesign, DiffeqParams};
+
+/// One Euler iteration keeps the exhaustive space tractable.
+fn one_iter() -> DiffeqParams {
+    DiffeqParams { x0: 0, y0: 1, u0: 2, dx: 1, a: 1 }
+}
+
+fn baseline_parts(d: &DiffeqDesign) -> (ChannelMap, Extraction) {
+    let channels = ChannelMap::per_arc(&d.cdfg).unwrap();
+    let ex = extract(
+        &d.cdfg,
+        &channels,
+        &ExtractOptions { style: ExpansionStyle::Sequential },
+    )
+    .unwrap();
+    (channels, ex)
+}
+
+fn check(parts: &SystemParts<'_>, opts: &McOptions) -> McVerdict {
+    model_check_system(parts, opts).unwrap()
+}
+
+#[test]
+fn unoptimized_network_is_delay_insensitive_under_the_setup_assumption() {
+    // The 17-channel baseline quiesces with the reference result under
+    // EVERY wire/datapath delay assignment, given only the burst-mode
+    // setup-time assumption on sampled condition levels.
+    let params = one_iter();
+    let d = diffeq(params).unwrap();
+    let (channels, ex) = baseline_parts(&d);
+    let parts =
+        system_parts(&d.cdfg, &channels, &ex, d.initial.clone(), SystemDelays::default()).unwrap();
+    match check(&parts, &McOptions::default()) {
+        McVerdict::Verified { outcome, stats } => {
+            let get = |n: &str| {
+                outcome
+                    .iter()
+                    .find(|(r, _)| r.name() == n)
+                    .map(|(_, v)| *v)
+                    .unwrap()
+            };
+            let (x, y, u) = diffeq_reference(params);
+            assert_eq!((get("X"), get("Y"), get("U")), (x, y, u));
+            assert_eq!(stats.terminals, 1, "a unique quiescent outcome");
+            assert!(stats.states > 10_000, "nontrivial space: {stats:?}");
+        }
+        other => panic!("expected full verification, got {other:?}"),
+    }
+}
+
+#[test]
+fn the_level_setup_assumption_is_load_bearing_even_for_the_baseline() {
+    // With condition-level updates racing the rest of the network, some
+    // interleaving samples a stale level and diverges — the architecture's
+    // fundamental-mode assumption is not introduced by the optimizations.
+    let d = diffeq(one_iter()).unwrap();
+    let (channels, ex) = baseline_parts(&d);
+    let parts =
+        system_parts(&d.cdfg, &channels, &ex, d.initial.clone(), SystemDelays::default()).unwrap();
+    let opts = McOptions { synchronous_levels: false, ..McOptions::default() };
+    match check(&parts, &opts) {
+        McVerdict::Violation { kind, .. } => {
+            assert_eq!(kind, McViolationKind::DivergentOutcome)
+        }
+        other => panic!("expected a level race, got {other:?}"),
+    }
+}
+
+#[test]
+fn the_optimized_network_relies_on_relative_timing() {
+    // The GT5-multiplexed channels are only safe because operation
+    // latency exceeds a wire hop (§5). Dropping the timing regime lets the
+    // checker put two events in flight on one multiplexed channel wire —
+    // the transmission interference the paper's analysis excludes.
+    let d = diffeq(one_iter()).unwrap();
+    let out = Flow::new(d.cdfg.clone(), d.initial.clone())
+        .run(&FlowOptions::default())
+        .unwrap();
+    let ex = Extraction { controllers: out.controllers.clone() };
+    let parts = system_parts(
+        &out.cdfg,
+        &out.channels,
+        &ex,
+        d.initial.clone(),
+        SystemDelays::default(),
+    )
+    .unwrap();
+    let opts = McOptions { synchronous_levels: false, ..McOptions::default() };
+    match check(&parts, &opts) {
+        McVerdict::Violation { kind, detail, .. } => {
+            assert_eq!(kind, McViolationKind::WireInterference, "{detail}");
+            assert!(detail.contains("ch"), "on a channel wire: {detail}");
+        }
+        other => panic!("expected wire interference, got {other:?}"),
+    }
+}
+
+#[test]
+fn the_optimized_zero_iteration_run_verifies_without_any_assumption() {
+    // When the loop body never executes, the optimized network's straight
+    // path is fully delay-insensitive — levels racing included.
+    let params = DiffeqParams { x0: 3, y0: 1, u0: 2, dx: 1, a: 3 };
+    let d = diffeq(params).unwrap();
+    let out = Flow::new(d.cdfg.clone(), d.initial.clone())
+        .run(&FlowOptions::default())
+        .unwrap();
+    let ex = Extraction { controllers: out.controllers.clone() };
+    let parts = system_parts(
+        &out.cdfg,
+        &out.channels,
+        &ex,
+        d.initial.clone(),
+        SystemDelays::default(),
+    )
+    .unwrap();
+    for sync in [true, false] {
+        let opts = McOptions { synchronous_levels: sync, ..McOptions::default() };
+        match check(&parts, &opts) {
+            McVerdict::Verified { outcome, .. } => {
+                let x = outcome.iter().find(|(r, _)| r.name() == "X").unwrap().1;
+                assert_eq!(x, 3);
+            }
+            other => panic!("sync={sync}: expected verification, got {other:?}"),
+        }
+    }
+}
+
+#[test]
+fn the_full_optimized_space_exceeds_any_small_budget() {
+    // Documenting the scale: GT1's cross-iteration overlap makes even the
+    // one-iteration optimized network's interleaving space huge (probed
+    // past 6M states); a small budget must report Budget, not a false
+    // verdict either way.
+    let d = diffeq(one_iter()).unwrap();
+    let out = Flow::new(d.cdfg.clone(), d.initial.clone())
+        .run(&FlowOptions::default())
+        .unwrap();
+    let ex = Extraction { controllers: out.controllers.clone() };
+    let parts = system_parts(
+        &out.cdfg,
+        &out.channels,
+        &ex,
+        d.initial.clone(),
+        SystemDelays::default(),
+    )
+    .unwrap();
+    let opts = McOptions { max_states: 20_000, ..McOptions::default() };
+    assert!(matches!(check(&parts, &opts), McVerdict::Budget(_)));
+}
+
+#[test]
+fn gcd_baseline_with_conditionals_is_delay_insensitive() {
+    // The checker also covers IF/ELSE decision distribution: the
+    // unoptimized GCD network (conditional branches inside the loop)
+    // verifies for all delays under the setup-time assumption, landing on
+    // gcd(2,1) = 1 in every interleaving.
+    use adcs_cdfg::benchmarks::{gcd, gcd_reference};
+    let d = gcd(2, 1).unwrap();
+    let channels = ChannelMap::per_arc(&d.cdfg).unwrap();
+    let ex = extract(
+        &d.cdfg,
+        &channels,
+        &ExtractOptions { style: ExpansionStyle::Sequential },
+    )
+    .unwrap();
+    let parts =
+        system_parts(&d.cdfg, &channels, &ex, d.initial.clone(), SystemDelays::default()).unwrap();
+    match check(&parts, &McOptions::default()) {
+        McVerdict::Verified { outcome, stats } => {
+            let x = outcome.iter().find(|(r, _)| r.name() == "x").unwrap().1;
+            assert_eq!(x, gcd_reference(2, 1));
+            assert_eq!(stats.terminals, 1);
+        }
+        other => panic!("expected verification, got {other:?}"),
+    }
+}

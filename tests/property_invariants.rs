@@ -1,0 +1,139 @@
+//! Property-based tests over randomly generated straight-line CDFGs: the
+//! builder's derived constraints must always produce graphs that validate,
+//! execute deterministically, and stay value-equivalent under GT2/GT4 and
+//! arbitrary delay jitter.
+
+use adcs_cdfg::benchmarks::RegFile;
+use adcs_cdfg::builder::CdfgBuilder;
+use adcs_cdfg::{Cdfg, Reg};
+use adcs_sim::exec::{execute, ExecOptions};
+use adcs_sim::DelayModel;
+use proptest::prelude::*;
+
+/// A random straight-line program over a small register set, with random
+/// binding onto 2-3 units.
+#[derive(Clone, Debug)]
+struct Program {
+    stmts: Vec<(usize, String)>,
+    nfus: usize,
+}
+
+fn program_strategy() -> impl Strategy<Value = Program> {
+    let regs = ["r0", "r1", "r2", "r3", "r4"];
+    let ops = ["+", "-", "*"];
+    let stmt = (0usize..5, 0usize..5, 0usize..3, 0usize..5, 0usize..3).prop_map(
+        move |(d, a, op, b, fu)| {
+            (
+                fu,
+                format!("{} := {} {} {}", regs[d], regs[a], ops[op], regs[b]),
+            )
+        },
+    );
+    (proptest::collection::vec(stmt, 1..12), 2usize..4)
+        .prop_map(|(stmts, nfus)| Program {
+            stmts: stmts
+                .into_iter()
+                .map(|(fu, s)| (fu % 3, s))
+                .collect(),
+            nfus,
+        })
+}
+
+fn build(p: &Program) -> Cdfg {
+    let mut b = CdfgBuilder::new();
+    let fus: Vec<_> = (0..p.nfus).map(|i| b.add_fu(format!("FU{i}"))).collect();
+    for (fu, s) in &p.stmts {
+        b.stmt(fus[fu % p.nfus], s).unwrap();
+    }
+    b.finish().unwrap()
+}
+
+fn initial() -> RegFile {
+    (0..5).map(|i| (Reg::new(format!("r{i}")), i as i64 + 1)).collect()
+}
+
+/// Reference: execute the statements in program order.
+fn reference(p: &Program) -> RegFile {
+    let mut regs = initial();
+    for (_, s) in &p.stmts {
+        let stmt: adcs_cdfg::RtlStatement = s.parse().unwrap();
+        let v = stmt.eval(|r| regs[r]);
+        regs.insert(stmt.dest.clone(), v);
+    }
+    regs
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn builder_output_always_validates(p in program_strategy()) {
+        let g = build(&p);
+        prop_assert!(adcs_cdfg::validate::validate(&g).is_ok());
+        prop_assert!(adcs_cdfg::validate::crossing_arcs(&g).is_empty());
+    }
+
+    #[test]
+    fn execution_matches_program_order_semantics(p in program_strategy()) {
+        let g = build(&p);
+        let r = execute(&g, initial(), &DelayModel::uniform(1), &ExecOptions::default()).unwrap();
+        prop_assert!(r.finished);
+        let want = reference(&p);
+        for (reg, v) in &want {
+            prop_assert_eq!(r.registers.get(reg), Some(v), "{}", reg);
+        }
+    }
+
+    #[test]
+    fn execution_is_delay_insensitive(p in program_strategy(), seed in 0u64..32) {
+        // The derived constraint arcs must make the dataflow outcome
+        // independent of unit delays.
+        let g = build(&p);
+        let want = reference(&p);
+        let delays = DelayModel::uniform(1).with_jitter(seed, 5);
+        let r = execute(&g, initial(), &delays, &ExecOptions::default()).unwrap();
+        for (reg, v) in &want {
+            prop_assert_eq!(r.registers.get(reg), Some(v), "{}", reg);
+        }
+    }
+
+    #[test]
+    fn gt2_preserves_values(p in program_strategy(), seed in 0u64..16) {
+        let mut g = build(&p);
+        adcs::gt::gt2_remove_dominated(&mut g).unwrap();
+        let want = reference(&p);
+        let delays = DelayModel::uniform(1).with_jitter(seed, 4);
+        let r = execute(&g, initial(), &delays, &ExecOptions::default()).unwrap();
+        for (reg, v) in &want {
+            prop_assert_eq!(r.registers.get(reg), Some(v), "{}", reg);
+        }
+    }
+
+    #[test]
+    fn gt2_only_removes_dominated_arcs(p in program_strategy()) {
+        let mut g = build(&p);
+        let before = g.arc_count();
+        let rep = adcs::gt::gt2_remove_dominated(&mut g).unwrap();
+        prop_assert_eq!(g.arc_count() + rep.removed.len(), before);
+        // After GT2, no arc is dominated any more.
+        for (id, _) in g.arcs() {
+            prop_assert!(!adcs::gt::certain_dominated(&g, id));
+        }
+    }
+
+    #[test]
+    fn gt4_preserves_values_with_moves(p in program_strategy(), seed in 0u64..8) {
+        // Append register moves so GT4 has merge candidates.
+        let mut p = p;
+        p.stmts.push((0, "r4 := r0".to_string()));
+        p.stmts.push((1, "r3 := r1".to_string()));
+        let mut g = build(&p);
+        adcs::gt::gt4_merge_assignments(&mut g).unwrap();
+        let want = reference(&p);
+        let delays = DelayModel::uniform(1).with_jitter(seed, 4);
+        let r = execute(&g, initial(), &delays, &ExecOptions::default()).unwrap();
+        for (reg, v) in &want {
+            prop_assert_eq!(r.registers.get(reg), Some(v), "{}", reg);
+        }
+    }
+}
