@@ -18,7 +18,10 @@ use criterion::{criterion_group, criterion_main, Criterion};
 use std::hint::black_box;
 use std::time::Duration;
 
-fn small<'c>(c: &'c mut Criterion, name: &str) -> criterion::BenchmarkGroup<'c, criterion::measurement::WallTime> {
+fn small<'c>(
+    c: &'c mut Criterion,
+    name: &str,
+) -> criterion::BenchmarkGroup<'c, criterion::measurement::WallTime> {
     let mut g = c.benchmark_group(name);
     g.sample_size(10).measurement_time(Duration::from_secs(6));
     g
@@ -28,7 +31,11 @@ fn ablate_expansion_style(c: &mut Criterion) {
     let (g, channels, _) = diffeq_after_gt1_to_gt4().expect("gt");
     for style in [ExpansionStyle::Compact, ExpansionStyle::Sequential] {
         let ex = extract(&g, &channels, &ExtractOptions { style }).expect("extract");
-        let states: usize = ex.controllers.iter().map(|x| x.machine.stats().states).sum();
+        let states: usize = ex
+            .controllers
+            .iter()
+            .map(|x| x.machine.stats().states)
+            .sum();
         println!("ablation expansion {style:?}: total states {states}");
         let mut grp = small(c, "ablate_expansion");
         grp.bench_function(format!("{style:?}"), |b| {
@@ -79,23 +86,38 @@ fn ablate_lt_subsets(c: &mut Criterion) {
         ("all", LtOptions::default()),
         (
             "no_move_up",
-            LtOptions { move_up_dones: false, ..LtOptions::default() },
+            LtOptions {
+                move_up_dones: false,
+                ..LtOptions::default()
+            },
         ),
         (
             "no_preselect",
-            LtOptions { mux_preselect: false, ..LtOptions::default() },
+            LtOptions {
+                mux_preselect: false,
+                ..LtOptions::default()
+            },
         ),
         (
             "no_ack_removal",
-            LtOptions { removable_acks: Vec::new(), ..LtOptions::default() },
+            LtOptions {
+                removable_acks: Vec::new(),
+                ..LtOptions::default()
+            },
         ),
         (
             "no_sharing",
-            LtOptions { share_signals: false, ..LtOptions::default() },
+            LtOptions {
+                share_signals: false,
+                ..LtOptions::default()
+            },
         ),
     ];
     for (label, lt) in variants {
-        let opts = FlowOptions { lt: lt.clone(), ..paper_flow_options() };
+        let opts = FlowOptions {
+            lt: lt.clone(),
+            ..paper_flow_options()
+        };
         let out = Flow::new(d.cdfg.clone(), d.initial.clone())
             .run(&opts)
             .expect("flow");
@@ -132,11 +154,17 @@ fn ablate_gt5_subsets(c: &mut Criterion) {
         ),
         (
             "no_symmetrization",
-            Gt5Options { symmetrization: false, ..Gt5Options::default() },
+            Gt5Options {
+                symmetrization: false,
+                ..Gt5Options::default()
+            },
         ),
     ];
     for (label, gt5) in variants {
-        let opts = FlowOptions { gt5, ..paper_flow_options() };
+        let opts = FlowOptions {
+            gt5,
+            ..paper_flow_options()
+        };
         let out = Flow::new(d.cdfg.clone(), d.initial.clone())
             .run(&opts)
             .expect("flow");

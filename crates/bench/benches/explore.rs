@@ -1,0 +1,151 @@
+//! Sequential vs parallel design-space exploration, plus cached vs
+//! uncached reachability, on three benchmarks (GCD, DIFFEQ, BIQUAD).
+//!
+//! The explorer's 64 candidate flows are independent, so the parallel
+//! path should approach a `min(64, cores)`-way speedup on multi-core
+//! hosts; on a single core the two paths must land within noise of each
+//! other (the pool runs inline when it has one thread). The
+//! `reach/*` group isolates the memoization win: all-pairs reachability
+//! through one [`adcs_cdfg::analysis::ReachCache`] versus a fresh BFS
+//! per query.
+//!
+//! Run with `cargo bench --bench explore`; results are recorded in
+//! EXPERIMENTS.md.
+
+use adcs::explore::{explore_exhaustive_with, ExploreOptions, ExplorePoint, Objective};
+use adcs::flow::{Flow, FlowOptions};
+use adcs::timing::TimingModel;
+use adcs_cdfg::benchmarks::{biquad_cascade, diffeq, gcd, DiffeqParams, RegFile};
+use adcs_cdfg::Cdfg;
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use std::time::Duration;
+
+/// Lightweight flow options so one candidate evaluation takes
+/// milliseconds, not seconds; the explorer's integration tests pin the
+/// ranked outcomes separately, so the bench only needs representative
+/// work per candidate.
+fn explore_base() -> FlowOptions {
+    FlowOptions {
+        verify_seeds: 2,
+        timing: TimingModel::uniform(1, 2)
+            .with_class("MUL", 2, 4)
+            .with_samples(8),
+        ..FlowOptions::default()
+    }
+}
+
+fn designs() -> Vec<(&'static str, Cdfg, RegFile)> {
+    let g = gcd(21, 6).expect("gcd");
+    let d = diffeq(DiffeqParams::default()).expect("diffeq");
+    let b = biquad_cascade(2, 3, 1, 1).expect("biquad");
+    vec![
+        ("gcd", g.cdfg, g.initial),
+        ("diffeq", d.cdfg, d.initial),
+        ("biquad", b.cdfg, b.initial),
+    ]
+}
+
+fn bench_explore(c: &mut Criterion) {
+    let base = explore_base();
+    for (name, cdfg, initial) in designs() {
+        // Parallel and sequential rankings must agree before we time them.
+        let seq = explore_exhaustive_with(
+            &cdfg,
+            &initial,
+            &base,
+            Objective::ChannelsThenStates,
+            ExploreOptions::sequential(),
+        )
+        .expect("sequential exploration");
+        let par = explore_exhaustive_with(
+            &cdfg,
+            &initial,
+            &base,
+            Objective::ChannelsThenStates,
+            ExploreOptions::default(),
+        )
+        .expect("parallel exploration");
+        let key = |p: &ExplorePoint| (p.score, p.bitmask());
+        assert_eq!(
+            seq.iter().map(key).collect::<Vec<_>>(),
+            par.iter().map(key).collect::<Vec<_>>(),
+            "{name}: parallel and sequential rankings diverge"
+        );
+
+        let mut grp = c.benchmark_group(format!("explore/{name}"));
+        grp.sample_size(10).measurement_time(Duration::from_secs(8));
+        for (label, opts) in [
+            ("sequential", ExploreOptions::sequential()),
+            ("parallel", ExploreOptions::default()),
+        ] {
+            grp.bench_function(label, |b| {
+                b.iter(|| {
+                    black_box(
+                        explore_exhaustive_with(
+                            &cdfg,
+                            &initial,
+                            &base,
+                            Objective::ChannelsThenStates,
+                            opts,
+                        )
+                        .expect("explore"),
+                    )
+                })
+            });
+        }
+        grp.finish();
+    }
+}
+
+fn bench_reach_cache(c: &mut Criterion) {
+    use adcs_cdfg::analysis::{reaches_within, ReachCache};
+
+    let d = diffeq(DiffeqParams::default()).expect("diffeq");
+    let base = explore_base();
+
+    // The full flow threads one cache through GT5 and both extraction
+    // passes; its counters show the realized hit rate.
+    let out = Flow::new(d.cdfg.clone(), d.initial.clone())
+        .run(&base)
+        .expect("flow");
+    println!(
+        "diffeq flow: {} reachability queries, {} cache hits ({:.0}% hit rate)",
+        out.reach_queries,
+        out.reach_cache_hits,
+        100.0 * out.reach_cache_hits as f64 / out.reach_queries.max(1) as f64
+    );
+
+    // Microbenchmark: all-pairs forward reachability, cached vs not.
+    let g = &d.cdfg;
+    let nodes: Vec<_> = g.nodes().map(|(id, _)| id).collect();
+    let mut grp = c.benchmark_group("reach/diffeq_all_pairs");
+    grp.sample_size(20).measurement_time(Duration::from_secs(4));
+    grp.bench_function("fresh_bfs", |b| {
+        b.iter(|| {
+            let mut n = 0u32;
+            for &s in &nodes {
+                for &t in &nodes {
+                    n += u32::from(reaches_within(g, s, t, 1, None));
+                }
+            }
+            black_box(n)
+        })
+    });
+    grp.bench_function("cached", |b| {
+        b.iter(|| {
+            let cache = ReachCache::new();
+            let mut n = 0u32;
+            for &s in &nodes {
+                for &t in &nodes {
+                    n += u32::from(cache.reaches_within(g, s, t, 1, None));
+                }
+            }
+            black_box(n)
+        })
+    });
+    grp.finish();
+}
+
+criterion_group!(benches, bench_explore, bench_reach_cache);
+criterion_main!(benches);

@@ -46,8 +46,14 @@ fn bench_stages(c: &mut Criterion) {
     c.bench_function("fig12/extraction_compact", |b| {
         b.iter(|| {
             black_box(
-                extract(&g, &channels, &ExtractOptions { style: ExpansionStyle::Compact })
-                    .expect("extract"),
+                extract(
+                    &g,
+                    &channels,
+                    &ExtractOptions {
+                        style: ExpansionStyle::Compact,
+                    },
+                )
+                .expect("extract"),
             )
         })
     });
@@ -58,15 +64,23 @@ fn bench_stages(c: &mut Criterion) {
                 extract(
                     &d.cdfg,
                     &channels0,
-                    &ExtractOptions { style: ExpansionStyle::Sequential },
+                    &ExtractOptions {
+                        style: ExpansionStyle::Sequential,
+                    },
                 )
                 .expect("extract"),
             )
         })
     });
 
-    let ex = extract(&g, &channels, &ExtractOptions { style: ExpansionStyle::Compact })
-        .expect("extract");
+    let ex = extract(
+        &g,
+        &channels,
+        &ExtractOptions {
+            style: ExpansionStyle::Compact,
+        },
+    )
+    .expect("extract");
     c.bench_function("fig12/local_transforms", |b| {
         b.iter(|| {
             let mut ctrls = ex.controllers.clone();

@@ -32,7 +32,10 @@ fn bench_shared_plane(c: &mut Criterion) {
         .iter()
         .find(|x| x.machine.name() == "MUL2")
         .expect("MUL2");
-    let opts = SynthOptions { share_products: true, ..SynthOptions::default() };
+    let opts = SynthOptions {
+        share_products: true,
+        ..SynthOptions::default()
+    };
     let logic = synthesize(&ctrl.machine, opts).expect("synth");
     println!(
         "fig13 shared-plane MUL2: {} products / {} literals",
@@ -59,5 +62,10 @@ fn bench_yun_logic(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_controller_logic, bench_shared_plane, bench_yun_logic);
+criterion_group!(
+    benches,
+    bench_controller_logic,
+    bench_shared_plane,
+    bench_yun_logic
+);
 criterion_main!(benches);

@@ -106,7 +106,10 @@ fn perf() -> Result<(), Box<dyn std::error::Error>> {
     println!("== Simulated completion time (DIFFEQ, 5 iterations) ==");
     let d = diffeq_design()?;
     let out = run_diffeq_flow()?;
-    println!("{:>24} {:>12} {:>12} {:>9}", "delay model", "original", "transformed", "speedup");
+    println!(
+        "{:>24} {:>12} {:>12} {:>9}",
+        "delay model", "original", "transformed", "speedup"
+    );
     for (label, alu, mul) in [
         ("uniform 1", 1u64, 1u64),
         ("mul 2x alu", 1, 2),
@@ -117,7 +120,13 @@ fn perf() -> Result<(), Box<dyn std::error::Error>> {
             .with_fu(d.mul1, mul)
             .with_fu(d.mul2, mul);
         let before = execute(&d.cdfg, d.initial.clone(), &delays, &ExecOptions::default())?.time;
-        let after = execute(&out.cdfg, d.initial.clone(), &delays, &ExecOptions::default())?.time;
+        let after = execute(
+            &out.cdfg,
+            d.initial.clone(),
+            &delays,
+            &ExecOptions::default(),
+        )?
+        .time;
         println!(
             "{label:>24} {before:>12} {after:>12} {:>8.2}x",
             before as f64 / after as f64
@@ -173,20 +182,32 @@ fn figure13() -> Result<(), Box<dyn std::error::Error>> {
     for c in &out.controllers {
         let shared = synthesize(
             &c.machine,
-            SynthOptions { share_products: true, ..SynthOptions::default() },
+            SynthOptions {
+                share_products: true,
+                ..SynthOptions::default()
+            },
         )?;
         let (p, l) = (shared.products_shared(), shared.literals_shared());
         total.0 += p;
         total.1 += l;
-        println!("  {:9} {p:3} shared products / {l:4} literals", c.machine.name());
+        println!(
+            "  {:9} {p:3} shared products / {l:4} literals",
+            c.machine.name()
+        );
     }
-    println!("  total     {}p/{}l (vs single-output above)", total.0, total.1);
+    println!(
+        "  total     {}p/{}l (vs single-output above)",
+        total.0, total.1
+    );
     println!();
     println!("-- Yun-shaped reconstructions through the same back-end --");
     let mut total = (0usize, 0usize);
     for (m, row) in yun_controllers()?.iter().zip(FIGURE_13.iter()) {
         let logic = synthesize(m, SynthOptions::default())?;
-        let (p, l) = (logic.products_single_output(), logic.literals_single_output());
+        let (p, l) = (
+            logic.products_single_output(),
+            logic.literals_single_output(),
+        );
         total.0 += p;
         total.1 += l;
         println!(
@@ -196,6 +217,9 @@ fn figure13() -> Result<(), Box<dyn std::error::Error>> {
             row.yun.1
         );
     }
-    println!("  total     measured {}p/{}l   (published 93p/307l)", total.0, total.1);
+    println!(
+        "  total     measured {}p/{}l   (published 93p/307l)",
+        total.0, total.1
+    );
     Ok(())
 }

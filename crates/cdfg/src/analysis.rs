@@ -9,7 +9,8 @@
 //! has total weight ≤ `w`: the path enforces the same ordering at least as
 //! early, because each node's firings are themselves sequentially ordered.
 
-use std::collections::VecDeque;
+use std::cell::{Cell, RefCell};
+use std::collections::{HashMap, VecDeque};
 
 use crate::graph::Cdfg;
 use crate::ids::{ArcId, NodeId};
@@ -66,6 +67,132 @@ pub fn reaches_within(
     false
 }
 
+/// Memoized reachability oracle over a [`Cdfg`].
+///
+/// One BFS from `src` answers *every* `(src, dst, max_weight)` query: the
+/// cache stores, per `(source, excluded arc)`, the minimum iteration-shift
+/// weight needed to reach each node through at least one arc (a 0-1 BFS,
+/// so entries answer any weight budget, not just the one first asked).
+///
+/// **Invalidation contract:** entries are keyed on [`Cdfg::version`], a
+/// stamp that is globally unique per graph instance and bumped by every
+/// structural edit. Before answering, the cache compares the queried
+/// graph's stamp with the one it was filled against and clears itself on
+/// mismatch — so it is always safe to keep one cache across an arbitrary
+/// interleaving of queries and edits, or even across different graphs
+/// (each switch just costs a refill).
+///
+/// Queries take `&self` (interior mutability), which lets the cache ride
+/// along through deep read-only call chains. It is intentionally `!Sync`;
+/// parallel explorers hold one cache per worker.
+#[derive(Debug, Default)]
+pub struct ReachCache {
+    version: Cell<u64>,
+    /// `(src, excluded arc)` → min weight per node index (`u32::MAX` =
+    /// unreachable through live arcs).
+    dist: RefCell<HashMap<(NodeId, Option<ArcId>), Vec<u32>>>,
+    hits: Cell<u64>,
+    misses: Cell<u64>,
+}
+
+impl ReachCache {
+    /// An empty cache (valid for any graph; fills on first query).
+    pub fn new() -> Self {
+        ReachCache::default()
+    }
+
+    /// Cached equivalent of [`reaches_within`].
+    pub fn reaches_within(
+        &self,
+        g: &Cdfg,
+        src: NodeId,
+        dst: NodeId,
+        max_weight: u32,
+        exclude: Option<ArcId>,
+    ) -> bool {
+        if g.version() != self.version.get() {
+            self.dist.borrow_mut().clear();
+            self.version.set(g.version());
+        }
+        let key = (src, exclude);
+        let mut dist = self.dist.borrow_mut();
+        let entry = match dist.get(&key) {
+            Some(d) => {
+                self.hits.set(self.hits.get() + 1);
+                d
+            }
+            None => {
+                self.misses.set(self.misses.get() + 1);
+                dist.entry(key)
+                    .or_insert_with(|| min_weights(g, src, exclude))
+            }
+        };
+        entry.get(dst.index()).is_some_and(|&w| w <= max_weight)
+    }
+
+    /// Cached equivalent of [`reaches_forward`].
+    pub fn reaches_forward(&self, g: &Cdfg, src: NodeId, dst: NodeId) -> bool {
+        self.reaches_within(g, src, dst, 0, None)
+    }
+
+    /// Cached equivalent of [`is_dominated`].
+    pub fn is_dominated(&self, g: &Cdfg, id: ArcId) -> bool {
+        let arc = match g.arc(id) {
+            Ok(a) => a,
+            Err(_) => return false,
+        };
+        self.reaches_within(g, arc.src, arc.dst, u32::from(arc.backward), Some(id))
+    }
+
+    /// Total queries answered (hits + misses) over the cache's lifetime.
+    /// Counters survive invalidation — they meter work, not contents.
+    pub fn queries(&self) -> u64 {
+        self.hits.get() + self.misses.get()
+    }
+
+    /// Queries answered from a memoized BFS front.
+    pub fn hits(&self) -> u64 {
+        self.hits.get()
+    }
+
+    /// Queries that had to run a fresh BFS.
+    pub fn misses(&self) -> u64 {
+        self.misses.get()
+    }
+}
+
+/// Minimum total weight from `src` to every node through ≥ 1 live arc
+/// (0-1 BFS; `u32::MAX` marks unreachable). The "at least one arc" rule
+/// means `out[src]` is `MAX` unless `src` lies on a cycle, matching
+/// [`reaches_within`]'s semantics for `src == dst`.
+fn min_weights(g: &Cdfg, src: NodeId, exclude: Option<ArcId>) -> Vec<u32> {
+    let mut dist = vec![u32::MAX; g.node_bound()];
+    let mut dq: VecDeque<NodeId> = VecDeque::new();
+    let relax = |from_w: u32, n: NodeId, dist: &mut Vec<u32>, dq: &mut VecDeque<NodeId>| {
+        for (aid, arc) in g.out_arcs(n) {
+            if Some(aid) == exclude {
+                continue;
+            }
+            let nw = from_w + u32::from(arc.backward);
+            if nw < dist[arc.dst.index()] {
+                dist[arc.dst.index()] = nw;
+                if arc.backward {
+                    dq.push_back(arc.dst);
+                } else {
+                    dq.push_front(arc.dst);
+                }
+            }
+        }
+    };
+    // Seed from the virtual start (weight 0, not recorded in `dist`).
+    relax(0, src, &mut dist, &mut dq);
+    while let Some(n) = dq.pop_front() {
+        let w = dist[n.index()];
+        relax(w, n, &mut dist, &mut dq);
+    }
+    dist
+}
+
 /// Whether an arc is dominated by a path of *other* live arcs of total
 /// weight ≤ its own weight (the GT2 test, extended to backward arcs).
 pub fn is_dominated(g: &Cdfg, id: ArcId) -> bool {
@@ -79,7 +206,10 @@ pub fn is_dominated(g: &Cdfg, id: ArcId) -> bool {
 /// All currently-dominated live arcs (a snapshot; removing one may make
 /// another non-dominated, so iterate via [`is_dominated`] when pruning).
 pub fn dominated_arcs(g: &Cdfg) -> Vec<ArcId> {
-    g.arcs().map(|(id, _)| id).filter(|&id| is_dominated(g, id)).collect()
+    g.arcs()
+        .map(|(id, _)| id)
+        .filter(|&id| is_dominated(g, id))
+        .collect()
 }
 
 /// Plain reachability over forward arcs only (weight budget 0).
@@ -222,5 +352,67 @@ mod tests {
         let (g, x, y, z) = chain3();
         let d = forward_depths(&g, g.start());
         assert!(d[&x] < d[&y] && d[&y] < d[&z]);
+    }
+
+    #[test]
+    fn cache_matches_fresh_bfs_and_counts_hits() {
+        let (g, x, y, z) = chain3();
+        let cache = ReachCache::new();
+        for &(s, d) in &[(x, y), (x, z), (y, z), (z, x), (y, x)] {
+            for w in 0..2 {
+                assert_eq!(
+                    cache.reaches_within(&g, s, d, w, None),
+                    reaches_within(&g, s, d, w, None),
+                    "{s}->{d} within {w}"
+                );
+            }
+        }
+        // One BFS per distinct (src, exclude): 3 sources queried.
+        assert_eq!(cache.misses(), 3);
+        assert_eq!(cache.queries(), 10);
+    }
+
+    #[test]
+    fn cache_invalidates_on_graph_edit() {
+        let (mut g, x, _, z) = chain3();
+        let cache = ReachCache::new();
+        assert!(cache.reaches_forward(&g, x, z));
+        assert!(!cache.reaches_forward(&g, z, x));
+        let v1 = g.version();
+        let arc = g.add_arc(z, x, Role::RegAlloc, false);
+        assert_ne!(g.version(), v1, "edits must bump the version stamp");
+        assert!(
+            cache.reaches_forward(&g, z, x),
+            "stale entry must not answer"
+        );
+        g.remove_arc(arc).unwrap();
+        assert!(!cache.reaches_forward(&g, z, x));
+    }
+
+    #[test]
+    fn cache_distinguishes_clones() {
+        let (g, x, _, z) = chain3();
+        let mut h = g.clone();
+        assert_ne!(g.version(), h.version(), "a clone is a distinct graph");
+        let cache = ReachCache::new();
+        assert!(cache.reaches_forward(&g, x, z));
+        // Cut the chain in the clone; the cache must not answer from `g`.
+        let cut: Vec<ArcId> = h.out_arcs(x).map(|(id, _)| id).collect();
+        for a in cut {
+            h.remove_arc(a).unwrap();
+        }
+        assert!(!cache.reaches_forward(&h, x, z));
+        assert!(cache.reaches_forward(&g, x, z));
+    }
+
+    #[test]
+    fn cached_dominance_matches_fresh() {
+        let (mut g, x, _, z) = chain3();
+        let arc = g.add_arc(x, z, Role::DataDep, false);
+        let cache = ReachCache::new();
+        for (id, _) in g.arcs() {
+            assert_eq!(cache.is_dominated(&g, id), is_dominated(&g, id), "{id}");
+        }
+        assert!(cache.is_dominated(&g, arc));
     }
 }

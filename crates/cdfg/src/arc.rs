@@ -28,7 +28,12 @@ pub enum Role {
 
 impl Role {
     /// All roles, in a fixed order.
-    pub const ALL: [Role; 4] = [Role::Control, Role::Scheduling, Role::DataDep, Role::RegAlloc];
+    pub const ALL: [Role; 4] = [
+        Role::Control,
+        Role::Scheduling,
+        Role::DataDep,
+        Role::RegAlloc,
+    ];
 
     fn bit(self) -> u8 {
         match self {

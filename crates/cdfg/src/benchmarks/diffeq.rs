@@ -191,7 +191,10 @@ mod tests {
             .find(|(_, n)| matches!(n.kind, NodeKind::Loop { .. }))
             .map(|(id, _)| id)
             .unwrap();
-        assert!(has_arc(loop_node, node("A := Y + M1")), "control (LOOP, A:=Y+M1)");
+        assert!(
+            has_arc(loop_node, node("A := Y + M1")),
+            "control (LOOP, A:=Y+M1)"
+        );
         assert!(
             has_arc(node("A := Y + M1"), node("U := U - M1")),
             "scheduling (A:=Y+M1, U:=U-M1)"

@@ -57,12 +57,7 @@ pub fn gcd(x0: i64, y0: i64) -> Result<GcdDesign, CdfgError> {
     b.end_loop(cmp)?;
 
     let cdfg = b.finish()?;
-    let initial = reg_file([
-        ("x", x0),
-        ("y", y0),
-        ("c", i64::from(x0 != y0)),
-        ("d", 0),
-    ]);
+    let initial = reg_file([("x", x0), ("y", y0), ("c", i64::from(x0 != y0)), ("d", 0)]);
     Ok(GcdDesign {
         cdfg,
         cmp,
@@ -124,9 +119,6 @@ mod tests {
         let d = gcd(4, 6).unwrap();
         let t = d.cdfg.node_by_label("y := y - x").unwrap();
         let e = d.cdfg.node_by_label("x := x - y").unwrap();
-        assert_ne!(
-            d.cdfg.node(t).unwrap().block,
-            d.cdfg.node(e).unwrap().block
-        );
+        assert_ne!(d.cdfg.node(t).unwrap().block, d.cdfg.node(e).unwrap().block);
     }
 }

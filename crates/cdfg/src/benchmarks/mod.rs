@@ -27,10 +27,7 @@ pub type RegFile = HashMap<Reg, i64>;
 
 /// Builds a register file from `(name, value)` pairs.
 pub fn reg_file<'a>(pairs: impl IntoIterator<Item = (&'a str, i64)>) -> RegFile {
-    pairs
-        .into_iter()
-        .map(|(n, v)| (Reg::new(n), v))
-        .collect()
+    pairs.into_iter().map(|(n, v)| (Reg::new(n), v)).collect()
 }
 
 #[cfg(test)]

@@ -37,9 +37,15 @@ fn xorshift(state: &mut u64) -> u64 {
 /// # Errors
 ///
 /// Returns builder errors for degenerate parameters (`n_fus == 0`).
-pub fn random_straight_line(seed: u64, n_ops: usize, n_fus: usize) -> Result<RandomDesign, CdfgError> {
+pub fn random_straight_line(
+    seed: u64,
+    n_ops: usize,
+    n_fus: usize,
+) -> Result<RandomDesign, CdfgError> {
     if n_fus == 0 {
-        return Err(CdfgError::Structure("need at least one functional unit".into()));
+        return Err(CdfgError::Structure(
+            "need at least one functional unit".into(),
+        ));
     }
     let mut st = seed.wrapping_mul(0x9E37_79B9_7F4A_7C15).max(1);
     let regs = ["r0", "r1", "r2", "r3", "r4", "r5"];

@@ -223,10 +223,9 @@ impl CdfgBuilder {
             block: parent,
             seq,
         });
-        let body = self.g.add_block(
-            Some(parent),
-            BlockKind::LoopBody { head, tail: head },
-        );
+        let body = self
+            .g
+            .add_block(Some(parent), BlockKind::LoopBody { head, tail: head });
         self.stack.push(Frame::Loop {
             head,
             body,
@@ -257,7 +256,8 @@ impl CdfgBuilder {
                     block: parent,
                     seq,
                 });
-                self.g.set_block_kind(body, BlockKind::LoopBody { head, tail });
+                self.g
+                    .set_block_kind(body, BlockKind::LoopBody { head, tail });
                 self.push_item(Item::Loop {
                     head,
                     tail,
@@ -272,7 +272,9 @@ impl CdfgBuilder {
                 if let Some(f) = other {
                     self.stack.push(f);
                 }
-                Err(CdfgError::UnbalancedBlocks("end_loop without begin_loop".into()))
+                Err(CdfgError::UnbalancedBlocks(
+                    "end_loop without begin_loop".into(),
+                ))
             }
         }
     }
@@ -289,14 +291,12 @@ impl CdfgBuilder {
             block: parent,
             seq,
         });
-        let then_block = self.g.add_block(
-            Some(parent),
-            BlockKind::ThenBranch { head, tail: head },
-        );
-        let else_block = self.g.add_block(
-            Some(parent),
-            BlockKind::ElseBranch { head, tail: head },
-        );
+        let then_block = self
+            .g
+            .add_block(Some(parent), BlockKind::ThenBranch { head, tail: head });
+        let else_block = self
+            .g
+            .add_block(Some(parent), BlockKind::ElseBranch { head, tail: head });
         self.stack.push(Frame::IfThen {
             head,
             then_block,
@@ -336,7 +336,9 @@ impl CdfgBuilder {
                 if let Some(f) = other {
                     self.stack.push(f);
                 }
-                Err(CdfgError::UnbalancedBlocks("begin_else without begin_if".into()))
+                Err(CdfgError::UnbalancedBlocks(
+                    "begin_else without begin_if".into(),
+                ))
             }
         }
     }
@@ -367,7 +369,9 @@ impl CdfgBuilder {
                 if let Some(f) = other {
                     self.stack.push(f);
                 }
-                return Err(CdfgError::UnbalancedBlocks("end_if without begin_if".into()));
+                return Err(CdfgError::UnbalancedBlocks(
+                    "end_if without begin_if".into(),
+                ));
             }
         };
         let seq = self.next_seq();

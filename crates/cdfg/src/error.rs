@@ -22,7 +22,11 @@ pub enum CdfgError {
     UnbalancedBlocks(String),
     /// A constraint arc crosses a block boundary somewhere other than the
     /// block root node, violating the paper's block-structure restriction.
-    BlockCrossing { arc: ArcId, src: NodeId, dst: NodeId },
+    BlockCrossing {
+        arc: ArcId,
+        src: NodeId,
+        dst: NodeId,
+    },
     /// The forward-constraint subgraph contains a cycle, so no legal firing
     /// order exists.
     ForwardCycle(Vec<NodeId>),
@@ -40,10 +44,17 @@ impl fmt::Display for CdfgError {
             CdfgError::UnknownFu(u) => write!(f, "unknown functional unit {u}"),
             CdfgError::UnbalancedBlocks(s) => write!(f, "unbalanced block structure: {s}"),
             CdfgError::BlockCrossing { arc, src, dst } => {
-                write!(f, "arc {arc} ({src} -> {dst}) crosses a block boundary away from the block root")
+                write!(
+                    f,
+                    "arc {arc} ({src} -> {dst}) crosses a block boundary away from the block root"
+                )
             }
             CdfgError::ForwardCycle(ns) => {
-                write!(f, "forward constraints form a cycle through {} nodes", ns.len())
+                write!(
+                    f,
+                    "forward constraints form a cycle through {} nodes",
+                    ns.len()
+                )
             }
             CdfgError::Structure(s) => write!(f, "structural violation: {s}"),
         }

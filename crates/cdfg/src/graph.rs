@@ -84,12 +84,20 @@ pub struct Block {
     pub kind: BlockKind,
 }
 
+/// Issues globally unique [`Cdfg::version`] stamps. Every graph instance
+/// (including clones) and every mutation gets a fresh stamp, so two graphs
+/// never share a version and caches keyed on it can never alias.
+static VERSION_COUNTER: std::sync::atomic::AtomicU64 = std::sync::atomic::AtomicU64::new(1);
+
+fn next_version() -> u64 {
+    VERSION_COUNTER.fetch_add(1, std::sync::atomic::Ordering::Relaxed)
+}
+
 /// A scheduled, resource-bound Control-Data Flow Graph (paper §2.1).
 ///
 /// Construct one with [`crate::builder::CdfgBuilder`], which derives all
 /// constraint arcs from a bound RTL program; or assemble one manually with
 /// the edit primitives here (transforms do the latter).
-#[derive(Clone, Default)]
 pub struct Cdfg {
     nodes: Vec<Option<Node>>,
     arcs: Vec<Option<CdfgArc>>,
@@ -99,6 +107,41 @@ pub struct Cdfg {
     outs: Vec<Vec<ArcId>>,
     start: Option<NodeId>,
     end: Option<NodeId>,
+    version: u64,
+}
+
+impl Default for Cdfg {
+    fn default() -> Self {
+        Cdfg {
+            nodes: Vec::new(),
+            arcs: Vec::new(),
+            fus: Vec::new(),
+            blocks: Vec::new(),
+            ins: Vec::new(),
+            outs: Vec::new(),
+            start: None,
+            end: None,
+            version: next_version(),
+        }
+    }
+}
+
+impl Clone for Cdfg {
+    fn clone(&self) -> Self {
+        Cdfg {
+            nodes: self.nodes.clone(),
+            arcs: self.arcs.clone(),
+            fus: self.fus.clone(),
+            blocks: self.blocks.clone(),
+            ins: self.ins.clone(),
+            outs: self.outs.clone(),
+            start: self.start,
+            end: self.end,
+            // A clone is a distinct graph: give it its own identity so
+            // cached analyses of the original never answer for the copy.
+            version: next_version(),
+        }
+    }
 }
 
 impl Cdfg {
@@ -107,24 +150,38 @@ impl Cdfg {
         Cdfg::default()
     }
 
+    /// The graph's version stamp: globally unique across instances and
+    /// bumped by every structural edit. Analyses memoized against a graph
+    /// (see `analysis::ReachCache`) compare stamps to self-invalidate.
+    pub fn version(&self) -> u64 {
+        self.version
+    }
+
+    fn touch(&mut self) {
+        self.version = next_version();
+    }
+
     // ------------------------------------------------------------------
     // Construction primitives
     // ------------------------------------------------------------------
 
     /// Registers a functional unit and returns its id.
     pub fn add_fu(&mut self, name: impl Into<String>) -> FuId {
+        self.touch();
         self.fus.push(FunctionalUnit { name: name.into() });
         FuId((self.fus.len() - 1) as u32)
     }
 
     /// Registers a block and returns its id.
     pub fn add_block(&mut self, parent: Option<BlockId>, kind: BlockKind) -> BlockId {
+        self.touch();
         self.blocks.push(Block { parent, kind });
         BlockId((self.blocks.len() - 1) as u32)
     }
 
     /// Updates the boundary nodes of a block (used while building loops).
     pub fn set_block_kind(&mut self, block: BlockId, kind: BlockKind) {
+        self.touch();
         self.blocks[block.index()].kind = kind;
     }
 
@@ -132,6 +189,7 @@ impl Cdfg {
     ///
     /// `START`/`END` nodes are remembered as the graph entry/exit.
     pub fn add_node(&mut self, node: Node) -> NodeId {
+        self.touch();
         let id = NodeId(self.nodes.len() as u32);
         match node.kind {
             NodeKind::Start => self.start = Some(id),
@@ -154,10 +212,19 @@ impl Cdfg {
     ///
     /// Panics if `src` or `dst` is not a live node.
     pub fn add_arc(&mut self, src: NodeId, dst: NodeId, role: Role, backward: bool) -> ArcId {
-        assert!(self.nodes[src.index()].is_some(), "arc source {src} is dead");
-        assert!(self.nodes[dst.index()].is_some(), "arc target {dst} is dead");
+        self.touch();
+        assert!(
+            self.nodes[src.index()].is_some(),
+            "arc source {src} is dead"
+        );
+        assert!(
+            self.nodes[dst.index()].is_some(),
+            "arc target {dst} is dead"
+        );
         for &aid in &self.outs[src.index()] {
-            let arc = self.arcs[aid.index()].as_mut().expect("adjacency points at live arcs");
+            let arc = self.arcs[aid.index()]
+                .as_mut()
+                .expect("adjacency points at live arcs");
             if arc.dst == dst && arc.backward == backward {
                 arc.roles.insert(role);
                 return aid;
@@ -177,7 +244,10 @@ impl Cdfg {
 
     /// Removes an arc. Removing an already-removed arc is an error.
     pub fn remove_arc(&mut self, id: ArcId) -> Result<CdfgArc, CdfgError> {
-        let arc = self.arcs[id.index()].take().ok_or(CdfgError::UnknownArc(id))?;
+        let arc = self.arcs[id.index()]
+            .take()
+            .ok_or(CdfgError::UnknownArc(id))?;
+        self.touch();
         self.outs[arc.src.index()].retain(|&a| a != id);
         self.ins[arc.dst.index()].retain(|&a| a != id);
         Ok(arc)
@@ -185,7 +255,10 @@ impl Cdfg {
 
     /// Removes a node together with all incident arcs.
     pub fn remove_node(&mut self, id: NodeId) -> Result<Node, CdfgError> {
-        let node = self.nodes[id.index()].take().ok_or(CdfgError::UnknownNode(id))?;
+        let node = self.nodes[id.index()]
+            .take()
+            .ok_or(CdfgError::UnknownNode(id))?;
+        self.touch();
         let incident: Vec<ArcId> = self.ins[id.index()]
             .iter()
             .chain(self.outs[id.index()].iter())
@@ -255,6 +328,7 @@ impl Cdfg {
         {
             merged.push(stmt);
         }
+        self.touch();
         Ok(())
     }
 
@@ -267,9 +341,12 @@ impl Cdfg {
                 ..
             }) => {
                 *s = stmt;
+                self.touch();
                 Ok(())
             }
-            Some(_) => Err(CdfgError::Structure(format!("node {id} is not an operation"))),
+            Some(_) => Err(CdfgError::Structure(format!(
+                "node {id} is not an operation"
+            ))),
             None => Err(CdfgError::UnknownNode(id)),
         }
     }
@@ -331,6 +408,12 @@ impl Cdfg {
     /// Number of live nodes.
     pub fn node_count(&self) -> usize {
         self.nodes.iter().flatten().count()
+    }
+
+    /// One past the largest node index ever allocated, counting tombstones
+    /// (the dense-array bound analyses size their tables with).
+    pub fn node_bound(&self) -> usize {
+        self.nodes.len()
     }
 
     /// Number of live arcs.
@@ -487,10 +570,9 @@ impl fmt::Debug for Cdfg {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         writeln!(f, "Cdfg {{")?;
         for (id, n) in self.nodes() {
-            let fu = n
-                .fu
-                .map(|u| self.fu(u).map(|x| x.name().to_string()).unwrap_or_default())
-                .unwrap_or_else(|| "-".into());
+            let fu =
+                n.fu.map(|u| self.fu(u).map(|x| x.name().to_string()).unwrap_or_default())
+                    .unwrap_or_else(|| "-".into());
             writeln!(f, "  {id} [{fu}] {}", n.kind)?;
         }
         for (id, a) in self.arcs() {

@@ -90,7 +90,10 @@ impl NodeKind {
 
     /// Registers written when this node fires.
     pub fn writes(&self) -> Vec<&Reg> {
-        self.statements().into_iter().map(RtlStatement::writes).collect()
+        self.statements()
+            .into_iter()
+            .map(RtlStatement::writes)
+            .collect()
     }
 }
 

@@ -83,9 +83,7 @@ pub fn parse_program(text: &str) -> Result<ParsedProgram, CdfgError> {
                 let (Some(reg), Some(val)) = (toks.next(), toks.next()) else {
                     return Err(bad(line, "expected `init <reg> <value>`"));
                 };
-                let v: i64 = val
-                    .parse()
-                    .map_err(|_| bad(line, "bad initial value"))?;
+                let v: i64 = val.parse().map_err(|_| bad(line, "bad initial value"))?;
                 initial.insert(Reg::new(reg), v);
             }
             "stmt" => {

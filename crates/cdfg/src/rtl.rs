@@ -294,7 +294,12 @@ impl FromStr for RtlStatement {
                     "!=" => Op::Ne,
                     _ => return Err(err()),
                 };
-                Ok(RtlStatement::binary(dest, parse_operand(a), op, parse_operand(b)))
+                Ok(RtlStatement::binary(
+                    dest,
+                    parse_operand(a),
+                    op,
+                    parse_operand(b),
+                ))
             }
             _ => Err(err()),
         }
@@ -353,7 +358,13 @@ mod tests {
 
     #[test]
     fn display_roundtrips_through_parser() {
-        for text in ["A := Y + M1", "U := U - M1", "M1 := A * B", "C := X < a", "X1 := X"] {
+        for text in [
+            "A := Y + M1",
+            "U := U - M1",
+            "M1 := A * B",
+            "C := X < a",
+            "X1 := X",
+        ] {
             let s: RtlStatement = text.parse().unwrap();
             assert_eq!(s.to_string(), text);
             let again: RtlStatement = s.to_string().parse().unwrap();

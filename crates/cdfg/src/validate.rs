@@ -29,13 +29,23 @@ pub fn validate(g: &Cdfg) -> Result<(), CdfgError> {
 }
 
 fn check_endpoints(g: &Cdfg) -> Result<(), CdfgError> {
-    let starts = g.nodes().filter(|(_, n)| matches!(n.kind, NodeKind::Start)).count();
-    let ends = g.nodes().filter(|(_, n)| matches!(n.kind, NodeKind::End)).count();
+    let starts = g
+        .nodes()
+        .filter(|(_, n)| matches!(n.kind, NodeKind::Start))
+        .count();
+    let ends = g
+        .nodes()
+        .filter(|(_, n)| matches!(n.kind, NodeKind::End))
+        .count();
     if starts != 1 {
-        return Err(CdfgError::Structure(format!("expected 1 START node, found {starts}")));
+        return Err(CdfgError::Structure(format!(
+            "expected 1 START node, found {starts}"
+        )));
     }
     if ends != 1 {
-        return Err(CdfgError::Structure(format!("expected 1 END node, found {ends}")));
+        return Err(CdfgError::Structure(format!(
+            "expected 1 END node, found {ends}"
+        )));
     }
     Ok(())
 }
@@ -46,7 +56,9 @@ fn check_bindings(g: &Cdfg) -> Result<(), CdfgError> {
             NodeKind::Start | NodeKind::End => {}
             NodeKind::Op { stmt, .. } => {
                 if n.fu.is_none() {
-                    return Err(CdfgError::Structure(format!("operation {id} is not bound to a unit")));
+                    return Err(CdfgError::Structure(format!(
+                        "operation {id} is not bound to a unit"
+                    )));
                 }
                 if stmt.is_move() {
                     return Err(CdfgError::Structure(format!(
@@ -56,7 +68,10 @@ fn check_bindings(g: &Cdfg) -> Result<(), CdfgError> {
             }
             _ => {
                 if n.fu.is_none() {
-                    return Err(CdfgError::Structure(format!("node {id} ({}) is not bound to a unit", n.kind)));
+                    return Err(CdfgError::Structure(format!(
+                        "node {id} ({}) is not bound to a unit",
+                        n.kind
+                    )));
                 }
             }
         }

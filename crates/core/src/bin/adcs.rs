@@ -65,7 +65,11 @@ fn synth(program: &ParsedProgram, opts: &[String]) -> Result<(), Box<dyn std::er
     let flow = Flow::new(program.cdfg.clone(), program.initial.clone());
     let out = flow.run(&FlowOptions::default())?;
 
-    println!("channels: {} -> {}", out.unoptimized.channels, out.channels.count());
+    println!(
+        "channels: {} -> {}",
+        out.unoptimized.channels,
+        out.channels.count()
+    );
     for st in [&out.unoptimized, &out.optimized_gt, &out.optimized_gt_lt] {
         println!("{:22} {:3} channels", st.label, st.channels);
         for (name, stats) in &st.machines {
@@ -137,6 +141,10 @@ fn script(program: &ParsedProgram, text: &str) -> Result<(), Box<dyn std::error:
         .with_samples(16);
     let (channels, log) = run_script(&mut g, &program.initial, &timing, &script)?;
     print!("{log}");
-    println!("final: {} channels, {} inter-unit arcs", channels.count(), g.inter_fu_arcs().len());
+    println!(
+        "final: {} channels, {} inter-unit arcs",
+        channels.count(),
+        g.inter_fu_arcs().len()
+    );
     Ok(())
 }

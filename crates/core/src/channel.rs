@@ -55,8 +55,14 @@ impl ChannelMap {
         let mut channels = Vec::new();
         for id in g.inter_fu_arcs() {
             let arc = g.arc(id)?;
-            let sender = g.node(arc.src)?.fu.expect("inter-unit arc has bound source");
-            let receiver = g.node(arc.dst)?.fu.expect("inter-unit arc has bound target");
+            let sender = g
+                .node(arc.src)?
+                .fu
+                .expect("inter-unit arc has bound source");
+            let receiver = g
+                .node(arc.dst)?
+                .fu
+                .expect("inter-unit arc has bound target");
             channels.push(Channel {
                 sender,
                 receivers: BTreeSet::from([receiver]),
@@ -116,7 +122,12 @@ impl ChannelMap {
     /// # Errors
     ///
     /// Fails on a bad index.
-    pub fn add_arc_to(&mut self, channel: usize, arc: ArcId, receiver: FuId) -> Result<(), SynthError> {
+    pub fn add_arc_to(
+        &mut self,
+        channel: usize,
+        arc: ArcId,
+        receiver: FuId,
+    ) -> Result<(), SynthError> {
         let c = self
             .channels
             .get_mut(channel)

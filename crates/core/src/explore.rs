@@ -4,17 +4,53 @@
 //!
 //! [`explore_exhaustive`] sweeps every combination of the global transforms
 //! (and optionally the local ones), runs the full flow for each, and ranks
-//! the outcomes by an [`Objective`]. [`explore_greedy`] adds transforms one
-//! at a time, keeping each only if it improves the objective — a simple
-//! hill climb over the transform set.
+//! the outcomes by an [`Objective`]. [`explore_greedy`] enables transforms
+//! one at a time, keeping the best improving candidate each round — a
+//! steepest-descent hill climb over the transform set.
+//!
+//! Candidate flows are independent, so both explorers fan evaluations out
+//! over a thread pool ([`ExploreOptions::threads`] bounds it; `None` uses
+//! every core). Results are **deterministic regardless of thread count**:
+//! candidate evaluation order never affects the output because outcomes
+//! are collected in input order and ranked with a total order — objective
+//! score first, then the transform-set bitmask as the tie-break.
 
 use adcs_cdfg::benchmarks::RegFile;
 use adcs_cdfg::Cdfg;
+use rayon::prelude::*;
 
 use crate::error::SynthError;
 use crate::flow::{Flow, FlowOptions, FlowOutcome};
 use crate::gt::Gt5Options;
 use crate::lt::LtOptions;
+
+/// How an exploration distributes its candidate evaluations.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct ExploreOptions {
+    /// Worker threads for candidate evaluation. `None` uses all available
+    /// cores; `Some(1)` forces fully sequential evaluation (the baseline
+    /// the benchmarks compare against).
+    pub threads: Option<usize>,
+}
+
+impl ExploreOptions {
+    /// Sequential evaluation (one worker).
+    pub fn sequential() -> Self {
+        ExploreOptions { threads: Some(1) }
+    }
+
+    /// Runs `f` under this option set's thread-count bound.
+    fn install<R: Send>(self, f: impl FnOnce() -> R + Send) -> R {
+        match self.threads {
+            Some(n) => rayon::ThreadPoolBuilder::new()
+                .num_threads(n.max(1))
+                .build()
+                .expect("thread pool")
+                .install(f),
+            None => f(),
+        }
+    }
+}
 
 /// Which quantity the exploration minimizes.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -57,9 +93,29 @@ pub struct ExplorePoint {
     pub states: usize,
     /// Total transitions after the flow.
     pub transitions: usize,
+    /// Wall-clock time of this candidate's flow run.
+    pub elapsed: std::time::Duration,
+    /// Reachability queries the flow issued.
+    pub reach_queries: u64,
+    /// Reachability queries answered from the memoized cache.
+    pub reach_cache_hits: u64,
 }
 
 impl ExplorePoint {
+    /// The transform set as a bitmask (`bit i` = element `i` of
+    /// [`ExplorePoint::config`]). Ranking ties break on this value, which
+    /// is what makes parallel and sequential explorations rank
+    /// identically.
+    pub fn bitmask(&self) -> u32 {
+        let (g1, g2, g3, g4, g5, lt) = self.config;
+        u32::from(g1)
+            | u32::from(g2) << 1
+            | u32::from(g3) << 2
+            | u32::from(g4) << 3
+            | u32::from(g5) << 4
+            | u32::from(lt) << 5
+    }
+
     /// Human-readable configuration label, e.g. `GT1+GT2+GT5+LT`.
     pub fn label(&self) -> String {
         let (g1, g2, g3, g4, g5, lt) = self.config;
@@ -84,10 +140,7 @@ impl ExplorePoint {
     }
 }
 
-fn options_for(
-    config: (bool, bool, bool, bool, bool, bool),
-    base: &FlowOptions,
-) -> FlowOptions {
+fn options_for(config: (bool, bool, bool, bool, bool, bool), base: &FlowOptions) -> FlowOptions {
     let (g1, g2, g3, g4, g5, lt) = config;
     FlowOptions {
         gt1: g1,
@@ -118,8 +171,39 @@ fn options_for(
     }
 }
 
+fn config_of(mask: u32) -> (bool, bool, bool, bool, bool, bool) {
+    (
+        mask & 1 != 0,
+        mask & 2 != 0,
+        mask & 4 != 0,
+        mask & 8 != 0,
+        mask & 16 != 0,
+        mask & 32 != 0,
+    )
+}
+
+fn evaluate(
+    flow: &Flow,
+    base: &FlowOptions,
+    objective: Objective,
+    config: (bool, bool, bool, bool, bool, bool),
+) -> Option<ExplorePoint> {
+    let opts = options_for(config, base);
+    flow.run(&opts).ok().map(|out| ExplorePoint {
+        config,
+        score: objective.score(&out),
+        channels: out.optimized_gt_lt.channels,
+        states: out.optimized_gt_lt.total_states(),
+        transitions: out.optimized_gt_lt.total_transitions(),
+        elapsed: out.elapsed,
+        reach_queries: out.reach_queries,
+        reach_cache_hits: out.reach_cache_hits,
+    })
+}
+
 /// Exhaustively sweeps transform subsets (64 flow runs with the default
-/// settings) and returns the points sorted best-first.
+/// settings) and returns the points sorted best-first, evaluating
+/// candidates on every available core.
 ///
 /// Configurations whose flow fails (e.g. GT1 without GT2 can violate wire
 /// safety) are skipped — exploration treats them as infeasible.
@@ -133,39 +217,46 @@ pub fn explore_exhaustive(
     base: &FlowOptions,
     objective: Objective,
 ) -> Result<Vec<ExplorePoint>, SynthError> {
+    explore_exhaustive_with(cdfg, initial, base, objective, ExploreOptions::default())
+}
+
+/// [`explore_exhaustive`] with an explicit parallelism bound.
+///
+/// The ranked output is identical for every thread count: candidates are
+/// collected in mask order and sorted by `(score, bitmask)` — a total
+/// order, so scheduling can never reorder ties.
+///
+/// # Errors
+///
+/// Fails only if *no* configuration completes.
+pub fn explore_exhaustive_with(
+    cdfg: &Cdfg,
+    initial: &RegFile,
+    base: &FlowOptions,
+    objective: Objective,
+    explore_opts: ExploreOptions,
+) -> Result<Vec<ExplorePoint>, SynthError> {
     let flow = Flow::new(cdfg.clone(), initial.clone());
-    let mut points = Vec::new();
-    for mask in 0u32..64 {
-        let config = (
-            mask & 1 != 0,
-            mask & 2 != 0,
-            mask & 4 != 0,
-            mask & 8 != 0,
-            mask & 16 != 0,
-            mask & 32 != 0,
-        );
-        let opts = options_for(config, base);
-        let Ok(out) = flow.run(&opts) else { continue };
-        points.push(ExplorePoint {
-            config,
-            score: objective.score(&out),
-            channels: out.optimized_gt_lt.channels,
-            states: out.optimized_gt_lt.total_states(),
-            transitions: out.optimized_gt_lt.total_transitions(),
-        });
-    }
+    let mut points: Vec<ExplorePoint> = explore_opts.install(|| {
+        (0u32..64)
+            .into_par_iter()
+            .filter_map(|mask| evaluate(&flow, base, objective, config_of(mask)))
+            .collect()
+    });
     if points.is_empty() {
         return Err(SynthError::Precondition(
             "no transform configuration completed the flow".into(),
         ));
     }
-    points.sort_by_key(|p| p.score);
+    points.sort_by_key(|p| (p.score, p.bitmask()));
     Ok(points)
 }
 
-/// Greedy hill climb: starting from no transforms, enable one transform at
-/// a time (in a fixed candidate order), keeping it only when it improves
-/// the objective. Returns the visited points, best last.
+/// Steepest-descent hill climb: starting from no transforms, each round
+/// evaluates every not-yet-enabled transform in parallel and keeps the
+/// best candidate that does not regress the objective (ties break on the
+/// smallest bitmask, so the result is thread-count independent). Returns
+/// the visited points, best last.
 ///
 /// # Errors
 ///
@@ -176,38 +267,56 @@ pub fn explore_greedy(
     base: &FlowOptions,
     objective: Objective,
 ) -> Result<Vec<ExplorePoint>, SynthError> {
+    explore_greedy_with(cdfg, initial, base, objective, ExploreOptions::default())
+}
+
+/// [`explore_greedy`] with an explicit parallelism bound.
+///
+/// # Errors
+///
+/// Fails if even the empty configuration cannot complete the flow.
+pub fn explore_greedy_with(
+    cdfg: &Cdfg,
+    initial: &RegFile,
+    base: &FlowOptions,
+    objective: Objective,
+    explore_opts: ExploreOptions,
+) -> Result<Vec<ExplorePoint>, SynthError> {
     let flow = Flow::new(cdfg.clone(), initial.clone());
-    let mut current = (false, false, false, false, false, false);
-    let run = |config| -> Option<ExplorePoint> {
-        let opts = options_for(config, base);
-        flow.run(&opts).ok().map(|out| ExplorePoint {
-            config,
-            score: objective.score(&out),
-            channels: out.optimized_gt_lt.channels,
-            states: out.optimized_gt_lt.total_states(),
-            transitions: out.optimized_gt_lt.total_transitions(),
-        })
-    };
-    let mut best = run(current).ok_or_else(|| {
+    let mut best = evaluate(&flow, base, objective, config_of(0)).ok_or_else(|| {
         SynthError::Precondition("the empty configuration failed the flow".into())
     })?;
     let mut trail = vec![best.clone()];
-    for bit in 0..6 {
-        let mut cand = current;
-        match bit {
-            0 => cand.0 = true,
-            1 => cand.1 = true,
-            2 => cand.2 = true,
-            3 => cand.3 = true,
-            4 => cand.4 = true,
-            _ => cand.5 = true,
+    loop {
+        let enabled = trail.last().expect("nonempty trail").bitmask();
+        let candidates: Vec<u32> = (0..6)
+            .map(|bit| enabled | 1 << bit)
+            .filter(|&m| m != enabled)
+            .collect();
+        if candidates.is_empty() {
+            break;
         }
-        if let Some(p) = run(cand) {
-            if p.score <= best.score {
-                current = cand;
+        let evaluated: Vec<ExplorePoint> = explore_opts.install(|| {
+            candidates
+                .into_par_iter()
+                .filter_map(|mask| evaluate(&flow, base, objective, config_of(mask)))
+                .collect()
+        });
+        // Keep the best non-regressing candidate; stop when each remaining
+        // transform would strictly worsen the objective. Requiring strict
+        // improvement once does not: equal-score additions are accepted
+        // (they can unlock later improvements), but only ever 6 bits
+        // exist, so the climb terminates.
+        let winner = evaluated
+            .into_iter()
+            .filter(|p| p.score <= best.score)
+            .min_by_key(|p| (p.score, p.bitmask()));
+        match winner {
+            Some(p) => {
                 best = p.clone();
                 trail.push(p);
             }
+            None => break,
         }
     }
     Ok(trail)
@@ -231,9 +340,13 @@ mod tests {
     #[test]
     fn greedy_exploration_improves_on_the_empty_configuration() {
         let d = diffeq(DiffeqParams::default()).unwrap();
-        let trail =
-            explore_greedy(&d.cdfg, &d.initial, &fast_base(), Objective::ChannelsThenStates)
-                .unwrap();
+        let trail = explore_greedy(
+            &d.cdfg,
+            &d.initial,
+            &fast_base(),
+            Objective::ChannelsThenStates,
+        )
+        .unwrap();
         assert!(trail.len() >= 2, "{trail:?}");
         let first = trail.first().unwrap();
         let last = trail.last().unwrap();

@@ -26,6 +26,7 @@
 
 use std::collections::HashMap;
 
+use adcs_cdfg::analysis::ReachCache;
 use adcs_cdfg::graph::BlockKind;
 use adcs_cdfg::{ArcId, BlockId, Cdfg, FuId, NodeId, NodeKind, Reg};
 use adcs_xbm::{SignalId, SignalKind, StateId, Term, XbmBuilder, XbmMachine};
@@ -207,9 +208,26 @@ pub fn extract(
     channels: &ChannelMap,
     opts: &ExtractOptions,
 ) -> Result<Extraction, SynthError> {
+    extract_cached(g, channels, opts, &ReachCache::new())
+}
+
+/// [`extract`] reusing a caller-owned reachability cache. The graph is
+/// immutable for the whole extraction, so one cache serves every
+/// controller: each distinct event source costs one BFS across all units
+/// instead of one per query.
+///
+/// # Errors
+///
+/// Same as [`extract`].
+pub fn extract_cached(
+    g: &Cdfg,
+    channels: &ChannelMap,
+    opts: &ExtractOptions,
+    reach: &ReachCache,
+) -> Result<Extraction, SynthError> {
     let mut controllers = Vec::new();
     for (fu, _) in g.fus() {
-        controllers.push(extract_one(g, channels, fu, opts)?);
+        controllers.push(extract_one_cached(g, channels, fu, opts, reach)?);
     }
     Ok(Extraction { controllers })
 }
@@ -249,7 +267,9 @@ fn project(g: &Cdfg, fu: FuId, block: BlockId) -> Vec<Step> {
         let node = g.node(n).expect("live node");
         match &node.kind {
             NodeKind::Loop { .. } => {
-                let Some((body, tail)) = loop_parts(g, n) else { continue };
+                let Some((body, tail)) = loop_parts(g, n) else {
+                    continue;
+                };
                 let body_steps = project(g, fu, body);
                 let owned = node.fu == Some(fu);
                 if owned || !body_steps.is_empty() {
@@ -262,7 +282,9 @@ fn project(g: &Cdfg, fu: FuId, block: BlockId) -> Vec<Step> {
                 }
             }
             NodeKind::If { .. } => {
-                let Some((tb, eb, tail)) = if_parts(g, n) else { continue };
+                let Some((tb, eb, tail)) = if_parts(g, n) else {
+                    continue;
+                };
                 let then_steps = project(g, fu, tb);
                 let else_steps = project(g, fu, eb);
                 let owned = node.fu == Some(fu);
@@ -321,6 +343,7 @@ fn if_parts(g: &Cdfg, head: NodeId) -> Option<(BlockId, BlockId, NodeId)> {
 struct Emitter<'a> {
     g: &'a Cdfg,
     channels: &'a ChannelMap,
+    reach: &'a ReachCache,
     fu: FuId,
     style: ExpansionStyle,
     b: XbmBuilder,
@@ -391,7 +414,8 @@ impl<'a> Emitter<'a> {
             ));
         }
         Err(SynthError::Extract(format!(
-            "arc {arc} into {} has no channel", a.dst
+            "arc {arc} into {} has no channel",
+            a.dst
         )))
     }
 
@@ -415,7 +439,8 @@ impl<'a> Emitter<'a> {
             ));
         }
         Err(SynthError::Extract(format!(
-            "arc {arc} out of {} has no channel", a.src
+            "arc {arc} out of {} has no channel",
+            a.src
         )))
     }
 
@@ -496,6 +521,7 @@ impl<'a> Emitter<'a> {
         // a heavier... equal-weight events order by a weight-0 path
         // between their sources.
         let g = self.g;
+        let reach = self.reach;
         events.sort_by(|&(wa, a), &(wb, b)| {
             use std::cmp::Ordering;
             if wa != wb {
@@ -508,9 +534,9 @@ impl<'a> Emitter<'a> {
             // ago, so larger w = earlier event.
             match kb.cmp(&ka) {
                 Ordering::Equal => {
-                    if adcs_cdfg::analysis::reaches_within(g, aa.src, ab.src, 0, None) {
+                    if reach.reaches_within(g, aa.src, ab.src, 0, None) {
                         Ordering::Less
-                    } else if adcs_cdfg::analysis::reaches_within(g, ab.src, aa.src, 0, None) {
+                    } else if reach.reaches_within(g, ab.src, aa.src, 0, None) {
                         Ordering::Greater
                     } else {
                         aa.src.cmp(&ab.src)
@@ -583,7 +609,8 @@ impl<'a> Emitter<'a> {
         // (ii) run the operation (primary statement only)
         let mut t = Proto::default();
         for s in 0..stmts {
-            t.input.push(Term::rise(self.local(n, s, LocalRole::MuxAck)));
+            t.input
+                .push(Term::rise(self.local(n, s, LocalRole::MuxAck)));
         }
         if is_op {
             t.output.push(self.local(n, 0, LocalRole::GoReq));
@@ -599,7 +626,8 @@ impl<'a> Emitter<'a> {
         // (iv) latch results
         let mut t4 = Proto::default();
         for s in 0..stmts {
-            t4.input.push(Term::rise(self.local(n, s, LocalRole::WMuxAck)));
+            t4.input
+                .push(Term::rise(self.local(n, s, LocalRole::WMuxAck)));
             t4.output.push(self.local(n, s, LocalRole::WrReq));
         }
         protos.push(t4);
@@ -622,7 +650,8 @@ impl<'a> Emitter<'a> {
             ExpansionStyle::Compact => {
                 let mut t5 = Proto::default();
                 for s in 0..stmts {
-                    t5.input.push(Term::rise(self.local(n, s, LocalRole::WrAck)));
+                    t5.input
+                        .push(Term::rise(self.local(n, s, LocalRole::WrAck)));
                 }
                 t5.output = reqs.clone();
                 protos.push(t5);
@@ -695,6 +724,21 @@ pub fn extract_one(
     fu: FuId,
     opts: &ExtractOptions,
 ) -> Result<ControllerSpec, SynthError> {
+    extract_one_cached(g, channels, fu, opts, &ReachCache::new())
+}
+
+/// [`extract_one`] reusing a caller-owned reachability cache.
+///
+/// # Errors
+///
+/// Same as [`extract_one`].
+pub fn extract_one_cached(
+    g: &Cdfg,
+    channels: &ChannelMap,
+    fu: FuId,
+    opts: &ExtractOptions,
+    reach: &ReachCache,
+) -> Result<ControllerSpec, SynthError> {
     let steps = project(g, fu, outer_block(g));
     if steps.is_empty() {
         // A unit with no work: a one-state machine with no signals.
@@ -711,6 +755,7 @@ pub fn extract_one(
     let mut em = Emitter {
         g,
         channels,
+        reach,
         fu,
         style: opts.style,
         b: XbmBuilder::new(g.fu(fu)?.name()),
@@ -733,14 +778,17 @@ pub fn extract_one(
     doomed.sort_unstable();
     doomed.dedup();
     for idx in doomed.into_iter().rev() {
-        em.b
-            .remove_transition(idx)
+        em.b.remove_transition(idx)
             .map_err(|e| SynthError::Extract(e.to_string()))?;
     }
     em.b.remove_unreachable(s0);
     let machine = em.b.finish(s0)?;
-    adcs_xbm::validate::validate(&machine)
-        .map_err(|e| SynthError::Extract(format!("{}: {e}", g.fu(fu).map(|f| f.name().to_string()).unwrap_or_default())))?;
+    adcs_xbm::validate::validate(&machine).map_err(|e| {
+        SynthError::Extract(format!(
+            "{}: {e}",
+            g.fu(fu).map(|f| f.name().to_string()).unwrap_or_default()
+        ))
+    })?;
     let mut spec = ControllerSpec {
         fu,
         machine,
@@ -766,7 +814,12 @@ fn declare_signals(em: &mut Emitter<'_>, steps: &[Step]) -> Result<(), SynthErro
             Step::Exec(n) => {
                 let _ = em.fragment(*n, false)?;
             }
-            Step::Loop { head, tail, owned, body } => {
+            Step::Loop {
+                head,
+                tail,
+                owned,
+                body,
+            } => {
                 if *owned {
                     let _ = em.in_events(*head)?;
                     let _ = em.out_events(*head)?;
@@ -779,7 +832,13 @@ fn declare_signals(em: &mut Emitter<'_>, steps: &[Step]) -> Result<(), SynthErro
                 }
                 declare_signals(em, body)?;
             }
-            Step::If { head, tail, owned, then_steps, else_steps } => {
+            Step::If {
+                head,
+                tail,
+                owned,
+                then_steps,
+                else_steps,
+            } => {
                 if *owned {
                     let _ = em.in_events(*head)?;
                     let _ = em.out_events(*head)?;
@@ -884,7 +943,12 @@ fn emit_from(
                 let (cur, last_t) = em.emit_protos(protos, state, entered_by)?;
                 emit_from(em, steps, idx + 1, cur, vals, cont, last_t, first_lap)
             }
-            Step::Loop { head, tail, owned, body } => {
+            Step::Loop {
+                head,
+                tail,
+                owned,
+                body,
+            } => {
                 if *owned {
                     emit_owned_loop(
                         em,
@@ -905,7 +969,9 @@ fn emit_from(
                     if idx + 1 < steps.len() {
                         return Err(SynthError::Extract(format!(
                             "unit {} has work after a loop it does not own",
-                            em.g.fu(em.fu).map(|f| f.name().to_string()).unwrap_or_default()
+                            em.g.fu(em.fu)
+                                .map(|f| f.name().to_string())
+                                .unwrap_or_default()
                         )));
                     }
                     let key = format!("loop{}@{}", head, em.fu);
@@ -927,7 +993,13 @@ fn emit_from(
                     )
                 }
             }
-            Step::If { head, tail, owned, then_steps, else_steps } => emit_if(
+            Step::If {
+                head,
+                tail,
+                owned,
+                then_steps,
+                else_steps,
+            } => emit_if(
                 em,
                 steps,
                 idx,
@@ -945,8 +1017,6 @@ fn emit_from(
         }
     }
 }
-
-
 
 /// Redirects the transition that entered `from` to point at `to` and
 /// retires the now-unreachable `from` state. Errors if there is no such
@@ -1018,7 +1088,6 @@ impl<'a> Emitter<'a> {
         self.b.remove_state(s);
     }
 
-
     /// Turns a proto chain into machine transitions. A proto with no input
     /// burst folds its outputs into the predecessor transition (a node
     /// whose triggers are all intra-controller starts as soon as the
@@ -1074,7 +1143,11 @@ fn emit_owned_loop(
     // On entry the head waits its (one-shot) incoming events; on the
     // loop-back those were consumed long ago and the decision folds into
     // the ENDLOOP transition.
-    let head_in = if entry { em.in_events(head)? } else { Vec::new() };
+    let head_in = if entry {
+        em.in_events(head)?
+    } else {
+        Vec::new()
+    };
     // Dones routed by the decision: into the body on true, to the exit on
     // false.
     let (body_dones, exit_dones) = route_decision_outputs(em, head)?;
@@ -1084,7 +1157,10 @@ fn emit_owned_loop(
     // The decision point: either transitions from `state` (when there are
     // head in-events, e.g. the first arrival), or a fold into the entering
     // transition (loop-back with no events).
-    let memo_key = (format!("loophead{}@{}#{}", head, em.fu, entry), vals.clone());
+    let memo_key = (
+        format!("loophead{}@{}#{}", head, em.fu, entry),
+        vals.clone(),
+    );
     if let Some(&existing) = em.memo.get(&memo_key) {
         return converge(em, entered_by, state, existing);
     }
@@ -1135,12 +1211,10 @@ fn emit_owned_loop(
 
     let (t_true, t_false) = match fold_with {
         None => {
-            let tt = em
-                .b
-                .transition(state, body_entry, in_true, body_dones.clone())?;
-            let tf = em
-                .b
-                .transition(state, exit_entry, in_false, exit_dones.clone())?;
+            let tt =
+                em.b.transition(state, body_entry, in_true, body_dones.clone())?;
+            let tf =
+                em.b.transition(state, exit_entry, in_false, exit_dones.clone())?;
             (tt, tf)
         }
         Some(entry_t) => {
@@ -1173,10 +1247,7 @@ fn emit_owned_loop(
     // we emit body then handle ENDLOOP here via a continuation hack — the
     // simplest correct structure is to emit the body followed by an
     // explicit tail fragment and then recurse on the loop step itself.
-    let tail_frag = TailFrag {
-        tail_in,
-        tail_out,
-    };
+    let tail_frag = TailFrag { tail_in, tail_out };
     emit_body_then_tail(
         em,
         &mut tail_steps,
@@ -1265,7 +1336,13 @@ fn emit_body_then_tail(
                 }
             }
             // Jump back into the loop-head decision (a re-entry lap).
-            let Step::Loop { head, tail: lt, body: lb, .. } = &outer_steps[loop_idx] else {
+            let Step::Loop {
+                head,
+                tail: lt,
+                body: lb,
+                ..
+            } = &outer_steps[loop_idx]
+            else {
                 return Err(SynthError::Extract("loop step vanished".into()));
             };
             emit_owned_loop(
@@ -1309,7 +1386,13 @@ fn emit_seq_then(
             let (cur, last_t) = em.emit_protos(protos, state, entered_by)?;
             emit_seq_then(em, steps, idx + 1, cur, vals, last_t, first_lap, finish)
         }
-        Step::If { head, tail, owned, then_steps, else_steps } => {
+        Step::If {
+            head,
+            tail,
+            owned,
+            then_steps,
+            else_steps,
+        } => {
             let head = *head;
             let tail = *tail;
             let owned = *owned;
@@ -1319,7 +1402,15 @@ fn emit_seq_then(
             // remaining steps (burst-mode join duplicates the suffix per
             // branch unless wire values re-converge via the memo).
             emit_if_seq(
-                em, head, tail, owned, &then_steps, &else_steps, state, vals, entered_by,
+                em,
+                head,
+                tail,
+                owned,
+                &then_steps,
+                &else_steps,
+                state,
+                vals,
+                entered_by,
                 first_lap,
                 &mut |em, s, v, e| emit_seq_then(em, steps, idx + 1, s, v, e, first_lap, finish),
             )
@@ -1384,7 +1475,11 @@ fn route_decision_outputs(
                 }
             }
         }
-        _ => return Err(SynthError::Extract(format!("{head} is not a decision node"))),
+        _ => {
+            return Err(SynthError::Extract(format!(
+                "{head} is not a decision node"
+            )))
+        }
     }
     Ok((taken, other))
 }
@@ -1487,8 +1582,10 @@ fn emit_if_seq(
             em.b_remove_state(state);
             (entry_t, te)
         } else {
-            let tt = em.b.transition(state, then_entry, in_t, then_dones.clone())?;
-            let te = em.b.transition(state, else_entry, in_e, else_dones.clone())?;
+            let tt =
+                em.b.transition(state, then_entry, in_t, then_dones.clone())?;
+            let te =
+                em.b.transition(state, else_entry, in_e, else_dones.clone())?;
             (tt, te)
         };
 
@@ -1573,25 +1670,19 @@ fn endif_in_events(
     let g = em.g;
     let arcs: Vec<ArcId> = g
         .in_arcs(tail)
-        .filter(|(id, a)| {
-            g.is_inter_fu(a) || em.channels.channel_of(*id).is_some()
-        })
+        .filter(|(id, a)| g.is_inter_fu(a) || em.channels.channel_of(*id).is_some())
         .filter(|(_, a)| {
             let src_block = g.node(a.src).map(|n| n.block);
             match src_block {
                 Ok(b) => {
-                    let then_branch = g
-                        .blocks()
-                        .any(|(bb, info)| {
-                            matches!(info.kind, BlockKind::ThenBranch { tail: t, .. } if t == tail)
-                                && g.block_contains(bb, b)
-                        });
-                    let else_branch = g
-                        .blocks()
-                        .any(|(bb, info)| {
-                            matches!(info.kind, BlockKind::ElseBranch { tail: t, .. } if t == tail)
-                                && g.block_contains(bb, b)
-                        });
+                    let then_branch = g.blocks().any(|(bb, info)| {
+                        matches!(info.kind, BlockKind::ThenBranch { tail: t, .. } if t == tail)
+                            && g.block_contains(bb, b)
+                    });
+                    let else_branch = g.blocks().any(|(bb, info)| {
+                        matches!(info.kind, BlockKind::ElseBranch { tail: t, .. } if t == tail)
+                            && g.block_contains(bb, b)
+                    });
                     if then_side {
                         then_branch || (!then_branch && !else_branch)
                     } else {
@@ -1651,11 +1742,8 @@ fn back_annotate(spec: &mut ControllerSpec) {
                 if !visited.insert(s) {
                     continue;
                 }
-                let incoming: Vec<usize> = spec
-                    .machine
-                    .transitions_into(s)
-                    .map(|(i, _)| i)
-                    .collect();
+                let incoming: Vec<usize> =
+                    spec.machine.transitions_into(s).map(|(i, _)| i).collect();
                 for i in incoming {
                     let t = &spec.machine.transitions()[i];
                     if t.term(w).is_some() {
@@ -1713,10 +1801,13 @@ mod tests {
             .roles
             .iter()
             .any(|r| matches!(r, SignalRole::ChannelOut { .. })));
-        assert!(mul
-            .roles
-            .iter()
-            .any(|r| matches!(r, SignalRole::Local { role: LocalRole::GoReq, .. })));
+        assert!(mul.roles.iter().any(|r| matches!(
+            r,
+            SignalRole::Local {
+                role: LocalRole::GoReq,
+                ..
+            }
+        )));
     }
 
     #[test]
@@ -1730,25 +1821,47 @@ mod tests {
         let mut state = m.initial();
         let mut first_outputs = Vec::new();
         for _ in 0..6 {
-            let Some((_, t)) = m.transitions_from(state).next() else { break };
+            let Some((_, t)) = m.transitions_from(state).next() else {
+                break;
+            };
             first_outputs.push(t.output.clone());
             state = t.to;
         }
         // First transition selects muxes.
-        let is_role = |s: &adcs_xbm::SignalId, want: LocalRole| {
-            matches!(mul.role(*s), SignalRole::Local { role, .. } if *role == want)
-        };
-        assert!(first_outputs[0].iter().any(|s| is_role(s, LocalRole::MuxReq)));
-        assert!(first_outputs[1].iter().any(|s| is_role(s, LocalRole::GoReq)));
-        assert!(first_outputs[2].iter().any(|s| is_role(s, LocalRole::WMuxReq)));
-        assert!(first_outputs[3].iter().any(|s| is_role(s, LocalRole::WrReq)));
+        let is_role = |s: &adcs_xbm::SignalId, want: LocalRole| matches!(mul.role(*s), SignalRole::Local { role, .. } if *role == want);
+        assert!(first_outputs[0]
+            .iter()
+            .any(|s| is_role(s, LocalRole::MuxReq)));
+        assert!(first_outputs[1]
+            .iter()
+            .any(|s| is_role(s, LocalRole::GoReq)));
+        assert!(first_outputs[2]
+            .iter()
+            .any(|s| is_role(s, LocalRole::WMuxReq)));
+        assert!(first_outputs[3]
+            .iter()
+            .any(|s| is_role(s, LocalRole::WrReq)));
     }
 
     #[test]
     fn sequential_style_is_larger_than_compact() {
         let (g, ch) = two_unit();
-        let compact = extract(&g, &ch, &ExtractOptions { style: ExpansionStyle::Compact }).unwrap();
-        let seq = extract(&g, &ch, &ExtractOptions { style: ExpansionStyle::Sequential }).unwrap();
+        let compact = extract(
+            &g,
+            &ch,
+            &ExtractOptions {
+                style: ExpansionStyle::Compact,
+            },
+        )
+        .unwrap();
+        let seq = extract(
+            &g,
+            &ch,
+            &ExtractOptions {
+                style: ExpansionStyle::Sequential,
+            },
+        )
+        .unwrap();
         let total = |e: &Extraction| -> usize {
             e.controllers.iter().map(|c| c.machine.stats().states).sum()
         };
@@ -1772,8 +1885,8 @@ mod tests {
         // only if the go wire gates the first fragment; accept either but
         // require SOME machine in the design to carry ddc annotations once
         // a loop benchmark is used.
-        let d = adcs_cdfg::benchmarks::diffeq(adcs_cdfg::benchmarks::DiffeqParams::default())
-            .unwrap();
+        let d =
+            adcs_cdfg::benchmarks::diffeq(adcs_cdfg::benchmarks::DiffeqParams::default()).unwrap();
         let ch2 = ChannelMap::per_arc(&d.cdfg).unwrap();
         let ex2 = extract(&d.cdfg, &ch2, &ExtractOptions::default()).unwrap();
         let any_ddc = ex2.controllers.iter().any(|c| {

@@ -3,6 +3,9 @@
 //! collected along the way and simulation-based verification at each
 //! stage.
 
+use std::time::{Duration, Instant};
+
+use adcs_cdfg::analysis::ReachCache;
 use adcs_cdfg::benchmarks::RegFile;
 use adcs_cdfg::Cdfg;
 use adcs_sim::exec::{execute, ExecOptions};
@@ -10,10 +13,10 @@ use adcs_xbm::XbmStats;
 
 use crate::channel::ChannelMap;
 use crate::error::SynthError;
-use crate::extract::{extract, ControllerSpec, ExpansionStyle, ExtractOptions, Extraction};
+use crate::extract::{extract_cached, ControllerSpec, ExpansionStyle, ExtractOptions, Extraction};
 use crate::gt::{
     gt1_loop_parallelism, gt2_remove_dominated, gt3_relative_timing, gt4_merge_assignments,
-    gt5_channel_elimination, Gt5Options,
+    gt5_channel_elimination_cached, Gt5Options,
 };
 use crate::lt::{apply_all, LtOptions, LtReport};
 use crate::timing::TimingModel;
@@ -79,6 +82,11 @@ pub struct StageStats {
     pub channels: usize,
     /// Per-controller machine statistics, in unit order.
     pub machines: Vec<(String, XbmStats)>,
+    /// Wall-clock time spent producing this stage (transforms, extraction,
+    /// verification, and state reduction attributed to it).
+    pub elapsed: Duration,
+    /// Reachability queries issued while producing this stage.
+    pub reach_queries: u64,
 }
 
 impl StageStats {
@@ -96,6 +104,13 @@ impl StageStats {
 /// Everything the flow produced.
 #[derive(Clone, Debug)]
 pub struct FlowOutcome {
+    /// Total wall-clock time of the whole run.
+    pub elapsed: Duration,
+    /// Total reachability queries across the run.
+    pub reach_queries: u64,
+    /// Reachability queries answered from the memoized cache (the rest
+    /// each paid one BFS).
+    pub reach_cache_hits: u64,
     /// Stats of the unoptimized extraction.
     pub unoptimized: StageStats,
     /// Stats after the global transforms.
@@ -132,19 +147,35 @@ impl Flow {
     ///
     /// Any transform, extraction, or verification failure.
     pub fn run(&self, opts: &FlowOptions) -> Result<FlowOutcome, SynthError> {
+        // One reachability cache serves the whole run; it self-invalidates
+        // whenever a transform edits the graph (see `ReachCache`).
+        let reach = ReachCache::new();
+        let run_start = Instant::now();
+
         // ---- Stage 0: unoptimized --------------------------------------
         let channels0 = ChannelMap::per_arc(&self.cdfg)?;
-        let mut ex0 = extract(
+        let mut ex0 = extract_cached(
             &self.cdfg,
             &channels0,
-            &ExtractOptions { style: opts.baseline_style },
+            &ExtractOptions {
+                style: opts.baseline_style,
+            },
+            &reach,
         )?;
         if opts.reduce_states {
             reduce_all(&mut ex0.controllers)?;
         }
-        let unoptimized = stage_stats("unoptimized", &channels0, &ex0);
+        let unoptimized = stage_stats(
+            "unoptimized",
+            &channels0,
+            &ex0,
+            run_start.elapsed(),
+            reach.queries(),
+        );
 
         // ---- Stage 1: global transforms --------------------------------
+        let gt_start = Instant::now();
+        let queries_before_gt = reach.queries();
         let mut g = self.cdfg.clone();
         if opts.gt1 {
             gt1_loop_parallelism(&mut g)?;
@@ -159,32 +190,52 @@ impl Flow {
             gt4_merge_assignments(&mut g)?;
         }
         let mut channels = ChannelMap::per_arc(&g)?;
-        gt5_channel_elimination(&mut g, &mut channels, opts.gt5)?;
+        gt5_channel_elimination_cached(&mut g, &mut channels, opts.gt5, &reach)?;
 
         if opts.verify_seeds > 0 {
             self.verify(&g, &channels, opts)?;
         }
 
-        let mut ex_gt = extract(
+        let mut ex_gt = extract_cached(
             &g,
             &channels,
-            &ExtractOptions { style: opts.optimized_style },
+            &ExtractOptions {
+                style: opts.optimized_style,
+            },
+            &reach,
         )?;
         if opts.reduce_states {
             reduce_all(&mut ex_gt.controllers)?;
         }
-        let optimized_gt = stage_stats("optimized-GT", &channels, &ex_gt);
+        let optimized_gt = stage_stats(
+            "optimized-GT",
+            &channels,
+            &ex_gt,
+            gt_start.elapsed(),
+            reach.queries() - queries_before_gt,
+        );
 
         // ---- Stage 2: local transforms ----------------------------------
+        let lt_start = Instant::now();
+        let queries_before_lt = reach.queries();
         let mut controllers = ex_gt.controllers.clone();
         let lt_reports = apply_all(&mut controllers, &opts.lt)?;
         if opts.reduce_states {
             reduce_all(&mut controllers)?;
         }
         let ex_lt = Extraction { controllers };
-        let optimized_gt_lt = stage_stats("optimized-GT-and-LT", &channels, &ex_lt);
+        let optimized_gt_lt = stage_stats(
+            "optimized-GT-and-LT",
+            &channels,
+            &ex_lt,
+            lt_start.elapsed(),
+            reach.queries() - queries_before_lt,
+        );
 
         Ok(FlowOutcome {
+            elapsed: run_start.elapsed(),
+            reach_queries: reach.queries(),
+            reach_cache_hits: reach.hits(),
             unoptimized,
             optimized_gt,
             optimized_gt_lt,
@@ -198,7 +249,12 @@ impl Flow {
     /// Randomized verification of the transformed graph: same final
     /// registers as the original, and no wire-safety violations under the
     /// final channel grouping.
-    fn verify(&self, g: &Cdfg, channels: &ChannelMap, opts: &FlowOptions) -> Result<(), SynthError> {
+    fn verify(
+        &self,
+        g: &Cdfg,
+        channels: &ChannelMap,
+        opts: &FlowOptions,
+    ) -> Result<(), SynthError> {
         let groups = channels.safety_groups(g);
         for seed in 0..opts.verify_seeds {
             let delays = opts.timing.delay_model(g, seed + 1);
@@ -240,7 +296,13 @@ fn reduce_all(controllers: &mut [crate::extract::ControllerSpec]) -> Result<(), 
     Ok(())
 }
 
-fn stage_stats(label: &str, channels: &ChannelMap, ex: &Extraction) -> StageStats {
+fn stage_stats(
+    label: &str,
+    channels: &ChannelMap,
+    ex: &Extraction,
+    elapsed: Duration,
+    reach_queries: u64,
+) -> StageStats {
     StageStats {
         label: label.to_string(),
         channels: channels.count(),
@@ -249,6 +311,8 @@ fn stage_stats(label: &str, channels: &ChannelMap, ex: &Extraction) -> StageStat
             .iter()
             .map(|c| (c.machine.name().to_string(), c.machine.stats()))
             .collect(),
+        elapsed,
+        reach_queries,
     }
 }
 

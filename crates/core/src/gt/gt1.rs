@@ -77,7 +77,9 @@ pub fn gt1_loop_parallelism(g: &mut Cdfg) -> Result<Vec<Gt1Report>, SynthError> 
 /// [`SynthError::Precondition`] if `block` is not a loop body.
 pub fn gt1_on_loop(g: &mut Cdfg, block: BlockId) -> Result<Gt1Report, SynthError> {
     let BlockKind::LoopBody { head, tail } = g.block(block).kind else {
-        return Err(SynthError::Precondition(format!("{block} is not a loop body")));
+        return Err(SynthError::Precondition(format!(
+            "{block} is not a loop body"
+        )));
     };
     let mut report = Gt1Report::default();
 
@@ -120,7 +122,11 @@ pub fn gt1_on_loop(g: &mut Cdfg, block: BlockId) -> Result<Gt1Report, SynthError
     // ---- Step C: loop-variable freshness -------------------------------
     let cond = match &g.node(head)?.kind {
         adcs_cdfg::NodeKind::Loop { cond } => cond.clone(),
-        _ => return Err(SynthError::Precondition(format!("{head} is not a LOOP node"))),
+        _ => {
+            return Err(SynthError::Precondition(format!(
+                "{head} is not a LOOP node"
+            )))
+        }
     };
     if let Some(w) = last_writer(g, &body, &cond) {
         if w != tail {
@@ -143,9 +149,7 @@ pub fn gt1_on_loop(g: &mut Cdfg, block: BlockId) -> Result<Gt1Report, SynthError
             continue;
         }
         // Hypothetically add; keep only if it adds a real constraint.
-        let existed = g
-            .out_arcs(first)
-            .any(|(_, a)| a.dst == tail && !a.backward);
+        let existed = g.out_arcs(first).any(|(_, a)| a.dst == tail && !a.backward);
         let id = g.add_arc(first, tail, Role::Control, false);
         if existed {
             continue;
@@ -189,8 +193,15 @@ fn instances(g: &Cdfg, body: &[NodeId], reg: &Reg) -> (Vec<NodeId>, Vec<NodeId>)
             accesses.push((pos, n, r, w));
         }
     }
-    let first_write = accesses.iter().find(|(_, _, _, w)| *w).map(|&(p, n, _, _)| (p, n));
-    let last_write = accesses.iter().rev().find(|(_, _, _, w)| *w).map(|&(p, n, _, _)| (p, n));
+    let first_write = accesses
+        .iter()
+        .find(|(_, _, _, w)| *w)
+        .map(|&(p, n, _, _)| (p, n));
+    let last_write = accesses
+        .iter()
+        .rev()
+        .find(|(_, _, _, w)| *w)
+        .map(|&(p, n, _, _)| (p, n));
 
     let firsts = match first_write {
         Some((fp, fw)) => {
@@ -365,7 +376,10 @@ mod tests {
             .unwrap()
             .time;
         assert!(after <= before, "GT1 made it slower: {after} > {before}");
-        assert!(after < before, "expected strict overlap win: {after} vs {before}");
+        assert!(
+            after < before,
+            "expected strict overlap win: {after} vs {before}"
+        );
     }
 
     #[test]

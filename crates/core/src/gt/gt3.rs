@@ -120,9 +120,8 @@ mod tests {
         let mut init = RegFile::new();
         init.insert(adcs_cdfg::Reg::new("x"), 2);
         init.insert(adcs_cdfg::Reg::new("y"), 3);
-        let rep =
-            gt3_relative_timing(&mut g, &init, &TimingModel::uniform(1, 3).with_samples(16))
-                .unwrap();
+        let rep = gt3_relative_timing(&mut g, &init, &TimingModel::uniform(1, 3).with_samples(16))
+            .unwrap();
         assert!(rep.removed.is_empty(), "{rep:?}");
     }
 

@@ -35,8 +35,7 @@ pub fn gt4_merge_assignments(g: &mut Cdfg) -> Result<Gt4Report, SynthError> {
         let assign = g
             .nodes()
             .find(|(id, n)| {
-                matches!(n.kind, NodeKind::Assign { .. })
-                    && !report.skipped.contains(id)
+                matches!(n.kind, NodeKind::Assign { .. }) && !report.skipped.contains(id)
             })
             .map(|(id, _)| id);
         let Some(asn) = assign else { break };
@@ -79,13 +78,9 @@ fn merge_one(g: &mut Cdfg, asn: NodeId) -> Result<Option<NodeId>, SynthError> {
         // A data dependency in either direction makes parallel execution
         // read a stale value: the merged fragment reads all operands
         // before writing any result.
-        let data_dependent = g
-            .out_arcs(host)
-            .chain(g.out_arcs(asn))
-            .any(|(_, a)| {
-                (a.dst == asn || a.dst == host)
-                    && a.roles.contains(adcs_cdfg::Role::DataDep)
-            });
+        let data_dependent = g.out_arcs(host).chain(g.out_arcs(asn)).any(|(_, a)| {
+            (a.dst == asn || a.dst == host) && a.roles.contains(adcs_cdfg::Role::DataDep)
+        });
         if data_dependent {
             continue;
         }
@@ -146,8 +141,13 @@ mod tests {
         let rep = gt4_merge_assignments(&mut g).unwrap();
         assert!(!rep.merged.is_empty(), "{rep:?}");
         // Data must be preserved no matter how many moves were absorbed.
-        let r = execute(&g, d.initial.clone(), &DelayModel::uniform(1), &ExecOptions::default())
-            .unwrap();
+        let r = execute(
+            &g,
+            d.initial.clone(),
+            &DelayModel::uniform(1),
+            &ExecOptions::default(),
+        )
+        .unwrap();
         let (y, line) = fir_reference(xs, cs, 9);
         assert_eq!(r.register("y"), Some(y));
         assert_eq!(r.register("x0"), Some(line[0]));

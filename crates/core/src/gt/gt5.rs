@@ -25,7 +25,7 @@
 
 use std::collections::BTreeSet;
 
-use adcs_cdfg::analysis::reaches_within;
+use adcs_cdfg::analysis::ReachCache;
 use adcs_cdfg::{ArcId, Cdfg, FuId, NodeId, Role};
 
 use crate::channel::ChannelMap;
@@ -93,6 +93,23 @@ pub fn gt5_channel_elimination(
     channels: &mut ChannelMap,
     opts: Gt5Options,
 ) -> Result<Gt5Report, SynthError> {
+    gt5_channel_elimination_cached(g, channels, opts, &ReachCache::new())
+}
+
+/// [`gt5_channel_elimination`] reusing a caller-owned reachability cache.
+/// The cache self-invalidates on every graph edit (see
+/// [`ReachCache`]'s contract), so sharing one across a whole flow is safe
+/// and lets read-heavy passes between edits answer queries memoized.
+///
+/// # Errors
+///
+/// Propagates channel-bookkeeping failures.
+pub fn gt5_channel_elimination_cached(
+    g: &mut Cdfg,
+    channels: &mut ChannelMap,
+    opts: Gt5Options,
+    reach: &ReachCache,
+) -> Result<Gt5Report, SynthError> {
     let mut report = Gt5Report::default();
     loop {
         let mut changed = false;
@@ -108,6 +125,7 @@ pub fn gt5_channel_elimination(
                 MergeMode::Multiplex,
                 opts.max_classes_per_channel,
                 opts.structural_consumption,
+                reach,
                 &mut report,
             )?
         {
@@ -121,6 +139,7 @@ pub fn gt5_channel_elimination(
                 MergeMode::Broadcast,
                 opts.max_classes_per_channel,
                 opts.structural_consumption,
+                reach,
                 &mut report,
             )?
         {
@@ -131,15 +150,19 @@ pub fn gt5_channel_elimination(
             && multiplex_once(
                 g,
                 channels,
-                MergeMode::Symmetrize { max_additions: opts.max_coverage_additions },
+                MergeMode::Symmetrize {
+                    max_additions: opts.max_coverage_additions,
+                },
                 opts.max_classes_per_channel,
                 opts.structural_consumption,
+                reach,
                 &mut report,
             )?
         {
             changed = true;
         }
-        if !changed && opts.concurrency_reduction && reroute_once(g, channels, &mut report)? {
+        if !changed && opts.concurrency_reduction && reroute_once(g, channels, reach, &mut report)?
+        {
             changed = true;
         }
         if !changed {
@@ -166,10 +189,10 @@ enum MergeMode {
 
 /// The minimum iteration-boundary weight of a constraint path `a ⇒ b`,
 /// when one of weight ≤ 1 exists.
-fn path_weight(g: &Cdfg, a: NodeId, b: NodeId) -> Option<u32> {
-    if reaches_within(g, a, b, 0, None) {
+fn path_weight(reach: &ReachCache, g: &Cdfg, a: NodeId, b: NodeId) -> Option<u32> {
+    if reach.reaches_within(g, a, b, 0, None) {
         Some(0)
-    } else if reaches_within(g, a, b, 1, None) {
+    } else if reach.reaches_within(g, a, b, 1, None) {
         Some(1)
     } else {
         None
@@ -181,7 +204,10 @@ fn path_weight(g: &Cdfg, a: NodeId, b: NodeId) -> Option<u32> {
 fn is_recurring(g: &Cdfg, n: NodeId) -> bool {
     let mut cur = Some(g.node(n).expect("live node").block);
     while let Some(b) = cur {
-        if matches!(g.block(b).kind, adcs_cdfg::graph::BlockKind::LoopBody { .. }) {
+        if matches!(
+            g.block(b).kind,
+            adcs_cdfg::graph::BlockKind::LoopBody { .. }
+        ) {
             return true;
         }
         cur = g.block(b).parent;
@@ -259,13 +285,13 @@ fn sources(g: &Cdfg, arcs: &[ArcId]) -> Vec<NodeId> {
 /// wire: the recurring sources admit a cyclic order whose ordering paths
 /// have total weight exactly 1, and each one-shot source is ordered before
 /// the recurring traffic (and the one-shots form a chain).
-fn events_ordered(g: &Cdfg, srcs: &[NodeId]) -> bool {
+fn events_ordered(reach: &ReachCache, g: &Cdfg, srcs: &[NodeId]) -> bool {
     let (oneshot, recurring): (Vec<NodeId>, Vec<NodeId>) =
         srcs.iter().partition(|&&n| !is_recurring(g, n));
     // One-shots must be pairwise ordered.
     for (i, &a) in oneshot.iter().enumerate() {
         for &b in &oneshot[i + 1..] {
-            if path_weight(g, a, b).is_none() && path_weight(g, b, a).is_none() {
+            if path_weight(reach, g, a, b).is_none() && path_weight(reach, g, b, a).is_none() {
                 return false;
             }
         }
@@ -273,14 +299,14 @@ fn events_ordered(g: &Cdfg, srcs: &[NodeId]) -> bool {
     // Each one-shot must precede the recurring traffic.
     for &os in &oneshot {
         for &r in &recurring {
-            if path_weight(g, os, r).is_none() {
+            if path_weight(reach, g, os, r).is_none() {
                 return false;
             }
         }
     }
     match recurring.len() {
         0 | 1 => true,
-        _ => cyclic_order_exists(g, &recurring),
+        _ => cyclic_order_exists(reach, g, &recurring),
     }
 }
 
@@ -292,7 +318,7 @@ fn events_ordered(g: &Cdfg, srcs: &[NodeId]) -> bool {
 /// Accounting: an event of class `c` emitted in lap `t` is consumed by a
 /// backward-arc consumer in lap `t+1`; the leg weight `W` (0 within one
 /// lap, summing to 1 around the cycle) must absorb that shift.
-fn consumption_ordered(g: &Cdfg, arcs: &[ArcId], srcs: &[NodeId]) -> bool {
+fn consumption_ordered(reach: &ReachCache, g: &Cdfg, arcs: &[ArcId], srcs: &[NodeId]) -> bool {
     let consumers = |class: NodeId| -> Vec<(NodeId, u32)> {
         arcs.iter()
             .filter_map(|&a| g.arc(a).ok())
@@ -306,7 +332,7 @@ fn consumption_ordered(g: &Cdfg, arcs: &[ArcId], srcs: &[NodeId]) -> bool {
     for &os in &oneshot {
         for (d, _) in consumers(os) {
             for &r in &recurring {
-                if path_weight(g, d, r).is_none() {
+                if path_weight(reach, g, d, r).is_none() {
                     return false;
                 }
             }
@@ -321,7 +347,7 @@ fn consumption_ordered(g: &Cdfg, arcs: &[ArcId], srcs: &[NodeId]) -> bool {
                     return false;
                 }
                 let budget = 1 - w;
-                if !adcs_cdfg::analysis::reaches_within(g, d, c, budget, None) {
+                if !reach.reaches_within(g, d, c, budget, None) {
                     return false;
                 }
             }
@@ -345,7 +371,7 @@ fn consumption_ordered(g: &Cdfg, arcs: &[ArcId], srcs: &[NodeId]) -> bool {
                     if budget < 0 {
                         continue 'boundary;
                     }
-                    if !adcs_cdfg::analysis::reaches_within(g, d, next, budget as u32, None) {
+                    if !reach.reaches_within(g, d, next, budget as u32, None) {
                         continue 'boundary;
                     }
                 }
@@ -357,7 +383,7 @@ fn consumption_ordered(g: &Cdfg, arcs: &[ArcId], srcs: &[NodeId]) -> bool {
 }
 
 /// Searches for a cyclic order of `nodes` whose legs have total weight 1.
-fn cyclic_order_exists(g: &Cdfg, nodes: &[NodeId]) -> bool {
+fn cyclic_order_exists(reach: &ReachCache, g: &Cdfg, nodes: &[NodeId]) -> bool {
     // Fix the first element (cyclic symmetry) and permute the rest.
     let mut rest: Vec<NodeId> = nodes[1..].to_vec();
     let first = nodes[0];
@@ -365,13 +391,13 @@ fn cyclic_order_exists(g: &Cdfg, nodes: &[NodeId]) -> bool {
         let mut total = 0u32;
         let mut prev = first;
         for &n in perm.iter() {
-            match path_weight(g, prev, n) {
+            match path_weight(reach, g, prev, n) {
                 Some(w) => total += w,
                 None => return false,
             }
             prev = n;
         }
-        match path_weight(g, prev, first) {
+        match path_weight(reach, g, prev, first) {
             Some(w) => total += w,
             None => return false,
         }
@@ -402,6 +428,7 @@ fn multiplex_once(
     mode: MergeMode,
     max_classes: usize,
     structural: bool,
+    reach: &ReachCache,
     report: &mut Gt5Report,
 ) -> Result<bool, SynthError> {
     let allow_additions = matches!(mode, MergeMode::Symmetrize { .. });
@@ -429,9 +456,7 @@ fn multiplex_once(
             let applicable = match mode {
                 MergeMode::Broadcast => same_source,
                 MergeMode::Multiplex => same_receivers,
-                MergeMode::Symmetrize { .. } => {
-                    !same_receivers && (overlapping || shared_source)
-                }
+                MergeMode::Symmetrize { .. } => !same_receivers && (overlapping || shared_source),
             };
             if !applicable {
                 continue;
@@ -440,8 +465,7 @@ fn multiplex_once(
             // exit sides) can never share a wire: the receiver could not
             // tell them apart.
             {
-                let union: Vec<ArcId> =
-                    ci.arcs.iter().chain(cj.arcs.iter()).copied().collect();
+                let union: Vec<ArcId> = ci.arcs.iter().chain(cj.arcs.iter()).copied().collect();
                 let mut srcs_all = sources(g, &union);
                 srcs_all.dedup();
                 let mut ok = true;
@@ -460,16 +484,15 @@ fn multiplex_once(
                     continue;
                 }
             }
-            let union_arcs: Vec<ArcId> =
-                ci.arcs.iter().chain(cj.arcs.iter()).copied().collect();
+            let union_arcs: Vec<ArcId> = ci.arcs.iter().chain(cj.arcs.iter()).copied().collect();
             let srcs = sources(g, &union_arcs);
             if srcs.len() > max_classes {
                 continue;
             }
-            if !events_ordered(g, &srcs) {
+            if !events_ordered(reach, g, &srcs) {
                 continue;
             }
-            if structural && !consumption_ordered(g, &union_arcs, &srcs) {
+            if structural && !consumption_ordered(reach, g, &union_arcs, &srcs) {
                 continue;
             }
             let union_receivers: BTreeSet<FuId> =
@@ -482,7 +505,7 @@ fn multiplex_once(
             let mut additions: Vec<(NodeId, NodeId, bool)> = Vec::new();
             let mut feasible = true;
             for (src, recv) in &missing {
-                match find_safe_addition(g, *src, *recv) {
+                match find_safe_addition(reach, g, *src, *recv) {
                     Some((dst, backward)) => additions.push((*src, dst, backward)),
                     None => {
                         feasible = false;
@@ -530,10 +553,7 @@ fn missing_coverage(
             let covered = arcs.iter().any(|&a| {
                 g.arc(a)
                     .ok()
-                    .map(|arc| {
-                        arc.src == s
-                            && g.node(arc.dst).ok().and_then(|n| n.fu) == Some(r)
-                    })
+                    .map(|arc| arc.src == s && g.node(arc.dst).ok().and_then(|n| n.fu) == Some(r))
                     .unwrap_or(false)
             });
             if !covered {
@@ -550,14 +570,19 @@ fn missing_coverage(
 /// endpoints fire at the same cadence (same innermost loop) — a
 /// once-firing source can never feed a per-iteration consumer with fresh
 /// events.
-fn find_safe_addition(g: &Cdfg, src: NodeId, recv: FuId) -> Option<(NodeId, bool)> {
+fn find_safe_addition(
+    reach: &ReachCache,
+    g: &Cdfg,
+    src: NodeId,
+    recv: FuId,
+) -> Option<(NodeId, bool)> {
     let src_ctx = loop_context(g, src);
     let mut best: Option<(u32, NodeId)> = None;
     for n in g.fu_schedule(recv) {
         if n == src || loop_context(g, n) != src_ctx {
             continue;
         }
-        if let Some(w) = path_weight(g, src, n) {
+        if let Some(w) = path_weight(reach, g, src, n) {
             if best.map(|(bw, _)| w < bw).unwrap_or(true) {
                 best = Some((w, n));
             }
@@ -570,7 +595,10 @@ fn find_safe_addition(g: &Cdfg, src: NodeId, recv: FuId) -> Option<(NodeId, bool
 fn loop_context(g: &Cdfg, n: NodeId) -> Option<adcs_cdfg::BlockId> {
     let mut cur = Some(g.node(n).ok()?.block);
     while let Some(b) = cur {
-        if matches!(g.block(b).kind, adcs_cdfg::graph::BlockKind::LoopBody { .. }) {
+        if matches!(
+            g.block(b).kind,
+            adcs_cdfg::graph::BlockKind::LoopBody { .. }
+        ) {
             return Some(b);
         }
         cur = g.block(b).parent;
@@ -582,6 +610,7 @@ fn loop_context(g: &Cdfg, n: NodeId) -> Option<adcs_cdfg::BlockId> {
 fn reroute_once(
     g: &mut Cdfg,
     channels: &mut ChannelMap,
+    reach: &ReachCache,
     report: &mut Gt5Report,
 ) -> Result<bool, SynthError> {
     let candidates: Vec<(usize, ArcId)> = channels
@@ -592,7 +621,9 @@ fn reroute_once(
         .map(|(i, c)| (i, c.arcs[0]))
         .collect();
     for (_, old_arc) in candidates {
-        let Ok(arc) = g.arc(old_arc).map(Clone::clone) else { continue };
+        let Ok(arc) = g.arc(old_arc).map(Clone::clone) else {
+            continue;
+        };
         if arc.backward {
             continue;
         }
@@ -625,12 +656,12 @@ fn reroute_once(
             }
             // Hypothetically add the arc to test ordering.
             let new_arc = g.add_arc(b, c, Role::Control, false);
-            let ok = events_ordered(g, &trial_sources)
+            let ok = events_ordered(reach, g, &trial_sources)
                 && adcs_cdfg::validate::validate(g).is_ok();
             let receivers = channels.channels()[target].receivers.clone();
             let cover_ok = ok
                 && receivers.iter().all(|&r| {
-                    r == fu_c.expect("bound dst") || find_safe_addition(g, b, r).is_some()
+                    r == fu_c.expect("bound dst") || find_safe_addition(reach, g, b, r).is_some()
                 });
             if !cover_ok {
                 // roll back if we created a fresh arc (merged roles stay)
@@ -646,13 +677,12 @@ fn reroute_once(
                         g.arc(x)
                             .ok()
                             .map(|xx| {
-                                xx.src == b
-                                    && g.node(xx.dst).ok().and_then(|n| n.fu) == Some(r)
+                                xx.src == b && g.node(xx.dst).ok().and_then(|n| n.fu) == Some(r)
                             })
                             .unwrap_or(false)
                     });
                     if !covered {
-                        if let Some((dst, backward)) = find_safe_addition(g, b, r) {
+                        if let Some((dst, backward)) = find_safe_addition(reach, g, b, r) {
                             let id = g.add_arc(b, dst, Role::Control, backward);
                             channels.add_arc_to(target, id, r)?;
                             report.coverage_arcs.push(id);
@@ -753,7 +783,10 @@ mod tests {
         assert!(rep.multiplexed >= 3, "{rep:?}");
         assert_eq!(rep.symmetrized, 0);
         assert!(channels.count() < 10);
-        assert!(channels.count() > 5, "symmetrization still needed: {channels}");
+        assert!(
+            channels.count() > 5,
+            "symmetrization still needed: {channels}"
+        );
     }
 }
 
@@ -812,7 +845,12 @@ mod consumption_tests {
             .find(|(_, x)| x.src == m1b && x.dst == u)
             .map(|(id, _)| id)
             .unwrap();
-        assert!(consumption_ordered(&g, &[arc1, arc2], &[m1a, m1b]));
+        assert!(consumption_ordered(
+            &ReachCache::new(),
+            &g,
+            &[arc1, arc2],
+            &[m1a, m1b]
+        ));
     }
 }
 

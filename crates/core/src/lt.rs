@@ -129,7 +129,8 @@ pub fn lt1_move_up_dones(spec: &mut ControllerSpec) -> Result<usize, SynthError>
             let mut cur = t.from;
             let mut steps = 0;
             while steps < 8 {
-                let preds: Vec<usize> = spec.machine.transitions_into(cur).map(|(i, _)| i).collect();
+                let preds: Vec<usize> =
+                    spec.machine.transitions_into(cur).map(|(i, _)| i).collect();
                 if preds.len() != 1 {
                     break;
                 }
@@ -182,7 +183,9 @@ pub fn lt2_move_down(
     from_t: usize,
     to_t: usize,
 ) -> Result<(), SynthError> {
-    spec.machine.move_output(signal, from_t, to_t).map_err(to_synth)
+    spec.machine
+        .move_output(signal, from_t, to_t)
+        .map_err(to_synth)
 }
 
 /// LT3: move each fragment's `MuxReq` selects into the predecessor
@@ -257,9 +260,7 @@ pub fn lt4_remove_acks(
         .machine
         .signals()
         .map(|(id, _)| id)
-        .filter(|&id| {
-            matches!(local_role(spec, id), Some((_, _, r)) if removable.contains(&r))
-        })
+        .filter(|&id| matches!(local_role(spec, id), Some((_, _, r)) if removable.contains(&r)))
         .filter(|id| !spec.machine.removed_signals().contains(id))
         .collect();
     let mut removed = 0;
@@ -379,7 +380,10 @@ pub fn merge_wait_chains(spec: &mut ControllerSpec) -> Result<usize, SynthError>
     Ok(merged)
 }
 
-fn transition_parts(m: &XbmMachine, idx: usize) -> (adcs_xbm::StateId, Vec<adcs_xbm::Term>, Vec<SignalId>) {
+fn transition_parts(
+    m: &XbmMachine,
+    idx: usize,
+) -> (adcs_xbm::StateId, Vec<adcs_xbm::Term>, Vec<SignalId>) {
     let t = &m.transitions()[idx];
     (t.from, t.input.clone(), t.output.iter().copied().collect())
 }
@@ -481,9 +485,11 @@ mod tests {
     fn lt4_contracts_the_removed_waits() {
         let mut spec = small_controller();
         let states_before = spec.machine.stats().states;
-        let (removed, contracted) =
-            lt4_remove_acks(&mut spec, &[LocalRole::MuxAck, LocalRole::WMuxAck, LocalRole::WrAck])
-                .unwrap();
+        let (removed, contracted) = lt4_remove_acks(
+            &mut spec,
+            &[LocalRole::MuxAck, LocalRole::WMuxAck, LocalRole::WrAck],
+        )
+        .unwrap();
         assert_eq!(removed, 3);
         assert!(contracted >= 2, "{contracted}");
         assert!(spec.machine.stats().states < states_before);

@@ -84,7 +84,10 @@ pub struct McOptions {
 
 impl Default for McOptions {
     fn default() -> Self {
-        McOptions { max_states: 1_000_000, synchronous_levels: true }
+        McOptions {
+            max_states: 1_000_000,
+            synchronous_levels: true,
+        }
     }
 }
 
@@ -222,12 +225,20 @@ pub fn model_check<D: McDatapath>(
             &level_set,
             opts.synchronous_levels,
             &mut pending,
-            PendEv { machine: m, signal: s, set: Some(v) },
+            PendEv {
+                machine: m,
+                signal: s,
+                set: Some(v),
+            },
         )
         .map_err(|(_, detail)| SynthError::Extract(format!("initial levels: {detail}")))?;
     }
     for &(m, s) in &stimuli.kicks {
-        pending.push(PendEv { machine: m, signal: s, set: None });
+        pending.push(PendEv {
+            machine: m,
+            signal: s,
+            set: None,
+        });
     }
     canonicalize(&mut pending);
 
@@ -279,7 +290,11 @@ pub fn model_check<D: McDatapath>(
                 &mut pending,
                 ev,
             ) {
-                return Ok(McVerdict::Violation { kind, detail, stats });
+                return Ok(McVerdict::Violation {
+                    kind,
+                    detail,
+                    stats,
+                });
             }
             canonicalize(&mut pending);
             let next = Key {
@@ -298,7 +313,10 @@ pub fn model_check<D: McDatapath>(
     }
 
     stats.states = visited.len();
-    Ok(McVerdict::Verified { outcome: outcome.unwrap_or_default(), stats })
+    Ok(McVerdict::Verified {
+        outcome: outcome.unwrap_or_default(),
+        stats,
+    })
 }
 
 /// Convenience wrapper: checks the system a flow produced, using the
@@ -307,13 +325,22 @@ pub fn model_check<D: McDatapath>(
 /// # Errors
 ///
 /// Same as [`model_check`].
-pub fn model_check_system(parts: &SystemParts<'_>, opts: &McOptions) -> Result<McVerdict, SynthError> {
+pub fn model_check_system(
+    parts: &SystemParts<'_>,
+    opts: &McOptions,
+) -> Result<McVerdict, SynthError> {
     let stimuli = McStimuli {
         kicks: parts.kicks.clone(),
         level_init: parts.level_init.clone(),
         levels: parts.datapath.level_ends(),
     };
-    model_check(&parts.machines, &parts.wires, parts.datapath.clone(), &stimuli, opts)
+    model_check(
+        &parts.machines,
+        &parts.wires,
+        parts.datapath.clone(),
+        &stimuli,
+        opts,
+    )
 }
 
 /// Delivers one event, cascading machine firings into wire toggles and
@@ -385,7 +412,11 @@ fn deliver<D: McDatapath>(
                 if sync_levels && levels.contains(&(rm, rs)) {
                     immediate.push_back((rm, rs, rv));
                 } else {
-                    pending.push(PendEv { machine: rm, signal: rs, set: Some(rv) });
+                    pending.push(PendEv {
+                        machine: rm,
+                        signal: rs,
+                        set: Some(rv),
+                    });
                 }
             }
         }
@@ -425,8 +456,14 @@ mod tests {
 
     fn wire(fm: usize, fs: SignalId, tm: usize, ts: SignalId) -> Wire {
         Wire {
-            from: WireEnd { machine: fm, signal: fs },
-            to: vec![WireEnd { machine: tm, signal: ts }],
+            from: WireEnd {
+                machine: fm,
+                signal: fs,
+            },
+            to: vec![WireEnd {
+                machine: tm,
+                signal: ts,
+            }],
             delay: 1,
         }
     }
@@ -440,7 +477,10 @@ mod tests {
         let o = ms[0].signal_by_name("out").unwrap();
         let wires = [wire(0, o, 1, i), wire(1, o, 2, i)];
         let refs: Vec<&XbmMachine> = ms.iter().collect();
-        let stim = McStimuli { kicks: vec![(0, i)], ..McStimuli::default() };
+        let stim = McStimuli {
+            kicks: vec![(0, i)],
+            ..McStimuli::default()
+        };
         let v = model_check(&refs, &wires, (), &stim, &McOptions::default()).unwrap();
         assert!(v.is_verified(), "{v:?}");
         let s = v.stats();
@@ -463,7 +503,10 @@ mod tests {
         let o = ms[0].signal_by_name("out").unwrap();
         let wires = [wire(0, o, 1, i), wire(1, o, 0, i)];
         let refs: Vec<&XbmMachine> = ms.iter().collect();
-        let stim = McStimuli { kicks: vec![(0, i)], ..McStimuli::default() };
+        let stim = McStimuli {
+            kicks: vec![(0, i)],
+            ..McStimuli::default()
+        };
         let v = model_check(&refs, &wires, (), &stim, &McOptions::default()).unwrap();
         assert!(v.is_verified(), "{v:?}");
         assert_eq!(v.stats().terminals, 0);
@@ -501,14 +544,26 @@ mod tests {
         // A 2-way wire whose both legs hit the same input: one output
         // change queues two toggles on one leg -> interference.
         let wires = [Wire {
-            from: WireEnd { machine: 0, signal: xsig },
+            from: WireEnd {
+                machine: 0,
+                signal: xsig,
+            },
             to: vec![
-                WireEnd { machine: 1, signal: i },
-                WireEnd { machine: 1, signal: i },
+                WireEnd {
+                    machine: 1,
+                    signal: i,
+                },
+                WireEnd {
+                    machine: 1,
+                    signal: i,
+                },
             ],
             delay: 1,
         }];
-        let stim = McStimuli { kicks: vec![(0, gosig)], ..McStimuli::default() };
+        let stim = McStimuli {
+            kicks: vec![(0, gosig)],
+            ..McStimuli::default()
+        };
         let v = model_check(&machines, &wires, (), &stim, &McOptions::default()).unwrap();
         match v {
             McVerdict::Violation { kind, .. } => {
@@ -525,8 +580,14 @@ mod tests {
         let o = ms[0].signal_by_name("out").unwrap();
         let wires = [wire(0, o, 1, i), wire(1, o, 0, i)];
         let refs: Vec<&XbmMachine> = ms.iter().collect();
-        let stim = McStimuli { kicks: vec![(0, i)], ..McStimuli::default() };
-        let opts = McOptions { max_states: 2, ..McOptions::default() };
+        let stim = McStimuli {
+            kicks: vec![(0, i)],
+            ..McStimuli::default()
+        };
+        let opts = McOptions {
+            max_states: 2,
+            ..McOptions::default()
+        };
         let v = model_check(&refs, &wires, (), &stim, &opts).unwrap();
         assert!(matches!(v, McVerdict::Budget(_)), "{v:?}");
     }

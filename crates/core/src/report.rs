@@ -46,9 +46,21 @@ pub fn figure12_table(out: &FlowOutcome) -> String {
     let _ = writeln!(
         s,
         "{:<22} {:>3} {:>10}/{:<8} {:>6}/{:<8} {:>6}/{:<8} {:>6}/{:<3}",
-        "YUN (published)", y.channels, y.alu1.0, y.alu1.1, y.alu2.0, y.alu2.1, y.mul1.0, y.mul1.1, y.mul2.0, y.mul2.1
+        "YUN (published)",
+        y.channels,
+        y.alu1.0,
+        y.alu1.1,
+        y.alu2.0,
+        y.alu2.1,
+        y.mul1.0,
+        y.mul1.1,
+        y.mul2.0,
+        y.mul2.1
     );
-    let _ = writeln!(s, "(measured first, paper's published value in parentheses)");
+    let _ = writeln!(
+        s,
+        "(measured first, paper's published value in parentheses)"
+    );
     s
 }
 

@@ -102,7 +102,11 @@ impl FromStr for Script {
     /// `gt5.1`, `gt5.2`, `gt5.3`, or `gt5` for all three).
     fn from_str(s: &str) -> Result<Self, SynthError> {
         let mut steps = Vec::new();
-        for tok in s.split([';', ',', ' ']).map(str::trim).filter(|t| !t.is_empty()) {
+        for tok in s
+            .split([';', ',', ' '])
+            .map(str::trim)
+            .filter(|t| !t.is_empty())
+        {
             match tok.to_ascii_lowercase().as_str() {
                 "gt1" => steps.push(ScriptStep::Gt1),
                 "gt2" => steps.push(ScriptStep::Gt2),
@@ -192,7 +196,10 @@ pub fn run_script(
                 let reports = gt1_loop_parallelism(g)?;
                 let removed: usize = reports.iter().map(|r| r.removed_sync.len()).sum();
                 let added: usize = reports.iter().map(|r| r.backward_added.len()).sum();
-                format!("{} loop(s): -{removed} sync arcs, +{added} backward", reports.len())
+                format!(
+                    "{} loop(s): -{removed} sync arcs, +{added} backward",
+                    reports.len()
+                )
             }
             ScriptStep::Gt2 => {
                 let r = gt2_remove_dominated(g)?;

@@ -95,7 +95,13 @@ impl SystemDatapath {
 }
 
 impl Datapath for SystemDatapath {
-    fn on_output(&mut self, machine: usize, signal: SignalId, value: bool, _time: u64) -> DatapathResponse {
+    fn on_output(
+        &mut self,
+        machine: usize,
+        signal: SignalId,
+        value: bool,
+        _time: u64,
+    ) -> DatapathResponse {
         let Some(actions) = self.actions.get(&(machine, signal.index() as u32)).cloned() else {
             return Vec::new();
         };
@@ -204,20 +210,25 @@ pub fn system_parts<'m>(
         })?;
         let mut to = Vec::new();
         for &recv in &ch.receivers {
-            let ri = ctrls
-                .iter()
-                .position(|c| c.fu == recv)
-                .ok_or_else(|| SynthError::Extract(format!("no controller for receiver of ch{ci}")))?;
+            let ri = ctrls.iter().position(|c| c.fu == recv).ok_or_else(|| {
+                SynthError::Extract(format!("no controller for receiver of ch{ci}"))
+            })?;
             let sig = ctrls[ri].channel_signal(ci).ok_or_else(|| {
                 SynthError::Extract(format!(
                     "controller {} does not listen on ch{ci}",
                     ctrls[ri].machine.name()
                 ))
             })?;
-            to.push(WireEnd { machine: ri, signal: sig });
+            to.push(WireEnd {
+                machine: ri,
+                signal: sig,
+            });
         }
         wires.push(Wire {
-            from: WireEnd { machine: sender_idx, signal: from_sig },
+            from: WireEnd {
+                machine: sender_idx,
+                signal: from_sig,
+            },
             to,
             delay: delays.small,
         });
@@ -296,16 +307,14 @@ fn find_local(
         .iter()
         .enumerate()
         .find_map(|(i, r)| match r {
-            SignalRole::Local { node: n, stmt: s, role: rr }
-                if *n == node && *s == stmt && *rr == role =>
-            {
-                Some(SignalId::from_raw(i as u32))
-            }
+            SignalRole::Local {
+                node: n,
+                stmt: s,
+                role: rr,
+            } if *n == node && *s == stmt && *rr == role => Some(SignalId::from_raw(i as u32)),
             _ => None,
         })
-        .ok_or_else(|| {
-            SynthError::Extract(format!("missing local {role:?} for {node}/{stmt}"))
-        })
+        .ok_or_else(|| SynthError::Extract(format!("missing local {role:?} for {node}/{stmt}")))
 }
 
 impl<'m> System<'m> {
@@ -365,7 +374,9 @@ mod tests {
         let d = diffeq(DiffeqParams::default()).unwrap();
         let flow = Flow::new(d.cdfg.clone(), d.initial.clone());
         let out = flow.run(&FlowOptions::default()).unwrap();
-        let ex = Extraction { controllers: out.controllers.clone() };
+        let ex = Extraction {
+            controllers: out.controllers.clone(),
+        };
         let mut sys = build_system(
             &out.cdfg,
             &out.channels,
@@ -398,7 +409,9 @@ mod tests {
         // control/wire hops (the paper's "user-supplied timing
         // information"); combinations honouring that margin must work.
         for (op, small) in [(3, 1), (5, 1), (6, 2), (9, 3)] {
-            let ex = Extraction { controllers: out.controllers.clone() };
+            let ex = Extraction {
+                controllers: out.controllers.clone(),
+            };
             let mut sys = build_system(
                 &out.cdfg,
                 &out.channels,
@@ -408,9 +421,21 @@ mod tests {
             )
             .unwrap();
             sys.run(500_000).unwrap();
-            assert_eq!(sys.datapath().register("X"), Some(x), "op={op} small={small}");
-            assert_eq!(sys.datapath().register("Y"), Some(y), "op={op} small={small}");
-            assert_eq!(sys.datapath().register("U"), Some(u), "op={op} small={small}");
+            assert_eq!(
+                sys.datapath().register("X"),
+                Some(x),
+                "op={op} small={small}"
+            );
+            assert_eq!(
+                sys.datapath().register("Y"),
+                Some(y),
+                "op={op} small={small}"
+            );
+            assert_eq!(
+                sys.datapath().register("U"),
+                Some(u),
+                "op={op} small={small}"
+            );
         }
     }
 
@@ -423,7 +448,9 @@ mod tests {
         let d = diffeq(DiffeqParams::default()).unwrap();
         let flow = Flow::new(d.cdfg.clone(), d.initial.clone());
         let out = flow.run(&FlowOptions::default()).unwrap();
-        let ex = Extraction { controllers: out.controllers.clone() };
+        let ex = Extraction {
+            controllers: out.controllers.clone(),
+        };
         let mut sys = build_system(
             &out.cdfg,
             &out.channels,
@@ -439,8 +466,11 @@ mod tests {
             sys.datapath().register("Y"),
             sys.datapath().register("U"),
         );
-        assert_ne!(got, (Some(x), Some(y), Some(u)),
-            "if this starts passing, tighten the margin documentation");
+        assert_ne!(
+            got,
+            (Some(x), Some(y), Some(u)),
+            "if this starts passing, tighten the margin documentation"
+        );
     }
 
     #[test]
@@ -448,7 +478,9 @@ mod tests {
         let d = diffeq(DiffeqParams::default()).unwrap();
         let flow = Flow::new(d.cdfg.clone(), d.initial.clone());
         let out = flow.run(&FlowOptions::default()).unwrap();
-        let ex = Extraction { controllers: out.controllers.clone() };
+        let ex = Extraction {
+            controllers: out.controllers.clone(),
+        };
         let mut sys = build_system(
             &out.cdfg,
             &out.channels,
@@ -482,7 +514,9 @@ mod tests {
             ..FlowOptions::default()
         };
         let out = flow.run(&opts).unwrap();
-        let ex = Extraction { controllers: out.controllers.clone() };
+        let ex = Extraction {
+            controllers: out.controllers.clone(),
+        };
         let mut sys = build_system(
             &out.cdfg,
             &out.channels,

@@ -115,11 +115,7 @@ impl Default for TimingModel {
 /// Arrival rows: per activation, each in-arc with its event arrival time.
 pub type ArrivalRows = Vec<Vec<(ArcId, Option<u64>)>>;
 
-pub fn arrival_times(
-    g: &Cdfg,
-    r: &ExecResult,
-    node: NodeId,
-) -> Result<ArrivalRows, SynthError> {
+pub fn arrival_times(g: &Cdfg, r: &ExecResult, node: NodeId) -> Result<ArrivalRows, SynthError> {
     let completions: HashMap<NodeId, Vec<u64>> = {
         let mut m: HashMap<NodeId, Vec<u64>> = HashMap::new();
         let mut sorted = r.firings.clone();
@@ -180,10 +176,7 @@ pub fn timing_redundant(
         let delays = model.delay_model(g, seed + 1);
         let r = execute(g, initial.clone(), &delays, &ExecOptions::default())?;
         for row in arrival_times(g, &r, dst)? {
-            let mine = row
-                .iter()
-                .find(|(id, _)| *id == arc)
-                .and_then(|(_, t)| *t);
+            let mine = row.iter().find(|(id, _)| *id == arc).and_then(|(_, t)| *t);
             let Some(mine) = mine else { continue };
             let others_max = row
                 .iter()

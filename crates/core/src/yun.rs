@@ -82,10 +82,26 @@ pub struct Figure13Row {
 /// The paper's Figure 13, verbatim. Totals: Yun 93/307, paper 73/244
 /// (≈30% fewer literals).
 pub const FIGURE_13: [Figure13Row; 4] = [
-    Figure13Row { controller: "ALU1", yun: (18, 110), ours_paper: (14, 83) },
-    Figure13Row { controller: "ALU2", yun: (46, 141), ours_paper: (40, 113) },
-    Figure13Row { controller: "MUL1", yun: (19, 41), ours_paper: (11, 30) },
-    Figure13Row { controller: "MUL2", yun: (10, 15), ours_paper: (8, 18) },
+    Figure13Row {
+        controller: "ALU1",
+        yun: (18, 110),
+        ours_paper: (14, 83),
+    },
+    Figure13Row {
+        controller: "ALU2",
+        yun: (46, 141),
+        ours_paper: (40, 113),
+    },
+    Figure13Row {
+        controller: "MUL1",
+        yun: (19, 41),
+        ours_paper: (11, 30),
+    },
+    Figure13Row {
+        controller: "MUL2",
+        yun: (10, 15),
+        ours_paper: (8, 18),
+    },
 ];
 
 /// Totals of Figure 13 as `(yun_products, yun_literals, ours_products,
@@ -150,15 +166,30 @@ fn yun_alu2() -> Result<XbmMachine, XbmError> {
     let fin = b.output("fin", false);
     let run = b.output_kind("run", adcs_xbm::SignalKind::LocalReq, false);
     let s: Vec<_> = (0..10).map(|i| b.state(format!("s{i}"))).collect();
-    b.transition(s[0], s[1], [Term::rise(a1), Term::level(c, true)], [bcast, run])?;
+    b.transition(
+        s[0],
+        s[1],
+        [Term::rise(a1), Term::level(c, true)],
+        [bcast, run],
+    )?;
     b.transition(s[0], s[7], [Term::rise(a1), Term::level(c, false)], [fin])?;
     b.transition(s[1], s[2], [Term::rise(m2)], [run])?;
     b.transition(s[2], s[3], [Term::rise(gack)], [run])?;
-    b.transition(s[3], s[4], [Term::fall(a1), Term::level(c, true)], [bcast, run])?;
+    b.transition(
+        s[3],
+        s[4],
+        [Term::fall(a1), Term::level(c, true)],
+        [bcast, run],
+    )?;
     b.transition(s[3], s[8], [Term::fall(a1), Term::level(c, false)], [fin])?;
     b.transition(s[4], s[5], [Term::fall(m2)], [run])?;
     b.transition(s[5], s[6], [Term::fall(gack)], [run])?;
-    b.transition(s[6], s[1], [Term::rise(a1), Term::level(c, true)], [bcast, run])?;
+    b.transition(
+        s[6],
+        s[1],
+        [Term::rise(a1), Term::level(c, true)],
+        [bcast, run],
+    )?;
     b.transition(s[6], s[9], [Term::rise(a1), Term::level(c, false)], [fin])?;
     b.finish(s[0])
 }

@@ -64,11 +64,7 @@ impl Cover {
     /// without minterm enumeration.
     pub fn covers(&self, c: &Cube) -> bool {
         // Cofactor the cover against c and check tautology.
-        let parts: Vec<Cube> = self
-            .cubes
-            .iter()
-            .filter_map(|k| cofactor(k, c))
-            .collect();
+        let parts: Vec<Cube> = self.cubes.iter().filter_map(|k| cofactor(k, c)).collect();
         tautology(&parts, c.width())
     }
 

@@ -70,11 +70,7 @@ impl Covering {
                 }
             }
             let best = (0..self.ncols)
-                .max_by(|&a, &b| {
-                    gain[a]
-                        .cmp(&gain[b])
-                        .then(self.cost[b].cmp(&self.cost[a]))
-                })
+                .max_by(|&a, &b| gain[a].cmp(&gain[b]).then(self.cost[b].cmp(&self.cost[a])))
                 .expect("at least one column exists");
             chosen.push(best);
             uncovered.retain(|&r| !self.matrix[r].contains(&best));
@@ -95,7 +91,15 @@ impl Covering {
         let mut best: Vec<usize> = greedy;
         let mut nodes = 0usize;
         let rows: Vec<usize> = (0..self.matrix.len()).collect();
-        self.branch(&rows, &mut Vec::new(), 0, &mut best, &mut best_cost, &mut nodes, node_budget)?;
+        self.branch(
+            &rows,
+            &mut Vec::new(),
+            0,
+            &mut best,
+            &mut best_cost,
+            &mut nodes,
+            node_budget,
+        )?;
         let mut b = best;
         b.sort_unstable();
         Ok(b)
@@ -128,7 +132,11 @@ impl Covering {
         let mut used: Vec<usize> = Vec::new();
         for &r in rows {
             if self.matrix[r].iter().all(|c| !used.contains(c)) {
-                indep_cost += self.matrix[r].iter().map(|&c| self.cost[c]).min().unwrap_or(0);
+                indep_cost += self.matrix[r]
+                    .iter()
+                    .map(|&c| self.cost[c])
+                    .min()
+                    .unwrap_or(0);
                 used.extend(self.matrix[r].iter().copied());
             }
         }

@@ -33,10 +33,16 @@ impl fmt::Display for HfminError {
         match self {
             HfminError::Conflict(c) => write!(f, "specification conflict at {c}"),
             HfminError::NoCover(c) => {
-                write!(f, "no hazard-free cover exists: required cube {c} has no DHF implicant")
+                write!(
+                    f,
+                    "no hazard-free cover exists: required cube {c} has no DHF implicant"
+                )
             }
             HfminError::IllegalRequiredCube(c) => {
-                write!(f, "required cube {c} illegally intersects a privileged cube")
+                write!(
+                    f,
+                    "required cube {c} illegally intersects a privileged cube"
+                )
             }
             HfminError::WidthMismatch { expected, found } => {
                 write!(f, "cube width mismatch: expected {expected}, found {found}")
@@ -59,7 +65,10 @@ mod tests {
     fn display_forms() {
         let e = HfminError::NoCover(Cube::parse("01-"));
         assert!(e.to_string().contains("01-"));
-        let w = HfminError::WidthMismatch { expected: 3, found: 2 };
+        let w = HfminError::WidthMismatch {
+            expected: 3,
+            found: 2,
+        };
         assert!(w.to_string().contains("expected 3"));
     }
 

@@ -89,7 +89,10 @@ impl<'l> GateSim<'l> {
             .iter()
             .position(|&s| s == signal)
             .ok_or_else(|| HfminError::Machine(format!("{signal} is not a logic output")))?;
-        Ok(Self::eval_cover(&self.logic.functions[idx].cover, &self.point()))
+        Ok(Self::eval_cover(
+            &self.logic.functions[idx].cover,
+            &self.point(),
+        ))
     }
 
     /// The current state code.
@@ -117,7 +120,11 @@ fn cube_contains_point(c: &Cube, point: &[bool]) -> bool {
 /// # Errors
 ///
 /// [`HfminError::Machine`] describing the first divergence, if any.
-pub fn cosimulate(m: &XbmMachine, logic: &ControllerLogic, steps: usize) -> Result<usize, HfminError> {
+pub fn cosimulate(
+    m: &XbmMachine,
+    logic: &ControllerLogic,
+    steps: usize,
+) -> Result<usize, HfminError> {
     let mut interp = Interp::new(m);
     let mut gates = GateSim::new(logic);
     let mut edges = 0usize;
@@ -258,7 +265,11 @@ mod property_tests {
             .collect();
         let states: Vec<_> = (0..n).map(|i| b.state(format!("s{i}"))).collect();
         for i in 0..n {
-            let term = if i % 2 == 0 { Term::rise(x) } else { Term::fall(x) };
+            let term = if i % 2 == 0 {
+                Term::rise(x)
+            } else {
+                Term::fall(x)
+            };
             let toggles: Vec<_> = outs
                 .iter()
                 .zip(out_slots)

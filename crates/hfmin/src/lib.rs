@@ -31,9 +31,9 @@
 //! ```
 
 pub mod cover;
-pub mod gatesim;
 pub mod covering;
 pub mod cube;
+pub mod gatesim;
 pub mod minimize;
 pub mod multi;
 pub mod primes;

@@ -52,12 +52,18 @@ impl MultiOutputResult {
 ///   function admits no hazard-free cover.
 pub fn minimize_multi(specs: &[FunctionSpec]) -> Result<MultiOutputResult, HfminError> {
     let Some(first) = specs.first() else {
-        return Ok(MultiOutputResult { covers: Vec::new(), pool: Vec::new() });
+        return Ok(MultiOutputResult {
+            covers: Vec::new(),
+            pool: Vec::new(),
+        });
     };
     let width = first.width();
     for s in specs {
         if s.width() != width {
-            return Err(HfminError::WidthMismatch { expected: width, found: s.width() });
+            return Err(HfminError::WidthMismatch {
+                expected: width,
+                found: s.width(),
+            });
         }
         s.check_consistency()?;
     }
@@ -190,7 +196,10 @@ pub fn minimize_multi(specs: &[FunctionSpec]) -> Result<MultiOutputResult, Hfmin
     for (f, cover) in covers.iter().enumerate() {
         crate::minimize::verify(&specs[f], cover)?;
     }
-    Ok(MultiOutputResult { covers, pool: pool_out })
+    Ok(MultiOutputResult {
+        covers,
+        pool: pool_out,
+    })
 }
 
 #[cfg(test)]

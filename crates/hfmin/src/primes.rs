@@ -131,12 +131,7 @@ mod tests {
 
     #[test]
     fn multiple_seeds_deduplicate() {
-        let p = dhf_primes(
-            &[Cube::parse("00"), Cube::parse("01")],
-            &off(&["1-"]),
-            &[],
-        )
-        .unwrap();
+        let p = dhf_primes(&[Cube::parse("00"), Cube::parse("01")], &off(&["1-"]), &[]).unwrap();
         assert_eq!(p, vec![Cube::parse("0-")]);
     }
 

@@ -237,7 +237,10 @@ mod tests {
         // OFF is exactly B
         assert_eq!(s.off_cover().cubes(), &[Cube::parse("11")]);
         // privileged (T, A)
-        assert_eq!(s.privileged_cubes(), vec![(Cube::parse("--"), Cube::parse("00"))]);
+        assert_eq!(
+            s.privileged_cubes(),
+            vec![(Cube::parse("--"), Cube::parse("00"))]
+        );
         s.check_consistency().unwrap();
     }
 
@@ -268,7 +271,10 @@ mod tests {
         let mut s = FunctionSpec::new(2);
         s.push(tr("00", "01", true, true)).unwrap();
         s.push(tr("00", "01", false, false)).unwrap();
-        assert!(matches!(s.check_consistency(), Err(HfminError::Conflict(_))));
+        assert!(matches!(
+            s.check_consistency(),
+            Err(HfminError::Conflict(_))
+        ));
     }
 
     #[test]

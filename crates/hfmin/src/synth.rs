@@ -235,11 +235,8 @@ pub fn synthesize(m: &XbmMachine, opts: SynthOptions) -> Result<ControllerLogic,
         .map(|(id, _)| id)
         .collect();
     let width = inputs.len() + state_bits;
-    let var_of: HashMap<SignalId, usize> = inputs
-        .iter()
-        .enumerate()
-        .map(|(i, &s)| (s, i))
-        .collect();
+    let var_of: HashMap<SignalId, usize> =
+        inputs.iter().enumerate().map(|(i, &s)| (s, i)).collect();
 
     // Functions: live outputs then state bits.
     let outputs: Vec<SignalId> = m
@@ -404,7 +401,10 @@ mod tests {
     #[test]
     fn one_hot_synthesis_cosimulates() {
         let m = handshake();
-        let opts = SynthOptions { encoding: StateEncoding::OneHot, ..SynthOptions::default() };
+        let opts = SynthOptions {
+            encoding: StateEncoding::OneHot,
+            ..SynthOptions::default()
+        };
         let logic = synthesize(&m, opts).unwrap();
         assert_eq!(logic.state_bits, 2, "one bit per state");
         // One-hot initial code has exactly one bit set.
@@ -430,7 +430,10 @@ mod tests {
         b.transition(s1, s0, [Term::fall(go)], [t]).unwrap();
         b.transition(s2, s0, [Term::fall(go)], [e]).unwrap();
         let m = b.finish(s0).unwrap();
-        let opts = SynthOptions { encoding: StateEncoding::OneHot, ..SynthOptions::default() };
+        let opts = SynthOptions {
+            encoding: StateEncoding::OneHot,
+            ..SynthOptions::default()
+        };
         let logic = synthesize(&m, opts).unwrap();
         assert_eq!(logic.state_bits, 3);
         let edges = crate::gatesim::cosimulate(&m, &logic, 24).unwrap();
@@ -509,7 +512,10 @@ mod tests {
         let single = synthesize(&m, SynthOptions::default()).unwrap();
         let shared = synthesize(
             &m,
-            SynthOptions { share_products: true, ..SynthOptions::default() },
+            SynthOptions {
+                share_products: true,
+                ..SynthOptions::default()
+            },
         )
         .unwrap();
         assert_eq!(shared.functions.len(), single.functions.len());
@@ -540,7 +546,10 @@ mod tests {
         let single = synthesize(&m, SynthOptions::default()).unwrap();
         let shared = synthesize(
             &m,
-            SynthOptions { share_products: true, ..SynthOptions::default() },
+            SynthOptions {
+                share_products: true,
+                ..SynthOptions::default()
+            },
         )
         .unwrap();
         assert!(shared.products_shared() <= single.products_shared());

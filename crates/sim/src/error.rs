@@ -30,11 +30,18 @@ impl fmt::Display for SimError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             SimError::MissingRegister { node, register } => {
-                write!(f, "node {node} reads register `{register}` which has no value")
+                write!(
+                    f,
+                    "node {node} reads register `{register}` which has no value"
+                )
             }
             SimError::EventBudget(n) => write!(f, "simulation exceeded {n} events"),
             SimError::Deadlock { pending_nodes } => {
-                write!(f, "deadlock: {} node(s) never became ready", pending_nodes.len())
+                write!(
+                    f,
+                    "deadlock: {} node(s) never became ready",
+                    pending_nodes.len()
+                )
             }
             SimError::Cdfg(e) => write!(f, "cdfg error: {e}"),
             SimError::Machine(s) => write!(f, "machine error: {s}"),

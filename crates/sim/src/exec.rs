@@ -186,7 +186,9 @@ pub fn execute(
             .filter(|(id, _)| e.g.in_arcs(*id).any(|(a, _)| e.tokens[&a] > 0))
             .map(|(id, _)| id)
             .collect();
-        return Err(SimError::Deadlock { pending_nodes: pending });
+        return Err(SimError::Deadlock {
+            pending_nodes: pending,
+        });
     }
     Ok(ExecResult {
         registers: e.registers,
@@ -303,7 +305,9 @@ impl<'g> Engine<'g> {
                         continue;
                     }
                 }
-                let Some(need) = self.ready_set(id) else { continue };
+                let Some(need) = self.ready_set(id) else {
+                    continue;
+                };
                 let count = self.node_fired.get(&id).copied().unwrap_or(0);
                 let key = (count, n.seq, id, need);
                 match &best {
@@ -312,7 +316,9 @@ impl<'g> Engine<'g> {
                     _ => {}
                 }
             }
-            let Some((_, _, node, need)) = best else { return Ok(()) };
+            let Some((_, _, node, need)) = best else {
+                return Ok(());
+            };
             self.fire(node, need, time)?;
         }
     }
@@ -331,7 +337,9 @@ impl<'g> Engine<'g> {
                 let body = self
                     .g
                     .blocks()
-                    .find(|(_, b)| matches!(b.kind, BlockKind::LoopBody { head, .. } if head == node))
+                    .find(
+                        |(_, b)| matches!(b.kind, BlockKind::LoopBody { head, .. } if head == node),
+                    )
                     .map(|(id, _)| id);
                 if let Some(body) = body {
                     let arcs: Vec<ArcId> = self
@@ -381,10 +389,13 @@ impl<'g> Engine<'g> {
         }
         let cond_val = match &n.kind {
             NodeKind::Loop { cond } | NodeKind::If { cond } => {
-                let v = *self.registers.get(cond).ok_or_else(|| SimError::MissingRegister {
-                    node,
-                    register: cond.name().to_string(),
-                })?;
+                let v = *self
+                    .registers
+                    .get(cond)
+                    .ok_or_else(|| SimError::MissingRegister {
+                        node,
+                        register: cond.name().to_string(),
+                    })?;
                 Some(v != 0)
             }
             _ => None,
@@ -441,14 +452,17 @@ impl<'g> Engine<'g> {
                 let body = self
                     .g
                     .blocks()
-                    .find(|(_, b)| matches!(b.kind, BlockKind::LoopBody { head, .. } if head == node))
+                    .find(
+                        |(_, b)| matches!(b.kind, BlockKind::LoopBody { head, .. } if head == node),
+                    )
                     .map(|(id, _)| id);
                 let arcs: Vec<(ArcId, NodeId)> =
                     self.g.out_arcs(node).map(|(id, a)| (id, a.dst)).collect();
                 for (id, dst) in arcs {
                     let dst_block = self.g.node(dst)?.block;
-                    let into_body =
-                        body.map(|b| self.g.block_contains(b, dst_block)).unwrap_or(false);
+                    let into_body = body
+                        .map(|b| self.g.block_contains(b, dst_block))
+                        .unwrap_or(false);
                     if into_body == taken {
                         self.add_token(id, time, false);
                     }
@@ -529,7 +543,9 @@ impl<'g> Engine<'g> {
         }
         match (then_block, else_block, endif) {
             (Some(t), Some(e), Some(x)) => Ok((t, e, x)),
-            _ => Err(SimError::Machine(format!("IF node {node} has no branch blocks"))),
+            _ => Err(SimError::Machine(format!(
+                "IF node {node} has no branch blocks"
+            ))),
         }
     }
 }
@@ -564,7 +580,12 @@ mod tests {
         let alu = b.add_fu("ALU");
         b.stmt(alu, "s := x + y").unwrap();
         let g = b.finish().unwrap();
-        let err = execute(&g, RegFile::new(), &DelayModel::uniform(1), &ExecOptions::default());
+        let err = execute(
+            &g,
+            RegFile::new(),
+            &DelayModel::uniform(1),
+            &ExecOptions::default(),
+        );
         assert!(matches!(err, Err(SimError::MissingRegister { .. })));
     }
 
@@ -572,8 +593,13 @@ mod tests {
     fn diffeq_matches_reference() {
         let p = DiffeqParams::default();
         let d = diffeq(p).unwrap();
-        let r = execute(&d.cdfg, d.initial.clone(), &DelayModel::uniform(1), &ExecOptions::default())
-            .unwrap();
+        let r = execute(
+            &d.cdfg,
+            d.initial.clone(),
+            &DelayModel::uniform(1),
+            &ExecOptions::default(),
+        )
+        .unwrap();
         let (x, y, u) = diffeq_reference(p);
         assert!(r.finished);
         assert_eq!(r.register("X"), Some(x));
@@ -618,8 +644,13 @@ mod tests {
             a: 5,
         };
         let d = diffeq(p).unwrap();
-        let r = execute(&d.cdfg, d.initial.clone(), &DelayModel::uniform(1), &ExecOptions::default())
-            .unwrap();
+        let r = execute(
+            &d.cdfg,
+            d.initial.clone(),
+            &DelayModel::uniform(1),
+            &ExecOptions::default(),
+        )
+        .unwrap();
         assert!(r.finished);
         assert_eq!(r.register("X"), Some(9));
         assert_eq!(r.register("Y"), Some(1));
@@ -629,8 +660,13 @@ mod tests {
     fn gcd_matches_reference() {
         for (x, y) in [(12, 18), (7, 13), (9, 9), (100, 75), (1, 99)] {
             let d = gcd(x, y).unwrap();
-            let r = execute(&d.cdfg, d.initial.clone(), &DelayModel::uniform(1), &ExecOptions::default())
-                .unwrap();
+            let r = execute(
+                &d.cdfg,
+                d.initial.clone(),
+                &DelayModel::uniform(1),
+                &ExecOptions::default(),
+            )
+            .unwrap();
             assert!(r.finished);
             assert_eq!(r.register("x"), Some(gcd_reference(x, y)), "gcd({x},{y})");
         }
@@ -651,8 +687,13 @@ mod tests {
         let xs = [3, -1, 4, 1];
         let cs = [2, 7, 1, 8];
         let d = fir(xs, cs, 5).unwrap();
-        let r = execute(&d.cdfg, d.initial.clone(), &DelayModel::uniform(2), &ExecOptions::default())
-            .unwrap();
+        let r = execute(
+            &d.cdfg,
+            d.initial.clone(),
+            &DelayModel::uniform(2),
+            &ExecOptions::default(),
+        )
+        .unwrap();
         let (y, line) = fir_reference(xs, cs, 5);
         assert_eq!(r.register("y"), Some(y));
         assert_eq!(r.register("x0"), Some(line[0]));
@@ -665,8 +706,13 @@ mod tests {
     fn loop_iteration_count_is_visible_in_firings() {
         let p = DiffeqParams::default(); // 5 iterations
         let d = diffeq(p).unwrap();
-        let r = execute(&d.cdfg, d.initial.clone(), &DelayModel::uniform(1), &ExecOptions::default())
-            .unwrap();
+        let r = execute(
+            &d.cdfg,
+            d.initial.clone(),
+            &DelayModel::uniform(1),
+            &ExecOptions::default(),
+        )
+        .unwrap();
         let u_node = d.cdfg.node_by_label("U := U - M1").unwrap();
         assert_eq!(r.fire_count(u_node), 5);
         // LOOP fires once more than the body (the exit examination).

@@ -46,8 +46,13 @@ pub trait Datapath {
     /// Called for every output change `(machine, signal, value)` at `time`;
     /// returns input changes to deliver as `(machine, signal, value,
     /// extra delay)`.
-    fn on_output(&mut self, machine: usize, signal: SignalId, value: bool, time: u64)
-        -> DatapathResponse;
+    fn on_output(
+        &mut self,
+        machine: usize,
+        signal: SignalId,
+        value: bool,
+        time: u64,
+    ) -> DatapathResponse;
 }
 
 impl Datapath for () {
@@ -169,7 +174,14 @@ impl<'m, D: Datapath> Network<'m, D> {
 
     /// Schedules an explicit input change (environment stimulus).
     pub fn inject(&mut self, machine: usize, signal: SignalId, value: bool, at: u64) {
-        self.push(at, NetworkEvent::Set { machine, signal, value });
+        self.push(
+            at,
+            NetworkEvent::Set {
+                machine,
+                signal,
+                value,
+            },
+        );
     }
 
     /// Schedules an input toggle (environment "ready" event).
@@ -235,14 +247,23 @@ impl<'m, D: Datapath> Network<'m, D> {
             last = t;
             let ev = self.queued[idx];
             let (machine, signal, value) = match ev {
-                NetworkEvent::Set { machine, signal, value } => (machine, signal, value),
+                NetworkEvent::Set {
+                    machine,
+                    signal,
+                    value,
+                } => (machine, signal, value),
                 NetworkEvent::Toggle { machine, signal } => {
                     let cur = self.machines[machine].value(signal);
                     (machine, signal, !cur)
                 }
             };
             if self.record_trace {
-                self.trace.push(TraceEvent { time: t, machine, signal, value });
+                self.trace.push(TraceEvent {
+                    time: t,
+                    machine,
+                    signal,
+                    value,
+                });
             }
             let changes = self.machines[machine].set_input(signal, value)?;
             for (sig, val) in changes {
@@ -283,7 +304,14 @@ impl<'m, D: Datapath> Network<'m, D> {
         }
         // Datapath reactions.
         for (m, s, v, d) in self.datapath.on_output(machine, signal, value, time) {
-            self.push(time + d, NetworkEvent::Set { machine: m, signal: s, value: v });
+            self.push(
+                time + d,
+                NetworkEvent::Set {
+                    machine: m,
+                    signal: s,
+                    value: v,
+                },
+            );
         }
     }
 }
@@ -312,13 +340,25 @@ mod tests {
         let o = ms[0].signal_by_name("out").unwrap();
         let wires = vec![
             Wire {
-                from: WireEnd { machine: 0, signal: o },
-                to: vec![WireEnd { machine: 1, signal: i }],
+                from: WireEnd {
+                    machine: 0,
+                    signal: o,
+                },
+                to: vec![WireEnd {
+                    machine: 1,
+                    signal: i,
+                }],
                 delay: 2,
             },
             Wire {
-                from: WireEnd { machine: 1, signal: o },
-                to: vec![WireEnd { machine: 2, signal: i }],
+                from: WireEnd {
+                    machine: 1,
+                    signal: o,
+                },
+                to: vec![WireEnd {
+                    machine: 2,
+                    signal: i,
+                }],
                 delay: 2,
             },
         ];
@@ -339,10 +379,19 @@ mod tests {
         let i = ms[0].signal_by_name("in").unwrap();
         let o = ms[0].signal_by_name("out").unwrap();
         let wires = vec![Wire {
-            from: WireEnd { machine: 0, signal: o },
+            from: WireEnd {
+                machine: 0,
+                signal: o,
+            },
             to: vec![
-                WireEnd { machine: 1, signal: i },
-                WireEnd { machine: 2, signal: i },
+                WireEnd {
+                    machine: 1,
+                    signal: i,
+                },
+                WireEnd {
+                    machine: 2,
+                    signal: i,
+                },
             ],
             delay: 1,
         }];
@@ -386,13 +435,25 @@ mod tests {
         let o = ms[0].signal_by_name("out").unwrap();
         let wires = vec![
             Wire {
-                from: WireEnd { machine: 0, signal: o },
-                to: vec![WireEnd { machine: 1, signal: i }],
+                from: WireEnd {
+                    machine: 0,
+                    signal: o,
+                },
+                to: vec![WireEnd {
+                    machine: 1,
+                    signal: i,
+                }],
                 delay: 1,
             },
             Wire {
-                from: WireEnd { machine: 1, signal: o },
-                to: vec![WireEnd { machine: 0, signal: i }],
+                from: WireEnd {
+                    machine: 1,
+                    signal: o,
+                },
+                to: vec![WireEnd {
+                    machine: 0,
+                    signal: i,
+                }],
                 delay: 1,
             },
         ];
@@ -408,21 +469,33 @@ mod tests {
         let o = ms[0].signal_by_name("out").unwrap();
         // source is an input
         let w = Wire {
-            from: WireEnd { machine: 0, signal: i },
+            from: WireEnd {
+                machine: 0,
+                signal: i,
+            },
             to: vec![],
             delay: 0,
         };
         assert!(Network::new(&ms, vec![w], ()).is_err());
         // target is an output
         let w = Wire {
-            from: WireEnd { machine: 0, signal: o },
-            to: vec![WireEnd { machine: 0, signal: o }],
+            from: WireEnd {
+                machine: 0,
+                signal: o,
+            },
+            to: vec![WireEnd {
+                machine: 0,
+                signal: o,
+            }],
             delay: 0,
         };
         assert!(Network::new(&ms, vec![w], ()).is_err());
         // unknown machine
         let w = Wire {
-            from: WireEnd { machine: 7, signal: o },
+            from: WireEnd {
+                machine: 7,
+                signal: o,
+            },
             to: vec![],
             delay: 0,
         };

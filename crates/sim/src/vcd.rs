@@ -77,7 +77,13 @@ fn ident(mut n: u32) -> String {
 
 fn sanitize(name: &str) -> String {
     name.chars()
-        .map(|c| if c.is_ascii_alphanumeric() || c == '_' { c } else { '_' })
+        .map(|c| {
+            if c.is_ascii_alphanumeric() || c == '_' {
+                c
+            } else {
+                '_'
+            }
+        })
         .collect()
 }
 
@@ -139,8 +145,14 @@ mod tests {
         let m2 = m1.clone();
         let ms = vec![m1, m2];
         let wires = vec![Wire {
-            from: WireEnd { machine: 0, signal: o },
-            to: vec![WireEnd { machine: 1, signal: i }],
+            from: WireEnd {
+                machine: 0,
+                signal: o,
+            },
+            to: vec![WireEnd {
+                machine: 1,
+                signal: i,
+            }],
             delay: 2,
         }];
         let mut net = Network::new(&ms, wires, ()).unwrap();

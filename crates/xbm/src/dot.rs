@@ -16,7 +16,11 @@ pub fn to_dot(m: &XbmMachine) -> String {
     let _ = writeln!(s, "digraph \"{}\" {{", m.name());
     let _ = writeln!(s, "  node [shape=circle, fontname=\"Helvetica\"];");
     for (id, name) in m.states() {
-        let marker = if id == m.initial() { ", peripheries=2" } else { "" };
+        let marker = if id == m.initial() {
+            ", peripheries=2"
+        } else {
+            ""
+        };
         let _ = writeln!(s, "  {id} [label=\"{name}\"{marker}];");
     }
     for (idx, t) in m.transitions().iter().enumerate() {
@@ -48,9 +52,7 @@ pub fn to_dot(m: &XbmMachine) -> String {
             }
         }
         let mut outp = String::new();
-        let edges = labels
-            .as_ref()
-            .and_then(|l| output_edges(m, l, idx).ok());
+        let edges = labels.as_ref().and_then(|l| output_edges(m, l, idx).ok());
         for (i, o) in t.output.iter().enumerate() {
             if i > 0 {
                 outp.push(' ');

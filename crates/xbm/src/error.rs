@@ -17,17 +17,28 @@ pub enum XbmError {
     UnknownSignal(SignalId),
     /// A transition used an output-side signal in its input burst or vice
     /// versa.
-    Direction { signal: SignalId, expected_input: bool },
+    Direction {
+        signal: SignalId,
+        expected_input: bool,
+    },
     /// An input burst has no compulsory edge (only don't-cares/levels), so
     /// the machine could never know when to fire it.
     EmptyInputBurst { from: StateId, to: StateId },
     /// Two transitions out of one state violate the maximal-set property:
     /// one compulsory burst is a subset of the other, so the machine cannot
     /// distinguish them.
-    MaximalSet { state: StateId, first: usize, second: usize },
+    MaximalSet {
+        state: StateId,
+        first: usize,
+        second: usize,
+    },
     /// Signal polarity is inconsistent: an edge or level disagrees with the
     /// value the signal provably has when entering the state.
-    Polarity { state: StateId, signal: SignalId, expected: bool },
+    Polarity {
+        state: StateId,
+        signal: SignalId,
+        expected: bool,
+    },
     /// The machine's state values could not be labelled consistently (two
     /// paths give one signal different values in the same state).
     InconsistentState { state: StateId, signal: SignalId },
@@ -44,7 +55,10 @@ impl fmt::Display for XbmError {
         match self {
             XbmError::UnknownState(s) => write!(f, "unknown state {s}"),
             XbmError::UnknownSignal(s) => write!(f, "unknown signal {s}"),
-            XbmError::Direction { signal, expected_input } => write!(
+            XbmError::Direction {
+                signal,
+                expected_input,
+            } => write!(
                 f,
                 "signal {signal} used on the wrong side (expected {})",
                 if *expected_input { "input" } else { "output" }
@@ -52,17 +66,28 @@ impl fmt::Display for XbmError {
             XbmError::EmptyInputBurst { from, to } => {
                 write!(f, "transition {from} -> {to} has no compulsory input edge")
             }
-            XbmError::MaximalSet { state, first, second } => write!(
+            XbmError::MaximalSet {
+                state,
+                first,
+                second,
+            } => write!(
                 f,
                 "transitions #{first} and #{second} out of {state} violate the maximal-set property"
             ),
-            XbmError::Polarity { state, signal, expected } => write!(
+            XbmError::Polarity {
+                state,
+                signal,
+                expected,
+            } => write!(
                 f,
                 "signal {signal} has value {} entering {state}, edge direction is impossible",
                 u8::from(*expected)
             ),
             XbmError::InconsistentState { state, signal } => {
-                write!(f, "signal {signal} enters state {state} with conflicting values")
+                write!(
+                    f,
+                    "signal {signal} enters state {state} with conflicting values"
+                )
             }
             XbmError::Unreachable(s) => write!(f, "state {s} is unreachable"),
             XbmError::UnexpectedInput { state, signal } => {

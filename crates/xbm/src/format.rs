@@ -31,7 +31,11 @@ pub fn to_text(m: &XbmMachine) -> String {
     let _ = writeln!(s, "name {}", m.name());
     for (_, info) in m.live_signals() {
         let dir = if info.input { "input " } else { "output" };
-        let lvl = if info.kind == SignalKind::Level { " level" } else { "" };
+        let lvl = if info.kind == SignalKind::Level {
+            " level"
+        } else {
+            ""
+        };
         let _ = writeln!(s, "{dir} {} {}{}", info.name, u8::from(info.initial), lvl);
     }
     for (id, name) in m.states() {
@@ -87,18 +91,27 @@ pub fn from_text(text: &str) -> Result<XbmMachine, XbmError> {
         let mut toks = line.split_whitespace();
         match toks.next() {
             Some("name") => {
-                name = toks.next().ok_or_else(|| bad(line, "missing name"))?.to_string();
+                name = toks
+                    .next()
+                    .ok_or_else(|| bad(line, "missing name"))?
+                    .to_string();
             }
             Some(dir @ ("input" | "output")) => {
                 let builder = b.get_or_insert_with(|| XbmBuilder::new(name.clone()));
-                let sig = toks.next().ok_or_else(|| bad(line, "missing signal name"))?;
+                let sig = toks
+                    .next()
+                    .ok_or_else(|| bad(line, "missing signal name"))?;
                 let init = toks
                     .next()
                     .ok_or_else(|| bad(line, "missing initial value"))?
                     == "1";
                 let level = toks.next() == Some("level");
                 let id = if dir == "input" {
-                    let kind = if level { SignalKind::Level } else { SignalKind::GlobalReq };
+                    let kind = if level {
+                        SignalKind::Level
+                    } else {
+                        SignalKind::GlobalReq
+                    };
                     builder.input_kind(sig, kind, init)
                 } else {
                     builder.output_kind(sig, SignalKind::GlobalDone, init)
@@ -152,7 +165,9 @@ pub fn from_text(text: &str) -> Result<XbmMachine, XbmError> {
         let mut outs = Vec::new();
         for tok in outputs.split_whitespace() {
             let base = tok.strip_suffix('~').unwrap_or(tok);
-            let id = *signals.get(base).ok_or_else(|| bad(tok, "unknown output"))?;
+            let id = *signals
+                .get(base)
+                .ok_or_else(|| bad(tok, "unknown output"))?;
             outs.push(id);
         }
         builder.transition(fs, ts, terms, outs)?;
@@ -200,11 +215,21 @@ mod tests {
         let s0 = b.state("s0");
         let s1 = b.state("s1");
         let s2 = b.state("s2");
-        b.transition(s0, s1, [T::rise(req), T::level(c, true), T::ddc(early, true)], [ack])
-            .unwrap();
+        b.transition(
+            s0,
+            s1,
+            [T::rise(req), T::level(c, true), T::ddc(early, true)],
+            [ack],
+        )
+        .unwrap();
         b.transition(s1, s2, [T::rise(early)], [ack]).unwrap();
-        b.transition(s2, s0, [T::fall(req), T::fall(early), T::level(c, false)], [])
-            .unwrap();
+        b.transition(
+            s2,
+            s0,
+            [T::fall(req), T::fall(early), T::level(c, false)],
+            [],
+        )
+        .unwrap();
         b.finish(s0).unwrap()
     }
 
@@ -241,10 +266,7 @@ mod tests {
         assert!(from_text("").is_err());
         assert!(from_text("name x\nstate s0 initial\ns0 -> s1 : a+ / b~").is_err());
         let no_initial = "name x\ninput a 0\nstate s0\n";
-        assert!(matches!(
-            from_text(no_initial),
-            Err(XbmError::Structure(_))
-        ));
+        assert!(matches!(from_text(no_initial), Err(XbmError::Structure(_))));
     }
 
     #[test]

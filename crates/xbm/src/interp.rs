@@ -128,7 +128,10 @@ impl<'m> Interp<'m> {
     pub fn set_input(&mut self, s: SignalId, v: bool) -> Result<Vec<(SignalId, bool)>, XbmError> {
         let info = self.m.signal(s)?;
         if !info.input {
-            return Err(XbmError::Direction { signal: s, expected_input: true });
+            return Err(XbmError::Direction {
+                signal: s,
+                expected_input: true,
+            });
         }
         self.values[s.index()] = v;
         self.run()
@@ -152,7 +155,12 @@ impl<'m> Interp<'m> {
     /// (more firings than transitions squared — a livelock guard).
     pub fn run(&mut self) -> Result<Vec<(SignalId, bool)>, XbmError> {
         let mut changes = Vec::new();
-        let guard = self.m.transitions().len().saturating_mul(self.m.transitions().len()) + 16;
+        let guard = self
+            .m
+            .transitions()
+            .len()
+            .saturating_mul(self.m.transitions().len())
+            + 16;
         for _ in 0..guard {
             let Some(idx) = self.enabled()? else {
                 return Ok(changes);

@@ -77,7 +77,10 @@ impl TermKind {
     /// Target value of the signal once the term completes (levels: the
     /// sampled value).
     pub fn target(self) -> bool {
-        matches!(self, TermKind::Rise | TermKind::DdcRise | TermKind::LevelHigh)
+        matches!(
+            self,
+            TermKind::Rise | TermKind::DdcRise | TermKind::LevelHigh
+        )
     }
 }
 
@@ -93,12 +96,18 @@ pub struct Term {
 impl Term {
     /// Compulsory rising edge `s+`.
     pub fn rise(signal: SignalId) -> Self {
-        Term { signal, kind: TermKind::Rise }
+        Term {
+            signal,
+            kind: TermKind::Rise,
+        }
     }
 
     /// Compulsory falling edge `s-`.
     pub fn fall(signal: SignalId) -> Self {
-        Term { signal, kind: TermKind::Fall }
+        Term {
+            signal,
+            kind: TermKind::Fall,
+        }
     }
 
     /// Compulsory edge toward `target`.
@@ -114,7 +123,11 @@ impl Term {
     pub fn ddc(signal: SignalId, target: bool) -> Self {
         Term {
             signal,
-            kind: if target { TermKind::DdcRise } else { TermKind::DdcFall },
+            kind: if target {
+                TermKind::DdcRise
+            } else {
+                TermKind::DdcFall
+            },
         }
     }
 
@@ -122,7 +135,11 @@ impl Term {
     pub fn level(signal: SignalId, value: bool) -> Self {
         Term {
             signal,
-            kind: if value { TermKind::LevelHigh } else { TermKind::LevelLow },
+            kind: if value {
+                TermKind::LevelHigh
+            } else {
+                TermKind::LevelLow
+            },
         }
     }
 }
@@ -212,7 +229,9 @@ impl XbmMachine {
 
     /// Looks up a signal.
     pub fn signal(&self, id: SignalId) -> Result<&SignalInfo, XbmError> {
-        self.signals.get(id.index()).ok_or(XbmError::UnknownSignal(id))
+        self.signals
+            .get(id.index())
+            .ok_or(XbmError::UnknownSignal(id))
     }
 
     /// Finds a signal by name.
@@ -232,7 +251,10 @@ impl XbmMachine {
 
     /// Whether a state id is live.
     pub fn has_state(&self, id: StateId) -> bool {
-        self.states.get(id.index()).map(Option::is_some).unwrap_or(false)
+        self.states
+            .get(id.index())
+            .map(Option::is_some)
+            .unwrap_or(false)
     }
 
     /// All transitions (indices are stable between edits that don't remove
@@ -305,17 +327,28 @@ impl XbmMachine {
         for t in &input {
             let s = self.signal(t.signal)?;
             if !s.input {
-                return Err(XbmError::Direction { signal: t.signal, expected_input: true });
+                return Err(XbmError::Direction {
+                    signal: t.signal,
+                    expected_input: true,
+                });
             }
         }
         let output: BTreeSet<SignalId> = output.into_iter().collect();
         for &o in &output {
             let s = self.signal(o)?;
             if s.input {
-                return Err(XbmError::Direction { signal: o, expected_input: false });
+                return Err(XbmError::Direction {
+                    signal: o,
+                    expected_input: false,
+                });
             }
         }
-        self.transitions.push(Transition { from, to, input, output });
+        self.transitions.push(Transition {
+            from,
+            to,
+            input,
+            output,
+        });
         Ok(self.transitions.len() - 1)
     }
 
@@ -326,9 +359,9 @@ impl XbmMachine {
     /// Fails if the index is out of range.
     pub fn transition_mut(&mut self, idx: usize) -> Result<&mut Transition, XbmError> {
         let len = self.transitions.len();
-        self.transitions
-            .get_mut(idx)
-            .ok_or_else(|| XbmError::Structure(format!("transition index {idx} out of range {len}")))
+        self.transitions.get_mut(idx).ok_or_else(|| {
+            XbmError::Structure(format!("transition index {idx} out of range {len}"))
+        })
     }
 
     /// Moves an output toggle from one transition to another (LT1/LT2).
@@ -337,7 +370,12 @@ impl XbmMachine {
     ///
     /// Fails if the source transition does not toggle `signal` or the
     /// destination already does.
-    pub fn move_output(&mut self, signal: SignalId, from_idx: usize, to_idx: usize) -> Result<(), XbmError> {
+    pub fn move_output(
+        &mut self,
+        signal: SignalId,
+        from_idx: usize,
+        to_idx: usize,
+    ) -> Result<(), XbmError> {
         if !self
             .transitions
             .get(from_idx)
@@ -372,13 +410,18 @@ impl XbmMachine {
     /// Fails if `signal` is not an input of this machine.
     pub fn remove_input_signal(&mut self, signal: SignalId) -> Result<Vec<usize>, XbmError> {
         if !self.signal(signal)?.input {
-            return Err(XbmError::Direction { signal, expected_input: true });
+            return Err(XbmError::Direction {
+                signal,
+                expected_input: true,
+            });
         }
         let mut emptied = Vec::new();
         for (i, t) in self.transitions.iter_mut().enumerate() {
             let before = t.input.len();
             t.input.retain(|term| term.signal != signal);
-            if before > 0 && t.input.iter().all(|term| !term.kind.is_compulsory()) && t.input.len() != before
+            if before > 0
+                && t.input.iter().all(|term| !term.kind.is_compulsory())
+                && t.input.len() != before
             {
                 emptied.push(i);
             }
@@ -398,10 +441,16 @@ impl XbmMachine {
     /// transitions (the LT5 side condition).
     pub fn share_outputs(&mut self, keep: SignalId, remove: SignalId) -> Result<(), XbmError> {
         if self.signal(keep)?.input {
-            return Err(XbmError::Direction { signal: keep, expected_input: false });
+            return Err(XbmError::Direction {
+                signal: keep,
+                expected_input: false,
+            });
         }
         if self.signal(remove)?.input {
-            return Err(XbmError::Direction { signal: remove, expected_input: false });
+            return Err(XbmError::Direction {
+                signal: remove,
+                expected_input: false,
+            });
         }
         let same_everywhere = self
             .transitions
@@ -426,9 +475,11 @@ impl XbmMachine {
     /// state disappears. Returns the number of contractions performed.
     pub fn contract_empty_transitions(&mut self) -> usize {
         let mut contracted = 0;
-        while let Some(idx) = self.transitions.iter().position(|t| {
-            t.input.iter().all(|term| !term.kind.is_compulsory()) && t.from != t.to
-        }) {
+        while let Some(idx) = self
+            .transitions
+            .iter()
+            .position(|t| t.input.iter().all(|term| !term.kind.is_compulsory()) && t.from != t.to)
+        {
             let t = self.transitions[idx].clone();
             // Only contract a pure pass-through: the empty transition must
             // be the sole exit of its source state.
@@ -543,8 +594,18 @@ impl XbmBuilder {
     }
 
     /// Declares an input signal with an explicit kind.
-    pub fn input_kind(&mut self, name: impl Into<String>, kind: SignalKind, initial: bool) -> SignalId {
-        self.m.add_signal(SignalInfo { name: name.into(), kind, input: true, initial })
+    pub fn input_kind(
+        &mut self,
+        name: impl Into<String>,
+        kind: SignalKind,
+        initial: bool,
+    ) -> SignalId {
+        self.m.add_signal(SignalInfo {
+            name: name.into(),
+            kind,
+            input: true,
+            initial,
+        })
     }
 
     /// Declares an output signal with its reset value.
@@ -558,8 +619,18 @@ impl XbmBuilder {
     }
 
     /// Declares an output signal with an explicit kind.
-    pub fn output_kind(&mut self, name: impl Into<String>, kind: SignalKind, initial: bool) -> SignalId {
-        self.m.add_signal(SignalInfo { name: name.into(), kind, input: false, initial })
+    pub fn output_kind(
+        &mut self,
+        name: impl Into<String>,
+        kind: SignalKind,
+        initial: bool,
+    ) -> SignalId {
+        self.m.add_signal(SignalInfo {
+            name: name.into(),
+            kind,
+            input: false,
+            initial,
+        })
     }
 
     /// Adds a state.
@@ -670,11 +741,7 @@ impl XbmBuilder {
     /// Removes a state that no transition references (tombstones it).
     /// States still referenced are left untouched.
     pub fn remove_state(&mut self, s: StateId) {
-        let referenced = self
-            .m
-            .transitions
-            .iter()
-            .any(|t| t.from == s || t.to == s);
+        let referenced = self.m.transitions.iter().any(|t| t.from == s || t.to == s);
         if !referenced {
             self.m.states[s.index()] = None;
         }
@@ -754,7 +821,7 @@ mod tests {
     fn move_output_between_transitions() {
         let (mut m, _, ack) = simple();
         m.move_output(ack, 1, 0).unwrap_err(); // #0 already toggles ack
-        // Add a third transition without ack, then move it there.
+                                               // Add a third transition without ack, then move it there.
         let s0 = m.initial();
         let s1 = m.transitions()[0].to;
         let extra_in = m.add_signal(SignalInfo {

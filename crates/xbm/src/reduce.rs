@@ -52,8 +52,7 @@ pub fn reduce(m: &XbmMachine) -> Result<(XbmMachine, ReduceReport), XbmError> {
                 .map(|(_, t)| {
                     let mut input = t.input.clone();
                     input.sort_by_key(|term| (term.signal, term.kind as u8));
-                    let output: Vec<u32> =
-                        t.output.iter().map(|o| o.index() as u32).collect();
+                    let output: Vec<u32> = t.output.iter().map(|o| o.index() as u32).collect();
                     (input, output, class[&t.to])
                 })
                 .collect();
@@ -115,9 +114,10 @@ pub fn reduce(m: &XbmMachine) -> Result<(XbmMachine, ReduceReport), XbmError> {
         let new = b.state(format!("c{cls}"));
         state_map.insert(old, new);
     }
-    let to_new = |s: StateId, class: &HashMap<StateId, usize>, rep: &HashMap<usize, StateId>, map: &HashMap<StateId, StateId>| {
-        map[&rep[&class[&s]]]
-    };
+    let to_new = |s: StateId,
+                  class: &HashMap<StateId, usize>,
+                  rep: &HashMap<usize, StateId>,
+                  map: &HashMap<StateId, StateId>| { map[&rep[&class[&s]]] };
     let mut seen: BTreeSet<(StateId, Vec<(u32, u8)>, Vec<u32>, StateId)> = BTreeSet::new();
     for t in m.transitions() {
         // Only transitions out of representatives matter (others are
@@ -130,7 +130,10 @@ pub fn reduce(m: &XbmMachine) -> Result<(XbmMachine, ReduceReport), XbmError> {
         let input: Vec<Term> = t
             .input
             .iter()
-            .map(|term| Term { signal: sig_map[term.signal.index()], kind: term.kind })
+            .map(|term| Term {
+                signal: sig_map[term.signal.index()],
+                kind: term.kind,
+            })
             .collect();
         let output: Vec<_> = t.output.iter().map(|o| sig_map[o.index()]).collect();
         let key = (

@@ -58,7 +58,10 @@ pub enum SignalKind {
 impl SignalKind {
     /// Whether signals of this kind are machine inputs.
     pub fn is_input(self) -> bool {
-        matches!(self, SignalKind::GlobalReq | SignalKind::LocalAck | SignalKind::Level)
+        matches!(
+            self,
+            SignalKind::GlobalReq | SignalKind::LocalAck | SignalKind::Level
+        )
     }
 }
 

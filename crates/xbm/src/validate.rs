@@ -203,15 +203,18 @@ pub fn output_edges(
         .transitions()
         .get(idx)
         .ok_or_else(|| XbmError::Structure(format!("transition index {idx} out of range")))?;
-    let entry = labels
-        .get(&t.from)
-        .ok_or(XbmError::Unreachable(t.from))?;
+    let entry = labels.get(&t.from).ok_or(XbmError::Unreachable(t.from))?;
     let mut out = Vec::new();
     for &o in &t.output {
         match entry[o.index()] {
             Value::Zero => out.push((o, true)),
             Value::One => out.push((o, false)),
-            Value::X => return Err(XbmError::InconsistentState { state: t.from, signal: o }),
+            Value::X => {
+                return Err(XbmError::InconsistentState {
+                    state: t.from,
+                    signal: o,
+                })
+            }
         }
     }
     Ok(out)
@@ -226,7 +229,10 @@ pub fn validate(m: &XbmMachine) -> Result<(), XbmError> {
     // 1. every transition has a compulsory edge
     for t in m.transitions() {
         if t.input.iter().all(|term| !term.kind.is_compulsory()) {
-            return Err(XbmError::EmptyInputBurst { from: t.from, to: t.to });
+            return Err(XbmError::EmptyInputBurst {
+                from: t.from,
+                to: t.to,
+            });
         }
     }
     // 2. maximal-set property per state
@@ -237,7 +243,11 @@ pub fn validate(m: &XbmMachine) -> Result<(), XbmError> {
                 let (fi, ti) = outs[i];
                 let (fj, tj) = outs[j];
                 if !distinguishable(ti, tj) {
-                    return Err(XbmError::MaximalSet { state, first: fi, second: fj });
+                    return Err(XbmError::MaximalSet {
+                        state,
+                        first: fi,
+                        second: fj,
+                    });
                 }
             }
         }
@@ -299,8 +309,14 @@ mod tests {
         let s1 = m.transitions()[0].to;
         assert_eq!(labels[&s0], vec![Value::Zero, Value::Zero]);
         assert_eq!(labels[&s1], vec![Value::One, Value::One]);
-        assert_eq!(output_edges(&m, &labels, 0).unwrap(), vec![(SignalId::from_raw(1), true)]);
-        assert_eq!(output_edges(&m, &labels, 1).unwrap(), vec![(SignalId::from_raw(1), false)]);
+        assert_eq!(
+            output_edges(&m, &labels, 0).unwrap(),
+            vec![(SignalId::from_raw(1), true)]
+        );
+        assert_eq!(
+            output_edges(&m, &labels, 1).unwrap(),
+            vec![(SignalId::from_raw(1), false)]
+        );
     }
 
     #[test]

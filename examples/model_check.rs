@@ -30,7 +30,10 @@ fn describe(label: &str, v: &McVerdict) {
                 .map(|(_, v)| *v)
         ),
         McVerdict::Violation { kind, detail, .. } => {
-            println!("{label}: VIOLATION ({kind:?}) after {} states: {detail}", s.states)
+            println!(
+                "{label}: VIOLATION ({kind:?}) after {} states: {detail}",
+                s.states
+            )
         }
         McVerdict::Budget(_) => println!("{label}: budget exhausted at {} states", s.states),
     }
@@ -38,7 +41,13 @@ fn describe(label: &str, v: &McVerdict) {
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     // One Euler iteration keeps the exhaustive space small.
-    let params = DiffeqParams { x0: 0, y0: 1, u0: 2, dx: 1, a: 1 };
+    let params = DiffeqParams {
+        x0: 0,
+        y0: 1,
+        u0: 2,
+        dx: 1,
+        a: 1,
+    };
     let d = diffeq(params)?;
 
     // Baseline: the unoptimized 17-channel network, sequential style.
@@ -46,15 +55,26 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let ex = extract(
         &d.cdfg,
         &channels,
-        &ExtractOptions { style: ExpansionStyle::Sequential },
+        &ExtractOptions {
+            style: ExpansionStyle::Sequential,
+        },
     )?;
-    let parts = system_parts(&d.cdfg, &channels, &ex, d.initial.clone(), SystemDelays::default())?;
+    let parts = system_parts(
+        &d.cdfg,
+        &channels,
+        &ex,
+        d.initial.clone(),
+        SystemDelays::default(),
+    )?;
     let v = model_check_system(&parts, &McOptions::default())?;
     describe("baseline   (setup-time assumption)", &v);
 
     let v = model_check_system(
         &parts,
-        &McOptions { synchronous_levels: false, ..McOptions::default() },
+        &McOptions {
+            synchronous_levels: false,
+            ..McOptions::default()
+        },
     )?;
     describe("baseline   (levels racing freely) ", &v);
 
@@ -64,28 +84,55 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // budget; the racing-levels run below finds the GT5 wire interference
     // that the paper's relative-timing regime (§5) exists to exclude.
     let out = Flow::new(d.cdfg.clone(), d.initial.clone()).run(&FlowOptions::default())?;
-    let ex = adcs::extract::Extraction { controllers: out.controllers.clone() };
-    let parts = system_parts(&out.cdfg, &out.channels, &ex, d.initial.clone(), SystemDelays::default())?;
+    let ex = adcs::extract::Extraction {
+        controllers: out.controllers.clone(),
+    };
+    let parts = system_parts(
+        &out.cdfg,
+        &out.channels,
+        &ex,
+        d.initial.clone(),
+        SystemDelays::default(),
+    )?;
     let v = model_check_system(&parts, &McOptions::default())?;
     describe("optimized  (setup-time assumption)", &v);
 
     let v = model_check_system(
         &parts,
-        &McOptions { synchronous_levels: false, ..McOptions::default() },
+        &McOptions {
+            synchronous_levels: false,
+            ..McOptions::default()
+        },
     )?;
     describe("optimized  (levels racing freely) ", &v);
 
     // The zero-iteration run of the optimized network is exhaustively
     // verifiable — and needs no timing assumptions at all.
-    let params0 = DiffeqParams { x0: 3, y0: 1, u0: 2, dx: 1, a: 3 };
+    let params0 = DiffeqParams {
+        x0: 3,
+        y0: 1,
+        u0: 2,
+        dx: 1,
+        a: 3,
+    };
     let d0 = diffeq(params0)?;
     let out0 = Flow::new(d0.cdfg.clone(), d0.initial.clone()).run(&FlowOptions::default())?;
-    let ex0 = adcs::extract::Extraction { controllers: out0.controllers.clone() };
-    let parts0 =
-        system_parts(&out0.cdfg, &out0.channels, &ex0, d0.initial.clone(), SystemDelays::default())?;
+    let ex0 = adcs::extract::Extraction {
+        controllers: out0.controllers.clone(),
+    };
+    let parts0 = system_parts(
+        &out0.cdfg,
+        &out0.channels,
+        &ex0,
+        d0.initial.clone(),
+        SystemDelays::default(),
+    )?;
     let v = model_check_system(
         &parts0,
-        &McOptions { synchronous_levels: false, ..McOptions::default() },
+        &McOptions {
+            synchronous_levels: false,
+            ..McOptions::default()
+        },
     )?;
     describe("optimized 0-iter (no assumptions) ", &v);
 

@@ -22,7 +22,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         let single = synthesize(&c.machine, SynthOptions::default())?;
         let shared = synthesize(
             &c.machine,
-            SynthOptions { share_products: true, ..SynthOptions::default() },
+            SynthOptions {
+                share_products: true,
+                ..SynthOptions::default()
+            },
         )?;
         println!(
             "{:10}  single-output  {:8}  {:8}",

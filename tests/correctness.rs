@@ -14,9 +14,27 @@ use adcs_sim::DelayModel;
 fn diffeq_transformed_graph_is_value_equivalent_under_many_delays() {
     for params in [
         DiffeqParams::default(),
-        DiffeqParams { x0: 0, y0: 3, u0: -1, dx: 1, a: 9 },
-        DiffeqParams { x0: -3, y0: 1, u0: 2, dx: 2, a: 7 },
-        DiffeqParams { x0: 5, y0: 1, u0: 1, dx: 1, a: 5 }, // zero iterations
+        DiffeqParams {
+            x0: 0,
+            y0: 3,
+            u0: -1,
+            dx: 1,
+            a: 9,
+        },
+        DiffeqParams {
+            x0: -3,
+            y0: 1,
+            u0: 2,
+            dx: 2,
+            a: 7,
+        },
+        DiffeqParams {
+            x0: 5,
+            y0: 1,
+            u0: 1,
+            dx: 1,
+            a: 5,
+        }, // zero iterations
     ] {
         let d = diffeq(params).unwrap();
         let out = Flow::new(d.cdfg.clone(), d.initial.clone())
@@ -28,8 +46,13 @@ fn diffeq_transformed_graph_is_value_equivalent_under_many_delays() {
                 .with_fu(d.mul1, 3)
                 .with_fu(d.mul2, 2)
                 .with_jitter(seed, 3);
-            let r = execute(&out.cdfg, d.initial.clone(), &delays, &ExecOptions::default())
-                .unwrap();
+            let r = execute(
+                &out.cdfg,
+                d.initial.clone(),
+                &delays,
+                &ExecOptions::default(),
+            )
+            .unwrap();
             assert_eq!(
                 (r.register("X"), r.register("Y"), r.register("U")),
                 (Some(x), Some(y), Some(u)),
@@ -49,8 +72,13 @@ fn gcd_transformed_graph_is_value_equivalent() {
         let expect = gcd_reference(x, y);
         for seed in 0..6 {
             let delays = DelayModel::uniform(1).with_jitter(seed, 4);
-            let r = execute(&out.cdfg, d.initial.clone(), &delays, &ExecOptions::default())
-                .unwrap();
+            let r = execute(
+                &out.cdfg,
+                d.initial.clone(),
+                &delays,
+                &ExecOptions::default(),
+            )
+            .unwrap();
             assert_eq!(r.register("x"), Some(expect), "gcd({x},{y}) seed {seed}");
         }
     }
@@ -67,7 +95,13 @@ fn fir_transformed_graph_is_value_equivalent() {
     let (y, line) = fir_reference(xs, cs, 11);
     for seed in 0..6 {
         let delays = DelayModel::uniform(2).with_jitter(seed, 3);
-        let r = execute(&out.cdfg, d.initial.clone(), &delays, &ExecOptions::default()).unwrap();
+        let r = execute(
+            &out.cdfg,
+            d.initial.clone(),
+            &delays,
+            &ExecOptions::default(),
+        )
+        .unwrap();
         assert_eq!(r.register("y"), Some(y), "seed {seed}");
         assert_eq!(r.register("x0"), Some(line[0]), "seed {seed}");
         assert_eq!(r.register("x3"), Some(line[3]), "seed {seed}");
@@ -147,8 +181,13 @@ fn biquad_cascade_is_value_equivalent_through_the_flow() {
             .unwrap();
         for seed in 0..4 {
             let delays = DelayModel::uniform(1).with_jitter(seed, 3);
-            let r = execute(&out.cdfg, d.initial.clone(), &delays, &ExecOptions::default())
-                .unwrap();
+            let r = execute(
+                &out.cdfg,
+                d.initial.clone(),
+                &delays,
+                &ExecOptions::default(),
+            )
+            .unwrap();
             assert_eq!(
                 r.register("acc"),
                 Some(expect),
@@ -193,7 +232,9 @@ fn biquad_controllers_drive_the_datapath_under_structural_gt5() {
     };
     for (sections, muls, alus) in [(1usize, 1, 1), (2, 2, 2), (3, 2, 2)] {
         let d = biquad_cascade(sections, 4, muls, alus).unwrap();
-        let out = Flow::new(d.cdfg.clone(), d.initial.clone()).run(&opts).unwrap();
+        let out = Flow::new(d.cdfg.clone(), d.initial.clone())
+            .run(&opts)
+            .unwrap();
         assert!(
             out.channels.count() * 2 < out.unoptimized.channels,
             "{sections} sections: {} -> {}",

@@ -1,0 +1,105 @@
+//! The parallel explorer must be a pure speedup: for any thread count,
+//! `explore_exhaustive` returns the *identical* ranked list — same
+//! configurations, same order, same scores — because candidates are
+//! collected in mask order and ranked by the total order
+//! `(score, bitmask)`.
+
+use adcs::explore::{
+    explore_exhaustive_with, explore_greedy_with, ExploreOptions, ExplorePoint, Objective,
+};
+use adcs::flow::FlowOptions;
+use adcs::timing::TimingModel;
+use adcs_cdfg::benchmarks::{fir, gcd, RegFile};
+use adcs_cdfg::Cdfg;
+
+fn fast_base() -> FlowOptions {
+    FlowOptions {
+        verify_seeds: 2,
+        timing: TimingModel::uniform(1, 2)
+            .with_class("MUL", 2, 4)
+            .with_samples(8),
+        ..FlowOptions::default()
+    }
+}
+
+fn fingerprint(points: &[ExplorePoint]) -> Vec<(u32, u64, usize, usize, usize)> {
+    points
+        .iter()
+        .map(|p| (p.bitmask(), p.score, p.channels, p.states, p.transitions))
+        .collect()
+}
+
+fn assert_thread_count_invariant(name: &str, cdfg: &Cdfg, initial: &RegFile) {
+    let base = fast_base();
+    let baseline = explore_exhaustive_with(
+        cdfg,
+        initial,
+        &base,
+        Objective::ChannelsThenStates,
+        ExploreOptions::sequential(),
+    )
+    .expect("sequential exploration");
+    assert!(!baseline.is_empty(), "{name}: no configuration completed");
+    for threads in [2, 4, 8] {
+        let parallel = explore_exhaustive_with(
+            cdfg,
+            initial,
+            &base,
+            Objective::ChannelsThenStates,
+            ExploreOptions {
+                threads: Some(threads),
+            },
+        )
+        .expect("parallel exploration");
+        assert_eq!(
+            fingerprint(&baseline),
+            fingerprint(&parallel),
+            "{name}: ranked list changed between 1 and {threads} threads"
+        );
+    }
+    // `None` (all available cores) must agree too.
+    let auto = explore_exhaustive_with(
+        cdfg,
+        initial,
+        &base,
+        Objective::ChannelsThenStates,
+        ExploreOptions::default(),
+    )
+    .expect("auto-parallel exploration");
+    assert_eq!(fingerprint(&baseline), fingerprint(&auto), "{name}: auto");
+}
+
+#[test]
+fn gcd_ranked_list_is_thread_count_invariant() {
+    let d = gcd(21, 6).unwrap();
+    assert_thread_count_invariant("gcd", &d.cdfg, &d.initial);
+}
+
+#[test]
+fn fir_ranked_list_is_thread_count_invariant() {
+    let d = fir([1, 2, 3, 4], [5, 6, 7, 8], 4).unwrap();
+    assert_thread_count_invariant("fir", &d.cdfg, &d.initial);
+}
+
+#[test]
+fn greedy_trail_is_thread_count_invariant() {
+    let d = gcd(21, 6).unwrap();
+    let base = fast_base();
+    let seq = explore_greedy_with(
+        &d.cdfg,
+        &d.initial,
+        &base,
+        Objective::ChannelsThenStates,
+        ExploreOptions::sequential(),
+    )
+    .unwrap();
+    let par = explore_greedy_with(
+        &d.cdfg,
+        &d.initial,
+        &base,
+        Objective::ChannelsThenStates,
+        ExploreOptions { threads: Some(4) },
+    )
+    .unwrap();
+    assert_eq!(fingerprint(&seq), fingerprint(&par));
+}

@@ -91,7 +91,10 @@ fn figure13_gate_level_shape() {
         let logic = synthesize(&c.machine, SynthOptions::default()).unwrap();
         by_name.insert(
             c.machine.name().to_string(),
-            (logic.products_single_output(), logic.literals_single_output()),
+            (
+                logic.products_single_output(),
+                logic.literals_single_output(),
+            ),
         );
     }
     let lit = |n: &str| by_name[n].1;
@@ -118,9 +121,14 @@ fn gt1_speeds_up_the_loop() {
     let before = execute(&d.cdfg, d.initial.clone(), &delays, &ExecOptions::default())
         .unwrap()
         .time;
-    let after = execute(&out.cdfg, d.initial.clone(), &delays, &ExecOptions::default())
-        .unwrap()
-        .time;
+    let after = execute(
+        &out.cdfg,
+        d.initial.clone(),
+        &delays,
+        &ExecOptions::default(),
+    )
+    .unwrap()
+    .time;
     assert!(after < before, "{after} !< {before}");
 }
 
@@ -134,7 +142,10 @@ fn figure13_shared_synthesis_improves_on_single_output() {
         let single = synthesize(&c.machine, SynthOptions::default()).unwrap();
         let shared = synthesize(
             &c.machine,
-            SynthOptions { share_products: true, ..SynthOptions::default() },
+            SynthOptions {
+                share_products: true,
+                ..SynthOptions::default()
+            },
         )
         .unwrap();
         assert_eq!(shared.functions.len(), single.functions.len());

@@ -22,7 +22,9 @@ fn every_stage_produces_valid_xbm_machines() {
     let ex0 = extract(
         &d.cdfg,
         &ch0,
-        &ExtractOptions { style: ExpansionStyle::Sequential },
+        &ExtractOptions {
+            style: ExpansionStyle::Sequential,
+        },
     )
     .unwrap();
     assert_eq!(ex0.controllers.len(), 4);
@@ -41,7 +43,14 @@ fn every_stage_produces_valid_xbm_machines() {
     gt4_merge_assignments(&mut g).unwrap();
     let mut ch = ChannelMap::per_arc(&g).unwrap();
     gt5_channel_elimination(&mut g, &mut ch, Gt5Options::default()).unwrap();
-    let ex1 = extract(&g, &ch, &ExtractOptions { style: ExpansionStyle::Compact }).unwrap();
+    let ex1 = extract(
+        &g,
+        &ch,
+        &ExtractOptions {
+            style: ExpansionStyle::Compact,
+        },
+    )
+    .unwrap();
     for c in &ex1.controllers {
         adcs_xbm::validate::validate(&c.machine).unwrap();
     }
@@ -98,7 +107,9 @@ fn disabled_transforms_leave_the_channel_count_at_the_baseline() {
         },
         ..FlowOptions::default()
     };
-    let out = Flow::new(d.cdfg.clone(), d.initial.clone()).run(&opts).unwrap();
+    let out = Flow::new(d.cdfg.clone(), d.initial.clone())
+        .run(&opts)
+        .unwrap();
     assert_eq!(out.unoptimized.channels, out.optimized_gt.channels);
 }
 
@@ -129,7 +140,11 @@ fn synthesized_logic_cosimulates_against_the_controllers() {
         let logic = synthesize(&c.machine, SynthOptions::default()).unwrap();
         let edges = adcs_hfmin::gatesim::cosimulate(&c.machine, &logic, 40)
             .unwrap_or_else(|e| panic!("{}: {e}", c.machine.name()));
-        assert!(edges >= 20, "{}: only {edges} edges driven", c.machine.name());
+        assert!(
+            edges >= 20,
+            "{}: only {edges} edges driven",
+            c.machine.name()
+        );
     }
 }
 

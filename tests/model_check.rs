@@ -13,7 +13,13 @@ use adcs_cdfg::benchmarks::{diffeq, diffeq_reference, DiffeqDesign, DiffeqParams
 
 /// One Euler iteration keeps the exhaustive space tractable.
 fn one_iter() -> DiffeqParams {
-    DiffeqParams { x0: 0, y0: 1, u0: 2, dx: 1, a: 1 }
+    DiffeqParams {
+        x0: 0,
+        y0: 1,
+        u0: 2,
+        dx: 1,
+        a: 1,
+    }
 }
 
 fn baseline_parts(d: &DiffeqDesign) -> (ChannelMap, Extraction) {
@@ -21,7 +27,9 @@ fn baseline_parts(d: &DiffeqDesign) -> (ChannelMap, Extraction) {
     let ex = extract(
         &d.cdfg,
         &channels,
-        &ExtractOptions { style: ExpansionStyle::Sequential },
+        &ExtractOptions {
+            style: ExpansionStyle::Sequential,
+        },
     )
     .unwrap();
     (channels, ex)
@@ -39,8 +47,14 @@ fn unoptimized_network_is_delay_insensitive_under_the_setup_assumption() {
     let params = one_iter();
     let d = diffeq(params).unwrap();
     let (channels, ex) = baseline_parts(&d);
-    let parts =
-        system_parts(&d.cdfg, &channels, &ex, d.initial.clone(), SystemDelays::default()).unwrap();
+    let parts = system_parts(
+        &d.cdfg,
+        &channels,
+        &ex,
+        d.initial.clone(),
+        SystemDelays::default(),
+    )
+    .unwrap();
     match check(&parts, &McOptions::default()) {
         McVerdict::Verified { outcome, stats } => {
             let get = |n: &str| {
@@ -66,9 +80,18 @@ fn the_level_setup_assumption_is_load_bearing_even_for_the_baseline() {
     // fundamental-mode assumption is not introduced by the optimizations.
     let d = diffeq(one_iter()).unwrap();
     let (channels, ex) = baseline_parts(&d);
-    let parts =
-        system_parts(&d.cdfg, &channels, &ex, d.initial.clone(), SystemDelays::default()).unwrap();
-    let opts = McOptions { synchronous_levels: false, ..McOptions::default() };
+    let parts = system_parts(
+        &d.cdfg,
+        &channels,
+        &ex,
+        d.initial.clone(),
+        SystemDelays::default(),
+    )
+    .unwrap();
+    let opts = McOptions {
+        synchronous_levels: false,
+        ..McOptions::default()
+    };
     match check(&parts, &opts) {
         McVerdict::Violation { kind, .. } => {
             assert_eq!(kind, McViolationKind::DivergentOutcome)
@@ -87,7 +110,9 @@ fn the_optimized_network_relies_on_relative_timing() {
     let out = Flow::new(d.cdfg.clone(), d.initial.clone())
         .run(&FlowOptions::default())
         .unwrap();
-    let ex = Extraction { controllers: out.controllers.clone() };
+    let ex = Extraction {
+        controllers: out.controllers.clone(),
+    };
     let parts = system_parts(
         &out.cdfg,
         &out.channels,
@@ -96,7 +121,10 @@ fn the_optimized_network_relies_on_relative_timing() {
         SystemDelays::default(),
     )
     .unwrap();
-    let opts = McOptions { synchronous_levels: false, ..McOptions::default() };
+    let opts = McOptions {
+        synchronous_levels: false,
+        ..McOptions::default()
+    };
     match check(&parts, &opts) {
         McVerdict::Violation { kind, detail, .. } => {
             assert_eq!(kind, McViolationKind::WireInterference, "{detail}");
@@ -110,12 +138,20 @@ fn the_optimized_network_relies_on_relative_timing() {
 fn the_optimized_zero_iteration_run_verifies_without_any_assumption() {
     // When the loop body never executes, the optimized network's straight
     // path is fully delay-insensitive — levels racing included.
-    let params = DiffeqParams { x0: 3, y0: 1, u0: 2, dx: 1, a: 3 };
+    let params = DiffeqParams {
+        x0: 3,
+        y0: 1,
+        u0: 2,
+        dx: 1,
+        a: 3,
+    };
     let d = diffeq(params).unwrap();
     let out = Flow::new(d.cdfg.clone(), d.initial.clone())
         .run(&FlowOptions::default())
         .unwrap();
-    let ex = Extraction { controllers: out.controllers.clone() };
+    let ex = Extraction {
+        controllers: out.controllers.clone(),
+    };
     let parts = system_parts(
         &out.cdfg,
         &out.channels,
@@ -125,7 +161,10 @@ fn the_optimized_zero_iteration_run_verifies_without_any_assumption() {
     )
     .unwrap();
     for sync in [true, false] {
-        let opts = McOptions { synchronous_levels: sync, ..McOptions::default() };
+        let opts = McOptions {
+            synchronous_levels: sync,
+            ..McOptions::default()
+        };
         match check(&parts, &opts) {
             McVerdict::Verified { outcome, .. } => {
                 let x = outcome.iter().find(|(r, _)| r.name() == "X").unwrap().1;
@@ -146,7 +185,9 @@ fn the_full_optimized_space_exceeds_any_small_budget() {
     let out = Flow::new(d.cdfg.clone(), d.initial.clone())
         .run(&FlowOptions::default())
         .unwrap();
-    let ex = Extraction { controllers: out.controllers.clone() };
+    let ex = Extraction {
+        controllers: out.controllers.clone(),
+    };
     let parts = system_parts(
         &out.cdfg,
         &out.channels,
@@ -155,7 +196,10 @@ fn the_full_optimized_space_exceeds_any_small_budget() {
         SystemDelays::default(),
     )
     .unwrap();
-    let opts = McOptions { max_states: 20_000, ..McOptions::default() };
+    let opts = McOptions {
+        max_states: 20_000,
+        ..McOptions::default()
+    };
     assert!(matches!(check(&parts, &opts), McVerdict::Budget(_)));
 }
 
@@ -171,11 +215,19 @@ fn gcd_baseline_with_conditionals_is_delay_insensitive() {
     let ex = extract(
         &d.cdfg,
         &channels,
-        &ExtractOptions { style: ExpansionStyle::Sequential },
+        &ExtractOptions {
+            style: ExpansionStyle::Sequential,
+        },
     )
     .unwrap();
-    let parts =
-        system_parts(&d.cdfg, &channels, &ex, d.initial.clone(), SystemDelays::default()).unwrap();
+    let parts = system_parts(
+        &d.cdfg,
+        &channels,
+        &ex,
+        d.initial.clone(),
+        SystemDelays::default(),
+    )
+    .unwrap();
     match check(&parts, &McOptions::default()) {
         McVerdict::Verified { outcome, stats } => {
             let x = outcome.iter().find(|(r, _)| r.name() == "x").unwrap().1;

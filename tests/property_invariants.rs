@@ -29,14 +29,10 @@ fn program_strategy() -> impl Strategy<Value = Program> {
             )
         },
     );
-    (proptest::collection::vec(stmt, 1..12), 2usize..4)
-        .prop_map(|(stmts, nfus)| Program {
-            stmts: stmts
-                .into_iter()
-                .map(|(fu, s)| (fu % 3, s))
-                .collect(),
-            nfus,
-        })
+    (proptest::collection::vec(stmt, 1..12), 2usize..4).prop_map(|(stmts, nfus)| Program {
+        stmts: stmts.into_iter().map(|(fu, s)| (fu % 3, s)).collect(),
+        nfus,
+    })
 }
 
 fn build(p: &Program) -> Cdfg {
@@ -49,7 +45,9 @@ fn build(p: &Program) -> Cdfg {
 }
 
 fn initial() -> RegFile {
-    (0..5).map(|i| (Reg::new(format!("r{i}")), i as i64 + 1)).collect()
+    (0..5)
+        .map(|i| (Reg::new(format!("r{i}")), i as i64 + 1))
+        .collect()
 }
 
 /// Reference: execute the statements in program order.
@@ -119,6 +117,64 @@ proptest! {
         for (id, _) in g.arcs() {
             prop_assert!(!adcs::gt::certain_dominated(&g, id));
         }
+    }
+
+    #[test]
+    fn reach_cache_matches_fresh_bfs_under_mutation(
+        p in program_strategy(),
+        edits in proptest::collection::vec((0usize..64, 0usize..64, 0usize..3), 1..8),
+        probes in proptest::collection::vec((0usize..64, 0usize..64, 0u32..2), 4..10),
+    ) {
+        // The memoized cache must stay coherent across arbitrary arc
+        // insertions and removals: every answer equals a fresh BFS on the
+        // current graph, with one long-lived cache spanning all edits
+        // (invalidation rides on the graph's version stamp).
+        use adcs_cdfg::analysis::{reaches_within, ReachCache};
+        use adcs_cdfg::{ArcId, NodeId, Role};
+
+        let mut g = build(&p);
+        let cache = ReachCache::new();
+        let nodes: Vec<NodeId> = g.nodes().map(|(id, _)| id).collect();
+        prop_assert!(!nodes.is_empty());
+        for &(a, b, action) in &edits {
+            let arcs: Vec<ArcId> = g.arcs().map(|(id, _)| id).collect();
+            match action {
+                0 => {
+                    let src = nodes[a % nodes.len()];
+                    let dst = nodes[b % nodes.len()];
+                    g.add_arc(src, dst, Role::Scheduling, a % 2 == 1);
+                }
+                1 if !arcs.is_empty() => {
+                    g.remove_arc(arcs[a % arcs.len()]).unwrap();
+                }
+                _ => {}
+            }
+            let live: Vec<ArcId> = g.arcs().map(|(id, _)| id).collect();
+            for &(x, y, w) in &probes {
+                let src = nodes[x % nodes.len()];
+                let dst = nodes[y % nodes.len()];
+                let exclude = if x % 3 == 0 || live.is_empty() {
+                    None
+                } else {
+                    Some(live[y % live.len()])
+                };
+                prop_assert_eq!(
+                    cache.reaches_within(&g, src, dst, w, exclude),
+                    reaches_within(&g, src, dst, w, exclude),
+                    "cache diverged: {} -> {} within {} excluding {:?}",
+                    src, dst, w, exclude
+                );
+            }
+        }
+        // The cache actually caches: with no interleaved edit, repeating a
+        // query must be answered from memory.
+        let hits_before = cache.hits();
+        let src = nodes[0];
+        let dst = nodes[nodes.len() - 1];
+        let fresh = reaches_within(&g, src, dst, 1, None);
+        prop_assert_eq!(cache.reaches_within(&g, src, dst, 1, None), fresh);
+        prop_assert_eq!(cache.reaches_within(&g, src, dst, 1, None), fresh);
+        prop_assert!(cache.hits() > hits_before);
     }
 
     #[test]

@@ -1,0 +1,293 @@
+//! Offline shim of [criterion](https://docs.rs/criterion) with the surface
+//! this workspace's benches use: `Criterion`, `benchmark_group` (sample size
+//! and measurement time), `bench_function`, `criterion_group!`/
+//! `criterion_main!`, and `black_box`.
+//!
+//! Measurement model: per bench, a short warm-up estimates the cost of one
+//! iteration, then `sample_size` samples are taken, each averaging over
+//! enough iterations to fill `measurement_time / sample_size`. The report
+//! prints `[min median max]` per-iteration times, criterion-style. There is
+//! no statistical outlier analysis, HTML report, or baseline comparison.
+
+use std::fmt;
+use std::marker::PhantomData;
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Measurement markers (only wall-clock exists in the shim).
+pub mod measurement {
+    /// Wall-clock time measurement.
+    #[derive(Clone, Copy, Debug, Default)]
+    pub struct WallTime;
+}
+
+/// Benchmark driver: holds the CLI filter and default sampling settings.
+#[derive(Clone, Debug)]
+pub struct Criterion {
+    filter: Option<String>,
+    sample_size: usize,
+    measurement_time: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            filter: None,
+            sample_size: 30,
+            measurement_time: Duration::from_secs(2),
+        }
+    }
+}
+
+impl Criterion {
+    /// Reads the benchmark-name filter from the command line (the first
+    /// argument that is not a `--flag` or a flag's value).
+    #[must_use]
+    pub fn configure_from_args(mut self) -> Self {
+        let mut args = std::env::args().skip(1);
+        while let Some(a) = args.next() {
+            match a.as_str() {
+                "--bench" | "--test" | "--nocapture" | "--quiet" | "--exact" => {}
+                "--sample-size" | "--measurement-time" | "--warm-up-time" | "--profile-time" => {
+                    let _ = args.next();
+                }
+                s if s.starts_with('-') => {}
+                s => {
+                    self.filter = Some(s.to_string());
+                    break;
+                }
+            }
+        }
+        self
+    }
+
+    /// Default number of samples per benchmark.
+    #[must_use]
+    pub fn sample_size(mut self, n: usize) -> Self {
+        self.sample_size = n.max(2);
+        self
+    }
+
+    /// Opens a named group of benchmarks.
+    pub fn benchmark_group<S: Into<String>>(
+        &mut self,
+        name: S,
+    ) -> BenchmarkGroup<'_, measurement::WallTime> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+            sample_size: None,
+            measurement_time: None,
+            _measurement: PhantomData,
+        }
+    }
+
+    /// Runs a single benchmark.
+    pub fn bench_function<S: AsRef<str>, F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: S,
+        f: F,
+    ) -> &mut Self {
+        let (n, t) = (self.sample_size, self.measurement_time);
+        self.run_one(id.as_ref(), n, t, f);
+        self
+    }
+
+    /// No-op (the real crate renders its summary here).
+    pub fn final_summary(&mut self) {}
+
+    fn run_one<F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: &str,
+        sample_size: usize,
+        measurement_time: Duration,
+        mut f: F,
+    ) {
+        if let Some(filter) = &self.filter {
+            if !id.contains(filter.as_str()) {
+                return;
+            }
+        }
+        let mut b = Bencher {
+            sample_size,
+            measurement_time,
+            samples: Vec::new(),
+        };
+        f(&mut b);
+        report(id, &b.samples);
+    }
+}
+
+/// A group of related benchmarks sharing sampling settings.
+pub struct BenchmarkGroup<'a, M> {
+    criterion: &'a mut Criterion,
+    name: String,
+    sample_size: Option<usize>,
+    measurement_time: Option<Duration>,
+    _measurement: PhantomData<M>,
+}
+
+impl<M> BenchmarkGroup<'_, M> {
+    /// Sets the number of samples for benches in this group.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = Some(n.max(2));
+        self
+    }
+
+    /// Sets the target total measurement time per bench.
+    pub fn measurement_time(&mut self, t: Duration) -> &mut Self {
+        self.measurement_time = Some(t);
+        self
+    }
+
+    /// Runs one benchmark inside the group (reported as `group/name`).
+    pub fn bench_function<S: AsRef<str>, F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: S,
+        f: F,
+    ) -> &mut Self {
+        let full = format!("{}/{}", self.name, id.as_ref());
+        let n = self.sample_size.unwrap_or(self.criterion.sample_size);
+        let t = self
+            .measurement_time
+            .unwrap_or(self.criterion.measurement_time);
+        self.criterion.run_one(&full, n, t, f);
+        self
+    }
+
+    /// Closes the group.
+    pub fn finish(self) {}
+}
+
+/// Passed to the closure given to `bench_function`; call [`Bencher::iter`].
+pub struct Bencher {
+    sample_size: usize,
+    measurement_time: Duration,
+    samples: Vec<Duration>,
+}
+
+impl Bencher {
+    /// Measures a routine: warm-up, then `sample_size` samples of
+    /// `iters`-iteration batches sized to fill the measurement window.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        // Warm-up and per-iteration cost estimate (at least one run).
+        let warmup_budget = Duration::from_millis(300);
+        let warmup_start = Instant::now();
+        let mut warmup_iters = 0u64;
+        while warmup_iters == 0 || warmup_start.elapsed() < warmup_budget {
+            black_box(f());
+            warmup_iters += 1;
+            if warmup_iters >= 10_000 {
+                break;
+            }
+        }
+        let est = warmup_start.elapsed() / u32::try_from(warmup_iters).unwrap_or(u32::MAX);
+
+        let per_sample = self.measurement_time / u32::try_from(self.sample_size).unwrap_or(1);
+        let iters = if est.is_zero() {
+            1000
+        } else {
+            (per_sample.as_nanos() / est.as_nanos().max(1)).clamp(1, 1_000_000) as u32
+        };
+
+        self.samples.clear();
+        for _ in 0..self.sample_size {
+            let start = Instant::now();
+            for _ in 0..iters {
+                black_box(f());
+            }
+            self.samples.push(start.elapsed() / iters);
+        }
+    }
+}
+
+fn report(id: &str, samples: &[Duration]) {
+    if samples.is_empty() {
+        println!("{id:<40} (no samples)");
+        return;
+    }
+    let mut sorted: Vec<Duration> = samples.to_vec();
+    sorted.sort_unstable();
+    let min = sorted[0];
+    let max = sorted[sorted.len() - 1];
+    let median = sorted[sorted.len() / 2];
+    println!(
+        "{id:<40} time:   [{} {} {}]",
+        Pretty(min),
+        Pretty(median),
+        Pretty(max)
+    );
+}
+
+/// Criterion-style duration formatting (`1.2345 ms`).
+struct Pretty(Duration);
+
+impl fmt::Display for Pretty {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let ns = self.0.as_nanos();
+        let (val, unit) = if ns >= 1_000_000_000 {
+            (ns as f64 / 1e9, "s")
+        } else if ns >= 1_000_000 {
+            (ns as f64 / 1e6, "ms")
+        } else if ns >= 1_000 {
+            (ns as f64 / 1e3, "µs")
+        } else {
+            (ns as f64, "ns")
+        };
+        write!(f, "{val:.4} {unit}")
+    }
+}
+
+/// Declares a benchmark group function, criterion-style.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion: $crate::Criterion = $config.configure_from_args();
+            $($target(&mut criterion);)+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default().configure_from_args();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Declares the bench `main` that runs the given groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_collects_samples() {
+        let mut c = Criterion::default();
+        c.sample_size = 3;
+        c.measurement_time = Duration::from_millis(10);
+        let mut ran = 0u64;
+        c.bench_function("smoke", |b| b.iter(|| ran += 1));
+        assert!(ran > 0);
+    }
+
+    #[test]
+    fn group_settings_apply() {
+        let mut c = Criterion::default();
+        let mut g = c.benchmark_group("grp");
+        g.sample_size(2).measurement_time(Duration::from_millis(5));
+        let mut ran = false;
+        g.bench_function("inner", |b| b.iter(|| ran = true));
+        g.finish();
+        assert!(ran);
+    }
+}

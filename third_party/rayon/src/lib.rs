@@ -1,0 +1,315 @@
+//! Offline shim of [rayon](https://docs.rs/rayon) sufficient for this
+//! workspace's fan-out workloads: `par_iter()` / `into_par_iter()` with
+//! `map`, `filter_map`, and ordered `collect`, plus `ThreadPoolBuilder` /
+//! `ThreadPool::install` to bound the worker count and `join` for two-way
+//! splits.
+//!
+//! Differences from real rayon:
+//!
+//! - **Eager adapters.** `map` runs its closure across worker threads
+//!   immediately (dynamic index-stealing over an atomic cursor) and buffers
+//!   the results; `collect` is then a plain ordered drain. Chained adapters
+//!   therefore make one parallel pass each.
+//! - **Scoped OS threads, no persistent pool.** Each parallel pass spawns
+//!   `current_num_threads()` scoped threads. That costs microseconds — noise
+//!   next to the millisecond-scale flow evaluations parallelized here.
+//! - Results are always produced **in input order**, so parallel and
+//!   sequential runs of the same pipeline are bit-identical.
+
+use std::ops::Range;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+thread_local! {
+    static POOL_OVERRIDE: std::cell::Cell<Option<usize>> =
+        const { std::cell::Cell::new(None) };
+}
+
+/// The worker count a parallel pass started on this thread will use:
+/// an installed [`ThreadPool`]'s size, else `RAYON_NUM_THREADS`, else
+/// available hardware parallelism.
+pub fn current_num_threads() -> usize {
+    if let Some(n) = POOL_OVERRIDE.with(std::cell::Cell::get) {
+        return n.max(1);
+    }
+    if let Ok(v) = std::env::var("RAYON_NUM_THREADS") {
+        if let Ok(n) = v.parse::<usize>() {
+            if n > 0 {
+                return n;
+            }
+        }
+    }
+    std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get)
+}
+
+/// Builder for a [`ThreadPool`] (only `num_threads` is supported).
+#[derive(Clone, Debug, Default)]
+pub struct ThreadPoolBuilder {
+    num_threads: usize,
+}
+
+impl ThreadPoolBuilder {
+    /// A fresh builder using the default worker count.
+    pub fn new() -> Self {
+        ThreadPoolBuilder::default()
+    }
+
+    /// Sets the worker count (`0` means the default).
+    #[must_use]
+    pub fn num_threads(mut self, n: usize) -> Self {
+        self.num_threads = n;
+        self
+    }
+
+    /// Builds the pool. Never fails in the shim; the `Result` mirrors
+    /// rayon's signature.
+    pub fn build(self) -> Result<ThreadPool, ThreadPoolBuildError> {
+        let n = if self.num_threads == 0 {
+            std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get)
+        } else {
+            self.num_threads
+        };
+        Ok(ThreadPool { num_threads: n })
+    }
+}
+
+/// Error type for [`ThreadPoolBuilder::build`] (never produced by the shim).
+#[derive(Debug)]
+pub struct ThreadPoolBuildError;
+
+impl std::fmt::Display for ThreadPoolBuildError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "thread pool build error")
+    }
+}
+
+impl std::error::Error for ThreadPoolBuildError {}
+
+/// A bound on worker counts: parallel passes started inside
+/// [`ThreadPool::install`] use this pool's thread count.
+#[derive(Clone, Debug)]
+pub struct ThreadPool {
+    num_threads: usize,
+}
+
+impl ThreadPool {
+    /// Runs `f` with this pool's worker count as the ambient parallelism.
+    pub fn install<R>(&self, f: impl FnOnce() -> R) -> R {
+        let prev = POOL_OVERRIDE.with(|c| c.replace(Some(self.num_threads)));
+        let out = f();
+        POOL_OVERRIDE.with(|c| c.set(prev));
+        out
+    }
+
+    /// This pool's worker count.
+    pub fn current_num_threads(&self) -> usize {
+        self.num_threads
+    }
+}
+
+/// Runs two closures, potentially in parallel, returning both results.
+pub fn join<A, B, RA, RB>(a: A, b: B) -> (RA, RB)
+where
+    A: FnOnce() -> RA + Send,
+    B: FnOnce() -> RB + Send,
+    RA: Send,
+    RB: Send,
+{
+    if current_num_threads() <= 1 {
+        return (a(), b());
+    }
+    std::thread::scope(|s| {
+        let hb = s.spawn(b);
+        let ra = a();
+        (ra, hb.join().expect("rayon::join closure panicked"))
+    })
+}
+
+/// Ordered parallel map: applies `f` to every item, distributing indices
+/// over `current_num_threads()` scoped workers via an atomic cursor, and
+/// returns results in input order.
+fn run_ordered<T: Send, R: Send>(items: Vec<T>, f: impl Fn(T) -> R + Sync) -> Vec<R> {
+    let n_threads = current_num_threads().min(items.len().max(1));
+    if n_threads <= 1 {
+        return items.into_iter().map(f).collect();
+    }
+    let slots: Vec<Mutex<Option<T>>> = items.into_iter().map(|t| Mutex::new(Some(t))).collect();
+    let results: Vec<Mutex<Option<R>>> = (0..slots.len()).map(|_| Mutex::new(None)).collect();
+    let cursor = AtomicUsize::new(0);
+    std::thread::scope(|s| {
+        for _ in 0..n_threads {
+            s.spawn(|| loop {
+                let i = cursor.fetch_add(1, Ordering::Relaxed);
+                let Some(slot) = slots.get(i) else { break };
+                let item = slot.lock().unwrap().take().expect("each index taken once");
+                let out = f(item);
+                *results[i].lock().unwrap() = Some(out);
+            });
+        }
+    });
+    results
+        .into_iter()
+        .map(|m| m.into_inner().unwrap().expect("worker filled every slot"))
+        .collect()
+}
+
+/// An ordered parallel iterator over buffered items.
+pub struct ParIter<T> {
+    items: Vec<T>,
+}
+
+impl<T: Send> ParIter<T> {
+    /// Parallel map (eager; results stay in input order).
+    pub fn map<R: Send, F: Fn(T) -> R + Sync>(self, f: F) -> ParIter<R> {
+        ParIter {
+            items: run_ordered(self.items, f),
+        }
+    }
+
+    /// Parallel filter-map (eager; survivor order matches input order).
+    pub fn filter_map<R: Send, F: Fn(T) -> Option<R> + Sync>(self, f: F) -> ParIter<R> {
+        ParIter {
+            items: run_ordered(self.items, f).into_iter().flatten().collect(),
+        }
+    }
+
+    /// Drains the (already computed) results into any collection.
+    pub fn collect<C: FromIterator<T>>(self) -> C {
+        self.items.into_iter().collect()
+    }
+
+    /// Number of buffered items.
+    pub fn len(&self) -> usize {
+        self.items.len()
+    }
+
+    /// Whether there are no items.
+    pub fn is_empty(&self) -> bool {
+        self.items.is_empty()
+    }
+}
+
+/// Types convertible into a parallel iterator by value.
+pub trait IntoParallelIterator {
+    /// Element type.
+    type Item: Send;
+
+    /// Converts into a parallel iterator.
+    fn into_par_iter(self) -> ParIter<Self::Item>;
+}
+
+impl<T: Send> IntoParallelIterator for Vec<T> {
+    type Item = T;
+
+    fn into_par_iter(self) -> ParIter<T> {
+        ParIter { items: self }
+    }
+}
+
+macro_rules! range_into_par {
+    ($($t:ty),*) => {$(
+        impl IntoParallelIterator for Range<$t> {
+            type Item = $t;
+
+            fn into_par_iter(self) -> ParIter<$t> {
+                ParIter { items: self.collect() }
+            }
+        }
+    )*};
+}
+
+range_into_par!(u32, u64, usize, i32, i64);
+
+/// Types whose references yield a parallel iterator (`par_iter`).
+pub trait IntoParallelRefIterator<'a> {
+    /// Element type (a shared reference).
+    type Item: Send;
+
+    /// Parallel iterator over `&self`'s elements.
+    fn par_iter(&'a self) -> ParIter<Self::Item>;
+}
+
+impl<'a, T: Sync + 'a> IntoParallelRefIterator<'a> for [T] {
+    type Item = &'a T;
+
+    fn par_iter(&'a self) -> ParIter<&'a T> {
+        ParIter {
+            items: self.iter().collect(),
+        }
+    }
+}
+
+impl<'a, T: Sync + 'a> IntoParallelRefIterator<'a> for Vec<T> {
+    type Item = &'a T;
+
+    fn par_iter(&'a self) -> ParIter<&'a T> {
+        ParIter {
+            items: self.iter().collect(),
+        }
+    }
+}
+
+/// The usual glob import, mirroring `rayon::prelude::*`.
+pub mod prelude {
+    pub use crate::{IntoParallelIterator, IntoParallelRefIterator};
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn map_preserves_order() {
+        let v: Vec<usize> = (0..1000usize).into_par_iter().map(|i| i * 2).collect();
+        assert_eq!(v, (0..1000).map(|i| i * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn par_iter_over_refs() {
+        let data = vec![1u64, 2, 3, 4];
+        let doubled: Vec<u64> = data.par_iter().map(|&x| x * 2).collect();
+        assert_eq!(doubled, vec![2, 4, 6, 8]);
+        assert_eq!(data.len(), 4);
+    }
+
+    #[test]
+    fn filter_map_keeps_survivor_order() {
+        let v: Vec<u32> = (0u32..100)
+            .into_par_iter()
+            .filter_map(|i| (i % 3 == 0).then_some(i))
+            .collect();
+        assert_eq!(v, (0..100).filter(|i| i % 3 == 0).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn install_bounds_thread_count() {
+        let pool = ThreadPoolBuilder::new().num_threads(1).build().unwrap();
+        let (n, v) = pool.install(|| {
+            let n = current_num_threads();
+            let v: Vec<usize> = (0..16usize).into_par_iter().map(|i| i).collect();
+            (n, v)
+        });
+        assert_eq!(n, 1);
+        assert_eq!(v, (0..16).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn join_returns_both() {
+        let (a, b) = join(|| 1 + 1, || "x".repeat(3));
+        assert_eq!(a, 2);
+        assert_eq!(b, "xxx");
+    }
+
+    #[test]
+    fn one_thread_runs_inline() {
+        let pool = ThreadPoolBuilder::new().num_threads(1).build().unwrap();
+        let main_id = std::thread::current().id();
+        let ids: Vec<std::thread::ThreadId> = pool.install(|| {
+            (0..4usize)
+                .into_par_iter()
+                .map(|_| std::thread::current().id())
+                .collect()
+        });
+        assert!(ids.iter().all(|&id| id == main_id));
+    }
+}
