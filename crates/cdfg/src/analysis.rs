@@ -82,6 +82,9 @@ pub fn reaches_within(
 /// interleaving of queries and edits, or even across different graphs
 /// (each switch just costs a refill).
 ///
+/// Memo table: `(src, excluded arc)` → min backward weight per node.
+type DistMap = HashMap<(NodeId, Option<ArcId>), Vec<u32>>;
+
 /// Queries take `&self` (interior mutability), which lets the cache ride
 /// along through deep read-only call chains. It is intentionally `!Sync`;
 /// parallel explorers hold one cache per worker.
@@ -90,7 +93,7 @@ pub struct ReachCache {
     version: Cell<u64>,
     /// `(src, excluded arc)` → min weight per node index (`u32::MAX` =
     /// unreachable through live arcs).
-    dist: RefCell<HashMap<(NodeId, Option<ArcId>), Vec<u32>>>,
+    dist: RefCell<DistMap>,
     hits: Cell<u64>,
     misses: Cell<u64>,
 }

@@ -63,6 +63,12 @@ pub enum Objective {
     TotalTransitions,
     /// Channels first, then states (the paper's implicit preference).
     ChannelsThenStates,
+    /// Total single-output AND-plane literals of the synthesized logic —
+    /// the gate-level cost Figure 13 compares. Selecting this objective
+    /// turns on [`FlowOptions::synthesize_logic`] for every candidate, so
+    /// sweeps leaning on it exercise the flow's `MinimizeCache` hard
+    /// (most transform subsets extract some identical controllers).
+    LogicLiterals,
 }
 
 impl Objective {
@@ -76,7 +82,17 @@ impl Objective {
             Objective::TotalStates => st,
             Objective::TotalTransitions => tr,
             Objective::ChannelsThenStates => ch * 100_000 + st,
+            Objective::LogicLiterals => out
+                .logic
+                .iter()
+                .map(|l| l.literals_single_output() as u64)
+                .sum(),
         }
+    }
+
+    /// Whether scoring this objective needs the gate level synthesized.
+    pub fn needs_logic(self) -> bool {
+        matches!(self, Objective::LogicLiterals)
     }
 }
 
@@ -99,6 +115,17 @@ pub struct ExplorePoint {
     pub reach_queries: u64,
     /// Reachability queries answered from the memoized cache.
     pub reach_cache_hits: u64,
+    /// Total single-output products of the synthesized logic (0 when the
+    /// candidate did not synthesize logic).
+    pub products: usize,
+    /// Total single-output literals of the synthesized logic.
+    pub literals: usize,
+    /// Word-parallel cube operations the minimizer spent on this candidate.
+    pub hfmin_cube_ops: u64,
+    /// Controllers served from the flow's `MinimizeCache`.
+    pub hfmin_cache_hits: u64,
+    /// Controllers minimized from scratch.
+    pub hfmin_cache_misses: u64,
 }
 
 impl ExplorePoint {
@@ -188,7 +215,10 @@ fn evaluate(
     objective: Objective,
     config: (bool, bool, bool, bool, bool, bool),
 ) -> Option<ExplorePoint> {
-    let opts = options_for(config, base);
+    let mut opts = options_for(config, base);
+    if objective.needs_logic() {
+        opts.synthesize_logic = true;
+    }
     flow.run(&opts).ok().map(|out| ExplorePoint {
         config,
         score: objective.score(&out),
@@ -198,6 +228,11 @@ fn evaluate(
         elapsed: out.elapsed,
         reach_queries: out.reach_queries,
         reach_cache_hits: out.reach_cache_hits,
+        products: out.logic.iter().map(|l| l.products_single_output()).sum(),
+        literals: out.logic.iter().map(|l| l.literals_single_output()).sum(),
+        hfmin_cube_ops: out.hfmin_cube_ops,
+        hfmin_cache_hits: out.hfmin_cache_hits,
+        hfmin_cache_misses: out.hfmin_cache_misses,
     })
 }
 

@@ -592,16 +592,19 @@ impl<'a> Emitter<'a> {
             if is_last_of_wire {
                 in_wires.push(w);
             } else {
-                let mut p = Proto::default();
-                p.input = vec![Term::rise(w)]; // polarity fixed later
-                pre_waits.push(p);
+                pre_waits.push(Proto {
+                    input: vec![Term::rise(w)], // polarity fixed later
+                    output: Vec::new(),
+                });
             }
         }
 
         let mut protos: Vec<Proto> = pre_waits;
         // (i) wait for requests, select source muxes
-        let mut t1 = Proto::default();
-        t1.input = in_wires.iter().map(|&w| Term::rise(w)).collect(); // polarity fixed later
+        let mut t1 = Proto {
+            input: in_wires.iter().map(|&w| Term::rise(w)).collect(), // polarity fixed later
+            output: Vec::new(),
+        };
         for s in 0..stmts {
             t1.output.push(self.local(n, s, LocalRole::MuxReq));
         }
@@ -656,10 +659,10 @@ impl<'a> Emitter<'a> {
                 t5.output = reqs.clone();
                 protos.push(t5);
                 // (vi) wait for the acknowledges to reset, send dones
-                let mut t6 = Proto::default();
-                t6.input = acks.iter().map(|&a| Term::fall(a)).collect();
-                t6.output = out_wires.clone();
-                protos.push(t6);
+                protos.push(Proto {
+                    input: acks.iter().map(|&a| Term::fall(a)).collect(),
+                    output: out_wires.clone(),
+                });
             }
             ExpansionStyle::Sequential => {
                 // wr_ack+ arrives, then each handshake resets one by one.
@@ -667,16 +670,16 @@ impl<'a> Emitter<'a> {
                     .map(|s| Term::rise(self.local(n, s, LocalRole::WrAck)))
                     .collect();
                 for (i, &rq) in reqs.iter().enumerate() {
-                    let mut tr = Proto::default();
-                    tr.input = std::mem::take(&mut prev_ack);
-                    tr.output = vec![rq];
-                    protos.push(tr);
+                    protos.push(Proto {
+                        input: std::mem::take(&mut prev_ack),
+                        output: vec![rq],
+                    });
                     prev_ack = vec![Term::fall(acks[i])];
                 }
-                let mut t_last = Proto::default();
-                t_last.input = prev_ack;
-                t_last.output = out_wires.clone();
-                protos.push(t_last);
+                protos.push(Proto {
+                    input: prev_ack,
+                    output: out_wires.clone(),
+                });
             }
         }
         // Drop empty-input protos by merging their outputs forward into the
@@ -899,6 +902,12 @@ fn emit_steps(
 /// Pending split information: the transition index that entered the
 /// current state, for decision folding.
 type PendingEntry = Option<usize>;
+
+/// Continuation invoked when a recursive emission step finishes: receives
+/// the emitter, the state the construction stopped in, the wire values
+/// there, and how that state was entered.
+type EmitCont<'c> =
+    dyn FnMut(&mut Emitter<'_>, StateId, Vals, PendingEntry) -> Result<(), SynthError> + 'c;
 
 #[allow(clippy::too_many_arguments)]
 fn emit_from(
@@ -1372,7 +1381,7 @@ fn emit_seq_then(
     vals: Vals,
     entered_by: PendingEntry,
     first_lap: bool,
-    finish: &mut dyn FnMut(&mut Emitter<'_>, StateId, Vals, PendingEntry) -> Result<(), SynthError>,
+    finish: &mut EmitCont<'_>,
 ) -> Result<(), SynthError> {
     if idx >= steps.len() {
         return finish(em, state, vals, entered_by);
@@ -1527,7 +1536,7 @@ fn emit_if_seq(
     vals: Vals,
     entered_by: PendingEntry,
     first_lap: bool,
-    after: &mut dyn FnMut(&mut Emitter<'_>, StateId, Vals, PendingEntry) -> Result<(), SynthError>,
+    after: &mut EmitCont<'_>,
 ) -> Result<(), SynthError> {
     if owned {
         let cond = match &em.g.node(head)?.kind {
@@ -1683,10 +1692,12 @@ fn endif_in_events(
                         matches!(info.kind, BlockKind::ElseBranch { tail: t, .. } if t == tail)
                             && g.block_contains(bb, b)
                     });
+                    // A block on neither branch (shared tail) counts for
+                    // both sides.
                     if then_side {
-                        then_branch || (!then_branch && !else_branch)
+                        then_branch || !else_branch
                     } else {
-                        else_branch || (!then_branch && !else_branch)
+                        else_branch || !then_branch
                     }
                 }
                 Err(_) => false,

@@ -3,13 +3,16 @@
 //! collected along the way and simulation-based verification at each
 //! stage.
 
+use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 use adcs_cdfg::analysis::ReachCache;
 use adcs_cdfg::benchmarks::RegFile;
 use adcs_cdfg::Cdfg;
+use adcs_hfmin::{synthesize, ControllerLogic, SynthOptions};
 use adcs_sim::exec::{execute, ExecOptions};
 use adcs_xbm::XbmStats;
+use rayon::prelude::*;
 
 use crate::channel::ChannelMap;
 use crate::error::SynthError;
@@ -18,6 +21,7 @@ use crate::gt::{
     gt1_loop_parallelism, gt2_remove_dominated, gt3_relative_timing, gt4_merge_assignments,
     gt5_channel_elimination_cached, Gt5Options,
 };
+use crate::logic::MinimizeCache;
 use crate::lt::{apply_all, LtOptions, LtReport};
 use crate::timing::TimingModel;
 
@@ -49,6 +53,18 @@ pub struct FlowOptions {
     /// Verify values and wire safety by randomized CDFG simulation after
     /// the global transforms (number of seeds; 0 disables).
     pub verify_seeds: u64,
+    /// Synthesize the final (GT+LT) controllers to hazard-free two-level
+    /// logic ([`FlowOutcome::logic`]). Off by default — the machine-level
+    /// figures don't need the gate level.
+    pub synthesize_logic: bool,
+    /// Logic-synthesis options (minimizer exactness, product sharing,
+    /// state encoding); only consulted when `synthesize_logic` is set.
+    pub synth: SynthOptions,
+    /// Memoize synthesis results in the flow's [`MinimizeCache`], shared
+    /// across every `run` of this [`Flow`] (and so across explorer
+    /// candidates). Disable to force a fresh minimization per run —
+    /// results are identical either way, only the work differs.
+    pub minimize_cache: bool,
 }
 
 impl Default for FlowOptions {
@@ -69,6 +85,9 @@ impl Default for FlowOptions {
             lt: LtOptions::default(),
             reduce_states: true,
             verify_seeds: 8,
+            synthesize_logic: false,
+            synth: SynthOptions::default(),
+            minimize_cache: true,
         }
     }
 }
@@ -87,6 +106,16 @@ pub struct StageStats {
     pub elapsed: Duration,
     /// Reachability queries issued while producing this stage.
     pub reach_queries: u64,
+    /// Wall-clock time spent in hazard-free logic synthesis for this
+    /// stage's controllers (zero unless the stage synthesized logic).
+    pub hfmin_elapsed: Duration,
+    /// Word-parallel cube operations issued by the minimizer (zero on
+    /// cache hits — the cached result paid them in an earlier run).
+    pub hfmin_cube_ops: u64,
+    /// Controllers whose logic came from the [`MinimizeCache`].
+    pub hfmin_cache_hits: u64,
+    /// Controllers whose logic was synthesized from scratch.
+    pub hfmin_cache_misses: u64,
 }
 
 impl StageStats {
@@ -111,6 +140,15 @@ pub struct FlowOutcome {
     /// Reachability queries answered from the memoized cache (the rest
     /// each paid one BFS).
     pub reach_cache_hits: u64,
+    /// Wall-clock time spent in hazard-free logic synthesis (zero when
+    /// [`FlowOptions::synthesize_logic`] is off).
+    pub hfmin_elapsed: Duration,
+    /// Word-parallel cube operations issued by the minimizer this run.
+    pub hfmin_cube_ops: u64,
+    /// Controllers served from the [`MinimizeCache`] this run.
+    pub hfmin_cache_hits: u64,
+    /// Controllers minimized from scratch this run.
+    pub hfmin_cache_misses: u64,
     /// Stats of the unoptimized extraction.
     pub unoptimized: StageStats,
     /// Stats after the global transforms.
@@ -125,6 +163,10 @@ pub struct FlowOutcome {
     pub controllers: Vec<ControllerSpec>,
     /// Local-transform reports per controller.
     pub lt_reports: Vec<LtReport>,
+    /// Synthesized two-level logic per final controller (empty unless
+    /// [`FlowOptions::synthesize_logic`] is set). `Arc`-shared with the
+    /// [`MinimizeCache`], so repeat runs hand out the same allocation.
+    pub logic: Vec<Arc<ControllerLogic>>,
 }
 
 /// The flow driver.
@@ -132,13 +174,24 @@ pub struct FlowOutcome {
 pub struct Flow {
     cdfg: Cdfg,
     initial: RegFile,
+    minimize: Arc<MinimizeCache>,
 }
 
 impl Flow {
     /// Creates a flow over a scheduled, resource-bound CDFG with the
     /// initial register file used for verification and GT3.
     pub fn new(cdfg: Cdfg, initial: RegFile) -> Self {
-        Flow { cdfg, initial }
+        Flow {
+            cdfg,
+            initial,
+            minimize: Arc::new(MinimizeCache::new()),
+        }
+    }
+
+    /// The synthesis memo shared by every [`Flow::run`] of this flow (and
+    /// of its clones — cloning a `Flow` shares the cache).
+    pub fn minimize_cache(&self) -> &MinimizeCache {
+        &self.minimize
     }
 
     /// Runs the full pipeline.
@@ -224,7 +277,7 @@ impl Flow {
             reduce_all(&mut controllers)?;
         }
         let ex_lt = Extraction { controllers };
-        let optimized_gt_lt = stage_stats(
+        let mut optimized_gt_lt = stage_stats(
             "optimized-GT-and-LT",
             &channels,
             &ex_lt,
@@ -232,10 +285,44 @@ impl Flow {
             reach.queries() - queries_before_lt,
         );
 
+        // ---- Stage 3 (optional): hazard-free logic synthesis -------------
+        let mut logic: Vec<Arc<ControllerLogic>> = Vec::new();
+        if opts.synthesize_logic {
+            let hfmin_start = Instant::now();
+            // One covering pipeline per controller, fanned over the ambient
+            // rayon pool; results are collected in controller order.
+            let synthesized: Vec<Result<(Arc<ControllerLogic>, bool), _>> = ex_lt
+                .controllers
+                .par_iter()
+                .map(|c| {
+                    if opts.minimize_cache {
+                        self.minimize.synthesize(&c.machine, opts.synth)
+                    } else {
+                        synthesize(&c.machine, opts.synth).map(|l| (Arc::new(l), false))
+                    }
+                })
+                .collect();
+            for result in synthesized {
+                let (l, hit) = result?;
+                if hit {
+                    optimized_gt_lt.hfmin_cache_hits += 1;
+                } else {
+                    optimized_gt_lt.hfmin_cache_misses += 1;
+                    optimized_gt_lt.hfmin_cube_ops += l.cube_ops;
+                }
+                logic.push(l);
+            }
+            optimized_gt_lt.hfmin_elapsed = hfmin_start.elapsed();
+        }
+
         Ok(FlowOutcome {
             elapsed: run_start.elapsed(),
             reach_queries: reach.queries(),
             reach_cache_hits: reach.hits(),
+            hfmin_elapsed: optimized_gt_lt.hfmin_elapsed,
+            hfmin_cube_ops: optimized_gt_lt.hfmin_cube_ops,
+            hfmin_cache_hits: optimized_gt_lt.hfmin_cache_hits,
+            hfmin_cache_misses: optimized_gt_lt.hfmin_cache_misses,
             unoptimized,
             optimized_gt,
             optimized_gt_lt,
@@ -243,6 +330,7 @@ impl Flow {
             channels,
             controllers: ex_lt.controllers,
             lt_reports,
+            logic,
         })
     }
 
@@ -313,6 +401,10 @@ fn stage_stats(
             .collect(),
         elapsed,
         reach_queries,
+        hfmin_elapsed: Duration::ZERO,
+        hfmin_cube_ops: 0,
+        hfmin_cache_hits: 0,
+        hfmin_cache_misses: 0,
     }
 }
 
@@ -375,6 +467,74 @@ mod tests {
         let flow = Flow::new(d.cdfg.clone(), d.initial.clone());
         let out = flow.run(&FlowOptions::default()).unwrap();
         assert!(out.optimized_gt.channels < out.unoptimized.channels);
+    }
+
+    #[test]
+    fn synthesized_flow_reports_cache_hits_on_repeat_runs() {
+        let d = diffeq(DiffeqParams::default()).unwrap();
+        let flow = Flow::new(d.cdfg.clone(), d.initial.clone());
+        let opts = FlowOptions {
+            synthesize_logic: true,
+            verify_seeds: 2,
+            ..FlowOptions::default()
+        };
+        let cold = flow.run(&opts).unwrap();
+        assert_eq!(cold.logic.len(), cold.controllers.len());
+        assert!(cold.hfmin_cache_misses > 0);
+        assert!(cold.hfmin_cube_ops > 0);
+        assert!(!cold.logic.is_empty());
+        for l in &cold.logic {
+            assert!(l.products_single_output() > 0, "{}", l.name);
+        }
+        // Same Flow, same options: every controller is served from the
+        // cache, no cube work is spent, and the logic is identical.
+        let warm = flow.run(&opts).unwrap();
+        assert_eq!(warm.hfmin_cache_hits, warm.logic.len() as u64);
+        assert_eq!(warm.hfmin_cache_misses, 0);
+        assert_eq!(warm.hfmin_cube_ops, 0);
+        for (a, b) in cold.logic.iter().zip(&warm.logic) {
+            assert_eq!(a.name, b.name);
+            assert_eq!(a.products_single_output(), b.products_single_output());
+            assert_eq!(a.literals_single_output(), b.literals_single_output());
+        }
+    }
+
+    #[test]
+    fn cache_disabled_synthesis_matches_cached_results() {
+        let d = diffeq(DiffeqParams::default()).unwrap();
+        let flow = Flow::new(d.cdfg.clone(), d.initial.clone());
+        let cached = flow
+            .run(&FlowOptions {
+                synthesize_logic: true,
+                verify_seeds: 2,
+                ..FlowOptions::default()
+            })
+            .unwrap();
+        let uncached = flow
+            .run(&FlowOptions {
+                synthesize_logic: true,
+                minimize_cache: false,
+                verify_seeds: 2,
+                ..FlowOptions::default()
+            })
+            .unwrap();
+        assert_eq!(uncached.hfmin_cache_hits, 0);
+        assert_eq!(cached.logic.len(), uncached.logic.len());
+        for (a, b) in cached.logic.iter().zip(&uncached.logic) {
+            assert_eq!(a.name, b.name);
+            assert_eq!(a.products_single_output(), b.products_single_output());
+            assert_eq!(a.literals_single_output(), b.literals_single_output());
+        }
+    }
+
+    #[test]
+    fn flow_without_synthesis_has_empty_logic() {
+        let d = diffeq(DiffeqParams::default()).unwrap();
+        let flow = Flow::new(d.cdfg.clone(), d.initial.clone());
+        let out = flow.run(&FlowOptions::default()).unwrap();
+        assert!(out.logic.is_empty());
+        assert_eq!(out.hfmin_cache_hits + out.hfmin_cache_misses, 0);
+        assert_eq!(out.hfmin_cube_ops, 0);
     }
 
     #[test]

@@ -187,8 +187,8 @@ fn instances(g: &Cdfg, body: &[NodeId], reg: &Reg) -> (Vec<NodeId>, Vec<NodeId>)
     let mut accesses: Vec<(usize, NodeId, bool, bool)> = Vec::new(); // (pos, node, reads, writes)
     for (pos, &n) in body.iter().enumerate() {
         let k = &g.node(n).expect("live node").kind;
-        let r = k.reads().iter().any(|x| *x == reg);
-        let w = k.writes().iter().any(|x| *x == reg);
+        let r = k.reads().contains(&reg);
+        let w = k.writes().contains(&reg);
         if r || w {
             accesses.push((pos, n, r, w));
         }
@@ -241,7 +241,7 @@ fn last_writer(g: &Cdfg, body: &[NodeId], reg: &Reg) -> Option<NodeId> {
         .rev()
         .find(|&&n| {
             g.node(n)
-                .map(|x| x.kind.writes().iter().any(|w| *w == reg))
+                .map(|x| x.kind.writes().contains(&reg))
                 .unwrap_or(false)
         })
         .copied()

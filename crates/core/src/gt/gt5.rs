@@ -621,7 +621,7 @@ fn reroute_once(
         .map(|(i, c)| (i, c.arcs[0]))
         .collect();
     for (_, old_arc) in candidates {
-        let Ok(arc) = g.arc(old_arc).map(Clone::clone) else {
+        let Ok(arc) = g.arc(old_arc).cloned() else {
             continue;
         };
         if arc.backward {

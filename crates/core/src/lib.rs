@@ -41,6 +41,7 @@ pub mod explore;
 pub mod extract;
 pub mod flow;
 pub mod gt;
+pub mod logic;
 pub mod lt;
 pub mod mc;
 pub mod report;
@@ -53,4 +54,5 @@ mod error;
 
 pub use channel::{Channel, ChannelMap};
 pub use error::SynthError;
+pub use logic::MinimizeCache;
 pub use timing::TimingModel;

@@ -1,0 +1,174 @@
+//! Cross-candidate memoization of controller logic synthesis.
+//!
+//! The design-space explorer runs the flow once per transform subset, and
+//! many subsets extract *identical* controllers (a transform that doesn't
+//! touch a unit leaves its machine bit-for-bit unchanged). Hazard-free
+//! minimization is the back-end hot path, so [`MinimizeCache`] memoizes
+//! [`adcs_hfmin::synthesize`] results across those candidates.
+//!
+//! # Keying and invalidation contract
+//!
+//! Where `ReachCache` (PR 1) keys on a CDFG *version stamp* and
+//! self-invalidates when the graph mutates, machines handed to the
+//! minimizer are immutable values with no version counter — so the cache
+//! keys on the machine's full textual serialization
+//! ([`adcs_xbm::format::to_text`]) prefixed with the `Debug` rendering of
+//! the [`SynthOptions`]. Two machines share an entry iff they serialize
+//! identically under the same options; there is nothing to invalidate
+//! because a changed machine *is* a different key. The cost of a miss is a
+//! complete DHF-prime + covering run; the cost of the key is one
+//! serialization pass — noise in comparison.
+//!
+//! Entries are `Arc`-shared, never evicted (an explorer sweep holds a few
+//! dozen controllers at most), and the map is a plain `Mutex<HashMap>`:
+//! the lock is held only for lookup/insert, never during synthesis, so
+//! parallel candidates serialize only on the map, not on the minimizer.
+//! Two threads racing on the same cold key may both synthesize; the result
+//! is deterministic either way, the loser's insert is a no-op, and both
+//! report a miss.
+
+use std::collections::HashMap;
+use std::fmt;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+use adcs_hfmin::{synthesize, ControllerLogic, HfminError, SynthOptions};
+use adcs_xbm::XbmMachine;
+
+/// A memo table mapping *(synthesis options, machine text)* to synthesized
+/// controller logic. See the module docs for the contract.
+#[derive(Default)]
+pub struct MinimizeCache {
+    entries: Mutex<HashMap<String, Arc<ControllerLogic>>>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+}
+
+impl MinimizeCache {
+    /// An empty cache.
+    pub fn new() -> Self {
+        MinimizeCache::default()
+    }
+
+    /// The structural key for one machine under one option set.
+    pub fn key(m: &XbmMachine, opts: SynthOptions) -> String {
+        format!("{opts:?}|{}", adcs_xbm::format::to_text(m))
+    }
+
+    /// Synthesizes `m` (or returns the memoized logic), reporting whether
+    /// this call was a cache hit. Errors are not cached — a failing
+    /// machine re-runs on every call, which keeps the table free of
+    /// poisoned entries and costs nothing on the success path.
+    ///
+    /// # Errors
+    ///
+    /// Whatever [`adcs_hfmin::synthesize`] reports.
+    pub fn synthesize(
+        &self,
+        m: &XbmMachine,
+        opts: SynthOptions,
+    ) -> Result<(Arc<ControllerLogic>, bool), HfminError> {
+        let key = Self::key(m, opts);
+        if let Some(found) = self.entries.lock().expect("cache lock").get(&key) {
+            self.hits.fetch_add(1, Ordering::Relaxed);
+            return Ok((Arc::clone(found), true));
+        }
+        self.misses.fetch_add(1, Ordering::Relaxed);
+        let logic = Arc::new(synthesize(m, opts)?);
+        let mut entries = self.entries.lock().expect("cache lock");
+        let stored = entries.entry(key).or_insert_with(|| Arc::clone(&logic));
+        Ok((Arc::clone(stored), false))
+    }
+
+    /// Lifetime cache hits.
+    pub fn hits(&self) -> u64 {
+        self.hits.load(Ordering::Relaxed)
+    }
+
+    /// Lifetime cache misses (= distinct synthesis runs attempted).
+    pub fn misses(&self) -> u64 {
+        self.misses.load(Ordering::Relaxed)
+    }
+
+    /// Number of memoized machines.
+    pub fn len(&self) -> usize {
+        self.entries.lock().expect("cache lock").len()
+    }
+
+    /// Whether the cache holds no entries.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+impl fmt::Debug for MinimizeCache {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("MinimizeCache")
+            .field("entries", &self.len())
+            .field("hits", &self.hits())
+            .field("misses", &self.misses())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use adcs_xbm::{Term, XbmBuilder};
+
+    fn handshake(name: &str) -> XbmMachine {
+        let mut b = XbmBuilder::new(name);
+        let req = b.input("req", false);
+        let ack = b.output("ack", false);
+        let s0 = b.state("s0");
+        let s1 = b.state("s1");
+        b.transition(s0, s1, [Term::rise(req)], [ack]).unwrap();
+        b.transition(s1, s0, [Term::fall(req)], [ack]).unwrap();
+        b.finish(s0).unwrap()
+    }
+
+    #[test]
+    fn second_synthesis_hits_and_shares_the_result() {
+        let cache = MinimizeCache::new();
+        let m = handshake("hs");
+        let (a, hit_a) = cache.synthesize(&m, SynthOptions::default()).unwrap();
+        let (b, hit_b) = cache.synthesize(&m, SynthOptions::default()).unwrap();
+        assert!(!hit_a);
+        assert!(hit_b);
+        assert!(Arc::ptr_eq(&a, &b));
+        assert_eq!(cache.hits(), 1);
+        assert_eq!(cache.misses(), 1);
+        assert_eq!(cache.len(), 1);
+    }
+
+    #[test]
+    fn distinct_machines_and_options_get_distinct_entries() {
+        let cache = MinimizeCache::new();
+        let m1 = handshake("hs1");
+        let m2 = handshake("hs2"); // same shape, different name → different key
+        cache.synthesize(&m1, SynthOptions::default()).unwrap();
+        cache.synthesize(&m2, SynthOptions::default()).unwrap();
+        let shared = SynthOptions {
+            share_products: true,
+            ..SynthOptions::default()
+        };
+        cache.synthesize(&m1, shared).unwrap();
+        assert_eq!(cache.len(), 3);
+        assert_eq!(cache.hits(), 0);
+    }
+
+    #[test]
+    fn cached_logic_equals_a_fresh_synthesis() {
+        let cache = MinimizeCache::new();
+        let m = handshake("hs");
+        cache.synthesize(&m, SynthOptions::default()).unwrap();
+        let (cached, hit) = cache.synthesize(&m, SynthOptions::default()).unwrap();
+        assert!(hit);
+        let fresh = synthesize(&m, SynthOptions::default()).unwrap();
+        assert_eq!(cached.functions.len(), fresh.functions.len());
+        for (c, f) in cached.functions.iter().zip(&fresh.functions) {
+            assert_eq!(c.name, f.name);
+            assert_eq!(c.cover, f.cover);
+        }
+    }
+}

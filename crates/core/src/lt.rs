@@ -422,10 +422,25 @@ pub fn apply_all(
     controllers: &mut [ControllerSpec],
     opts: &LtOptions,
 ) -> Result<Vec<LtReport>, SynthError> {
-    controllers
-        .iter_mut()
-        .map(|c| apply_local_transforms(c, opts))
-        .collect()
+    // Controllers are independent, so fan out over the ambient rayon pool.
+    // The shim has no mutable parallel iterator: transform clones in the
+    // workers, then write the results back in order (results arrive in
+    // input order, so the outcome is identical to the sequential loop).
+    use rayon::prelude::*;
+    let transformed: Vec<Result<(ControllerSpec, LtReport), SynthError>> = controllers
+        .par_iter()
+        .map(|c| {
+            let mut c2 = c.clone();
+            apply_local_transforms(&mut c2, opts).map(|r| (c2, r))
+        })
+        .collect();
+    let mut reports = Vec::with_capacity(transformed.len());
+    for (slot, result) in controllers.iter_mut().zip(transformed) {
+        let (c2, report) = result?;
+        *slot = c2;
+        reports.push(report);
+    }
+    Ok(reports)
 }
 
 #[cfg(test)]

@@ -109,6 +109,42 @@ pub fn figure5_summary(before: usize, after: usize, multiway: usize) -> String {
     )
 }
 
+/// Renders the logic-synthesis summary of one flow run: per-controller
+/// product/literal counts plus the minimizer's work and cache counters
+/// (empty-logic runs render a one-line note instead).
+pub fn hfmin_summary(out: &FlowOutcome) -> String {
+    if out.logic.is_empty() {
+        return "logic synthesis: not run (FlowOptions::synthesize_logic off)\n".to_string();
+    }
+    let mut s = String::new();
+    let _ = writeln!(
+        s,
+        "{:<10} {:>9} {:>9} {:>9} {:>9}",
+        "logic", "products", "literals", "shared-p", "shared-l"
+    );
+    let (mut tp, mut tl) = (0usize, 0usize);
+    for l in &out.logic {
+        tp += l.products_single_output();
+        tl += l.literals_single_output();
+        let _ = writeln!(
+            s,
+            "{:<10} {:>9} {:>9} {:>9} {:>9}",
+            l.name,
+            l.products_single_output(),
+            l.literals_single_output(),
+            l.products_shared(),
+            l.literals_shared()
+        );
+    }
+    let _ = writeln!(s, "{:<10} {:>9} {:>9}", "total", tp, tl);
+    let _ = writeln!(
+        s,
+        "minimizer: {} cube ops, cache {} hit / {} miss, {:?}",
+        out.hfmin_cube_ops, out.hfmin_cache_hits, out.hfmin_cache_misses, out.hfmin_elapsed
+    );
+    s
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -130,5 +166,24 @@ mod tests {
         assert!(t13.contains("307"));
         let t5 = figure5_summary(10, 5, 2);
         assert!(t5.contains("10 channels before"));
+        assert!(hfmin_summary(&out).contains("not run"));
+    }
+
+    #[test]
+    fn hfmin_summary_lists_every_controller() {
+        let d = diffeq(DiffeqParams::default()).unwrap();
+        let out = Flow::new(d.cdfg.clone(), d.initial.clone())
+            .run(&FlowOptions {
+                synthesize_logic: true,
+                verify_seeds: 2,
+                ..FlowOptions::default()
+            })
+            .unwrap();
+        let s = hfmin_summary(&out);
+        for l in &out.logic {
+            assert!(s.contains(&l.name), "{s}");
+        }
+        assert!(s.contains("total"));
+        assert!(s.contains("cache"));
     }
 }

@@ -118,21 +118,18 @@ impl fmt::Debug for Cover {
 
 /// The cofactor of cube `k` with respect to cube `c`, or `None` if they do
 /// not intersect: `k`'s demands on the subspace `c`, with `c`'s fixed
-/// variables erased.
+/// variables erased. Word-parallel: the surviving fixed plane is
+/// `fixed(k) & !fixed(c)` and the value plane is masked down to it.
 fn cofactor(k: &Cube, c: &Cube) -> Option<Cube> {
-    use crate::cube::CubeVal;
     if !k.intersects(c) {
         return None;
     }
-    let mut vals = Vec::with_capacity(k.width());
-    for i in 0..k.width() {
-        if c.get(i) != CubeVal::Dash {
-            vals.push(CubeVal::Dash); // fixed by c: no constraint remains
-        } else {
-            vals.push(k.get(i));
-        }
-    }
-    Some(Cube::new(vals))
+    let (fk, vk) = (k.fixed_words(), k.value_words());
+    let fc = c.fixed_words();
+    Some(Cube::from_planes_with(k.width(), |w| {
+        let f = fk[w] & !fc[w];
+        (f, vk[w] & f)
+    }))
 }
 
 /// Recursive tautology check: does the union of `cubes` cover the whole

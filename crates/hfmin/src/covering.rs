@@ -5,10 +5,18 @@
 //! per column (`LIT_SCALE + literals`), so minimizing the cost sum
 //! minimizes the product count first and the literal count second.
 //!
+//! The incidence matrix is stored twice as dense `u64` bitsets —
+//! `row_cols` (which columns cover each row) and `col_rows` (which rows
+//! each column covers) — so greedy gains, dominance tests, branch-and-bound
+//! row elimination and the independent-set lower bound are all
+//! popcount-and-AND loops over a few words instead of `Vec<usize>`
+//! scans.
+//!
 //! Two solvers:
 //!
-//! * [`Covering::solve_exact`] — branch-and-bound with essential-column selection,
-//!   row/column dominance, and a maximal-independent-set lower bound;
+//! * [`Covering::solve_exact`] — branch-and-bound with a root reduction
+//!   loop (essential columns, row dominance, column dominance), a
+//!   maximal-independent-set lower bound, and hardest-row branching;
 //!   bounded by a node budget.
 //! * [`Covering::solve_greedy`] — the classical greedy set-cover heuristic.
 
@@ -17,12 +25,81 @@ use crate::error::HfminError;
 
 const LIT_SCALE: u64 = 1 << 24;
 
-/// A covering instance: `matrix[r]` lists the columns covering row `r`.
+fn words_for(n: usize) -> usize {
+    n.div_ceil(64)
+}
+
+fn set_bit(bits: &mut [u64], i: usize) {
+    bits[i / 64] |= 1 << (i % 64);
+}
+
+fn clear_bit(bits: &mut [u64], i: usize) {
+    bits[i / 64] &= !(1 << (i % 64));
+}
+
+fn has_bit(bits: &[u64], i: usize) -> bool {
+    bits[i / 64] & (1 << (i % 64)) != 0
+}
+
+/// Bitset with bits `0..n` set.
+fn full(n: usize) -> Vec<u64> {
+    let mut bits = vec![!0u64; words_for(n)];
+    if !n.is_multiple_of(64) {
+        if let Some(last) = bits.last_mut() {
+            *last = (1u64 << (n % 64)) - 1;
+        }
+    }
+    bits
+}
+
+fn popcount(bits: &[u64]) -> usize {
+    bits.iter().map(|w| w.count_ones() as usize).sum()
+}
+
+/// popcount(a & b) without materializing the intersection.
+fn and_count(a: &[u64], b: &[u64]) -> usize {
+    a.iter()
+        .zip(b)
+        .map(|(x, y)| (x & y).count_ones() as usize)
+        .sum()
+}
+
+/// Whether `a & mask ⊆ b` (all words).
+fn masked_subset(a: &[u64], mask: &[u64], b: &[u64]) -> bool {
+    a.iter().zip(mask).zip(b).all(|((x, m), y)| x & m & !y == 0)
+}
+
+/// Whether `a & b == 0` (all words).
+fn disjoint(a: &[u64], b: &[u64]) -> bool {
+    a.iter().zip(b).all(|(x, y)| x & y == 0)
+}
+
+/// Ascending set-bit positions of a bitset slice.
+fn iter_bits(bits: &[u64]) -> impl Iterator<Item = usize> + '_ {
+    bits.iter().enumerate().flat_map(|(w, &word)| {
+        std::iter::successors((word != 0).then_some(word), |&x| {
+            let next = x & (x - 1);
+            (next != 0).then_some(next)
+        })
+        .map(move |x| w * 64 + x.trailing_zeros() as usize)
+    })
+}
+
+/// A covering instance over dense row/column bitsets.
 #[derive(Clone, Debug)]
 pub struct Covering {
+    nrows: usize,
     ncols: usize,
-    matrix: Vec<Vec<usize>>,
+    /// Column-words per row bitset.
+    cw: usize,
+    /// Row-words per column bitset.
+    rw: usize,
+    /// `row_cols[r*cw..][..cw]`: the columns covering row `r`.
+    row_cols: Vec<u64>,
+    /// `col_rows[c*rw..][..rw]`: the rows column `c` covers.
+    col_rows: Vec<u64>,
     cost: Vec<u64>,
+    cube_ops: u64,
 }
 
 impl Covering {
@@ -33,53 +110,92 @@ impl Covering {
     ///
     /// [`HfminError::NoCover`] if some row is covered by no column.
     pub fn build(rows: &[Cube], cols: &[Cube]) -> Result<Self, HfminError> {
-        let mut matrix = Vec::with_capacity(rows.len());
-        for r in rows {
-            let covering: Vec<usize> = cols
-                .iter()
-                .enumerate()
-                .filter(|(_, c)| c.contains(r))
-                .map(|(i, _)| i)
-                .collect();
-            if covering.is_empty() {
-                return Err(HfminError::NoCover(r.clone()));
+        let (nrows, ncols) = (rows.len(), cols.len());
+        let (cw, rw) = (words_for(ncols), words_for(nrows));
+        let mut row_cols = vec![0u64; nrows * cw];
+        let mut col_rows = vec![0u64; ncols * rw];
+        for (r, row) in rows.iter().enumerate() {
+            let mut covered = false;
+            for (c, col) in cols.iter().enumerate() {
+                if col.contains(row) {
+                    covered = true;
+                    set_bit(&mut row_cols[r * cw..(r + 1) * cw], c);
+                    set_bit(&mut col_rows[c * rw..(c + 1) * rw], r);
+                }
             }
-            matrix.push(covering);
+            if !covered {
+                return Err(HfminError::NoCover(row.clone()));
+            }
         }
         let cost = cols
             .iter()
             .map(|c| LIT_SCALE + c.literals() as u64)
             .collect();
         Ok(Covering {
-            ncols: cols.len(),
-            matrix,
+            nrows,
+            ncols,
+            cw,
+            rw,
+            row_cols,
+            col_rows,
             cost,
+            cube_ops: nrows as u64 * ncols as u64,
         })
     }
 
+    /// Cube containment tests performed while building the matrix
+    /// (rows × columns; deterministic).
+    pub fn cube_ops(&self) -> u64 {
+        self.cube_ops
+    }
+
+    fn row(&self, r: usize) -> &[u64] {
+        &self.row_cols[r * self.cw..(r + 1) * self.cw]
+    }
+
+    fn col(&self, c: usize) -> &[u64] {
+        &self.col_rows[c * self.rw..(c + 1) * self.rw]
+    }
+
     /// Greedy set cover: repeatedly pick the column covering the most
-    /// uncovered rows (ties: cheapest).
+    /// uncovered rows (ties: cheapest, later index among equal-cost ties —
+    /// matching the pre-bitset `max_by` selection exactly).
     pub fn solve_greedy(&self) -> Vec<usize> {
-        let mut uncovered: Vec<usize> = (0..self.matrix.len()).collect();
+        let mut uncovered = full(self.nrows);
+        let mut remaining = self.nrows;
         let mut chosen = Vec::new();
-        while !uncovered.is_empty() {
-            let mut gain = vec![0usize; self.ncols];
-            for &r in &uncovered {
-                for &c in &self.matrix[r] {
-                    gain[c] += 1;
+        while remaining > 0 {
+            let mut best = 0usize;
+            let mut best_gain = usize::MAX; // sentinel: first column always wins
+            for c in 0..self.ncols {
+                let gain = and_count(self.col(c), &uncovered);
+                if best_gain == usize::MAX
+                    || gain > best_gain
+                    || (gain == best_gain && self.cost[c] <= self.cost[best])
+                {
+                    best = c;
+                    best_gain = gain;
                 }
             }
-            let best = (0..self.ncols)
-                .max_by(|&a, &b| gain[a].cmp(&gain[b]).then(self.cost[b].cmp(&self.cost[a])))
-                .expect("at least one column exists");
             chosen.push(best);
-            uncovered.retain(|&r| !self.matrix[r].contains(&best));
+            for (u, w) in uncovered.iter_mut().zip(self.col(best)) {
+                *u &= !w;
+            }
+            remaining = popcount(&uncovered);
         }
         chosen.sort_unstable();
         chosen
     }
 
     /// Exact branch-and-bound minimum-cost cover.
+    ///
+    /// A root reduction loop first applies, to a fixed point:
+    /// *essential columns* (a row covered by exactly one active column
+    /// forces it), *row dominance* (a row whose column set contains
+    /// another row's is redundant; equal sets keep the lowest row index),
+    /// and *column dominance* (a column whose row set is contained in a
+    /// no-costlier column's is dropped; equal cost keeps the lowest column
+    /// index). Branch-and-bound then runs on the residual matrix.
     ///
     /// # Errors
     ///
@@ -89,12 +205,19 @@ impl Covering {
         let greedy = self.solve_greedy();
         let mut best_cost: u64 = greedy.iter().map(|&c| self.cost[c]).sum::<u64>() + 1;
         let mut best: Vec<usize> = greedy;
+
+        let mut rows = full(self.nrows);
+        let mut cols = full(self.ncols);
+        let mut forced: Vec<usize> = Vec::new();
+        let mut forced_cost = 0u64;
+        self.reduce(&mut rows, &mut cols, &mut forced, &mut forced_cost);
+
         let mut nodes = 0usize;
-        let rows: Vec<usize> = (0..self.matrix.len()).collect();
         self.branch(
             &rows,
-            &mut Vec::new(),
-            0,
+            &cols,
+            &mut forced,
+            forced_cost,
             &mut best,
             &mut best_cost,
             &mut nodes,
@@ -105,9 +228,83 @@ impl Covering {
         Ok(b)
     }
 
+    /// Root reduction loop (see [`Self::solve_exact`]). Mutates the active
+    /// row/column bitsets in place and appends forced picks to `forced`.
+    fn reduce(
+        &self,
+        rows: &mut [u64],
+        cols: &mut [u64],
+        forced: &mut Vec<usize>,
+        forced_cost: &mut u64,
+    ) {
+        loop {
+            let mut changed = false;
+            // Essential columns: a live row with exactly one live column.
+            for r in 0..self.nrows {
+                if !has_bit(rows, r) {
+                    continue;
+                }
+                if and_count(self.row(r), cols) == 1 {
+                    let c = iter_bits(self.row(r))
+                        .find(|&c| has_bit(cols, c))
+                        .expect("count said one bit survives");
+                    forced.push(c);
+                    *forced_cost += self.cost[c];
+                    for (u, w) in rows.iter_mut().zip(self.col(c)) {
+                        *u &= !w;
+                    }
+                    clear_bit(cols, c);
+                    changed = true;
+                }
+            }
+            // Row dominance: drop r1 when some other live row's column set
+            // is contained in r1's (covering the subset covers r1 too).
+            // Equal sets keep the lowest index.
+            for r1 in 0..self.nrows {
+                if !has_bit(rows, r1) {
+                    continue;
+                }
+                let dominated = (0..self.nrows).any(|r2| {
+                    r2 != r1
+                        && has_bit(rows, r2)
+                        && masked_subset(self.row(r2), cols, self.row(r1))
+                        && (!masked_subset(self.row(r1), cols, self.row(r2)) || r2 < r1)
+                });
+                if dominated {
+                    clear_bit(rows, r1);
+                    changed = true;
+                }
+            }
+            // Column dominance: drop c1 when a no-costlier live column
+            // covers a superset of its live rows. Equal (cost, rows) keep
+            // the lowest index.
+            for c1 in 0..self.ncols {
+                if !has_bit(cols, c1) {
+                    continue;
+                }
+                let dominated = (0..self.ncols).any(|c2| {
+                    c2 != c1
+                        && has_bit(cols, c2)
+                        && masked_subset(self.col(c1), rows, self.col(c2))
+                        && (self.cost[c2] < self.cost[c1]
+                            || (self.cost[c2] == self.cost[c1] && c2 < c1))
+                });
+                if dominated {
+                    clear_bit(cols, c1);
+                    changed = true;
+                }
+            }
+            if !changed {
+                return;
+            }
+        }
+    }
+
+    #[allow(clippy::too_many_arguments)]
     fn branch(
         &self,
-        rows: &[usize],
+        rows: &[u64],
+        cols: &[u64],
         chosen: &mut Vec<usize>,
         chosen_cost: u64,
         best: &mut Vec<usize>,
@@ -119,7 +316,7 @@ impl Covering {
         if *nodes > budget {
             return Err(HfminError::SearchBudget(budget));
         }
-        if rows.is_empty() {
+        if popcount(rows) == 0 {
             if chosen_cost < *best_cost {
                 *best_cost = chosen_cost;
                 *best = chosen.clone();
@@ -129,36 +326,33 @@ impl Covering {
         // Lower bound: greedy maximal independent set of rows (pairwise
         // disjoint column sets); each needs a distinct column.
         let mut indep_cost = 0u64;
-        let mut used: Vec<usize> = Vec::new();
-        for &r in rows {
-            if self.matrix[r].iter().all(|c| !used.contains(c)) {
-                indep_cost += self.matrix[r]
-                    .iter()
-                    .map(|&c| self.cost[c])
-                    .min()
-                    .unwrap_or(0);
-                used.extend(self.matrix[r].iter().copied());
+        let mut used = vec![0u64; self.cw];
+        for r in iter_bits(rows) {
+            let rc: Vec<u64> = self.row(r).iter().zip(cols).map(|(x, m)| x & m).collect();
+            if disjoint(&rc, &used) {
+                indep_cost += iter_bits(&rc).map(|c| self.cost[c]).min().unwrap_or(0);
+                for (u, w) in used.iter_mut().zip(&rc) {
+                    *u |= w;
+                }
             }
         }
         if chosen_cost + indep_cost >= *best_cost {
             return Ok(());
         }
-        // Branch on the hardest row (fewest covering columns).
-        let &row = rows
-            .iter()
-            .min_by_key(|&&r| self.matrix[r].len())
+        // Branch on the hardest row (fewest live covering columns).
+        let row = iter_bits(rows)
+            .min_by_key(|&r| and_count(self.row(r), cols))
             .expect("rows nonempty");
-        let mut options = self.matrix[row].clone();
+        let mut options: Vec<usize> = iter_bits(self.row(row))
+            .filter(|&c| has_bit(cols, c))
+            .collect();
         options.sort_by_key(|&c| self.cost[c]);
         for c in options {
             chosen.push(c);
-            let remaining: Vec<usize> = rows
-                .iter()
-                .copied()
-                .filter(|&r| !self.matrix[r].contains(&c))
-                .collect();
+            let remaining: Vec<u64> = rows.iter().zip(self.col(c)).map(|(u, w)| u & !w).collect();
             self.branch(
                 &remaining,
+                cols,
                 chosen,
                 chosen_cost + self.cost[c],
                 best,
@@ -187,6 +381,7 @@ mod tests {
         let c = Covering::build(&rows, &cols).unwrap();
         assert_eq!(c.solve_greedy(), vec![0]);
         assert_eq!(c.solve_exact(1000).unwrap(), vec![0]);
+        assert_eq!(c.cube_ops(), 1);
     }
 
     #[test]
@@ -244,5 +439,26 @@ mod tests {
         assert!(matches!(c.solve_exact(1), Err(HfminError::SearchBudget(1))));
         // And with a fat budget it succeeds with 4 products.
         assert_eq!(c.solve_exact(1_000_000).unwrap().len(), 4);
+    }
+
+    #[test]
+    fn wide_matrix_straddles_bitset_words() {
+        // > 64 rows and > 64 columns: one point-row per column plus one
+        // broad column at the end covering everything. Exact must collapse
+        // to the single broad column via dominance; greedy finds it too.
+        let n = 70;
+        let width = 7; // 2^7 = 128 >= 70 points
+        let point = |i: usize| -> Cube {
+            let s: String = (0..width)
+                .map(|b| if i >> b & 1 == 1 { '1' } else { '0' })
+                .collect();
+            Cube::parse(&s)
+        };
+        let rows: Vec<Cube> = (0..n).map(point).collect();
+        let mut cols: Vec<Cube> = (0..n).map(point).collect();
+        cols.push(Cube::universe(width));
+        let c = Covering::build(&rows, &cols).unwrap();
+        assert_eq!(c.solve_greedy(), vec![n]);
+        assert_eq!(c.solve_exact(10_000).unwrap(), vec![n]);
     }
 }

@@ -1,8 +1,38 @@
-//! Cubes (products) over a fixed set of binary variables.
+//! Cubes (products) over a fixed set of binary variables, bit-packed.
 //!
 //! A cube assigns each variable `0`, `1`, or `-` (don't care / dash). Cubes
 //! are the currency of two-level minimization: implicants, required cubes,
 //! privileged cubes and covers are all built from them.
+//!
+//! # Representation
+//!
+//! Each block of 64 variables is stored as **two planes**: a *fixed* word
+//! (bit `i` set ⇔ variable `i` carries a literal) and a *value* word (bit
+//! `i` is that literal's polarity, and is kept `0` wherever the variable is
+//! free). With `F`/`V` the planes of two cubes `a`, `b`, the hot queries of
+//! hazard-free minimization are word-parallel:
+//!
+//! | query                      | per-word formula                               |
+//! |----------------------------|------------------------------------------------|
+//! | conflict mask              | `Fa & Fb & (Va ^ Vb)`                          |
+//! | `a` intersects `b`         | every conflict word is `0`                     |
+//! | `a ∩ b` (if non-empty)     | `F = Fa \| Fb`, `V = Va \| Vb`                 |
+//! | `a ⊇ b`                    | `Fa & !Fb == 0` and `Fa & (Va ^ Vb) == 0`      |
+//! | supercube                  | `F = Fa & Fb & !(Va ^ Vb)`, `V = Va & F`       |
+//! | literal count              | `Σ popcount(F)`                                |
+//! | distance                   | `Σ popcount(conflict mask)`                    |
+//!
+//! The zero-outside-`fixed` and zero-beyond-`width` invariants make the
+//! packed form canonical, so derived `Eq`/`Hash` work on the raw words —
+//! interning a cube hashes two words, not a `Vec` of enums.
+//!
+//! Cubes up to [`INLINE_VARS`] variables (every controller in the paper's
+//! DIFFEQ case study, and then some) live entirely inline: no heap
+//! allocation, clones are `memcpy`. Wider cubes spill to boxed slices.
+//!
+//! The pre-rewrite scalar representation (`Vec<CubeVal>`, element-by-element
+//! loops) is preserved in [`scalar`] as a differential-testing reference and
+//! benchmark baseline.
 
 use std::fmt;
 
@@ -37,23 +67,100 @@ impl CubeVal {
     }
 }
 
-/// A product term over `n` variables.
+/// Words stored inline before spilling to the heap (= 128 variables).
+const INLINE_WORDS: usize = 2;
+
+/// Widest cube representable without heap allocation.
+pub const INLINE_VARS: usize = INLINE_WORDS * 64;
+
+/// The two bit-planes of a cube. The variant is determined entirely by the
+/// word count (≤ [`INLINE_WORDS`] ⇒ `Inline`), so equal-width cubes always
+/// use the same variant and the derived `Eq`/`Hash` are well-defined.
+#[derive(Clone, PartialEq, Eq, Hash)]
+enum Planes {
+    Inline {
+        fixed: [u64; INLINE_WORDS],
+        value: [u64; INLINE_WORDS],
+    },
+    Spilled {
+        fixed: Box<[u64]>,
+        value: Box<[u64]>,
+    },
+}
+
+/// A product term over `n` variables (two-plane bit-packed; see the module
+/// docs for the encoding and the word-parallel operation formulas).
 #[derive(Clone, PartialEq, Eq, Hash)]
 pub struct Cube {
-    vals: Vec<CubeVal>,
+    width: u32,
+    planes: Planes,
+}
+
+/// Iterator over the set bit positions of a word sequence.
+struct BitIter<I> {
+    words: I,
+    current: u64,
+    base: usize,
+}
+
+impl<I: Iterator<Item = u64>> Iterator for BitIter<I> {
+    type Item = usize;
+
+    fn next(&mut self) -> Option<usize> {
+        while self.current == 0 {
+            self.current = self.words.next()?;
+            self.base += 64;
+        }
+        let bit = self.current.trailing_zeros() as usize;
+        self.current &= self.current - 1;
+        Some(self.base - 64 + bit)
+    }
+}
+
+fn bits_of<I: Iterator<Item = u64>>(words: I) -> BitIter<I> {
+    BitIter {
+        words,
+        current: 0,
+        base: 0,
+    }
 }
 
 impl Cube {
+    fn words_for(width: usize) -> usize {
+        width.div_ceil(64)
+    }
+
+    fn alloc(width: usize) -> Cube {
+        let words = Self::words_for(width);
+        let planes = if words <= INLINE_WORDS {
+            Planes::Inline {
+                fixed: [0; INLINE_WORDS],
+                value: [0; INLINE_WORDS],
+            }
+        } else {
+            Planes::Spilled {
+                fixed: vec![0; words].into_boxed_slice(),
+                value: vec![0; words].into_boxed_slice(),
+            }
+        };
+        Cube {
+            width: width as u32,
+            planes,
+        }
+    }
+
     /// The universal cube (all dashes) over `n` variables.
     pub fn universe(n: usize) -> Self {
-        Cube {
-            vals: vec![CubeVal::Dash; n],
-        }
+        Cube::alloc(n)
     }
 
     /// A cube from explicit values.
     pub fn new(vals: Vec<CubeVal>) -> Self {
-        Cube { vals }
+        let mut c = Cube::alloc(vals.len());
+        for (i, v) in vals.into_iter().enumerate() {
+            c.set(i, v);
+        }
+        c
     }
 
     /// Parses a cube from a string of `0`, `1` and `-` characters.
@@ -62,50 +169,142 @@ impl Cube {
     ///
     /// Panics on any other character (test/fixture convenience).
     pub fn parse(s: &str) -> Self {
-        Cube {
-            vals: s
-                .chars()
-                .map(|c| match c {
+        let mut c = Cube::alloc(s.chars().count());
+        for (i, ch) in s.chars().enumerate() {
+            c.set(
+                i,
+                match ch {
                     '0' => CubeVal::Zero,
                     '1' => CubeVal::One,
                     '-' => CubeVal::Dash,
                     other => panic!("invalid cube character {other:?}"),
-                })
-                .collect(),
+                },
+            );
         }
+        c
+    }
+
+    /// Rebuilds a cube from raw planes (callers must respect the canonical
+    /// invariants: `value ⊆ fixed`, no bits at or beyond `width`).
+    pub(crate) fn from_planes_with<F: FnMut(usize) -> (u64, u64)>(
+        width: usize,
+        mut plane_words: F,
+    ) -> Cube {
+        let mut c = Cube::alloc(width);
+        for w in 0..Self::words_for(width) {
+            let (f, v) = plane_words(w);
+            debug_assert_eq!(v & !f, 0, "value bit outside fixed plane");
+            let (fm, vm) = c.planes_mut();
+            fm[w] = f;
+            vm[w] = v;
+        }
+        debug_assert!(c.tail_is_canonical());
+        c
+    }
+
+    fn tail_is_canonical(&self) -> bool {
+        let width = self.width as usize;
+        if width.is_multiple_of(64) {
+            return true;
+        }
+        let mask = !0u64 << (width % 64);
+        let w = width / 64;
+        self.fixed_words()[w] & mask == 0 && self.value_words()[w] & mask == 0
     }
 
     /// Number of variables.
     pub fn width(&self) -> usize {
-        self.vals.len()
+        self.width as usize
+    }
+
+    /// Number of 64-variable words backing each plane.
+    pub fn num_words(&self) -> usize {
+        Self::words_for(self.width as usize)
+    }
+
+    /// The *fixed* plane: bit `i` set ⇔ variable `i` carries a literal.
+    pub fn fixed_words(&self) -> &[u64] {
+        let n = self.num_words();
+        match &self.planes {
+            Planes::Inline { fixed, .. } => &fixed[..n.min(INLINE_WORDS)],
+            Planes::Spilled { fixed, .. } => fixed,
+        }
+    }
+
+    /// The *value* plane: literal polarities (zero wherever free).
+    pub fn value_words(&self) -> &[u64] {
+        let n = self.num_words();
+        match &self.planes {
+            Planes::Inline { value, .. } => &value[..n.min(INLINE_WORDS)],
+            Planes::Spilled { value, .. } => value,
+        }
+    }
+
+    fn planes_mut(&mut self) -> (&mut [u64], &mut [u64]) {
+        match &mut self.planes {
+            Planes::Inline { fixed, value } => (&mut fixed[..], &mut value[..]),
+            Planes::Spilled { fixed, value } => (&mut fixed[..], &mut value[..]),
+        }
+    }
+
+    fn set(&mut self, i: usize, v: CubeVal) {
+        debug_assert!(i < self.width as usize);
+        let (word, bit) = (i / 64, 1u64 << (i % 64));
+        let (fixed, value) = self.planes_mut();
+        match v {
+            CubeVal::Dash => {
+                fixed[word] &= !bit;
+                value[word] &= !bit;
+            }
+            CubeVal::Zero => {
+                fixed[word] |= bit;
+                value[word] &= !bit;
+            }
+            CubeVal::One => {
+                fixed[word] |= bit;
+                value[word] |= bit;
+            }
+        }
     }
 
     /// The value of variable `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of range.
     pub fn get(&self, i: usize) -> CubeVal {
-        self.vals[i]
+        assert!(i < self.width as usize, "variable index out of range");
+        let (word, bit) = (i / 64, 1u64 << (i % 64));
+        if self.fixed_words()[word] & bit == 0 {
+            CubeVal::Dash
+        } else if self.value_words()[word] & bit == 0 {
+            CubeVal::Zero
+        } else {
+            CubeVal::One
+        }
     }
 
     /// Returns a copy with variable `i` set to `v`.
     pub fn with(&self, i: usize, v: CubeVal) -> Cube {
         let mut c = self.clone();
-        c.vals[i] = v;
+        c.set(i, v);
         c
     }
 
     /// Number of fixed positions (the AND-term literal count).
     pub fn literals(&self) -> usize {
-        self.vals.iter().filter(|v| **v != CubeVal::Dash).count()
+        self.fixed_words()
+            .iter()
+            .map(|w| w.count_ones() as usize)
+            .sum()
     }
 
     /// Whether two cubes intersect (agree on every mutually fixed variable).
     pub fn intersects(&self, other: &Cube) -> bool {
-        debug_assert_eq!(self.width(), other.width());
-        self.vals.iter().zip(&other.vals).all(|(a, b)| {
-            !matches!(
-                (a, b),
-                (CubeVal::Zero, CubeVal::One) | (CubeVal::One, CubeVal::Zero)
-            )
-        })
+        debug_assert_eq!(self.width, other.width);
+        let (fa, va) = (self.fixed_words(), self.value_words());
+        let (fb, vb) = (other.fixed_words(), other.value_words());
+        (0..fa.len()).all(|w| fa[w] & fb[w] & (va[w] ^ vb[w]) == 0)
     }
 
     /// The intersection cube, if non-empty.
@@ -113,71 +312,62 @@ impl Cube {
         if !self.intersects(other) {
             return None;
         }
-        Some(Cube {
-            vals: self
-                .vals
-                .iter()
-                .zip(&other.vals)
-                .map(|(a, b)| match (a, b) {
-                    (CubeVal::Dash, x) => *x,
-                    (x, _) => *x,
-                })
-                .collect(),
-        })
+        let (fa, va) = (self.fixed_words(), self.value_words());
+        let (fb, vb) = (other.fixed_words(), other.value_words());
+        Some(Cube::from_planes_with(self.width as usize, |w| {
+            (fa[w] | fb[w], va[w] | vb[w])
+        }))
     }
 
     /// Whether `self` contains `other` (every point of `other` is in `self`).
     pub fn contains(&self, other: &Cube) -> bool {
-        debug_assert_eq!(self.width(), other.width());
-        self.vals
-            .iter()
-            .zip(&other.vals)
-            .all(|(a, b)| matches!(a, CubeVal::Dash) || a == b)
+        debug_assert_eq!(self.width, other.width);
+        let (fa, va) = (self.fixed_words(), self.value_words());
+        let (fb, vb) = (other.fixed_words(), other.value_words());
+        (0..fa.len()).all(|w| fa[w] & !fb[w] == 0 && fa[w] & (va[w] ^ vb[w]) == 0)
     }
 
     /// The smallest cube containing both (the supercube / transition cube).
     pub fn supercube(&self, other: &Cube) -> Cube {
-        debug_assert_eq!(self.width(), other.width());
-        Cube {
-            vals: self
-                .vals
-                .iter()
-                .zip(&other.vals)
-                .map(|(a, b)| if a == b { *a } else { CubeVal::Dash })
-                .collect(),
-        }
+        debug_assert_eq!(self.width, other.width);
+        let (fa, va) = (self.fixed_words(), self.value_words());
+        let (fb, vb) = (other.fixed_words(), other.value_words());
+        Cube::from_planes_with(self.width as usize, |w| {
+            let f = fa[w] & fb[w] & !(va[w] ^ vb[w]);
+            (f, va[w] & f)
+        })
+    }
+
+    /// Number of variables where both cubes are fixed and differ (the
+    /// covering-theory distance; `0` ⇔ the cubes intersect).
+    pub fn distance(&self, other: &Cube) -> usize {
+        debug_assert_eq!(self.width, other.width);
+        let (fa, va) = (self.fixed_words(), self.value_words());
+        let (fb, vb) = (other.fixed_words(), other.value_words());
+        (0..fa.len())
+            .map(|w| (fa[w] & fb[w] & (va[w] ^ vb[w])).count_ones() as usize)
+            .sum()
     }
 
     /// Variables where both cubes are fixed and differ.
     pub fn conflicting_vars(&self, other: &Cube) -> Vec<usize> {
-        self.vals
-            .iter()
-            .zip(&other.vals)
-            .enumerate()
-            .filter(|(_, (a, b))| {
-                matches!(
-                    (a, b),
-                    (CubeVal::Zero, CubeVal::One) | (CubeVal::One, CubeVal::Zero)
-                )
-            })
-            .map(|(i, _)| i)
-            .collect()
+        debug_assert_eq!(self.width, other.width);
+        let (fa, va) = (self.fixed_words(), self.value_words());
+        let (fb, vb) = (other.fixed_words(), other.value_words());
+        bits_of((0..fa.len()).map(|w| fa[w] & fb[w] & (va[w] ^ vb[w]))).collect()
     }
 
-    /// Indices where this cube is fixed.
+    /// Indices where this cube is fixed, ascending — the candidate
+    /// literal-raising (expansion) directions of prime generation.
     pub fn fixed_vars(&self) -> impl Iterator<Item = usize> + '_ {
-        self.vals
-            .iter()
-            .enumerate()
-            .filter(|(_, v)| **v != CubeVal::Dash)
-            .map(|(i, _)| i)
+        bits_of(self.fixed_words().iter().copied())
     }
 }
 
 impl fmt::Debug for Cube {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        for v in &self.vals {
-            f.write_str(match v {
+        for i in 0..self.width() {
+            f.write_str(match self.get(i) {
                 CubeVal::Zero => "0",
                 CubeVal::One => "1",
                 CubeVal::Dash => "-",
@@ -190,6 +380,140 @@ impl fmt::Debug for Cube {
 impl fmt::Display for Cube {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(f, "{self:?}")
+    }
+}
+
+/// The pre-rewrite scalar cube: one `CubeVal` per variable, loops over
+/// elements. Kept as the differential-testing reference for the packed
+/// kernel and as the benchmark baseline (`benches/hfmin.rs`); not used by
+/// the minimizer itself.
+#[cfg(any(test, feature = "scalar-ref"))]
+pub mod scalar {
+    use super::CubeVal;
+
+    /// A product term over `n` variables, stored one enum per variable.
+    #[derive(Clone, Debug, PartialEq, Eq, Hash)]
+    pub struct ScalarCube {
+        vals: Vec<CubeVal>,
+    }
+
+    impl ScalarCube {
+        /// The universal cube over `n` variables.
+        pub fn universe(n: usize) -> Self {
+            ScalarCube {
+                vals: vec![CubeVal::Dash; n],
+            }
+        }
+
+        /// A cube from explicit values.
+        pub fn new(vals: Vec<CubeVal>) -> Self {
+            ScalarCube { vals }
+        }
+
+        /// The packed equivalent (for cross-checking).
+        pub fn to_packed(&self) -> super::Cube {
+            super::Cube::new(self.vals.clone())
+        }
+
+        /// Number of variables.
+        pub fn width(&self) -> usize {
+            self.vals.len()
+        }
+
+        /// The value of variable `i`.
+        pub fn get(&self, i: usize) -> CubeVal {
+            self.vals[i]
+        }
+
+        /// Returns a copy with variable `i` set to `v`.
+        pub fn with(&self, i: usize, v: CubeVal) -> ScalarCube {
+            let mut c = self.clone();
+            c.vals[i] = v;
+            c
+        }
+
+        /// Number of fixed positions.
+        pub fn literals(&self) -> usize {
+            self.vals.iter().filter(|v| **v != CubeVal::Dash).count()
+        }
+
+        /// Whether two cubes intersect.
+        pub fn intersects(&self, other: &ScalarCube) -> bool {
+            self.vals.iter().zip(&other.vals).all(|(a, b)| {
+                !matches!(
+                    (a, b),
+                    (CubeVal::Zero, CubeVal::One) | (CubeVal::One, CubeVal::Zero)
+                )
+            })
+        }
+
+        /// The intersection cube, if non-empty.
+        pub fn intersection(&self, other: &ScalarCube) -> Option<ScalarCube> {
+            if !self.intersects(other) {
+                return None;
+            }
+            Some(ScalarCube {
+                vals: self
+                    .vals
+                    .iter()
+                    .zip(&other.vals)
+                    .map(|(a, b)| match (a, b) {
+                        (CubeVal::Dash, x) => *x,
+                        (x, _) => *x,
+                    })
+                    .collect(),
+            })
+        }
+
+        /// Whether `self` contains `other`.
+        pub fn contains(&self, other: &ScalarCube) -> bool {
+            self.vals
+                .iter()
+                .zip(&other.vals)
+                .all(|(a, b)| matches!(a, CubeVal::Dash) || a == b)
+        }
+
+        /// The smallest cube containing both.
+        pub fn supercube(&self, other: &ScalarCube) -> ScalarCube {
+            ScalarCube {
+                vals: self
+                    .vals
+                    .iter()
+                    .zip(&other.vals)
+                    .map(|(a, b)| if a == b { *a } else { CubeVal::Dash })
+                    .collect(),
+            }
+        }
+
+        /// Number of variables where both cubes are fixed and differ.
+        pub fn distance(&self, other: &ScalarCube) -> usize {
+            self.conflicting_vars(other).len()
+        }
+
+        /// Variables where both cubes are fixed and differ.
+        pub fn conflicting_vars(&self, other: &ScalarCube) -> Vec<usize> {
+            self.vals
+                .iter()
+                .zip(&other.vals)
+                .enumerate()
+                .filter(|(_, (a, b))| {
+                    matches!(
+                        (a, b),
+                        (CubeVal::Zero, CubeVal::One) | (CubeVal::One, CubeVal::Zero)
+                    )
+                })
+                .map(|(i, _)| i)
+                .collect()
+        }
+
+        /// Indices where this cube is fixed.
+        pub fn fixed_vars(&self) -> impl Iterator<Item = usize> + '_ {
+            self.vals
+                .iter()
+                .enumerate()
+                .filter(|(_, v)| **v != CubeVal::Dash)
+                .map(|(i, _)| i)
+        }
     }
 }
 
@@ -214,6 +538,8 @@ mod tests {
         let c = Cube::parse("1--");
         assert!(!a.intersects(&c));
         assert!(a.intersection(&c).is_none());
+        assert_eq!(a.distance(&c), 1);
+        assert_eq!(a.distance(&b), 0);
     }
 
     #[test]
@@ -240,6 +566,7 @@ mod tests {
         let a = Cube::parse("01-0");
         let b = Cube::parse("11-1");
         assert_eq!(a.conflicting_vars(&b), vec![0, 3]);
+        assert_eq!(a.distance(&b), 2);
     }
 
     #[test]
@@ -255,5 +582,126 @@ mod tests {
         assert_eq!(CubeVal::from_bool(true), CubeVal::One);
         assert_eq!(CubeVal::Zero.as_bool(), Some(false));
         assert_eq!(CubeVal::Dash.as_bool(), None);
+    }
+
+    #[test]
+    fn wide_cubes_straddle_word_boundaries() {
+        // 130 variables: three words, bits on both sides of both seams.
+        let mut s: Vec<char> = vec!['-'; 130];
+        for &i in &[0, 63, 64, 65, 127, 128, 129] {
+            s[i] = '1';
+        }
+        let text: String = s.iter().collect();
+        let c = Cube::parse(&text);
+        assert_eq!(c.width(), 130);
+        assert_eq!(c.num_words(), 3);
+        assert_eq!(c.literals(), 7);
+        assert_eq!(
+            c.fixed_vars().collect::<Vec<_>>(),
+            vec![0, 63, 64, 65, 127, 128, 129]
+        );
+        assert_eq!(c.to_string(), text);
+        // Flip one literal across a seam and check conflict machinery.
+        let d = c.with(64, CubeVal::Zero);
+        assert!(!c.intersects(&d));
+        assert_eq!(c.conflicting_vars(&d), vec![64]);
+        assert_eq!(c.distance(&d), 1);
+        assert!(Cube::universe(130).contains(&c));
+    }
+
+    #[test]
+    fn canonical_equality_and_hash_after_raising() {
+        use std::collections::HashSet;
+        // 0 -> dash -> 1 -> dash must land on the same canonical universe.
+        let a = Cube::parse("01")
+            .with(0, CubeVal::Dash)
+            .with(1, CubeVal::Dash);
+        let b = Cube::universe(2);
+        assert_eq!(a, b);
+        let mut set = HashSet::new();
+        set.insert(a);
+        assert!(!set.insert(b));
+    }
+
+    #[test]
+    fn zero_width_cube_is_well_behaved() {
+        let a = Cube::universe(0);
+        let b = Cube::new(Vec::new());
+        assert_eq!(a, b);
+        assert!(a.intersects(&b));
+        assert!(a.contains(&b));
+        assert_eq!(a.literals(), 0);
+        assert_eq!(a.supercube(&b), b);
+    }
+}
+
+#[cfg(test)]
+mod scalar_agreement {
+    //! The packed kernel differentially tested against the scalar
+    //! reference on random cubes, including widths straddling the
+    //! 64-variable word boundary (satellite requirement).
+
+    use super::scalar::ScalarCube;
+    use super::*;
+    use proptest::prelude::*;
+
+    /// Random width biased toward word seams: 1..=8, 60..=68, 120..=132.
+    fn width_strategy() -> impl Strategy<Value = usize> {
+        (0usize..3, 0usize..13).prop_map(|(band, off)| match band {
+            0 => 1 + off % 8,
+            1 => 60 + off % 9,
+            _ => 120 + off,
+        })
+    }
+
+    fn cube_pair_strategy() -> impl Strategy<Value = (ScalarCube, ScalarCube)> {
+        (
+            width_strategy(),
+            proptest::collection::vec(0u8..6, 264..265),
+        )
+            .prop_map(|(w, raw)| {
+                let val = |x: u8| match x {
+                    0 | 3 => CubeVal::Zero,
+                    1 | 4 => CubeVal::One,
+                    _ => CubeVal::Dash,
+                };
+                let a: Vec<CubeVal> = raw[..w].iter().map(|&x| val(x)).collect();
+                let b: Vec<CubeVal> = raw[w..2 * w].iter().map(|&x| val(x)).collect();
+                (ScalarCube::new(a), ScalarCube::new(b))
+            })
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(512))]
+
+        #[test]
+        fn packed_ops_agree_with_scalar_reference(pair in cube_pair_strategy()) {
+            let (a, b) = pair;
+            let (pa, pb) = (a.to_packed(), b.to_packed());
+            prop_assert_eq!(pa.width(), a.width());
+            prop_assert_eq!(pa.literals(), a.literals());
+            prop_assert_eq!(pa.intersects(&pb), a.intersects(&b));
+            prop_assert_eq!(pa.contains(&pb), a.contains(&b));
+            prop_assert_eq!(pb.contains(&pa), b.contains(&a));
+            prop_assert_eq!(pa.distance(&pb), a.distance(&b));
+            prop_assert_eq!(pa.conflicting_vars(&pb), a.conflicting_vars(&b));
+            prop_assert_eq!(
+                pa.fixed_vars().collect::<Vec<_>>(),
+                a.fixed_vars().collect::<Vec<_>>()
+            );
+            prop_assert_eq!(
+                pa.intersection(&pb),
+                a.intersection(&b).map(|c| c.to_packed())
+            );
+            prop_assert_eq!(pa.supercube(&pb), a.supercube(&b).to_packed());
+            // Per-variable expansion (literal raising) agrees everywhere.
+            for i in 0..a.width() {
+                prop_assert_eq!(pa.get(i), a.get(i));
+                prop_assert_eq!(
+                    pa.with(i, CubeVal::Dash),
+                    a.with(i, CubeVal::Dash).to_packed()
+                );
+            }
+        }
     }
 }

@@ -45,7 +45,11 @@ mod error;
 pub use cover::Cover;
 pub use cube::{Cube, CubeVal};
 pub use error::HfminError;
-pub use minimize::{minimize, MinimizeOptions};
+pub use minimize::{minimize, minimize_with_stats, MinimizeOptions, MinimizeStats};
 pub use multi::{minimize_multi, MultiOutputResult};
+pub use primes::PrimeStats;
 pub use spec::{FunctionSpec, SpecTransition};
-pub use synth::{synthesize, ControllerLogic, StateEncoding, SynthFunction, SynthOptions};
+pub use synth::{
+    controller_specs, synthesize, ControllerLogic, StateEncoding, SynthFunction, SynthOptions,
+    SynthProblem,
+};

@@ -4,7 +4,7 @@
 use crate::cover::Cover;
 use crate::covering::Covering;
 use crate::error::HfminError;
-use crate::primes::{dhf_primes, is_dhf_implicant};
+use crate::primes::{dhf_primes_with_stats, is_dhf_implicant};
 use crate::spec::FunctionSpec;
 
 /// Options for [`minimize`].
@@ -26,6 +26,20 @@ impl Default for MinimizeOptions {
     }
 }
 
+/// Work counters from one [`minimize_with_stats`] run. All fields are
+/// deterministic functions of the spec (no wall clocks), so they can be
+/// summed across threads and compared between runs.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct MinimizeStats {
+    /// Required cubes (covering rows).
+    pub required: usize,
+    /// DHF primes generated (covering columns).
+    pub primes: usize,
+    /// Word-parallel cube operations issued (prime generation upper bound
+    /// plus the covering-matrix containment tests).
+    pub cube_ops: u64,
+}
+
 /// Minimizes a single-output hazard-free function.
 ///
 /// Returns a cover in which every product is a DHF implicant and every
@@ -38,15 +52,32 @@ impl Default for MinimizeOptions {
 /// * [`HfminError::IllegalRequiredCube`] / [`HfminError::NoCover`] — no
 ///   hazard-free cover exists.
 pub fn minimize(spec: &FunctionSpec, opts: MinimizeOptions) -> Result<Cover, HfminError> {
+    minimize_with_stats(spec, opts).map(|(cover, _)| cover)
+}
+
+/// [`minimize`], also returning work counters.
+///
+/// # Errors
+///
+/// Same as [`minimize`].
+pub fn minimize_with_stats(
+    spec: &FunctionSpec,
+    opts: MinimizeOptions,
+) -> Result<(Cover, MinimizeStats), HfminError> {
     spec.check_consistency()?;
     let required = spec.required_cubes();
     if required.is_empty() {
-        return Ok(Cover::new());
+        return Ok((Cover::new(), MinimizeStats::default()));
     }
     let off = spec.off_cover();
     let privileged = spec.privileged_cubes();
-    let primes = dhf_primes(&required, &off, &privileged)?;
+    let (primes, prime_stats) = dhf_primes_with_stats(&required, &off, &privileged)?;
     let problem = Covering::build(&required, &primes)?;
+    let stats = MinimizeStats {
+        required: required.len(),
+        primes: primes.len(),
+        cube_ops: prime_stats.cube_ops + problem.cube_ops(),
+    };
     let chosen = if opts.exact {
         match problem.solve_exact(opts.node_budget) {
             Ok(c) => c,
@@ -58,7 +89,7 @@ pub fn minimize(spec: &FunctionSpec, opts: MinimizeOptions) -> Result<Cover, Hfm
     };
     let cover: Cover = chosen.into_iter().map(|i| primes[i].clone()).collect();
     debug_assert!(verify(spec, &cover).is_ok());
-    Ok(cover)
+    Ok((cover, stats))
 }
 
 /// Independently verifies the hazard-free covering conditions — used by
@@ -109,6 +140,20 @@ mod tests {
         let spec = FunctionSpec::new(3);
         let c = minimize(&spec, MinimizeOptions::default()).unwrap();
         assert!(c.is_empty());
+    }
+
+    #[test]
+    fn stats_report_problem_shape() {
+        let mut spec = FunctionSpec::new(2);
+        spec.push(tr("00", "01", true, true)).unwrap();
+        let (c, stats) = minimize_with_stats(&spec, MinimizeOptions::default()).unwrap();
+        assert_eq!(c.products(), 1);
+        assert!(stats.required >= 1);
+        assert!(stats.primes >= 1);
+        assert!(stats.cube_ops > 0);
+        // Deterministic: a second run reports identical counters.
+        let (_, again) = minimize_with_stats(&spec, MinimizeOptions::default()).unwrap();
+        assert_eq!(stats, again);
     }
 
     #[test]

@@ -16,7 +16,7 @@ use std::collections::{BTreeSet, HashSet};
 use crate::cover::Cover;
 use crate::cube::Cube;
 use crate::error::HfminError;
-use crate::primes::{dhf_primes, is_dhf_implicant};
+use crate::primes::{dhf_primes_with_stats, is_dhf_implicant};
 use crate::spec::FunctionSpec;
 
 /// The result of a multi-output run: per-function covers drawing from a
@@ -27,6 +27,10 @@ pub struct MultiOutputResult {
     pub covers: Vec<Cover>,
     /// The shared product pool (each cube counted once).
     pub pool: Vec<Cube>,
+    /// Word-parallel cube operations issued across prime generation, pool
+    /// annotation, matrix construction and the single-output baseline
+    /// (deterministic; see [`crate::MinimizeStats`]).
+    pub cube_ops: u64,
 }
 
 impl MultiOutputResult {
@@ -55,6 +59,7 @@ pub fn minimize_multi(specs: &[FunctionSpec]) -> Result<MultiOutputResult, Hfmin
         return Ok(MultiOutputResult {
             covers: Vec::new(),
             pool: Vec::new(),
+            cube_ops: 0,
         });
     };
     let width = first.width();
@@ -80,18 +85,25 @@ pub fn minimize_multi(specs: &[FunctionSpec]) -> Result<MultiOutputResult, Hfmin
 
     // Candidate pool: the union of every function's DHF primes, annotated
     // with the set of functions each cube legally serves.
+    let mut cube_ops = 0u64;
     let mut pool: Vec<Cube> = Vec::new();
     let mut seen: HashSet<Cube> = HashSet::new();
     for (f, req) in required.iter().enumerate() {
         if req.is_empty() {
             continue;
         }
-        for p in dhf_primes(req, &off[f], &privileged[f])? {
+        let (primes, stats) = dhf_primes_with_stats(req, &off[f], &privileged[f])?;
+        cube_ops += stats.cube_ops;
+        for p in primes {
             if seen.insert(p.clone()) {
                 pool.push(p);
             }
         }
     }
+    let check_cost: u64 = (0..specs.len())
+        .map(|f| off[f].products() as u64 + 2 * privileged[f].len() as u64)
+        .sum();
+    cube_ops += pool.len() as u64 * check_cost;
     let usable: Vec<BTreeSet<usize>> = pool
         .iter()
         .map(|cube| {
@@ -109,6 +121,7 @@ pub fn minimize_multi(specs: &[FunctionSpec]) -> Result<MultiOutputResult, Hfmin
             rows.push((f, r));
         }
     }
+    cube_ops += pool.len() as u64 * rows.len() as u64;
     let col_rows: Vec<Vec<usize>> = (0..pool.len())
         .map(|c| {
             rows.iter()
@@ -177,8 +190,15 @@ pub fn minimize_multi(specs: &[FunctionSpec]) -> Result<MultiOutputResult, Hfmin
     // never worse than the single-output mode, by construction.
     let solo: Vec<Cover> = specs
         .iter()
-        .map(|s| crate::minimize::minimize(s, crate::minimize::MinimizeOptions::default()))
-        .collect::<Result<_, _>>()?;
+        .map(|s| {
+            let (cover, stats) = crate::minimize::minimize_with_stats(
+                s,
+                crate::minimize::MinimizeOptions::default(),
+            )?;
+            cube_ops += stats.cube_ops;
+            Ok(cover)
+        })
+        .collect::<Result<_, HfminError>>()?;
     let mut solo_pool: Vec<Cube> = Vec::new();
     for c in solo.iter().flat_map(|c| c.cubes()) {
         if !solo_pool.contains(c) {
@@ -199,6 +219,7 @@ pub fn minimize_multi(specs: &[FunctionSpec]) -> Result<MultiOutputResult, Hfmin
     Ok(MultiOutputResult {
         covers,
         pool: pool_out,
+        cube_ops,
     })
 }
 

@@ -11,12 +11,32 @@
 //! complete: every DHF implicant containing a required cube extends to a
 //! DHF prime containing it, because both validity conditions are preserved
 //! under the raising steps that keep them true.
+//!
+//! The worklist is memoized by a single interned cube set: a cube popped
+//! after a successful `seen.insert` is processed exactly once, so a
+//! separate prime-dedup set would never reject anything. Expansion
+//! directions come straight off the packed cube's fixed-plane bit iterator
+//! (see [`Cube::fixed_vars`]) — no per-iteration index buffer.
 
 use std::collections::HashSet;
 
 use crate::cover::Cover;
 use crate::cube::{Cube, CubeVal};
 use crate::error::HfminError;
+
+/// Work counters from one [`dhf_primes_with_stats`] run.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct PrimeStats {
+    /// DHF-implicant validity checks performed.
+    pub implicant_checks: u64,
+    /// Word-parallel cube operations issued, counted as an upper bound:
+    /// each validity check charges one intersection test per OFF-set cube
+    /// plus two tests (intersect + contain) per privileged cube, ignoring
+    /// short-circuiting. Deterministic for a given spec, unlike a wall
+    /// clock, so it can be compared across runs and threaded through
+    /// `StageStats`.
+    pub cube_ops: u64,
+}
 
 /// Whether `p` is a DHF implicant w.r.t. the OFF-set and privileged cubes.
 pub fn is_dhf_implicant(p: &Cube, off: &Cover, privileged: &[(Cube, Cube)]) -> bool {
@@ -40,12 +60,32 @@ pub fn dhf_primes(
     off: &Cover,
     privileged: &[(Cube, Cube)],
 ) -> Result<Vec<Cube>, HfminError> {
+    dhf_primes_with_stats(seeds, off, privileged).map(|(primes, _)| primes)
+}
+
+/// [`dhf_primes`], also returning work counters.
+///
+/// # Errors
+///
+/// Same as [`dhf_primes`].
+pub fn dhf_primes_with_stats(
+    seeds: &[Cube],
+    off: &Cover,
+    privileged: &[(Cube, Cube)],
+) -> Result<(Vec<Cube>, PrimeStats), HfminError> {
+    let mut stats = PrimeStats::default();
+    let check_cost = off.products() as u64 + 2 * privileged.len() as u64;
+    let mut check = |p: &Cube| {
+        stats.implicant_checks += 1;
+        stats.cube_ops += check_cost;
+        is_dhf_implicant(p, off, privileged)
+    };
+
     let mut primes: Vec<Cube> = Vec::new();
     let mut seen: HashSet<Cube> = HashSet::new();
-    let mut prime_set: HashSet<Cube> = HashSet::new();
 
     for seed in seeds {
-        if !is_dhf_implicant(seed, off, privileged) {
+        if !check(seed) {
             return Err(HfminError::IllegalRequiredCube(seed.clone()));
         }
         let mut stack = vec![seed.clone()];
@@ -54,21 +94,21 @@ pub fn dhf_primes(
                 continue;
             }
             let mut maximal = true;
-            for i in c.fixed_vars().collect::<Vec<_>>() {
+            for i in c.fixed_vars() {
                 let raised = c.with(i, CubeVal::Dash);
-                if is_dhf_implicant(&raised, off, privileged) {
+                if check(&raised) {
                     maximal = false;
                     if !seen.contains(&raised) {
                         stack.push(raised);
                     }
                 }
             }
-            if maximal && prime_set.insert(c.clone()) {
+            if maximal {
                 primes.push(c);
             }
         }
     }
-    Ok(primes)
+    Ok((primes, stats))
 }
 
 #[cfg(test)]
@@ -143,5 +183,23 @@ mod tests {
             assert!(seeds.iter().any(|s| c.contains(s)), "{c}");
         }
         assert!(!p.is_empty());
+    }
+
+    #[test]
+    fn stats_count_implicant_checks() {
+        let (p, stats) = dhf_primes_with_stats(&[Cube::parse("00")], &off(&["11"]), &[]).unwrap();
+        assert_eq!(p.len(), 2);
+        // Seed check + one per raising attempt: deterministic and nonzero.
+        assert!(stats.implicant_checks >= 3);
+        assert_eq!(stats.cube_ops, stats.implicant_checks);
+    }
+
+    #[test]
+    fn stats_charge_privileged_pairs() {
+        let priv_cubes = vec![(Cube::parse("--0"), Cube::parse("000"))];
+        let (_, stats) =
+            dhf_primes_with_stats(&[Cube::parse("001")], &off(&["110"]), &priv_cubes).unwrap();
+        // One OFF cube + 2 ops per privileged pair = 3 per check.
+        assert_eq!(stats.cube_ops, 3 * stats.implicant_checks);
     }
 }

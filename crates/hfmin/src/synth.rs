@@ -34,11 +34,12 @@ use std::collections::HashMap;
 
 use adcs_xbm::validate::{label_values, Value};
 use adcs_xbm::{SignalId, StateId, TermKind, XbmMachine};
+use rayon::prelude::*;
 
 use crate::cover::Cover;
 use crate::cube::{Cube, CubeVal};
 use crate::error::HfminError;
-use crate::minimize::{minimize, MinimizeOptions};
+use crate::minimize::{minimize_with_stats, MinimizeOptions};
 use crate::spec::{FunctionSpec, SpecTransition};
 
 /// Options for [`synthesize`].
@@ -100,6 +101,9 @@ pub struct ControllerLogic {
     pub outputs: Vec<SignalId>,
     /// The initial state's code (little-endian bit order).
     pub initial_code: Vec<bool>,
+    /// Word-parallel cube operations spent minimizing this controller
+    /// (deterministic; see [`crate::MinimizeStats`]).
+    pub cube_ops: u64,
 }
 
 impl ControllerLogic {
@@ -204,10 +208,9 @@ pub fn encode_states(m: &XbmMachine) -> (usize, HashMap<StateId, Vec<bool>>) {
     // Unreachable states (should not exist in validated machines) get
     // leftover codes deterministically.
     for s in states {
-        if !codes.contains_key(&s) {
-            let c = free.pop().expect("enough codes");
-            codes.insert(s, c);
-        }
+        codes
+            .entry(s)
+            .or_insert_with(|| free.pop().expect("enough codes"));
     }
     let map = codes
         .into_iter()
@@ -216,7 +219,32 @@ pub fn encode_states(m: &XbmMachine) -> (usize, HashMap<StateId, Vec<bool>>) {
     (bits, map)
 }
 
+/// The per-function minimization problems derived from one machine — the
+/// synthesis front half, before any minimizer runs. Exposed so benchmarks
+/// and callers that only need the `FunctionSpec`s (e.g. to compare
+/// minimizer kernels on the paper's controllers) can stop here.
+#[derive(Clone, Debug)]
+pub struct SynthProblem {
+    /// Named per-function specs: outputs first, then state bits `y<i>`.
+    pub specs: Vec<(String, FunctionSpec)>,
+    /// Number of state bits in the encoding.
+    pub state_bits: usize,
+    /// Number of input variables of each function (inputs + state bits).
+    pub width: usize,
+    /// The machine input signals, in variable order.
+    pub inputs: Vec<SignalId>,
+    /// The machine output signals, in function order.
+    pub outputs: Vec<SignalId>,
+    /// The initial state's code (little-endian bit order).
+    pub initial_code: Vec<bool>,
+}
+
 /// Synthesizes a machine into per-function hazard-free two-level covers.
+///
+/// Functions are minimized independently, so in single-output mode they
+/// fan out over the ambient rayon pool (one covering problem per output /
+/// state bit); results are collected in function order regardless of the
+/// worker count.
 ///
 /// # Errors
 ///
@@ -224,6 +252,50 @@ pub fn encode_states(m: &XbmMachine) -> (usize, HashMap<StateId, Vec<bool>>) {
 ///   output with an unknown entry value somewhere.
 /// * Any minimization error (specification conflict, no hazard-free cover).
 pub fn synthesize(m: &XbmMachine, opts: SynthOptions) -> Result<ControllerLogic, HfminError> {
+    let problem = controller_specs(m, opts)?;
+    let mut functions = Vec::with_capacity(problem.specs.len());
+    let mut cube_ops = 0u64;
+    if opts.share_products {
+        let bodies: Vec<FunctionSpec> = problem.specs.iter().map(|(_, s)| s.clone()).collect();
+        let multi = crate::multi::minimize_multi(&bodies)?;
+        cube_ops = multi.cube_ops;
+        for ((name, _), cover) in problem.specs.into_iter().zip(multi.covers) {
+            functions.push(SynthFunction { name, cover });
+        }
+    } else {
+        let minimized: Vec<_> = problem
+            .specs
+            .par_iter()
+            .map(|(_, spec)| minimize_with_stats(spec, opts.minimize))
+            .collect();
+        for ((name, _), result) in problem.specs.into_iter().zip(minimized) {
+            let (cover, stats) = result?;
+            cube_ops += stats.cube_ops;
+            functions.push(SynthFunction { name, cover });
+        }
+    }
+    Ok(ControllerLogic {
+        name: m.name().to_string(),
+        functions,
+        state_bits: problem.state_bits,
+        width: problem.width,
+        inputs: problem.inputs,
+        outputs: problem.outputs,
+        initial_code: problem.initial_code,
+        cube_ops,
+    })
+}
+
+/// Builds the per-function [`FunctionSpec`]s for a machine (the synthesis
+/// front half of [`synthesize`]; see the module docs for the transition
+/// construction).
+///
+/// # Errors
+///
+/// * [`HfminError::Machine`] — the machine fails XBM validation or has an
+///   output with an unknown entry value somewhere.
+/// * [`HfminError::Conflict`] — inconsistent derived specification.
+pub fn controller_specs(m: &XbmMachine, opts: SynthOptions) -> Result<SynthProblem, HfminError> {
     adcs_xbm::validate::validate(m).map_err(|e| HfminError::Machine(e.to_string()))?;
     let labels = label_values(m).map_err(|e| HfminError::Machine(e.to_string()))?;
     let (state_bits, codes) = encode_states_with(m, opts.encoding);
@@ -343,23 +415,9 @@ pub fn synthesize(m: &XbmMachine, opts: SynthOptions) -> Result<ControllerLogic,
         }
     }
 
-    let mut functions = Vec::with_capacity(specs.len());
-    if opts.share_products {
-        let bodies: Vec<FunctionSpec> = specs.iter().map(|(_, s)| s.clone()).collect();
-        let multi = crate::multi::minimize_multi(&bodies)?;
-        for ((name, _), cover) in specs.into_iter().zip(multi.covers) {
-            functions.push(SynthFunction { name, cover });
-        }
-    } else {
-        for (name, spec) in specs {
-            let cover = minimize(&spec, opts.minimize)?;
-            functions.push(SynthFunction { name, cover });
-        }
-    }
     let initial_code = codes[&m.initial()].clone();
-    Ok(ControllerLogic {
-        name: m.name().to_string(),
-        functions,
+    Ok(SynthProblem {
+        specs,
         state_bits,
         width,
         inputs,

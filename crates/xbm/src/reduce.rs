@@ -29,6 +29,13 @@ pub struct ReduceReport {
     pub transitions_after: usize,
 }
 
+/// One state's refinement signature: its outgoing transitions as
+/// (sorted input burst, output ids, successor class), sorted.
+type Signature = Vec<(Vec<Term>, Vec<u32>, usize)>;
+
+/// A rebuilt transition's dedup key: (from, sorted input terms, outputs, to).
+type TransitionKey = (StateId, Vec<(u32, u8)>, Vec<u32>, StateId);
+
 /// Minimizes a machine by bisimulation partition refinement. Returns the
 /// reduced machine and a report; a machine with no mergeable states comes
 /// back unchanged (same counts).
@@ -45,9 +52,9 @@ pub fn reduce(m: &XbmMachine) -> Result<(XbmMachine, ReduceReport), XbmError> {
     // Start with one class and refine by transition signatures.
     let mut class: HashMap<StateId, usize> = states.iter().map(|&s| (s, 0)).collect();
     loop {
-        let mut signatures: HashMap<StateId, Vec<(Vec<Term>, Vec<u32>, usize)>> = HashMap::new();
+        let mut signatures: HashMap<StateId, Signature> = HashMap::new();
         for &s in &states {
-            let mut sig: Vec<(Vec<Term>, Vec<u32>, usize)> = m
+            let mut sig: Signature = m
                 .transitions_from(s)
                 .map(|(_, t)| {
                     let mut input = t.input.clone();
@@ -61,8 +68,7 @@ pub fn reduce(m: &XbmMachine) -> Result<(XbmMachine, ReduceReport), XbmError> {
         }
         // Assign new classes by (old class, signature).
         let prev_classes = class.values().collect::<BTreeSet<_>>().len();
-        let mut next_of: HashMap<(usize, Vec<(Vec<Term>, Vec<u32>, usize)>), usize> =
-            HashMap::new();
+        let mut next_of: HashMap<(usize, Signature), usize> = HashMap::new();
         let mut new_class: HashMap<StateId, usize> = HashMap::new();
         for &s in &states {
             let key = (class[&s], signatures[&s].clone());
@@ -110,7 +116,12 @@ pub fn reduce(m: &XbmMachine) -> Result<(XbmMachine, ReduceReport), XbmError> {
         sig_map.push(id);
     }
     let mut state_map: HashMap<StateId, StateId> = HashMap::new();
-    for (&cls, &old) in &rep {
+    // Declare states in class order: the rebuilt machine's state slots
+    // (and thus its serialization) must not depend on hash iteration
+    // order — `MinimizeCache` keys on the serialized text.
+    let mut by_class: Vec<(usize, StateId)> = rep.iter().map(|(&c, &s)| (c, s)).collect();
+    by_class.sort_unstable_by_key(|&(c, _)| c);
+    for (cls, old) in by_class {
         let new = b.state(format!("c{cls}"));
         state_map.insert(old, new);
     }
@@ -118,7 +129,7 @@ pub fn reduce(m: &XbmMachine) -> Result<(XbmMachine, ReduceReport), XbmError> {
                   class: &HashMap<StateId, usize>,
                   rep: &HashMap<usize, StateId>,
                   map: &HashMap<StateId, StateId>| { map[&rep[&class[&s]]] };
-    let mut seen: BTreeSet<(StateId, Vec<(u32, u8)>, Vec<u32>, StateId)> = BTreeSet::new();
+    let mut seen: BTreeSet<TransitionKey> = BTreeSet::new();
     for t in m.transitions() {
         // Only transitions out of representatives matter (others are
         // duplicates by construction).

@@ -81,6 +81,69 @@ fn fir_ranked_list_is_thread_count_invariant() {
     assert_thread_count_invariant("fir", &d.cdfg, &d.initial);
 }
 
+/// The `MinimizeCache` must be score-transparent: a sweep with the cache
+/// on ranks byte-identically to one with it off (hit counters are the only
+/// legitimate difference), and a logic-objective sweep actually hits —
+/// different transform subsets extract some identical controllers.
+/// Runs on the small Figure-8 design so all 128 candidate flows synthesize
+/// in test-profile time.
+#[test]
+fn logic_objective_minimize_cache_is_transparent_and_hits() {
+    let text = std::fs::read_to_string(
+        std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("../../designs/figure8.adcs"),
+    )
+    .unwrap();
+    let p = adcs_cdfg::parse::parse_program(&text).unwrap();
+    let d = (p.cdfg, p.initial);
+    let base = FlowOptions {
+        verify_seeds: 1,
+        timing: TimingModel::uniform(1, 2)
+            .with_class("MUL", 2, 4)
+            .with_samples(4),
+        ..FlowOptions::default()
+    };
+    let cached = explore_exhaustive_with(
+        &d.0,
+        &d.1,
+        &base,
+        Objective::LogicLiterals,
+        ExploreOptions::sequential(),
+    )
+    .unwrap();
+    let uncached = explore_exhaustive_with(
+        &d.0,
+        &d.1,
+        &FlowOptions {
+            minimize_cache: false,
+            ..base.clone()
+        },
+        Objective::LogicLiterals,
+        ExploreOptions::sequential(),
+    )
+    .unwrap();
+    let render = |points: &[ExplorePoint]| -> String {
+        points
+            .iter()
+            .map(|p| {
+                format!(
+                    "{:?} score={} ch={} st={} tr={} p={} l={}",
+                    p.config, p.score, p.channels, p.states, p.transitions, p.products, p.literals
+                )
+            })
+            .collect::<Vec<_>>()
+            .join("\n")
+    };
+    assert_eq!(
+        render(&cached),
+        render(&uncached),
+        "cache changed the ranking"
+    );
+    let hits: u64 = cached.iter().map(|p| p.hfmin_cache_hits).sum();
+    assert!(hits > 0, "no candidate reused a cached minimization");
+    assert!(uncached.iter().all(|p| p.hfmin_cache_hits == 0));
+    assert!(uncached.iter().all(|p| p.hfmin_cache_misses > 0));
+}
+
 #[test]
 fn greedy_trail_is_thread_count_invariant() {
     let d = gcd(21, 6).unwrap();

@@ -1,0 +1,50 @@
+//! Regression gate for the bit-packed cube kernel: the flow's synthesized
+//! logic for every paper controller must (a) co-simulate correctly against
+//! its burst-mode machine at the gate level and (b) land on exactly the
+//! product/literal counts recorded in EXPERIMENTS.md before the kernel
+//! rewrite — the covering objective has a unique optimum value, so the
+//! counts are representation-independent.
+
+use adcs::flow::{Flow, FlowOptions};
+use adcs_cdfg::benchmarks::{diffeq, DiffeqParams};
+
+/// Figure 13 "ours (measured)" column, pinned pre-rewrite.
+const EXPECTED: [(&str, usize, usize); 4] = [
+    ("ALU1", 58, 175),
+    ("ALU2", 78, 265),
+    ("MUL1", 51, 164),
+    ("MUL2", 33, 90),
+];
+
+#[test]
+fn packed_kernel_logic_matches_pinned_counts_and_cosimulates() {
+    let d = diffeq(DiffeqParams::default()).unwrap();
+    let out = Flow::new(d.cdfg.clone(), d.initial.clone())
+        .run(&FlowOptions {
+            synthesize_logic: true,
+            ..FlowOptions::default()
+        })
+        .unwrap();
+    assert_eq!(out.logic.len(), out.controllers.len());
+    for (c, logic) in out.controllers.iter().zip(&out.logic) {
+        let name = c.machine.name();
+        let (_, products, literals) = *EXPECTED
+            .iter()
+            .find(|(n, _, _)| *n == name)
+            .unwrap_or_else(|| panic!("unexpected controller {name}"));
+        assert_eq!(
+            (
+                logic.products_single_output(),
+                logic.literals_single_output()
+            ),
+            (products, literals),
+            "{name}: packed kernel changed the minimization result"
+        );
+        let edges = adcs_hfmin::gatesim::cosimulate(&c.machine, logic, 40)
+            .unwrap_or_else(|e| panic!("{name}: {e}"));
+        assert!(edges >= 20, "{name}: only {edges} edges driven");
+    }
+    // The flow's own stage accounting must reflect the synthesis work.
+    assert!(out.hfmin_cube_ops > 0);
+    assert_eq!(out.hfmin_cache_misses, out.logic.len() as u64);
+}

@@ -272,9 +272,11 @@ mod tests {
 
     #[test]
     fn bencher_collects_samples() {
-        let mut c = Criterion::default();
-        c.sample_size = 3;
-        c.measurement_time = Duration::from_millis(10);
+        let mut c = Criterion {
+            sample_size: 3,
+            measurement_time: Duration::from_millis(10),
+            ..Criterion::default()
+        };
         let mut ran = 0u64;
         c.bench_function("smoke", |b| b.iter(|| ran += 1));
         assert!(ran > 0);
