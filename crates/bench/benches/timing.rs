@@ -1,0 +1,219 @@
+//! Two-tier timing-verification engine vs the pure Monte-Carlo baseline,
+//! and cold vs warm `TimingCache`, on the paper's DIFFEQ benchmark plus a
+//! synthetic wide join.
+//!
+//! The `gt3_diffeq` group times a full GT3 scan of the GT1+GT2-prepared
+//! DIFFEQ graph twice: once through the engine (interval analysis first,
+//! sampling only on *unknown*) and once the pre-engine way (sample every
+//! candidate arc, restart the scan after each removal). Both are asserted
+//! to remove the same arcs, and the engine is asserted at least 5x faster
+//! before anything is timed. The `wide_join` group isolates the interval
+//! tier against sampling on a single synthetic join with a deep sibling
+//! chain. The `cache` group times a repeat GT3 scan against a warm
+//! [`TimingCache`] (structurally identical clone, so every query hits).
+//!
+//! Run with `cargo bench --bench timing`; results are recorded in
+//! EXPERIMENTS.md.
+
+use adcs::gt::{gt1_loop_parallelism, gt2_remove_dominated, gt3_relative_timing_cached};
+use adcs::timing::{timing_redundant, IntervalVerdict, TimingAnalysis, TimingCache, TimingModel};
+use adcs_cdfg::benchmarks::{diffeq, DiffeqParams, RegFile};
+use adcs_cdfg::builder::CdfgBuilder;
+use adcs_cdfg::{ArcId, Cdfg, Reg};
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use std::time::{Duration, Instant};
+
+/// The GT1+GT2-prepared DIFFEQ graph — the state GT3 sees in the flow —
+/// with its timing model and initial registers.
+fn prepared_diffeq() -> (Cdfg, RegFile, TimingModel) {
+    let d = diffeq(DiffeqParams::default()).expect("diffeq");
+    let mut g = d.cdfg.clone();
+    gt1_loop_parallelism(&mut g).expect("gt1");
+    gt2_remove_dominated(&mut g).expect("gt2");
+    let model = TimingModel::uniform(1, 2)
+        .with_fu(d.mul1, 2, 4)
+        .with_fu(d.mul2, 2, 4)
+        .with_samples(24);
+    (g, d.initial, model)
+}
+
+/// The pre-engine GT3 loop: Monte-Carlo sample every candidate, restart
+/// the scan after each removal.
+fn monte_carlo_gt3(g: &mut Cdfg, initial: &RegFile, model: &TimingModel) -> Vec<ArcId> {
+    let mut removed = Vec::new();
+    loop {
+        let mut removed_one = false;
+        for id in g.inter_fu_arcs() {
+            if g.arc(id).is_err() {
+                continue;
+            }
+            if timing_redundant(g, id, initial, model).expect("sample") {
+                g.remove_arc(id).expect("remove");
+                removed.push(id);
+                removed_one = true;
+                break;
+            }
+        }
+        if !removed_one {
+            break;
+        }
+    }
+    removed
+}
+
+fn engine_gt3(g: &mut Cdfg, initial: &RegFile, model: &TimingModel) -> Vec<ArcId> {
+    let cache = TimingCache::new();
+    gt3_relative_timing_cached(g, initial, model, &cache)
+        .expect("gt3")
+        .removed
+}
+
+fn bench_gt3_diffeq(c: &mut Criterion) {
+    let (g0, initial, model) = prepared_diffeq();
+
+    // Agreement gate before timing anything.
+    let mut g = g0.clone();
+    let engine_removed = engine_gt3(&mut g, &initial, &model);
+    let mut g = g0.clone();
+    let mc_removed = monte_carlo_gt3(&mut g, &initial, &model);
+    assert_eq!(engine_removed, mc_removed, "engines disagree on GT3");
+
+    // Headline speedup (warm-up pass first, as in the hfmin bench).
+    let iters = 20;
+    let time = |f: &dyn Fn() -> usize| {
+        let start = Instant::now();
+        let mut acc = 0usize;
+        for _ in 0..iters {
+            acc = acc.wrapping_add(f());
+        }
+        black_box(acc);
+        start.elapsed()
+    };
+    let te = time(&|| engine_gt3(&mut g0.clone(), &initial, &model).len());
+    let tm = time(&|| monte_carlo_gt3(&mut g0.clone(), &initial, &model).len());
+    let speedup = tm.as_secs_f64() / te.as_secs_f64();
+    println!("GT3 DIFFEQ: engine {te:?} vs Monte-Carlo {tm:?} over {iters} iters -> {speedup:.1}x");
+    assert!(
+        speedup >= 5.0,
+        "engine only {speedup:.2}x faster than pure Monte-Carlo"
+    );
+
+    let mut grp = c.benchmark_group("timing/gt3_diffeq");
+    grp.sample_size(20).measurement_time(Duration::from_secs(4));
+    grp.bench_function("interval_engine", |b| {
+        b.iter(|| black_box(engine_gt3(&mut g0.clone(), &initial, &model)))
+    });
+    grp.bench_function("monte_carlo", |b| {
+        b.iter(|| black_box(monte_carlo_gt3(&mut g0.clone(), &initial, &model)))
+    });
+    grp.finish();
+}
+
+/// A synthetic wide join: `d` consumes one single-hop multiplier result
+/// and the tail of a `depth`-op chain fanned across two units — the
+/// paper's GT3 pattern, scaled.
+fn wide_join(depth: usize) -> (Cdfg, RegFile, ArcId, TimingModel) {
+    let mut b = CdfgBuilder::new();
+    let alu = b.add_fu("ALU");
+    let mul = b.add_fu("MUL");
+    let c1 = b.add_fu("C1");
+    let c2 = b.add_fu("C2");
+    b.stmt(mul, "m := x * x").expect("stmt");
+    b.stmt(c1, "t0 := y + y").expect("stmt");
+    for i in 1..depth {
+        let fu = if i % 2 == 0 { c1 } else { c2 };
+        b.stmt(fu, &format!("t{i} := t{} + y", i - 1))
+            .expect("stmt");
+    }
+    b.stmt(alu, &format!("d := m + t{}", depth - 1))
+        .expect("stmt");
+    let g = b.finish().expect("finish");
+    let mut init = RegFile::new();
+    init.insert(Reg::new("x"), 2);
+    init.insert(Reg::new("y"), 1);
+    let m_node = g.node_by_label("m := x * x").expect("m");
+    let d_node = g
+        .node_by_label(&format!("d := m + t{}", depth - 1))
+        .expect("d");
+    let arc = g
+        .arcs()
+        .find(|(_, a)| a.src == m_node && a.dst == d_node)
+        .map(|(id, _)| id)
+        .expect("arc");
+    // Chain minimum (depth * 2) comfortably beats the single hop's
+    // maximum (4): redundant, and the interval tier can prove it.
+    let model = TimingModel::uniform(2, 3)
+        .with_fu(mul, 2, 4)
+        .with_samples(64);
+    (g, init, arc, model)
+}
+
+fn bench_wide_join(c: &mut Criterion) {
+    let (g, init, arc, model) = wide_join(12);
+
+    let analysis = TimingAnalysis::build(&g, &init, &model).expect("analysis");
+    assert_eq!(analysis.arc_verdict(&g, arc), IntervalVerdict::Redundant);
+    assert!(timing_redundant(&g, arc, &init, &model).expect("sample"));
+
+    let mut grp = c.benchmark_group("timing/wide_join");
+    grp.sample_size(20).measurement_time(Duration::from_secs(4));
+    grp.bench_function("interval", |b| {
+        b.iter(|| {
+            let a = TimingAnalysis::build(&g, &init, &model).expect("analysis");
+            black_box(a.arc_verdict(&g, arc))
+        })
+    });
+    grp.bench_function("monte_carlo", |b| {
+        b.iter(|| black_box(timing_redundant(&g, arc, &init, &model).expect("sample")))
+    });
+    grp.finish();
+}
+
+fn bench_timing_cache(c: &mut Criterion) {
+    let (g0, initial, model) = prepared_diffeq();
+
+    let warm = TimingCache::new();
+    engine_gt3(&mut g0.clone(), &initial, &model); // shape check
+    let mut g = g0.clone();
+    gt3_relative_timing_cached(&mut g, &initial, &model, &warm).expect("warm-up");
+
+    let mut grp = c.benchmark_group("timing/cache");
+    grp.sample_size(20).measurement_time(Duration::from_secs(4));
+    grp.bench_function("cold", |b| {
+        b.iter(|| {
+            let cache = TimingCache::new();
+            let mut g = g0.clone();
+            black_box(
+                gt3_relative_timing_cached(&mut g, &initial, &model, &cache)
+                    .expect("gt3")
+                    .removed,
+            )
+        })
+    });
+    grp.bench_function("warm", |b| {
+        b.iter(|| {
+            let mut g = g0.clone();
+            black_box(
+                gt3_relative_timing_cached(&mut g, &initial, &model, &warm)
+                    .expect("gt3")
+                    .removed,
+            )
+        })
+    });
+    grp.finish();
+    println!(
+        "timing cache after warm runs: {} hits / {} misses, {} canonical runs",
+        warm.hits(),
+        warm.misses(),
+        warm.canonical_runs()
+    );
+}
+
+criterion_group!(
+    benches,
+    bench_gt3_diffeq,
+    bench_wide_join,
+    bench_timing_cache
+);
+criterion_main!(benches);

@@ -126,6 +126,14 @@ pub struct ExplorePoint {
     pub hfmin_cache_hits: u64,
     /// Controllers minimized from scratch.
     pub hfmin_cache_misses: u64,
+    /// GT3 timing-redundancy verdicts this candidate asked for.
+    pub timing_queries: u64,
+    /// Verdicts served from the flow's `TimingCache`.
+    pub timing_cache_hits: u64,
+    /// Monte-Carlo simulations the timing fallback actually ran.
+    pub timing_samples_run: u64,
+    /// Simulations avoided relative to the pure-Monte-Carlo baseline.
+    pub timing_samples_avoided: u64,
 }
 
 impl ExplorePoint {
@@ -233,6 +241,10 @@ fn evaluate(
         hfmin_cube_ops: out.hfmin_cube_ops,
         hfmin_cache_hits: out.hfmin_cache_hits,
         hfmin_cache_misses: out.hfmin_cache_misses,
+        timing_queries: out.timing_queries,
+        timing_cache_hits: out.timing_cache_hits,
+        timing_samples_run: out.timing_samples_run,
+        timing_samples_avoided: out.timing_samples_avoided,
     })
 }
 
@@ -272,10 +284,27 @@ pub fn explore_exhaustive_with(
     explore_opts: ExploreOptions,
 ) -> Result<Vec<ExplorePoint>, SynthError> {
     let flow = Flow::new(cdfg.clone(), initial.clone());
+    explore_exhaustive_flow(&flow, base, objective, explore_opts)
+}
+
+/// [`explore_exhaustive_with`] over an existing [`Flow`], so its caches
+/// (reachability is per-run, but `MinimizeCache` and `TimingCache` are
+/// per-flow) persist across sweeps: a repeat sweep over the same flow is
+/// served almost entirely from the warm caches.
+///
+/// # Errors
+///
+/// Fails only if *no* configuration completes.
+pub fn explore_exhaustive_flow(
+    flow: &Flow,
+    base: &FlowOptions,
+    objective: Objective,
+    explore_opts: ExploreOptions,
+) -> Result<Vec<ExplorePoint>, SynthError> {
     let mut points: Vec<ExplorePoint> = explore_opts.install(|| {
         (0u32..64)
             .into_par_iter()
-            .filter_map(|mask| evaluate(&flow, base, objective, config_of(mask)))
+            .filter_map(|mask| evaluate(flow, base, objective, config_of(mask)))
             .collect()
     });
     if points.is_empty() {

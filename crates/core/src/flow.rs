@@ -18,12 +18,12 @@ use crate::channel::ChannelMap;
 use crate::error::SynthError;
 use crate::extract::{extract_cached, ControllerSpec, ExpansionStyle, ExtractOptions, Extraction};
 use crate::gt::{
-    gt1_loop_parallelism, gt2_remove_dominated, gt3_relative_timing, gt4_merge_assignments,
+    gt1_loop_parallelism, gt2_remove_dominated, gt3_relative_timing_cached, gt4_merge_assignments,
     gt5_channel_elimination_cached, Gt5Options,
 };
 use crate::logic::MinimizeCache;
 use crate::lt::{apply_all, LtOptions, LtReport};
-use crate::timing::TimingModel;
+use crate::timing::{TimingCache, TimingModel, TimingStats};
 
 /// Options for the full flow.
 #[derive(Clone, Debug)]
@@ -65,6 +65,11 @@ pub struct FlowOptions {
     /// candidates). Disable to force a fresh minimization per run —
     /// results are identical either way, only the work differs.
     pub minimize_cache: bool,
+    /// Memoize GT3 timing verdicts in the flow's [`TimingCache`], shared
+    /// across every `run` of this [`Flow`] (and its clones). Disable to
+    /// force fresh verification per run — verdicts are identical either
+    /// way, only the work differs.
+    pub timing_cache: bool,
 }
 
 impl Default for FlowOptions {
@@ -88,6 +93,7 @@ impl Default for FlowOptions {
             synthesize_logic: false,
             synth: SynthOptions::default(),
             minimize_cache: true,
+            timing_cache: true,
         }
     }
 }
@@ -116,6 +122,16 @@ pub struct StageStats {
     pub hfmin_cache_hits: u64,
     /// Controllers whose logic was synthesized from scratch.
     pub hfmin_cache_misses: u64,
+    /// GT3 timing-redundancy verdicts this stage asked for (zero for
+    /// stages that run no timing verification).
+    pub timing_queries: u64,
+    /// Verdicts served from the [`TimingCache`].
+    pub timing_cache_hits: u64,
+    /// Monte-Carlo simulations the fallback actually ran.
+    pub timing_samples_run: u64,
+    /// Simulations avoided relative to the pure-Monte-Carlo baseline
+    /// (interval-decided, cached, or early-exited queries).
+    pub timing_samples_avoided: u64,
 }
 
 impl StageStats {
@@ -149,6 +165,14 @@ pub struct FlowOutcome {
     pub hfmin_cache_hits: u64,
     /// Controllers minimized from scratch this run.
     pub hfmin_cache_misses: u64,
+    /// GT3 timing-redundancy verdicts asked for this run.
+    pub timing_queries: u64,
+    /// Verdicts served from the [`TimingCache`] this run.
+    pub timing_cache_hits: u64,
+    /// Monte-Carlo simulations the timing fallback actually ran.
+    pub timing_samples_run: u64,
+    /// Simulations avoided relative to the pure-Monte-Carlo baseline.
+    pub timing_samples_avoided: u64,
     /// Stats of the unoptimized extraction.
     pub unoptimized: StageStats,
     /// Stats after the global transforms.
@@ -175,6 +199,7 @@ pub struct Flow {
     cdfg: Cdfg,
     initial: RegFile,
     minimize: Arc<MinimizeCache>,
+    timing: Arc<TimingCache>,
 }
 
 impl Flow {
@@ -185,6 +210,7 @@ impl Flow {
             cdfg,
             initial,
             minimize: Arc::new(MinimizeCache::new()),
+            timing: Arc::new(TimingCache::new()),
         }
     }
 
@@ -192,6 +218,12 @@ impl Flow {
     /// of its clones — cloning a `Flow` shares the cache).
     pub fn minimize_cache(&self) -> &MinimizeCache {
         &self.minimize
+    }
+
+    /// The GT3 timing memo shared by every [`Flow::run`] of this flow
+    /// (and of its clones — cloning a `Flow` shares the cache).
+    pub fn timing_cache(&self) -> &TimingCache {
+        &self.timing
     }
 
     /// Runs the full pipeline.
@@ -236,8 +268,17 @@ impl Flow {
         if opts.gt2 {
             gt2_remove_dominated(&mut g)?;
         }
+        let mut timing_stats = TimingStats::default();
         if opts.gt3 {
-            gt3_relative_timing(&mut g, &self.initial, &opts.timing)?;
+            let fresh;
+            let cache = if opts.timing_cache {
+                self.timing.as_ref()
+            } else {
+                fresh = TimingCache::new();
+                &fresh
+            };
+            let rep = gt3_relative_timing_cached(&mut g, &self.initial, &opts.timing, cache)?;
+            timing_stats = rep.timing;
         }
         if opts.gt4 {
             gt4_merge_assignments(&mut g)?;
@@ -260,13 +301,17 @@ impl Flow {
         if opts.reduce_states {
             reduce_all(&mut ex_gt.controllers)?;
         }
-        let optimized_gt = stage_stats(
+        let mut optimized_gt = stage_stats(
             "optimized-GT",
             &channels,
             &ex_gt,
             gt_start.elapsed(),
             reach.queries() - queries_before_gt,
         );
+        optimized_gt.timing_queries = timing_stats.queries;
+        optimized_gt.timing_cache_hits = timing_stats.cache_hits;
+        optimized_gt.timing_samples_run = timing_stats.samples_run;
+        optimized_gt.timing_samples_avoided = timing_stats.samples_avoided;
 
         // ---- Stage 2: local transforms ----------------------------------
         let lt_start = Instant::now();
@@ -323,6 +368,10 @@ impl Flow {
             hfmin_cube_ops: optimized_gt_lt.hfmin_cube_ops,
             hfmin_cache_hits: optimized_gt_lt.hfmin_cache_hits,
             hfmin_cache_misses: optimized_gt_lt.hfmin_cache_misses,
+            timing_queries: timing_stats.queries,
+            timing_cache_hits: timing_stats.cache_hits,
+            timing_samples_run: timing_stats.samples_run,
+            timing_samples_avoided: timing_stats.samples_avoided,
             unoptimized,
             optimized_gt,
             optimized_gt_lt,
@@ -405,6 +454,10 @@ fn stage_stats(
         hfmin_cube_ops: 0,
         hfmin_cache_hits: 0,
         hfmin_cache_misses: 0,
+        timing_queries: 0,
+        timing_cache_hits: 0,
+        timing_samples_run: 0,
+        timing_samples_avoided: 0,
     }
 }
 

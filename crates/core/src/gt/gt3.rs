@@ -6,26 +6,35 @@
 //! deletes arc 10 `(M2 := U*dx, U := U-M1)` because arc 11
 //! `(M1 := A*B, U := U-M1)` is enabled only after a three-operation chain.
 //!
-//! Validity is established by the Monte-Carlo relative-timing verifier of
-//! [`crate::timing`] (the paper's unspecified "detailed timing analysis").
+//! Validity is established by the two-tier verifier of [`crate::timing`]
+//! (the paper's unspecified "detailed timing analysis"): the exact
+//! arrival-interval analysis decides most arcs from one canonical
+//! execution, with Monte-Carlo sampling as the fallback. The scan is
+//! incremental — after a removal only the arcs whose endpoints share a
+//! functional unit with the removed arc's endpoints are re-verified,
+//! instead of restarting the whole candidate sweep.
+
+use std::collections::VecDeque;
 
 use adcs_cdfg::benchmarks::RegFile;
-use adcs_cdfg::{ArcId, Cdfg};
+use adcs_cdfg::{ArcId, Cdfg, FuId, NodeId};
 
 use crate::error::SynthError;
-use crate::timing::{timing_redundant, TimingModel};
+use crate::timing::{TimingCache, TimingModel, TimingStats};
 
 /// What GT3 did.
 #[derive(Clone, Debug, Default)]
 pub struct Gt3Report {
     /// Arcs removed as timing-redundant.
     pub removed: Vec<ArcId>,
+    /// Timing-verification counters for this scan.
+    pub timing: TimingStats,
 }
 
-/// Removes inter-unit arcs that are provably (by sampling) never the last
-/// arrival at their destination.
+/// Removes inter-unit arcs that are provably never the last arrival at
+/// their destination, using a private [`TimingCache`].
 ///
-/// `initial` must let the graph execute (the verifier runs it many times).
+/// `initial` must let the graph execute (the verifier runs it).
 ///
 /// # Errors
 ///
@@ -35,24 +44,59 @@ pub fn gt3_relative_timing(
     initial: &RegFile,
     model: &TimingModel,
 ) -> Result<Gt3Report, SynthError> {
+    gt3_relative_timing_cached(g, initial, model, &TimingCache::new())
+}
+
+fn fu_of(g: &Cdfg, n: NodeId) -> Option<FuId> {
+    g.node(n).ok().and_then(|node| node.fu)
+}
+
+/// [`gt3_relative_timing`] against a shared [`TimingCache`], so explorer
+/// candidates with common transform prefixes reuse each other's verdicts.
+///
+/// # Errors
+///
+/// Propagates simulation failures.
+pub fn gt3_relative_timing_cached(
+    g: &mut Cdfg,
+    initial: &RegFile,
+    model: &TimingModel,
+    cache: &TimingCache,
+) -> Result<Gt3Report, SynthError> {
     let mut report = Gt3Report::default();
-    loop {
-        let candidates = g.inter_fu_arcs();
-        let mut removed_one = false;
-        for id in candidates {
-            if g.arc(id).is_err() {
-                continue;
-            }
-            if timing_redundant(g, id, initial, model)? {
-                g.remove_arc(id)?;
-                report.removed.push(id);
-                removed_one = true;
-                break; // re-verify against the updated graph
-            }
+    let mut queue: VecDeque<ArcId> = g.inter_fu_arcs().into();
+    // Arcs already verified non-redundant against the current graph; a
+    // removal invalidates only those touching the affected units.
+    let mut cleared: Vec<ArcId> = Vec::new();
+    while let Some(id) = queue.pop_front() {
+        if g.arc(id).is_err() {
+            continue;
         }
-        if !removed_one {
-            break;
+        let (redundant, query) = cache.redundant(g, id, initial, model)?;
+        report.timing.absorb(&query);
+        if !redundant {
+            cleared.push(id);
+            continue;
         }
+        let removed = g.remove_arc(id)?;
+        report.removed.push(id);
+        // A removal changes arrival times only through the schedules of
+        // the units its endpoints ran on; cleared arcs elsewhere keep
+        // their verdict. (The verifier re-checks them against the *new*
+        // graph, so this is purely a work filter, not a soundness one.)
+        let affected = [fu_of(g, removed.src), fu_of(g, removed.dst)];
+        cleared.retain(|&c| match g.arc(c) {
+            Err(_) => false,
+            Ok(arc) => {
+                let touches = [fu_of(g, arc.src), fu_of(g, arc.dst)]
+                    .iter()
+                    .any(|f| f.is_some() && affected.contains(f));
+                if touches {
+                    queue.push_back(c);
+                }
+                !touches
+            }
+        });
     }
     Ok(report)
 }
@@ -90,6 +134,10 @@ mod tests {
         assert!(
             !g.arcs().any(|(_, a)| a.src == m2 && a.dst == u),
             "arc 10 should be deleted: {rep:?}"
+        );
+        assert_eq!(
+            rep.timing.queries,
+            rep.timing.cache_hits + rep.timing.interval_decided + rep.timing.fallback_decided
         );
 
         // Still computes under the delay model it was verified for.
@@ -151,5 +199,31 @@ mod tests {
         let p = g.node_by_label("p := x + x").unwrap();
         let s = g.node_by_label("s := p + q").unwrap();
         assert!(!g.arcs().any(|(_, a)| a.src == p && a.dst == s));
+    }
+
+    #[test]
+    fn shared_cache_makes_a_repeat_scan_all_hits() {
+        let d = diffeq(DiffeqParams::default()).unwrap();
+        let cache = TimingCache::new();
+        let model = diffeq_model(&d);
+
+        let mut g1 = d.cdfg.clone();
+        gt1_loop_parallelism(&mut g1).unwrap();
+        gt2_remove_dominated(&mut g1).unwrap();
+        let first = gt3_relative_timing_cached(&mut g1, &d.initial, &model, &cache).unwrap();
+        assert_eq!(first.timing.cache_hits, 0);
+
+        // A structurally identical clone (different version stamps): every
+        // query of the repeat scan is served from the cache.
+        let mut g2 = d.cdfg.clone();
+        gt1_loop_parallelism(&mut g2).unwrap();
+        gt2_remove_dominated(&mut g2).unwrap();
+        let second = gt3_relative_timing_cached(&mut g2, &d.initial, &model, &cache).unwrap();
+        assert_eq!(second.removed, first.removed);
+        assert_eq!(
+            second.timing.cache_hits, second.timing.queries,
+            "{second:?}"
+        );
+        assert_eq!(second.timing.samples_run, 0);
     }
 }

@@ -21,6 +21,6 @@ pub mod gt5;
 
 pub use gt1::{gt1_loop_parallelism, Gt1Report};
 pub use gt2::{certain_dominated, gt2_remove_dominated, Gt2Report};
-pub use gt3::{gt3_relative_timing, Gt3Report};
+pub use gt3::{gt3_relative_timing, gt3_relative_timing_cached, Gt3Report};
 pub use gt4::{gt4_merge_assignments, Gt4Report};
 pub use gt5::{gt5_channel_elimination, gt5_channel_elimination_cached, Gt5Options, Gt5Report};

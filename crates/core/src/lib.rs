@@ -55,4 +55,6 @@ mod error;
 pub use channel::{Channel, ChannelMap};
 pub use error::SynthError;
 pub use logic::MinimizeCache;
-pub use timing::TimingModel;
+pub use timing::{
+    IntervalVerdict, TimingAnalysis, TimingCache, TimingModel, TimingQuery, TimingStats,
+};

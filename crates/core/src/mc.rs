@@ -22,8 +22,18 @@
 //! events on *different* wires commute and both orders are explored.
 //! Loops terminate because the data is concrete, so the space is finite;
 //! [`McOptions::max_states`] bounds the search anyway.
+//!
+//! The visited set stores **128-bit fingerprints** of the canonicalized
+//! states (two independently salted 64-bit hashes) rather than full
+//! clones — roughly a tenth of the memory, which is what allows the
+//! raised default state budget. A fingerprint collision would silently
+//! prune a distinct state; with `n` visited states the probability is
+//! ≲ n²/2¹²⁹ (about 10⁻²⁶ even at the default budget), far below the
+//! chance of a hardware fault.
 
+use std::collections::hash_map::DefaultHasher;
 use std::collections::{HashSet, VecDeque};
+use std::hash::{Hash, Hasher};
 
 use adcs_cdfg::Reg;
 use adcs_sim::network::{Datapath, Wire};
@@ -85,7 +95,9 @@ pub struct McOptions {
 impl Default for McOptions {
     fn default() -> Self {
         McOptions {
-            max_states: 1_000_000,
+            // The fingerprinted visited set costs 16 bytes per state, so a
+            // budget that used to cost gigabytes now fits comfortably.
+            max_states: 4_000_000,
             synchronous_levels: true,
         }
     }
@@ -175,6 +187,20 @@ struct Key {
     pending: Vec<PendEv>,
 }
 
+impl Key {
+    /// 128-bit fingerprint of the canonicalized state: two independently
+    /// salted 64-bit hashes (see the module docs for the collision odds).
+    fn fingerprint(&self) -> u128 {
+        let mut h1 = DefaultHasher::new();
+        0x9e37_79b9_7f4a_7c15u64.hash(&mut h1);
+        self.hash(&mut h1);
+        let mut h2 = DefaultHasher::new();
+        0xc2b2_ae3d_27d4_eb4fu64.hash(&mut h2);
+        self.hash(&mut h2);
+        (u128::from(h1.finish()) << 64) | u128::from(h2.finish())
+    }
+}
+
 /// Stable-sorts the in-flight events by destination, preserving per-wire
 /// FIFO order (same-destination events keep their arrival order).
 fn canonicalize(pending: &mut [PendEv]) {
@@ -248,10 +274,13 @@ pub fn model_check<D: McDatapath>(
         pending,
     };
 
-    let mut visited: HashSet<Key> = HashSet::new();
+    // Visited states are kept as fingerprints only; the work stack still
+    // carries full states (it is bounded by the search depth, not the
+    // space size).
+    let mut visited: HashSet<u128> = HashSet::new();
     let mut stack: Vec<Key> = Vec::new();
     let mut outcome: Option<Vec<(Reg, i64)>> = None;
-    visited.insert(initial.clone());
+    visited.insert(initial.fingerprint());
     stack.push(initial);
 
     while let Some(key) = stack.pop() {
@@ -306,7 +335,7 @@ pub fn model_check<D: McDatapath>(
                 stats.states = visited.len();
                 return Ok(McVerdict::Budget(stats));
             }
-            if visited.insert(next.clone()) {
+            if visited.insert(next.fingerprint()) {
                 stack.push(next);
             }
         }

@@ -145,6 +145,28 @@ pub fn hfmin_summary(out: &FlowOutcome) -> String {
     s
 }
 
+/// Renders the GT3 timing-verification summary of one flow run: how the
+/// two-tier engine split the queries and what the sampling fallback cost.
+pub fn timing_summary(out: &FlowOutcome) -> String {
+    if out.timing_queries == 0 {
+        return "timing verification: no queries (GT3 off or no candidate arcs)\n".to_string();
+    }
+    let total = out.timing_samples_run + out.timing_samples_avoided;
+    let avoided_pct = if total == 0 {
+        0.0
+    } else {
+        100.0 * out.timing_samples_avoided as f64 / total as f64
+    };
+    format!(
+        "timing verification: {} queries ({} cached), {} simulations run, \
+         {} avoided ({avoided_pct:.0}% of the Monte-Carlo baseline)\n",
+        out.timing_queries,
+        out.timing_cache_hits,
+        out.timing_samples_run,
+        out.timing_samples_avoided
+    )
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -167,6 +189,8 @@ mod tests {
         let t5 = figure5_summary(10, 5, 2);
         assert!(t5.contains("10 channels before"));
         assert!(hfmin_summary(&out).contains("not run"));
+        let ts = timing_summary(&out);
+        assert!(ts.contains("queries"), "{ts}");
     }
 
     #[test]

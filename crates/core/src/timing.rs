@@ -3,21 +3,58 @@
 //!
 //! The paper requires "a detailed timing analysis … to verify that the
 //! removed constraint arc is under no execution path the last to occur"
-//! (§3.3) but does not specify one. This reproduction substitutes **dense
-//! randomized simulation over a bounded delay model**: every functional
-//! unit gets a `[min, max]` latency range, the CDFG executor is run under
-//! many jitter seeds, and per node-activation the *arrival order* of the
-//! incoming constraint events is reconstructed from the firing log. An arc
-//! is timing-redundant only if it is never the last (nor tied-last)
-//! arrival in any sampled execution. `DESIGN.md` records this
-//! substitution.
+//! (§3.3) but does not specify one. This reproduction fills the gap with a
+//! two-tier engine:
+//!
+//! 1. **Exact arrival-interval analysis** ([`TimingAnalysis`]): one
+//!    canonical execution (all units at their *minimum* latency) unrolls
+//!    the token flow into an event DAG — every firing records exactly
+//!    which producer firing supplied each consumed token
+//!    ([`adcs_sim::exec::ExecDeps`]). Comparing absolute min/max
+//!    longest-path bounds would be uselessly loose here: two arrivals at
+//!    a join share almost their entire causal history (every earlier loop
+//!    iteration), and independent bounds forget that correlation, so the
+//!    intervals drift apart by one max-minus-min cycle *per iteration*.
+//!    Instead the analysis compares each candidate arrival `p` against a
+//!    sibling `q` **anchored at a shared event** `a` that dominates `p`
+//!    (every source path into `p` passes through it) and is an ancestor
+//!    of `q`: for every delay assignment `d`,
+//!    `t_p(d) − t_q(d) ≤ Hmax(a→p) − Lmin(a→q)` — the common history
+//!    before `a` cancels exactly, leaving a max-delay longest path
+//!    against a min-delay chain over the few events of one iteration.
+//!    If the bound is negative the candidate is proved earlier for
+//!    **all** assignments in the [`TimingModel`], not just sampled seeds
+//!    (cf. Paykin et al. 2020, who make the same move for flow
+//!    equivalence). The converse direction is decided by a *witness*
+//!    assignment (maximum latency on the candidate's ancestor cone,
+//!    minimum elsewhere) evaluated directly on the DAG — a realizable
+//!    execution, so a last-or-tied arrival under it is a genuine
+//!    counterexample. All of this is exact only when each unit's
+//!    activations are already chained by token causality, making the
+//!    event DAG delay-invariant (checked per run); otherwise the verdict
+//!    degrades to *unknown*, never to an unsound answer.
+//! 2. **Monte-Carlo fallback** ([`timing_redundant`]): the original dense
+//!    randomized simulation over jitter seeds, kept for the cases the
+//!    interval analysis cannot decide and now fanned over the rayon
+//!    thread pool.
+//!
+//! [`TimingCache`] memoizes both tiers across graphs that are *structurally
+//! identical* — the design-space explorer's 64 candidates share long
+//! transform prefixes, so most of their GT3 queries hit the cache.
+//! `DESIGN.md` §9 records the scheme.
 
+use std::collections::hash_map::DefaultHasher;
 use std::collections::HashMap;
+use std::fmt;
+use std::hash::{Hash, Hasher};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
 
 use adcs_cdfg::benchmarks::RegFile;
 use adcs_cdfg::{ArcId, Cdfg, FuId, NodeId, NodeKind};
 use adcs_sim::exec::{execute, ExecOptions, ExecResult};
 use adcs_sim::DelayModel;
+use rayon::prelude::*;
 
 use crate::error::SynthError;
 
@@ -94,6 +131,17 @@ impl TimingModel {
             m = m.with_fu_range(fu, lo, hi);
         }
         m.reseeded(seed)
+    }
+
+    /// The concrete [`DelayModel`] pinning every unit to its *minimum*
+    /// latency — the canonical assignment [`TimingAnalysis`] unrolls under.
+    pub fn min_delay_model(&self, g: &Cdfg) -> DelayModel {
+        let mut m = DelayModel::uniform(self.default.0);
+        for (fu, _) in g.fus() {
+            let (lo, _) = self.range_in(g, fu);
+            m = m.with_fu(fu, lo);
+        }
+        m
     }
 }
 
@@ -192,6 +240,870 @@ pub fn timing_redundant(
     // No activation ever consumed this arc (e.g. a loop body that the
     // initial data never enters): no evidence, no removal.
     Ok(evidence)
+}
+
+// ---------------------------------------------------------------------------
+// Exact arrival-interval analysis
+// ---------------------------------------------------------------------------
+
+/// Outcome of the interval analysis for one candidate arc.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum IntervalVerdict {
+    /// Provably never the last (nor tied-last) arrival at its destination,
+    /// for *every* delay assignment in the model.
+    Redundant,
+    /// The canonical execution itself witnesses a last or tied-last
+    /// arrival (a genuine counterexample), or the arc is structurally
+    /// ineligible / never consumed.
+    NotRedundant,
+    /// The bounds cannot separate the events; sampling must decide.
+    Unknown,
+}
+
+/// Bound on how many firings the ancestor-bitset exactness check will
+/// process before giving up (the bitsets are `O(n²/8)` bytes).
+const EXACTNESS_FIRING_CAP: usize = 4096;
+
+/// The event DAG of one canonical token-flow unrolling (the graph executed
+/// with every unit at its minimum latency), plus the ancestor/dominator
+/// structure needed to bound arrival orders for all delay assignments.
+///
+/// The canonical run records, per firing, exactly which producer firing
+/// supplied each consumed token — an event DAG. When the DAG is
+/// *delay-invariant* the completion of firing `k` under assignment `d` is
+/// simply the longest-path value `t_k(d)`, so arrival-order questions
+/// become path comparisons (see the module docs for the anchored bound).
+/// Delay-invariance holds when every unit's consecutive firings are
+/// already ordered by token causality (the predecessor is an ancestor of
+/// the successor in the event DAG), so the one-node-at-a-time resource
+/// constraint never binds and the schedule cannot be reordered by
+/// different delays; [`Self::exact`] records whether the check passed.
+/// When it fails, only the canonical-run counterexample direction is
+/// trusted (a real execution disproving redundancy is sound regardless)
+/// and everything else degrades to [`IntervalVerdict::Unknown`].
+pub struct TimingAnalysis {
+    /// The canonical (all-minimum-latency) execution, with provenance.
+    result: ExecResult,
+    /// Completion of firing `k` under the all-minimum delay assignment —
+    /// a lower bound on `t_k(d)` for every assignment when exact.
+    lo: Vec<u64>,
+    /// Minimum latency of firing `k` under the model.
+    dmin: Vec<u64>,
+    /// Maximum latency of firing `k` under the model.
+    dmax: Vec<u64>,
+    /// Whether the event DAG is delay-invariant (see type docs).
+    exact: bool,
+    /// Words per bitset row in `anc` / `dom` (0 when over the cap).
+    words: usize,
+    /// `anc[k]` = bitset of ancestor firings of `k` over consume edges.
+    anc: Vec<u64>,
+    /// `dom[k]` = bitset of firings on *every* source path into `k`
+    /// (dominators over the event DAG, including `k` itself).
+    dom: Vec<u64>,
+    /// Firing indices of each node, in activation order.
+    activations: HashMap<NodeId, Vec<usize>>,
+}
+
+impl TimingAnalysis {
+    /// Executes `g` once under the all-minimum delay model (recording
+    /// token provenance) and computes the interval bounds.
+    ///
+    /// # Errors
+    ///
+    /// Propagates simulation failures (the graph must execute cleanly).
+    pub fn build(g: &Cdfg, initial: &RegFile, model: &TimingModel) -> Result<Self, SynthError> {
+        let opts = ExecOptions {
+            record_deps: true,
+            ..ExecOptions::default()
+        };
+        let delays = model.min_delay_model(g);
+        let result = execute(g, initial.clone(), &delays, &opts)?;
+        let consumed = &result.deps.as_ref().expect("record_deps was set").consumed;
+        let n = result.firings.len();
+
+        let mut lo = vec![0u64; n];
+        let mut dmin = vec![0u64; n];
+        let mut dmax = vec![0u64; n];
+        let mut activations: HashMap<NodeId, Vec<usize>> = HashMap::new();
+        let mut causal = true; // producers always precede consumers
+        for (k, f) in result.firings.iter().enumerate() {
+            activations.entry(f.node).or_default().push(k);
+            let node = g.node(f.node)?;
+            // Mirror the executor's latency rule: structural nodes take at
+            // most one token of time, `fu: None` (START/END) takes zero.
+            let (a, b) = match node.fu {
+                None => (0, 0),
+                Some(fu) => {
+                    let (a, b) = model.range_in(g, fu);
+                    if node.kind.is_structural() {
+                        (a.min(1), b.min(1))
+                    } else {
+                        (a, b)
+                    }
+                }
+            };
+            dmin[k] = a;
+            dmax[k] = b;
+            let mut s_lo = 0u64;
+            for &(_, producer) in &consumed[k] {
+                let Some(p) = producer else { continue };
+                let p = p as usize;
+                if p >= k {
+                    causal = false;
+                    continue;
+                }
+                s_lo = s_lo.max(lo[p]);
+            }
+            lo[k] = s_lo + a;
+        }
+
+        let bounded = causal && n <= EXACTNESS_FIRING_CAP;
+        let words = if bounded { n.div_ceil(64) } else { 0 };
+        let mut anc = vec![0u64; n * words];
+        let mut dom = vec![0u64; n * words];
+        if bounded {
+            let mut scratch = vec![0u64; words];
+            for k in 0..n {
+                let mut has_producer = false;
+                let (head, rest) = anc.split_at_mut(k * words);
+                let row_k = &mut rest[..words];
+                for &(_, producer) in &consumed[k] {
+                    let Some(p) = producer else { continue };
+                    let p = p as usize;
+                    let row_p = &head[p * words..(p + 1) * words];
+                    for (w, &src) in row_k.iter_mut().zip(row_p) {
+                        *w |= src;
+                    }
+                    row_k[p / 64] |= 1u64 << (p % 64);
+                    has_producer = true;
+                }
+                // dom[k] = {k} ∪ ⋂ producers' dominators. Sources (only
+                // pre-enabled/initial tokens) dominate themselves alone.
+                if has_producer {
+                    scratch.fill(!0u64);
+                    for &(_, producer) in &consumed[k] {
+                        let Some(p) = producer else { continue };
+                        let p = p as usize;
+                        let row_p = &dom[p * words..(p + 1) * words];
+                        for (w, &src) in scratch.iter_mut().zip(row_p) {
+                            *w &= src;
+                        }
+                    }
+                } else {
+                    scratch.fill(0);
+                }
+                scratch[k / 64] |= 1u64 << (k % 64);
+                dom[k * words..(k + 1) * words].copy_from_slice(&scratch);
+            }
+        }
+
+        let exact = bounded && Self::fu_chains_are_causal(g, &result, &anc, words);
+        Ok(TimingAnalysis {
+            result,
+            lo,
+            dmin,
+            dmax,
+            exact,
+            words,
+            anc,
+            dom,
+            activations,
+        })
+    }
+
+    /// Whether every unit's consecutive canonical firings are chained by
+    /// token causality: for each unit, firing `a` immediately before `b`
+    /// must be an ancestor of `b` in the event DAG, so the resource
+    /// constraint is implied by the data/control arcs and the schedule is
+    /// the same under every delay assignment.
+    fn fu_chains_are_causal(g: &Cdfg, result: &ExecResult, anc: &[u64], words: usize) -> bool {
+        let mut last_on_fu: HashMap<FuId, usize> = HashMap::new();
+        for (k, f) in result.firings.iter().enumerate() {
+            let Ok(node) = g.node(f.node) else {
+                return false;
+            };
+            let Some(fu) = node.fu else { continue };
+            if let Some(&prev) = last_on_fu.get(&fu) {
+                let bit = anc[k * words + prev / 64] >> (prev % 64) & 1;
+                if bit == 0 {
+                    return false;
+                }
+            }
+            last_on_fu.insert(fu, k);
+        }
+        true
+    }
+
+    /// The consume rows of the canonical run (the event DAG's edges).
+    fn consumed(&self) -> &[Vec<(ArcId, Option<u64>)>] {
+        &self
+            .result
+            .deps
+            .as_ref()
+            .expect("record_deps was set")
+            .consumed
+    }
+
+    /// Whether the bounds are exact (see type docs). When `false`, only
+    /// canonical-run counterexamples are decided; everything else is
+    /// [`IntervalVerdict::Unknown`].
+    pub fn exact(&self) -> bool {
+        self.exact
+    }
+
+    /// Canonical completion time of a consumed token's producer (`None` =
+    /// initial or pre-enabled token, present from t=0).
+    fn canon_time(&self, producer: Option<u64>) -> u64 {
+        producer.map_or(0, |p| self.result.firings[p as usize].completed_at)
+    }
+
+    /// Best min-latency chain lower bound on `t_q − t_a`: along any single
+    /// producer chain `a → … → q`, each completion exceeds its
+    /// predecessor's by at least the node's minimum latency, under *every*
+    /// delay assignment. `None` when `a` is not an ancestor of `q`.
+    fn lmin_chain(&self, a: usize, q: usize) -> Option<u64> {
+        if a == q {
+            return Some(0);
+        }
+        if a > q {
+            return None; // indices are topological: a cannot reach q
+        }
+        let consumed = self.consumed();
+        let mut lower: Vec<Option<u64>> = vec![None; q + 1];
+        lower[a] = Some(0);
+        for v in (a + 1)..=q {
+            let mut best: Option<u64> = None;
+            for &(_, producer) in &consumed[v] {
+                let Some(pr) = producer else { continue };
+                if let Some(l) = lower[pr as usize] {
+                    best = Some(best.map_or(l, |b: u64| b.max(l)));
+                }
+            }
+            lower[v] = best.map(|l| l + self.dmin[v]);
+        }
+        lower[q]
+    }
+
+    /// Whether `t_p(d) < t_q(d)` for *every* delay assignment `d` in the
+    /// model (requires [`Self::exact`]; the caller gates on it).
+    ///
+    /// Two sound bounds are tried, both built on cancelling the causal
+    /// history the two arrivals share:
+    ///
+    /// 1. **Producer cut.** With `A` = `p`'s direct producer set,
+    ///    `t_p ≤ max_{a∈A} t_a + dmax[p]`, while
+    ///    `t_q ≥ max_{a∈A} t_a + min_{a∈A} Lmin(a→q)` (each element of a
+    ///    max can be chained down individually). Separation follows when
+    ///    `dmax[p] < min_a Lmin(a→q)` — the paper's GT3 pattern exactly:
+    ///    one hop against a multi-op chain hanging off the same join.
+    /// 2. **Dominator anchor.** The deepest event `a` that dominates `p`
+    ///    (is on every source path into it) and is an ancestor of `q`:
+    ///    `t_p − t_q ≤ Hmax(a→p) − Lmin(a→q)`, where `Hmax` is the
+    ///    max-latency longest path (closed because every path into a node
+    ///    dominated by `a` stays within `a`'s dominated region). `dom[p]`
+    ///    contains `p` itself, so `p`-is-an-ancestor-of-`q` reduces to
+    ///    `a = p` with `Hmax = 0`.
+    fn proven_less(&self, p: Option<u64>, q: Option<u64>) -> bool {
+        let Some(q) = q else { return false };
+        let q = q as usize;
+        let Some(p) = p else {
+            // A pre-enabled token arrives at t=0; `lo` is a lower bound on
+            // the sibling's completion under every assignment.
+            return self.lo[q] > 0;
+        };
+        let p = p as usize;
+        if p == q {
+            return false;
+        }
+
+        // Bound 1: cut at p's direct producers.
+        let producers: Vec<usize> = self.consumed()[p]
+            .iter()
+            .filter_map(|&(_, pr)| pr.map(|x| x as usize))
+            .collect();
+        if producers.is_empty() {
+            // p is a source: t_p = d_p ≤ dmax[p] absolutely.
+            if self.dmax[p] < self.lo[q] {
+                return true;
+            }
+        } else {
+            let chain_floor = producers
+                .iter()
+                .map(|&a| self.lmin_chain(a, q))
+                .try_fold(u64::MAX, |m, l| l.map(|l| m.min(l)));
+            if matches!(chain_floor, Some(l) if self.dmax[p] < l) {
+                return true;
+            }
+        }
+
+        // Bound 2: deepest dominator-of-p that is an ancestor of q.
+        let w = self.words;
+        let dom_p = &self.dom[p * w..(p + 1) * w];
+        let anc_q = &self.anc[q * w..(q + 1) * w];
+        let mut anchor = None;
+        for wi in (0..w).rev() {
+            let bits = dom_p[wi] & anc_q[wi];
+            if bits != 0 {
+                anchor = Some(wi * 64 + (63 - bits.leading_zeros() as usize));
+                break;
+            }
+        }
+        let Some(a) = anchor else { return false };
+        let consumed = self.consumed();
+        let top = p.max(q);
+        let mut upper: Vec<Option<u64>> = vec![None; top + 1];
+        let mut lower: Vec<Option<u64>> = vec![None; top + 1];
+        upper[a] = Some(0);
+        lower[a] = Some(0);
+        for v in (a + 1)..=top {
+            let dominated = (self.dom[v * w + a / 64] >> (a % 64)) & 1 == 1;
+            let mut u_best: Option<u64> = None;
+            let mut u_ok = true;
+            let mut l_best: Option<u64> = None;
+            for &(_, producer) in &consumed[v] {
+                let Some(pr) = producer else { continue };
+                let pr = pr as usize;
+                match upper[pr] {
+                    Some(u) => u_best = Some(u_best.map_or(u, |b: u64| b.max(u))),
+                    None => u_ok = false,
+                }
+                if let Some(l) = lower[pr] {
+                    l_best = Some(l_best.map_or(l, |b: u64| b.max(l)));
+                }
+            }
+            if dominated && u_ok {
+                if let Some(u) = u_best {
+                    upper[v] = Some(u + self.dmax[v]);
+                }
+            }
+            lower[v] = l_best.map(|l| l + self.dmin[v]);
+        }
+        matches!((upper[p], lower[q]), (Some(u), Some(l)) if u < l)
+    }
+
+    /// Whether a *witness* delay assignment makes the candidate arrival
+    /// last or tied-last at activation `k` — a genuine counterexample to
+    /// redundancy (requires [`Self::exact`], under which any concrete
+    /// assignment evaluates by a forward pass over the event DAG).
+    ///
+    /// The witness biases against the candidate: maximum latency on the
+    /// candidate producer's ancestor cone (itself included), minimum
+    /// everywhere else. Heuristic, not exhaustive — a `false` here means
+    /// *undecided*, not proven-redundant.
+    fn counterexample_at(&self, k: usize, arc: ArcId, mine: Option<u64>) -> bool {
+        let consumed = self.consumed();
+        let w = self.words;
+        let in_cone = |v: usize, p: usize| -> bool {
+            v == p || (self.anc[p * w + v / 64] >> (v % 64)) & 1 == 1
+        };
+        let mut t = vec![0u64; k]; // every producer of row k fires before k
+        for v in 0..k {
+            let mut s = 0u64;
+            for &(_, producer) in &consumed[v] {
+                let Some(pr) = producer else { continue };
+                s = s.max(t[pr as usize]);
+            }
+            let d = match mine {
+                Some(p) if in_cone(v, p as usize) => self.dmax[v],
+                _ => self.dmin[v],
+            };
+            t[v] = s + d;
+        }
+        let m = mine.map_or(0, |p| t[p as usize]);
+        let others = consumed[k]
+            .iter()
+            .filter(|&&(id, _)| id != arc)
+            .map(|&(_, producer)| producer.map_or(0, |p| t[p as usize]))
+            .max();
+        match others {
+            Some(o) => m >= o,
+            None => true, // the candidate is the only arrival: trivially last
+        }
+    }
+
+    /// Classifies `arc` against every activation of its destination.
+    ///
+    /// Mirrors [`timing_redundant`]'s gating (operation/assignment
+    /// destinations with ≥ 2 in-arcs) and evidence rule (at least one
+    /// activation must actually consume the arc).
+    pub fn arc_verdict(&self, g: &Cdfg, arc: ArcId) -> IntervalVerdict {
+        let Ok(a) = g.arc(arc) else {
+            return IntervalVerdict::NotRedundant;
+        };
+        let dst = a.dst;
+        match g.node(dst).map(|n| &n.kind) {
+            Ok(NodeKind::Op { .. }) | Ok(NodeKind::Assign { .. }) => {}
+            _ => return IntervalVerdict::NotRedundant,
+        }
+        if g.in_arcs(dst).count() < 2 {
+            return IntervalVerdict::NotRedundant;
+        }
+        let consumed = self.consumed();
+        let Some(fires) = self.activations.get(&dst) else {
+            return IntervalVerdict::NotRedundant; // never fired: no evidence
+        };
+        let mut evidence = false;
+        let mut undecided = false;
+        for &k in fires {
+            let row = &consumed[k];
+            let Some(&(_, mine)) = row.iter().find(|(id, _)| *id == arc) else {
+                continue;
+            };
+            evidence = true;
+            if self.exact {
+                let separated = row
+                    .iter()
+                    .any(|&(id, q)| id != arc && self.proven_less(mine, q));
+                if separated {
+                    continue;
+                }
+                if self.counterexample_at(k, arc, mine) {
+                    return IntervalVerdict::NotRedundant;
+                }
+                undecided = true;
+            } else {
+                // Only the canonical run itself is trusted: last-or-tied
+                // there is a real counterexample regardless of exactness.
+                let m_canon = self.canon_time(mine);
+                let others_canon = row
+                    .iter()
+                    .filter(|&&(id, _)| id != arc)
+                    .map(|&(_, producer)| self.canon_time(producer))
+                    .max();
+                match others_canon {
+                    Some(c) if m_canon < c => undecided = true,
+                    _ => return IntervalVerdict::NotRedundant,
+                }
+            }
+        }
+        if !evidence {
+            IntervalVerdict::NotRedundant
+        } else if undecided {
+            IntervalVerdict::Unknown
+        } else {
+            IntervalVerdict::Redundant
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Parallel Monte-Carlo fallback
+// ---------------------------------------------------------------------------
+
+/// Per-seed classification of the candidate arc (one simulation).
+enum SeedVerdict {
+    /// Some activation saw the arc last or tied-last (or as the only
+    /// event): disproves redundancy.
+    LastOrTied,
+    /// Every consuming activation saw the arc strictly earlier.
+    Earlier,
+    /// No activation consumed the arc in this run.
+    NotConsumed,
+}
+
+fn seed_verdict(
+    g: &Cdfg,
+    arc: ArcId,
+    dst: NodeId,
+    initial: &RegFile,
+    model: &TimingModel,
+    seed: u64,
+) -> Result<SeedVerdict, SynthError> {
+    let delays = model.delay_model(g, seed);
+    let r = execute(g, initial.clone(), &delays, &ExecOptions::default())?;
+    let mut evidence = false;
+    for row in arrival_times(g, &r, dst)? {
+        let mine = row.iter().find(|(id, _)| *id == arc).and_then(|(_, t)| *t);
+        let Some(mine) = mine else { continue };
+        let others_max = row
+            .iter()
+            .filter(|(id, _)| *id != arc)
+            .filter_map(|(_, t)| *t)
+            .max();
+        match others_max {
+            Some(m) if mine < m => evidence = true,
+            _ => return Ok(SeedVerdict::LastOrTied),
+        }
+    }
+    Ok(if evidence {
+        SeedVerdict::Earlier
+    } else {
+        SeedVerdict::NotConsumed
+    })
+}
+
+/// Seeds evaluated per parallel batch of the fallback sampler; the fold
+/// early-exits between batches once a counterexample is seen.
+const SAMPLE_CHUNK: u64 = 8;
+
+/// Monte-Carlo verdict with the jitter seeds fanned over the rayon pool in
+/// batches. Verdicts are folded in seed order, so the outcome is identical
+/// to the sequential [`timing_redundant`] scan; only the early-exit
+/// granularity differs (a batch is fully evaluated before the fold).
+/// Returns `(redundant, simulations_run)`.
+fn sampled_redundant(
+    g: &Cdfg,
+    arc: ArcId,
+    initial: &RegFile,
+    model: &TimingModel,
+) -> Result<(bool, u64), SynthError> {
+    let dst = g.arc(arc)?.dst;
+    let mut evidence = false;
+    let mut runs = 0u64;
+    let mut seed = 0u64;
+    while seed < model.samples {
+        let upper = (seed + SAMPLE_CHUNK).min(model.samples);
+        let outcomes: Vec<Result<SeedVerdict, SynthError>> = (seed..upper)
+            .into_par_iter()
+            .map(|s| seed_verdict(g, arc, dst, initial, model, s + 1))
+            .collect();
+        runs += upper - seed;
+        for outcome in outcomes {
+            match outcome? {
+                SeedVerdict::LastOrTied => return Ok((false, runs)),
+                SeedVerdict::Earlier => evidence = true,
+                SeedVerdict::NotConsumed => {}
+            }
+        }
+        seed = upper;
+    }
+    Ok((evidence, runs))
+}
+
+// ---------------------------------------------------------------------------
+// Cross-candidate timing cache
+// ---------------------------------------------------------------------------
+
+/// Counters for one [`TimingCache::redundant`] query.
+///
+/// Returned per query (rather than read off the cache) so callers sharing
+/// one cache across parallel explorer candidates can attribute work to the
+/// right flow run.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct TimingQuery {
+    /// The verdict came straight from the cache.
+    pub cache_hit: bool,
+    /// The interval analysis decided (no sampling needed).
+    pub interval_decided: bool,
+    /// Simulations actually run by the Monte-Carlo fallback.
+    pub samples_run: u64,
+    /// Simulations the pure-Monte-Carlo baseline would have run but this
+    /// query did not (`model.samples - samples_run`).
+    pub samples_avoided: u64,
+}
+
+/// Aggregated timing-verification counters for one flow run.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct TimingStats {
+    /// Redundancy queries issued.
+    pub queries: u64,
+    /// Queries answered from the cache.
+    pub cache_hits: u64,
+    /// Queries decided by the interval analysis alone.
+    pub interval_decided: u64,
+    /// Queries that fell back to Monte-Carlo sampling.
+    pub fallback_decided: u64,
+    /// Simulations run by the fallback.
+    pub samples_run: u64,
+    /// Simulations avoided relative to the pure-Monte-Carlo baseline.
+    pub samples_avoided: u64,
+}
+
+impl TimingStats {
+    /// Folds one query's counters in.
+    pub fn absorb(&mut self, q: &TimingQuery) {
+        self.queries += 1;
+        if q.cache_hit {
+            self.cache_hits += 1;
+        } else if q.interval_decided {
+            self.interval_decided += 1;
+        } else {
+            self.fallback_decided += 1;
+        }
+        self.samples_run += q.samples_run;
+        self.samples_avoided += q.samples_avoided;
+    }
+
+    /// Folds another run's counters in (explorer aggregation).
+    pub fn merge(&mut self, other: &TimingStats) {
+        self.queries += other.queries;
+        self.cache_hits += other.cache_hits;
+        self.interval_decided += other.interval_decided;
+        self.fallback_decided += other.fallback_decided;
+        self.samples_run += other.samples_run;
+        self.samples_avoided += other.samples_avoided;
+    }
+}
+
+impl fmt::Display for TimingStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} queries ({} cached, {} interval, {} sampled); \
+             {} simulations run, {} avoided",
+            self.queries,
+            self.cache_hits,
+            self.interval_decided,
+            self.fallback_decided,
+            self.samples_run,
+            self.samples_avoided
+        )
+    }
+}
+
+/// One cached graph: its (lazily built) canonical analysis plus the
+/// verdicts already computed for its arcs.
+#[derive(Default)]
+struct CacheEntry {
+    analysis: Mutex<Option<Arc<TimingAnalysis>>>,
+    verdicts: Mutex<HashMap<ArcId, bool>>,
+}
+
+/// Memoizes timing-redundancy verdicts across *structurally identical*
+/// graphs.
+///
+/// [`Cdfg::version`] stamps are globally unique — clones get fresh stamps —
+/// so the version alone cannot key cross-candidate sharing. Instead the
+/// cache memoizes a 128-bit structural fingerprint *per version* (versions
+/// never alias, and any mutation bumps the version, so the memo is always
+/// valid), then keys entries on `fingerprint ⊕ timing model ⊕ initial
+/// registers`. The explorer's 64 candidates share long transform prefixes,
+/// so their GT3 scans mostly hit.
+///
+/// The fingerprint is two independently salted 64-bit hashes over the
+/// graph's nodes, arcs, units and blocks; a collision among `n` distinct
+/// graphs has probability ≲ n²/2¹²⁹.
+#[derive(Default)]
+pub struct TimingCache {
+    /// `Cdfg::version` → structural fingerprint.
+    keys: Mutex<HashMap<u64, u128>>,
+    /// Entry key (graph ⊕ model ⊕ initial registers) → entry.
+    entries: Mutex<HashMap<u128, Arc<CacheEntry>>>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+    canonical_runs: AtomicU64,
+}
+
+impl fmt::Debug for TimingCache {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("TimingCache")
+            .field(
+                "entries",
+                &self.entries.lock().expect("timing cache lock").len(),
+            )
+            .field("hits", &self.hits())
+            .field("misses", &self.misses())
+            .field("canonical_runs", &self.canonical_runs())
+            .finish()
+    }
+}
+
+fn salted_hasher(salt: u64) -> DefaultHasher {
+    let mut h = DefaultHasher::new();
+    salt.hash(&mut h);
+    h
+}
+
+fn graph_fingerprint(g: &Cdfg) -> u128 {
+    let mut h1 = salted_hasher(0x9e37_79b9_7f4a_7c15);
+    let mut h2 = salted_hasher(0xc2b2_ae3d_27d4_eb4f);
+    for h in [&mut h1, &mut h2] {
+        for (id, n) in g.nodes() {
+            id.hash(h);
+            // NodeKind carries statements and conditions; its Debug form
+            // is injective enough (variant names + full payloads).
+            format!("{:?}", n.kind).hash(h);
+            n.fu.hash(h);
+            n.block.hash(h);
+            n.seq.hash(h);
+        }
+        for (id, a) in g.arcs() {
+            id.hash(h);
+            a.src.hash(h);
+            a.dst.hash(h);
+            a.roles.hash(h);
+            a.backward.hash(h);
+        }
+        for (id, fu) in g.fus() {
+            id.hash(h);
+            fu.name().hash(h);
+        }
+        for (id, b) in g.blocks() {
+            id.hash(h);
+            b.parent.hash(h);
+            format!("{:?}", b.kind).hash(h);
+        }
+    }
+    (u128::from(h1.finish()) << 64) | u128::from(h2.finish())
+}
+
+impl TimingCache {
+    /// Creates an empty cache.
+    pub fn new() -> Self {
+        TimingCache::default()
+    }
+
+    /// Lifetime verdict cache hits.
+    pub fn hits(&self) -> u64 {
+        self.hits.load(Ordering::Relaxed)
+    }
+
+    /// Lifetime verdict cache misses.
+    pub fn misses(&self) -> u64 {
+        self.misses.load(Ordering::Relaxed)
+    }
+
+    /// Canonical (all-minimum-latency) executions run so far — one per
+    /// distinct (graph, model, initial) triple that needed analysis.
+    pub fn canonical_runs(&self) -> u64 {
+        self.canonical_runs.load(Ordering::Relaxed)
+    }
+
+    /// The structural fingerprint of `g`, memoized per version stamp.
+    fn fingerprint(&self, g: &Cdfg) -> u128 {
+        let mut keys = self.keys.lock().expect("timing cache lock");
+        if let Some(&k) = keys.get(&g.version()) {
+            return k;
+        }
+        let k = graph_fingerprint(g);
+        keys.insert(g.version(), k);
+        k
+    }
+
+    fn entry_key(&self, g: &Cdfg, initial: &RegFile, model: &TimingModel) -> u128 {
+        let graph = self.fingerprint(g);
+        let mut regs: Vec<_> = initial.iter().collect();
+        regs.sort();
+        let mut h1 = salted_hasher(0x8525_7d1b_01b5_4f2d);
+        let mut h2 = salted_hasher(0xfe1a_8ee5_93c1_5c97);
+        for h in [&mut h1, &mut h2] {
+            graph.hash(h);
+            model.samples.hash(h);
+            model.default.hash(h);
+            for (fu, _) in g.fus() {
+                model.range_in(g, fu).hash(h);
+            }
+            for (r, v) in &regs {
+                r.hash(h);
+                v.hash(h);
+            }
+        }
+        (u128::from(h1.finish()) << 64) | u128::from(h2.finish())
+    }
+
+    fn entry(&self, key: u128) -> Arc<CacheEntry> {
+        let mut entries = self.entries.lock().expect("timing cache lock");
+        Arc::clone(entries.entry(key).or_default())
+    }
+
+    /// The entry's canonical analysis, built on first use. The entry lock
+    /// is held across the build so racing candidates wait for (and share)
+    /// one canonical execution instead of duplicating it.
+    fn analysis(
+        &self,
+        entry: &CacheEntry,
+        g: &Cdfg,
+        initial: &RegFile,
+        model: &TimingModel,
+    ) -> Result<Arc<TimingAnalysis>, SynthError> {
+        let mut slot = entry.analysis.lock().expect("timing cache lock");
+        if let Some(a) = slot.as_ref() {
+            return Ok(Arc::clone(a));
+        }
+        self.canonical_runs.fetch_add(1, Ordering::Relaxed);
+        let built = Arc::new(TimingAnalysis::build(g, initial, model)?);
+        *slot = Some(Arc::clone(&built));
+        Ok(built)
+    }
+
+    /// Whether `arc` is timing-redundant (same contract as
+    /// [`timing_redundant`]), decided by the cheapest sufficient tier:
+    /// cached verdict → interval analysis → parallel Monte-Carlo fallback.
+    ///
+    /// # Errors
+    ///
+    /// Propagates simulation failures (the graph must execute cleanly).
+    pub fn redundant(
+        &self,
+        g: &Cdfg,
+        arc: ArcId,
+        initial: &RegFile,
+        model: &TimingModel,
+    ) -> Result<(bool, TimingQuery), SynthError> {
+        let entry = self.entry(self.entry_key(g, initial, model));
+        if let Some(&red) = entry.verdicts.lock().expect("timing cache lock").get(&arc) {
+            self.hits.fetch_add(1, Ordering::Relaxed);
+            return Ok((
+                red,
+                TimingQuery {
+                    cache_hit: true,
+                    interval_decided: false,
+                    samples_run: 0,
+                    samples_avoided: model.samples,
+                },
+            ));
+        }
+        self.misses.fetch_add(1, Ordering::Relaxed);
+
+        // Structural gate (no execution needed): only operation/assignment
+        // destinations with ≥ 2 in-arcs qualify, as in `timing_redundant`.
+        let a = g.arc(arc)?;
+        let structural = matches!(
+            g.node(a.dst)?.kind,
+            NodeKind::Op { .. } | NodeKind::Assign { .. }
+        ) && g.in_arcs(a.dst).count() >= 2;
+        let (red, query) = if !structural {
+            (
+                false,
+                TimingQuery {
+                    cache_hit: false,
+                    interval_decided: true,
+                    samples_run: 0,
+                    samples_avoided: 0,
+                },
+            )
+        } else {
+            let analysis = self.analysis(&entry, g, initial, model)?;
+            match analysis.arc_verdict(g, arc) {
+                IntervalVerdict::Redundant => (
+                    true,
+                    TimingQuery {
+                        cache_hit: false,
+                        interval_decided: true,
+                        samples_run: 0,
+                        samples_avoided: model.samples,
+                    },
+                ),
+                IntervalVerdict::NotRedundant => (
+                    false,
+                    TimingQuery {
+                        cache_hit: false,
+                        interval_decided: true,
+                        samples_run: 0,
+                        samples_avoided: model.samples,
+                    },
+                ),
+                IntervalVerdict::Unknown => {
+                    let (red, runs) = sampled_redundant(g, arc, initial, model)?;
+                    (
+                        red,
+                        TimingQuery {
+                            cache_hit: false,
+                            interval_decided: false,
+                            samples_run: runs,
+                            samples_avoided: model.samples - runs,
+                        },
+                    )
+                }
+            }
+        };
+        entry
+            .verdicts
+            .lock()
+            .expect("timing cache lock")
+            .insert(arc, red);
+        Ok((red, query))
+    }
 }
 
 #[cfg(test)]

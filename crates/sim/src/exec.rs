@@ -51,6 +51,11 @@ pub struct ExecOptions {
     /// not mentioned get a singleton group. Only inter-unit arcs are
     /// checked either way.
     pub channel_groups: Vec<Vec<ArcId>>,
+    /// Record per-firing token provenance ([`ExecResult::deps`]): which
+    /// firing produced each token a firing consumed. The arrival-interval
+    /// analysis uses the recorded event DAG; off by default because the
+    /// bookkeeping costs a provenance queue per arc.
+    pub record_deps: bool,
 }
 
 impl Default for ExecOptions {
@@ -59,6 +64,7 @@ impl Default for ExecOptions {
             max_firings: 100_000,
             require_end: true,
             channel_groups: Vec::new(),
+            record_deps: false,
         }
     }
 }
@@ -74,6 +80,21 @@ pub struct Firing {
     pub completed_at: u64,
 }
 
+/// The token-consumption DAG of one execution, recorded when
+/// [`ExecOptions::record_deps`] is set.
+///
+/// Firing `k` here is the `k`-th element of [`ExecResult::firings`]
+/// (firings are pushed in fire order, so the index doubles as the firing's
+/// sequence number).
+#[derive(Clone, Debug, Default)]
+pub struct ExecDeps {
+    /// `consumed[k]` lists every token firing `k` consumed, as
+    /// `(arc, producer)`: `producer` is the index of the firing whose
+    /// completion emitted the token, or `None` for initial and
+    /// pre-enabled (backward-arc) tokens.
+    pub consumed: Vec<Vec<(ArcId, Option<u64>)>>,
+}
+
 /// The outcome of a simulation run.
 #[derive(Clone, Debug)]
 pub struct ExecResult {
@@ -87,6 +108,8 @@ pub struct ExecResult {
     pub firings: Vec<Firing>,
     /// Wire-safety violations observed (empty for safe designs).
     pub violations: Vec<WireViolation>,
+    /// Token provenance (`Some` iff [`ExecOptions::record_deps`] was set).
+    pub deps: Option<ExecDeps>,
 }
 
 impl ExecResult {
@@ -121,6 +144,14 @@ struct Engine<'g> {
     pending_writes: HashMap<(NodeId, u64), Vec<(Reg, i64)>>,
     pending_cond: HashMap<(NodeId, u64), bool>,
     seq: u64,
+    record: bool,
+    /// FIFO of producing-firing indices per arc, tracked when recording.
+    provenance: HashMap<ArcId, VecDeque<Option<u64>>>,
+    consumed: Vec<Vec<(ArcId, Option<u64>)>>,
+    /// Scratch buffers for the readiness probe — reused across every probe
+    /// to keep the hot firing loop allocation-free.
+    probe_buf: Vec<ArcId>,
+    best_buf: Vec<ArcId>,
 }
 
 /// Runs a CDFG to quiescence.
@@ -171,11 +202,16 @@ pub fn execute(
         pending_writes: HashMap::new(),
         pending_cond: HashMap::new(),
         seq: 0,
+        record: opts.record_deps,
+        provenance: HashMap::new(),
+        consumed: Vec::new(),
+        probe_buf: Vec::new(),
+        best_buf: Vec::new(),
     };
     // Pre-enable backward arcs (GT1: "ignored during the first execution").
     for (id, arc) in g.arcs() {
         if arc.backward {
-            e.add_token(id, 0, true);
+            e.add_token(id, 0, true, None);
         }
     }
     e.run()?;
@@ -190,12 +226,16 @@ pub fn execute(
             pending_nodes: pending,
         });
     }
+    let deps = e.record.then(|| ExecDeps {
+        consumed: std::mem::take(&mut e.consumed),
+    });
     Ok(ExecResult {
         registers: e.registers,
         finished: e.end_fired,
         time,
         firings: e.firings,
         violations: e.violations,
+        deps,
     })
 }
 
@@ -217,9 +257,12 @@ impl<'g> Engine<'g> {
         Ok(())
     }
 
-    fn add_token(&mut self, arc: ArcId, time: u64, initial: bool) {
+    fn add_token(&mut self, arc: ArcId, time: u64, initial: bool, producer: Option<u64>) {
         let t = self.tokens.get_mut(&arc).expect("live arc");
         *t += 1;
+        if self.record {
+            self.provenance.entry(arc).or_default().push_back(producer);
+        }
         if let Some(groups) = self.group_of.get(&arc) {
             for &gidx in groups {
                 self.group_tokens[gidx] += 1;
@@ -238,7 +281,9 @@ impl<'g> Engine<'g> {
         }
     }
 
-    fn take_token(&mut self, arc: ArcId) {
+    /// Removes one token from `arc`, returning the firing that produced it
+    /// (always `None` when provenance recording is off).
+    fn take_token(&mut self, arc: ArcId) -> Option<u64> {
         let t = self.tokens.get_mut(&arc).expect("live arc");
         debug_assert!(*t > 0);
         *t -= 1;
@@ -247,14 +292,26 @@ impl<'g> Engine<'g> {
                 self.group_tokens[gidx] -= 1;
             }
         }
+        if self.record {
+            self.provenance
+                .get_mut(&arc)
+                .and_then(VecDeque::pop_front)
+                .flatten()
+        } else {
+            None
+        }
     }
 
-    /// Arcs a node must consume to fire right now, or `None` if not ready.
-    fn ready_set(&self, node: NodeId) -> Option<Vec<ArcId>> {
-        let n = self.g.node(node).ok()?;
+    /// Fills `need` with the arcs a node must consume to fire right now;
+    /// returns whether the node is ready. `need` is a caller-owned scratch
+    /// buffer so the per-node readiness probe allocates nothing.
+    fn ready_set(&self, node: NodeId, need: &mut Vec<ArcId>) -> bool {
+        need.clear();
+        let Ok(n) = self.g.node(node) else {
+            return false;
+        };
         match &n.kind {
             NodeKind::Loop { .. } => {
-                let mut need = Vec::new();
                 for (id, arc) in self.g.in_arcs(node) {
                     let outer = !arc.backward;
                     if outer && self.loop_started.contains(&node) {
@@ -262,71 +319,80 @@ impl<'g> Engine<'g> {
                     }
                     need.push(id);
                 }
-                if need.iter().all(|a| self.tokens[a] > 0) {
-                    Some(need)
-                } else {
-                    None
-                }
+                need.iter().all(|a| self.tokens[a] > 0)
             }
             NodeKind::EndIf => {
-                let req = self.endif_required.get(&node)?.front()?.clone();
-                if req.iter().all(|a| self.tokens[a] > 0) {
-                    Some(req)
-                } else {
-                    None
-                }
+                let Some(req) = self.endif_required.get(&node).and_then(VecDeque::front) else {
+                    return false;
+                };
+                need.extend_from_slice(req);
+                need.iter().all(|a| self.tokens[a] > 0)
             }
             _ => {
-                let need: Vec<ArcId> = self.g.in_arcs(node).map(|(id, _)| id).collect();
-                if !need.is_empty() && need.iter().all(|a| self.tokens[a] > 0) {
-                    Some(need)
-                } else if need.is_empty() && matches!(n.kind, NodeKind::Start) {
-                    self.node_fired
-                        .get(&node)
-                        .copied()
-                        .unwrap_or(0)
-                        .eq(&0)
-                        .then(Vec::new)
+                need.extend(self.g.in_arcs(node).map(|(id, _)| id));
+                if !need.is_empty() {
+                    need.iter().all(|a| self.tokens[a] > 0)
                 } else {
-                    None
+                    matches!(n.kind, NodeKind::Start)
+                        && self.node_fired.get(&node).copied().unwrap_or(0) == 0
                 }
             }
         }
     }
 
     fn fire_ready(&mut self, time: u64) -> Result<(), SimError> {
-        loop {
+        // The scratch buffers live on the engine; take them so the probe
+        // can borrow `self` immutably while filling them.
+        let mut probe = std::mem::take(&mut self.probe_buf);
+        let mut best_need = std::mem::take(&mut self.best_buf);
+        let result = loop {
             // Candidate = ready node whose unit is free; prefer the node
             // that has fired least, then earliest program order.
-            let mut best: Option<(u64, u32, NodeId, Vec<ArcId>)> = None;
+            let mut best: Option<(u64, u32, NodeId)> = None;
             for (id, n) in self.g.nodes() {
                 if let Some(fu) = n.fu {
                     if self.fu_busy[&fu] {
                         continue;
                     }
                 }
-                let Some(need) = self.ready_set(id) else {
+                if !self.ready_set(id, &mut probe) {
                     continue;
-                };
+                }
                 let count = self.node_fired.get(&id).copied().unwrap_or(0);
-                let key = (count, n.seq, id, need);
-                match &best {
-                    None => best = Some(key),
-                    Some((c, s, _, _)) if (count, n.seq) < (*c, *s) => best = Some(key),
-                    _ => {}
+                let better = match &best {
+                    None => true,
+                    Some((c, s, _)) => (count, n.seq) < (*c, *s),
+                };
+                if better {
+                    best = Some((count, n.seq, id));
+                    std::mem::swap(&mut best_need, &mut probe);
                 }
             }
-            let Some((_, _, node, need)) = best else {
-                return Ok(());
+            let Some((_, _, node)) = best else {
+                break Ok(());
             };
-            self.fire(node, need, time)?;
-        }
+            if let Err(e) = self.fire(node, &best_need, time) {
+                break Err(e);
+            }
+        };
+        self.probe_buf = probe;
+        self.best_buf = best_need;
+        result
     }
 
-    fn fire(&mut self, node: NodeId, need: Vec<ArcId>, time: u64) -> Result<(), SimError> {
+    fn fire(&mut self, node: NodeId, need: &[ArcId], time: u64) -> Result<(), SimError> {
         let n = self.g.node(node)?.clone();
-        for a in need {
-            self.take_token(a);
+        if self.record {
+            let mut row = Vec::with_capacity(need.len());
+            for &a in need {
+                let producer = self.take_token(a);
+                row.push((a, producer));
+            }
+            self.consumed.push(row);
+        } else {
+            for &a in need {
+                self.take_token(a);
+            }
         }
         *self.node_fired.entry(node).or_insert(0) += 1;
         if let NodeKind::Loop { .. } = n.kind {
@@ -360,7 +426,7 @@ impl<'g> Engine<'g> {
                             self.take_token(id);
                         }
                         if self.tokens[&id] == 0 {
-                            self.add_token(id, time, true);
+                            self.add_token(id, time, true, None);
                         }
                     }
                 }
@@ -464,7 +530,7 @@ impl<'g> Engine<'g> {
                         .map(|b| self.g.block_contains(b, dst_block))
                         .unwrap_or(false);
                     if into_body == taken {
-                        self.add_token(id, time, false);
+                        self.add_token(id, time, false, Some(seq));
                     }
                 }
                 if !taken {
@@ -483,7 +549,7 @@ impl<'g> Engine<'g> {
                 for (id, dst) in arcs {
                     let dst_block = self.g.node(dst)?.block;
                     if dst_block == taken_block || (dst == endif && taken_empty) {
-                        self.add_token(id, time, false);
+                        self.add_token(id, time, false, Some(seq));
                     }
                 }
                 // Tell ENDIF which in-arcs this activation needs.
@@ -508,13 +574,13 @@ impl<'g> Engine<'g> {
                     .and_then(VecDeque::pop_front);
                 let arcs: Vec<ArcId> = self.g.out_arcs(node).map(|(id, _)| id).collect();
                 for id in arcs {
-                    self.add_token(id, time, false);
+                    self.add_token(id, time, false, Some(seq));
                 }
             }
             _ => {
                 let arcs: Vec<ArcId> = self.g.out_arcs(node).map(|(id, _)| id).collect();
                 for id in arcs {
-                    self.add_token(id, time, false);
+                    self.add_token(id, time, false, Some(seq));
                 }
             }
         }

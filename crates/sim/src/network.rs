@@ -94,6 +94,9 @@ pub struct Network<'m, D> {
     events_processed: usize,
     trace: Vec<TraceEvent>,
     record_trace: bool,
+    /// Scratch buffer reused by `route_output` so the per-output routing
+    /// pass allocates nothing in the steady state.
+    deliveries: Vec<(u64, NetworkEvent)>,
 }
 
 /// One recorded signal change: `(time, machine, signal, new value)`.
@@ -169,6 +172,7 @@ impl<'m, D: Datapath> Network<'m, D> {
             events_processed: 0,
             trace: Vec::new(),
             record_trace: false,
+            deliveries: Vec::new(),
         })
     }
 
@@ -282,26 +286,31 @@ impl<'m, D: Datapath> Network<'m, D> {
     }
 
     fn route_output(&mut self, machine: usize, signal: SignalId, value: bool, time: u64) {
-        // Global wires: toggles to every receiver.
-        let deliveries: Vec<(u64, NetworkEvent)> = self
-            .wires
-            .iter()
-            .filter(|w| w.from.machine == machine && w.from.signal == signal)
-            .flat_map(|w| {
-                w.to.iter().map(move |t| {
-                    (
-                        time + w.delay,
-                        NetworkEvent::Toggle {
-                            machine: t.machine,
-                            signal: t.signal,
-                        },
-                    )
-                })
-            })
-            .collect();
-        for (at, ev) in deliveries {
+        // Global wires: toggles to every receiver. The scratch buffer
+        // decouples the wire-table borrow from the heap pushes without a
+        // per-output allocation.
+        let mut deliveries = std::mem::take(&mut self.deliveries);
+        deliveries.clear();
+        deliveries.extend(
+            self.wires
+                .iter()
+                .filter(|w| w.from.machine == machine && w.from.signal == signal)
+                .flat_map(|w| {
+                    w.to.iter().map(move |t| {
+                        (
+                            time + w.delay,
+                            NetworkEvent::Toggle {
+                                machine: t.machine,
+                                signal: t.signal,
+                            },
+                        )
+                    })
+                }),
+        );
+        for &(at, ev) in &deliveries {
             self.push(at, ev);
         }
+        self.deliveries = deliveries;
         // Datapath reactions.
         for (m, s, v, d) in self.datapath.on_output(machine, signal, value, time) {
             self.push(

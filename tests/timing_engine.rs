@@ -1,0 +1,231 @@
+//! Integration tests for the two-tier timing-verification engine: the
+//! interval analysis must be sound against the Monte-Carlo sampler, the
+//! paper's DIFFEQ arc 10 must fall to the interval tier alone, the shared
+//! `TimingCache` must make repeat explorer sweeps cheap, and caching must
+//! never change what the explorer ranks.
+
+use std::time::Instant;
+
+use adcs::explore::{explore_exhaustive_flow, ExploreOptions, Objective};
+use adcs::flow::{Flow, FlowOptions};
+use adcs::gt::{gt1_loop_parallelism, gt2_remove_dominated, gt3_relative_timing_cached};
+use adcs::timing::{timing_redundant, IntervalVerdict, TimingAnalysis, TimingCache, TimingModel};
+use adcs_cdfg::benchmarks::{diffeq, random_straight_line, DiffeqParams};
+use adcs_cdfg::Cdfg;
+use proptest::prelude::*;
+
+fn diffeq_model(d: &adcs_cdfg::benchmarks::DiffeqDesign) -> TimingModel {
+    TimingModel::uniform(1, 2)
+        .with_fu(d.mul1, 2, 4)
+        .with_fu(d.mul2, 2, 4)
+        .with_samples(24)
+}
+
+/// GT1+GT2-prepared DIFFEQ graph — the state GT3 sees inside the flow.
+fn prepared_diffeq() -> (Cdfg, adcs_cdfg::benchmarks::DiffeqDesign) {
+    let d = diffeq(DiffeqParams::default()).unwrap();
+    let mut g = d.cdfg.clone();
+    gt1_loop_parallelism(&mut g).unwrap();
+    gt2_remove_dominated(&mut g).unwrap();
+    (g, d)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Soundness: every arc the interval analysis proves redundant must
+    /// also look redundant to the Monte-Carlo sampler — by construction
+    /// the interval verdict covers *all* delay assignments, so no sampled
+    /// assignment may produce a counterexample.
+    #[test]
+    fn interval_redundant_implies_sampling_redundant(
+        seed in 1u64..500,
+        n_ops in 2usize..10,
+        n_fus in 2usize..4,
+        lo in 1u64..3,
+        span in 0u64..4,
+    ) {
+        let d = random_straight_line(seed, n_ops, n_fus).unwrap();
+        let model = TimingModel::uniform(lo, lo + span).with_samples(16);
+        let analysis = TimingAnalysis::build(&d.cdfg, &d.initial, &model).unwrap();
+        for arc in d.cdfg.inter_fu_arcs() {
+            if analysis.arc_verdict(&d.cdfg, arc) == IntervalVerdict::Redundant {
+                prop_assert!(
+                    timing_redundant(&d.cdfg, arc, &d.initial, &model).unwrap(),
+                    "interval analysis called arc {arc:?} redundant but sampling disagrees \
+                     (seed {seed}, {n_ops} ops, {n_fus} fus, delays [{lo}, {}])",
+                    lo + span
+                );
+            }
+        }
+    }
+}
+
+/// The paper's worked GT3 example must be decided by the interval tier
+/// alone: arc 10 is deleted without a single sampling execution.
+#[test]
+fn diffeq_arc_10_falls_to_the_interval_tier_without_sampling() {
+    let (mut g, d) = prepared_diffeq();
+    let m2 = g.node_by_label("M2 := U * dx").unwrap();
+    let u = g.node_by_label("U := U - M1").unwrap();
+    assert!(g.arcs().any(|(_, a)| a.src == m2 && a.dst == u));
+
+    let cache = TimingCache::new();
+    let rep = gt3_relative_timing_cached(&mut g, &d.initial, &diffeq_model(&d), &cache).unwrap();
+
+    assert!(
+        !g.arcs().any(|(_, a)| a.src == m2 && a.dst == u),
+        "arc 10 should be deleted: {rep:?}"
+    );
+    assert_eq!(
+        rep.timing.samples_run, 0,
+        "the interval analysis should decide every DIFFEQ query: {rep:?}"
+    );
+    assert_eq!(rep.timing.fallback_decided, 0, "{rep:?}");
+    assert!(rep.timing.interval_decided > 0, "{rep:?}");
+}
+
+/// Direct interval verdict on the raw DIFFEQ graph (no GT1/GT2): same
+/// pinning as `timing.rs`'s Monte-Carlo test, but conclusively.
+#[test]
+fn diffeq_arc_10_interval_verdict_is_redundant_on_the_raw_graph() {
+    let d = diffeq(DiffeqParams::default()).unwrap();
+    let g = &d.cdfg;
+    let m2 = g.node_by_label("M2 := U * dx").unwrap();
+    let u = g.node_by_label("U := U - M1").unwrap();
+    let arc10 = g
+        .arcs()
+        .find(|(_, a)| a.src == m2 && a.dst == u)
+        .map(|(id, _)| id)
+        .unwrap();
+    let model = diffeq_model(&d);
+    let analysis = TimingAnalysis::build(g, &d.initial, &model).unwrap();
+    assert_eq!(analysis.arc_verdict(g, arc10), IntervalVerdict::Redundant);
+}
+
+/// The engine must beat the pure Monte-Carlo baseline by a wide margin on
+/// the DIFFEQ flow — the acceptance gate asks for ≥ 5x; the interval tier
+/// typically delivers far more (one canonical run vs. samples × arcs ×
+/// rounds full executions).
+#[test]
+fn gt3_on_diffeq_is_at_least_5x_faster_than_pure_monte_carlo() {
+    let (g0, d) = prepared_diffeq();
+    let model = diffeq_model(&d);
+
+    // Pure Monte-Carlo baseline: the pre-engine GT3 loop — sample every
+    // candidate, restart the scan after each removal.
+    let baseline_start = Instant::now();
+    let mut g = g0.clone();
+    let mut baseline_removed = Vec::new();
+    loop {
+        let mut removed_one = false;
+        for id in g.inter_fu_arcs() {
+            if g.arc(id).is_err() {
+                continue;
+            }
+            if timing_redundant(&g, id, &d.initial, &model).unwrap() {
+                g.remove_arc(id).unwrap();
+                baseline_removed.push(id);
+                removed_one = true;
+                break;
+            }
+        }
+        if !removed_one {
+            break;
+        }
+    }
+    let baseline = baseline_start.elapsed();
+
+    let engine_start = Instant::now();
+    let mut g = g0.clone();
+    let rep = gt3_relative_timing_cached(&mut g, &d.initial, &model, &TimingCache::new()).unwrap();
+    let engine = engine_start.elapsed();
+
+    assert_eq!(
+        rep.removed, baseline_removed,
+        "engines must agree on what GT3 removes"
+    );
+    assert!(
+        engine * 5 <= baseline,
+        "expected >= 5x speedup, got baseline {baseline:?} vs engine {engine:?}"
+    );
+}
+
+fn sweep_base() -> FlowOptions {
+    FlowOptions {
+        verify_seeds: 2,
+        timing: TimingModel::uniform(1, 2)
+            .with_class("MUL", 2, 4)
+            .with_samples(8),
+        ..FlowOptions::default()
+    }
+}
+
+/// A repeat exhaustive sweep over the same `Flow` must be served almost
+/// entirely from the warm `TimingCache`: over half the queries hit, and
+/// over half of the Monte-Carlo baseline's simulations are skipped.
+#[test]
+fn warm_cache_repeat_sweep_skips_most_timing_samples() {
+    let d = diffeq(DiffeqParams::default()).unwrap();
+    let flow = Flow::new(d.cdfg.clone(), d.initial.clone());
+    let base = sweep_base();
+    let opts = ExploreOptions::default();
+
+    let cold = explore_exhaustive_flow(&flow, &base, Objective::ChannelsThenStates, opts).unwrap();
+    let warm = explore_exhaustive_flow(&flow, &base, Objective::ChannelsThenStates, opts).unwrap();
+    assert_eq!(cold.len(), warm.len());
+
+    let queries: u64 = warm.iter().map(|p| p.timing_queries).sum();
+    let hits: u64 = warm.iter().map(|p| p.timing_cache_hits).sum();
+    let run: u64 = warm.iter().map(|p| p.timing_samples_run).sum();
+    let avoided: u64 = warm.iter().map(|p| p.timing_samples_avoided).sum();
+    assert!(queries > 0);
+    assert!(
+        hits * 2 >= queries,
+        "warm sweep should answer at least half its queries from the cache: \
+         {hits} hits of {queries}"
+    );
+    assert!(
+        avoided * 2 >= run + avoided,
+        "warm sweep should skip at least half the Monte-Carlo baseline's samples: \
+         {run} run, {avoided} avoided"
+    );
+}
+
+/// Score transparency: caching may only change how fast verdicts arrive,
+/// never what they are — cached and uncached sweeps rank byte-identically.
+#[test]
+fn cached_and_uncached_sweeps_rank_identically() {
+    let d = diffeq(DiffeqParams::default()).unwrap();
+    let base = sweep_base();
+    let uncached_base = FlowOptions {
+        timing_cache: false,
+        minimize_cache: false,
+        ..base.clone()
+    };
+    let flow = Flow::new(d.cdfg.clone(), d.initial.clone());
+    let opts = ExploreOptions::default();
+
+    let cached =
+        explore_exhaustive_flow(&flow, &base, Objective::ChannelsThenStates, opts).unwrap();
+    let uncached =
+        explore_exhaustive_flow(&flow, &uncached_base, Objective::ChannelsThenStates, opts)
+            .unwrap();
+
+    let render = |points: &[adcs::explore::ExplorePoint]| -> String {
+        points
+            .iter()
+            .map(|p| {
+                format!(
+                    "{}:{}:{}ch:{}st:{}tr\n",
+                    p.label(),
+                    p.score,
+                    p.channels,
+                    p.states,
+                    p.transitions
+                )
+            })
+            .collect()
+    };
+    assert_eq!(render(&cached), render(&uncached));
+}
