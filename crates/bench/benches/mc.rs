@@ -1,0 +1,214 @@
+//! Sharded-frontier model checker: thread scaling and cold vs warm
+//! `McCache` on the largest exhaustively-checkable system benchmark (the
+//! unoptimized one-iteration DIFFEQ network, ~10⁴–10⁵ composite states).
+//!
+//! The headline pass checks the same system at 1 thread and at
+//! `max(available cores, 4)` threads, asserts the verdicts (including
+//! `stats.states`) are bit-identical, and records states/sec for both
+//! plus the warm-cache replay in `BENCH_mc.json` at the repo root — the
+//! artifact CI publishes. The ≥2x scaling assertion only arms on hosts
+//! with 4+ cores (the rayon shim spawns real OS threads, so a 1-core
+//! container cannot exhibit parallel speedup).
+//!
+//! Run with `cargo bench --bench mc`; set `MC_BENCH_QUICK=1` to run only
+//! the headline pass and JSON emission (what CI does). Results are
+//! recorded in EXPERIMENTS.md.
+
+use adcs::channel::ChannelMap;
+use adcs::extract::{extract, ExpansionStyle, ExtractOptions, Extraction};
+use adcs::mc::{model_check_system, McCache, McOptions, McVerdict};
+use adcs::system::{system_parts, SystemDelays, SystemParts};
+use adcs_cdfg::benchmarks::{diffeq, DiffeqDesign, DiffeqParams};
+use adcs_cdfg::Cdfg;
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use std::time::{Duration, Instant};
+
+/// One Euler iteration: the largest system the checker covers exhaustively.
+fn one_iter() -> DiffeqParams {
+    DiffeqParams {
+        x0: 0,
+        y0: 1,
+        u0: 2,
+        dx: 1,
+        a: 1,
+    }
+}
+
+/// Owned pieces the borrowed `SystemParts` is built from.
+struct Baseline {
+    d: DiffeqDesign,
+    channels: ChannelMap,
+    ex: Extraction,
+}
+
+impl Baseline {
+    fn new() -> Self {
+        let d = diffeq(one_iter()).expect("diffeq");
+        let channels = ChannelMap::per_arc(&d.cdfg).expect("channels");
+        let ex = extract(
+            &d.cdfg,
+            &channels,
+            &ExtractOptions {
+                style: ExpansionStyle::Sequential,
+            },
+        )
+        .expect("extract");
+        Baseline { d, channels, ex }
+    }
+
+    fn cdfg(&self) -> &Cdfg {
+        &self.d.cdfg
+    }
+
+    fn parts(&self) -> SystemParts<'_> {
+        system_parts(
+            self.cdfg(),
+            &self.channels,
+            &self.ex,
+            self.d.initial.clone(),
+            SystemDelays::default(),
+        )
+        .expect("system parts")
+    }
+}
+
+fn opts_at(threads: usize) -> McOptions {
+    McOptions {
+        threads: Some(threads),
+        ..McOptions::default()
+    }
+}
+
+fn check_at(parts: &SystemParts<'_>, threads: usize) -> McVerdict {
+    model_check_system(parts, &opts_at(threads)).expect("check")
+}
+
+/// Median-of-3 wall time of `f` (first call also serves as warm-up).
+fn time3<R>(mut f: impl FnMut() -> R) -> Duration {
+    let mut ts: Vec<Duration> = (0..3)
+        .map(|_| {
+            let start = Instant::now();
+            black_box(f());
+            start.elapsed()
+        })
+        .collect();
+    ts.sort();
+    ts[1]
+}
+
+/// The headline measurement: scaling + cache replay + `BENCH_mc.json`.
+fn headline() {
+    let base = Baseline::new();
+    let parts = base.parts();
+    let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
+    let nthreads = cores.max(4);
+
+    let v1 = check_at(&parts, 1);
+    let vn = check_at(&parts, nthreads);
+    assert_eq!(
+        format!("{v1:?}"),
+        format!("{vn:?}"),
+        "verdicts must be bit-identical at 1 and {nthreads} threads"
+    );
+    let states = v1.stats().states;
+    assert!(v1.is_verified(), "baseline must verify: {v1:?}");
+
+    let t1 = time3(|| check_at(&parts, 1));
+    let tn = time3(|| check_at(&parts, nthreads));
+    let sps = |t: Duration| states as f64 / t.as_secs_f64();
+    let speedup = t1.as_secs_f64() / tn.as_secs_f64();
+
+    let cache = McCache::new();
+    let t_cold = {
+        let start = Instant::now();
+        let (_, hit) = cache
+            .check_system(&parts, &opts_at(nthreads))
+            .expect("cold");
+        assert!(!hit);
+        start.elapsed()
+    };
+    let t_warm = time3(|| {
+        let (v, hit) = cache
+            .check_system(&parts, &opts_at(nthreads))
+            .expect("warm");
+        assert!(hit, "repeat check must come from the cache");
+        v
+    });
+
+    println!(
+        "mc DIFFEQ baseline: {states} states in {} waves (peak frontier {}, {} shards) | \
+         1 thread {t1:?} ({:.0} states/s) | \
+         {nthreads} threads {tn:?} ({:.0} states/s) -> {speedup:.2}x | \
+         cache cold {t_cold:?} warm {t_warm:?}",
+        v1.stats().batches,
+        v1.stats().peak_frontier,
+        v1.stats().shards,
+        sps(t1),
+        sps(tn),
+    );
+    if cores >= 4 {
+        assert!(
+            speedup >= 2.0,
+            "parallel checker only {speedup:.2}x faster at {nthreads} threads"
+        );
+    } else {
+        println!("({cores} core(s) available: scaling assertion not armed)");
+    }
+
+    let json = format!(
+        "{{\n  \"benchmark\": \"mc/diffeq_baseline_one_iter\",\n  \"states\": {states},\n  \
+         \"cores_available\": {cores},\n  \"threads\": {nthreads},\n  \
+         \"cold_1_thread_s\": {:.6},\n  \"cold_n_threads_s\": {:.6},\n  \
+         \"states_per_sec_1_thread\": {:.0},\n  \"states_per_sec_n_threads\": {:.0},\n  \
+         \"speedup\": {:.3},\n  \"warm_cache_s\": {:.6}\n}}\n",
+        t1.as_secs_f64(),
+        tn.as_secs_f64(),
+        sps(t1),
+        sps(tn),
+        speedup,
+        t_warm.as_secs_f64(),
+    );
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_mc.json");
+    std::fs::write(path, json).expect("write BENCH_mc.json");
+    println!("wrote {path}");
+}
+
+fn bench_scaling(c: &mut Criterion) {
+    headline();
+    if std::env::var("MC_BENCH_QUICK").is_ok() {
+        return;
+    }
+    let base = Baseline::new();
+    let parts = base.parts();
+    let nthreads = std::thread::available_parallelism().map_or(4, |n| n.get().max(4));
+    let mut grp = c.benchmark_group("mc/diffeq_baseline");
+    grp.sample_size(10).measurement_time(Duration::from_secs(8));
+    grp.bench_function("threads_1", |b| b.iter(|| black_box(check_at(&parts, 1))));
+    grp.bench_function(format!("threads_{nthreads}"), |b| {
+        b.iter(|| black_box(check_at(&parts, nthreads)))
+    });
+    grp.finish();
+}
+
+fn bench_cache(c: &mut Criterion) {
+    if std::env::var("MC_BENCH_QUICK").is_ok() {
+        return;
+    }
+    let base = Baseline::new();
+    let parts = base.parts();
+    let mut grp = c.benchmark_group("mc/cache");
+    grp.sample_size(10).measurement_time(Duration::from_secs(8));
+    grp.bench_function("cold", |b| {
+        b.iter(|| black_box(check_at(&parts, 1)));
+    });
+    let warm = McCache::new();
+    warm.check_system(&parts, &opts_at(1)).expect("prime");
+    grp.bench_function("warm", |b| {
+        b.iter(|| black_box(warm.check_system(&parts, &opts_at(1)).expect("warm")))
+    });
+    grp.finish();
+}
+
+criterion_group!(benches, bench_scaling, bench_cache);
+criterion_main!(benches);

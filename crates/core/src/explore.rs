@@ -21,7 +21,6 @@ use rayon::prelude::*;
 
 use crate::error::SynthError;
 use crate::flow::{Flow, FlowOptions, FlowOutcome};
-use crate::gt::Gt5Options;
 use crate::lt::LtOptions;
 
 /// How an exploration distributes its candidate evaluations.
@@ -134,6 +133,19 @@ pub struct ExplorePoint {
     pub timing_samples_run: u64,
     /// Simulations avoided relative to the pure-Monte-Carlo baseline.
     pub timing_samples_avoided: u64,
+    /// Model checks this candidate ran (0 when the flow has
+    /// `model_check` off).
+    pub mc_runs: u64,
+    /// Model checks served from the flow's `McCache`.
+    pub mc_cache_hits: u64,
+    /// Model checks actually searched.
+    pub mc_cache_misses: u64,
+    /// Composite states the model check visited for this candidate.
+    pub mc_states: u64,
+    /// Breadth-first waves the model check expanded.
+    pub mc_batches: u64,
+    /// Largest single-wave frontier of the model check.
+    pub mc_peak_frontier: u64,
 }
 
 impl ExplorePoint {
@@ -177,33 +189,28 @@ impl ExplorePoint {
 
 fn options_for(config: (bool, bool, bool, bool, bool, bool), base: &FlowOptions) -> FlowOptions {
     let (g1, g2, g3, g4, g5, lt) = config;
-    FlowOptions {
-        gt1: g1,
-        gt2: g2,
-        gt3: g3,
-        gt4: g4,
-        gt5: if g5 {
-            base.gt5
-        } else {
-            Gt5Options {
-                multiplexing: false,
-                concurrency_reduction: false,
-                symmetrization: false,
-                ..base.gt5
-            }
-        },
-        lt: if lt {
-            base.lt.clone()
-        } else {
-            LtOptions {
-                move_up_dones: false,
-                mux_preselect: false,
-                removable_acks: Vec::new(),
-                share_signals: false,
-            }
-        },
-        ..base.clone()
+    // One clone, mutated in place — the old struct-update form cloned
+    // `base` wholesale and then threw away the freshly cloned gt5/lt
+    // sub-options it was about to override.
+    let mut opts = base.clone();
+    opts.gt1 = g1;
+    opts.gt2 = g2;
+    opts.gt3 = g3;
+    opts.gt4 = g4;
+    if !g5 {
+        opts.gt5.multiplexing = false;
+        opts.gt5.concurrency_reduction = false;
+        opts.gt5.symmetrization = false;
     }
+    if !lt {
+        opts.lt = LtOptions {
+            move_up_dones: false,
+            mux_preselect: false,
+            removable_acks: Vec::new(),
+            share_signals: false,
+        };
+    }
+    opts
 }
 
 fn config_of(mask: u32) -> (bool, bool, bool, bool, bool, bool) {
@@ -245,6 +252,12 @@ fn evaluate(
         timing_cache_hits: out.timing_cache_hits,
         timing_samples_run: out.timing_samples_run,
         timing_samples_avoided: out.timing_samples_avoided,
+        mc_runs: out.mc_runs,
+        mc_cache_hits: out.mc_cache_hits,
+        mc_cache_misses: out.mc_cache_misses,
+        mc_states: out.mc_states,
+        mc_batches: out.mc_batches,
+        mc_peak_frontier: out.mc_peak_frontier,
     })
 }
 
@@ -422,9 +435,8 @@ mod tests {
     fn full_configuration_dominates_on_channels() {
         let d = diffeq(DiffeqParams::default()).unwrap();
         let flow_all = options_for((true, true, true, true, true, true), &fast_base());
-        let out = Flow::new(d.cdfg.clone(), d.initial.clone())
-            .run(&flow_all)
-            .unwrap();
+        // Flow arcs its inputs: moving them in costs no graph copy.
+        let out = Flow::new(d.cdfg, d.initial).run(&flow_all).unwrap();
         assert_eq!(out.optimized_gt_lt.channels, 5);
     }
 }

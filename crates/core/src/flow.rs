@@ -23,6 +23,8 @@ use crate::gt::{
 };
 use crate::logic::MinimizeCache;
 use crate::lt::{apply_all, LtOptions, LtReport};
+use crate::mc::{McCache, McOptions, McVerdict};
+use crate::system::{system_parts, SystemDelays};
 use crate::timing::{TimingCache, TimingModel, TimingStats};
 
 /// Options for the full flow.
@@ -70,6 +72,22 @@ pub struct FlowOptions {
     /// force fresh verification per run — verdicts are identical either
     /// way, only the work differs.
     pub timing_cache: bool,
+    /// Exhaustively model-check the final (GT+LT) controller network
+    /// against the behavioural datapath (`crate::mc`). A
+    /// [`McVerdict::Violation`] fails the run; `Verified` and `Budget`
+    /// (no violation in the explored prefix) pass. Off by default — the
+    /// product space of a full system dwarfs the rest of the flow.
+    pub model_check: bool,
+    /// Model-checker options for the in-flow check. The default budget is
+    /// far below [`McOptions::default`]'s: an explorer sweep multiplies
+    /// this cost by the candidate count, so the in-flow check is a bounded
+    /// smoke unless the caller raises it.
+    pub mc: McOptions,
+    /// Memoize model-check verdicts in the flow's [`McCache`], shared
+    /// across every `run` of this [`Flow`] (and its clones), so explorer
+    /// candidates that synthesize identical controller networks skip
+    /// verification entirely. Verdicts are identical either way.
+    pub mc_cache: bool,
 }
 
 impl Default for FlowOptions {
@@ -94,6 +112,12 @@ impl Default for FlowOptions {
             synth: SynthOptions::default(),
             minimize_cache: true,
             timing_cache: true,
+            model_check: false,
+            mc: McOptions {
+                max_states: 50_000,
+                ..McOptions::default()
+            },
+            mc_cache: true,
         }
     }
 }
@@ -132,6 +156,22 @@ pub struct StageStats {
     /// Simulations avoided relative to the pure-Monte-Carlo baseline
     /// (interval-decided, cached, or early-exited queries).
     pub timing_samples_avoided: u64,
+    /// Model checks this stage ran (0 or 1; only the final stage checks).
+    pub mc_runs: u64,
+    /// Model checks served from the [`McCache`].
+    pub mc_cache_hits: u64,
+    /// Model checks actually searched (cache misses).
+    pub mc_cache_misses: u64,
+    /// Distinct composite states the model check visited.
+    pub mc_states: u64,
+    /// Breadth-first waves (parallel batches) the model check expanded.
+    pub mc_batches: u64,
+    /// Largest single-wave frontier of the model check.
+    pub mc_peak_frontier: u64,
+    /// Visited-set shards of the model check.
+    pub mc_shards: u64,
+    /// Wall-clock time spent model checking.
+    pub mc_elapsed: Duration,
 }
 
 impl StageStats {
@@ -173,6 +213,23 @@ pub struct FlowOutcome {
     pub timing_samples_run: u64,
     /// Simulations avoided relative to the pure-Monte-Carlo baseline.
     pub timing_samples_avoided: u64,
+    /// Model checks this run performed (zero when
+    /// [`FlowOptions::model_check`] is off).
+    pub mc_runs: u64,
+    /// Model checks served from the [`McCache`] this run.
+    pub mc_cache_hits: u64,
+    /// Model checks actually searched this run.
+    pub mc_cache_misses: u64,
+    /// Distinct composite states the model check visited.
+    pub mc_states: u64,
+    /// Breadth-first waves the model check expanded.
+    pub mc_batches: u64,
+    /// Largest single-wave frontier of the model check.
+    pub mc_peak_frontier: u64,
+    /// Visited-set shards of the model check.
+    pub mc_shards: u64,
+    /// Wall-clock time spent model checking this run.
+    pub mc_elapsed: Duration,
     /// Stats of the unoptimized extraction.
     pub unoptimized: StageStats,
     /// Stats after the global transforms.
@@ -194,23 +251,30 @@ pub struct FlowOutcome {
 }
 
 /// The flow driver.
+///
+/// The CDFG and initial register file are `Arc`-shared: cloning a `Flow`
+/// (or constructing one from an already-`Arc`ed graph) costs two
+/// reference bumps, not a graph copy — the explorer leans on this.
 #[derive(Clone, Debug)]
 pub struct Flow {
-    cdfg: Cdfg,
-    initial: RegFile,
+    cdfg: Arc<Cdfg>,
+    initial: Arc<RegFile>,
     minimize: Arc<MinimizeCache>,
     timing: Arc<TimingCache>,
+    mc: Arc<McCache>,
 }
 
 impl Flow {
     /// Creates a flow over a scheduled, resource-bound CDFG with the
-    /// initial register file used for verification and GT3.
-    pub fn new(cdfg: Cdfg, initial: RegFile) -> Self {
+    /// initial register file used for verification and GT3. Accepts owned
+    /// values or pre-shared `Arc`s.
+    pub fn new(cdfg: impl Into<Arc<Cdfg>>, initial: impl Into<Arc<RegFile>>) -> Self {
         Flow {
-            cdfg,
-            initial,
+            cdfg: cdfg.into(),
+            initial: initial.into(),
             minimize: Arc::new(MinimizeCache::new()),
             timing: Arc::new(TimingCache::new()),
+            mc: Arc::new(McCache::new()),
         }
     }
 
@@ -224,6 +288,12 @@ impl Flow {
     /// (and of its clones — cloning a `Flow` shares the cache).
     pub fn timing_cache(&self) -> &TimingCache {
         &self.timing
+    }
+
+    /// The model-check verdict memo shared by every [`Flow::run`] of this
+    /// flow (and of its clones — cloning a `Flow` shares the cache).
+    pub fn mc_cache(&self) -> &McCache {
+        &self.mc
     }
 
     /// Runs the full pipeline.
@@ -261,7 +331,7 @@ impl Flow {
         // ---- Stage 1: global transforms --------------------------------
         let gt_start = Instant::now();
         let queries_before_gt = reach.queries();
-        let mut g = self.cdfg.clone();
+        let mut g = (*self.cdfg).clone();
         if opts.gt1 {
             gt1_loop_parallelism(&mut g)?;
         }
@@ -330,6 +400,40 @@ impl Flow {
             reach.queries() - queries_before_lt,
         );
 
+        // ---- Stage 2b (optional): exhaustive model check ----------------
+        if opts.model_check {
+            let mc_start = Instant::now();
+            let parts = system_parts(
+                &g,
+                &channels,
+                &ex_lt,
+                (*self.initial).clone(),
+                SystemDelays::default(),
+            )?;
+            let (verdict, hit) = if opts.mc_cache {
+                self.mc.check_system(&parts, &opts.mc)?
+            } else {
+                (
+                    Arc::new(crate::mc::model_check_system(&parts, &opts.mc)?),
+                    false,
+                )
+            };
+            if let McVerdict::Violation { kind, detail, .. } = verdict.as_ref() {
+                return Err(SynthError::Precondition(format!(
+                    "model check found a {kind:?}: {detail}"
+                )));
+            }
+            let s = verdict.stats();
+            optimized_gt_lt.mc_runs = 1;
+            optimized_gt_lt.mc_cache_hits = u64::from(hit);
+            optimized_gt_lt.mc_cache_misses = u64::from(!hit);
+            optimized_gt_lt.mc_states = s.states as u64;
+            optimized_gt_lt.mc_batches = s.batches as u64;
+            optimized_gt_lt.mc_peak_frontier = s.peak_frontier as u64;
+            optimized_gt_lt.mc_shards = s.shards as u64;
+            optimized_gt_lt.mc_elapsed = mc_start.elapsed();
+        }
+
         // ---- Stage 3 (optional): hazard-free logic synthesis -------------
         let mut logic: Vec<Arc<ControllerLogic>> = Vec::new();
         if opts.synthesize_logic {
@@ -372,6 +476,14 @@ impl Flow {
             timing_cache_hits: timing_stats.cache_hits,
             timing_samples_run: timing_stats.samples_run,
             timing_samples_avoided: timing_stats.samples_avoided,
+            mc_runs: optimized_gt_lt.mc_runs,
+            mc_cache_hits: optimized_gt_lt.mc_cache_hits,
+            mc_cache_misses: optimized_gt_lt.mc_cache_misses,
+            mc_states: optimized_gt_lt.mc_states,
+            mc_batches: optimized_gt_lt.mc_batches,
+            mc_peak_frontier: optimized_gt_lt.mc_peak_frontier,
+            mc_shards: optimized_gt_lt.mc_shards,
+            mc_elapsed: optimized_gt_lt.mc_elapsed,
             unoptimized,
             optimized_gt,
             optimized_gt_lt,
@@ -397,7 +509,7 @@ impl Flow {
             let delays = opts.timing.delay_model(g, seed + 1);
             let reference = execute(
                 &self.cdfg,
-                self.initial.clone(),
+                (*self.initial).clone(),
                 &delays,
                 &ExecOptions::default(),
             )?;
@@ -405,7 +517,7 @@ impl Flow {
                 channel_groups: groups.clone(),
                 ..ExecOptions::default()
             };
-            let r = execute(g, self.initial.clone(), &delays, &exec_opts)?;
+            let r = execute(g, (*self.initial).clone(), &delays, &exec_opts)?;
             if r.registers != reference.registers {
                 return Err(SynthError::Precondition(format!(
                     "transformed graph diverges from the original under seed {seed}"
@@ -458,6 +570,14 @@ fn stage_stats(
         timing_cache_hits: 0,
         timing_samples_run: 0,
         timing_samples_avoided: 0,
+        mc_runs: 0,
+        mc_cache_hits: 0,
+        mc_cache_misses: 0,
+        mc_states: 0,
+        mc_batches: 0,
+        mc_peak_frontier: 0,
+        mc_shards: 0,
+        mc_elapsed: Duration::ZERO,
     }
 }
 
@@ -588,6 +708,44 @@ mod tests {
         assert!(out.logic.is_empty());
         assert_eq!(out.hfmin_cache_hits + out.hfmin_cache_misses, 0);
         assert_eq!(out.hfmin_cube_ops, 0);
+    }
+
+    #[test]
+    fn model_check_stage_reports_counters_and_caches_verdicts() {
+        // Zero-iteration diffeq: the optimized network's product space is
+        // small enough to check exhaustively inside a unit test.
+        let d = diffeq(DiffeqParams {
+            x0: 3,
+            y0: 1,
+            u0: 2,
+            dx: 1,
+            a: 3,
+        })
+        .unwrap();
+        let flow = Flow::new(d.cdfg.clone(), d.initial.clone());
+        let opts = FlowOptions {
+            model_check: true,
+            verify_seeds: 2,
+            ..FlowOptions::default()
+        };
+        let cold = flow.run(&opts).unwrap();
+        assert_eq!(cold.mc_runs, 1);
+        assert_eq!(cold.mc_cache_misses, 1);
+        assert_eq!(cold.mc_cache_hits, 0);
+        assert!(cold.mc_states > 0);
+        assert!(cold.mc_batches > 0);
+        assert!(cold.mc_peak_frontier > 0);
+        assert_eq!(cold.mc_shards, 64);
+        // Same Flow, same options: the verdict comes from the McCache and
+        // the search statistics are byte-identical.
+        let warm = flow.run(&opts).unwrap();
+        assert_eq!(warm.mc_runs, 1);
+        assert_eq!(warm.mc_cache_hits, 1);
+        assert_eq!(warm.mc_cache_misses, 0);
+        assert_eq!(warm.mc_states, cold.mc_states);
+        assert_eq!(warm.mc_batches, cold.mc_batches);
+        assert_eq!(flow.mc_cache().hits(), 1);
+        assert_eq!(flow.mc_cache().misses(), 1);
     }
 
     #[test]

@@ -23,22 +23,59 @@
 //! Loops terminate because the data is concrete, so the space is finite;
 //! [`McOptions::max_states`] bounds the search anyway.
 //!
-//! The visited set stores **128-bit fingerprints** of the canonicalized
-//! states (two independently salted 64-bit hashes) rather than full
-//! clones — roughly a tenth of the memory, which is what allows the
+//! # Architecture: sharded-frontier breadth-first search
+//!
+//! The search proceeds in **waves** (breadth-first levels). Each wave's
+//! frontier lives in a packed [`Arena`]: every state is a fixed number of
+//! `u64` words (machine states, signal-value bitset, register presence
+//! bitset + values) plus a flat run of pending events — successor
+//! generation decodes and re-encodes through per-worker scratch buffers
+//! and allocates nothing on the hot path. The frontier is split into
+//! contiguous chunks expanded in parallel (the offline rayon shim's
+//! deterministic ordered-batch pattern, as in `timing.rs`); each worker
+//! only *reads* the sharded visited set, and the merge that follows runs
+//! sequentially in global state order, inserting discoveries shard by
+//! shard without any locking. Verdicts, statistics, and counterexample
+//! traces are therefore **bit-identical between 1 and N threads**: the
+//! first violation is the one with the lowest (wave, state, event) index
+//! no matter how the chunks were scheduled, and a chunk that stops early
+//! at a violation only ever discards work *later* in that order.
+//!
+//! The visited set is split into `2^shard_bits` fingerprint-sharded
+//! sub-sets ([`McOptions::shard_bits`]) storing **128-bit fingerprints**
+//! of the canonicalized states (two independently salted 64-bit hashes)
+//! rather than full clones — 16 bytes per state, which is what allows the
 //! raised default state budget. A fingerprint collision would silently
 //! prune a distinct state; with `n` visited states the probability is
 //! ≲ n²/2¹²⁹ (about 10⁻²⁶ even at the default budget), far below the
 //! chance of a hardware fault.
+//!
+//! The wave order returns the *shallowest* counterexample — but by the
+//! same token it cannot reach a violation that only occurs many events
+//! deep in a wide space (a frontier already millions of states wide
+//! cannot afford another wave). [`McOrder::Depth`] instead dives along
+//! one interleaving at a time through the same expansion machinery: a
+//! deep-narrow counterexample such as the §5 channel interference falls
+//! out in milliseconds, at the price of a non-minimal trace and a
+//! single-threaded (still deterministic) search.
+//!
+//! Re-verification across explorer candidates is avoided by [`McCache`]:
+//! verdicts are memoized under a structural fingerprint of the machine
+//! set ⊕ wire network ⊕ stimuli ⊕ datapath behavior, so candidates that
+//! synthesize identical controller networks skip the search entirely.
 
 use std::collections::hash_map::DefaultHasher;
-use std::collections::{HashSet, VecDeque};
+use std::collections::{HashMap, HashSet, VecDeque};
 use std::hash::{Hash, Hasher};
+use std::ops::Range;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
 
 use adcs_cdfg::Reg;
-use adcs_sim::network::{Datapath, Wire};
+use adcs_sim::network::{Datapath, Wire, WireEnd};
 use adcs_xbm::interp::Interp;
 use adcs_xbm::{SignalId, StateId, XbmMachine};
+use rayon::prelude::*;
 
 use crate::error::SynthError;
 use crate::system::{SystemDatapath, SystemParts};
@@ -50,6 +87,23 @@ pub trait McDatapath: Datapath {
     fn save_state(&self) -> Vec<(Reg, i64)>;
     /// Restores a snapshot taken with [`Self::save_state`].
     fn restore_state(&mut self, saved: &[(Reg, i64)]);
+    /// Every register that can ever appear in [`Self::save_state`] over
+    /// the lifetime of one check. The checker packs register files into
+    /// fixed-width arena slots keyed by this universe, so a register
+    /// missing here would silently fall out of the explored state. The
+    /// default derives the universe from the current state, which is only
+    /// correct for datapaths that never materialize registers mid-run.
+    fn register_universe(&self) -> Vec<Reg> {
+        self.save_state().into_iter().map(|(r, _)| r).collect()
+    }
+    /// Visits every live register with its value, in any order. The
+    /// default allocates via [`Self::save_state`]; implementations on the
+    /// hot path should override it with a direct walk.
+    fn for_each_reg(&self, f: &mut dyn FnMut(&Reg, i64)) {
+        for (r, v) in self.save_state() {
+            f(&r, v);
+        }
+    }
 }
 
 impl McDatapath for SystemDatapath {
@@ -59,6 +113,14 @@ impl McDatapath for SystemDatapath {
     fn restore_state(&mut self, saved: &[(Reg, i64)]) {
         SystemDatapath::restore_state(self, saved);
     }
+    fn register_universe(&self) -> Vec<Reg> {
+        SystemDatapath::register_universe(self)
+    }
+    fn for_each_reg(&self, f: &mut dyn FnMut(&Reg, i64)) {
+        for (r, v) in self.registers() {
+            f(r, *v);
+        }
+    }
 }
 
 impl McDatapath for () {
@@ -66,6 +128,10 @@ impl McDatapath for () {
         Vec::new()
     }
     fn restore_state(&mut self, _: &[(Reg, i64)]) {}
+    fn register_universe(&self) -> Vec<Reg> {
+        Vec::new()
+    }
+    fn for_each_reg(&self, _: &mut dyn FnMut(&Reg, i64)) {}
 }
 
 /// Environment stimuli and timing-assumption annotations for a check.
@@ -80,6 +146,21 @@ pub struct McStimuli {
     pub levels: Vec<(usize, SignalId)>,
 }
 
+/// Traversal order of the exhaustive search.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Hash)]
+pub enum McOrder {
+    /// Parallel sharded-frontier breadth-first search (the default):
+    /// covers the space wave by wave and returns the *shallowest*
+    /// counterexample, bit-identically at every thread count.
+    #[default]
+    Wave,
+    /// Sequential depth-first hunt: dives along one interleaving at a
+    /// time, reaching counterexamples that live deeper than any
+    /// affordable breadth-first budget. The trace found is not minimal,
+    /// and the search runs on one thread (but is still deterministic).
+    Depth,
+}
+
 /// Options for [`model_check`].
 #[derive(Clone, Copy, Debug)]
 pub struct McOptions {
@@ -90,15 +171,32 @@ pub struct McOptions {
     /// sampled level is stable by the time its trigger edge arrives).
     /// With `false`, level updates race the rest of the network.
     pub synchronous_levels: bool,
+    /// Worker threads for frontier expansion. `None` uses the ambient
+    /// rayon pool (honouring `RAYON_NUM_THREADS`); `Some(n)` installs a
+    /// dedicated `n`-thread pool. The verdict, statistics, and
+    /// counterexample trace are identical for every thread count.
+    pub threads: Option<usize>,
+    /// `log2` of the visited-set shard count. Sharding bounds per-set
+    /// rehash cost on multi-million-state searches; the count is fixed up
+    /// front (independent of the thread count) so `McStats::shards` and
+    /// every other statistic stay thread-count invariant.
+    pub shard_bits: u32,
+    /// Traversal order: the wave search (default) or the depth-first
+    /// hunt. See [`McOrder`].
+    pub order: McOrder,
 }
 
 impl Default for McOptions {
     fn default() -> Self {
         McOptions {
-            // The fingerprinted visited set costs 16 bytes per state, so a
-            // budget that used to cost gigabytes now fits comfortably.
+            // Visited states cost 16 bytes each (one 128-bit fingerprint
+            // spread over the shards), so a budget that used to cost
+            // gigabytes now fits comfortably.
             max_states: 4_000_000,
             synchronous_levels: true,
+            threads: None,
+            shard_bits: 6,
+            order: McOrder::Wave,
         }
     }
 }
@@ -112,6 +210,17 @@ pub struct McStats {
     pub terminals: usize,
     /// Largest number of concurrently in-flight events seen.
     pub max_pending: usize,
+    /// Visited-set shards (`2^shard_bits`, thread-count independent).
+    pub shards: usize,
+    /// Breadth-first waves expanded (each wave is one parallel batch);
+    /// under [`McOrder::Depth`], individual state expansions.
+    pub batches: usize,
+    /// Largest single-wave frontier (depth order: deepest stack) seen.
+    pub peak_frontier: usize,
+    /// `true` when the state budget cut a wave mid-merge — some expanded
+    /// state had successors discarded, so sibling coverage is partial.
+    /// `false` for [`McVerdict::Budget`] hit exactly on a wave boundary.
+    pub truncated: bool,
 }
 
 /// What kind of counterexample the search found.
@@ -144,6 +253,12 @@ pub enum McVerdict {
         kind: McViolationKind,
         /// Human-readable description of the failing delivery.
         detail: String,
+        /// The event sequence reaching the failure, oldest first, rendered
+        /// as `machine.signal~` (toggle) or `machine.signal=v` (level set).
+        /// Under [`McOrder::Wave`] this is the shallowest counterexample
+        /// and hence a shortest trace; [`McOrder::Depth`] makes no such
+        /// promise.
+        trace: Vec<String>,
         /// Search statistics at the point of failure.
         stats: McStats,
     },
@@ -178,79 +293,501 @@ struct PendEv {
     set: Option<bool>,
 }
 
-/// A composite network state: controller snapshots, register file, and
-/// canonical in-flight events.
-#[derive(Clone, PartialEq, Eq, Hash)]
-struct Key {
-    machines: Vec<(StateId, Vec<bool>)>,
-    data: Vec<(Reg, i64)>,
-    pending: Vec<PendEv>,
-}
-
-impl Key {
-    /// 128-bit fingerprint of the canonicalized state: two independently
-    /// salted 64-bit hashes (see the module docs for the collision odds).
-    fn fingerprint(&self) -> u128 {
-        let mut h1 = DefaultHasher::new();
-        0x9e37_79b9_7f4a_7c15u64.hash(&mut h1);
-        self.hash(&mut h1);
-        let mut h2 = DefaultHasher::new();
-        0xc2b2_ae3d_27d4_eb4fu64.hash(&mut h2);
-        self.hash(&mut h2);
-        (u128::from(h1.finish()) << 64) | u128::from(h2.finish())
-    }
-}
-
 /// Stable-sorts the in-flight events by destination, preserving per-wire
 /// FIFO order (same-destination events keep their arrival order).
 fn canonicalize(pending: &mut [PendEv]) {
     pending.sort_by_key(|e| (e.machine, e.signal.index()));
 }
 
-/// Indices of events eligible for delivery: the oldest per destination
-/// (a physical wire delivers in order; distinct wires commute).
-fn eligible(pending: &[PendEv]) -> Vec<usize> {
-    let mut seen: HashSet<(usize, SignalId)> = HashSet::new();
-    let mut out = Vec::new();
-    for (i, e) in pending.iter().enumerate() {
-        if seen.insert((e.machine, e.signal)) {
-            out.push(i);
+/// Whether `pending[i]` is eligible for delivery: the oldest event per
+/// destination (a physical wire delivers in order; distinct wires
+/// commute). On a canonicalized list these are exactly the run starts.
+fn eligible_at(pending: &[PendEv], i: usize) -> bool {
+    i == 0 || {
+        let (a, b) = (pending[i - 1], pending[i]);
+        a.machine != b.machine || a.signal != b.signal
+    }
+}
+
+/// 128-bit fingerprint of a canonicalized packed state: two independently
+/// salted 64-bit hashes (see the module docs for the collision odds).
+fn fingerprint(fixed: &[u64], pending: &[PendEv]) -> u128 {
+    let mut h1 = DefaultHasher::new();
+    0x9e37_79b9_7f4a_7c15u64.hash(&mut h1);
+    fixed.hash(&mut h1);
+    pending.hash(&mut h1);
+    let mut h2 = DefaultHasher::new();
+    0xc2b2_ae3d_27d4_eb4fu64.hash(&mut h2);
+    fixed.hash(&mut h2);
+    pending.hash(&mut h2);
+    (u128::from(h1.finish()) << 64) | u128::from(h2.finish())
+}
+
+/// The visited set, split into `2^bits` fingerprint-indexed sub-sets.
+///
+/// Workers only *read* it during parallel expansion (the frontier's
+/// pre-filter); all inserts happen in the sequential per-wave merge, so no
+/// shard ever needs a lock — the determinism comes from the batch pattern,
+/// not from synchronization.
+struct ShardedVisited {
+    shards: Vec<HashSet<u128>>,
+    mask: u64,
+    count: usize,
+}
+
+impl ShardedVisited {
+    fn new(bits: u32) -> Self {
+        let n = 1usize << bits.min(12);
+        ShardedVisited {
+            shards: (0..n).map(|_| HashSet::new()).collect(),
+            mask: (n - 1) as u64,
+            count: 0,
         }
     }
-    out
+
+    #[inline]
+    fn shard_of(&self, fp: u128) -> usize {
+        ((fp as u64) & self.mask) as usize
+    }
+
+    #[inline]
+    fn contains(&self, fp: u128) -> bool {
+        self.shards[self.shard_of(fp)].contains(&fp)
+    }
+
+    #[inline]
+    fn insert(&mut self, fp: u128) -> bool {
+        let s = self.shard_of(fp);
+        if self.shards[s].insert(fp) {
+            self.count += 1;
+            true
+        } else {
+            false
+        }
+    }
+}
+
+/// One link of a counterexample trace: the event whose delivery produced
+/// this state, chained back to the initial state. Nodes are shared
+/// between sibling states via `Arc` (the trace spine is a tree overlaid
+/// on the search).
+#[derive(Debug)]
+struct TraceNode {
+    prev: Option<Arc<TraceNode>>,
+    ev: PendEv,
+}
+
+impl Drop for TraceNode {
+    // Unlink iteratively: recursive drop of a deep chain would overflow
+    // the stack on long searches.
+    fn drop(&mut self) {
+        let mut cur = self.prev.take();
+        while let Some(node) = cur {
+            match Arc::try_unwrap(node) {
+                Ok(mut n) => cur = n.prev.take(),
+                Err(_) => break,
+            }
+        }
+    }
+}
+
+/// A packed wave of frontier states, structure-of-arrays style: `width`
+/// fixed words per state (machine states + signal bitset + register
+/// presence/values), a flat run of pending events, and the trace spine.
+struct Arena {
+    width: usize,
+    fixed: Vec<u64>,
+    pend: Vec<PendEv>,
+    pend_idx: Vec<usize>,
+    trace: Vec<Option<Arc<TraceNode>>>,
+}
+
+impl Arena {
+    fn new(width: usize) -> Self {
+        Arena {
+            width,
+            fixed: Vec::new(),
+            pend: Vec::new(),
+            pend_idx: vec![0],
+            trace: Vec::new(),
+        }
+    }
+
+    fn len(&self) -> usize {
+        self.trace.len()
+    }
+
+    fn is_empty(&self) -> bool {
+        self.trace.is_empty()
+    }
+
+    fn push(&mut self, fixed: &[u64], pend: &[PendEv], trace: Option<Arc<TraceNode>>) {
+        debug_assert_eq!(fixed.len(), self.width);
+        self.fixed.extend_from_slice(fixed);
+        self.pend.extend_from_slice(pend);
+        self.pend_idx.push(self.pend.len());
+        self.trace.push(trace);
+    }
+
+    fn fixed(&self, i: usize) -> &[u64] {
+        &self.fixed[i * self.width..(i + 1) * self.width]
+    }
+
+    fn pending(&self, i: usize) -> &[PendEv] {
+        &self.pend[self.pend_idx[i]..self.pend_idx[i + 1]]
+    }
+
+    fn trace(&self, i: usize) -> &Option<Arc<TraceNode>> {
+        &self.trace[i]
+    }
+
+    fn clear(&mut self) {
+        self.fixed.clear();
+        self.pend.clear();
+        self.pend_idx.clear();
+        self.pend_idx.push(0);
+        self.trace.clear();
+    }
+
+    /// Drops the last state — the depth-first hunt uses the arena as its
+    /// stack.
+    fn pop(&mut self) {
+        self.trace.pop();
+        self.pend_idx.pop();
+        self.pend
+            .truncate(*self.pend_idx.last().expect("index sentinel"));
+        self.fixed.truncate(self.trace.len() * self.width);
+    }
+}
+
+/// Word layout of one packed state: per-machine control states (two per
+/// word), the concatenated signal-value bitset, and the register file as
+/// a presence bitset plus one value word per register in the sorted
+/// universe.
+struct Layout {
+    sig_counts: Vec<u32>,
+    state_words: usize,
+    sig_words: usize,
+    presence_words: usize,
+    regs: Vec<Reg>,
+    words: usize,
+}
+
+impl Layout {
+    fn new(machines: &[&XbmMachine], datapath: &impl McDatapath) -> Layout {
+        let sig_counts: Vec<u32> = machines
+            .iter()
+            .map(|m| m.signals().count() as u32)
+            .collect();
+        let total_sigs: usize = sig_counts.iter().map(|&c| c as usize).sum();
+        let state_words = machines.len().div_ceil(2);
+        let sig_words = total_sigs.div_ceil(64);
+        let mut regs = datapath.register_universe();
+        regs.sort();
+        regs.dedup();
+        let presence_words = regs.len().div_ceil(64);
+        let words = state_words + sig_words + presence_words + regs.len();
+        Layout {
+            sig_counts,
+            state_words,
+            sig_words,
+            presence_words,
+            regs,
+            words,
+        }
+    }
+
+    /// First word of the register-file section (presence + values); two
+    /// packed states have equal register files iff these suffixes match.
+    fn reg_base(&self) -> usize {
+        self.state_words + self.sig_words
+    }
+
+    /// Appends the packed encoding of the live configuration to `out`.
+    fn encode<D: McDatapath>(&self, interps: &[Interp<'_>], datapath: &D, out: &mut Vec<u64>) {
+        let base = out.len();
+        out.resize(base + self.words, 0);
+        let w = &mut out[base..];
+        for (m, it) in interps.iter().enumerate() {
+            w[m / 2] |= (it.state().index() as u64) << ((m % 2) * 32);
+        }
+        let mut bit = 0usize;
+        for (m, it) in interps.iter().enumerate() {
+            for s in 0..self.sig_counts[m] {
+                if it.value(SignalId::from_raw(s)) {
+                    w[self.state_words + bit / 64] |= 1u64 << (bit % 64);
+                }
+                bit += 1;
+            }
+        }
+        let pbase = self.reg_base();
+        let vbase = pbase + self.presence_words;
+        datapath.for_each_reg(&mut |r, v| {
+            if let Ok(slot) = self.regs.binary_search(r) {
+                w[pbase + slot / 64] |= 1u64 << (slot % 64);
+                w[vbase + slot] = v as u64;
+            }
+        });
+    }
+
+    /// Materializes a packed state into the worker's interpreters and
+    /// datapath, reusing the scratch buffers in `ctx`. When the register
+    /// presence set matches the previous restore (the steady state), only
+    /// values are rewritten — no `Reg` name clones.
+    fn restore<D: McDatapath>(&self, w: &[u64], ctx: &mut Ctx<'_, D>) -> Result<(), SynthError> {
+        let mut bit = 0usize;
+        for (m, interp) in ctx.interps.iter_mut().enumerate() {
+            let st = StateId::from_raw(((w[m / 2] >> ((m % 2) * 32)) & 0xffff_ffff) as u32);
+            ctx.vals.clear();
+            for _ in 0..self.sig_counts[m] {
+                ctx.vals
+                    .push((w[self.state_words + bit / 64] >> (bit % 64)) & 1 == 1);
+                bit += 1;
+            }
+            interp.restore(st, &ctx.vals).map_err(SynthError::Xbm)?;
+        }
+        let pbase = self.reg_base();
+        let vbase = pbase + self.presence_words;
+        let presence = &w[pbase..pbase + self.presence_words];
+        if ctx.presence_valid && ctx.presence == presence {
+            let mut k = 0usize;
+            for (slot, _) in self.regs.iter().enumerate() {
+                if (presence[slot / 64] >> (slot % 64)) & 1 == 1 {
+                    ctx.regs[k].1 = w[vbase + slot] as i64;
+                    k += 1;
+                }
+            }
+        } else {
+            ctx.regs.clear();
+            for (slot, r) in self.regs.iter().enumerate() {
+                if (presence[slot / 64] >> (slot % 64)) & 1 == 1 {
+                    ctx.regs.push((r.clone(), w[vbase + slot] as i64));
+                }
+            }
+            ctx.presence.clear();
+            ctx.presence.extend_from_slice(presence);
+            ctx.presence_valid = true;
+        }
+        ctx.datapath.restore_state(&ctx.regs);
+        Ok(())
+    }
+
+    /// Decodes the register-file section (`reg_base()` onward) into the
+    /// canonical sorted register list.
+    fn decode_reg_words(&self, regwords: &[u64]) -> Vec<(Reg, i64)> {
+        let vbase = self.presence_words;
+        self.regs
+            .iter()
+            .enumerate()
+            .filter(|(slot, _)| (regwords[slot / 64] >> (slot % 64)) & 1 == 1)
+            .map(|(slot, r)| (r.clone(), regwords[vbase + slot] as i64))
+            .collect()
+    }
+}
+
+/// Per-worker scratch: interpreters, a private datapath clone, and every
+/// buffer successor generation needs, so the expansion loop is
+/// allocation-free once warm.
+struct Ctx<'m, D> {
+    interps: Vec<Interp<'m>>,
+    datapath: D,
+    vals: Vec<bool>,
+    regs: Vec<(Reg, i64)>,
+    presence: Vec<u64>,
+    presence_valid: bool,
+    pend: Vec<PendEv>,
+    immediate: VecDeque<(usize, SignalId, bool)>,
+}
+
+impl<'m, D: McDatapath> Ctx<'m, D> {
+    fn new(machines: &[&'m XbmMachine], datapath: D) -> Self {
+        Ctx {
+            interps: machines.iter().map(|m| Interp::new(m)).collect(),
+            datapath,
+            vals: Vec::new(),
+            regs: Vec::new(),
+            presence: Vec::new(),
+            presence_valid: false,
+            pend: Vec::new(),
+            immediate: VecDeque::new(),
+        }
+    }
+}
+
+/// Static network context shared by every delivery.
+struct NetCtx<'a> {
+    fanout: &'a HashMap<(usize, SignalId), Vec<WireEnd>>,
+    levels: &'a HashSet<(usize, SignalId)>,
+    sync_levels: bool,
+}
+
+fn build_fanout(wires: &[Wire]) -> HashMap<(usize, SignalId), Vec<WireEnd>> {
+    let mut fanout: HashMap<(usize, SignalId), Vec<WireEnd>> = HashMap::new();
+    for w in wires {
+        fanout
+            .entry((w.from.machine, w.from.signal))
+            .or_default()
+            .extend(w.to.iter().copied());
+    }
+    fanout
+}
+
+/// What one frontier state produced.
+enum StateOut {
+    /// Quiescent — no in-flight events.
+    Terminal,
+    /// Expanded normally into `n` not-yet-visited successors.
+    Expanded { n: u32 },
+    /// Delivery of `ev` failed; the chunk stopped here.
+    Violation {
+        kind: McViolationKind,
+        detail: String,
+        ev: PendEv,
+    },
+}
+
+struct SuccMeta {
+    fp: u128,
+    pend_len: u32,
+    ev: PendEv,
+}
+
+/// One chunk's discoveries, packed for the sequential merge.
+struct ChunkOut {
+    results: Vec<StateOut>,
+    fixed: Vec<u64>,
+    pend: Vec<PendEv>,
+    meta: Vec<SuccMeta>,
+}
+
+/// Expands `range` of the frontier into `ChunkOut`. Stops at the first
+/// violating delivery: everything it would have produced afterwards is
+/// strictly later in the global (state, event) order, so the merge never
+/// misses an earlier counterexample.
+fn expand_chunk<D: McDatapath>(
+    ctx: &mut Ctx<'_, D>,
+    layout: &Layout,
+    frontier: &Arena,
+    range: Range<usize>,
+    visited: &ShardedVisited,
+    net: &NetCtx<'_>,
+) -> Result<ChunkOut, SynthError> {
+    let mut out = ChunkOut {
+        results: Vec::with_capacity(range.len()),
+        fixed: Vec::new(),
+        pend: Vec::new(),
+        meta: Vec::new(),
+    };
+    'states: for g in range {
+        let pend = frontier.pending(g);
+        if pend.is_empty() {
+            out.results.push(StateOut::Terminal);
+            continue;
+        }
+        let fixed = frontier.fixed(g);
+        let marks = (out.fixed.len(), out.pend.len(), out.meta.len());
+        let mut n_succ = 0u32;
+        for i in 0..pend.len() {
+            if !eligible_at(pend, i) {
+                continue;
+            }
+            layout.restore(fixed, ctx)?;
+            ctx.pend.clear();
+            ctx.pend.extend_from_slice(pend);
+            let ev = ctx.pend.remove(i);
+            if let Err((kind, detail)) = deliver(
+                &mut ctx.interps,
+                &mut ctx.datapath,
+                net,
+                &mut ctx.pend,
+                &mut ctx.immediate,
+                ev,
+            ) {
+                // Drop this state's earlier successors: the merge returns
+                // at the violation, so they would only desync its cursors.
+                out.fixed.truncate(marks.0);
+                out.pend.truncate(marks.1);
+                out.meta.truncate(marks.2);
+                out.results.push(StateOut::Violation { kind, detail, ev });
+                break 'states;
+            }
+            canonicalize(&mut ctx.pend);
+            let mark = out.fixed.len();
+            layout.encode(&ctx.interps, &ctx.datapath, &mut out.fixed);
+            let fp = fingerprint(&out.fixed[mark..], &ctx.pend);
+            if visited.contains(fp) {
+                out.fixed.truncate(mark);
+            } else {
+                out.pend.extend_from_slice(&ctx.pend);
+                out.meta.push(SuccMeta {
+                    fp,
+                    pend_len: ctx.pend.len() as u32,
+                    ev,
+                });
+                n_succ += 1;
+            }
+        }
+        out.results.push(StateOut::Expanded { n: n_succ });
+    }
+    Ok(out)
 }
 
 /// Exhaustively explores every delivery order of the network's events.
 ///
 /// Returns [`McVerdict::Verified`] when all interleavings quiesce in one
-/// outcome, a [`McVerdict::Violation`] with the first counterexample
-/// otherwise, or [`McVerdict::Budget`] if `opts.max_states` was reached.
+/// outcome, a [`McVerdict::Violation`] with the first counterexample in
+/// traversal order otherwise (the shallowest one under the default
+/// [`McOrder::Wave`]), or [`McVerdict::Budget`] if `opts.max_states` was
+/// reached. The result is deterministic: identical for every thread
+/// count (see the module docs).
 ///
 /// # Errors
 ///
 /// [`SynthError::Xbm`] if the initial level stimuli are rejected by a
 /// machine (structural mis-wiring, as opposed to a search result).
-pub fn model_check<D: McDatapath>(
+pub fn model_check<D: McDatapath + Clone + Send>(
     machines: &[&XbmMachine],
     wires: &[Wire],
-    mut datapath: D,
+    datapath: D,
     stimuli: &McStimuli,
     opts: &McOptions,
 ) -> Result<McVerdict, SynthError> {
-    let mut interps: Vec<Interp<'_>> = machines.iter().map(|m| Interp::new(m)).collect();
+    match opts.threads {
+        Some(n) => rayon::ThreadPoolBuilder::new()
+            .num_threads(n.max(1))
+            .build()
+            .expect("thread pool construction cannot fail")
+            .install(|| search(machines, wires, datapath, stimuli, opts)),
+        None => search(machines, wires, datapath, stimuli, opts),
+    }
+}
+
+fn search<D: McDatapath + Clone + Send>(
+    machines: &[&XbmMachine],
+    wires: &[Wire],
+    datapath: D,
+    stimuli: &McStimuli,
+    opts: &McOptions,
+) -> Result<McVerdict, SynthError> {
+    let layout = Layout::new(machines, &datapath);
+    let fanout = build_fanout(wires);
     let level_set: HashSet<(usize, SignalId)> = stimuli.levels.iter().copied().collect();
-    let mut stats = McStats::default();
+    let net = NetCtx {
+        fanout: &fanout,
+        levels: &level_set,
+        sync_levels: opts.synchronous_levels,
+    };
 
     // Initial conditions are set synchronously, before the start events.
+    let mut ctx0 = Ctx::new(machines, datapath.clone());
     let mut pending: Vec<PendEv> = Vec::new();
     for &(m, s, v) in &stimuli.level_init {
         deliver(
-            &mut interps,
-            &mut datapath,
-            wires,
-            &level_set,
-            opts.synchronous_levels,
+            &mut ctx0.interps,
+            &mut ctx0.datapath,
+            &net,
             &mut pending,
+            &mut ctx0.immediate,
             PendEv {
                 machine: m,
                 signal: s,
@@ -268,82 +805,260 @@ pub fn model_check<D: McDatapath>(
     }
     canonicalize(&mut pending);
 
-    let initial = Key {
-        machines: interps.iter().map(Interp::snapshot).collect(),
-        data: datapath.save_state(),
-        pending,
+    let mut init_fixed = Vec::new();
+    layout.encode(&ctx0.interps, &ctx0.datapath, &mut init_fixed);
+
+    if opts.order == McOrder::Depth {
+        return search_depth(machines, &layout, &net, ctx0, &init_fixed, &pending, opts);
+    }
+
+    let mut visited = ShardedVisited::new(opts.shard_bits);
+    visited.insert(fingerprint(&init_fixed, &pending));
+    let mut frontier = Arena::new(layout.words);
+    frontier.push(&init_fixed, &pending, None);
+    let mut next = Arena::new(layout.words);
+
+    let workers = rayon::current_num_threads().max(1);
+    let ctx_pool: Vec<Mutex<Ctx<'_, D>>> = std::iter::once(ctx0)
+        .chain((1..workers).map(|_| Ctx::new(machines, datapath.clone())))
+        .map(Mutex::new)
+        .collect();
+
+    let mut stats = McStats {
+        shards: visited.shards.len(),
+        ..McStats::default()
     };
+    // First-terminal register words (the `reg_base()` suffix); every
+    // other terminal must match them exactly.
+    let mut outcome: Option<Vec<u64>> = None;
 
-    // Visited states are kept as fingerprints only; the work stack still
-    // carries full states (it is bounded by the search depth, not the
-    // space size).
-    let mut visited: HashSet<u128> = HashSet::new();
-    let mut stack: Vec<Key> = Vec::new();
-    let mut outcome: Option<Vec<(Reg, i64)>> = None;
-    visited.insert(initial.fingerprint());
-    stack.push(initial);
-
-    while let Some(key) = stack.pop() {
-        stats.states = visited.len();
-        stats.max_pending = stats.max_pending.max(key.pending.len());
-        if key.pending.is_empty() {
-            stats.terminals += 1;
-            match &outcome {
-                None => outcome = Some(key.data.clone()),
-                Some(first) if *first != key.data => {
-                    let detail = diff_outcomes(first, &key.data);
-                    return Ok(McVerdict::Violation {
-                        kind: McViolationKind::DivergentOutcome,
-                        detail,
-                        stats,
-                    });
-                }
-                Some(_) => {}
-            }
-            continue;
+    loop {
+        if frontier.is_empty() {
+            break;
         }
-        for i in eligible(&key.pending) {
-            // Materialize the configuration.
-            for (interp, (st, vals)) in interps.iter_mut().zip(&key.machines) {
-                interp.restore(*st, vals).map_err(SynthError::Xbm)?;
+        stats.peak_frontier = stats.peak_frontier.max(frontier.len());
+        if visited.count >= opts.max_states {
+            stats.states = visited.count.min(opts.max_states);
+            return Ok(McVerdict::Budget(stats));
+        }
+        stats.batches += 1;
+
+        let n = frontier.len();
+        let chunk = n.div_ceil(workers * 2).max(MIN_CHUNK);
+        let nchunks = n.div_ceil(chunk);
+        let outs: Vec<Result<ChunkOut, SynthError>> = (0..nchunks)
+            .into_par_iter()
+            .map(|c| {
+                let mut guard = loop {
+                    // The shim runs at most `workers` closures at once, so
+                    // a free context always exists; the spin is cold.
+                    match ctx_pool.iter().find_map(|m| m.try_lock().ok()) {
+                        Some(g) => break g,
+                        None => std::thread::yield_now(),
+                    }
+                };
+                expand_chunk(
+                    &mut guard,
+                    &layout,
+                    &frontier,
+                    c * chunk..((c + 1) * chunk).min(n),
+                    &visited,
+                    &net,
+                )
+            })
+            .collect();
+
+        // Sequential merge in global state order: this is what makes the
+        // verdict, stats, and trace independent of the chunk schedule.
+        for (c, out) in outs.into_iter().enumerate() {
+            let out = out?;
+            let (mut mcur, mut fcur, mut pcur) = (0usize, 0usize, 0usize);
+            for (local, res) in out.results.iter().enumerate() {
+                let g = c * chunk + local;
+                stats.max_pending = stats.max_pending.max(frontier.pending(g).len());
+                match res {
+                    StateOut::Terminal => {
+                        stats.terminals += 1;
+                        let regs = &frontier.fixed(g)[layout.reg_base()..];
+                        match &outcome {
+                            None => outcome = Some(regs.to_vec()),
+                            Some(first) if first.as_slice() != regs => {
+                                stats.states = visited.count;
+                                let detail = diff_outcomes(
+                                    &layout.decode_reg_words(first),
+                                    &layout.decode_reg_words(regs),
+                                );
+                                return Ok(McVerdict::Violation {
+                                    kind: McViolationKind::DivergentOutcome,
+                                    detail,
+                                    trace: render_trace(machines, frontier.trace(g), None),
+                                    stats,
+                                });
+                            }
+                            Some(_) => {}
+                        }
+                    }
+                    StateOut::Violation { kind, detail, ev } => {
+                        stats.states = visited.count;
+                        return Ok(McVerdict::Violation {
+                            kind: *kind,
+                            detail: detail.clone(),
+                            trace: render_trace(machines, frontier.trace(g), Some(*ev)),
+                            stats,
+                        });
+                    }
+                    StateOut::Expanded { n: n_succ } => {
+                        for _ in 0..*n_succ {
+                            let meta = &out.meta[mcur];
+                            mcur += 1;
+                            let fslice = &out.fixed[fcur..fcur + layout.words];
+                            fcur += layout.words;
+                            let pslice = &out.pend[pcur..pcur + meta.pend_len as usize];
+                            pcur += meta.pend_len as usize;
+                            if !visited.insert(meta.fp) {
+                                continue;
+                            }
+                            if visited.count > opts.max_states {
+                                stats.truncated = true;
+                                stats.states = opts.max_states;
+                                return Ok(McVerdict::Budget(stats));
+                            }
+                            next.push(
+                                fslice,
+                                pslice,
+                                Some(Arc::new(TraceNode {
+                                    prev: frontier.trace(g).clone(),
+                                    ev: meta.ev,
+                                })),
+                            );
+                        }
+                    }
+                }
             }
-            datapath.restore_state(&key.data);
-            let mut pending = key.pending.clone();
-            let ev = pending.remove(i);
-            if let Err((kind, detail)) = deliver(
-                &mut interps,
-                &mut datapath,
-                wires,
-                &level_set,
-                opts.synchronous_levels,
-                &mut pending,
-                ev,
-            ) {
+        }
+        std::mem::swap(&mut frontier, &mut next);
+        next.clear();
+    }
+
+    stats.states = visited.count;
+    Ok(McVerdict::Verified {
+        outcome: outcome
+            .map(|w| layout.decode_reg_words(&w))
+            .unwrap_or_default(),
+        stats,
+    })
+}
+
+/// Minimum frontier chunk: below this, parallel dispatch overhead beats
+/// any expansion win, so small waves run as a single inline chunk.
+const MIN_CHUNK: usize = 64;
+
+/// The sequential depth-first hunt (see [`McOrder::Depth`]): the arena
+/// doubles as the search stack and every pop runs through the same
+/// single-state chunk expansion as the wave search, so delivery
+/// semantics, violation detection, and budget accounting are shared.
+fn search_depth<D: McDatapath>(
+    machines: &[&XbmMachine],
+    layout: &Layout,
+    net: &NetCtx<'_>,
+    mut ctx: Ctx<'_, D>,
+    init_fixed: &[u64],
+    pending: &[PendEv],
+    opts: &McOptions,
+) -> Result<McVerdict, SynthError> {
+    let mut visited = ShardedVisited::new(opts.shard_bits);
+    visited.insert(fingerprint(init_fixed, pending));
+    let mut stack = Arena::new(layout.words);
+    stack.push(init_fixed, pending, None);
+    let mut stats = McStats {
+        shards: visited.shards.len(),
+        ..McStats::default()
+    };
+    let mut outcome: Option<Vec<u64>> = None;
+
+    while !stack.is_empty() {
+        stats.peak_frontier = stats.peak_frontier.max(stack.len());
+        if visited.count >= opts.max_states {
+            stats.states = visited.count.min(opts.max_states);
+            return Ok(McVerdict::Budget(stats));
+        }
+        stats.batches += 1;
+        let g = stack.len() - 1;
+        stats.max_pending = stats.max_pending.max(stack.pending(g).len());
+        let out = expand_chunk(&mut ctx, layout, &stack, g..g + 1, &visited, net)?;
+        let trace = stack.trace(g).clone();
+        match &out.results[0] {
+            StateOut::Terminal => {
+                stats.terminals += 1;
+                let regs = &stack.fixed(g)[layout.reg_base()..];
+                match &outcome {
+                    None => outcome = Some(regs.to_vec()),
+                    Some(first) if first.as_slice() != regs => {
+                        stats.states = visited.count;
+                        let detail = diff_outcomes(
+                            &layout.decode_reg_words(first),
+                            &layout.decode_reg_words(regs),
+                        );
+                        return Ok(McVerdict::Violation {
+                            kind: McViolationKind::DivergentOutcome,
+                            detail,
+                            trace: render_trace(machines, &trace, None),
+                            stats,
+                        });
+                    }
+                    Some(_) => {}
+                }
+                stack.pop();
+            }
+            StateOut::Violation { kind, detail, ev } => {
+                stats.states = visited.count;
                 return Ok(McVerdict::Violation {
-                    kind,
-                    detail,
+                    kind: *kind,
+                    detail: detail.clone(),
+                    trace: render_trace(machines, &trace, Some(*ev)),
                     stats,
                 });
             }
-            canonicalize(&mut pending);
-            let next = Key {
-                machines: interps.iter().map(Interp::snapshot).collect(),
-                data: datapath.save_state(),
-                pending,
-            };
-            if visited.len() >= opts.max_states {
-                stats.states = visited.len();
-                return Ok(McVerdict::Budget(stats));
-            }
-            if visited.insert(next.fingerprint()) {
-                stack.push(next);
+            StateOut::Expanded { .. } => {
+                stack.pop();
+                let mut offs = Vec::with_capacity(out.meta.len());
+                let (mut fcur, mut pcur) = (0usize, 0usize);
+                for meta in &out.meta {
+                    offs.push((fcur, pcur));
+                    fcur += layout.words;
+                    pcur += meta.pend_len as usize;
+                }
+                // Push in event order: LIFO then dives along the
+                // highest-indexed event first, the traversal the retired
+                // depth-first checker used.
+                for (i, meta) in out.meta.iter().enumerate() {
+                    if !visited.insert(meta.fp) {
+                        continue;
+                    }
+                    if visited.count > opts.max_states {
+                        stats.truncated = true;
+                        stats.states = opts.max_states;
+                        return Ok(McVerdict::Budget(stats));
+                    }
+                    let (f, p) = offs[i];
+                    stack.push(
+                        &out.fixed[f..f + layout.words],
+                        &out.pend[p..p + meta.pend_len as usize],
+                        Some(Arc::new(TraceNode {
+                            prev: trace.clone(),
+                            ev: meta.ev,
+                        })),
+                    );
+                }
             }
         }
     }
 
-    stats.states = visited.len();
+    stats.states = visited.count;
     Ok(McVerdict::Verified {
-        outcome: outcome.unwrap_or_default(),
+        outcome: outcome
+            .map(|w| layout.decode_reg_words(&w))
+            .unwrap_or_default(),
         stats,
     })
 }
@@ -378,13 +1093,12 @@ pub fn model_check_system(
 fn deliver<D: McDatapath>(
     interps: &mut [Interp<'_>],
     datapath: &mut D,
-    wires: &[Wire],
-    levels: &HashSet<(usize, SignalId)>,
-    sync_levels: bool,
+    net: &NetCtx<'_>,
     pending: &mut Vec<PendEv>,
+    immediate: &mut VecDeque<(usize, SignalId, bool)>,
     ev: PendEv,
 ) -> Result<(), (McViolationKind, String)> {
-    let mut immediate: VecDeque<(usize, SignalId, bool)> = VecDeque::new();
+    immediate.clear();
     let v = ev.set.unwrap_or(!interps[ev.machine].value(ev.signal));
     immediate.push_back((ev.machine, ev.signal, v));
 
@@ -406,11 +1120,8 @@ fn deliver<D: McDatapath>(
         for (out_sig, out_val) in changes {
             // Channel wires: one toggle per receiving leg; a leg already
             // carrying an undelivered toggle is transmission interference.
-            for w in wires
-                .iter()
-                .filter(|w| w.from.machine == m && w.from.signal == out_sig)
-            {
-                for end in &w.to {
+            if let Some(ends) = net.fanout.get(&(m, out_sig)) {
+                for end in ends {
                     let clash = pending.iter().any(|p| {
                         p.machine == end.machine && p.signal == end.signal && p.set.is_none()
                     });
@@ -438,7 +1149,7 @@ fn deliver<D: McDatapath>(
             }
             // Datapath reactions (delays dropped: all orders explored).
             for (rm, rs, rv, _delay) in datapath.on_output(m, out_sig, out_val, 0) {
-                if sync_levels && levels.contains(&(rm, rs)) {
+                if net.sync_levels && net.levels.contains(&(rm, rs)) {
                     immediate.push_back((rm, rs, rv));
                 } else {
                     pending.push(PendEv {
@@ -465,10 +1176,184 @@ fn diff_outcomes(a: &[(Reg, i64)], b: &[(Reg, i64)]) -> String {
     "terminal register files diverge".into()
 }
 
+/// Renders a trace spine (plus an optional final violating delivery) as
+/// `machine.signal~` / `machine.signal=v` strings, oldest first.
+fn render_trace(
+    machines: &[&XbmMachine],
+    spine: &Option<Arc<TraceNode>>,
+    last: Option<PendEv>,
+) -> Vec<String> {
+    let mut evs: Vec<PendEv> = Vec::new();
+    let mut cur = spine.as_ref();
+    while let Some(node) = cur {
+        evs.push(node.ev);
+        cur = node.prev.as_ref();
+    }
+    evs.reverse();
+    evs.extend(last);
+    evs.iter()
+        .map(|e| {
+            let m = machines[e.machine];
+            let sig = m
+                .signal(e.signal)
+                .map(|si| si.name.clone())
+                .unwrap_or_else(|_| format!("sig{}", e.signal.index()));
+            match e.set {
+                None => format!("{}.{}~", m.name(), sig),
+                Some(v) => format!("{}.{}={}", m.name(), sig, u8::from(v)),
+            }
+        })
+        .collect()
+}
+
+// ---------------------------------------------------------------------------
+// Cross-candidate verdict cache
+// ---------------------------------------------------------------------------
+
+type VerdictSlot = Arc<Mutex<Option<Arc<McVerdict>>>>;
+
+/// Cross-candidate model-checking cache, mirroring `TimingCache` /
+/// `MinimizeCache`: verdicts are memoized under a structural fingerprint
+/// of machine set ⊕ wire network ⊕ stimuli ⊕ datapath behavior ⊕ the
+/// verdict-relevant options, so explorer candidates that synthesize
+/// identical controller networks skip verification entirely. Each entry
+/// holds its own slot lock for the duration of the first check, so
+/// concurrent racers on the same network share one search.
+#[derive(Debug, Default)]
+pub struct McCache {
+    entries: Mutex<HashMap<u128, VerdictSlot>>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+}
+
+impl McCache {
+    /// An empty cache.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Checks hit since construction.
+    pub fn hits(&self) -> u64 {
+        self.hits.load(Ordering::Relaxed)
+    }
+
+    /// Checks missed (actually searched) since construction.
+    pub fn misses(&self) -> u64 {
+        self.misses.load(Ordering::Relaxed)
+    }
+
+    /// Checks `parts`, reusing a memoized verdict when an identical
+    /// network was already checked. Returns the verdict and whether it
+    /// came from the cache.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`model_check`] (errors are not cached).
+    pub fn check_system(
+        &self,
+        parts: &SystemParts<'_>,
+        opts: &McOptions,
+    ) -> Result<(Arc<McVerdict>, bool), SynthError> {
+        self.check_keyed(system_fingerprint(parts, opts), || {
+            model_check_system(parts, opts)
+        })
+    }
+
+    /// The generic memoization layer under [`Self::check_system`]: runs
+    /// `run` only if `key` has no memoized verdict yet.
+    ///
+    /// # Errors
+    ///
+    /// Propagates `run`'s error without caching it.
+    pub fn check_keyed(
+        &self,
+        key: u128,
+        run: impl FnOnce() -> Result<McVerdict, SynthError>,
+    ) -> Result<(Arc<McVerdict>, bool), SynthError> {
+        let slot = {
+            let mut entries = self.entries.lock().expect("mc cache poisoned");
+            Arc::clone(entries.entry(key).or_default())
+        };
+        let mut cell = slot.lock().expect("mc cache slot poisoned");
+        if let Some(v) = cell.as_ref() {
+            self.hits.fetch_add(1, Ordering::Relaxed);
+            return Ok((Arc::clone(v), true));
+        }
+        self.misses.fetch_add(1, Ordering::Relaxed);
+        let v = Arc::new(run()?);
+        *cell = Some(Arc::clone(&v));
+        Ok((v, false))
+    }
+}
+
+/// Structural fingerprint of everything a system check's verdict depends
+/// on. Wire delays are deliberately excluded (the checker explores all
+/// delay assignments); thread count likewise (the verdict is
+/// thread-invariant), but `shard_bits` is included because it shows up in
+/// [`McStats::shards`].
+pub fn system_fingerprint(parts: &SystemParts<'_>, opts: &McOptions) -> u128 {
+    let mut h1 = DefaultHasher::new();
+    0x9e37_79b9_7f4a_7c15u64.hash(&mut h1);
+    hash_check_inputs(&mut h1, parts, opts);
+    let mut h2 = DefaultHasher::new();
+    0xc2b2_ae3d_27d4_eb4fu64.hash(&mut h2);
+    hash_check_inputs(&mut h2, parts, opts);
+    (u128::from(h1.finish()) << 64) | u128::from(h2.finish())
+}
+
+fn hash_check_inputs<H: Hasher>(h: &mut H, parts: &SystemParts<'_>, opts: &McOptions) {
+    parts.machines.len().hash(h);
+    for m in &parts.machines {
+        hash_machine(h, m);
+    }
+    parts.wires.len().hash(h);
+    for w in &parts.wires {
+        (w.from.machine, w.from.signal.index()).hash(h);
+        w.to.len().hash(h);
+        for e in &w.to {
+            (e.machine, e.signal.index()).hash(h);
+        }
+    }
+    parts.kicks.len().hash(h);
+    for &(m, s) in &parts.kicks {
+        (m, s.index()).hash(h);
+    }
+    parts.level_init.len().hash(h);
+    for &(m, s, v) in &parts.level_init {
+        (m, s.index(), v).hash(h);
+    }
+    for (m, s) in parts.datapath.level_ends() {
+        (m, s.index()).hash(h);
+    }
+    parts.datapath.behavior_hash(h);
+    opts.max_states.hash(h);
+    opts.synchronous_levels.hash(h);
+    opts.shard_bits.hash(h);
+    opts.order.hash(h);
+}
+
+fn hash_machine<H: Hasher>(h: &mut H, m: &XbmMachine) {
+    m.name().hash(h);
+    m.initial().index().hash(h);
+    for (id, si) in m.signals() {
+        (id.index(), si.name.as_str(), si.kind, si.input, si.initial).hash(h);
+    }
+    for (id, name) in m.states() {
+        (id.index(), name).hash(h);
+    }
+    m.transitions().len().hash(h);
+    for t in m.transitions() {
+        (t.from.index(), t.to.index()).hash(h);
+        t.input.hash(h);
+        for o in &t.output {
+            o.index().hash(h);
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
-    use adcs_sim::network::WireEnd;
     use adcs_xbm::{Term, XbmBuilder};
 
     /// in+ / out+ ; in- / out-.
@@ -497,46 +1382,54 @@ mod tests {
         }
     }
 
+    /// A line or ring of `n` repeaters: machine `k` drives `k+1`, and with
+    /// `ring` the last drives the first. Returns the machines plus the
+    /// shared `in`/`out` signal ids (identical across repeaters).
+    fn repeater_net(n: usize, ring: bool) -> (Vec<XbmMachine>, SignalId, SignalId, Vec<Wire>) {
+        let ms: Vec<XbmMachine> = (0..n).map(|k| repeater(&format!("m{k}"))).collect();
+        let i = ms[0].signal_by_name("in").unwrap();
+        let o = ms[0].signal_by_name("out").unwrap();
+        let hops = if ring { n } else { n - 1 };
+        let wires: Vec<Wire> = (0..hops).map(|k| wire(k, o, (k + 1) % n, i)).collect();
+        (ms, i, o, wires)
+    }
+
+    fn kick(machine: usize, signal: SignalId) -> McStimuli {
+        McStimuli {
+            kicks: vec![(machine, signal)],
+            ..McStimuli::default()
+        }
+    }
+
+    fn check(ms: &[XbmMachine], wires: &[Wire], stim: &McStimuli, opts: &McOptions) -> McVerdict {
+        let refs: Vec<&XbmMachine> = ms.iter().collect();
+        model_check(&refs, wires, (), stim, opts).unwrap()
+    }
+
     #[test]
     fn open_chain_verifies() {
         // a -> b -> c, kicked once at a: every interleaving delivers the
         // one event down the chain.
-        let ms = [repeater("a"), repeater("b"), repeater("c")];
-        let i = ms[0].signal_by_name("in").unwrap();
-        let o = ms[0].signal_by_name("out").unwrap();
-        let wires = [wire(0, o, 1, i), wire(1, o, 2, i)];
-        let refs: Vec<&XbmMachine> = ms.iter().collect();
-        let stim = McStimuli {
-            kicks: vec![(0, i)],
-            ..McStimuli::default()
-        };
-        let v = model_check(&refs, &wires, (), &stim, &McOptions::default()).unwrap();
+        let (ms, i, _, wires) = repeater_net(3, false);
+        let v = check(&ms, &wires, &kick(0, i), &McOptions::default());
         assert!(v.is_verified(), "{v:?}");
         let s = v.stats();
         assert_eq!(s.terminals, 1);
         assert!(s.max_pending <= 1);
+        assert_eq!(s.shards, 64);
+        assert!(s.batches >= 1);
+        assert!(s.peak_frontier >= 1);
+        assert!(!s.truncated);
     }
 
     #[test]
     fn ring_of_repeaters_verifies_and_quiesces() {
-        // a -> b -> a is a 2-ring: one token circulates until the burst
-        // polarity closes (each machine fires twice per lap of both
-        // edges); the ring is live but eventually the explorer sees the
-        // cycle as revisited states with a token forever in flight — so
-        // instead kick a ring that consumes the token: repeaters toggle
-        // out on every in-edge, making the ring oscillate forever. The
-        // state space is finite and closed; no terminal exists, which the
-        // checker reports as verified-with-zero-terminals.
-        let ms = [repeater("a"), repeater("b")];
-        let i = ms[0].signal_by_name("in").unwrap();
-        let o = ms[0].signal_by_name("out").unwrap();
-        let wires = [wire(0, o, 1, i), wire(1, o, 0, i)];
-        let refs: Vec<&XbmMachine> = ms.iter().collect();
-        let stim = McStimuli {
-            kicks: vec![(0, i)],
-            ..McStimuli::default()
-        };
-        let v = model_check(&refs, &wires, (), &stim, &McOptions::default()).unwrap();
+        // a -> b -> a is a 2-ring: repeaters toggle out on every in-edge,
+        // making the ring oscillate forever. The state space is finite and
+        // closed; no terminal exists, which the checker reports as
+        // verified-with-zero-terminals.
+        let (ms, i, _, wires) = repeater_net(2, true);
+        let v = check(&ms, &wires, &kick(0, i), &McOptions::default());
         assert!(v.is_verified(), "{v:?}");
         assert_eq!(v.stats().terminals, 0);
         assert!(v.stats().states >= 4);
@@ -544,34 +1437,22 @@ mod tests {
 
     #[test]
     fn double_kick_on_one_wire_is_interference() {
-        // Two env kicks race toward b's single input through a: the second
-        // toggle of a's out lands while the first is still in flight.
-        let ms = [repeater("b")];
-        let i = ms[0].signal_by_name("in").unwrap();
-        let refs: Vec<&XbmMachine> = ms.iter().collect();
-        // Model the race directly: two pending toggles on the same leg is
-        // exactly what a doubled kick produces; build it via a 2-output
-        // driver instead. Simpler: drive b from a machine that emits two
-        // toggles in one cascade.
+        // A 2-way wire whose both legs hit the same input: one output
+        // change queues two toggles on one leg -> interference.
+        let sink = repeater("b");
+        let i = sink.signal_by_name("in").unwrap();
         let mut b = XbmBuilder::new("dbl");
         let go = b.input("go", false);
         let x = b.output("x", false);
         let s0 = b.state("s0");
         let s1 = b.state("s1");
         let s2 = b.state("s2");
-        // go+ / x+ then (ddc-free) immediate next burst go- is required to
-        // fire again, so cascade emits once per edge; to get interference
-        // use a multi-output burst toggling x twice via two outputs is not
-        // expressible — instead wire BOTH legs of a 2-way wire to the same
-        // input.
         b.transition(s0, s1, [Term::rise(go)], [x]).unwrap();
         b.transition(s1, s2, [Term::fall(go)], [x]).unwrap();
         let dbl = b.finish(s0).unwrap();
         let xsig = dbl.signal_by_name("x").unwrap();
         let gosig = dbl.signal_by_name("go").unwrap();
-        let machines: Vec<&XbmMachine> = vec![&dbl, refs[0]];
-        // A 2-way wire whose both legs hit the same input: one output
-        // change queues two toggles on one leg -> interference.
+        let machines: Vec<&XbmMachine> = vec![&dbl, &sink];
         let wires = [Wire {
             from: WireEnd {
                 machine: 0,
@@ -589,35 +1470,156 @@ mod tests {
             ],
             delay: 1,
         }];
-        let stim = McStimuli {
-            kicks: vec![(0, gosig)],
-            ..McStimuli::default()
-        };
-        let v = model_check(&machines, &wires, (), &stim, &McOptions::default()).unwrap();
+        let v = model_check(
+            &machines,
+            &wires,
+            (),
+            &kick(0, gosig),
+            &McOptions::default(),
+        )
+        .unwrap();
         match v {
-            McVerdict::Violation { kind, .. } => {
-                assert_eq!(kind, McViolationKind::WireInterference)
+            McVerdict::Violation { kind, trace, .. } => {
+                assert_eq!(kind, McViolationKind::WireInterference);
+                // The counterexample is the kick itself: dbl.go~ fires x,
+                // whose 2-way wire immediately doubles up on b.in.
+                assert_eq!(trace, vec!["dbl.go~".to_string()]);
             }
             other => panic!("expected interference, got {other:?}"),
         }
     }
 
     #[test]
-    fn budget_is_respected() {
-        let ms = [repeater("a"), repeater("b")];
+    fn the_depth_hunt_agrees_with_the_wave_search() {
+        // Full coverage visits the same state set in either order: state
+        // and terminal counts must match on verified nets, and the hunt
+        // must find the same interference kind on a broken one.
+        let depth = McOptions {
+            order: McOrder::Depth,
+            ..McOptions::default()
+        };
+        for ring in [false, true] {
+            let (ms, i, _, wires) = repeater_net(3, ring);
+            let wave = check(&ms, &wires, &kick(0, i), &McOptions::default());
+            let deep = check(&ms, &wires, &kick(0, i), &depth);
+            assert!(deep.is_verified(), "ring={ring}: {deep:?}");
+            assert_eq!(deep.stats().states, wave.stats().states, "ring={ring}");
+            assert_eq!(deep.stats().terminals, wave.stats().terminals);
+        }
+    }
+
+    #[test]
+    fn budget_on_wave_boundary_is_clean() {
+        let (ms, i, _, wires) = repeater_net(2, true);
+        let opts = McOptions {
+            max_states: 2,
+            ..McOptions::default()
+        };
+        let v = check(&ms, &wires, &kick(0, i), &opts);
+        match v {
+            McVerdict::Budget(s) => {
+                assert_eq!(s.states, 2);
+                assert!(!s.truncated, "{s:?}");
+            }
+            other => panic!("expected budget, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn budget_mid_wave_is_clamped_and_flagged() {
+        // Two disjoint chains kicked concurrently: the initial state has
+        // two successors, and max_states = 2 admits only the first — the
+        // merge must clamp the count and flag the truncation.
+        let ms = [repeater("a"), repeater("b"), repeater("c"), repeater("d")];
         let i = ms[0].signal_by_name("in").unwrap();
         let o = ms[0].signal_by_name("out").unwrap();
-        let wires = [wire(0, o, 1, i), wire(1, o, 0, i)];
-        let refs: Vec<&XbmMachine> = ms.iter().collect();
+        let wires = [wire(0, o, 1, i), wire(2, o, 3, i)];
         let stim = McStimuli {
-            kicks: vec![(0, i)],
+            kicks: vec![(0, i), (2, i)],
             ..McStimuli::default()
         };
         let opts = McOptions {
             max_states: 2,
             ..McOptions::default()
         };
-        let v = model_check(&refs, &wires, (), &stim, &opts).unwrap();
-        assert!(matches!(v, McVerdict::Budget(_)), "{v:?}");
+        let v = check(&ms, &wires, &stim, &opts);
+        match v {
+            McVerdict::Budget(s) => {
+                assert_eq!(s.states, 2, "clamped to the budget");
+                assert!(s.truncated, "mid-wave cut must be flagged: {s:?}");
+            }
+            other => panic!("expected budget, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn thread_count_changes_nothing() {
+        // Verified, violating, and budget-bound searches must be
+        // bit-identical between 1 and 4 threads (Debug covers verdict,
+        // outcome, stats, and trace).
+        let (ring, ri, _, ring_wires) = repeater_net(3, true);
+        let (chain, ci, _, chain_wires) = repeater_net(4, false);
+        let cases: Vec<(&[XbmMachine], &[Wire], McStimuli, McOptions)> = vec![
+            (&ring, &ring_wires, kick(0, ri), McOptions::default()),
+            (
+                &chain,
+                &chain_wires,
+                McStimuli {
+                    kicks: vec![(0, ci), (2, ci)],
+                    ..McStimuli::default()
+                },
+                McOptions::default(),
+            ),
+            (
+                &ring,
+                &ring_wires,
+                kick(0, ri),
+                McOptions {
+                    max_states: 3,
+                    ..McOptions::default()
+                },
+            ),
+        ];
+        for (ms, wires, stim, base) in cases {
+            let one = check(
+                ms,
+                wires,
+                &stim,
+                &McOptions {
+                    threads: Some(1),
+                    ..base
+                },
+            );
+            let four = check(
+                ms,
+                wires,
+                &stim,
+                &McOptions {
+                    threads: Some(4),
+                    ..base
+                },
+            );
+            assert_eq!(format!("{one:?}"), format!("{four:?}"));
+        }
+    }
+
+    #[test]
+    fn cache_memoizes_by_key() {
+        let (ms, i, _, wires) = repeater_net(3, false);
+        let cache = McCache::new();
+        let run = || {
+            let refs: Vec<&XbmMachine> = ms.iter().collect();
+            model_check(&refs, &wires, (), &kick(0, i), &McOptions::default())
+        };
+        let (a, hit_a) = cache.check_keyed(42, run).unwrap();
+        let (b, hit_b) = cache.check_keyed(42, run).unwrap();
+        assert!(!hit_a);
+        assert!(hit_b);
+        assert!(Arc::ptr_eq(&a, &b));
+        assert_eq!(cache.hits(), 1);
+        assert_eq!(cache.misses(), 1);
+        let (_, hit_c) = cache.check_keyed(43, run).unwrap();
+        assert!(!hit_c);
+        assert_eq!(cache.misses(), 2);
     }
 }

@@ -167,6 +167,27 @@ pub fn timing_summary(out: &FlowOutcome) -> String {
     )
 }
 
+/// Renders the exhaustive model-check summary of one flow run: how large
+/// the composed product space was, how the sharded-frontier search
+/// batched it, and whether the verdict came from the cross-candidate
+/// cache.
+pub fn mc_summary(out: &FlowOutcome) -> String {
+    if out.mc_runs == 0 {
+        return "model check: not run (FlowOptions::model_check off)\n".to_string();
+    }
+    format!(
+        "model check: {} run(s) ({} cached), {} states in {} waves \
+         (peak frontier {}, {} shards), {:?}\n",
+        out.mc_runs,
+        out.mc_cache_hits,
+        out.mc_states,
+        out.mc_batches,
+        out.mc_peak_frontier,
+        out.mc_shards,
+        out.mc_elapsed
+    )
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -191,6 +212,30 @@ mod tests {
         assert!(hfmin_summary(&out).contains("not run"));
         let ts = timing_summary(&out);
         assert!(ts.contains("queries"), "{ts}");
+        assert!(mc_summary(&out).contains("not run"));
+    }
+
+    #[test]
+    fn mc_summary_reports_the_checked_space() {
+        let d = diffeq(DiffeqParams {
+            x0: 3,
+            y0: 1,
+            u0: 2,
+            dx: 1,
+            a: 3,
+        })
+        .unwrap();
+        let out = Flow::new(d.cdfg, d.initial)
+            .run(&FlowOptions {
+                model_check: true,
+                verify_seeds: 2,
+                ..FlowOptions::default()
+            })
+            .unwrap();
+        let s = mc_summary(&out);
+        assert!(s.contains("1 run(s)"), "{s}");
+        assert!(s.contains("waves"), "{s}");
+        assert!(s.contains("64 shards"), "{s}");
     }
 
     #[test]

@@ -53,7 +53,7 @@ pub struct SystemDatapath {
     pub writes: usize,
 }
 
-#[derive(Clone, Copy, Debug)]
+#[derive(Clone, Copy, Debug, Hash)]
 enum Action {
     /// Acknowledge on the given signal after the small delay.
     AckSmall(SignalId),
@@ -83,8 +83,70 @@ impl SystemDatapath {
     }
 
     /// Restores a register-file snapshot taken with [`Self::save_state`].
+    ///
+    /// When the snapshot covers exactly the live register set (the steady
+    /// state under the model checker, which restores between every
+    /// successor expansion) the values are updated in place — no `Reg`
+    /// name clones, no map reallocation.
     pub fn restore_state(&mut self, saved: &[(Reg, i64)]) {
+        if self.regs.len() == saved.len() {
+            let mut in_place = true;
+            for (r, v) in saved {
+                match self.regs.get_mut(r) {
+                    Some(slot) => *slot = *v,
+                    None => {
+                        in_place = false;
+                        break;
+                    }
+                }
+            }
+            if in_place {
+                return;
+            }
+        }
         self.regs = saved.iter().cloned().collect();
+    }
+
+    /// Every register this datapath can ever hold: the current file plus
+    /// each statement destination (the only way a new register appears,
+    /// see [`Datapath::on_output`]). The model checker sizes its packed
+    /// state slots from this set.
+    pub fn register_universe(&self) -> Vec<Reg> {
+        let mut regs: Vec<Reg> = self.regs.keys().cloned().collect();
+        regs.extend(self.stmts.values().map(|s| s.dest.clone()));
+        regs.sort();
+        regs.dedup();
+        regs
+    }
+
+    /// Hashes everything that determines how this datapath behaves under
+    /// the model checker: actions, statement bodies, condition-level
+    /// bindings, and the current register file — all in sorted order so
+    /// the digest is map-iteration independent. Delays are excluded (the
+    /// checker explores all delivery orders), as is the `writes`
+    /// diagnostic counter.
+    pub fn behavior_hash<H: std::hash::Hasher>(&self, h: &mut H) {
+        use std::hash::Hash;
+        let mut acts: Vec<(&(usize, u32), &Vec<Action>)> = self.actions.iter().collect();
+        acts.sort_by_key(|(k, _)| **k);
+        acts.hash(h);
+        let mut lv: Vec<(usize, usize, &Reg)> = self
+            .levels
+            .iter()
+            .map(|(m, s, r)| (*m, s.index(), r))
+            .collect();
+        lv.sort();
+        lv.hash(h);
+        let mut st: Vec<(usize, usize, &adcs_cdfg::RtlStatement)> = self
+            .stmts
+            .iter()
+            .map(|(&(n, i), s)| (n.index(), i, s))
+            .collect();
+        st.sort_by_key(|&(n, i, _)| (n, i));
+        st.hash(h);
+        let mut regs: Vec<(&Reg, i64)> = self.regs.iter().map(|(r, &v)| (r, v)).collect();
+        regs.sort();
+        regs.hash(h);
     }
 
     /// The condition-level wire ends this datapath refreshes on register

@@ -152,6 +152,9 @@ struct Engine<'g> {
     /// to keep the hot firing loop allocation-free.
     probe_buf: Vec<ArcId>,
     best_buf: Vec<ArcId>,
+    /// Scratch for the out-arc snapshots taken in `complete` (the borrow on
+    /// `g` must end before tokens are added), reused across completions.
+    out_buf: Vec<(ArcId, NodeId)>,
 }
 
 /// Runs a CDFG to quiescence.
@@ -207,6 +210,7 @@ pub fn execute(
         consumed: Vec::new(),
         probe_buf: Vec::new(),
         best_buf: Vec::new(),
+        out_buf: Vec::new(),
     };
     // Pre-enable backward arcs (GT1: "ignored during the first execution").
     for (id, arc) in g.arcs() {
@@ -522,9 +526,9 @@ impl<'g> Engine<'g> {
                         |(_, b)| matches!(b.kind, BlockKind::LoopBody { head, .. } if head == node),
                     )
                     .map(|(id, _)| id);
-                let arcs: Vec<(ArcId, NodeId)> =
-                    self.g.out_arcs(node).map(|(id, a)| (id, a.dst)).collect();
-                for (id, dst) in arcs {
+                let mut arcs = std::mem::take(&mut self.out_buf);
+                arcs.extend(self.g.out_arcs(node).map(|(id, a)| (id, a.dst)));
+                for &(id, dst) in &arcs {
                     let dst_block = self.g.node(dst)?.block;
                     let into_body = body
                         .map(|b| self.g.block_contains(b, dst_block))
@@ -533,6 +537,8 @@ impl<'g> Engine<'g> {
                         self.add_token(id, time, false, Some(seq));
                     }
                 }
+                arcs.clear();
+                self.out_buf = arcs;
                 if !taken {
                     // Exiting: a later re-entry (nested loops) re-arms the
                     // backward arcs in `fire`.
@@ -543,15 +549,17 @@ impl<'g> Engine<'g> {
                 let taken_then = cond.unwrap_or(false);
                 let (then_block, else_block, endif) = self.if_blocks(node)?;
                 let taken_block = if taken_then { then_block } else { else_block };
-                let arcs: Vec<(ArcId, NodeId)> =
-                    self.g.out_arcs(node).map(|(id, a)| (id, a.dst)).collect();
+                let mut arcs = std::mem::take(&mut self.out_buf);
+                arcs.extend(self.g.out_arcs(node).map(|(id, a)| (id, a.dst)));
                 let taken_empty = self.g.block_nodes(taken_block).is_empty();
-                for (id, dst) in arcs {
+                for &(id, dst) in &arcs {
                     let dst_block = self.g.node(dst)?.block;
                     if dst_block == taken_block || (dst == endif && taken_empty) {
                         self.add_token(id, time, false, Some(seq));
                     }
                 }
+                arcs.clear();
+                self.out_buf = arcs;
                 // Tell ENDIF which in-arcs this activation needs.
                 let required: Vec<ArcId> = self
                     .g
@@ -572,19 +580,26 @@ impl<'g> Engine<'g> {
                 self.endif_required
                     .get_mut(&node)
                     .and_then(VecDeque::pop_front);
-                let arcs: Vec<ArcId> = self.g.out_arcs(node).map(|(id, _)| id).collect();
-                for id in arcs {
-                    self.add_token(id, time, false, Some(seq));
-                }
+                self.fanout_tokens(node, time, seq);
             }
             _ => {
-                let arcs: Vec<ArcId> = self.g.out_arcs(node).map(|(id, _)| id).collect();
-                for id in arcs {
-                    self.add_token(id, time, false, Some(seq));
-                }
+                self.fanout_tokens(node, time, seq);
             }
         }
         Ok(())
+    }
+
+    /// Adds a token on every out-arc of `node` (the unconditional fanout of
+    /// plain operations and merge points), without allocating: the arc
+    /// snapshot lives in the engine's reusable scratch buffer.
+    fn fanout_tokens(&mut self, node: NodeId, time: u64, seq: u64) {
+        let mut arcs = std::mem::take(&mut self.out_buf);
+        arcs.extend(self.g.out_arcs(node).map(|(id, a)| (id, a.dst)));
+        for &(id, _) in &arcs {
+            self.add_token(id, time, false, Some(seq));
+        }
+        arcs.clear();
+        self.out_buf = arcs;
     }
 
     fn if_blocks(

@@ -10,7 +10,7 @@
 //! levels.
 
 use std::cmp::Reverse;
-use std::collections::BinaryHeap;
+use std::collections::{BinaryHeap, HashMap};
 
 use adcs_xbm::interp::Interp;
 use adcs_xbm::{SignalId, XbmMachine};
@@ -87,6 +87,9 @@ pub enum NetworkEvent {
 pub struct Network<'m, D> {
     machines: Vec<Interp<'m>>,
     wires: Vec<Wire>,
+    /// Wire indices grouped by driving end, so routing an output change is
+    /// a hash lookup rather than a scan over the whole wire table.
+    fanout: HashMap<(usize, SignalId), Vec<usize>>,
     datapath: D,
     heap: BinaryHeap<Reverse<(u64, u64, usize)>>,
     queued: Vec<NetworkEvent>,
@@ -162,9 +165,17 @@ impl<'m, D: Datapath> Network<'m, D> {
                 }
             }
         }
+        let mut fanout: HashMap<(usize, SignalId), Vec<usize>> = HashMap::new();
+        for (i, w) in wires.iter().enumerate() {
+            fanout
+                .entry((w.from.machine, w.from.signal))
+                .or_default()
+                .push(i);
+        }
         Ok(Network {
             machines: machines.iter().map(|m| Interp::new(m)).collect(),
             wires,
+            fanout,
             datapath,
             heap: BinaryHeap::new(),
             queued: Vec::new(),
@@ -286,27 +297,26 @@ impl<'m, D: Datapath> Network<'m, D> {
     }
 
     fn route_output(&mut self, machine: usize, signal: SignalId, value: bool, time: u64) {
-        // Global wires: toggles to every receiver. The scratch buffer
-        // decouples the wire-table borrow from the heap pushes without a
-        // per-output allocation.
+        // Global wires: toggles to every receiver. The fanout index finds
+        // the driven wires in one lookup, and the scratch buffer decouples
+        // the wire-table borrow from the heap pushes without a per-output
+        // allocation.
         let mut deliveries = std::mem::take(&mut self.deliveries);
         deliveries.clear();
-        deliveries.extend(
-            self.wires
-                .iter()
-                .filter(|w| w.from.machine == machine && w.from.signal == signal)
-                .flat_map(|w| {
-                    w.to.iter().map(move |t| {
-                        (
-                            time + w.delay,
-                            NetworkEvent::Toggle {
-                                machine: t.machine,
-                                signal: t.signal,
-                            },
-                        )
-                    })
-                }),
-        );
+        if let Some(driven) = self.fanout.get(&(machine, signal)) {
+            deliveries.extend(driven.iter().flat_map(|&wi| {
+                let w = &self.wires[wi];
+                w.to.iter().map(move |t| {
+                    (
+                        time + w.delay,
+                        NetworkEvent::Toggle {
+                            machine: t.machine,
+                            signal: t.signal,
+                        },
+                    )
+                })
+            }));
+        }
         for &(at, ev) in &deliveries {
             self.push(at, ev);
         }

@@ -12,7 +12,7 @@
 use adcs::channel::ChannelMap;
 use adcs::extract::{extract, ExpansionStyle, ExtractOptions};
 use adcs::flow::{Flow, FlowOptions};
-use adcs::mc::{model_check_system, McOptions, McVerdict};
+use adcs::mc::{model_check_system, McOptions, McOrder, McVerdict};
 use adcs::system::{system_parts, SystemDelays};
 use adcs_cdfg::benchmarks::{diffeq, DiffeqParams};
 
@@ -20,8 +20,11 @@ fn describe(label: &str, v: &McVerdict) {
     let s = v.stats();
     match v {
         McVerdict::Verified { outcome, .. } => println!(
-            "{label}: VERIFIED over {} states ({} terminals, max {} in flight); X={:?}",
+            "{label}: VERIFIED over {} states in {} waves (peak frontier {}, {} terminals, \
+             max {} in flight); X={:?}",
             s.states,
+            s.batches,
+            s.peak_frontier,
             s.terminals,
             s.max_pending,
             outcome
@@ -29,13 +32,24 @@ fn describe(label: &str, v: &McVerdict) {
                 .find(|(r, _)| r.name() == "X")
                 .map(|(_, v)| *v)
         ),
-        McVerdict::Violation { kind, detail, .. } => {
+        McVerdict::Violation {
+            kind,
+            detail,
+            trace,
+            ..
+        } => {
             println!(
-                "{label}: VIOLATION ({kind:?}) after {} states: {detail}",
-                s.states
+                "{label}: VIOLATION ({kind:?}) after {} states: {detail}\n  \
+                 shallowest counterexample: {}",
+                s.states,
+                trace.join(" ; ")
             )
         }
-        McVerdict::Budget(_) => println!("{label}: budget exhausted at {} states", s.states),
+        McVerdict::Budget(_) => println!(
+            "{label}: budget exhausted at {} states{}",
+            s.states,
+            if s.truncated { " (mid-wave)" } else { "" }
+        ),
     }
 }
 
@@ -81,8 +95,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // Optimized: the full GT+LT flow (5 channels). GT1's cross-iteration
     // overlap explodes the interleaving space (max ~23 events in flight;
     // >6M states for even one iteration), so the full check stops at the
-    // budget; the racing-levels run below finds the GT5 wire interference
-    // that the paper's relative-timing regime (§5) exists to exclude.
+    // budget; the racing-levels run below uses the depth-first hunt order
+    // (the violating interleaving is too deep for any breadth-first
+    // budget) and finds the GT5 wire interference that the paper's
+    // relative-timing regime (§5) exists to exclude.
     let out = Flow::new(d.cdfg.clone(), d.initial.clone()).run(&FlowOptions::default())?;
     let ex = adcs::extract::Extraction {
         controllers: out.controllers.clone(),
@@ -101,6 +117,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         &parts,
         &McOptions {
             synchronous_levels: false,
+            order: McOrder::Depth,
             ..McOptions::default()
         },
     )?;

@@ -7,7 +7,7 @@
 use adcs::channel::ChannelMap;
 use adcs::extract::{extract, ExpansionStyle, ExtractOptions, Extraction};
 use adcs::flow::{Flow, FlowOptions};
-use adcs::mc::{model_check_system, McOptions, McVerdict, McViolationKind};
+use adcs::mc::{model_check_system, McOptions, McOrder, McVerdict, McViolationKind};
 use adcs::system::{system_parts, SystemDelays, SystemParts};
 use adcs_cdfg::benchmarks::{diffeq, diffeq_reference, DiffeqDesign, DiffeqParams};
 
@@ -105,7 +105,11 @@ fn the_optimized_network_relies_on_relative_timing() {
     // The GT5-multiplexed channels are only safe because operation
     // latency exceeds a wire hop (§5). Dropping the timing regime lets the
     // checker put two events in flight on one multiplexed channel wire —
-    // the transmission interference the paper's analysis excludes.
+    // the transmission interference the paper's analysis excludes. The
+    // violating interleaving is deep and narrow (it sits past wave 19 of a
+    // space whose 19th wave is already >10⁶ states wide), so the hunt uses
+    // the depth-first order: the wave search would exhaust any affordable
+    // budget before reaching it.
     let d = diffeq(one_iter()).unwrap();
     let out = Flow::new(d.cdfg.clone(), d.initial.clone())
         .run(&FlowOptions::default())
@@ -123,12 +127,19 @@ fn the_optimized_network_relies_on_relative_timing() {
     .unwrap();
     let opts = McOptions {
         synchronous_levels: false,
+        order: McOrder::Depth,
         ..McOptions::default()
     };
     match check(&parts, &opts) {
-        McVerdict::Violation { kind, detail, .. } => {
+        McVerdict::Violation {
+            kind,
+            detail,
+            stats,
+            ..
+        } => {
             assert_eq!(kind, McViolationKind::WireInterference, "{detail}");
             assert!(detail.contains("ch"), "on a channel wire: {detail}");
+            assert!(stats.states < 4_000_000, "found within budget: {stats:?}");
         }
         other => panic!("expected wire interference, got {other:?}"),
     }
@@ -200,7 +211,95 @@ fn the_full_optimized_space_exceeds_any_small_budget() {
         max_states: 20_000,
         ..McOptions::default()
     };
-    assert!(matches!(check(&parts, &opts), McVerdict::Budget(_)));
+    match check(&parts, &opts) {
+        McVerdict::Budget(stats) => {
+            // The reported count is clamped to the budget — it never
+            // overshoots by the remainder of the wave that hit it.
+            assert_eq!(stats.states, 20_000, "{stats:?}");
+            assert!(stats.batches >= 1, "{stats:?}");
+        }
+        other => panic!("expected budget, got {other:?}"),
+    }
+}
+
+#[test]
+fn thread_count_never_changes_the_verdict_on_a_real_system() {
+    // The sharded-frontier search merges per-chunk discoveries in global
+    // state order, so worker count is unobservable: the GCD baseline must
+    // produce bit-identical verdicts (outcome, stats, trace) at 1 and 3
+    // threads.
+    use adcs_cdfg::benchmarks::gcd;
+    let d = gcd(2, 1).unwrap();
+    let channels = ChannelMap::per_arc(&d.cdfg).unwrap();
+    let ex = extract(
+        &d.cdfg,
+        &channels,
+        &ExtractOptions {
+            style: ExpansionStyle::Sequential,
+        },
+    )
+    .unwrap();
+    let parts = system_parts(
+        &d.cdfg,
+        &channels,
+        &ex,
+        d.initial.clone(),
+        SystemDelays::default(),
+    )
+    .unwrap();
+    let at = |threads| {
+        let opts = McOptions {
+            threads: Some(threads),
+            ..McOptions::default()
+        };
+        format!("{:?}", check(&parts, &opts))
+    };
+    assert_eq!(at(1), at(3));
+}
+
+#[test]
+fn a_repeat_sweep_is_served_from_the_warm_mc_cache() {
+    // Exploring the same design twice over one Flow: the second sweep's
+    // model checks must all be answered by the cross-candidate McCache —
+    // zero new searches — and rank the candidates identically.
+    use adcs::explore::{explore_exhaustive_flow, ExploreOptions, Objective};
+    use adcs::flow::Flow;
+    let d = diffeq(one_iter()).unwrap();
+    let flow = Flow::new(d.cdfg, d.initial);
+    let base = FlowOptions {
+        verify_seeds: 2,
+        model_check: true,
+        mc: McOptions {
+            max_states: 2_000,
+            ..McOptions::default()
+        },
+        ..FlowOptions::default()
+    };
+    let opts = ExploreOptions::sequential();
+    let cold = explore_exhaustive_flow(&flow, &base, Objective::ChannelsThenStates, opts).unwrap();
+    let misses_cold = flow.mc_cache().misses();
+    let hits_cold = flow.mc_cache().hits();
+    let runs_cold: u64 = cold.iter().map(|p| p.mc_runs).sum();
+    assert_eq!(runs_cold, cold.len() as u64, "every candidate checked once");
+    assert!(misses_cold >= 1);
+    let warm = explore_exhaustive_flow(&flow, &base, Objective::ChannelsThenStates, opts).unwrap();
+    assert_eq!(
+        flow.mc_cache().misses(),
+        misses_cold,
+        "the repeat sweep must not run a single new search"
+    );
+    let warm_runs: u64 = warm.iter().map(|p| p.mc_runs).sum();
+    let warm_hits = flow.mc_cache().hits() - hits_cold;
+    assert!(
+        warm_hits * 2 >= warm_runs,
+        "warm sweep skipped {warm_hits}/{warm_runs} checks — expected >= 50%"
+    );
+    assert_eq!(cold.len(), warm.len());
+    for (c, w) in cold.iter().zip(&warm) {
+        assert_eq!(c.config, w.config, "warm sweep must rank identically");
+        assert_eq!(c.score, w.score);
+        assert_eq!(c.mc_states, w.mc_states, "cached stats are replayed");
+    }
 }
 
 #[test]
