@@ -172,6 +172,29 @@ fn headline() {
     let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_mc.json");
     std::fs::write(path, json).expect("write BENCH_mc.json");
     println!("wrote {path}");
+
+    emit_run_report();
+}
+
+/// Runs the full flow on the one-iteration DIFFEQ (model check included)
+/// with span tracing on, and writes the machine-readable `RunReport` next
+/// to `BENCH_mc.json` — the same artifact `adcs synth --report-json`
+/// produces, so CI publishes both the timing figures and the structured
+/// run record.
+fn emit_run_report() {
+    let d = diffeq(one_iter()).expect("diffeq");
+    let flow = adcs::flow::Flow::new(d.cdfg.clone(), d.initial.clone());
+    let opts = adcs::flow::FlowOptions {
+        model_check: true,
+        verify_seeds: 2,
+        ..adcs::flow::FlowOptions::default()
+    };
+    let (result, spans) = adcs_obs::collect("bench.mc", || flow.run(&opts));
+    let out = result.expect("flow");
+    let report = adcs::report::run_report("diffeq", &out, &flow, 0, Some(spans));
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_report.json");
+    std::fs::write(path, report.to_json()).expect("write BENCH_report.json");
+    println!("wrote {path}");
 }
 
 fn bench_scaling(c: &mut Criterion) {

@@ -1,27 +1,60 @@
 //! `adcs` — command-line front end to the synthesis flow.
 //!
 //! ```sh
-//! adcs synth  design.adcs            # full flow; prints the stage table
-//! adcs synth  design.adcs --bm out/  # also dump the controllers as .bm text
-//! adcs synth  design.adcs --vcd run.vcd   # plus an end-to-end waveform
-//! adcs run    design.adcs            # simulate the raw CDFG, print registers
+//! adcs synth  design.adcs                  # full flow; prints the stage table
+//! adcs synth  design.adcs --report-json r.json   # plus the machine-readable RunReport
+//! adcs synth  design.adcs --logic --model-check  # gate level + exhaustive check
+//! adcs run    design.adcs                  # simulate the raw CDFG, print registers
 //! adcs script design.adcs "gt1; gt2; gt5"  # apply a transform script
-//! adcs dot    design.adcs            # print the CDFG in Graphviz syntax
+//! adcs dot    design.adcs                  # print the CDFG in Graphviz syntax
+//! adcs report r.json                       # validate + summarize a RunReport
 //! ```
 //!
 //! Design files use the textual format of `adcs_cdfg::parse` (see the
 //! rustdoc there); registers are seeded with `init` lines.
+//!
+//! Every error path exits nonzero with a one-line `error: ...` message.
 
 use std::path::Path;
 use std::process::ExitCode;
 
 use adcs::extract::Extraction;
 use adcs::flow::{Flow, FlowOptions};
+use adcs::report::{hfmin_summary_report, mc_summary_report, run_report, timing_summary_report};
 use adcs::script::{run_script, Script};
 use adcs::system::{build_system, SystemDelays};
 use adcs_cdfg::parse::{parse_program, ParsedProgram};
+use adcs_obs::RunReport;
 use adcs_sim::exec::{execute, ExecOptions};
 use adcs_sim::DelayModel;
+
+const USAGE: &str = "\
+usage: adcs <command> <file> [options]
+
+commands:
+  synth  <design.adcs> [options]   run the full synthesis flow
+  run    <design.adcs>             simulate the raw CDFG, print registers
+  script <design.adcs> [\"gt1; ...\"] apply a transform script
+  dot    <design.adcs>             print Graphviz for the CDFG
+  report <report.json>             validate and summarize a RunReport
+
+synth options:
+  --report-json FILE    write the machine-readable RunReport (stages,
+                        per-transform deltas, cache stats, timing/mc
+                        verdicts, span tree) as JSON
+  --logic               synthesize hazard-free two-level logic and print
+                        the per-controller product/literal summary
+  --model-check         exhaustively model-check the final controller
+                        network against the datapath (bounded budget)
+  --verify-seeds N      randomized verification seeds (default 8; 0 off)
+  --threads N           worker threads for the flow's parallel stages
+                        (default: all cores)
+  --no-minimize-cache   disable the cross-run logic-synthesis memo
+  --no-timing-cache     disable the cross-run GT3 timing-verdict memo
+  --no-mc-cache         disable the cross-run model-check verdict memo
+  --bm DIR              dump the final controllers as .bm text
+  --vcd FILE            write an end-to-end system waveform
+";
 
 fn main() -> ExitCode {
     match run() {
@@ -38,32 +71,102 @@ fn run() -> Result<(), Box<dyn std::error::Error>> {
     let (cmd, file) = match (args.first(), args.get(1)) {
         (Some(c), Some(f)) => (c.as_str(), f.as_str()),
         _ => {
-            eprintln!("usage: adcs <synth|run|script|dot> <design.adcs> [options]");
-            eprintln!("  synth  [--bm DIR] [--vcd FILE]   run the full flow");
-            eprintln!("  run                              simulate the raw CDFG");
-            eprintln!("  script \"gt1; gt2; ...\"           apply a transform script");
-            eprintln!("  dot                              print Graphviz for the CDFG");
+            eprint!("{USAGE}");
             return Err("missing arguments".into());
         }
     };
+    if cmd == "report" {
+        return validate_report(file);
+    }
     let text = std::fs::read_to_string(file)?;
     let program = parse_program(&text)?;
 
     match cmd {
-        "synth" => synth(&program, &args[2..]),
+        "synth" => synth(&program, file, &args[2..]),
         "run" => simulate(&program),
         "script" => script(&program, args.get(2).map(String::as_str).unwrap_or("")),
         "dot" => {
             print!("{}", adcs_cdfg::dot::to_dot(&program.cdfg));
             Ok(())
         }
-        other => Err(format!("unknown command `{other}`").into()),
+        other => {
+            eprint!("{USAGE}");
+            Err(format!("unknown command `{other}`").into())
+        }
     }
 }
 
-fn synth(program: &ParsedProgram, opts: &[String]) -> Result<(), Box<dyn std::error::Error>> {
+struct SynthArgs {
+    options: FlowOptions,
+    threads: Option<usize>,
+    report_json: Option<String>,
+    bm_dir: Option<String>,
+    vcd: Option<String>,
+}
+
+fn parse_synth_args(opts: &[String]) -> Result<SynthArgs, Box<dyn std::error::Error>> {
+    let mut a = SynthArgs {
+        options: FlowOptions::default(),
+        threads: None,
+        report_json: None,
+        bm_dir: None,
+        vcd: None,
+    };
+    let mut i = 0;
+    let value = |i: &mut usize, flag: &str| -> Result<String, Box<dyn std::error::Error>> {
+        *i += 1;
+        opts.get(*i)
+            .cloned()
+            .ok_or_else(|| format!("{flag} needs an argument").into())
+    };
+    while i < opts.len() {
+        match opts[i].as_str() {
+            "--report-json" => a.report_json = Some(value(&mut i, "--report-json")?),
+            "--logic" => a.options.synthesize_logic = true,
+            "--model-check" => a.options.model_check = true,
+            "--verify-seeds" => {
+                a.options.verify_seeds = value(&mut i, "--verify-seeds")?.parse()?;
+            }
+            "--threads" => {
+                let n: usize = value(&mut i, "--threads")?.parse()?;
+                a.threads = Some(n.max(1));
+            }
+            "--no-minimize-cache" => a.options.minimize_cache = false,
+            "--no-timing-cache" => a.options.timing_cache = false,
+            "--no-mc-cache" => a.options.mc_cache = false,
+            "--bm" => a.bm_dir = Some(value(&mut i, "--bm")?),
+            "--vcd" => a.vcd = Some(value(&mut i, "--vcd")?),
+            other => {
+                eprint!("{USAGE}");
+                return Err(format!("unknown option `{other}`").into());
+            }
+        }
+        i += 1;
+    }
+    if let Some(n) = a.threads {
+        a.options.mc.threads = Some(n);
+    }
+    Ok(a)
+}
+
+fn synth(
+    program: &ParsedProgram,
+    file: &str,
+    opts: &[String],
+) -> Result<(), Box<dyn std::error::Error>> {
+    let args = parse_synth_args(opts)?;
     let flow = Flow::new(program.cdfg.clone(), program.initial.clone());
-    let out = flow.run(&FlowOptions::default())?;
+    // The span collector lives on this thread; the worker count only
+    // bounds the parallel stages, which record no spans of their own (the
+    // trace is identical at any thread count).
+    let (result, spans) = match args.threads {
+        Some(n) => rayon::ThreadPoolBuilder::new()
+            .num_threads(n)
+            .build()?
+            .install(|| adcs_obs::collect("adcs.synth", || flow.run(&args.options))),
+        None => adcs_obs::collect("adcs.synth", || flow.run(&args.options)),
+    };
+    let out = result?;
 
     println!(
         "channels: {} -> {}",
@@ -77,38 +180,96 @@ fn synth(program: &ParsedProgram, opts: &[String]) -> Result<(), Box<dyn std::er
         }
     }
 
-    let mut i = 0;
-    while i < opts.len() {
-        match opts[i].as_str() {
-            "--bm" => {
-                let dir = opts.get(i + 1).ok_or("--bm needs a directory argument")?;
-                std::fs::create_dir_all(dir)?;
-                for c in &out.controllers {
-                    let path = Path::new(dir).join(format!("{}.bm", c.machine.name()));
-                    std::fs::write(&path, adcs_xbm::format::to_text(&c.machine))?;
-                    println!("wrote {}", path.display());
-                }
-            }
-            "--vcd" => {
-                let path = opts.get(i + 1).ok_or("--vcd needs a file argument")?;
-                let ex = Extraction {
-                    controllers: out.controllers.clone(),
-                };
-                let mut sys = build_system(
-                    &out.cdfg,
-                    &out.channels,
-                    &ex,
-                    program.initial.clone(),
-                    SystemDelays::default(),
-                )?;
-                sys.record_trace(true);
-                sys.run(2_000_000)?;
-                std::fs::write(path, sys.to_vcd(&ex))?;
-                println!("wrote {path} ({} register writes)", sys.datapath().writes);
-            }
-            other => return Err(format!("unknown option `{other}`").into()),
+    let design = Path::new(file)
+        .file_stem()
+        .map(|s| s.to_string_lossy().into_owned())
+        .unwrap_or_else(|| file.to_string());
+    let report = run_report(
+        &design,
+        &out,
+        &flow,
+        args.threads.unwrap_or(0) as u64,
+        Some(spans),
+    );
+    if args.options.synthesize_logic {
+        print!("{}", hfmin_summary_report(&report));
+    }
+    if let Some(t) = &report.timing {
+        if t.queries > 0 {
+            print!("{}", timing_summary_report(&report));
         }
-        i += 2;
+    }
+    if args.options.model_check {
+        print!("{}", mc_summary_report(&report));
+    }
+    if let Some(path) = &args.report_json {
+        std::fs::write(path, report.to_json())?;
+        println!("wrote {path}");
+    }
+
+    if let Some(dir) = &args.bm_dir {
+        std::fs::create_dir_all(dir)?;
+        for c in &out.controllers {
+            let path = Path::new(dir).join(format!("{}.bm", c.machine.name()));
+            std::fs::write(&path, adcs_xbm::format::to_text(&c.machine))?;
+            println!("wrote {}", path.display());
+        }
+    }
+    if let Some(path) = &args.vcd {
+        let ex = Extraction {
+            controllers: out.controllers.clone(),
+        };
+        let mut sys = build_system(
+            &out.cdfg,
+            &out.channels,
+            &ex,
+            program.initial.clone(),
+            SystemDelays::default(),
+        )?;
+        sys.record_trace(true);
+        sys.run(2_000_000)?;
+        std::fs::write(path, sys.to_vcd(&ex))?;
+        println!("wrote {path} ({} register writes)", sys.datapath().writes);
+    }
+    Ok(())
+}
+
+fn validate_report(file: &str) -> Result<(), Box<dyn std::error::Error>> {
+    let text = std::fs::read_to_string(file)?;
+    let r = RunReport::from_json(&text)?;
+    println!(
+        "{}: schema {}, design `{}`, {} stage(s), {} transform delta(s), {} cache(s)",
+        file,
+        r.schema,
+        r.design,
+        r.stages.len(),
+        r.transforms.len(),
+        r.caches.len()
+    );
+    for s in &r.stages {
+        println!(
+            "  stage {:22} {:3} channels, {} machine(s)",
+            s.name,
+            s.channels,
+            s.machines.len()
+        );
+    }
+    for c in &r.caches {
+        println!(
+            "  cache {:10} {} hit / {} miss, {} entr{}",
+            c.name,
+            c.hits,
+            c.misses,
+            c.entries,
+            if c.entries == 1 { "y" } else { "ies" }
+        );
+    }
+    if let Some(spans) = &r.spans {
+        println!(
+            "  spans: {} node(s) from root `{}`",
+            spans.count(),
+            spans.name
+        );
     }
     Ok(())
 }

@@ -39,14 +39,18 @@ impl ExploreOptions {
     }
 
     /// Runs `f` under this option set's thread-count bound.
-    fn install<R: Send>(self, f: impl FnOnce() -> R + Send) -> R {
+    ///
+    /// # Errors
+    ///
+    /// Fails if the thread pool cannot be constructed.
+    fn install<R: Send>(self, f: impl FnOnce() -> R + Send) -> Result<R, SynthError> {
         match self.threads {
-            Some(n) => rayon::ThreadPoolBuilder::new()
+            Some(n) => Ok(rayon::ThreadPoolBuilder::new()
                 .num_threads(n.max(1))
                 .build()
-                .expect("thread pool")
-                .install(f),
-            None => f(),
+                .map_err(|e| SynthError::Precondition(format!("explorer thread pool: {e}")))?
+                .install(f)),
+            None => Ok(f()),
         }
     }
 }
@@ -314,12 +318,17 @@ pub fn explore_exhaustive_flow(
     objective: Objective,
     explore_opts: ExploreOptions,
 ) -> Result<Vec<ExplorePoint>, SynthError> {
+    // Candidate evaluation runs inline at one thread but on workers
+    // otherwise; suppressing span recording around the fan-out keeps the
+    // caller's trace identical at every thread count.
     let mut points: Vec<ExplorePoint> = explore_opts.install(|| {
-        (0u32..64)
-            .into_par_iter()
-            .filter_map(|mask| evaluate(flow, base, objective, config_of(mask)))
-            .collect()
-    });
+        adcs_obs::quiet(|| {
+            (0u32..64)
+                .into_par_iter()
+                .filter_map(|mask| evaluate(flow, base, objective, config_of(mask)))
+                .collect()
+        })
+    })?;
     if points.is_empty() {
         return Err(SynthError::Precondition(
             "no transform configuration completed the flow".into(),
@@ -365,7 +374,9 @@ pub fn explore_greedy_with(
     })?;
     let mut trail = vec![best.clone()];
     loop {
-        let enabled = trail.last().expect("nonempty trail").bitmask();
+        // `best` always mirrors the last trail entry, so read the enabled
+        // set from it instead of indexing into the trail.
+        let enabled = best.bitmask();
         let candidates: Vec<u32> = (0..6)
             .map(|bit| enabled | 1 << bit)
             .filter(|&m| m != enabled)
@@ -374,11 +385,13 @@ pub fn explore_greedy_with(
             break;
         }
         let evaluated: Vec<ExplorePoint> = explore_opts.install(|| {
-            candidates
-                .into_par_iter()
-                .filter_map(|mask| evaluate(&flow, base, objective, config_of(mask)))
-                .collect()
-        });
+            adcs_obs::quiet(|| {
+                candidates
+                    .into_par_iter()
+                    .filter_map(|mask| evaluate(&flow, base, objective, config_of(mask)))
+                    .collect()
+            })
+        })?;
         // Keep the best non-regressing candidate; stop when each remaining
         // transform would strictly worsen the objective. Requiring strict
         // improvement once does not: equal-score additions are accepted

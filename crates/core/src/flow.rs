@@ -10,6 +10,9 @@ use adcs_cdfg::analysis::ReachCache;
 use adcs_cdfg::benchmarks::RegFile;
 use adcs_cdfg::Cdfg;
 use adcs_hfmin::{synthesize, ControllerLogic, SynthOptions};
+use adcs_obs::metrics::Metrics;
+use adcs_obs::report::TransformDelta;
+use adcs_obs::span::SpanNode;
 use adcs_sim::exec::{execute, ExecOptions};
 use adcs_xbm::XbmStats;
 use rayon::prelude::*;
@@ -230,6 +233,9 @@ pub struct FlowOutcome {
     pub mc_shards: u64,
     /// Wall-clock time spent model checking this run.
     pub mc_elapsed: Duration,
+    /// Model-check verdict kind: empty when the check did not run,
+    /// otherwise `verified` or `budget` (a violation fails the run).
+    pub mc_verdict: String,
     /// Stats of the unoptimized extraction.
     pub unoptimized: StageStats,
     /// Stats after the global transforms.
@@ -248,6 +254,11 @@ pub struct FlowOutcome {
     /// [`FlowOptions::synthesize_logic`] is set). `Arc`-shared with the
     /// [`MinimizeCache`], so repeat runs hand out the same allocation.
     pub logic: Vec<Arc<ControllerLogic>>,
+    /// Per-global-transform node/arc deltas, in application order
+    /// (GT1 … GT5). Disabled transforms appear with `applied: false` and
+    /// equal before/after counts, so the report always covers the full
+    /// pipeline shape.
+    pub transforms: Vec<TransformDelta>,
 }
 
 /// The flow driver.
@@ -259,6 +270,7 @@ pub struct FlowOutcome {
 pub struct Flow {
     cdfg: Arc<Cdfg>,
     initial: Arc<RegFile>,
+    metrics: Arc<Metrics>,
     minimize: Arc<MinimizeCache>,
     timing: Arc<TimingCache>,
     mc: Arc<McCache>,
@@ -269,13 +281,23 @@ impl Flow {
     /// initial register file used for verification and GT3. Accepts owned
     /// values or pre-shared `Arc`s.
     pub fn new(cdfg: impl Into<Arc<Cdfg>>, initial: impl Into<Arc<RegFile>>) -> Self {
+        let metrics = Arc::new(Metrics::new());
         Flow {
             cdfg: cdfg.into(),
             initial: initial.into(),
-            minimize: Arc::new(MinimizeCache::new()),
-            timing: Arc::new(TimingCache::new()),
-            mc: Arc::new(McCache::new()),
+            minimize: Arc::new(MinimizeCache::with_metrics(&metrics)),
+            timing: Arc::new(TimingCache::with_metrics(&metrics)),
+            mc: Arc::new(McCache::with_metrics(&metrics)),
+            metrics,
         }
+    }
+
+    /// The unified metrics registry every cache of this flow (and of its
+    /// clones) reports into: `cache.minimize.*`, `cache.timing.*`,
+    /// `cache.mc.*` live here, and each [`Flow::run`] adds the per-run
+    /// reachability counters as `cache.reach.*`.
+    pub fn metrics(&self) -> &Metrics {
+        &self.metrics
     }
 
     /// The synthesis memo shared by every [`Flow::run`] of this flow (and
@@ -308,18 +330,21 @@ impl Flow {
         let run_start = Instant::now();
 
         // ---- Stage 0: unoptimized --------------------------------------
-        let channels0 = ChannelMap::per_arc(&self.cdfg)?;
-        let mut ex0 = extract_cached(
-            &self.cdfg,
-            &channels0,
-            &ExtractOptions {
-                style: opts.baseline_style,
-            },
-            &reach,
-        )?;
-        if opts.reduce_states {
-            reduce_all(&mut ex0.controllers)?;
-        }
+        let (channels0, ex0) = adcs_obs::span("flow.stage0.unoptimized", || {
+            let channels0 = ChannelMap::per_arc(&self.cdfg)?;
+            let mut ex0 = extract_cached(
+                &self.cdfg,
+                &channels0,
+                &ExtractOptions {
+                    style: opts.baseline_style,
+                },
+                &reach,
+            )?;
+            if opts.reduce_states {
+                reduce_all(&mut ex0.controllers)?;
+            }
+            Ok::<_, SynthError>((channels0, ex0))
+        })?;
         let unoptimized = stage_stats(
             "unoptimized",
             &channels0,
@@ -332,45 +357,80 @@ impl Flow {
         let gt_start = Instant::now();
         let queries_before_gt = reach.queries();
         let mut g = (*self.cdfg).clone();
-        if opts.gt1 {
-            gt1_loop_parallelism(&mut g)?;
-        }
-        if opts.gt2 {
-            gt2_remove_dominated(&mut g)?;
-        }
+        let mut transforms = Vec::new();
         let mut timing_stats = TimingStats::default();
-        if opts.gt3 {
-            let fresh;
-            let cache = if opts.timing_cache {
-                self.timing.as_ref()
-            } else {
-                fresh = TimingCache::new();
-                &fresh
+        let (channels, ex_gt) = adcs_obs::span("flow.stage1.global", || {
+            // Each global transform is bracketed by node/arc counts so the
+            // run report can show exactly what it bought.
+            let delta = |name: &str, applied: bool, g: &Cdfg| TransformDelta {
+                name: name.to_string(),
+                applied,
+                nodes_before: g.node_count() as u64,
+                nodes_after: 0,
+                arcs_before: g.arc_count() as u64,
+                arcs_after: 0,
             };
-            let rep = gt3_relative_timing_cached(&mut g, &self.initial, &opts.timing, cache)?;
-            timing_stats = rep.timing;
-        }
-        if opts.gt4 {
-            gt4_merge_assignments(&mut g)?;
-        }
-        let mut channels = ChannelMap::per_arc(&g)?;
-        gt5_channel_elimination_cached(&mut g, &mut channels, opts.gt5, &reach)?;
+            let close = |mut d: TransformDelta, g: &Cdfg| {
+                d.nodes_after = g.node_count() as u64;
+                d.arcs_after = g.arc_count() as u64;
+                d
+            };
+            let mut d = delta("gt1", opts.gt1, &g);
+            if opts.gt1 {
+                adcs_obs::span("flow.gt1", || gt1_loop_parallelism(&mut g))?;
+            }
+            transforms.push(close(d, &g));
+            d = delta("gt2", opts.gt2, &g);
+            if opts.gt2 {
+                adcs_obs::span("flow.gt2", || gt2_remove_dominated(&mut g))?;
+            }
+            transforms.push(close(d, &g));
+            d = delta("gt3", opts.gt3, &g);
+            if opts.gt3 {
+                let fresh;
+                let cache = if opts.timing_cache {
+                    self.timing.as_ref()
+                } else {
+                    fresh = TimingCache::new();
+                    &fresh
+                };
+                let rep = adcs_obs::span("flow.gt3", || {
+                    gt3_relative_timing_cached(&mut g, &self.initial, &opts.timing, cache)
+                })?;
+                timing_stats = rep.timing;
+            }
+            transforms.push(close(d, &g));
+            d = delta("gt4", opts.gt4, &g);
+            if opts.gt4 {
+                adcs_obs::span("flow.gt4", || gt4_merge_assignments(&mut g))?;
+            }
+            transforms.push(close(d, &g));
+            d = delta("gt5", true, &g);
+            let mut channels = ChannelMap::per_arc(&g)?;
+            adcs_obs::span("flow.gt5", || {
+                gt5_channel_elimination_cached(&mut g, &mut channels, opts.gt5, &reach)
+            })?;
+            transforms.push(close(d, &g));
 
-        if opts.verify_seeds > 0 {
-            self.verify(&g, &channels, opts)?;
-        }
+            if opts.verify_seeds > 0 {
+                adcs_obs::span("flow.verify", || self.verify(&g, &channels, opts))?;
+            }
 
-        let mut ex_gt = extract_cached(
-            &g,
-            &channels,
-            &ExtractOptions {
-                style: opts.optimized_style,
-            },
-            &reach,
-        )?;
-        if opts.reduce_states {
-            reduce_all(&mut ex_gt.controllers)?;
-        }
+            let mut ex_gt = adcs_obs::span("flow.extract", || {
+                extract_cached(
+                    &g,
+                    &channels,
+                    &ExtractOptions {
+                        style: opts.optimized_style,
+                    },
+                    &reach,
+                )
+            })?;
+            if opts.reduce_states {
+                reduce_all(&mut ex_gt.controllers)?;
+            }
+            Ok::<_, SynthError>((channels, ex_gt))
+        })?;
         let mut optimized_gt = stage_stats(
             "optimized-GT",
             &channels,
@@ -386,12 +446,14 @@ impl Flow {
         // ---- Stage 2: local transforms ----------------------------------
         let lt_start = Instant::now();
         let queries_before_lt = reach.queries();
-        let mut controllers = ex_gt.controllers.clone();
-        let lt_reports = apply_all(&mut controllers, &opts.lt)?;
-        if opts.reduce_states {
-            reduce_all(&mut controllers)?;
-        }
-        let ex_lt = Extraction { controllers };
+        let (ex_lt, lt_reports) = adcs_obs::span("flow.stage2.local", || {
+            let mut controllers = ex_gt.controllers.clone();
+            let lt_reports = apply_all(&mut controllers, &opts.lt)?;
+            if opts.reduce_states {
+                reduce_all(&mut controllers)?;
+            }
+            Ok::<_, SynthError>((Extraction { controllers }, lt_reports))
+        })?;
         let mut optimized_gt_lt = stage_stats(
             "optimized-GT-and-LT",
             &channels,
@@ -401,28 +463,36 @@ impl Flow {
         );
 
         // ---- Stage 2b (optional): exhaustive model check ----------------
+        let mut mc_verdict = String::new();
         if opts.model_check {
             let mc_start = Instant::now();
-            let parts = system_parts(
-                &g,
-                &channels,
-                &ex_lt,
-                (*self.initial).clone(),
-                SystemDelays::default(),
-            )?;
-            let (verdict, hit) = if opts.mc_cache {
-                self.mc.check_system(&parts, &opts.mc)?
-            } else {
-                (
-                    Arc::new(crate::mc::model_check_system(&parts, &opts.mc)?),
-                    false,
-                )
-            };
+            let (verdict, hit) = adcs_obs::span("flow.stage2b.model_check", || {
+                let parts = system_parts(
+                    &g,
+                    &channels,
+                    &ex_lt,
+                    (*self.initial).clone(),
+                    SystemDelays::default(),
+                )?;
+                if opts.mc_cache {
+                    self.mc.check_system(&parts, &opts.mc)
+                } else {
+                    Ok((
+                        Arc::new(crate::mc::model_check_system(&parts, &opts.mc)?),
+                        false,
+                    ))
+                }
+            })?;
             if let McVerdict::Violation { kind, detail, .. } = verdict.as_ref() {
                 return Err(SynthError::Precondition(format!(
                     "model check found a {kind:?}: {detail}"
                 )));
             }
+            mc_verdict = if verdict.is_verified() {
+                "verified".to_string()
+            } else {
+                "budget".to_string()
+            };
             let s = verdict.stats();
             optimized_gt_lt.mc_runs = 1;
             optimized_gt_lt.mc_cache_hits = u64::from(hit);
@@ -438,19 +508,47 @@ impl Flow {
         let mut logic: Vec<Arc<ControllerLogic>> = Vec::new();
         if opts.synthesize_logic {
             let hfmin_start = Instant::now();
-            // One covering pipeline per controller, fanned over the ambient
-            // rayon pool; results are collected in controller order.
-            let synthesized: Vec<Result<(Arc<ControllerLogic>, bool), _>> = ex_lt
-                .controllers
-                .par_iter()
-                .map(|c| {
-                    if opts.minimize_cache {
-                        self.minimize.synthesize(&c.machine, opts.synth)
-                    } else {
-                        synthesize(&c.machine, opts.synth).map(|l| (Arc::new(l), false))
-                    }
-                })
-                .collect();
+            let synthesized = adcs_obs::span("flow.stage3.synthesize", || {
+                // One covering pipeline per controller, fanned over the
+                // ambient rayon pool; results are collected in controller
+                // order. Per-controller spans are *captured* on whichever
+                // thread runs the item (detached subtrees) and adopted here
+                // in input order, so the trace is identical whether the
+                // items ran inline (one thread) or on workers.
+                let record = adcs_obs::active();
+                type Synthesized = (
+                    Result<(Arc<ControllerLogic>, bool), adcs_hfmin::HfminError>,
+                    Option<SpanNode>,
+                );
+                let indexed: Vec<(usize, &ControllerSpec)> =
+                    ex_lt.controllers.iter().enumerate().collect();
+                let synthesized: Vec<Synthesized> = indexed
+                    .into_par_iter()
+                    .map(|(i, c)| {
+                        let work = || {
+                            if opts.minimize_cache {
+                                self.minimize.synthesize(&c.machine, opts.synth)
+                            } else {
+                                synthesize(&c.machine, opts.synth).map(|l| (Arc::new(l), false))
+                            }
+                        };
+                        if record {
+                            let (res, tree) = adcs_obs::capture("flow.synthesize", i as u64, work);
+                            (res, Some(tree))
+                        } else {
+                            (work(), None)
+                        }
+                    })
+                    .collect();
+                let mut results = Vec::with_capacity(synthesized.len());
+                let mut trees = Vec::new();
+                for (res, tree) in synthesized {
+                    results.push(res);
+                    trees.extend(tree);
+                }
+                adcs_obs::adopt(trees);
+                results
+            });
             for result in synthesized {
                 let (l, hit) = result?;
                 if hit {
@@ -463,6 +561,13 @@ impl Flow {
             }
             optimized_gt_lt.hfmin_elapsed = hfmin_start.elapsed();
         }
+
+        // The reachability cache is per-run (it dies with this scope), so
+        // its counters are bridged into the flow-lifetime registry here.
+        self.metrics
+            .counter("cache.reach.query")
+            .add(reach.queries());
+        self.metrics.counter("cache.reach.hit").add(reach.hits());
 
         Ok(FlowOutcome {
             elapsed: run_start.elapsed(),
@@ -484,6 +589,7 @@ impl Flow {
             mc_peak_frontier: optimized_gt_lt.mc_peak_frontier,
             mc_shards: optimized_gt_lt.mc_shards,
             mc_elapsed: optimized_gt_lt.mc_elapsed,
+            mc_verdict,
             unoptimized,
             optimized_gt,
             optimized_gt_lt,
@@ -492,6 +598,7 @@ impl Flow {
             controllers: ex_lt.controllers,
             lt_reports,
             logic,
+            transforms,
         })
     }
 

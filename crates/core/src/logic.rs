@@ -29,25 +29,40 @@
 
 use std::collections::HashMap;
 use std::fmt;
-use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
 
 use adcs_hfmin::{synthesize, ControllerLogic, HfminError, SynthOptions};
+use adcs_obs::lock_recover;
+use adcs_obs::metrics::{Counter, Metrics};
 use adcs_xbm::XbmMachine;
 
 /// A memo table mapping *(synthesis options, machine text)* to synthesized
-/// controller logic. See the module docs for the contract.
+/// controller logic. See the module docs for the contract. The map lock
+/// recovers from poisoning — entries are only ever inserted whole, so a
+/// panicking candidate cannot wedge the cache for later candidates.
 #[derive(Default)]
 pub struct MinimizeCache {
     entries: Mutex<HashMap<String, Arc<ControllerLogic>>>,
-    hits: AtomicU64,
-    misses: AtomicU64,
+    hits: Counter,
+    misses: Counter,
 }
 
 impl MinimizeCache {
-    /// An empty cache.
+    /// An empty cache with private counters.
     pub fn new() -> Self {
         MinimizeCache::default()
+    }
+
+    /// An empty cache whose hit/miss counters live in `metrics` (as
+    /// `cache.minimize.hit` / `cache.minimize.miss`), so the cache
+    /// reports through the unified registry instead of keeping private
+    /// atomics.
+    pub fn with_metrics(metrics: &Metrics) -> Self {
+        MinimizeCache {
+            entries: Mutex::default(),
+            hits: metrics.counter("cache.minimize.hit"),
+            misses: metrics.counter("cache.minimize.miss"),
+        }
     }
 
     /// The structural key for one machine under one option set.
@@ -69,30 +84,30 @@ impl MinimizeCache {
         opts: SynthOptions,
     ) -> Result<(Arc<ControllerLogic>, bool), HfminError> {
         let key = Self::key(m, opts);
-        if let Some(found) = self.entries.lock().expect("cache lock").get(&key) {
-            self.hits.fetch_add(1, Ordering::Relaxed);
+        if let Some(found) = lock_recover(&self.entries).get(&key) {
+            self.hits.inc();
             return Ok((Arc::clone(found), true));
         }
-        self.misses.fetch_add(1, Ordering::Relaxed);
+        self.misses.inc();
         let logic = Arc::new(synthesize(m, opts)?);
-        let mut entries = self.entries.lock().expect("cache lock");
+        let mut entries = lock_recover(&self.entries);
         let stored = entries.entry(key).or_insert_with(|| Arc::clone(&logic));
         Ok((Arc::clone(stored), false))
     }
 
     /// Lifetime cache hits.
     pub fn hits(&self) -> u64 {
-        self.hits.load(Ordering::Relaxed)
+        self.hits.get()
     }
 
     /// Lifetime cache misses (= distinct synthesis runs attempted).
     pub fn misses(&self) -> u64 {
-        self.misses.load(Ordering::Relaxed)
+        self.misses.get()
     }
 
     /// Number of memoized machines.
     pub fn len(&self) -> usize {
-        self.entries.lock().expect("cache lock").len()
+        lock_recover(&self.entries).len()
     }
 
     /// Whether the cache holds no entries.

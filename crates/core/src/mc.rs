@@ -68,10 +68,11 @@ use std::collections::hash_map::DefaultHasher;
 use std::collections::{HashMap, HashSet, VecDeque};
 use std::hash::{Hash, Hasher};
 use std::ops::Range;
-use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
 
 use adcs_cdfg::Reg;
+use adcs_obs::lock_recover;
+use adcs_obs::metrics::{Counter, Metrics};
 use adcs_sim::network::{Datapath, Wire, WireEnd};
 use adcs_xbm::interp::Interp;
 use adcs_xbm::{SignalId, StateId, XbmMachine};
@@ -474,11 +475,18 @@ struct Layout {
 }
 
 impl Layout {
-    fn new(machines: &[&XbmMachine], datapath: &impl McDatapath) -> Layout {
+    fn new(machines: &[&XbmMachine], datapath: &impl McDatapath) -> Result<Layout, SynthError> {
         let sig_counts: Vec<u32> = machines
             .iter()
-            .map(|m| m.signals().count() as u32)
-            .collect();
+            .map(|m| {
+                u32::try_from(m.signals().count()).map_err(|_| {
+                    SynthError::Precondition(format!(
+                        "machine {} has more signals than the packed state layout supports",
+                        m.name()
+                    ))
+                })
+            })
+            .collect::<Result<_, _>>()?;
         let total_sigs: usize = sig_counts.iter().map(|&c| c as usize).sum();
         let state_words = machines.len().div_ceil(2);
         let sig_words = total_sigs.div_ceil(64);
@@ -487,14 +495,14 @@ impl Layout {
         regs.dedup();
         let presence_words = regs.len().div_ceil(64);
         let words = state_words + sig_words + presence_words + regs.len();
-        Layout {
+        Ok(Layout {
             sig_counts,
             state_words,
             sig_words,
             presence_words,
             regs,
             words,
-        }
+        })
     }
 
     /// First word of the register-file section (presence + values); two
@@ -719,11 +727,12 @@ fn expand_chunk<D: McDatapath>(
                 out.fixed.truncate(mark);
             } else {
                 out.pend.extend_from_slice(&ctx.pend);
-                out.meta.push(SuccMeta {
-                    fp,
-                    pend_len: ctx.pend.len() as u32,
-                    ev,
-                });
+                let pend_len = u32::try_from(ctx.pend.len()).map_err(|_| {
+                    SynthError::Precondition(
+                        "pending-event set exceeds the packed successor limit".into(),
+                    )
+                })?;
+                out.meta.push(SuccMeta { fp, pend_len, ev });
                 n_succ += 1;
             }
         }
@@ -752,14 +761,65 @@ pub fn model_check<D: McDatapath + Clone + Send>(
     stimuli: &McStimuli,
     opts: &McOptions,
 ) -> Result<McVerdict, SynthError> {
-    match opts.threads {
-        Some(n) => rayon::ThreadPoolBuilder::new()
-            .num_threads(n.max(1))
-            .build()
-            .expect("thread pool construction cannot fail")
-            .install(|| search(machines, wires, datapath, stimuli, opts)),
-        None => search(machines, wires, datapath, stimuli, opts),
+    validate_network(machines, wires, stimuli)?;
+    adcs_obs::span("mc.search", || {
+        let verdict = match opts.threads {
+            Some(n) => rayon::ThreadPoolBuilder::new()
+                .num_threads(n.max(1))
+                .build()
+                .map_err(|e| SynthError::Precondition(format!("model-checker thread pool: {e}")))?
+                .install(|| search(machines, wires, datapath, stimuli, opts)),
+            None => search(machines, wires, datapath, stimuli, opts),
+        }?;
+        let s = verdict.stats();
+        adcs_obs::meta("states", s.states as u64);
+        adcs_obs::meta("batches", s.batches as u64);
+        adcs_obs::meta("peak_frontier", s.peak_frontier as u64);
+        Ok(verdict)
+    })
+}
+
+/// Rejects wires and stimuli that reference machines or signals outside
+/// the network before the search dereferences them — a malformed system
+/// description must come back as an `Err`, not an index panic deep in
+/// event delivery.
+fn validate_network(
+    machines: &[&XbmMachine],
+    wires: &[Wire],
+    stimuli: &McStimuli,
+) -> Result<(), SynthError> {
+    let check = |what: &str, m: usize, s: SignalId| -> Result<(), SynthError> {
+        let machine = *machines.get(m).ok_or_else(|| {
+            SynthError::Precondition(format!(
+                "{what} references machine #{m}, but the network has {} machines",
+                machines.len()
+            ))
+        })?;
+        machine.signal(s).map_err(|_| {
+            SynthError::Precondition(format!(
+                "{what} references unknown signal #{} of machine {}",
+                s.index(),
+                machine.name()
+            ))
+        })?;
+        Ok(())
+    };
+    for w in wires {
+        check("wire source", w.from.machine, w.from.signal)?;
+        for e in &w.to {
+            check("wire sink", e.machine, e.signal)?;
+        }
     }
+    for &(m, s) in &stimuli.kicks {
+        check("kick stimulus", m, s)?;
+    }
+    for &(m, s, _) in &stimuli.level_init {
+        check("initial level", m, s)?;
+    }
+    for &(m, s) in &stimuli.levels {
+        check("level end", m, s)?;
+    }
+    Ok(())
 }
 
 fn search<D: McDatapath + Clone + Send>(
@@ -769,7 +829,7 @@ fn search<D: McDatapath + Clone + Send>(
     stimuli: &McStimuli,
     opts: &McOptions,
 ) -> Result<McVerdict, SynthError> {
-    let layout = Layout::new(machines, &datapath);
+    let layout = Layout::new(machines, &datapath)?;
     let fanout = build_fanout(wires);
     let level_set: HashSet<(usize, SignalId)> = stimuli.levels.iter().copied().collect();
     let net = NetCtx {
@@ -1222,24 +1282,40 @@ type VerdictSlot = Arc<Mutex<Option<Arc<McVerdict>>>>;
 #[derive(Debug, Default)]
 pub struct McCache {
     entries: Mutex<HashMap<u128, VerdictSlot>>,
-    hits: AtomicU64,
-    misses: AtomicU64,
+    hits: Counter,
+    misses: Counter,
 }
 
 impl McCache {
-    /// An empty cache.
+    /// An empty cache with private counters.
     pub fn new() -> Self {
         Self::default()
     }
 
+    /// An empty cache whose hit/miss counters live in `metrics` (as
+    /// `cache.mc.hit` / `cache.mc.miss`), so the cache reports through
+    /// the unified registry instead of keeping private atomics.
+    pub fn with_metrics(metrics: &Metrics) -> Self {
+        McCache {
+            entries: Mutex::default(),
+            hits: metrics.counter("cache.mc.hit"),
+            misses: metrics.counter("cache.mc.miss"),
+        }
+    }
+
     /// Checks hit since construction.
     pub fn hits(&self) -> u64 {
-        self.hits.load(Ordering::Relaxed)
+        self.hits.get()
     }
 
     /// Checks missed (actually searched) since construction.
     pub fn misses(&self) -> u64 {
-        self.misses.load(Ordering::Relaxed)
+        self.misses.get()
+    }
+
+    /// Memoized verdicts currently resident (including in-flight slots).
+    pub fn entries(&self) -> u64 {
+        lock_recover(&self.entries).len() as u64
     }
 
     /// Checks `parts`, reusing a memoized verdict when an identical
@@ -1262,6 +1338,11 @@ impl McCache {
     /// The generic memoization layer under [`Self::check_system`]: runs
     /// `run` only if `key` has no memoized verdict yet.
     ///
+    /// Both locks recover from poisoning: a panicking candidate leaves
+    /// the map and every slot structurally intact (entries are only ever
+    /// written whole), so one failed check must not wedge the cache for
+    /// every later candidate in an explore sweep.
+    ///
     /// # Errors
     ///
     /// Propagates `run`'s error without caching it.
@@ -1271,15 +1352,15 @@ impl McCache {
         run: impl FnOnce() -> Result<McVerdict, SynthError>,
     ) -> Result<(Arc<McVerdict>, bool), SynthError> {
         let slot = {
-            let mut entries = self.entries.lock().expect("mc cache poisoned");
+            let mut entries = lock_recover(&self.entries);
             Arc::clone(entries.entry(key).or_default())
         };
-        let mut cell = slot.lock().expect("mc cache slot poisoned");
+        let mut cell = lock_recover(&slot);
         if let Some(v) = cell.as_ref() {
-            self.hits.fetch_add(1, Ordering::Relaxed);
+            self.hits.inc();
             return Ok((Arc::clone(v), true));
         }
-        self.misses.fetch_add(1, Ordering::Relaxed);
+        self.misses.inc();
         let v = Arc::new(run()?);
         *cell = Some(Arc::clone(&v));
         Ok((v, false))
@@ -1621,5 +1702,52 @@ mod tests {
         let (_, hit_c) = cache.check_keyed(43, run).unwrap();
         assert!(!hit_c);
         assert_eq!(cache.misses(), 2);
+    }
+
+    /// Regression: a candidate that panics mid-check used to poison the
+    /// cache mutexes, so every later explore candidate died on
+    /// `.expect("mc cache poisoned")`. The cache must absorb the panic
+    /// and keep serving (and memoizing) subsequent candidates.
+    #[test]
+    fn cache_survives_a_panicking_candidate() {
+        let (ms, i, _, wires) = repeater_net(3, false);
+        let cache = McCache::new();
+        let poisoned = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            let _ = cache.check_keyed(7, || panic!("candidate blew up"));
+        }));
+        assert!(poisoned.is_err());
+        // Same key and a fresh key both still work...
+        let run = || {
+            let refs: Vec<&XbmMachine> = ms.iter().collect();
+            model_check(&refs, &wires, (), &kick(0, i), &McOptions::default())
+        };
+        let (a, hit_a) = cache.check_keyed(7, run).unwrap();
+        assert!(!hit_a, "the panicked slot must not look populated");
+        let (b, hit_b) = cache.check_keyed(7, run).unwrap();
+        assert!(hit_b, "...and memoization still functions afterwards");
+        assert!(Arc::ptr_eq(&a, &b));
+    }
+
+    #[test]
+    fn malformed_stimuli_and_wires_error_instead_of_panicking() {
+        let (ms, i, _, wires) = repeater_net(2, false);
+        let refs: Vec<&XbmMachine> = ms.iter().collect();
+        // Kick aimed at a machine the network doesn't have.
+        let bad_kick = kick(99, i);
+        let r = model_check(&refs, &wires, (), &bad_kick, &McOptions::default());
+        assert!(matches!(r, Err(SynthError::Precondition(_))), "{r:?}");
+        // Wire sink pointing past the machine list.
+        let mut bad_wires = wires.clone();
+        if let Some(w) = bad_wires.first_mut() {
+            if let Some(e) = w.to.first_mut() {
+                e.machine = 99;
+            }
+        }
+        let r = model_check(&refs, &bad_wires, (), &kick(0, i), &McOptions::default());
+        assert!(matches!(r, Err(SynthError::Precondition(_))), "{r:?}");
+        // Stimulus signal id outside the machine's signal set.
+        let bad_sig = kick(0, SignalId::from_raw(10_000));
+        let r = model_check(&refs, &wires, (), &bad_sig, &McOptions::default());
+        assert!(matches!(r, Err(SynthError::Precondition(_))), "{r:?}");
     }
 }

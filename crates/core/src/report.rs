@@ -1,39 +1,177 @@
-//! Table rendering for the paper's figures: paper-published values side by
-//! side with this reproduction's measured values.
+//! Reporting: the machine-readable [`RunReport`] of one flow run, and the
+//! table rendering for the paper's figures (paper-published values side by
+//! side with this reproduction's measured values).
+//!
+//! The [`RunReport`] is the single source of truth: [`run_report`] (or the
+//! flow-free [`outcome_report`]) converts a [`FlowOutcome`] into the
+//! report, and every text table renders *from the report*, so the JSON
+//! artifact `adcs synth --report-json` writes and the tables the CLI
+//! prints can never disagree.
 
 use std::fmt::Write as _;
+use std::time::Duration;
 
-use crate::flow::FlowOutcome;
+use adcs_obs::report::{
+    CacheReport, HfminReport, LogicReport, MachineReport, McReport, RunReport, StageReport,
+    TimingReport, SCHEMA_VERSION,
+};
+use adcs_obs::span::SpanNode;
+
+use crate::flow::{Flow, FlowOutcome, StageStats};
 use crate::yun::{FIGURE_12, FIGURE_13};
 
-/// Renders the Figure 12 comparison (state-machine statistics): measured
-/// rows for the three synthesis stages plus the published numbers in
-/// parentheses, and the published Yun row.
-pub fn figure12_table(out: &FlowOutcome) -> String {
+fn stage_report(s: &StageStats) -> StageReport {
+    StageReport {
+        name: s.label.clone(),
+        channels: s.channels as u64,
+        reach_queries: s.reach_queries,
+        elapsed_ns: s.elapsed.as_nanos() as u64,
+        machines: s
+            .machines
+            .iter()
+            .map(|(name, st)| MachineReport {
+                name: name.clone(),
+                states: st.states as u64,
+                transitions: st.transitions as u64,
+            })
+            .collect(),
+    }
+}
+
+/// The part of a [`RunReport`] derivable from a [`FlowOutcome`] alone:
+/// stages, transform deltas, the per-run reachability cache counters, and
+/// the timing/mc/hfmin summaries. The design name, thread count, registry
+/// snapshot, and span tree stay empty — [`run_report`] fills those.
+pub fn outcome_report(out: &FlowOutcome) -> RunReport {
+    RunReport {
+        schema: SCHEMA_VERSION,
+        design: String::new(),
+        threads: 0,
+        elapsed_ns: out.elapsed.as_nanos() as u64,
+        stages: vec![
+            stage_report(&out.unoptimized),
+            stage_report(&out.optimized_gt),
+            stage_report(&out.optimized_gt_lt),
+        ],
+        transforms: out.transforms.clone(),
+        caches: vec![CacheReport {
+            name: "reach".into(),
+            hits: out.reach_cache_hits,
+            misses: out.reach_queries - out.reach_cache_hits,
+            // The reachability cache is per-run and already dropped.
+            entries: 0,
+        }],
+        timing: (out.timing_queries > 0).then_some(TimingReport {
+            queries: out.timing_queries,
+            cache_hits: out.timing_cache_hits,
+            samples_run: out.timing_samples_run,
+            samples_avoided: out.timing_samples_avoided,
+        }),
+        mc: (out.mc_runs > 0).then(|| McReport {
+            runs: out.mc_runs,
+            cache_hits: out.mc_cache_hits,
+            cache_misses: out.mc_cache_misses,
+            states: out.mc_states,
+            batches: out.mc_batches,
+            peak_frontier: out.mc_peak_frontier,
+            shards: out.mc_shards,
+            verdict: out.mc_verdict.clone(),
+            elapsed_ns: out.mc_elapsed.as_nanos() as u64,
+        }),
+        hfmin: (!out.logic.is_empty()).then_some(HfminReport {
+            controllers: out.logic.len() as u64,
+            cache_hits: out.hfmin_cache_hits,
+            cache_misses: out.hfmin_cache_misses,
+            cube_ops: out.hfmin_cube_ops,
+            elapsed_ns: out.hfmin_elapsed.as_nanos() as u64,
+        }),
+        logic: out
+            .logic
+            .iter()
+            .map(|l| LogicReport {
+                name: l.name.clone(),
+                products: l.products_single_output() as u64,
+                literals: l.literals_single_output() as u64,
+                shared_products: l.products_shared() as u64,
+                shared_literals: l.literals_shared() as u64,
+            })
+            .collect(),
+        metrics: adcs_obs::MetricsSnapshot::default(),
+        spans: None,
+    }
+}
+
+/// The complete machine-readable record of one flow run: the
+/// [`outcome_report`] plus the design name, thread count, the lifetime
+/// counters of the flow's caches, a snapshot of the flow's unified
+/// metrics registry, and (when tracing was on) the recorded span tree.
+pub fn run_report(
+    design: &str,
+    out: &FlowOutcome,
+    flow: &Flow,
+    threads: u64,
+    spans: Option<SpanNode>,
+) -> RunReport {
+    let mut r = outcome_report(out);
+    r.design = design.to_string();
+    r.threads = threads;
+    let minimize = flow.minimize_cache();
+    r.caches.push(CacheReport {
+        name: "minimize".into(),
+        hits: minimize.hits(),
+        misses: minimize.misses(),
+        entries: minimize.len() as u64,
+    });
+    let timing = flow.timing_cache();
+    r.caches.push(CacheReport {
+        name: "timing".into(),
+        hits: timing.hits(),
+        misses: timing.misses(),
+        entries: timing.entries(),
+    });
+    let mc = flow.mc_cache();
+    r.caches.push(CacheReport {
+        name: "mc".into(),
+        hits: mc.hits(),
+        misses: mc.misses(),
+        entries: mc.entries(),
+    });
+    r.metrics = flow.metrics().snapshot();
+    r.spans = spans;
+    r
+}
+
+/// Renders the Figure 12 comparison (state-machine statistics) from a
+/// report: measured rows for the three synthesis stages plus the
+/// published numbers in parentheses, and the published Yun row.
+pub fn figure12_table_report(r: &RunReport) -> String {
     let mut s = String::new();
     let _ = writeln!(
         s,
         "{:<22} {:>9} {:>15} {:>15} {:>15} {:>15}",
         "Figure 12", "#channels", "ALU1 st/tr", "ALU2 st/tr", "MUL1 st/tr", "MUL2 st/tr"
     );
-    for (stage, paper) in [
-        (&out.unoptimized, &FIGURE_12[0]),
-        (&out.optimized_gt, &FIGURE_12[1]),
-        (&out.optimized_gt_lt, &FIGURE_12[2]),
+    for (name, paper) in [
+        ("unoptimized", &FIGURE_12[0]),
+        ("optimized-GT", &FIGURE_12[1]),
+        ("optimized-GT-and-LT", &FIGURE_12[2]),
     ] {
+        let Some(stage) = r.stages.iter().find(|s| s.name == name) else {
+            continue;
+        };
         let get = |name: &str| {
             stage
                 .machines
                 .iter()
-                .find(|(n, _)| n == name)
-                .map(|(_, st)| (st.states, st.transitions))
+                .find(|m| m.name == name)
+                .map(|m| (m.states, m.transitions))
                 .unwrap_or((0, 0))
         };
         let (a1, a2, m1, m2) = (get("ALU1"), get("ALU2"), get("MUL1"), get("MUL2"));
         let _ = writeln!(
             s,
             "{:<22} {:>3} ({:>2}) {:>7}/{:<3}({}/{}) {:>6}/{:<3}({}/{}) {:>6}/{:<3}({}/{}) {:>6}/{:<3}({}/{})",
-            stage.label,
+            stage.name,
             stage.channels,
             paper.channels,
             a1.0, a1.1, paper.alu1.0, paper.alu1.1,
@@ -62,6 +200,11 @@ pub fn figure12_table(out: &FlowOutcome) -> String {
         "(measured first, paper's published value in parentheses)"
     );
     s
+}
+
+/// [`figure12_table_report`] over a raw outcome.
+pub fn figure12_table(out: &FlowOutcome) -> String {
+    figure12_table_report(&outcome_report(out))
 }
 
 /// Renders the Figure 13 comparison (gate level): measured
@@ -102,6 +245,17 @@ pub fn figure13_table(measured: &[(String, usize, usize)]) -> String {
     s
 }
 
+/// [`figure13_table`] with the measured column taken from a report's
+/// synthesized-logic section.
+pub fn figure13_table_report(r: &RunReport) -> String {
+    let measured: Vec<(String, usize, usize)> = r
+        .logic
+        .iter()
+        .map(|l| (l.name.clone(), l.products as usize, l.literals as usize))
+        .collect();
+    figure13_table(&measured)
+}
+
 /// Renders the Figure 5 channel-elimination summary.
 pub fn figure5_summary(before: usize, after: usize, multiway: usize) -> String {
     format!(
@@ -109,83 +263,94 @@ pub fn figure5_summary(before: usize, after: usize, multiway: usize) -> String {
     )
 }
 
-/// Renders the logic-synthesis summary of one flow run: per-controller
+/// Renders the logic-synthesis summary from a report: per-controller
 /// product/literal counts plus the minimizer's work and cache counters
-/// (empty-logic runs render a one-line note instead).
-pub fn hfmin_summary(out: &FlowOutcome) -> String {
-    if out.logic.is_empty() {
+/// (reports without a logic section render a one-line note instead).
+pub fn hfmin_summary_report(r: &RunReport) -> String {
+    let Some(h) = &r.hfmin else {
         return "logic synthesis: not run (FlowOptions::synthesize_logic off)\n".to_string();
-    }
+    };
     let mut s = String::new();
     let _ = writeln!(
         s,
         "{:<10} {:>9} {:>9} {:>9} {:>9}",
         "logic", "products", "literals", "shared-p", "shared-l"
     );
-    let (mut tp, mut tl) = (0usize, 0usize);
-    for l in &out.logic {
-        tp += l.products_single_output();
-        tl += l.literals_single_output();
+    let (mut tp, mut tl) = (0u64, 0u64);
+    for l in &r.logic {
+        tp += l.products;
+        tl += l.literals;
         let _ = writeln!(
             s,
             "{:<10} {:>9} {:>9} {:>9} {:>9}",
-            l.name,
-            l.products_single_output(),
-            l.literals_single_output(),
-            l.products_shared(),
-            l.literals_shared()
+            l.name, l.products, l.literals, l.shared_products, l.shared_literals
         );
     }
     let _ = writeln!(s, "{:<10} {:>9} {:>9}", "total", tp, tl);
     let _ = writeln!(
         s,
         "minimizer: {} cube ops, cache {} hit / {} miss, {:?}",
-        out.hfmin_cube_ops, out.hfmin_cache_hits, out.hfmin_cache_misses, out.hfmin_elapsed
+        h.cube_ops,
+        h.cache_hits,
+        h.cache_misses,
+        Duration::from_nanos(h.elapsed_ns)
     );
     s
 }
 
-/// Renders the GT3 timing-verification summary of one flow run: how the
+/// [`hfmin_summary_report`] over a raw outcome.
+pub fn hfmin_summary(out: &FlowOutcome) -> String {
+    hfmin_summary_report(&outcome_report(out))
+}
+
+/// Renders the GT3 timing-verification summary from a report: how the
 /// two-tier engine split the queries and what the sampling fallback cost.
-pub fn timing_summary(out: &FlowOutcome) -> String {
-    if out.timing_queries == 0 {
+pub fn timing_summary_report(r: &RunReport) -> String {
+    let Some(t) = &r.timing else {
         return "timing verification: no queries (GT3 off or no candidate arcs)\n".to_string();
-    }
-    let total = out.timing_samples_run + out.timing_samples_avoided;
+    };
+    let total = t.samples_run + t.samples_avoided;
     let avoided_pct = if total == 0 {
         0.0
     } else {
-        100.0 * out.timing_samples_avoided as f64 / total as f64
+        100.0 * t.samples_avoided as f64 / total as f64
     };
     format!(
         "timing verification: {} queries ({} cached), {} simulations run, \
          {} avoided ({avoided_pct:.0}% of the Monte-Carlo baseline)\n",
-        out.timing_queries,
-        out.timing_cache_hits,
-        out.timing_samples_run,
-        out.timing_samples_avoided
+        t.queries, t.cache_hits, t.samples_run, t.samples_avoided
     )
 }
 
-/// Renders the exhaustive model-check summary of one flow run: how large
+/// [`timing_summary_report`] over a raw outcome.
+pub fn timing_summary(out: &FlowOutcome) -> String {
+    timing_summary_report(&outcome_report(out))
+}
+
+/// Renders the exhaustive model-check summary from a report: how large
 /// the composed product space was, how the sharded-frontier search
 /// batched it, and whether the verdict came from the cross-candidate
 /// cache.
-pub fn mc_summary(out: &FlowOutcome) -> String {
-    if out.mc_runs == 0 {
+pub fn mc_summary_report(r: &RunReport) -> String {
+    let Some(m) = &r.mc else {
         return "model check: not run (FlowOptions::model_check off)\n".to_string();
-    }
+    };
     format!(
         "model check: {} run(s) ({} cached), {} states in {} waves \
          (peak frontier {}, {} shards), {:?}\n",
-        out.mc_runs,
-        out.mc_cache_hits,
-        out.mc_states,
-        out.mc_batches,
-        out.mc_peak_frontier,
-        out.mc_shards,
-        out.mc_elapsed
+        m.runs,
+        m.cache_hits,
+        m.states,
+        m.batches,
+        m.peak_frontier,
+        m.shards,
+        Duration::from_nanos(m.elapsed_ns)
     )
+}
+
+/// [`mc_summary_report`] over a raw outcome.
+pub fn mc_summary(out: &FlowOutcome) -> String {
+    mc_summary_report(&outcome_report(out))
 }
 
 #[cfg(test)]
@@ -236,6 +401,7 @@ mod tests {
         assert!(s.contains("1 run(s)"), "{s}");
         assert!(s.contains("waves"), "{s}");
         assert!(s.contains("64 shards"), "{s}");
+        assert_eq!(out.mc_verdict, "verified");
     }
 
     #[test]
@@ -254,5 +420,53 @@ mod tests {
         }
         assert!(s.contains("total"));
         assert!(s.contains("cache"));
+    }
+
+    #[test]
+    fn run_report_covers_stages_caches_and_transforms() {
+        let d = diffeq(DiffeqParams::default()).unwrap();
+        let flow = Flow::new(d.cdfg.clone(), d.initial.clone());
+        let out = flow
+            .run(&FlowOptions {
+                synthesize_logic: true,
+                verify_seeds: 2,
+                ..FlowOptions::default()
+            })
+            .unwrap();
+        let r = run_report("diffeq", &out, &flow, 1, None);
+        assert_eq!(r.design, "diffeq");
+        let stage_names: Vec<&str> = r.stages.iter().map(|s| s.name.as_str()).collect();
+        assert_eq!(
+            stage_names,
+            ["unoptimized", "optimized-GT", "optimized-GT-and-LT"]
+        );
+        let cache_names: Vec<&str> = r.caches.iter().map(|c| c.name.as_str()).collect();
+        assert_eq!(cache_names, ["reach", "minimize", "timing", "mc"]);
+        assert_eq!(
+            r.transforms
+                .iter()
+                .map(|t| t.name.as_str())
+                .collect::<Vec<_>>(),
+            ["gt1", "gt2", "gt3", "gt4", "gt5"]
+        );
+        assert!(r.hfmin.is_some());
+        assert_eq!(r.logic.len(), out.logic.len());
+        // The caches report through the unified registry: the snapshot
+        // carries the same counts the cache accessors expose.
+        assert_eq!(
+            r.metrics.counter("cache.minimize.miss"),
+            Some(flow.minimize_cache().misses())
+        );
+        assert_eq!(
+            r.metrics.counter("cache.timing.hit"),
+            Some(flow.timing_cache().hits())
+        );
+        assert_eq!(
+            r.metrics.counter("cache.reach.query"),
+            Some(out.reach_queries)
+        );
+        // And the report round-trips through its JSON form.
+        let back = adcs_obs::RunReport::from_json(&r.to_json()).unwrap();
+        assert_eq!(back, r);
     }
 }

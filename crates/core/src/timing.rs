@@ -47,11 +47,12 @@ use std::collections::hash_map::DefaultHasher;
 use std::collections::HashMap;
 use std::fmt;
 use std::hash::{Hash, Hasher};
-use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
 
 use adcs_cdfg::benchmarks::RegFile;
 use adcs_cdfg::{ArcId, Cdfg, FuId, NodeId, NodeKind};
+use adcs_obs::lock_recover;
+use adcs_obs::metrics::{Counter, Metrics};
 use adcs_sim::exec::{execute, ExecOptions, ExecResult};
 use adcs_sim::DelayModel;
 use rayon::prelude::*;
@@ -312,13 +313,23 @@ impl TimingAnalysis {
     ///
     /// Propagates simulation failures (the graph must execute cleanly).
     pub fn build(g: &Cdfg, initial: &RegFile, model: &TimingModel) -> Result<Self, SynthError> {
+        adcs_obs::span("timing.analysis", || Self::build_inner(g, initial, model))
+    }
+
+    fn build_inner(g: &Cdfg, initial: &RegFile, model: &TimingModel) -> Result<Self, SynthError> {
         let opts = ExecOptions {
             record_deps: true,
             ..ExecOptions::default()
         };
         let delays = model.min_delay_model(g);
         let result = execute(g, initial.clone(), &delays, &opts)?;
-        let consumed = &result.deps.as_ref().expect("record_deps was set").consumed;
+        let consumed = &result
+            .deps
+            .as_ref()
+            .ok_or_else(|| {
+                SynthError::Precondition("executor did not record token provenance".into())
+            })?
+            .consumed;
         let n = result.firings.len();
 
         let mut lo = vec![0u64; n];
@@ -753,10 +764,17 @@ fn sampled_redundant(
     let mut seed = 0u64;
     while seed < model.samples {
         let upper = (seed + SAMPLE_CHUNK).min(model.samples);
-        let outcomes: Vec<Result<SeedVerdict, SynthError>> = (seed..upper)
-            .into_par_iter()
-            .map(|s| seed_verdict(g, arc, dst, initial, model, s + 1))
-            .collect();
+        // Span recording is suppressed for the batch: at one thread the
+        // shim runs these closures inline on the calling thread (which
+        // carries the trace collector), at N threads on workers (which
+        // don't) — recording here would make the trace depend on the
+        // thread count.
+        let outcomes: Vec<Result<SeedVerdict, SynthError>> = adcs_obs::quiet(|| {
+            (seed..upper)
+                .into_par_iter()
+                .map(|s| seed_verdict(g, arc, dst, initial, model, s + 1))
+                .collect()
+        });
         runs += upper - seed;
         for outcome in outcomes {
             match outcome? {
@@ -879,18 +897,15 @@ pub struct TimingCache {
     keys: Mutex<HashMap<u64, u128>>,
     /// Entry key (graph ⊕ model ⊕ initial registers) → entry.
     entries: Mutex<HashMap<u128, Arc<CacheEntry>>>,
-    hits: AtomicU64,
-    misses: AtomicU64,
-    canonical_runs: AtomicU64,
+    hits: Counter,
+    misses: Counter,
+    canonical_runs: Counter,
 }
 
 impl fmt::Debug for TimingCache {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         f.debug_struct("TimingCache")
-            .field(
-                "entries",
-                &self.entries.lock().expect("timing cache lock").len(),
-            )
+            .field("entries", &self.entries())
             .field("hits", &self.hits())
             .field("misses", &self.misses())
             .field("canonical_runs", &self.canonical_runs())
@@ -938,30 +953,52 @@ fn graph_fingerprint(g: &Cdfg) -> u128 {
 }
 
 impl TimingCache {
-    /// Creates an empty cache.
+    /// Creates an empty cache with private counters.
     pub fn new() -> Self {
         TimingCache::default()
     }
 
+    /// Creates an empty cache whose counters live in `metrics` (as
+    /// `cache.timing.hit` / `cache.timing.miss` /
+    /// `cache.timing.canonical_run`), so the cache reports through the
+    /// unified registry instead of keeping private atomics.
+    pub fn with_metrics(metrics: &Metrics) -> Self {
+        TimingCache {
+            keys: Mutex::default(),
+            entries: Mutex::default(),
+            hits: metrics.counter("cache.timing.hit"),
+            misses: metrics.counter("cache.timing.miss"),
+            canonical_runs: metrics.counter("cache.timing.canonical_run"),
+        }
+    }
+
     /// Lifetime verdict cache hits.
     pub fn hits(&self) -> u64 {
-        self.hits.load(Ordering::Relaxed)
+        self.hits.get()
     }
 
     /// Lifetime verdict cache misses.
     pub fn misses(&self) -> u64 {
-        self.misses.load(Ordering::Relaxed)
+        self.misses.get()
     }
 
     /// Canonical (all-minimum-latency) executions run so far — one per
     /// distinct (graph, model, initial) triple that needed analysis.
     pub fn canonical_runs(&self) -> u64 {
-        self.canonical_runs.load(Ordering::Relaxed)
+        self.canonical_runs.get()
+    }
+
+    /// Entries resident (distinct graph ⊕ model ⊕ initial keys).
+    pub fn entries(&self) -> u64 {
+        lock_recover(&self.entries).len() as u64
     }
 
     /// The structural fingerprint of `g`, memoized per version stamp.
+    /// All of the cache's locks recover from poisoning: entries and memo
+    /// rows are only ever inserted whole, so a panicking candidate in an
+    /// explore sweep cannot wedge the cache for later candidates.
     fn fingerprint(&self, g: &Cdfg) -> u128 {
-        let mut keys = self.keys.lock().expect("timing cache lock");
+        let mut keys = lock_recover(&self.keys);
         if let Some(&k) = keys.get(&g.version()) {
             return k;
         }
@@ -992,7 +1029,7 @@ impl TimingCache {
     }
 
     fn entry(&self, key: u128) -> Arc<CacheEntry> {
-        let mut entries = self.entries.lock().expect("timing cache lock");
+        let mut entries = lock_recover(&self.entries);
         Arc::clone(entries.entry(key).or_default())
     }
 
@@ -1006,11 +1043,11 @@ impl TimingCache {
         initial: &RegFile,
         model: &TimingModel,
     ) -> Result<Arc<TimingAnalysis>, SynthError> {
-        let mut slot = entry.analysis.lock().expect("timing cache lock");
+        let mut slot = lock_recover(&entry.analysis);
         if let Some(a) = slot.as_ref() {
             return Ok(Arc::clone(a));
         }
-        self.canonical_runs.fetch_add(1, Ordering::Relaxed);
+        self.canonical_runs.inc();
         let built = Arc::new(TimingAnalysis::build(g, initial, model)?);
         *slot = Some(Arc::clone(&built));
         Ok(built)
@@ -1031,8 +1068,8 @@ impl TimingCache {
         model: &TimingModel,
     ) -> Result<(bool, TimingQuery), SynthError> {
         let entry = self.entry(self.entry_key(g, initial, model));
-        if let Some(&red) = entry.verdicts.lock().expect("timing cache lock").get(&arc) {
-            self.hits.fetch_add(1, Ordering::Relaxed);
+        if let Some(&red) = lock_recover(&entry.verdicts).get(&arc) {
+            self.hits.inc();
             return Ok((
                 red,
                 TimingQuery {
@@ -1043,7 +1080,7 @@ impl TimingCache {
                 },
             ));
         }
-        self.misses.fetch_add(1, Ordering::Relaxed);
+        self.misses.inc();
 
         // Structural gate (no execution needed): only operation/assignment
         // destinations with ≥ 2 in-arcs qualify, as in `timing_redundant`.
@@ -1097,11 +1134,7 @@ impl TimingCache {
                 }
             }
         };
-        entry
-            .verdicts
-            .lock()
-            .expect("timing cache lock")
-            .insert(arc, red);
+        lock_recover(&entry.verdicts).insert(arc, red);
         Ok((red, query))
     }
 }

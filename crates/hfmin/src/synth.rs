@@ -252,6 +252,17 @@ pub struct SynthProblem {
 ///   output with an unknown entry value somewhere.
 /// * Any minimization error (specification conflict, no hazard-free cover).
 pub fn synthesize(m: &XbmMachine, opts: SynthOptions) -> Result<ControllerLogic, HfminError> {
+    // The span brackets the whole pipeline (spec construction + covering);
+    // nothing inside the covering fan-out records spans, so the trace is
+    // identical whether the functions minimize inline or on workers.
+    adcs_obs::span("hfmin.synthesize", || {
+        let logic = synthesize_inner(m, opts)?;
+        adcs_obs::meta("cube_ops", logic.cube_ops);
+        Ok(logic)
+    })
+}
+
+fn synthesize_inner(m: &XbmMachine, opts: SynthOptions) -> Result<ControllerLogic, HfminError> {
     let problem = controller_specs(m, opts)?;
     let mut functions = Vec::with_capacity(problem.specs.len());
     let mut cube_ops = 0u64;

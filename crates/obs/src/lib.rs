@@ -1,0 +1,82 @@
+//! # adcs-obs — observability for the synthesis flow
+//!
+//! A zero-dependency subsystem giving every engine in the workspace one
+//! shared vocabulary for *what happened during a run*:
+//!
+//! * **Spans** ([`span`], [`SpanNode`]) — hierarchical wall-clock timing
+//!   of the flow's stages and the engines under them. Recording goes
+//!   through a thread-local collector installed by [`collect`]; code that
+//!   runs when no collector is installed records nothing and pays almost
+//!   nothing. Parallel fan-outs use [`capture`] to build each item's
+//!   subtree detached from any thread-local state and attach the results
+//!   in *input order* (the same ordered-merge discipline as the model
+//!   checker's shard merge), so the span tree — names, nesting, ordinals,
+//!   and metadata, everything except the wall-clock durations — is
+//!   **byte-identical at every thread count**.
+//! * **Metrics** ([`Metrics`]) — a typed registry of counters, gauges,
+//!   and histograms behind atomics, unifying the hit/miss/work counters
+//!   that the flow's caches (reachability, minimization, timing, model
+//!   checking) previously each exposed ad hoc. Snapshots are sorted by
+//!   name, so two runs doing the same work snapshot identically.
+//! * **Run reports** ([`RunReport`]) — a machine-readable record of one
+//!   flow run: stages, per-transform deltas, cache statistics, timing
+//!   and model-check summaries, the metrics snapshot, and the span tree,
+//!   serialized to JSON by [`RunReport::to_json`] and parsed back by
+//!   [`RunReport::from_json`] (the crate carries its own small JSON
+//!   reader/writer in [`json`]; there are no external dependencies).
+//!
+//! # Determinism contract
+//!
+//! Everything in a report except wall-clock durations is a function of
+//! the work performed, not of how it was scheduled: the engines upstream
+//! guarantee thread-invariant counters (ordered batch merges, seed-order
+//! folds), and this crate guarantees thread-invariant *recording* (input-
+//! order attachment, sorted snapshots, suppression of inline-vs-offloaded
+//! asymmetries via [`quiet`]). [`RunReport::canonical`] zeroes the
+//! durations, producing a value two runs of the same flow must match on
+//! exactly — the property the `run_report` integration tests pin.
+
+pub mod json;
+pub mod metrics;
+pub mod report;
+pub mod span;
+
+pub use metrics::{Metrics, MetricsSnapshot, SnapValue};
+pub use report::{
+    CacheReport, HfminReport, LogicReport, MachineReport, McReport, RunReport, StageReport,
+    TimingReport, TransformDelta,
+};
+pub use span::{active, adopt, capture, collect, meta, quiet, span, SpanNode};
+
+use std::sync::{Mutex, MutexGuard, PoisonError};
+
+/// Locks a mutex, recovering from poisoning.
+///
+/// Every guard in this workspace protects state that stays internally
+/// consistent across panics (memo tables whose entries are inserted
+/// atomically, counter maps), so a panicking holder must not wedge every
+/// later user of the cache — the canonical failure being one explorer
+/// candidate poisoning a shared verdict cache and taking the rest of the
+/// sweep down with it.
+pub fn lock_recover<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(PoisonError::into_inner)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lock_recover_survives_a_poisoning_panic() {
+        let m = Mutex::new(7u32);
+        let r = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            let _g = m.lock().unwrap();
+            panic!("poison it");
+        }));
+        assert!(r.is_err());
+        assert!(m.lock().is_err(), "mutex must actually be poisoned");
+        assert_eq!(*lock_recover(&m), 7);
+        *lock_recover(&m) = 8;
+        assert_eq!(*lock_recover(&m), 8);
+    }
+}

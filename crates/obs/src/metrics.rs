@@ -1,0 +1,360 @@
+//! A typed metrics registry: counters, gauges, and histograms behind
+//! atomics.
+//!
+//! One [`Metrics`] registry is shared (via `Arc`) by every engine in a
+//! flow. Instruments are created on first use by name and cached by the
+//! caller as cheap cloneable handles; updates are lock-free atomic ops,
+//! so hot paths (cache probes, per-state counters) pay one
+//! `fetch_add(Relaxed)`. Snapshots are sorted by instrument name, so two
+//! runs that do the same work produce byte-identical snapshots no matter
+//! in which order instruments were registered or updated.
+//!
+//! Naming convention: dotted paths, `engine.subject.event` — e.g.
+//! `cache.minimize.hit`, `mc.states.expanded`, `timing.samples.run`.
+
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicI64, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+/// Monotonically increasing event count.
+#[derive(Clone, Debug, Default)]
+pub struct Counter(Arc<AtomicU64>);
+
+impl Counter {
+    /// Adds one.
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    /// Adds `n`.
+    pub fn add(&self, n: u64) {
+        self.0.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// A signed level that can move both ways (queue depths, live entries).
+#[derive(Clone, Debug, Default)]
+pub struct Gauge(Arc<AtomicI64>);
+
+impl Gauge {
+    /// Sets the level.
+    pub fn set(&self, v: i64) {
+        self.0.store(v, Ordering::Relaxed);
+    }
+
+    /// Adjusts the level by `delta` (may be negative).
+    pub fn adjust(&self, delta: i64) {
+        self.0.fetch_add(delta, Ordering::Relaxed);
+    }
+
+    /// Current level.
+    pub fn get(&self) -> i64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// Number of power-of-two buckets: values `0, 1, 2-3, …, >= 2^62`.
+const BUCKETS: usize = 64;
+
+#[derive(Debug)]
+struct HistogramInner {
+    count: AtomicU64,
+    sum: AtomicU64,
+    buckets: [AtomicU64; BUCKETS],
+}
+
+/// A distribution of u64 observations in power-of-two buckets.
+///
+/// Bucket `i` counts observations whose value has `i` significant bits
+/// (bucket 0 holds zeros, bucket 1 holds ones, bucket 2 holds 2–3, …),
+/// which is precise enough for size/latency shapes without per-instrument
+/// configuration.
+#[derive(Clone, Debug)]
+pub struct Histogram(Arc<HistogramInner>);
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Histogram(Arc::new(HistogramInner {
+            count: AtomicU64::new(0),
+            sum: AtomicU64::new(0),
+            buckets: std::array::from_fn(|_| AtomicU64::new(0)),
+        }))
+    }
+}
+
+impl Histogram {
+    /// Records one observation.
+    pub fn observe(&self, v: u64) {
+        self.0.count.fetch_add(1, Ordering::Relaxed);
+        self.0.sum.fetch_add(v, Ordering::Relaxed);
+        let bucket = (64 - v.leading_zeros()) as usize;
+        self.0.buckets[bucket.min(BUCKETS - 1)].fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Number of observations so far.
+    pub fn count(&self) -> u64 {
+        self.0.count.load(Ordering::Relaxed)
+    }
+
+    /// Sum of all observations so far.
+    pub fn sum(&self) -> u64 {
+        self.0.sum.load(Ordering::Relaxed)
+    }
+
+    fn snapshot(&self) -> HistogramSnapshot {
+        let buckets: Vec<u64> = self
+            .0
+            .buckets
+            .iter()
+            .map(|b| b.load(Ordering::Relaxed))
+            .collect();
+        let hi = buckets.iter().rposition(|&c| c != 0).map_or(0, |i| i + 1);
+        HistogramSnapshot {
+            count: self.count(),
+            sum: self.sum(),
+            buckets: buckets[..hi].to_vec(),
+        }
+    }
+}
+
+enum Instrument {
+    Counter(Counter),
+    Gauge(Gauge),
+    Histogram(Histogram),
+}
+
+/// The registry: name → instrument, shared across engines via `Arc`.
+#[derive(Default)]
+pub struct Metrics {
+    table: Mutex<BTreeMap<String, Instrument>>,
+}
+
+impl std::fmt::Debug for Metrics {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Metrics").finish_non_exhaustive()
+    }
+}
+
+impl Metrics {
+    /// An empty registry.
+    pub fn new() -> Self {
+        Metrics::default()
+    }
+
+    fn lock(&self) -> std::sync::MutexGuard<'_, BTreeMap<String, Instrument>> {
+        crate::lock_recover(&self.table)
+    }
+
+    /// The counter named `name`, created on first use.
+    ///
+    /// # Panics
+    /// If `name` is already registered as a different instrument kind —
+    /// a programming error worth failing loudly on.
+    pub fn counter(&self, name: &str) -> Counter {
+        let mut t = self.lock();
+        match t
+            .entry(name.to_string())
+            .or_insert_with(|| Instrument::Counter(Counter::default()))
+        {
+            Instrument::Counter(c) => c.clone(),
+            _ => panic!("metric {name:?} already registered with a different kind"),
+        }
+    }
+
+    /// The gauge named `name`, created on first use (see [`Metrics::counter`]).
+    pub fn gauge(&self, name: &str) -> Gauge {
+        let mut t = self.lock();
+        match t
+            .entry(name.to_string())
+            .or_insert_with(|| Instrument::Gauge(Gauge::default()))
+        {
+            Instrument::Gauge(g) => g.clone(),
+            _ => panic!("metric {name:?} already registered with a different kind"),
+        }
+    }
+
+    /// The histogram named `name`, created on first use (see [`Metrics::counter`]).
+    pub fn histogram(&self, name: &str) -> Histogram {
+        let mut t = self.lock();
+        match t
+            .entry(name.to_string())
+            .or_insert_with(|| Instrument::Histogram(Histogram::default()))
+        {
+            Instrument::Histogram(h) => h.clone(),
+            _ => panic!("metric {name:?} already registered with a different kind"),
+        }
+    }
+
+    /// A point-in-time copy of every instrument, sorted by name.
+    pub fn snapshot(&self) -> MetricsSnapshot {
+        let t = self.lock();
+        MetricsSnapshot {
+            entries: t
+                .iter()
+                .map(|(name, ins)| {
+                    let value = match ins {
+                        Instrument::Counter(c) => SnapValue::Counter(c.get()),
+                        Instrument::Gauge(g) => SnapValue::Gauge(g.get()),
+                        Instrument::Histogram(h) => SnapValue::Histogram(h.snapshot()),
+                    };
+                    (name.clone(), value)
+                })
+                .collect(),
+        }
+    }
+}
+
+/// Frozen histogram state inside a snapshot. `buckets[i]` counts
+/// observations with `i` significant bits; trailing empty buckets are
+/// trimmed so equal distributions compare equal.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct HistogramSnapshot {
+    /// Number of observations.
+    pub count: u64,
+    /// Sum of observations.
+    pub sum: u64,
+    /// Power-of-two bucket counts, highest non-empty bucket last.
+    pub buckets: Vec<u64>,
+}
+
+/// One instrument's frozen value.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum SnapValue {
+    /// Counter value.
+    Counter(u64),
+    /// Gauge level.
+    Gauge(i64),
+    /// Histogram state.
+    Histogram(HistogramSnapshot),
+}
+
+/// A frozen, name-sorted copy of a [`Metrics`] registry.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct MetricsSnapshot {
+    /// `(name, value)` pairs in ascending name order.
+    pub entries: Vec<(String, SnapValue)>,
+}
+
+impl MetricsSnapshot {
+    /// Looks up an instrument by name.
+    pub fn get(&self, name: &str) -> Option<&SnapValue> {
+        self.entries
+            .binary_search_by(|(n, _)| n.as_str().cmp(name))
+            .ok()
+            .map(|i| &self.entries[i].1)
+    }
+
+    /// Counter value by name, `None` if absent or not a counter.
+    pub fn counter(&self, name: &str) -> Option<u64> {
+        match self.get(name)? {
+            SnapValue::Counter(v) => Some(*v),
+            _ => None,
+        }
+    }
+
+    /// Gauge level by name, `None` if absent or not a gauge.
+    pub fn gauge(&self, name: &str) -> Option<i64> {
+        match self.get(name)? {
+            SnapValue::Gauge(v) => Some(*v),
+            _ => None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn instruments_register_once_and_share_state() {
+        let m = Metrics::new();
+        let a = m.counter("cache.hit");
+        let b = m.counter("cache.hit");
+        a.inc();
+        b.add(2);
+        assert_eq!(m.counter("cache.hit").get(), 3);
+
+        let g = m.gauge("queue.depth");
+        g.set(5);
+        g.adjust(-2);
+        assert_eq!(m.gauge("queue.depth").get(), 3);
+
+        let h = m.histogram("sizes");
+        h.observe(0);
+        h.observe(1);
+        h.observe(3);
+        h.observe(100);
+        assert_eq!(h.count(), 4);
+        assert_eq!(h.sum(), 104);
+    }
+
+    #[test]
+    #[should_panic(expected = "different kind")]
+    fn kind_mismatch_panics() {
+        let m = Metrics::new();
+        m.counter("x");
+        m.gauge("x");
+    }
+
+    #[test]
+    fn snapshot_is_sorted_and_queryable() {
+        let m = Metrics::new();
+        m.counter("z.last").inc();
+        m.gauge("a.first").set(-4);
+        m.histogram("m.mid").observe(7);
+        let snap = m.snapshot();
+        let names: Vec<&str> = snap.entries.iter().map(|(n, _)| n.as_str()).collect();
+        assert_eq!(names, ["a.first", "m.mid", "z.last"]);
+        assert_eq!(snap.counter("z.last"), Some(1));
+        assert_eq!(snap.gauge("a.first"), Some(-4));
+        assert_eq!(snap.counter("a.first"), None);
+        assert_eq!(snap.get("missing"), None);
+        match snap.get("m.mid") {
+            Some(SnapValue::Histogram(h)) => {
+                assert_eq!(h.count, 1);
+                assert_eq!(h.sum, 7);
+                // 7 has 3 significant bits → bucket 3 is the last non-empty.
+                assert_eq!(h.buckets.len(), 4);
+                assert_eq!(h.buckets[3], 1);
+            }
+            other => panic!("expected histogram, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn concurrent_updates_do_not_lose_counts() {
+        let m = Arc::new(Metrics::new());
+        let c = m.counter("par.hits");
+        let handles: Vec<_> = (0..8)
+            .map(|_| {
+                let c = c.clone();
+                std::thread::spawn(move || {
+                    for _ in 0..1000 {
+                        c.inc();
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(c.get(), 8000);
+    }
+
+    #[test]
+    fn identical_work_snapshots_identically() {
+        let run = || {
+            let m = Metrics::new();
+            m.counter("b").add(2);
+            m.counter("a").add(1);
+            m.histogram("h").observe(9);
+            m.snapshot()
+        };
+        assert_eq!(run(), run());
+    }
+}

@@ -1,0 +1,809 @@
+//! [`RunReport`]: the machine-readable record of one synthesis-flow run,
+//! with lossless JSON round-tripping.
+//!
+//! The report is the single source the human-facing tables render from
+//! and the artifact `adcs synth --report-json` and the benches write to
+//! disk. Every field is either *deterministic* (a function of the work:
+//! stage names, machine sizes, cache hit/miss counts, verdicts, the span
+//! tree's shape) or *wall-clock* (`*_ns` durations, the `threads` the
+//! run happened to use). [`RunReport::canonical`] strips the wall-clock
+//! part, and two runs of the same flow must compare equal on what
+//! remains — at any thread count.
+
+use crate::json::{parse, ParseError, Value};
+use crate::metrics::{HistogramSnapshot, MetricsSnapshot, SnapValue};
+use crate::span::SpanNode;
+
+/// Current `schema` value written by [`RunReport::to_json`].
+pub const SCHEMA_VERSION: u64 = 1;
+
+/// Per-controller machine size within a stage.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct MachineReport {
+    /// Controller name (e.g. `ALU1`).
+    pub name: String,
+    /// State count.
+    pub states: u64,
+    /// Transition count.
+    pub transitions: u64,
+}
+
+/// One flow stage (unoptimized extraction, global transforms, …).
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct StageReport {
+    /// Stage name (`unoptimized`, `optimized-GT`, `optimized-GT-and-LT`).
+    pub name: String,
+    /// Communication channels at this stage.
+    pub channels: u64,
+    /// Reachability queries issued producing this stage.
+    pub reach_queries: u64,
+    /// Wall-clock time producing this stage (not deterministic).
+    pub elapsed_ns: u64,
+    /// Per-controller machine sizes, in unit order.
+    pub machines: Vec<MachineReport>,
+}
+
+/// Audit record of one transformation step: what it was asked to do and
+/// how it changed the graph.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct TransformDelta {
+    /// Transform name (`gt1` … `gt5`, `lt`).
+    pub name: String,
+    /// Whether the flow options enabled this transform.
+    pub applied: bool,
+    /// CDFG nodes before the transform.
+    pub nodes_before: u64,
+    /// CDFG nodes after.
+    pub nodes_after: u64,
+    /// CDFG arcs before.
+    pub arcs_before: u64,
+    /// CDFG arcs after.
+    pub arcs_after: u64,
+}
+
+/// One memo cache's lifetime counters, reported uniformly for the
+/// reachability, minimization, timing, and model-check caches.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct CacheReport {
+    /// Cache name (`reach`, `minimize`, `timing`, `mc`).
+    pub name: String,
+    /// Queries answered from the cache.
+    pub hits: u64,
+    /// Queries that had to compute.
+    pub misses: u64,
+    /// Entries resident when the report was taken.
+    pub entries: u64,
+}
+
+/// GT3 timing-verification summary.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct TimingReport {
+    /// Redundancy verdicts asked for.
+    pub queries: u64,
+    /// Verdicts served from the timing cache.
+    pub cache_hits: u64,
+    /// Monte-Carlo simulations actually run.
+    pub samples_run: u64,
+    /// Simulations avoided vs the pure-Monte-Carlo baseline.
+    pub samples_avoided: u64,
+}
+
+/// Exhaustive model-check summary.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct McReport {
+    /// Checks performed this run.
+    pub runs: u64,
+    /// Checks served from the verdict cache.
+    pub cache_hits: u64,
+    /// Checks actually searched.
+    pub cache_misses: u64,
+    /// Distinct composite states visited.
+    pub states: u64,
+    /// Breadth-first waves expanded.
+    pub batches: u64,
+    /// Largest single-wave frontier.
+    pub peak_frontier: u64,
+    /// Visited-set shards.
+    pub shards: u64,
+    /// Verdict kind (`verified`, `budget`, `violation`).
+    pub verdict: String,
+    /// Wall-clock time spent checking (not deterministic).
+    pub elapsed_ns: u64,
+}
+
+/// Hazard-free logic-synthesis summary of one run.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct HfminReport {
+    /// Controllers synthesized (cache hits included).
+    pub controllers: u64,
+    /// Controllers served from the minimize cache this run.
+    pub cache_hits: u64,
+    /// Controllers minimized from scratch this run.
+    pub cache_misses: u64,
+    /// Word-parallel cube operations the minimizer spent this run.
+    pub cube_ops: u64,
+    /// Wall-clock time in logic synthesis (not deterministic).
+    pub elapsed_ns: u64,
+}
+
+/// Synthesized two-level logic for one controller.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct LogicReport {
+    /// Controller name.
+    pub name: String,
+    /// Products, single-output count.
+    pub products: u64,
+    /// Literals, single-output count.
+    pub literals: u64,
+    /// Products with sharing.
+    pub shared_products: u64,
+    /// Literals with sharing.
+    pub shared_literals: u64,
+}
+
+/// The machine-readable record of one flow run.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct RunReport {
+    /// Report schema version ([`SCHEMA_VERSION`]).
+    pub schema: u64,
+    /// Design name (e.g. `diffeq`).
+    pub design: String,
+    /// Worker threads the run used (0 = ambient; not deterministic).
+    pub threads: u64,
+    /// Total wall-clock time of the run (not deterministic).
+    pub elapsed_ns: u64,
+    /// The flow stages, in execution order.
+    pub stages: Vec<StageReport>,
+    /// Per-transform audit deltas, in application order.
+    pub transforms: Vec<TransformDelta>,
+    /// Per-cache counters, one entry per cache.
+    pub caches: Vec<CacheReport>,
+    /// GT3 timing-verification summary, when GT3 ran.
+    pub timing: Option<TimingReport>,
+    /// Model-check summary, when the check ran.
+    pub mc: Option<McReport>,
+    /// Logic-synthesis summary, when logic synthesis ran.
+    pub hfmin: Option<HfminReport>,
+    /// Synthesized logic per controller (empty unless logic synthesis ran).
+    pub logic: Vec<LogicReport>,
+    /// Snapshot of the unified metrics registry.
+    pub metrics: MetricsSnapshot,
+    /// The recorded span tree, when tracing was on.
+    pub spans: Option<SpanNode>,
+}
+
+impl RunReport {
+    /// The deterministic projection: wall-clock durations zeroed
+    /// everywhere (report, stages, mc, spans, and any metric whose name
+    /// ends in `_ns` — the naming convention for wall-clock instruments),
+    /// and the thread count zeroed. Two runs of the same flow must be
+    /// equal under this projection regardless of thread count.
+    pub fn canonical(&self) -> RunReport {
+        let mut r = self.clone();
+        r.threads = 0;
+        r.elapsed_ns = 0;
+        for s in &mut r.stages {
+            s.elapsed_ns = 0;
+        }
+        if let Some(mc) = &mut r.mc {
+            mc.elapsed_ns = 0;
+        }
+        if let Some(h) = &mut r.hfmin {
+            h.elapsed_ns = 0;
+        }
+        r.spans = r.spans.as_ref().map(SpanNode::canonical);
+        r.metrics.entries.retain(|(name, _)| !name.ends_with("_ns"));
+        r
+    }
+
+    /// Serializes to indented JSON (ending with a newline — the artifact
+    /// format written next to `BENCH_*.json`).
+    pub fn to_json(&self) -> String {
+        let mut s = self.to_value().to_pretty();
+        s.push('\n');
+        s
+    }
+
+    /// Parses a report serialized by [`RunReport::to_json`].
+    ///
+    /// # Errors
+    /// Malformed JSON, or JSON whose shape doesn't match the schema.
+    pub fn from_json(text: &str) -> Result<RunReport, ReportError> {
+        let v = parse(text)?;
+        RunReport::from_value(&v)
+    }
+
+    fn to_value(&self) -> Value {
+        obj(vec![
+            ("schema", int(self.schema)),
+            ("design", Value::Str(self.design.clone())),
+            ("threads", int(self.threads)),
+            ("elapsed_ns", int(self.elapsed_ns)),
+            (
+                "stages",
+                Value::Array(self.stages.iter().map(stage_value).collect()),
+            ),
+            (
+                "transforms",
+                Value::Array(self.transforms.iter().map(transform_value).collect()),
+            ),
+            (
+                "caches",
+                Value::Array(self.caches.iter().map(cache_value).collect()),
+            ),
+            (
+                "timing",
+                self.timing.as_ref().map_or(Value::Null, timing_value),
+            ),
+            ("mc", self.mc.as_ref().map_or(Value::Null, mc_value)),
+            (
+                "hfmin",
+                self.hfmin.as_ref().map_or(Value::Null, hfmin_value),
+            ),
+            (
+                "logic",
+                Value::Array(self.logic.iter().map(logic_value).collect()),
+            ),
+            ("metrics", metrics_value(&self.metrics)),
+            ("spans", self.spans.as_ref().map_or(Value::Null, span_value)),
+        ])
+    }
+
+    fn from_value(v: &Value) -> Result<RunReport, ReportError> {
+        Ok(RunReport {
+            schema: req_u64(v, "schema")?,
+            design: req_str(v, "design")?,
+            threads: req_u64(v, "threads")?,
+            elapsed_ns: req_u64(v, "elapsed_ns")?,
+            stages: req_array(v, "stages")?
+                .iter()
+                .map(stage_from)
+                .collect::<Result<_, _>>()?,
+            transforms: req_array(v, "transforms")?
+                .iter()
+                .map(transform_from)
+                .collect::<Result<_, _>>()?,
+            caches: req_array(v, "caches")?
+                .iter()
+                .map(cache_from)
+                .collect::<Result<_, _>>()?,
+            timing: match v.get("timing") {
+                None | Some(Value::Null) => None,
+                Some(t) => Some(timing_from(t)?),
+            },
+            mc: match v.get("mc") {
+                None | Some(Value::Null) => None,
+                Some(m) => Some(mc_from(m)?),
+            },
+            hfmin: match v.get("hfmin") {
+                None | Some(Value::Null) => None,
+                Some(h) => Some(hfmin_from(h)?),
+            },
+            logic: req_array(v, "logic")?
+                .iter()
+                .map(logic_from)
+                .collect::<Result<_, _>>()?,
+            metrics: metrics_from(v.get("metrics").ok_or_else(|| miss("metrics"))?)?,
+            spans: match v.get("spans") {
+                None | Some(Value::Null) => None,
+                Some(s) => Some(span_from(s)?),
+            },
+        })
+    }
+}
+
+/// Why a serialized report could not be read back.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum ReportError {
+    /// The text is not valid JSON.
+    Json(ParseError),
+    /// The JSON is valid but doesn't have the report's shape.
+    Shape(String),
+}
+
+impl std::fmt::Display for ReportError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ReportError::Json(e) => write!(f, "{e}"),
+            ReportError::Shape(m) => write!(f, "report shape error: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for ReportError {}
+
+impl From<ParseError> for ReportError {
+    fn from(e: ParseError) -> Self {
+        ReportError::Json(e)
+    }
+}
+
+// ---- serialization helpers ------------------------------------------------
+
+fn obj(pairs: Vec<(&str, Value)>) -> Value {
+    Value::Object(pairs.into_iter().map(|(k, v)| (k.to_string(), v)).collect())
+}
+
+fn int(v: u64) -> Value {
+    Value::Int(i128::from(v))
+}
+
+fn stage_value(s: &StageReport) -> Value {
+    obj(vec![
+        ("name", Value::Str(s.name.clone())),
+        ("channels", int(s.channels)),
+        ("reach_queries", int(s.reach_queries)),
+        ("elapsed_ns", int(s.elapsed_ns)),
+        (
+            "machines",
+            Value::Array(
+                s.machines
+                    .iter()
+                    .map(|m| {
+                        obj(vec![
+                            ("name", Value::Str(m.name.clone())),
+                            ("states", int(m.states)),
+                            ("transitions", int(m.transitions)),
+                        ])
+                    })
+                    .collect(),
+            ),
+        ),
+    ])
+}
+
+fn transform_value(t: &TransformDelta) -> Value {
+    obj(vec![
+        ("name", Value::Str(t.name.clone())),
+        ("applied", Value::Bool(t.applied)),
+        ("nodes_before", int(t.nodes_before)),
+        ("nodes_after", int(t.nodes_after)),
+        ("arcs_before", int(t.arcs_before)),
+        ("arcs_after", int(t.arcs_after)),
+    ])
+}
+
+fn cache_value(c: &CacheReport) -> Value {
+    obj(vec![
+        ("name", Value::Str(c.name.clone())),
+        ("hits", int(c.hits)),
+        ("misses", int(c.misses)),
+        ("entries", int(c.entries)),
+    ])
+}
+
+fn timing_value(t: &TimingReport) -> Value {
+    obj(vec![
+        ("queries", int(t.queries)),
+        ("cache_hits", int(t.cache_hits)),
+        ("samples_run", int(t.samples_run)),
+        ("samples_avoided", int(t.samples_avoided)),
+    ])
+}
+
+fn mc_value(m: &McReport) -> Value {
+    obj(vec![
+        ("runs", int(m.runs)),
+        ("cache_hits", int(m.cache_hits)),
+        ("cache_misses", int(m.cache_misses)),
+        ("states", int(m.states)),
+        ("batches", int(m.batches)),
+        ("peak_frontier", int(m.peak_frontier)),
+        ("shards", int(m.shards)),
+        ("verdict", Value::Str(m.verdict.clone())),
+        ("elapsed_ns", int(m.elapsed_ns)),
+    ])
+}
+
+fn hfmin_value(h: &HfminReport) -> Value {
+    obj(vec![
+        ("controllers", int(h.controllers)),
+        ("cache_hits", int(h.cache_hits)),
+        ("cache_misses", int(h.cache_misses)),
+        ("cube_ops", int(h.cube_ops)),
+        ("elapsed_ns", int(h.elapsed_ns)),
+    ])
+}
+
+fn logic_value(l: &LogicReport) -> Value {
+    obj(vec![
+        ("name", Value::Str(l.name.clone())),
+        ("products", int(l.products)),
+        ("literals", int(l.literals)),
+        ("shared_products", int(l.shared_products)),
+        ("shared_literals", int(l.shared_literals)),
+    ])
+}
+
+fn metrics_value(m: &MetricsSnapshot) -> Value {
+    Value::Array(
+        m.entries
+            .iter()
+            .map(|(name, v)| match v {
+                SnapValue::Counter(c) => obj(vec![
+                    ("name", Value::Str(name.clone())),
+                    ("kind", Value::Str("counter".into())),
+                    ("value", int(*c)),
+                ]),
+                SnapValue::Gauge(g) => obj(vec![
+                    ("name", Value::Str(name.clone())),
+                    ("kind", Value::Str("gauge".into())),
+                    ("value", Value::Int(i128::from(*g))),
+                ]),
+                SnapValue::Histogram(h) => obj(vec![
+                    ("name", Value::Str(name.clone())),
+                    ("kind", Value::Str("histogram".into())),
+                    ("count", int(h.count)),
+                    ("sum", int(h.sum)),
+                    (
+                        "buckets",
+                        Value::Array(h.buckets.iter().map(|&b| int(b)).collect()),
+                    ),
+                ]),
+            })
+            .collect(),
+    )
+}
+
+fn span_value(s: &SpanNode) -> Value {
+    let mut pairs = vec![("name", Value::Str(s.name.clone()))];
+    if let Some(ord) = s.ordinal {
+        pairs.push(("ordinal", int(ord)));
+    }
+    pairs.push(("elapsed_ns", int(s.elapsed_ns)));
+    if !s.meta.is_empty() {
+        pairs.push((
+            "meta",
+            Value::Array(
+                s.meta
+                    .iter()
+                    .map(|(k, v)| Value::Array(vec![Value::Str(k.clone()), int(*v)]))
+                    .collect(),
+            ),
+        ));
+    }
+    if !s.children.is_empty() {
+        pairs.push((
+            "children",
+            Value::Array(s.children.iter().map(span_value).collect()),
+        ));
+    }
+    obj(pairs)
+}
+
+// ---- deserialization helpers ----------------------------------------------
+
+fn miss(key: &str) -> ReportError {
+    ReportError::Shape(format!("missing field {key:?}"))
+}
+
+fn req_u64(v: &Value, key: &str) -> Result<u64, ReportError> {
+    v.get(key)
+        .and_then(Value::as_u64)
+        .ok_or_else(|| ReportError::Shape(format!("field {key:?} missing or not a u64")))
+}
+
+fn req_i64(v: &Value, key: &str) -> Result<i64, ReportError> {
+    v.get(key)
+        .and_then(Value::as_i64)
+        .ok_or_else(|| ReportError::Shape(format!("field {key:?} missing or not an i64")))
+}
+
+fn req_str(v: &Value, key: &str) -> Result<String, ReportError> {
+    v.get(key)
+        .and_then(Value::as_str)
+        .map(str::to_string)
+        .ok_or_else(|| ReportError::Shape(format!("field {key:?} missing or not a string")))
+}
+
+fn req_bool(v: &Value, key: &str) -> Result<bool, ReportError> {
+    v.get(key)
+        .and_then(Value::as_bool)
+        .ok_or_else(|| ReportError::Shape(format!("field {key:?} missing or not a bool")))
+}
+
+fn req_array<'a>(v: &'a Value, key: &str) -> Result<&'a [Value], ReportError> {
+    v.get(key)
+        .and_then(Value::as_array)
+        .ok_or_else(|| ReportError::Shape(format!("field {key:?} missing or not an array")))
+}
+
+fn stage_from(v: &Value) -> Result<StageReport, ReportError> {
+    Ok(StageReport {
+        name: req_str(v, "name")?,
+        channels: req_u64(v, "channels")?,
+        reach_queries: req_u64(v, "reach_queries")?,
+        elapsed_ns: req_u64(v, "elapsed_ns")?,
+        machines: req_array(v, "machines")?
+            .iter()
+            .map(|m| {
+                Ok(MachineReport {
+                    name: req_str(m, "name")?,
+                    states: req_u64(m, "states")?,
+                    transitions: req_u64(m, "transitions")?,
+                })
+            })
+            .collect::<Result<_, ReportError>>()?,
+    })
+}
+
+fn transform_from(v: &Value) -> Result<TransformDelta, ReportError> {
+    Ok(TransformDelta {
+        name: req_str(v, "name")?,
+        applied: req_bool(v, "applied")?,
+        nodes_before: req_u64(v, "nodes_before")?,
+        nodes_after: req_u64(v, "nodes_after")?,
+        arcs_before: req_u64(v, "arcs_before")?,
+        arcs_after: req_u64(v, "arcs_after")?,
+    })
+}
+
+fn cache_from(v: &Value) -> Result<CacheReport, ReportError> {
+    Ok(CacheReport {
+        name: req_str(v, "name")?,
+        hits: req_u64(v, "hits")?,
+        misses: req_u64(v, "misses")?,
+        entries: req_u64(v, "entries")?,
+    })
+}
+
+fn timing_from(v: &Value) -> Result<TimingReport, ReportError> {
+    Ok(TimingReport {
+        queries: req_u64(v, "queries")?,
+        cache_hits: req_u64(v, "cache_hits")?,
+        samples_run: req_u64(v, "samples_run")?,
+        samples_avoided: req_u64(v, "samples_avoided")?,
+    })
+}
+
+fn mc_from(v: &Value) -> Result<McReport, ReportError> {
+    Ok(McReport {
+        runs: req_u64(v, "runs")?,
+        cache_hits: req_u64(v, "cache_hits")?,
+        cache_misses: req_u64(v, "cache_misses")?,
+        states: req_u64(v, "states")?,
+        batches: req_u64(v, "batches")?,
+        peak_frontier: req_u64(v, "peak_frontier")?,
+        shards: req_u64(v, "shards")?,
+        verdict: req_str(v, "verdict")?,
+        elapsed_ns: req_u64(v, "elapsed_ns")?,
+    })
+}
+
+fn hfmin_from(v: &Value) -> Result<HfminReport, ReportError> {
+    Ok(HfminReport {
+        controllers: req_u64(v, "controllers")?,
+        cache_hits: req_u64(v, "cache_hits")?,
+        cache_misses: req_u64(v, "cache_misses")?,
+        cube_ops: req_u64(v, "cube_ops")?,
+        elapsed_ns: req_u64(v, "elapsed_ns")?,
+    })
+}
+
+fn logic_from(v: &Value) -> Result<LogicReport, ReportError> {
+    Ok(LogicReport {
+        name: req_str(v, "name")?,
+        products: req_u64(v, "products")?,
+        literals: req_u64(v, "literals")?,
+        shared_products: req_u64(v, "shared_products")?,
+        shared_literals: req_u64(v, "shared_literals")?,
+    })
+}
+
+fn metrics_from(v: &Value) -> Result<MetricsSnapshot, ReportError> {
+    let items = v
+        .as_array()
+        .ok_or_else(|| ReportError::Shape("metrics is not an array".into()))?;
+    let mut entries = Vec::with_capacity(items.len());
+    for item in items {
+        let name = req_str(item, "name")?;
+        let kind = req_str(item, "kind")?;
+        let value = match kind.as_str() {
+            "counter" => SnapValue::Counter(req_u64(item, "value")?),
+            "gauge" => SnapValue::Gauge(req_i64(item, "value")?),
+            "histogram" => SnapValue::Histogram(HistogramSnapshot {
+                count: req_u64(item, "count")?,
+                sum: req_u64(item, "sum")?,
+                buckets: req_array(item, "buckets")?
+                    .iter()
+                    .map(|b| {
+                        b.as_u64().ok_or_else(|| {
+                            ReportError::Shape("histogram bucket is not a u64".into())
+                        })
+                    })
+                    .collect::<Result<_, _>>()?,
+            }),
+            other => return Err(ReportError::Shape(format!("unknown metric kind {other:?}"))),
+        };
+        entries.push((name, value));
+    }
+    Ok(MetricsSnapshot { entries })
+}
+
+fn span_from(v: &Value) -> Result<SpanNode, ReportError> {
+    Ok(SpanNode {
+        name: req_str(v, "name")?,
+        ordinal: match v.get("ordinal") {
+            None | Some(Value::Null) => None,
+            Some(o) => Some(
+                o.as_u64()
+                    .ok_or_else(|| ReportError::Shape("span ordinal is not a u64".into()))?,
+            ),
+        },
+        elapsed_ns: req_u64(v, "elapsed_ns")?,
+        meta: match v.get("meta") {
+            None => Vec::new(),
+            Some(m) => m
+                .as_array()
+                .ok_or_else(|| ReportError::Shape("span meta is not an array".into()))?
+                .iter()
+                .map(|pair| {
+                    let items = pair
+                        .as_array()
+                        .filter(|p| p.len() == 2)
+                        .ok_or_else(|| ReportError::Shape("span meta pair malformed".into()))?;
+                    let k = items[0]
+                        .as_str()
+                        .ok_or_else(|| ReportError::Shape("span meta key not a string".into()))?;
+                    let val = items[1]
+                        .as_u64()
+                        .ok_or_else(|| ReportError::Shape("span meta value not a u64".into()))?;
+                    Ok((k.to_string(), val))
+                })
+                .collect::<Result<_, ReportError>>()?,
+        },
+        children: match v.get("children") {
+            None => Vec::new(),
+            Some(c) => c
+                .as_array()
+                .ok_or_else(|| ReportError::Shape("span children is not an array".into()))?
+                .iter()
+                .map(span_from)
+                .collect::<Result<_, _>>()?,
+        },
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::metrics::Metrics;
+
+    fn sample() -> RunReport {
+        let m = Metrics::new();
+        m.counter("cache.minimize.hit").add(3);
+        m.counter("flow.run.elapsed_ns").add(12345);
+        m.gauge("cache.mc.entries").set(2);
+        m.histogram("mc.frontier").observe(100);
+        RunReport {
+            schema: SCHEMA_VERSION,
+            design: "diffeq".into(),
+            threads: 4,
+            elapsed_ns: 987,
+            stages: vec![StageReport {
+                name: "unoptimized".into(),
+                channels: 17,
+                reach_queries: 12,
+                elapsed_ns: 55,
+                machines: vec![MachineReport {
+                    name: "ALU1".into(),
+                    states: 44,
+                    transitions: 71,
+                }],
+            }],
+            transforms: vec![TransformDelta {
+                name: "gt1".into(),
+                applied: true,
+                nodes_before: 30,
+                nodes_after: 30,
+                arcs_before: 80,
+                arcs_after: 74,
+            }],
+            caches: vec![CacheReport {
+                name: "minimize".into(),
+                hits: 3,
+                misses: 1,
+                entries: 4,
+            }],
+            timing: Some(TimingReport {
+                queries: 9,
+                cache_hits: 2,
+                samples_run: 48,
+                samples_avoided: 168,
+            }),
+            mc: Some(McReport {
+                runs: 1,
+                cache_hits: 0,
+                cache_misses: 1,
+                states: 4096,
+                batches: 17,
+                peak_frontier: 512,
+                shards: 64,
+                verdict: "verified".into(),
+                elapsed_ns: 777,
+            }),
+            hfmin: Some(HfminReport {
+                controllers: 4,
+                cache_hits: 3,
+                cache_misses: 1,
+                cube_ops: 120_000,
+                elapsed_ns: 4242,
+            }),
+            logic: vec![LogicReport {
+                name: "ALU1".into(),
+                products: 14,
+                literals: 83,
+                shared_products: 12,
+                shared_literals: 70,
+            }],
+            metrics: m.snapshot(),
+            spans: Some({
+                let ((), tree) = crate::span::collect("flow.run", || {
+                    crate::span::span("flow.stage0", || crate::span::meta("channels", 17));
+                });
+                tree
+            }),
+        }
+    }
+
+    #[test]
+    fn json_round_trips_exactly() {
+        let r = sample();
+        let text = r.to_json();
+        let back = RunReport::from_json(&text).unwrap();
+        assert_eq!(back, r);
+        // Serialization itself is deterministic.
+        assert_eq!(back.to_json(), text);
+    }
+
+    #[test]
+    fn empty_report_round_trips() {
+        let r = RunReport::default();
+        assert_eq!(RunReport::from_json(&r.to_json()).unwrap(), r);
+    }
+
+    #[test]
+    fn canonical_strips_wall_clock_but_keeps_work() {
+        let r = sample();
+        let c = r.canonical();
+        assert_eq!(c.elapsed_ns, 0);
+        assert_eq!(c.threads, 0);
+        assert_eq!(c.stages[0].elapsed_ns, 0);
+        assert_eq!(c.mc.as_ref().unwrap().elapsed_ns, 0);
+        assert_eq!(c.hfmin.as_ref().unwrap().elapsed_ns, 0);
+        assert_eq!(c.hfmin.as_ref().unwrap().cube_ops, 120_000);
+        assert_eq!(c.spans.as_ref().unwrap().elapsed_ns, 0);
+        assert!(c.metrics.get("flow.run.elapsed_ns").is_none());
+        assert_eq!(c.metrics.counter("cache.minimize.hit"), Some(3));
+        assert_eq!(c.stages[0].machines[0].states, 44);
+        // Canonicalizing twice is a fixpoint, and two equal-work reports
+        // with different wall clocks agree.
+        assert_eq!(c.canonical(), c);
+        let mut other = sample();
+        other.elapsed_ns = 1;
+        other.threads = 1;
+        other.stages[0].elapsed_ns = 9;
+        assert_ne!(other, r);
+        assert_eq!(other.canonical(), r.canonical());
+    }
+
+    #[test]
+    fn shape_errors_are_reported() {
+        assert!(matches!(
+            RunReport::from_json("{not json"),
+            Err(ReportError::Json(_))
+        ));
+        assert!(matches!(
+            RunReport::from_json("{\"schema\": 1}"),
+            Err(ReportError::Shape(_))
+        ));
+        let doc = RunReport::default().to_json().replace(
+            "\"metrics\": []",
+            "\"metrics\": [{\"name\":\"x\",\"kind\":\"mystery\"}]",
+        );
+        assert!(matches!(
+            RunReport::from_json(&doc),
+            Err(ReportError::Shape(_))
+        ));
+    }
+}

@@ -1,0 +1,367 @@
+//! Hierarchical spans with a thread-local collector.
+//!
+//! The sequential backbone of a run (the flow driver, each engine's entry
+//! point) records spans through a collector installed on the calling
+//! thread by [`collect`]. Parallel fan-outs cannot use that collector —
+//! worker threads don't carry it, and at one thread the shim runs
+//! closures *inline* on the calling thread, which would make the tree
+//! depend on the thread count. Two tools remove the asymmetry:
+//!
+//! * [`capture`] builds a subtree detached from any ambient state: the
+//!   closure runs under a fresh root no matter which thread executes it,
+//!   and the caller attaches the finished subtrees in input order with
+//!   [`adopt`] — the ordered-merge pattern, so the tree is identical at
+//!   every thread count.
+//! * [`quiet`] suppresses recording for a region whose closures are
+//!   *sometimes* inlined (e.g. the timing engine's Monte-Carlo batch):
+//!   with recording off on the calling thread, the inlined one-thread
+//!   case matches the offloaded N-thread case (nothing recorded).
+//!
+//! When no collector is installed, every entry point here is a cheap
+//! no-op, so library code can be instrumented unconditionally.
+
+use std::cell::RefCell;
+use std::time::Instant;
+
+/// One finished span: a named, timed node in the run's trace tree.
+///
+/// `elapsed_ns` is wall-clock and therefore excluded from the determinism
+/// contract; everything else — name, ordinal, metadata, children and
+/// their order — is identical between runs of the same flow at any
+/// thread count. [`SpanNode::canonical`] zeroes the durations to produce
+/// the comparable projection.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct SpanNode {
+    /// Span name (dotted path style: `flow.stage0`, `mc.search`, …).
+    pub name: String,
+    /// Position among siblings produced by a parallel fan-out (the item
+    /// index), `None` for sequential spans.
+    pub ordinal: Option<u64>,
+    /// Wall-clock duration in nanoseconds (not deterministic).
+    pub elapsed_ns: u64,
+    /// Deterministic key/value annotations (counts, sizes — never times).
+    pub meta: Vec<(String, u64)>,
+    /// Child spans, in recording/attachment order.
+    pub children: Vec<SpanNode>,
+}
+
+impl SpanNode {
+    fn new(name: &str, ordinal: Option<u64>) -> Self {
+        SpanNode {
+            name: name.to_string(),
+            ordinal,
+            elapsed_ns: 0,
+            meta: Vec::new(),
+            children: Vec::new(),
+        }
+    }
+
+    /// The deterministic projection: a copy with every `elapsed_ns` (this
+    /// node's and all descendants') zeroed.
+    pub fn canonical(&self) -> SpanNode {
+        SpanNode {
+            name: self.name.clone(),
+            ordinal: self.ordinal,
+            elapsed_ns: 0,
+            meta: self.meta.clone(),
+            children: self.children.iter().map(SpanNode::canonical).collect(),
+        }
+    }
+
+    /// Total number of nodes in this subtree (including `self`).
+    pub fn count(&self) -> usize {
+        1 + self.children.iter().map(SpanNode::count).sum::<usize>()
+    }
+
+    /// Depth-first search for the first descendant (or self) named `name`.
+    pub fn find(&self, name: &str) -> Option<&SpanNode> {
+        if self.name == name {
+            return Some(self);
+        }
+        self.children.iter().find_map(|c| c.find(name))
+    }
+}
+
+struct Frame {
+    node: SpanNode,
+    start: Instant,
+}
+
+struct Collector {
+    stack: Vec<Frame>,
+    quiet: u32,
+}
+
+thread_local! {
+    static CUR: RefCell<Option<Collector>> = const { RefCell::new(None) };
+}
+
+/// Whether spans recorded on this thread right now would be kept (a
+/// collector is installed and the region is not [`quiet`]).
+pub fn active() -> bool {
+    CUR.with(|c| matches!(&*c.borrow(), Some(col) if col.quiet == 0))
+}
+
+/// Restores the previous collector state when a [`collect`]/[`capture`]
+/// scope exits, even by unwinding.
+struct Restore {
+    prev: Option<Collector>,
+}
+
+impl Drop for Restore {
+    fn drop(&mut self) {
+        CUR.with(|c| *c.borrow_mut() = self.prev.take());
+    }
+}
+
+fn run_rooted<R>(name: &str, ordinal: Option<u64>, f: impl FnOnce() -> R) -> (R, SpanNode) {
+    let prev = CUR.with(|c| {
+        c.borrow_mut().replace(Collector {
+            stack: vec![Frame {
+                node: SpanNode::new(name, ordinal),
+                start: Instant::now(),
+            }],
+            quiet: 0,
+        })
+    });
+    let restore = Restore { prev };
+    let out = f();
+    let mut col = CUR
+        .with(|c| c.borrow_mut().take())
+        .expect("collector still installed");
+    drop(restore);
+    // Close any spans left open (possible only if a caller bypassed the
+    // scoped API); the root frame is always present.
+    while col.stack.len() > 1 {
+        let frame = col.stack.pop().expect("len checked");
+        finish_into(&mut col, frame);
+    }
+    let root = col.stack.pop().expect("root frame");
+    let mut node = root.node;
+    node.elapsed_ns = elapsed_ns(root.start);
+    (out, node)
+}
+
+/// Runs `f` with a fresh trace collector installed on this thread and
+/// returns its result plus the recorded span tree rooted at `name`.
+/// Any previously installed collector is saved and restored, so nesting
+/// (and calling from inside another trace) is safe.
+pub fn collect<R>(name: &str, f: impl FnOnce() -> R) -> (R, SpanNode) {
+    run_rooted(name, None, f)
+}
+
+/// [`collect`] for one item of a parallel fan-out: the subtree carries
+/// the item's input-order `ordinal`, and the closure records into it no
+/// matter which thread runs it. Attach the finished subtrees with
+/// [`adopt`] *in input order* to keep the parent tree deterministic.
+pub fn capture<R>(name: &str, ordinal: u64, f: impl FnOnce() -> R) -> (R, SpanNode) {
+    run_rooted(name, Some(ordinal), f)
+}
+
+fn elapsed_ns(start: Instant) -> u64 {
+    u64::try_from(start.elapsed().as_nanos()).unwrap_or(u64::MAX)
+}
+
+fn finish_into(col: &mut Collector, frame: Frame) {
+    let mut node = frame.node;
+    node.elapsed_ns = elapsed_ns(frame.start);
+    col.stack
+        .last_mut()
+        .expect("parent frame")
+        .node
+        .children
+        .push(node);
+}
+
+/// Records `f` as a child span named `name` of the innermost open span.
+/// A no-op wrapper when no collector is installed or recording is
+/// suppressed by [`quiet`].
+pub fn span<R>(name: &str, f: impl FnOnce() -> R) -> R {
+    let recording = CUR.with(|c| {
+        let mut cur = c.borrow_mut();
+        match cur.as_mut() {
+            Some(col) if col.quiet == 0 => {
+                col.stack.push(Frame {
+                    node: SpanNode::new(name, None),
+                    start: Instant::now(),
+                });
+                true
+            }
+            _ => false,
+        }
+    });
+    let out = f();
+    if recording {
+        CUR.with(|c| {
+            let mut cur = c.borrow_mut();
+            if let Some(col) = cur.as_mut() {
+                if col.stack.len() > 1 {
+                    let frame = col.stack.pop().expect("len checked");
+                    finish_into(col, frame);
+                }
+            }
+        });
+    }
+    out
+}
+
+/// Annotates the innermost open span with a deterministic `key = value`
+/// pair. No-op without an active collector. Values must be functions of
+/// the work done (counts, sizes), never wall-clock readings — metadata is
+/// part of the determinism contract.
+pub fn meta(key: &str, value: u64) {
+    CUR.with(|c| {
+        let mut cur = c.borrow_mut();
+        if let Some(col) = cur.as_mut() {
+            if col.quiet == 0 {
+                if let Some(frame) = col.stack.last_mut() {
+                    frame.node.meta.push((key.to_string(), value));
+                }
+            }
+        }
+    });
+}
+
+/// Attaches pre-built subtrees (from [`capture`]) as children of the
+/// innermost open span, preserving the given order. No-op without an
+/// active collector.
+pub fn adopt(children: Vec<SpanNode>) {
+    CUR.with(|c| {
+        let mut cur = c.borrow_mut();
+        if let Some(col) = cur.as_mut() {
+            if col.quiet == 0 {
+                if let Some(frame) = col.stack.last_mut() {
+                    frame.node.children.extend(children);
+                }
+            }
+        }
+    });
+}
+
+/// Suppresses span recording on this thread for the duration of `f`.
+///
+/// Use around parallel regions whose closures may run inline at one
+/// thread: with recording suppressed on the calling thread, the inlined
+/// and offloaded schedules record the same (empty) trace.
+pub fn quiet<R>(f: impl FnOnce() -> R) -> R {
+    let suppressed = CUR.with(|c| {
+        let mut cur = c.borrow_mut();
+        match cur.as_mut() {
+            Some(col) => {
+                col.quiet += 1;
+                true
+            }
+            None => false,
+        }
+    });
+    let out = f();
+    if suppressed {
+        CUR.with(|c| {
+            let mut cur = c.borrow_mut();
+            if let Some(col) = cur.as_mut() {
+                col.quiet = col.quiet.saturating_sub(1);
+            }
+        });
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn spans_nest_and_collect_in_order() {
+        let ((), tree) = collect("root", || {
+            span("a", || {
+                span("a1", || {});
+                meta("k", 3);
+            });
+            span("b", || {});
+        });
+        assert_eq!(tree.name, "root");
+        assert_eq!(tree.children.len(), 2);
+        assert_eq!(tree.children[0].name, "a");
+        assert_eq!(tree.children[0].children[0].name, "a1");
+        assert_eq!(tree.children[0].meta, vec![("k".to_string(), 3)]);
+        assert_eq!(tree.children[1].name, "b");
+        assert_eq!(tree.count(), 4);
+        assert!(tree.find("a1").is_some());
+    }
+
+    #[test]
+    fn no_collector_is_a_no_op() {
+        assert!(!active());
+        let v = span("orphan", || 42);
+        assert_eq!(v, 42);
+        meta("ignored", 1);
+        adopt(vec![SpanNode::new("x", None)]);
+    }
+
+    #[test]
+    fn quiet_suppresses_recording() {
+        let ((), tree) = collect("root", || {
+            quiet(|| span("hidden", || {}));
+            span("visible", || {});
+        });
+        assert_eq!(tree.children.len(), 1);
+        assert_eq!(tree.children[0].name, "visible");
+    }
+
+    #[test]
+    fn capture_is_detached_and_adoptable() {
+        let ((), tree) = collect("root", || {
+            let subtrees: Vec<SpanNode> = (0..3)
+                .map(|i| {
+                    let ((), sub) = capture("item", i, || span("inner", || {}));
+                    sub
+                })
+                .collect();
+            // Captured subtrees did not leak into the ambient collector…
+            adopt(subtrees);
+        });
+        assert_eq!(tree.children.len(), 3);
+        for (i, c) in tree.children.iter().enumerate() {
+            assert_eq!(c.name, "item");
+            assert_eq!(c.ordinal, Some(i as u64));
+            assert_eq!(c.children[0].name, "inner");
+        }
+    }
+
+    #[test]
+    fn capture_works_on_a_thread_without_a_collector() {
+        let handle = std::thread::spawn(|| {
+            let (v, sub) = capture("worker", 7, || span("inner", || 5));
+            (v, sub)
+        });
+        let (v, sub) = handle.join().unwrap();
+        assert_eq!(v, 5);
+        assert_eq!(sub.ordinal, Some(7));
+        assert_eq!(sub.children[0].name, "inner");
+    }
+
+    #[test]
+    fn canonical_zeroes_every_duration() {
+        let ((), tree) = collect("root", || {
+            span("child", || {
+                std::thread::sleep(std::time::Duration::from_millis(1))
+            });
+        });
+        let canon = tree.canonical();
+        assert_eq!(canon.elapsed_ns, 0);
+        assert_eq!(canon.children[0].elapsed_ns, 0);
+        assert_eq!(canon.children[0].name, "child");
+    }
+
+    #[test]
+    fn nested_collects_restore_the_outer_collector() {
+        let ((), outer) = collect("outer", || {
+            span("before", || {});
+            let ((), inner) = collect("inner", || span("deep", || {}));
+            assert_eq!(inner.children[0].name, "deep");
+            span("after", || {});
+        });
+        let names: Vec<&str> = outer.children.iter().map(|c| c.name.as_str()).collect();
+        assert_eq!(names, ["before", "after"]);
+    }
+}

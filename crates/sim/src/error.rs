@@ -3,7 +3,7 @@
 use std::error::Error;
 use std::fmt;
 
-use adcs_cdfg::{CdfgError, NodeId};
+use adcs_cdfg::{ArcId, CdfgError, NodeId};
 use adcs_xbm::XbmError;
 
 /// Errors produced by the CDFG executor or the controller-network
@@ -24,6 +24,9 @@ pub enum SimError {
     Machine(String),
     /// The network referenced an unknown machine index or signal.
     BadWire(String),
+    /// The executor was handed an arc id that is not part of its graph
+    /// (e.g. a stale channel-group arc from another CDFG).
+    UnknownArc(ArcId),
 }
 
 impl fmt::Display for SimError {
@@ -46,6 +49,9 @@ impl fmt::Display for SimError {
             SimError::Cdfg(e) => write!(f, "cdfg error: {e}"),
             SimError::Machine(s) => write!(f, "machine error: {s}"),
             SimError::BadWire(s) => write!(f, "bad wire: {s}"),
+            SimError::UnknownArc(a) => {
+                write!(f, "arc {a:?} is not part of the executed graph")
+            }
         }
     }
 }

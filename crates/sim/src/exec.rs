@@ -171,6 +171,21 @@ pub fn execute(
     delays: &DelayModel,
     opts: &ExecOptions,
 ) -> Result<ExecResult, SimError> {
+    adcs_obs::span("sim.execute", || {
+        let result = execute_inner(g, initial, delays, opts);
+        if let Ok(r) = &result {
+            adcs_obs::meta("firings", r.firings.len() as u64);
+        }
+        result
+    })
+}
+
+fn execute_inner(
+    g: &Cdfg,
+    initial: RegFile,
+    delays: &DelayModel,
+    opts: &ExecOptions,
+) -> Result<ExecResult, SimError> {
     let mut group_of: HashMap<ArcId, Vec<usize>> = HashMap::new();
     let mut ngroups = 0usize;
     for group in &opts.channel_groups {
@@ -215,7 +230,7 @@ pub fn execute(
     // Pre-enable backward arcs (GT1: "ignored during the first execution").
     for (id, arc) in g.arcs() {
         if arc.backward {
-            e.add_token(id, 0, true, None);
+            e.add_token(id, 0, true, None)?;
         }
     }
     e.run()?;
@@ -261,8 +276,14 @@ impl<'g> Engine<'g> {
         Ok(())
     }
 
-    fn add_token(&mut self, arc: ArcId, time: u64, initial: bool, producer: Option<u64>) {
-        let t = self.tokens.get_mut(&arc).expect("live arc");
+    fn add_token(
+        &mut self,
+        arc: ArcId,
+        time: u64,
+        initial: bool,
+        producer: Option<u64>,
+    ) -> Result<(), SimError> {
+        let t = self.tokens.get_mut(&arc).ok_or(SimError::UnknownArc(arc))?;
         *t += 1;
         if self.record {
             self.provenance.entry(arc).or_default().push_back(producer);
@@ -272,7 +293,7 @@ impl<'g> Engine<'g> {
                 self.group_tokens[gidx] += 1;
             }
             if !initial {
-                for &gidx in self.group_of.get(&arc).expect("present") {
+                for &gidx in groups {
                     if self.group_tokens[gidx] > 1 {
                         self.violations.push(WireViolation {
                             arc,
@@ -283,12 +304,13 @@ impl<'g> Engine<'g> {
                 }
             }
         }
+        Ok(())
     }
 
     /// Removes one token from `arc`, returning the firing that produced it
     /// (always `None` when provenance recording is off).
-    fn take_token(&mut self, arc: ArcId) -> Option<u64> {
-        let t = self.tokens.get_mut(&arc).expect("live arc");
+    fn take_token(&mut self, arc: ArcId) -> Result<Option<u64>, SimError> {
+        let t = self.tokens.get_mut(&arc).ok_or(SimError::UnknownArc(arc))?;
         debug_assert!(*t > 0);
         *t -= 1;
         if let Some(groups) = self.group_of.get(&arc) {
@@ -296,14 +318,14 @@ impl<'g> Engine<'g> {
                 self.group_tokens[gidx] -= 1;
             }
         }
-        if self.record {
+        Ok(if self.record {
             self.provenance
                 .get_mut(&arc)
                 .and_then(VecDeque::pop_front)
                 .flatten()
         } else {
             None
-        }
+        })
     }
 
     /// Fills `need` with the arcs a node must consume to fire right now;
@@ -389,13 +411,13 @@ impl<'g> Engine<'g> {
         if self.record {
             let mut row = Vec::with_capacity(need.len());
             for &a in need {
-                let producer = self.take_token(a);
+                let producer = self.take_token(a)?;
                 row.push((a, producer));
             }
             self.consumed.push(row);
         } else {
             for &a in need {
-                self.take_token(a);
+                self.take_token(a)?;
             }
         }
         *self.node_fired.entry(node).or_insert(0) += 1;
@@ -427,10 +449,10 @@ impl<'g> Engine<'g> {
                         .collect();
                     for id in arcs {
                         while self.tokens[&id] > 1 {
-                            self.take_token(id);
+                            self.take_token(id)?;
                         }
                         if self.tokens[&id] == 0 {
-                            self.add_token(id, time, true, None);
+                            self.add_token(id, time, true, None)?;
                         }
                     }
                 }
@@ -534,7 +556,7 @@ impl<'g> Engine<'g> {
                         .map(|b| self.g.block_contains(b, dst_block))
                         .unwrap_or(false);
                     if into_body == taken {
-                        self.add_token(id, time, false, Some(seq));
+                        self.add_token(id, time, false, Some(seq))?;
                     }
                 }
                 arcs.clear();
@@ -555,7 +577,7 @@ impl<'g> Engine<'g> {
                 for &(id, dst) in &arcs {
                     let dst_block = self.g.node(dst)?.block;
                     if dst_block == taken_block || (dst == endif && taken_empty) {
-                        self.add_token(id, time, false, Some(seq));
+                        self.add_token(id, time, false, Some(seq))?;
                     }
                 }
                 arcs.clear();
@@ -580,10 +602,10 @@ impl<'g> Engine<'g> {
                 self.endif_required
                     .get_mut(&node)
                     .and_then(VecDeque::pop_front);
-                self.fanout_tokens(node, time, seq);
+                self.fanout_tokens(node, time, seq)?;
             }
             _ => {
-                self.fanout_tokens(node, time, seq);
+                self.fanout_tokens(node, time, seq)?;
             }
         }
         Ok(())
@@ -592,14 +614,15 @@ impl<'g> Engine<'g> {
     /// Adds a token on every out-arc of `node` (the unconditional fanout of
     /// plain operations and merge points), without allocating: the arc
     /// snapshot lives in the engine's reusable scratch buffer.
-    fn fanout_tokens(&mut self, node: NodeId, time: u64, seq: u64) {
+    fn fanout_tokens(&mut self, node: NodeId, time: u64, seq: u64) -> Result<(), SimError> {
         let mut arcs = std::mem::take(&mut self.out_buf);
         arcs.extend(self.g.out_arcs(node).map(|(id, a)| (id, a.dst)));
         for &(id, _) in &arcs {
-            self.add_token(id, time, false, Some(seq));
+            self.add_token(id, time, false, Some(seq))?;
         }
         arcs.clear();
         self.out_buf = arcs;
+        Ok(())
     }
 
     fn if_blocks(

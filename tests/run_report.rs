@@ -1,0 +1,82 @@
+//! Observability golden tests: the `RunReport` emitted by a real flow
+//! run survives a JSON round-trip bit-exactly, and — the central
+//! determinism contract — the canonical projection (span tree shape,
+//! ordinals, metadata, metric values; everything but wall-clock
+//! durations) is **identical at 1 worker thread and at 4**. Extends the
+//! `mc_determinism` pattern from the verdict to the whole run record.
+
+use adcs::flow::{Flow, FlowOptions};
+use adcs::report::run_report;
+use adcs_cdfg::benchmarks::{diffeq, DiffeqParams};
+use adcs_obs::{RunReport, SpanNode};
+
+fn options() -> FlowOptions {
+    FlowOptions {
+        synthesize_logic: true,
+        verify_seeds: 2,
+        ..FlowOptions::default()
+    }
+}
+
+/// Runs the full flow under a pool of `threads` workers with span
+/// collection on, and returns the finished report.
+fn report_at(threads: usize) -> RunReport {
+    let d = diffeq(DiffeqParams::default()).unwrap();
+    let flow = Flow::new(d.cdfg.clone(), d.initial.clone());
+    let opts = options();
+    let (result, spans) = rayon::ThreadPoolBuilder::new()
+        .num_threads(threads)
+        .build()
+        .unwrap()
+        .install(|| adcs_obs::collect("adcs.synth", || flow.run(&opts)));
+    let out = result.unwrap();
+    run_report("diffeq", &out, &flow, threads as u64, Some(spans))
+}
+
+/// Span names along a preorder walk — the tree *shape* in one list.
+fn preorder(n: &SpanNode, out: &mut Vec<String>) {
+    out.push(format!("{}#{:?}", n.name, n.ordinal));
+    for c in &n.children {
+        preorder(c, out);
+    }
+}
+
+#[test]
+fn report_round_trips_through_json_bit_exactly() {
+    let r = report_at(1);
+    let parsed = RunReport::from_json(&r.to_json()).unwrap();
+    assert_eq!(parsed, r);
+    // And the canonical projection round-trips too (it is itself a report).
+    let c = r.canonical();
+    assert_eq!(RunReport::from_json(&c.to_json()).unwrap(), c);
+}
+
+#[test]
+fn span_tree_and_metrics_are_identical_at_one_and_four_threads() {
+    let r1 = report_at(1);
+    let r4 = report_at(4);
+
+    // The full canonical projections — stages, transform deltas, cache
+    // stats, hfmin/timing summaries, metric values, span tree — match.
+    assert_eq!(
+        r1.canonical(),
+        r4.canonical(),
+        "canonical RunReport must not depend on the worker count"
+    );
+    // Spot-check the parts the projection is meant to pin, so a future
+    // canonical() bug cannot silently weaken this test.
+    let (s1, s4) = (r1.spans.as_ref().unwrap(), r4.spans.as_ref().unwrap());
+    let (mut w1, mut w4) = (Vec::new(), Vec::new());
+    preorder(s1, &mut w1);
+    preorder(s4, &mut w4);
+    assert_eq!(w1, w4, "span tree shape must be thread-invariant");
+    assert_eq!(
+        r1.metrics, r4.metrics,
+        "metric values must be thread-invariant"
+    );
+    assert_eq!(r1.transforms, r4.transforms);
+    // Both runs did real work and recorded it.
+    assert!(w1.iter().any(|n| n.starts_with("flow.stage3.synthesize")));
+    assert!(w1.iter().any(|n| n.starts_with("flow.synthesize")));
+    assert!(r1.hfmin.is_some());
+}
